@@ -1,0 +1,458 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section, plus ablation benches for the design choices
+// called out in DESIGN.md §5 and micro-benchmarks of the substrates.
+//
+// The paper artefacts are regenerated on a shared reduced-scale corpus
+// (60 apps x 16 intervals) so `go test -bench=.` completes in minutes;
+// cmd/hmd-bench runs the same experiments at full scale. Each benchmark
+// logs its rows once, so `go test -bench=. -v` doubles as a results
+// printer.
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/features"
+	"repro/internal/hls"
+	"repro/internal/micro"
+	"repro/internal/mlearn/zoo"
+	"repro/internal/perf"
+	"repro/internal/workload"
+)
+
+var (
+	benchOnce sync.Once
+	benchCtx  *experiments.Context
+	benchErr  error
+)
+
+// benchContext collects the shared benchmark corpus once.
+func benchContext(b *testing.B) *experiments.Context {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := collect.Default()
+		cfg.Suite.AppsPerFamily = 5
+		cfg.Intervals = 16
+		benchCtx, benchErr = experiments.NewContext(cfg, 1)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchCtx
+}
+
+// ---- Paper artefacts ----
+
+// BenchmarkTable1FeatureRanking measures the Correlation Attribute
+// Evaluation pass over the 44-event training matrix (Table 1).
+func BenchmarkTable1FeatureRanking(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var rows []experiments.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = ctx.Table1(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.RenderTable1(rows))
+}
+
+// BenchmarkFigure3Accuracy regenerates the full accuracy grid: 8
+// classifiers x {16,8,4,2} HPCs x {general, AdaBoost, Bagging}.
+// The first iteration trains all 96 detectors; later iterations hit
+// the context cache, so -benchtime=1x gives the true cost.
+func BenchmarkFigure3Accuracy(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var cells []experiments.GridCell
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, err = ctx.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.RenderGrid(cells, "acc"))
+}
+
+// BenchmarkTable2AUC regenerates the AUC table from the grid.
+func BenchmarkTable2AUC(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var rows []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = ctx.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.RenderTable2(rows))
+}
+
+// BenchmarkFigure4ROC regenerates both ROC panels (4HPC-Bagging
+// detectors; 8HPC general vs 2HPC-Boosted).
+func BenchmarkFigure4ROC(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var a4, b4 []experiments.NamedROC
+	for i := 0; i < b.N; i++ {
+		var err error
+		a4, err = ctx.Figure4a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b4, err = ctx.Figure4b()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.RenderROCs("Figure 4a", a4) + experiments.RenderROCs("Figure 4b", b4))
+}
+
+// BenchmarkFigure5Performance regenerates the ACC*AUC grid.
+func BenchmarkFigure5Performance(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var cells []experiments.GridCell
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, err = ctx.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.RenderGrid(cells, "perf"))
+}
+
+// BenchmarkTable3Hardware compiles the trained detectors to the FPGA
+// cost model (8HPC general, 4HPC-Boosted, 2HPC-Boosted per classifier).
+func BenchmarkTable3Hardware(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var rows []experiments.Table3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = ctx.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.RenderTable3(rows))
+}
+
+// ---- Ablations (DESIGN.md §5) ----
+
+// BenchmarkAblationEnsembleSize sweeps AdaBoost iteration counts on the
+// 4-HPC REPTree detector.
+func BenchmarkAblationEnsembleSize(b *testing.B) {
+	ctx := benchContext(b)
+	for i := 0; i < b.N; i++ {
+		for _, iters := range []int{5, 10, 25, 50} {
+			bl, err := core.NewBuilder(ctx.Data, 0.7, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bl.Iterations = iters
+			det, err := bl.Build("REPTree", zoo.Boosted, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := bl.Evaluate(det)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("AdaBoost T=%2d: accuracy %.1f%%, AUC %.3f", iters, res.Accuracy*100, res.AUC)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationFeatureRanking compares the correlation ranker
+// against variance and random top-4 selections (J48 accuracy).
+func BenchmarkAblationFeatureRanking(b *testing.B) {
+	ctx := benchContext(b)
+	train, test := ctx.Builder.Train(), ctx.Builder.Test()
+	for i := 0; i < b.N; i++ {
+		corr, err := features.TopK(train, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		varRanked, err := features.RankVariance(train)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vCols := []int{varRanked[0].Index, varRanked[1].Index, varRanked[2].Index, varRanked[3].Index}
+		rCols, err := features.RandomK(train, 4, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cfg := range []struct {
+			name string
+			cols []int
+		}{{"correlation", corr}, {"variance", vCols}, {"random", rCols}} {
+			tr, _ := train.Select(cfg.cols)
+			te, _ := test.Select(cfg.cols)
+			model, err := zoo.MustNew("J48", 1).Train(tr, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc, err := eval.Accuracy(model, te)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("top-4 by %-12s J48 accuracy %.1f%%", cfg.name, acc*100)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationSamplingInterval varies the per-interval cycle
+// budget (the 10 ms knob) and reports the resulting detector accuracy.
+func BenchmarkAblationSamplingInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, budget := range []uint64{6000, 24000, 96000} {
+			cfg := collect.Default()
+			cfg.Suite.AppsPerFamily = 3
+			cfg.Intervals = 10
+			cfg.CycleBudget = budget
+			res, err := collect.Collect(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bl, err := core.NewBuilder(res.Data, 0.7, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			det, err := bl.Build("J48", zoo.General, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := bl.Evaluate(det)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("cycle budget %6d: accuracy %.1f%%", budget, r.Accuracy*100)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationMultiplexing compares dedicated-batch collection
+// (the paper's 11 runs) against single-run PMU multiplexing with
+// scaling, measuring the relative estimation error on the instruction
+// count.
+func BenchmarkAblationMultiplexing(b *testing.B) {
+	apps := workload.Suite(workload.SuiteConfig{Seed: 7, AppsPerFamily: 1})
+	groups, err := perf.Batches(micro.AllEvents())
+	if err != nil {
+		b.Fatal(err)
+	}
+	gInstr, err := perf.NewGroup(micro.EvInstructions, micro.EvBranchInstructions, micro.EvMemLoads, micro.EvCPUCycles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		var sumErr float64
+		n := 0
+		for _, app := range apps[:4] {
+			run := app.NewRun(0)
+			mDed := micro.NewMachine(micro.DefaultConfig(), run.MachineSeed())
+			ded := perf.SampleRun(mDed, run, gInstr, 6, 24000)
+
+			run2 := app.NewRun(0)
+			mMux := micro.NewMachine(micro.DefaultConfig(), run2.MachineSeed())
+			mux := perf.SampleMultiplexed(mMux, run2, groups, 6, 24000)
+
+			for k := range ded {
+				d := float64(ded[k].Values[0])
+				m := mux[k][int(micro.EvInstructions)]
+				if d > 0 {
+					e := (m - d) / d
+					if e < 0 {
+						e = -e
+					}
+					sumErr += e
+					n++
+				}
+			}
+		}
+		if i == 0 {
+			b.Logf("multiplexing mean |error| on instruction counts: %.1f%%", 100*sumErr/float64(n))
+		}
+	}
+}
+
+// BenchmarkAblationHLSSchedule compares shared vs parallel ensemble
+// hardware schedules.
+func BenchmarkAblationHLSSchedule(b *testing.B) {
+	ctx := benchContext(b)
+	det, _, err := ctx.Detector("REPTree", zoo.Boosted, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		shared, err := hls.CompileScheduled(det.Model, "shared", hls.Shared)
+		if err != nil {
+			b.Fatal(err)
+		}
+		par, err := hls.CompileScheduled(det.Model, "parallel", hls.Parallel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("shared:   %d cycles, %.1f%% area", shared.Latency, shared.AreaPercent())
+			b.Logf("parallel: %d cycles, %.1f%% area", par.Latency, par.AreaPercent())
+		}
+	}
+}
+
+// ---- Substrate micro-benchmarks ----
+
+// BenchmarkMachineRun measures raw simulator throughput.
+func BenchmarkMachineRun(b *testing.B) {
+	app := workload.Suite(workload.SmallSuite())[0]
+	run := app.NewRun(0)
+	m := micro.NewMachine(micro.DefaultConfig(), 1)
+	p := run.IntervalParams(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(&p, 1000)
+	}
+	b.SetBytes(0)
+	b.ReportMetric(float64(1000*b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkCollectSmall measures a full (reduced) collection pass.
+func BenchmarkCollectSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := collect.Collect(collect.Small()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainers measures single-model training cost per classifier
+// on the shared corpus reduced to 8 features.
+func BenchmarkTrainers(b *testing.B) {
+	ctx := benchContext(b)
+	cols, err := features.TopK(ctx.Builder.Train(), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, err := ctx.Builder.Train().Select(cols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range zoo.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := zoo.MustNew(name, uint64(i)).Train(train, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDetectorInference measures single-sample classification
+// latency of the deployed detectors (software path; the hls package
+// models the hardware path).
+func BenchmarkDetectorInference(b *testing.B) {
+	ctx := benchContext(b)
+	for _, cfg := range []struct {
+		name    string
+		variant zoo.Variant
+		hpcs    int
+	}{
+		{"OneR", zoo.General, 2},
+		{"J48", zoo.General, 4},
+		{"REPTree", zoo.Boosted, 2},
+		{"MLP", zoo.General, 8},
+	} {
+		det, _, err := ctx.Detector(cfg.name, cfg.variant, cfg.hpcs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x := make([]float64, cfg.hpcs)
+		for i := range x {
+			x[i] = float64(100 * (i + 1))
+		}
+		b.Run(det.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				det.Classify(x)
+			}
+		})
+	}
+}
+
+// BenchmarkMonitorWatch measures the full run-time loop: simulate,
+// sample through the PMU, classify, window.
+func BenchmarkMonitorWatch(b *testing.B) {
+	ctx := benchContext(b)
+	det, _, err := ctx.Detector("REPTree", zoo.Boosted, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon, err := core.NewMonitor(det, 5, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := workload.Suite(workload.SuiteConfig{Seed: 0xBEEF, AppsPerFamily: 1})[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := app.NewRun(i)
+		mach := micro.NewMachine(micro.DefaultConfig(), run.MachineSeed())
+		mon.Reset()
+		if _, err := mon.Watch(mach, run, 10, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionSpecialized compares monolithic vs per-family
+// specialized detectors (the organisation of Khasawneh et al. [11]).
+func BenchmarkExtensionSpecialized(b *testing.B) {
+	ctx := benchContext(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := ctx.SpecializedComparison(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderOrgRows(rows))
+		}
+	}
+}
+
+// BenchmarkExtensionEvasion sweeps mimicry strength against a deployed
+// 2HPC boosted detector.
+func BenchmarkExtensionEvasion(b *testing.B) {
+	ctx := benchContext(b)
+	for i := 0; i < b.N; i++ {
+		pts, err := ctx.EvasionSweep("REPTree", zoo.Boosted, 2, []float64{0, 0.5, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderEvasion("2HPC-Boosted-REPTree", pts))
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Command hmd-export trains a detector and exports deployment
+// artefacts: a serialized detector (.hmd, loadable with
+// core.LoadDetector) and — for the model families a combinational
+// integer datapath can express — synthesizable Verilog emitted from the
+// verified netlist, plus the hardware cost report.
+//
+// Usage:
+//
+//	hmd-export -classifier REPTree -variant boosted -hpcs 2 -out detector
+//
+// writes detector.hmd and detector.v.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/hls"
+	"repro/internal/mlearn/zoo"
+)
+
+func main() {
+	dataPath := flag.String("data", "", "dataset file (.arff/.csv); empty = collect a fresh corpus")
+	name := flag.String("classifier", "REPTree", "base classifier")
+	variantName := flag.String("variant", "boosted", "general, boosted or bagging")
+	hpcs := flag.Int("hpcs", 2, "number of HPC features")
+	out := flag.String("out", "detector", "output file prefix")
+	seed := flag.Uint64("seed", 1, "split/training seed")
+	flag.Parse()
+
+	variant := zoo.General
+	switch strings.ToLower(*variantName) {
+	case "boosted":
+		variant = zoo.Boosted
+	case "bagging":
+		variant = zoo.Bagged
+	}
+
+	data, err := loadData(*dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	b, err := core.NewBuilder(data, 0.7, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	det, err := b.Build(*name, variant, *hpcs)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := b.Evaluate(det)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trained %s: accuracy %.1f%%, AUC %.3f\n", det.Name(), res.Accuracy*100, res.AUC)
+
+	// 1. Serialized detector.
+	gobPath := *out + ".hmd"
+	f, err := os.Create(gobPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := core.SaveDetector(f, det); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (load with core.LoadDetector)\n", gobPath)
+
+	// 2. Hardware cost report.
+	design, err := hls.Compile(det.Model, det.Name())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("hardware: %s\n", design)
+
+	// 3. Verilog, when the model family lowers to a combinational
+	//    netlist (trees, rules, OneR, linear models, and their
+	//    ensembles).
+	nl, err := hls.BuildNetlist(det.Model, det.Name(), det.HPCs())
+	if err != nil {
+		fmt.Printf("verilog: skipped (%v)\n", err)
+		return
+	}
+	vPath := *out + ".v"
+	if err := os.WriteFile(vPath, []byte(nl.Verilog()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d netlist nodes; inputs, in order:", vPath, len(nl.Nodes))
+	for i, ev := range det.Events {
+		if i > 0 {
+			fmt.Print(",")
+		}
+		fmt.Printf(" hpc%d=%s", i, ev)
+	}
+	fmt.Println(")")
+}
+
+func loadData(path string) (*dataset.Instances, error) {
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "no -data given; collecting a fresh corpus...")
+		res, err := collect.Collect(collect.Default())
+		if err != nil {
+			return nil, err
+		}
+		return res.Data, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return dataset.ReadCSV(f, dataset.BinaryClassNames())
+	}
+	return dataset.ReadARFF(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hmd-export:", err)
+	os.Exit(1)
+}

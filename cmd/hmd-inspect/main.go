@@ -1,0 +1,59 @@
+// Command hmd-inspect loads a serialized detector (.hmd, written by
+// hmd-export or core.SaveDetector) and prints what it is: its HPC
+// events, run-time deployability, hardware cost, and the full trained
+// model in human-readable form.
+//
+// Usage:
+//
+//	hmd-inspect detector.hmd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/hls"
+	"repro/internal/mlearn/describe"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hmd-inspect <detector.hmd>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	det, err := core.LoadDetector(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("detector: %s\n", det.Name())
+	fmt.Printf("run-time capable: %v\n", det.RunTimeCapable())
+	fmt.Printf("HPC events (feature order):\n")
+	attrNames := make([]string, len(det.Events))
+	for i, ev := range det.Events {
+		attrNames[i] = ev.String()
+		fmt.Printf("  %d. %s\n", i+1, ev)
+	}
+
+	if design, err := hls.Compile(det.Model, det.Name()); err == nil {
+		fmt.Printf("hardware: %d cycles @10ns, %.1f%% of OpenSPARC core area\n",
+			design.Latency, design.AreaPercent())
+	}
+
+	fmt.Println("\nmodel:")
+	fmt.Print(describe.Model(det.Model, attrNames, dataset.BinaryClassNames()))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hmd-inspect:", err)
+	os.Exit(1)
+}

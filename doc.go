@@ -1,0 +1,23 @@
+// Package repro is a full reproduction of "Ensemble Learning for
+// Effective Run-Time Hardware-Based Malware Detection: A Comprehensive
+// Analysis and Classification" (Sayadi et al., DAC 2018) as a
+// self-contained Go library.
+//
+// The repository builds every system the paper depends on from scratch:
+// a trace-driven micro-architecture simulator with 44 perf-style
+// hardware event counters (internal/micro), an application behaviour
+// corpus standing in for the paper's >100 benign and malware programs
+// (internal/workload), a 4-register PMU with batch scheduling and
+// fixed-interval sampling (internal/perf), container-isolated
+// collection (internal/lxc, internal/collect), WEKA-equivalent
+// implementations of the eight studied classifiers plus AdaBoost.M1 and
+// Bagging (internal/mlearn/...), correlation-based feature reduction
+// (internal/features), ROC/AUC evaluation (internal/eval), an FPGA cost
+// model for Table 3 (internal/hls), and the detection framework with a
+// run-time monitoring engine (internal/core).
+//
+// The benchmark suite in this directory regenerates every table and
+// figure of the paper's evaluation; cmd/hmd-bench does the same at full
+// corpus scale with a headline-claim checklist. See README.md,
+// DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,77 @@
+// Hardware cost: the paper's §4.4 study as a library walk-through.
+// Trained detectors are compiled to the FPGA cost model and compared on
+// latency (cycles @10 ns) and area (% of an OpenSPARC-class core),
+// including the shared-vs-parallel ensemble scheduling ablation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/hls"
+	"repro/internal/mlearn/zoo"
+)
+
+func main() {
+	cfg := collect.Default()
+	cfg.Suite.AppsPerFamily = 5
+	cfg.Intervals = 16
+	res, err := collect.Collect(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := core.NewBuilder(res.Data, 0.7, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Hardware cost of 8-HPC general detectors (Table 3, first column):")
+	for _, name := range zoo.Names() {
+		det, err := b.Build(name, zoo.General, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := hls.Compile(det.Model, det.Name())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s\n", d)
+	}
+
+	// The trade the paper highlights: a 2-HPC boosted MLP can be
+	// *smaller* than the 8-HPC general MLP while performing comparably.
+	fmt.Println("\nMLP: 8HPC general vs 2HPC boosted:")
+	gen, err := b.Build("MLP", zoo.General, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dGen, _ := hls.Compile(gen.Model, gen.Name())
+	bst, err := b.Build("MLP", zoo.Boosted, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dBst, _ := hls.Compile(bst.Model, bst.Name())
+	fmt.Printf("  %s\n  %s\n", dGen, dBst)
+
+	// Ensemble scheduling ablation: shared engine (the paper's
+	// implementation) vs fully parallel members.
+	fmt.Println("\nEnsemble schedule ablation (Boosted-REPTree, 4 HPCs):")
+	det, err := b.Build("REPTree", zoo.Boosted, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shared, err := hls.CompileScheduled(det.Model, det.Name()+"/shared", hls.Shared)
+	if err != nil {
+		log.Fatal(err)
+	}
+	par, err := hls.CompileScheduled(det.Model, det.Name()+"/parallel", hls.Parallel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %s\n  %s\n", shared, par)
+	fmt.Printf("\n  parallel is %.1fx faster but %.1fx larger\n",
+		float64(shared.Latency)/float64(par.Latency),
+		par.Res.LUTEquivalent()/shared.Res.LUTEquivalent())
+}

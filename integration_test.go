@@ -1,0 +1,172 @@
+// Integration tests: end-to-end paths across package boundaries,
+// mirroring what the cmd tools and examples do.
+package repro_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/hls"
+	"repro/internal/micro"
+	"repro/internal/mlearn/describe"
+	"repro/internal/mlearn/zoo"
+	"repro/internal/workload"
+)
+
+// TestEndToEndPipeline drives the complete system: collect under the
+// PMU constraint, split, rank, train, evaluate, serialise, lower to
+// hardware, and monitor — every subsystem in one flow.
+func TestEndToEndPipeline(t *testing.T) {
+	// 1. Collect.
+	cfg := collect.Small()
+	cfg.Suite.AppsPerFamily = 4
+	cfg.Intervals = 10
+	res, err := collect.Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RunsPerApp != 11 {
+		t.Fatalf("PMU constraint broken: %d runs per app", res.RunsPerApp)
+	}
+
+	// 2. Split + rank + train.
+	b, err := core.NewBuilder(res.Data, 0.7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := b.Build("REPTree", zoo.Boosted, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Evaluate: must beat chance clearly on unknown applications.
+	r, err := b.Evaluate(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accuracy < 0.6 || r.AUC < 0.6 {
+		t.Fatalf("end-to-end detector too weak: acc %.3f auc %.3f", r.Accuracy, r.AUC)
+	}
+
+	// 4. Serialise and reload; predictions must survive.
+	var buf bytes.Buffer
+	if err := core.SaveDetector(&buf, det); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.LoadDetector(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 5. Lower to hardware: the netlist must agree with the software
+	//    model on real held-out HPC vectors.
+	nl, err := hls.BuildNetlist(loaded.Model, loaded.Name(), loaded.HPCs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := make([]string, loaded.HPCs())
+	for i, ev := range loaded.Events {
+		cols[i] = ev.String()
+	}
+	testK, err := b.Test().SelectNames(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i := range testK.X {
+		in := make([]int64, len(testK.X[i]))
+		for j, v := range testK.X[i] {
+			in[j] = int64(v)
+		}
+		bit, err := nl.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(bit) == loaded.Classify(testK.X[i]) {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(testK.NumRows()); frac < 0.97 {
+		t.Fatalf("hardware/software agreement %.3f on real HPC vectors", frac)
+	}
+	if v := nl.Verilog(); len(v) == 0 {
+		t.Fatal("empty Verilog")
+	}
+
+	// 6. The model is explainable.
+	if txt := describe.Model(loaded.Model, cols, dataset.BinaryClassNames()); len(txt) < 40 {
+		t.Fatalf("model description suspiciously short: %q", txt)
+	}
+
+	// 7. Deploy as a run-time monitor over an unseen app.
+	mon, err := core.NewMonitor(loaded, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam, _ := workload.FamilyByName("script-python")
+	app := fam.Instantiate(77, 0xFACE)
+	run := app.NewRun(0)
+	mach := micro.NewMachine(micro.FastConfig(), run.MachineSeed())
+	verdicts, err := mon.Watch(mach, run, 12, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 12 {
+		t.Fatalf("got %d verdicts", len(verdicts))
+	}
+}
+
+// TestCollectTrainViaARFF exercises the hmd-collect -> hmd-train file
+// hand-off: a dataset that round-trips through ARFF must train to the
+// same detector behaviour.
+func TestCollectTrainViaARFF(t *testing.T) {
+	cfg := collect.Small()
+	cfg.Suite.AppsPerFamily = 3
+	cfg.Intervals = 8
+	res, err := collect.Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := res.Data.WriteARFF(&buf, "it"); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := dataset.ReadARFF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bDirect, err := core.NewBuilder(res.Data, 0.7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bFile, err := core.NewBuilder(reloaded, 0.7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := bDirect.Build("J48", zoo.General, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := bFile.Build("J48", zoo.General, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := bDirect.Evaluate(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := bFile.Evaluate(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ARFF round-trip is lossless and the pipeline deterministic,
+	// so the results must be identical.
+	if r1 != r2 {
+		t.Fatalf("ARFF hand-off changed results: %+v vs %+v", r1, r2)
+	}
+}

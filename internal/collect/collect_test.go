@@ -1,0 +1,144 @@
+package collect
+
+import (
+	"testing"
+
+	"repro/internal/micro"
+	"repro/internal/workload"
+)
+
+func TestCollectSmall(t *testing.T) {
+	res, err := Collect(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Data
+	apps := workload.Suite(workload.SmallSuite())
+	wantRows := len(apps) * Small().Intervals
+	if d.NumRows() != wantRows {
+		t.Fatalf("rows = %d, want %d", d.NumRows(), wantRows)
+	}
+	if d.NumAttrs() != int(micro.NumEvents) {
+		t.Fatalf("attrs = %d, want %d", d.NumAttrs(), micro.NumEvents)
+	}
+	if res.RunsPerApp != 11 {
+		t.Errorf("RunsPerApp = %d, want 11 (44 events / 4 registers)", res.RunsPerApp)
+	}
+	if res.Containers != len(apps)*11 {
+		t.Errorf("containers = %d, want %d", res.Containers, len(apps)*11)
+	}
+	counts := d.ClassCounts()
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatal("collection must produce both classes")
+	}
+
+	// Sanity: instructions column should be positive everywhere, and
+	// every attribute should be non-constant somewhere across rows.
+	instrCol, ok := d.AttrIndex("instructions")
+	if !ok {
+		t.Fatal("instructions attribute missing")
+	}
+	for i := range d.X {
+		if d.X[i][instrCol] <= 0 {
+			t.Fatalf("row %d has non-positive instruction count", i)
+		}
+	}
+	for j := range d.Attributes {
+		first := d.X[0][j]
+		varies := false
+		for i := range d.X {
+			if d.X[i][j] != first {
+				varies = true
+				break
+			}
+		}
+		if !varies {
+			t.Errorf("attribute %s is constant across the whole dataset", d.Attributes[j].Name)
+		}
+	}
+}
+
+func TestCollectDeterminism(t *testing.T) {
+	cfg := Small()
+	cfg.Suite.AppsPerFamily = 1
+	cfg.Intervals = 4
+	a, err := Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Data.NumRows() != b.Data.NumRows() {
+		t.Fatal("row counts differ")
+	}
+	for i := range a.Data.X {
+		for j := range a.Data.X[i] {
+			if a.Data.X[i][j] != b.Data.X[i][j] {
+				t.Fatalf("value (%d,%d) differs between identical passes", i, j)
+			}
+		}
+	}
+}
+
+func TestCollectParallelMatchesSerial(t *testing.T) {
+	cfg := Small()
+	cfg.Suite.AppsPerFamily = 1
+	cfg.Intervals = 4
+
+	serial := cfg
+	serial.Parallelism = 1
+	parallel := cfg
+	parallel.Parallelism = 8
+
+	a, err := Collect(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collect(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data.X {
+		if a.Data.Groups[i] != b.Data.Groups[i] {
+			t.Fatal("row order differs between serial and parallel collection")
+		}
+		for j := range a.Data.X[i] {
+			if a.Data.X[i][j] != b.Data.X[i][j] {
+				t.Fatal("values differ between serial and parallel collection")
+			}
+		}
+	}
+}
+
+func TestCollectEventSubset(t *testing.T) {
+	cfg := Small()
+	cfg.Suite.AppsPerFamily = 1
+	cfg.Intervals = 3
+	cfg.Events = []micro.EventID{micro.EvBranchInstructions, micro.EvInstructions}
+	res, err := Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Data.NumAttrs() != 2 {
+		t.Fatalf("attrs = %d, want 2", res.Data.NumAttrs())
+	}
+	if res.RunsPerApp != 1 {
+		t.Errorf("2 events fit one batch; RunsPerApp = %d", res.RunsPerApp)
+	}
+}
+
+func TestCollectBadConfig(t *testing.T) {
+	cfg := Small()
+	cfg.Intervals = 0
+	if _, err := Collect(cfg); err == nil {
+		t.Error("zero intervals should fail")
+	}
+	cfg = Small()
+	cfg.Suite.AppsPerFamily = -1 // Suite treats <=0 as default, so force empty via events
+	cfg.Events = []micro.EventID{micro.EventID(999)}
+	if _, err := Collect(cfg); err == nil {
+		t.Error("invalid event should fail")
+	}
+}

@@ -1,0 +1,309 @@
+// Package core is the hardware-based malware detection (HMD) framework
+// — the paper's primary contribution assembled from the substrates: it
+// builds detectors (feature-reduced ML classifiers, general or
+// ensemble) from collected HPC datasets, evaluates them, and runs them
+// as run-time monitors that consume a stream of 10 ms HPC samples
+// through the 4-register PMU.
+//
+// The central constraint is enforced at the type level: a Detector
+// carries the exact HPC events it needs, and NewMonitor refuses to
+// build a run-time monitor for a detector that needs more events than
+// the PMU has counter registers — such a detector would require
+// multiple executions of the same program, which is not a run-time
+// solution (the paper's core argument).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/features"
+	"repro/internal/micro"
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/zoo"
+	"repro/internal/perf"
+)
+
+// Detector is a trained, feature-reduced malware detector.
+type Detector struct {
+	// BaseName is the underlying classifier ("J48", "OneR", ...).
+	BaseName string
+	// Variant is General, Boosted or Bagged.
+	Variant zoo.Variant
+	// Events are the HPC events the detector consumes, in feature
+	// order. len(Events) is the detector's "number of HPCs".
+	Events []micro.EventID
+	// Model is the trained classifier; its input vector order matches
+	// Events.
+	Model mlearn.Classifier
+}
+
+// Name returns a paper-style label like "4HPC-Boosted-JRip".
+func (d *Detector) Name() string {
+	if d.Variant == zoo.General {
+		return fmt.Sprintf("%dHPC-%s", len(d.Events), d.BaseName)
+	}
+	return fmt.Sprintf("%dHPC-%s-%s", len(d.Events), d.Variant, d.BaseName)
+}
+
+// HPCs returns the number of hardware counters the detector needs.
+func (d *Detector) HPCs() int { return len(d.Events) }
+
+// Classify returns the predicted class (0 benign, 1 malware) for one
+// sample vector ordered like Events.
+func (d *Detector) Classify(x []float64) int { return mlearn.Predict(d.Model, x) }
+
+// Score returns P(malware) for one sample vector.
+func (d *Detector) Score(x []float64) float64 { return mlearn.Score(d.Model, x) }
+
+// RunTimeCapable reports whether the detector can run with a single
+// pass of the PMU — the paper's practicality criterion.
+func (d *Detector) RunTimeCapable() bool { return len(d.Events) <= perf.NumCounters }
+
+// Builder trains detectors from a labelled dataset whose attributes are
+// named after HPC events (as produced by the collect package). Feature
+// ranking is computed once, on the training split only.
+type Builder struct {
+	train *dataset.Instances
+	test  *dataset.Instances
+	// ranked column indices into the training dataset, best first.
+	ranked []int
+	// Seed drives all stochastic elements of training.
+	Seed uint64
+	// Iterations for ensemble variants (0 = WEKA default 10).
+	Iterations int
+}
+
+// NewBuilder splits data at application level (trainFrac per class,
+// the paper's 70/30 protocol) and computes the correlation feature
+// ranking on the training side.
+func NewBuilder(data *dataset.Instances, trainFrac float64, seed uint64) (*Builder, error) {
+	train, test, err := data.SplitByGroup(trainFrac, seed)
+	if err != nil {
+		return nil, err
+	}
+	ranked, err := features.TopK(train, train.NumAttrs())
+	if err != nil {
+		return nil, err
+	}
+	return &Builder{train: train, test: test, ranked: ranked, Seed: seed}, nil
+}
+
+// Train returns the training split (for inspection and custom
+// experiments).
+func (b *Builder) Train() *dataset.Instances { return b.train }
+
+// Test returns the held-out split of unknown applications.
+func (b *Builder) Test() *dataset.Instances { return b.test }
+
+// TopEvents returns the k best events by correlation ranking.
+func (b *Builder) TopEvents(k int) ([]micro.EventID, error) {
+	if k <= 0 || k > len(b.ranked) {
+		return nil, fmt.Errorf("core: k=%d out of range (1..%d)", k, len(b.ranked))
+	}
+	evs := make([]micro.EventID, k)
+	for i := 0; i < k; i++ {
+		name := b.train.Attributes[b.ranked[i]].Name
+		ev, ok := micro.EventByName(name)
+		if !ok {
+			return nil, fmt.Errorf("core: attribute %q is not a known HPC event", name)
+		}
+		evs[i] = ev
+	}
+	return evs, nil
+}
+
+// Build trains a detector on the top-k HPC features.
+func (b *Builder) Build(baseName string, variant zoo.Variant, k int) (*Detector, error) {
+	evs, err := b.TopEvents(k)
+	if err != nil {
+		return nil, err
+	}
+	cols := b.ranked[:k]
+	trainK, err := b.train.Select(cols)
+	if err != nil {
+		return nil, err
+	}
+	trainer, err := zoo.NewVariant(baseName, variant, b.Iterations, b.Seed)
+	if err != nil {
+		return nil, err
+	}
+	model, err := trainer.Train(trainK, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: training %s: %v", baseName, err)
+	}
+	return &Detector{BaseName: baseName, Variant: variant, Events: evs, Model: model}, nil
+}
+
+// Evaluate measures a detector on the held-out split, returning the
+// paper's metrics (accuracy, AUC, ACC*AUC via Result.Performance).
+func (b *Builder) Evaluate(d *Detector) (eval.Result, error) {
+	cols := b.ranked[:len(d.Events)]
+	testK, err := b.test.Select(cols)
+	if err != nil {
+		return eval.Result{}, err
+	}
+	return eval.Measure(d.Model, testK)
+}
+
+// ROC builds the detector's ROC curve on the held-out split.
+func (b *Builder) ROC(d *Detector) (*eval.ROC, error) {
+	cols := b.ranked[:len(d.Events)]
+	testK, err := b.test.Select(cols)
+	if err != nil {
+		return nil, err
+	}
+	return eval.BuildROC(d.Model, testK)
+}
+
+// OperatingPoint is a calibrated decision threshold with its measured
+// rates on the held-out split.
+type OperatingPoint struct {
+	Threshold float64 // score >= Threshold flags malware
+	TPR       float64 // true-positive rate at that threshold
+	FPR       float64 // false-positive rate at that threshold
+}
+
+// CalibrateThreshold selects the detector's operating point for a
+// deployment false-positive budget: the threshold maximising TPR
+// subject to FPR <= targetFPR on the held-out applications. Security
+// operators reason in FPR budgets (alarms per hour), not accuracy; the
+// returned threshold feeds NewMonitor.
+func (b *Builder) CalibrateThreshold(d *Detector, targetFPR float64) (OperatingPoint, error) {
+	if targetFPR < 0 || targetFPR > 1 {
+		return OperatingPoint{}, errors.New("core: targetFPR must be in [0,1]")
+	}
+	roc, err := b.ROC(d)
+	if err != nil {
+		return OperatingPoint{}, err
+	}
+	best := OperatingPoint{Threshold: math.Inf(1), TPR: 0, FPR: 0}
+	for _, p := range roc.Points {
+		if p.FPR <= targetFPR && p.TPR > best.TPR {
+			best = OperatingPoint{Threshold: p.Threshold, TPR: p.TPR, FPR: p.FPR}
+		}
+	}
+	return best, nil
+}
+
+// Verdict is one monitoring decision.
+type Verdict struct {
+	Interval int
+	// Score is the windowed malware score in [0,1].
+	Score float64
+	// Malware is the thresholded decision over the window.
+	Malware bool
+}
+
+// Monitor is the run-time detection engine: it owns a PMU programming
+// for the detector's events and classifies each sampling interval,
+// smoothing decisions over a sliding window of recent samples (flagging
+// a program on a single noisy 10 ms interval would be jumpy; the
+// window is the detection-delay/stability knob).
+type Monitor struct {
+	det       *Detector
+	group     perf.Group
+	window    int
+	threshold float64
+	history   []float64
+	interval  int
+}
+
+// NewMonitor builds a run-time monitor. The detector must fit the PMU
+// (at most perf.NumCounters events); window is the number of recent
+// samples averaged (<=0 means 5); threshold is the mean score above
+// which the window is flagged (<=0 means 0.5).
+func NewMonitor(d *Detector, window int, threshold float64) (*Monitor, error) {
+	if !d.RunTimeCapable() {
+		return nil, fmt.Errorf("core: detector %s needs %d HPCs but the PMU has %d registers; not run-time capable",
+			d.Name(), d.HPCs(), perf.NumCounters)
+	}
+	g, err := perf.NewGroup(d.Events...)
+	if err != nil {
+		return nil, err
+	}
+	if window <= 0 {
+		window = 5
+	}
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	return &Monitor{det: d, group: g, window: window, threshold: threshold}, nil
+}
+
+// Detector returns the monitored detector.
+func (m *Monitor) Detector() *Detector { return m.det }
+
+// Observe consumes one interval's raw HPC readings (ordered like the
+// detector's events) and returns the windowed verdict.
+func (m *Monitor) Observe(values []uint64) (Verdict, error) {
+	if len(values) != len(m.det.Events) {
+		return Verdict{}, errors.New("core: sample width does not match detector events")
+	}
+	x := make([]float64, len(values))
+	for i, v := range values {
+		x[i] = float64(v)
+	}
+	s := m.det.Score(x)
+	m.history = append(m.history, s)
+	if len(m.history) > m.window {
+		m.history = m.history[len(m.history)-m.window:]
+	}
+	mean := 0.0
+	for _, v := range m.history {
+		mean += v
+	}
+	mean /= float64(len(m.history))
+	v := Verdict{Interval: m.interval, Score: mean, Malware: mean >= m.threshold}
+	m.interval++
+	return v, nil
+}
+
+// Reset clears the sliding window (e.g. when the monitored process
+// changes).
+func (m *Monitor) Reset() {
+	m.history = m.history[:0]
+	m.interval = 0
+}
+
+// DetectionDelay returns the index of the first interval at which the
+// monitor sustained `sustain` consecutive malware verdicts (the
+// paper's detection-delay concern: a hardware detector is only useful
+// if it flags malware within a few sampling periods). Returns -1 when
+// the stream never sustains a detection.
+func DetectionDelay(verdicts []Verdict, sustain int) int {
+	if sustain <= 0 {
+		sustain = 1
+	}
+	run := 0
+	for i, v := range verdicts {
+		if v.Malware {
+			run++
+			if run >= sustain {
+				return i - sustain + 1
+			}
+		} else {
+			run = 0
+		}
+	}
+	return -1
+}
+
+// Watch runs prog on machine mach for n intervals, sampling the
+// detector's events each interval and returning the verdict stream —
+// the complete run-time detection loop of Figure 2 in one call.
+func (m *Monitor) Watch(mach *micro.Machine, prog perf.Program, n int, cycleBudget uint64) ([]Verdict, error) {
+	samples := perf.SampleRun(mach, prog, m.group, n, cycleBudget)
+	verdicts := make([]Verdict, 0, len(samples))
+	for _, s := range samples {
+		v, err := m.Observe(s.Values)
+		if err != nil {
+			return nil, err
+		}
+		verdicts = append(verdicts, v)
+	}
+	return verdicts, nil
+}

@@ -1,0 +1,402 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/collect"
+	"repro/internal/dataset"
+	"repro/internal/micro"
+	"repro/internal/mlearn/zoo"
+	"repro/internal/perf"
+	"repro/internal/workload"
+)
+
+var (
+	testDataOnce sync.Once
+	testData     *dataset.Instances
+)
+
+// testDataset collects a small corpus once for all core tests.
+func testDataset(t *testing.T) *dataset.Instances {
+	t.Helper()
+	testDataOnce.Do(func() {
+		cfg := collect.Small()
+		cfg.Suite.AppsPerFamily = 4
+		cfg.Intervals = 10
+		res, err := collect.Collect(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testData = res.Data
+	})
+	return testData
+}
+
+func newBuilder(t *testing.T) *Builder {
+	t.Helper()
+	b, err := NewBuilder(testDataset(t), 0.7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBuilderSplitIsAppLevel(t *testing.T) {
+	b := newBuilder(t)
+	trainApps := map[string]bool{}
+	for _, g := range b.Train().Groups {
+		trainApps[g] = true
+	}
+	for _, g := range b.Test().Groups {
+		if trainApps[g] {
+			t.Fatalf("app %q leaked into both splits", g)
+		}
+	}
+	if b.Train().NumRows() == 0 || b.Test().NumRows() == 0 {
+		t.Fatal("empty split")
+	}
+}
+
+func TestTopEventsNested(t *testing.T) {
+	b := newBuilder(t)
+	e4, err := b.TopEvents(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := b.TopEvents(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range e2 {
+		if e2[i] != e4[i] {
+			t.Fatal("HPC budgets must be nested prefixes of one ranking")
+		}
+	}
+	if _, err := b.TopEvents(0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := b.TopEvents(999); err == nil {
+		t.Error("k too large should fail")
+	}
+}
+
+func TestBuildAndEvaluateDetector(t *testing.T) {
+	b := newBuilder(t)
+	d, err := b.Build("J48", zoo.General, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.HPCs() != 4 || !d.RunTimeCapable() {
+		t.Error("4-HPC detector should be run-time capable")
+	}
+	if !strings.Contains(d.Name(), "4HPC-J48") {
+		t.Errorf("name = %q", d.Name())
+	}
+	res, err := b.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.6 {
+		t.Errorf("accuracy = %.3f on the small corpus, want > 0.6", res.Accuracy)
+	}
+	if res.AUC < 0.5 {
+		t.Errorf("AUC = %.3f, want > 0.5", res.AUC)
+	}
+	roc, err := b.ROC(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roc.Points) < 2 {
+		t.Error("degenerate ROC")
+	}
+}
+
+func TestDetectorNames(t *testing.T) {
+	b := newBuilder(t)
+	boosted, err := b.Build("OneR", zoo.Boosted, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boosted.Name() != "2HPC-Boosted-OneR" {
+		t.Errorf("name = %q, want 2HPC-Boosted-OneR", boosted.Name())
+	}
+	bagged, err := b.Build("OneR", zoo.Bagged, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bagged.Name() != "2HPC-Bagging-OneR" {
+		t.Errorf("name = %q, want 2HPC-Bagging-OneR", bagged.Name())
+	}
+}
+
+func TestMonitorRejectsWideDetectors(t *testing.T) {
+	b := newBuilder(t)
+	wide, err := b.Build("J48", zoo.General, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.RunTimeCapable() {
+		t.Fatal("8-HPC detector must not be run-time capable on a 4-register PMU")
+	}
+	if _, err := NewMonitor(wide, 5, 0.5); err == nil {
+		t.Fatal("NewMonitor must reject detectors wider than the PMU")
+	}
+}
+
+func TestMonitorWatchFlagsMalware(t *testing.T) {
+	b := newBuilder(t)
+	det, err := b.Build("J48", zoo.General, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(det, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Watch one malware app and one benign app from *outside* the
+	// training suite seed, counting windowed flags.
+	mal, _ := workload.FamilyByName("elf-spinprobe")
+	ben, _ := workload.FamilyByName("mibench-kernel")
+	malApp := mal.Instantiate(99, 0xFEED)
+	benApp := ben.Instantiate(99, 0xFEED)
+
+	flagRate := func(app workload.App) float64 {
+		run := app.NewRun(0)
+		mach := micro.NewMachine(micro.FastConfig(), run.MachineSeed())
+		mon.Reset()
+		verdicts, err := mon.Watch(mach, run, 20, 8000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(verdicts) != 20 {
+			t.Fatalf("got %d verdicts", len(verdicts))
+		}
+		flags := 0
+		for _, v := range verdicts[5:] { // skip window warm-up
+			if v.Malware {
+				flags++
+			}
+		}
+		return float64(flags) / float64(len(verdicts)-5)
+	}
+
+	malRate := flagRate(malApp)
+	benRate := flagRate(benApp)
+	if malRate <= benRate {
+		t.Errorf("malware flag rate (%.2f) should exceed benign (%.2f)", malRate, benRate)
+	}
+}
+
+func TestMonitorObserveValidation(t *testing.T) {
+	b := newBuilder(t)
+	det, err := b.Build("OneR", zoo.General, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(det, 0, 0) // defaults
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.Observe([]uint64{1, 2, 3}); err == nil {
+		t.Error("wrong-width sample should fail")
+	}
+	v, err := mon.Observe([]uint64{100, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Interval != 0 {
+		t.Error("first interval should be 0")
+	}
+	v2, _ := mon.Observe([]uint64{100, 50})
+	if v2.Interval != 1 {
+		t.Error("interval should advance")
+	}
+	mon.Reset()
+	v3, _ := mon.Observe([]uint64{100, 50})
+	if v3.Interval != 0 {
+		t.Error("reset should rewind intervals")
+	}
+}
+
+func TestMonitorEventsFitPMU(t *testing.T) {
+	b := newBuilder(t)
+	det, err := b.Build("REPTree", zoo.Boosted, perf.NumCounters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(det, 3, 0.5)
+	if err != nil {
+		t.Fatalf("max-width detector should fit the PMU: %v", err)
+	}
+	if mon.Detector() != det {
+		t.Error("Detector() accessor wrong")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	b := newBuilder(t)
+	if _, err := b.Build("NotReal", zoo.General, 2); err == nil {
+		t.Error("unknown classifier should fail")
+	}
+	if _, err := b.Build("J48", zoo.General, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := NewBuilder(testDataset(t), 1.5, 1); err == nil {
+		t.Error("bad trainFrac should fail")
+	}
+}
+
+func TestDetectionDelay(t *testing.T) {
+	mk := func(bits ...int) []Verdict {
+		vs := make([]Verdict, len(bits))
+		for i, b := range bits {
+			vs[i] = Verdict{Interval: i, Malware: b == 1}
+		}
+		return vs
+	}
+	if d := DetectionDelay(mk(0, 0, 1, 1, 1, 0), 3); d != 2 {
+		t.Errorf("delay = %d, want 2", d)
+	}
+	if d := DetectionDelay(mk(1, 0, 1, 0, 1), 2); d != -1 {
+		t.Errorf("unsustained flags: delay = %d, want -1", d)
+	}
+	if d := DetectionDelay(mk(1, 1), 1); d != 0 {
+		t.Errorf("immediate: delay = %d, want 0", d)
+	}
+	if d := DetectionDelay(nil, 3); d != -1 {
+		t.Errorf("empty: delay = %d, want -1", d)
+	}
+	// sustain <= 0 behaves as 1.
+	if d := DetectionDelay(mk(0, 1), 0); d != 1 {
+		t.Errorf("sustain=0: delay = %d, want 1", d)
+	}
+}
+
+func TestEvasionDegradesDetection(t *testing.T) {
+	// Train a detector on the standard corpus, then measure its flag
+	// rate on plain vs heavily evasive malware. Evasion must reduce
+	// detection — the robustness result the extension exists for.
+	b := newBuilder(t)
+	det, err := b.Build("J48", zoo.General, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(det, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagRate := func(apps []workload.App) float64 {
+		flagged, total := 0, 0
+		for _, app := range apps {
+			run := app.NewRun(0)
+			mach := micro.NewMachine(micro.FastConfig(), run.MachineSeed())
+			mon.Reset()
+			verdicts, err := mon.Watch(mach, run, 12, 8000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range verdicts[3:] {
+				total++
+				if v.Malware {
+					flagged++
+				}
+			}
+		}
+		return float64(flagged) / float64(total)
+	}
+	plain := flagRate(workload.EvasiveSuite(0, 3, 0x77))
+	evasive := flagRate(workload.EvasiveSuite(0.9, 3, 0x77))
+	if evasive >= plain {
+		t.Errorf("evasion should reduce detection: plain %.2f vs evasive %.2f", plain, evasive)
+	}
+}
+
+func TestDetectorSaveLoadRoundTrip(t *testing.T) {
+	b := newBuilder(t)
+	det, err := b.Build("REPTree", zoo.Boosted, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveDetector(&buf, det); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDetector(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name() != det.Name() {
+		t.Errorf("name %q != %q after round-trip", loaded.Name(), det.Name())
+	}
+	if len(loaded.Events) != len(det.Events) {
+		t.Fatal("events lost")
+	}
+	for i := range det.Events {
+		if loaded.Events[i] != det.Events[i] {
+			t.Fatal("event order changed")
+		}
+	}
+	// Identical predictions on the held-out data.
+	cols4 := b.ranked[:4]
+	testK, _ := b.Test().Select(cols4)
+	for i := range testK.X {
+		if det.Classify(testK.X[i]) != loaded.Classify(testK.X[i]) {
+			t.Fatal("loaded detector disagrees with the original")
+		}
+	}
+
+	if err := SaveDetector(&buf, nil); err == nil {
+		t.Error("nil detector should fail")
+	}
+	if _, err := LoadDetector(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func TestCalibrateThreshold(t *testing.T) {
+	b := newBuilder(t)
+	det, err := b.Build("BayesNet", zoo.General, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A loose budget admits more detections than a tight one.
+	loose, err := b.CalibrateThreshold(det, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := b.CalibrateThreshold(det, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.FPR > 0.3+1e-9 || tight.FPR > 0.02+1e-9 {
+		t.Errorf("budgets violated: loose FPR %.3f, tight FPR %.3f", loose.FPR, tight.FPR)
+	}
+	if loose.TPR < tight.TPR {
+		t.Errorf("loose budget should not reduce TPR: %.3f vs %.3f", loose.TPR, tight.TPR)
+	}
+	if _, err := b.CalibrateThreshold(det, -0.1); err == nil {
+		t.Error("negative budget should fail")
+	}
+
+	// The calibrated threshold must actually achieve the measured FPR
+	// when applied directly to the held-out scores.
+	cols4 := b.ranked[:4]
+	testK, _ := b.Test().Select(cols4)
+	fp, neg := 0, 0
+	for i := range testK.X {
+		if testK.Y[i] == 0 {
+			neg++
+			if det.Score(testK.X[i]) >= tight.Threshold {
+				fp++
+			}
+		}
+	}
+	measured := float64(fp) / float64(neg)
+	if measured > tight.FPR+1e-9 {
+		t.Errorf("re-applied threshold gives FPR %.4f, calibrated %.4f", measured, tight.FPR)
+	}
+}

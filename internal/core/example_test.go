@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/micro"
+	"repro/internal/mlearn/zoo"
+	"repro/internal/workload"
+)
+
+// Example shows the complete pipeline: collect a corpus under the
+// 4-register PMU constraint, train a run-time-capable boosted detector
+// on the 2 most important counters, and monitor an unseen program.
+func Example() {
+	// Collect a small corpus (tests use reduced scale; see
+	// collect.Default for paper scale).
+	cfg := collect.Small()
+	cfg.Suite.AppsPerFamily = 4
+	res, err := collect.Collect(cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	// 70/30 split at application level, correlation feature ranking.
+	b, err := core.NewBuilder(res.Data, 0.7, 1)
+	if err != nil {
+		panic(err)
+	}
+
+	// A 2-HPC AdaBoost detector fits the PMU.
+	det, err := b.Build("REPTree", zoo.Boosted, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("detector:", det.Name())
+	fmt.Println("run-time capable:", det.RunTimeCapable())
+
+	// Monitor an unseen malware sample.
+	fam, _ := workload.FamilyByName("elf-spinprobe")
+	app := fam.Instantiate(123, 0xABC)
+	run := app.NewRun(0)
+	mach := micro.NewMachine(micro.FastConfig(), run.MachineSeed())
+	mon, err := core.NewMonitor(det, 5, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	verdicts, err := mon.Watch(mach, run, 16, 8000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("monitored intervals:", len(verdicts))
+
+	// Output:
+	// detector: 2HPC-Boosted-REPTree
+	// run-time capable: true
+	// monitored intervals: 16
+}
+
+// ExampleNewMonitor_rejectsWideDetectors demonstrates the run-time
+// constraint: a 16-HPC detector cannot be deployed on a 4-register PMU.
+func ExampleNewMonitor_rejectsWideDetectors() {
+	cfg := collect.Small()
+	cfg.Suite.AppsPerFamily = 3
+	res, err := collect.Collect(cfg)
+	if err != nil {
+		panic(err)
+	}
+	b, err := core.NewBuilder(res.Data, 0.7, 1)
+	if err != nil {
+		panic(err)
+	}
+	wide, err := b.Build("J48", zoo.General, 16)
+	if err != nil {
+		panic(err)
+	}
+	_, err = core.NewMonitor(wide, 5, 0.5)
+	fmt.Println(err != nil)
+	// Output:
+	// true
+}
+
+// ExampleDetectionDelay computes how quickly a verdict stream sustains
+// a detection.
+func ExampleDetectionDelay() {
+	verdicts := []core.Verdict{
+		{Interval: 0, Malware: false},
+		{Interval: 1, Malware: true},
+		{Interval: 2, Malware: true},
+		{Interval: 3, Malware: true},
+	}
+	fmt.Println(core.DetectionDelay(verdicts, 3))
+	// Output:
+	// 1
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/micro"
+	"repro/internal/mlearn/persist"
+	"repro/internal/mlearn/zoo"
+)
+
+// detectorHeader is the serialised metadata preceding the model blob.
+type detectorHeader struct {
+	BaseName string
+	Variant  int
+	Events   []micro.EventID
+}
+
+// SaveDetector serialises a trained detector — metadata (base
+// classifier, variant, HPC events) followed by the model — so a
+// detector trained offline can be shipped to a monitoring process or
+// to the hardware flow.
+func SaveDetector(w io.Writer, d *Detector) error {
+	if d == nil || d.Model == nil {
+		return fmt.Errorf("core: nil detector")
+	}
+	enc := gob.NewEncoder(w)
+	hdr := detectorHeader{BaseName: d.BaseName, Variant: int(d.Variant), Events: d.Events}
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("core: encoding detector header: %v", err)
+	}
+	return persist.SaveInto(enc, d.Model)
+}
+
+// LoadDetector reads a detector previously written by SaveDetector.
+func LoadDetector(r io.Reader) (*Detector, error) {
+	dec := gob.NewDecoder(r)
+	var hdr detectorHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("core: decoding detector header: %v", err)
+	}
+	for _, ev := range hdr.Events {
+		if !ev.Valid() {
+			return nil, fmt.Errorf("core: detector file references unknown event %d", ev)
+		}
+	}
+	model, err := persist.LoadFrom(dec)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{
+		BaseName: hdr.BaseName,
+		Variant:  zoo.Variant(hdr.Variant),
+		Events:   hdr.Events,
+		Model:    model,
+	}, nil
+}

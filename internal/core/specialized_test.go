@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mlearn/zoo"
+)
+
+func TestFamilyOf(t *testing.T) {
+	cases := map[string]string{
+		"elf-spinprobe-03":  "elf-spinprobe",
+		"mibench-kernel-11": "mibench-kernel",
+		"solo":              "solo",
+	}
+	for in, want := range cases {
+		if got := FamilyOf(in); got != want {
+			t.Errorf("FamilyOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBuildSpecialized(t *testing.T) {
+	b := newBuilder(t)
+	det, err := b.BuildSpecialized("J48", zoo.General, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.HPCs() != 4 || !det.RunTimeCapable() {
+		t.Error("specialized ensemble should keep the same HPC budget")
+	}
+	ens, ok := det.Model.(*SpecializedEnsemble)
+	if !ok {
+		t.Fatalf("model type = %T", det.Model)
+	}
+	// The small training suite contains all five malware families.
+	if len(ens.Families) < 3 {
+		t.Errorf("only %d specialists trained", len(ens.Families))
+	}
+	if len(ens.Families) != len(ens.Models) {
+		t.Fatal("families/models misaligned")
+	}
+	// It must evaluate sanely on held-out data.
+	res, err := b.Evaluate(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.5 {
+		t.Errorf("specialized accuracy = %.3f", res.Accuracy)
+	}
+
+	// Identify returns one of the trained family names.
+	fam, score := ens.Identify(b.Test().X[0][:4])
+	if fam == "" || score < 0 || score > 1 {
+		t.Errorf("Identify returned (%q, %v)", fam, score)
+	}
+}
+
+func TestSpecializedDistributionValid(t *testing.T) {
+	b := newBuilder(t)
+	det, err := b.BuildSpecialized("OneR", zoo.General, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols2 := b.ranked[:2]
+	testK, err := b.Test().Select(cols2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range testK.X {
+		dist := det.Model.Distribution(testK.X[i])
+		if len(dist) != 2 {
+			t.Fatal("binary distribution expected")
+		}
+		if dist[0]+dist[1] < 0.999 || dist[0]+dist[1] > 1.001 {
+			t.Fatalf("distribution sums to %v", dist[0]+dist[1])
+		}
+	}
+}
+
+func TestEvaluatePerFamily(t *testing.T) {
+	b := newBuilder(t)
+	det, err := b.Build("J48", zoo.General, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := b.EvaluatePerFamily(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rates["benign"]; !ok {
+		t.Fatal("missing benign FPR entry")
+	}
+	malFams := 0
+	for fam, rate := range rates {
+		if rate < 0 || rate > 1 {
+			t.Errorf("%s: rate %v out of range", fam, rate)
+		}
+		if fam != "benign" {
+			malFams++
+		}
+	}
+	if malFams == 0 {
+		t.Fatal("no malware families in per-family evaluation")
+	}
+}
+
+func TestCompareOrganisations(t *testing.T) {
+	b := newBuilder(t)
+	mono, spec, err := b.CompareOrganisations("REPTree", zoo.General, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"mono accuracy", mono.Accuracy}, {"mono AUC", mono.AUC},
+		{"spec accuracy", spec.Accuracy}, {"spec AUC", spec.AUC},
+	} {
+		if r.v <= 0.4 || r.v > 1 {
+			t.Errorf("%s = %v out of plausible range", r.name, r.v)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteARFF serialises the dataset in WEKA's ARFF format. The source
+// application of each row is carried in an initial string attribute
+// named "app" so that a round-trip preserves group structure; the class
+// is the final nominal attribute, as WEKA expects.
+func (d *Instances) WriteARFF(w io.Writer, relation string) error {
+	bw := bufio.NewWriter(w)
+	if relation == "" {
+		relation = "hpc-malware"
+	}
+	fmt.Fprintf(bw, "@relation %s\n\n", relation)
+	fmt.Fprintf(bw, "@attribute app string\n")
+	for _, a := range d.Attributes {
+		fmt.Fprintf(bw, "@attribute %s numeric\n", a.Name)
+	}
+	fmt.Fprintf(bw, "@attribute class {%s}\n\n", strings.Join(d.ClassNames, ","))
+	fmt.Fprintln(bw, "@data")
+	for i, row := range d.X {
+		fmt.Fprintf(bw, "'%s'", d.Groups[i])
+		for _, v := range row {
+			fmt.Fprintf(bw, ",%s", strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		fmt.Fprintf(bw, ",%s\n", d.ClassNames[d.Y[i]])
+	}
+	return bw.Flush()
+}
+
+// ReadARFF parses a dataset previously produced by WriteARFF (a strict
+// subset of ARFF: one string "app" attribute, numeric features, and a
+// final nominal class attribute).
+func ReadARFF(r io.Reader) (*Instances, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var attrNames []string
+	var classNames []string
+	sawApp := false
+	inData := false
+	var d *Instances
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		lower := strings.ToLower(line)
+		switch {
+		case strings.HasPrefix(lower, "@relation"):
+			// Ignored.
+		case strings.HasPrefix(lower, "@attribute"):
+			if inData {
+				return nil, fmt.Errorf("dataset: line %d: attribute after @data", lineNo)
+			}
+			rest := strings.TrimSpace(line[len("@attribute"):])
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("dataset: line %d: malformed attribute", lineNo)
+			}
+			name := fields[0]
+			spec := strings.TrimSpace(rest[len(name):])
+			switch {
+			case strings.EqualFold(spec, "string"):
+				if name != "app" {
+					return nil, fmt.Errorf("dataset: line %d: unexpected string attribute %q", lineNo, name)
+				}
+				sawApp = true
+			case strings.EqualFold(spec, "numeric"):
+				attrNames = append(attrNames, name)
+			case strings.HasPrefix(spec, "{") && strings.HasSuffix(spec, "}"):
+				if name != "class" {
+					return nil, fmt.Errorf("dataset: line %d: nominal attribute %q is not the class", lineNo, name)
+				}
+				inner := spec[1 : len(spec)-1]
+				for _, c := range strings.Split(inner, ",") {
+					classNames = append(classNames, strings.TrimSpace(c))
+				}
+			default:
+				return nil, fmt.Errorf("dataset: line %d: unsupported attribute type %q", lineNo, spec)
+			}
+		case strings.HasPrefix(lower, "@data"):
+			if len(classNames) == 0 {
+				return nil, fmt.Errorf("dataset: line %d: @data before class attribute", lineNo)
+			}
+			d = New(attrNames, classNames)
+			inData = true
+		default:
+			if !inData {
+				return nil, fmt.Errorf("dataset: line %d: data before @data", lineNo)
+			}
+			if err := parseARFFRow(d, line, sawApp); err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %v", lineNo, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if d == nil {
+		return nil, fmt.Errorf("dataset: no @data section")
+	}
+	return d, nil
+}
+
+func parseARFFRow(d *Instances, line string, sawApp bool) error {
+	parts := splitARFF(line)
+	want := len(d.Attributes) + 1
+	if sawApp {
+		want++
+	}
+	if len(parts) != want {
+		return fmt.Errorf("row has %d fields, want %d", len(parts), want)
+	}
+	group := ""
+	if sawApp {
+		group = strings.Trim(parts[0], "'\"")
+		parts = parts[1:]
+	}
+	x := make([]float64, len(d.Attributes))
+	for i := 0; i < len(d.Attributes); i++ {
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[i]), 64)
+		if err != nil {
+			return fmt.Errorf("bad numeric value %q", parts[i])
+		}
+		x[i] = v
+	}
+	cls := strings.TrimSpace(parts[len(parts)-1])
+	y := -1
+	for ci, cn := range d.ClassNames {
+		if cn == cls {
+			y = ci
+			break
+		}
+	}
+	if y < 0 {
+		return fmt.Errorf("unknown class %q", cls)
+	}
+	return d.Add(x, y, group)
+}
+
+// splitARFF splits a data row on commas, honouring single-quoted
+// fields (app names may contain commas in principle).
+func splitARFF(line string) []string {
+	var parts []string
+	var cur strings.Builder
+	quoted := false
+	for _, r := range line {
+		switch {
+		case r == '\'':
+			quoted = !quoted
+			cur.WriteRune(r)
+		case r == ',' && !quoted:
+			parts = append(parts, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	parts = append(parts, cur.String())
+	return parts
+}
+
+// WriteCSV serialises the dataset as CSV with a header row:
+// app,<attr...>,class.
+func (d *Instances) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(d.Attributes)+2)
+	header = append(header, "app")
+	for _, a := range d.Attributes {
+		header = append(header, a.Name)
+	}
+	header = append(header, "class")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i, row := range d.X {
+		rec[0] = d.Groups[i]
+		for j, v := range row {
+			rec[j+1] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		rec[len(rec)-1] = d.ClassNames[d.Y[i]]
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset previously produced by WriteCSV. Class names
+// are taken in order of first appearance unless classNames is supplied.
+func ReadCSV(r io.Reader, classNames []string) (*Instances, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %v", err)
+	}
+	if len(header) < 3 || header[0] != "app" || header[len(header)-1] != "class" {
+		return nil, fmt.Errorf("dataset: CSV header must be app,<attrs...>,class")
+	}
+	attrs := header[1 : len(header)-1]
+
+	// First pass: read all records and establish the class vocabulary
+	// (order of first appearance when not supplied explicitly).
+	var records [][]string
+	known := append([]string(nil), classNames...)
+	classIdx := map[string]int{}
+	for i, c := range known {
+		classIdx[c] = i
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		cls := rec[len(rec)-1]
+		if _, ok := classIdx[cls]; !ok {
+			if len(classNames) > 0 {
+				return nil, fmt.Errorf("dataset: row %d: unknown class %q", len(records)+1, cls)
+			}
+			classIdx[cls] = len(known)
+			known = append(known, cls)
+		}
+		records = append(records, rec)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: empty CSV")
+	}
+
+	d := New(attrs, known)
+	for rowNo, rec := range records {
+		x := make([]float64, len(attrs))
+		for i := range attrs {
+			v, err := strconv.ParseFloat(rec[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d: bad value %q", rowNo+1, rec[i+1])
+			}
+			x[i] = v
+		}
+		if err := d.Add(x, classIdx[rec[len(rec)-1]], rec[0]); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

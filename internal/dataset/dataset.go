@@ -1,0 +1,272 @@
+// Package dataset holds labelled feature-vector collections and the
+// split/serialisation machinery the detection pipeline is built on.
+//
+// An Instances value is the Go analogue of a WEKA dataset: a list of
+// named numeric attributes, rows of feature values, a nominal class per
+// row, and — important for the paper's methodology — the application
+// each row was sampled from, so the 70/30 train/test split can be made
+// at application level ("known" vs "unknown" programs) rather than
+// sample level.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/micro"
+)
+
+// Attribute is one named numeric feature.
+type Attribute struct {
+	Name string
+}
+
+// Instances is a labelled dataset.
+type Instances struct {
+	Attributes []Attribute
+	ClassNames []string // class index -> name, e.g. ["benign", "malware"]
+
+	X      [][]float64 // rows of feature values
+	Y      []int       // class index per row
+	Groups []string    // source application per row ("" if unknown)
+}
+
+// New creates an empty dataset with the given attribute and class names.
+func New(attrNames, classNames []string) *Instances {
+	attrs := make([]Attribute, len(attrNames))
+	for i, n := range attrNames {
+		attrs[i] = Attribute{Name: n}
+	}
+	return &Instances{
+		Attributes: attrs,
+		ClassNames: append([]string(nil), classNames...),
+	}
+}
+
+// BinaryClassNames is the paper's class vocabulary.
+func BinaryClassNames() []string { return []string{"benign", "malware"} }
+
+// Add appends one labelled row. The row length must match the attribute
+// count and the class index must be valid.
+func (d *Instances) Add(x []float64, y int, group string) error {
+	if len(x) != len(d.Attributes) {
+		return fmt.Errorf("dataset: row has %d values, want %d", len(x), len(d.Attributes))
+	}
+	if y < 0 || y >= len(d.ClassNames) {
+		return fmt.Errorf("dataset: class index %d out of range", y)
+	}
+	d.X = append(d.X, append([]float64(nil), x...))
+	d.Y = append(d.Y, y)
+	d.Groups = append(d.Groups, group)
+	return nil
+}
+
+// NumRows returns the number of instances.
+func (d *Instances) NumRows() int { return len(d.X) }
+
+// NumAttrs returns the number of feature attributes.
+func (d *Instances) NumAttrs() int { return len(d.Attributes) }
+
+// NumClasses returns the number of classes.
+func (d *Instances) NumClasses() int { return len(d.ClassNames) }
+
+// ClassCounts returns the number of rows per class.
+func (d *Instances) ClassCounts() []int {
+	counts := make([]int, len(d.ClassNames))
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	return counts
+}
+
+// AttrIndex returns the index of the named attribute.
+func (d *Instances) AttrIndex(name string) (int, bool) {
+	for i, a := range d.Attributes {
+		if a.Name == name {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Select returns a new dataset containing only the given attribute
+// columns (in the given order). Rows, labels and groups are copied.
+func (d *Instances) Select(cols []int) (*Instances, error) {
+	for _, c := range cols {
+		if c < 0 || c >= len(d.Attributes) {
+			return nil, fmt.Errorf("dataset: column %d out of range", c)
+		}
+	}
+	out := &Instances{
+		Attributes: make([]Attribute, len(cols)),
+		ClassNames: append([]string(nil), d.ClassNames...),
+		X:          make([][]float64, len(d.X)),
+		Y:          append([]int(nil), d.Y...),
+		Groups:     append([]string(nil), d.Groups...),
+	}
+	for i, c := range cols {
+		out.Attributes[i] = d.Attributes[c]
+	}
+	for r, row := range d.X {
+		nr := make([]float64, len(cols))
+		for i, c := range cols {
+			nr[i] = row[c]
+		}
+		out.X[r] = nr
+	}
+	return out, nil
+}
+
+// SelectNames is Select keyed by attribute names.
+func (d *Instances) SelectNames(names []string) (*Instances, error) {
+	cols := make([]int, len(names))
+	for i, n := range names {
+		c, ok := d.AttrIndex(n)
+		if !ok {
+			return nil, fmt.Errorf("dataset: unknown attribute %q", n)
+		}
+		cols[i] = c
+	}
+	return d.Select(cols)
+}
+
+// Clone deep-copies the dataset.
+func (d *Instances) Clone() *Instances {
+	cols := make([]int, len(d.Attributes))
+	for i := range cols {
+		cols[i] = i
+	}
+	c, _ := d.Select(cols)
+	return c
+}
+
+// Shuffle permutes rows deterministically with the given seed.
+func (d *Instances) Shuffle(seed uint64) {
+	rng := micro.NewRNG(seed)
+	n := len(d.X)
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		d.X[i], d.X[j] = d.X[j], d.X[i]
+		d.Y[i], d.Y[j] = d.Y[j], d.Y[i]
+		d.Groups[i], d.Groups[j] = d.Groups[j], d.Groups[i]
+	}
+}
+
+// SplitByGroup partitions rows into train and test sets at the group
+// (application) level, stratified by class: trainFrac of each class's
+// groups go to training, the rest to test. This reproduces the paper's
+// "70% benign + 70% malware applications for training (known
+// applications), 30%+30% for testing (unknown applications)" protocol —
+// no application contributes samples to both sides.
+func (d *Instances) SplitByGroup(trainFrac float64, seed uint64) (train, test *Instances, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, errors.New("dataset: trainFrac must be in (0,1)")
+	}
+	// Map each group to its class (groups must be class-pure).
+	groupClass := map[string]int{}
+	for i, g := range d.Groups {
+		if g == "" {
+			return nil, nil, errors.New("dataset: SplitByGroup requires group labels on every row")
+		}
+		if prev, ok := groupClass[g]; ok && prev != d.Y[i] {
+			return nil, nil, fmt.Errorf("dataset: group %q contains multiple classes", g)
+		}
+		groupClass[g] = d.Y[i]
+	}
+
+	// Deterministic per-class shuffle of group names.
+	byClass := make(map[int][]string)
+	for g, c := range groupClass {
+		byClass[c] = append(byClass[c], g)
+	}
+	inTrain := map[string]bool{}
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	rng := micro.NewRNG(seed)
+	for _, c := range classes {
+		groups := byClass[c]
+		sort.Strings(groups)
+		for i := len(groups) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			groups[i], groups[j] = groups[j], groups[i]
+		}
+		nTrain := int(float64(len(groups))*trainFrac + 0.5)
+		if nTrain == 0 {
+			nTrain = 1
+		}
+		if nTrain >= len(groups) && len(groups) > 1 {
+			nTrain = len(groups) - 1
+		}
+		for i, g := range groups {
+			if i < nTrain {
+				inTrain[g] = true
+			}
+		}
+	}
+
+	train = New(attrNames(d), d.ClassNames)
+	test = New(attrNames(d), d.ClassNames)
+	for i := range d.X {
+		target := test
+		if inTrain[d.Groups[i]] {
+			target = train
+		}
+		if err := target.Add(d.X[i], d.Y[i], d.Groups[i]); err != nil {
+			return nil, nil, err
+		}
+	}
+	return train, test, nil
+}
+
+// SplitFolds partitions rows into k row-level folds (round-robin after
+// a deterministic shuffle), used internally by classifiers that need
+// grow/prune splits.
+func (d *Instances) SplitFolds(k int, seed uint64) []*Instances {
+	if k <= 1 {
+		return []*Instances{d.Clone()}
+	}
+	idx := make([]int, len(d.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := micro.NewRNG(seed)
+	for i := len(idx) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	folds := make([]*Instances, k)
+	for f := range folds {
+		folds[f] = New(attrNames(d), d.ClassNames)
+	}
+	for pos, i := range idx {
+		f := folds[pos%k]
+		_ = f.Add(d.X[i], d.Y[i], d.Groups[i])
+	}
+	return folds
+}
+
+// Merge appends all rows of other (same schema) to a copy of d.
+func (d *Instances) Merge(other *Instances) (*Instances, error) {
+	if len(other.Attributes) != len(d.Attributes) {
+		return nil, errors.New("dataset: schema mismatch in Merge")
+	}
+	out := d.Clone()
+	for i := range other.X {
+		if err := out.Add(other.X[i], other.Y[i], other.Groups[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func attrNames(d *Instances) []string {
+	names := make([]string, len(d.Attributes))
+	for i, a := range d.Attributes {
+		names[i] = a.Name
+	}
+	return names
+}

@@ -1,0 +1,336 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// tiny builds a small two-class dataset with group structure.
+func tiny(t *testing.T) *Instances {
+	t.Helper()
+	d := New([]string{"f1", "f2", "f3"}, BinaryClassNames())
+	apps := []struct {
+		name string
+		y    int
+	}{
+		{"benign-a", 0}, {"benign-b", 0}, {"benign-c", 0}, {"benign-d", 0}, {"benign-e", 0},
+		{"mal-a", 1}, {"mal-b", 1}, {"mal-c", 1}, {"mal-d", 1}, {"mal-e", 1},
+	}
+	for ai, app := range apps {
+		for s := 0; s < 4; s++ {
+			x := []float64{float64(ai), float64(s), float64(ai*10 + s)}
+			if err := d.Add(x, app.y, app.name); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return d
+}
+
+func TestAddValidation(t *testing.T) {
+	d := New([]string{"a"}, BinaryClassNames())
+	if err := d.Add([]float64{1, 2}, 0, "g"); err == nil {
+		t.Error("wrong row width should fail")
+	}
+	if err := d.Add([]float64{1}, 5, "g"); err == nil {
+		t.Error("bad class index should fail")
+	}
+	if err := d.Add([]float64{1}, 1, "g"); err != nil {
+		t.Errorf("valid add failed: %v", err)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	d := tiny(t)
+	s, err := d.Select([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumAttrs() != 2 || s.Attributes[0].Name != "f3" || s.Attributes[1].Name != "f1" {
+		t.Fatal("selected schema wrong")
+	}
+	if s.NumRows() != d.NumRows() {
+		t.Fatal("row count changed")
+	}
+	if s.X[5][0] != d.X[5][2] || s.X[5][1] != d.X[5][0] {
+		t.Fatal("selected values wrong")
+	}
+	if _, err := d.Select([]int{9}); err == nil {
+		t.Error("out-of-range column should fail")
+	}
+
+	byName, err := d.SelectNames([]string{"f2"})
+	if err != nil || byName.Attributes[0].Name != "f2" {
+		t.Fatal("SelectNames failed")
+	}
+	if _, err := d.SelectNames([]string{"zzz"}); err == nil {
+		t.Error("unknown name should fail")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := tiny(t)
+	c := d.Clone()
+	c.X[0][0] = 999
+	c.Y[0] = 1
+	if d.X[0][0] == 999 || d.Y[0] == 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestSplitByGroupProtocol(t *testing.T) {
+	d := tiny(t)
+	train, test, err := d.SplitByGroup(0.7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.NumRows()+test.NumRows() != d.NumRows() {
+		t.Fatal("split lost rows")
+	}
+	// No group may appear on both sides.
+	trainGroups := map[string]bool{}
+	for _, g := range train.Groups {
+		trainGroups[g] = true
+	}
+	for _, g := range test.Groups {
+		if trainGroups[g] {
+			t.Fatalf("group %q appears in both train and test", g)
+		}
+	}
+	// Stratified: both sides contain both classes.
+	for name, part := range map[string]*Instances{"train": train, "test": test} {
+		counts := part.ClassCounts()
+		if counts[0] == 0 || counts[1] == 0 {
+			t.Errorf("%s split missing a class: %v", name, counts)
+		}
+	}
+	// 70% of 5 groups per class = 3.5 -> 4 train, 1 test (x4 samples).
+	if len(train.Groups) <= len(test.Groups) {
+		t.Error("train split should be larger")
+	}
+}
+
+func TestSplitByGroupDeterminism(t *testing.T) {
+	d := tiny(t)
+	tr1, te1, _ := d.SplitByGroup(0.7, 9)
+	tr2, te2, _ := d.SplitByGroup(0.7, 9)
+	if tr1.NumRows() != tr2.NumRows() || te1.NumRows() != te2.NumRows() {
+		t.Fatal("same seed produced different splits")
+	}
+	for i := range tr1.Groups {
+		if tr1.Groups[i] != tr2.Groups[i] {
+			t.Fatal("same seed produced different group assignment")
+		}
+	}
+}
+
+func TestSplitByGroupErrors(t *testing.T) {
+	d := tiny(t)
+	if _, _, err := d.SplitByGroup(0, 1); err == nil {
+		t.Error("trainFrac 0 should fail")
+	}
+	if _, _, err := d.SplitByGroup(1, 1); err == nil {
+		t.Error("trainFrac 1 should fail")
+	}
+	bad := New([]string{"a"}, BinaryClassNames())
+	_ = bad.Add([]float64{1}, 0, "")
+	if _, _, err := bad.SplitByGroup(0.7, 1); err == nil {
+		t.Error("missing group labels should fail")
+	}
+	mixed := New([]string{"a"}, BinaryClassNames())
+	_ = mixed.Add([]float64{1}, 0, "g")
+	_ = mixed.Add([]float64{2}, 1, "g")
+	if _, _, err := mixed.SplitByGroup(0.7, 1); err == nil {
+		t.Error("class-impure group should fail")
+	}
+}
+
+func TestSplitFolds(t *testing.T) {
+	d := tiny(t)
+	folds := d.SplitFolds(3, 5)
+	if len(folds) != 3 {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	total := 0
+	for _, f := range folds {
+		total += f.NumRows()
+	}
+	if total != d.NumRows() {
+		t.Fatal("folds lost rows")
+	}
+	// Sizes within 1 of each other.
+	if diff := folds[0].NumRows() - folds[2].NumRows(); diff < 0 || diff > 1 {
+		t.Errorf("unbalanced folds: %d vs %d", folds[0].NumRows(), folds[2].NumRows())
+	}
+	one := d.SplitFolds(1, 5)
+	if len(one) != 1 || one[0].NumRows() != d.NumRows() {
+		t.Error("k=1 should return a full copy")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	d := tiny(t)
+	a := d.Clone()
+	b := d.Clone()
+	m, err := a.Merge(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows() != 2*d.NumRows() {
+		t.Fatal("merge row count wrong")
+	}
+	bad := New([]string{"x", "y"}, BinaryClassNames())
+	if _, err := a.Merge(bad); err == nil {
+		t.Error("schema mismatch should fail")
+	}
+}
+
+func TestShuffleKeepsAlignment(t *testing.T) {
+	d := tiny(t)
+	// Build an oracle: feature f1 encodes the app index, which maps to
+	// the class; shuffling must keep x/y/group rows aligned.
+	d.Shuffle(77)
+	for i := range d.X {
+		ai := int(d.X[i][0])
+		wantMal := ai >= 5
+		if (d.Y[i] == 1) != wantMal {
+			t.Fatal("shuffle misaligned X and Y")
+		}
+		if wantMal && !strings.HasPrefix(d.Groups[i], "mal") {
+			t.Fatal("shuffle misaligned groups")
+		}
+	}
+}
+
+func TestARFFRoundTrip(t *testing.T) {
+	d := tiny(t)
+	var buf bytes.Buffer
+	if err := d.WriteARFF(&buf, "unit-test"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadARFF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualData(t, d, got)
+}
+
+func TestARFFParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no data":        "@relation r\n@attribute a numeric\n@attribute class {x,y}\n",
+		"data early":     "@relation r\n1,x\n",
+		"bad attr":       "@relation r\n@attribute broken\n",
+		"bad class name": "@relation r\n@attribute a numeric\n@attribute notclass {x,y}\n@data\n1,x\n",
+		"bad value":      "@relation r\n@attribute a numeric\n@attribute class {x,y}\n@data\nfoo,x\n",
+		"bad class":      "@relation r\n@attribute a numeric\n@attribute class {x,y}\n@data\n1,z\n",
+		"short row":      "@relation r\n@attribute a numeric\n@attribute b numeric\n@attribute class {x,y}\n@data\n1,x\n",
+	}
+	for name, text := range cases {
+		if _, err := ReadARFF(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := tiny(t)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, BinaryClassNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualData(t, d, got)
+
+	// Implicit class vocabulary (order of first appearance).
+	var buf2 bytes.Buffer
+	_ = d.WriteCSV(&buf2)
+	got2, err := ReadCSV(&buf2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.NumRows() != d.NumRows() {
+		t.Fatal("implicit-class CSV read lost rows")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("x,y\n"), nil); err == nil {
+		t.Error("bad header should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("app,a,class\n"), nil); err == nil {
+		t.Error("empty body should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("app,a,class\ng,zz,benign\n"), nil); err == nil {
+		t.Error("bad numeric should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("app,a,class\ng,1,weird\n"), BinaryClassNames()); err == nil {
+		t.Error("unknown class with explicit vocabulary should fail")
+	}
+}
+
+func assertEqualData(t *testing.T, want, got *Instances) {
+	t.Helper()
+	if got.NumRows() != want.NumRows() || got.NumAttrs() != want.NumAttrs() {
+		t.Fatalf("shape mismatch: got %dx%d want %dx%d",
+			got.NumRows(), got.NumAttrs(), want.NumRows(), want.NumAttrs())
+	}
+	for i := range want.Attributes {
+		if got.Attributes[i].Name != want.Attributes[i].Name {
+			t.Fatalf("attribute %d name %q != %q", i, got.Attributes[i].Name, want.Attributes[i].Name)
+		}
+	}
+	for i := range want.X {
+		if got.Y[i] != want.Y[i] || got.Groups[i] != want.Groups[i] {
+			t.Fatalf("row %d label/group mismatch", i)
+		}
+		for j := range want.X[i] {
+			if got.X[i][j] != want.X[i][j] {
+				t.Fatalf("row %d col %d: %v != %v", i, j, got.X[i][j], want.X[i][j])
+			}
+		}
+	}
+}
+
+func TestClassCountsAndIndex(t *testing.T) {
+	d := tiny(t)
+	counts := d.ClassCounts()
+	if counts[0] != 20 || counts[1] != 20 {
+		t.Errorf("counts = %v, want [20 20]", counts)
+	}
+	if i, ok := d.AttrIndex("f2"); !ok || i != 1 {
+		t.Error("AttrIndex failed")
+	}
+	if _, ok := d.AttrIndex("nope"); ok {
+		t.Error("AttrIndex should miss")
+	}
+	if d.NumClasses() != 2 {
+		t.Error("NumClasses wrong")
+	}
+}
+
+func TestLargeGroupSplitRatio(t *testing.T) {
+	// With 20 groups per class the 70/30 split should be close to 70%.
+	d := New([]string{"v"}, BinaryClassNames())
+	for c := 0; c < 2; c++ {
+		for g := 0; g < 20; g++ {
+			name := fmt.Sprintf("c%dg%02d", c, g)
+			for s := 0; s < 3; s++ {
+				_ = d.Add([]float64{float64(s)}, c, name)
+			}
+		}
+	}
+	train, test, err := d.SplitByGroup(0.7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(train.NumRows()) / float64(train.NumRows()+test.NumRows())
+	if frac < 0.65 || frac > 0.75 {
+		t.Errorf("train fraction = %.3f, want approx 0.70", frac)
+	}
+	_ = test
+}

@@ -1,0 +1,92 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// AttrSummary holds descriptive statistics for one attribute.
+type AttrSummary struct {
+	Name   string
+	Min    float64
+	Max    float64
+	Mean   float64
+	Std    float64
+	Median float64
+	// ClassMeans holds the per-class attribute means (index = class).
+	ClassMeans []float64
+}
+
+// Describe computes per-attribute descriptive statistics, the
+// data-quality view an analyst inspects before training.
+func (d *Instances) Describe() []AttrSummary {
+	n := d.NumRows()
+	out := make([]AttrSummary, d.NumAttrs())
+	for j := range out {
+		s := AttrSummary{
+			Name:       d.Attributes[j].Name,
+			Min:        math.Inf(1),
+			Max:        math.Inf(-1),
+			ClassMeans: make([]float64, d.NumClasses()),
+		}
+		if n == 0 {
+			s.Min, s.Max = 0, 0
+			out[j] = s
+			continue
+		}
+		classN := make([]int, d.NumClasses())
+		vals := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v := d.X[i][j]
+			vals[i] = v
+			s.Mean += v
+			if v < s.Min {
+				s.Min = v
+			}
+			if v > s.Max {
+				s.Max = v
+			}
+			s.ClassMeans[d.Y[i]] += v
+			classN[d.Y[i]]++
+		}
+		s.Mean /= float64(n)
+		for c := range s.ClassMeans {
+			if classN[c] > 0 {
+				s.ClassMeans[c] /= float64(classN[c])
+			}
+		}
+		for i := 0; i < n; i++ {
+			dv := vals[i] - s.Mean
+			s.Std += dv * dv
+		}
+		s.Std = math.Sqrt(s.Std / float64(n))
+		sort.Float64s(vals)
+		if n%2 == 1 {
+			s.Median = vals[n/2]
+		} else {
+			s.Median = (vals[n/2-1] + vals[n/2]) / 2
+		}
+		out[j] = s
+	}
+	return out
+}
+
+// WriteSummary renders Describe as an aligned text table.
+func (d *Instances) WriteSummary(w io.Writer) error {
+	counts := d.ClassCounts()
+	if _, err := fmt.Fprintf(w, "%d rows, %d attributes, classes:", d.NumRows(), d.NumAttrs()); err != nil {
+		return err
+	}
+	for c, name := range d.ClassNames {
+		fmt.Fprintf(w, " %s=%d", name, counts[c])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-28s %12s %12s %12s %12s %12s\n", "attribute", "min", "median", "mean", "max", "std")
+	for _, s := range d.Describe() {
+		fmt.Fprintf(w, "%-28s %12.1f %12.1f %12.1f %12.1f %12.1f\n",
+			s.Name, s.Min, s.Median, s.Mean, s.Max, s.Std)
+	}
+	return nil
+}

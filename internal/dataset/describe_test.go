@@ -1,0 +1,71 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDescribe(t *testing.T) {
+	d := New([]string{"v"}, BinaryClassNames())
+	for i, v := range []float64{1, 2, 3, 4, 5} {
+		y := 0
+		if v >= 4 {
+			y = 1
+		}
+		g := "b"
+		if y == 1 {
+			g = "m"
+		}
+		_ = d.Add([]float64{v}, y, g)
+		_ = i
+	}
+	s := d.Describe()[0]
+	if s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("min/median/max = %v/%v/%v", s.Min, s.Median, s.Max)
+	}
+	if math.Abs(s.Mean-3) > 1e-12 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("std = %v, want sqrt(2)", s.Std)
+	}
+	if math.Abs(s.ClassMeans[0]-2) > 1e-12 || math.Abs(s.ClassMeans[1]-4.5) > 1e-12 {
+		t.Errorf("class means = %v", s.ClassMeans)
+	}
+}
+
+func TestDescribeEvenMedian(t *testing.T) {
+	d := New([]string{"v"}, BinaryClassNames())
+	for _, v := range []float64{1, 2, 3, 4} {
+		_ = d.Add([]float64{v}, 0, "b")
+	}
+	if m := d.Describe()[0].Median; m != 2.5 {
+		t.Errorf("even-count median = %v, want 2.5", m)
+	}
+}
+
+func TestDescribeEmpty(t *testing.T) {
+	d := New([]string{"v"}, BinaryClassNames())
+	s := d.Describe()[0]
+	if s.Min != 0 || s.Max != 0 {
+		t.Error("empty dataset should describe as zeros")
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	d := New([]string{"alpha", "beta"}, BinaryClassNames())
+	_ = d.Add([]float64{1, 10}, 0, "b")
+	_ = d.Add([]float64{3, 30}, 1, "m")
+	var buf bytes.Buffer
+	if err := d.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"2 rows", "alpha", "beta", "benign=1", "malware=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/micro"
+)
+
+// randSet builds a dataset from fuzz parameters, returning nil when the
+// parameters don't describe a usable set.
+func randSet(rows, attrs uint8, seed uint64) *Instances {
+	nr := int(rows%40) + 4
+	na := int(attrs%6) + 1
+	names := make([]string, na)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	d := New(names, BinaryClassNames())
+	rng := micro.NewRNG(seed | 1)
+	for i := 0; i < nr; i++ {
+		y := i % 2
+		x := make([]float64, na)
+		for j := range x {
+			x[j] = rng.Float64() * 100
+		}
+		g := "b0"
+		if y == 1 {
+			g = "m0"
+		}
+		if i%4 >= 2 { // two groups per class
+			g += "x"
+		}
+		_ = d.Add(x, y, g)
+	}
+	return d
+}
+
+// TestPropertySelectPreservesRows: any column selection keeps row
+// count, labels and groups intact, and values match the source.
+func TestPropertySelectPreservesRows(t *testing.T) {
+	f := func(rows, attrs uint8, seed uint64, colPick uint8) bool {
+		d := randSet(rows, attrs, seed)
+		col := int(colPick) % d.NumAttrs()
+		s, err := d.Select([]int{col})
+		if err != nil {
+			return false
+		}
+		if s.NumRows() != d.NumRows() || s.NumAttrs() != 1 {
+			return false
+		}
+		for i := range d.X {
+			if s.X[i][0] != d.X[i][col] || s.Y[i] != d.Y[i] || s.Groups[i] != d.Groups[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySplitPartition: SplitByGroup partitions rows exactly and
+// never shares a group between sides.
+func TestPropertySplitPartition(t *testing.T) {
+	f := func(rows uint8, seed uint64) bool {
+		d := randSet(rows, 2, seed)
+		train, test, err := d.SplitByGroup(0.5, seed)
+		if err != nil {
+			return false
+		}
+		if train.NumRows()+test.NumRows() != d.NumRows() {
+			return false
+		}
+		inTrain := map[string]bool{}
+		for _, g := range train.Groups {
+			inTrain[g] = true
+		}
+		for _, g := range test.Groups {
+			if inTrain[g] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyShufflePreservesMultiset: shuffling never loses or
+// duplicates rows.
+func TestPropertyShufflePreservesMultiset(t *testing.T) {
+	f := func(rows uint8, seed, shufSeed uint64) bool {
+		d := randSet(rows, 3, seed)
+		sumBefore := 0.0
+		for i := range d.X {
+			sumBefore += d.X[i][0] + float64(d.Y[i])
+		}
+		d.Shuffle(shufSeed)
+		sumAfter := 0.0
+		for i := range d.X {
+			sumAfter += d.X[i][0] + float64(d.Y[i])
+		}
+		diff := sumBefore - sumAfter
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFoldsPartition: SplitFolds always partitions the rows
+// with balanced fold sizes.
+func TestPropertyFoldsPartition(t *testing.T) {
+	f := func(rows uint8, k uint8, seed uint64) bool {
+		d := randSet(rows, 2, seed)
+		folds := d.SplitFolds(int(k%5)+2, seed)
+		total, minSz, maxSz := 0, 1<<30, 0
+		for _, fd := range folds {
+			total += fd.NumRows()
+			if fd.NumRows() < minSz {
+				minSz = fd.NumRows()
+			}
+			if fd.NumRows() > maxSz {
+				maxSz = fd.NumRows()
+			}
+		}
+		return total == d.NumRows() && maxSz-minSz <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyARFFRoundTrip: serialisation round-trips arbitrary
+// datasets exactly (values are finite decimals from Float64, which
+// strconv formats losslessly).
+func TestPropertyARFFRoundTrip(t *testing.T) {
+	f := func(rows, attrs uint8, seed uint64) bool {
+		d := randSet(rows, attrs, seed)
+		var buf bytes.Buffer
+		if err := d.WriteARFF(&buf, "prop"); err != nil {
+			return false
+		}
+		got, err := ReadARFF(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumRows() != d.NumRows() || got.NumAttrs() != d.NumAttrs() {
+			return false
+		}
+		for i := range d.X {
+			if got.Y[i] != d.Y[i] || got.Groups[i] != d.Groups[i] {
+				return false
+			}
+			for j := range d.X[i] {
+				if got.X[i][j] != d.X[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/micro"
+	"repro/internal/mlearn"
+)
+
+// CVResult summarises a k-fold cross-validation.
+type CVResult struct {
+	Folds []Result
+}
+
+// MeanAccuracy returns the mean accuracy across folds.
+func (r CVResult) MeanAccuracy() float64 { return r.mean(func(x Result) float64 { return x.Accuracy }) }
+
+// MeanAUC returns the mean AUC across folds.
+func (r CVResult) MeanAUC() float64 { return r.mean(func(x Result) float64 { return x.AUC }) }
+
+// StdAccuracy returns the accuracy standard deviation across folds.
+func (r CVResult) StdAccuracy() float64 {
+	return r.std(func(x Result) float64 { return x.Accuracy })
+}
+
+func (r CVResult) mean(f func(Result) float64) float64 {
+	if len(r.Folds) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range r.Folds {
+		s += f(x)
+	}
+	return s / float64(len(r.Folds))
+}
+
+func (r CVResult) std(f func(Result) float64) float64 {
+	if len(r.Folds) < 2 {
+		return 0
+	}
+	m := r.mean(f)
+	s := 0.0
+	for _, x := range r.Folds {
+		d := f(x) - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(r.Folds)-1))
+}
+
+// CrossValidate performs stratified k-fold cross-validation: rows of
+// each class are distributed round-robin over folds after a
+// deterministic shuffle, each fold serves once as the test set.
+func CrossValidate(tr mlearn.Trainer, d *dataset.Instances, k int, seed uint64) (CVResult, error) {
+	if k < 2 {
+		return CVResult{}, errors.New("eval: need at least 2 folds")
+	}
+	if d.NumRows() < 2*k {
+		return CVResult{}, fmt.Errorf("eval: %d rows is too few for %d folds", d.NumRows(), k)
+	}
+
+	// Stratified assignment: per class, shuffle indices, deal them out.
+	byClass := map[int][]int{}
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	assign := make([]int, d.NumRows())
+	rng := micro.NewRNG(seed ^ 0xcafef00d)
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		idx := byClass[c]
+		for i := len(idx) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			idx[i], idx[j] = idx[j], idx[i]
+		}
+		for pos, i := range idx {
+			assign[i] = pos % k
+		}
+	}
+
+	attrs := make([]string, d.NumAttrs())
+	for i, a := range d.Attributes {
+		attrs[i] = a.Name
+	}
+
+	var out CVResult
+	for f := 0; f < k; f++ {
+		train := dataset.New(attrs, d.ClassNames)
+		test := dataset.New(attrs, d.ClassNames)
+		for i := range d.X {
+			target := train
+			if assign[i] == f {
+				target = test
+			}
+			if err := target.Add(d.X[i], d.Y[i], d.Groups[i]); err != nil {
+				return CVResult{}, err
+			}
+		}
+		model, err := tr.Train(train, nil)
+		if err != nil {
+			return CVResult{}, fmt.Errorf("eval: fold %d: %v", f, err)
+		}
+		res, err := Measure(model, test)
+		if err != nil {
+			return CVResult{}, fmt.Errorf("eval: fold %d: %v", f, err)
+		}
+		out.Folds = append(out.Folds, res)
+	}
+	return out, nil
+}
+
+// PRPoint is one precision/recall operating point.
+type PRPoint struct {
+	Recall    float64
+	Precision float64
+	Threshold float64
+}
+
+// PRCurve builds the precision-recall curve by sweeping the decision
+// threshold over the classifier's malware scores, from the most
+// confident prediction down.
+func PRCurve(c mlearn.Classifier, test *dataset.Instances) ([]PRPoint, error) {
+	if test.NumClasses() != 2 {
+		return nil, errors.New("eval: binary classification only")
+	}
+	type scored struct {
+		s   float64
+		pos bool
+	}
+	items := make([]scored, 0, test.NumRows())
+	nPos := 0
+	for i := range test.X {
+		pos := test.Y[i] == 1
+		if pos {
+			nPos++
+		}
+		items = append(items, scored{s: mlearn.Score(c, test.X[i]), pos: pos})
+	}
+	if nPos == 0 {
+		return nil, errors.New("eval: PR curve needs positive examples")
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].s > items[b].s })
+
+	var pts []PRPoint
+	tp, fp := 0, 0
+	for i := 0; i < len(items); {
+		s := items[i].s
+		for i < len(items) && items[i].s == s {
+			if items[i].pos {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		pts = append(pts, PRPoint{
+			Recall:    float64(tp) / float64(nPos),
+			Precision: float64(tp) / float64(tp+fp),
+			Threshold: s,
+		})
+	}
+	return pts, nil
+}
+
+// AveragePrecision integrates the PR curve (step-wise interpolation):
+// the mean precision weighted by recall increments.
+func AveragePrecision(pts []PRPoint) float64 {
+	ap := 0.0
+	prevRecall := 0.0
+	for _, p := range pts {
+		ap += (p.Recall - prevRecall) * p.Precision
+		prevRecall = p.Recall
+	}
+	return ap
+}

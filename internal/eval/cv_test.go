@@ -1,0 +1,151 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/micro"
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/oner"
+)
+
+func blobSet(n int, sep float64, seed uint64) *dataset.Instances {
+	d := dataset.New([]string{"f0", "f1"}, dataset.BinaryClassNames())
+	rng := micro.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		y := i % 2
+		cx := 0.0
+		if y == 1 {
+			cx = sep
+		}
+		g := "b"
+		if y == 1 {
+			g = "m"
+		}
+		_ = d.Add([]float64{cx + rng.Norm(), cx/2 + rng.Norm()}, y, g)
+	}
+	return d
+}
+
+func TestCrossValidateSeparable(t *testing.T) {
+	d := blobSet(200, 6, 1)
+	res, err := CrossValidate(oner.New(), d, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Folds) != 5 {
+		t.Fatalf("got %d folds", len(res.Folds))
+	}
+	if acc := res.MeanAccuracy(); acc < 0.9 {
+		t.Errorf("mean CV accuracy = %.3f on separable data", acc)
+	}
+	if res.MeanAUC() <= 0.5 {
+		t.Error("mean AUC should beat chance")
+	}
+	if res.StdAccuracy() < 0 || res.StdAccuracy() > 0.3 {
+		t.Errorf("std = %v implausible", res.StdAccuracy())
+	}
+}
+
+func TestCrossValidateStratification(t *testing.T) {
+	// Heavily imbalanced data: every fold must still contain both
+	// classes (otherwise Measure errors on the ROC).
+	d := dataset.New([]string{"v"}, dataset.BinaryClassNames())
+	rng := micro.NewRNG(3)
+	for i := 0; i < 120; i++ {
+		y := 0
+		if i%6 == 0 {
+			y = 1
+		}
+		v := float64(y*4) + rng.Norm()
+		g := "b"
+		if y == 1 {
+			g = "m"
+		}
+		_ = d.Add([]float64{v}, y, g)
+	}
+	if _, err := CrossValidate(oner.New(), d, 5, 9); err != nil {
+		t.Fatalf("stratified CV failed on imbalanced data: %v", err)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	d := blobSet(100, 5, 1)
+	if _, err := CrossValidate(oner.New(), d, 1, 1); err == nil {
+		t.Error("k=1 should fail")
+	}
+	tiny := blobSet(6, 5, 1)
+	if _, err := CrossValidate(oner.New(), tiny, 5, 1); err == nil {
+		t.Error("too-few rows should fail")
+	}
+}
+
+func TestCrossValidateDeterminism(t *testing.T) {
+	d := blobSet(150, 4, 7)
+	a, err := CrossValidate(oner.New(), d, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidate(oner.New(), d, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range a.Folds {
+		if a.Folds[f] != b.Folds[f] {
+			t.Fatal("same seed must reproduce folds exactly")
+		}
+	}
+}
+
+func TestPRCurvePerfect(t *testing.T) {
+	d := mk(t,
+		[]float64{0.9, 0.8, 0.7, 0.3, 0.2, 0.1},
+		[]int{1, 1, 1, 0, 0, 0})
+	pts, err := PRCurve(scoreClassifier{}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfect ranking: precision stays 1.0 until all positives found.
+	for _, p := range pts {
+		if p.Recall <= 1.0 && p.Precision < 1.0 && p.Recall < 1.0 {
+			t.Errorf("precision dropped to %.2f at recall %.2f on perfectly ranked data", p.Precision, p.Recall)
+		}
+	}
+	if ap := AveragePrecision(pts); math.Abs(ap-1) > 1e-9 {
+		t.Errorf("average precision = %v, want 1", ap)
+	}
+	last := pts[len(pts)-1]
+	if last.Recall != 1 {
+		t.Error("curve must reach full recall")
+	}
+}
+
+func TestPRCurveInterleaved(t *testing.T) {
+	d := mk(t,
+		[]float64{0.8, 0.7, 0.6, 0.5},
+		[]int{1, 0, 1, 0})
+	pts, err := PRCurve(scoreClassifier{}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := AveragePrecision(pts)
+	if ap <= 0.5 || ap >= 1 {
+		t.Errorf("interleaved AP = %v, want in (0.5, 1)", ap)
+	}
+}
+
+func TestPRCurveErrors(t *testing.T) {
+	neg := dataset.New([]string{"s"}, dataset.BinaryClassNames())
+	_ = neg.Add([]float64{0.5}, 0, "b")
+	if _, err := PRCurve(scoreClassifier{}, neg); err == nil {
+		t.Error("no positives should fail")
+	}
+	tri := dataset.New([]string{"s"}, []string{"a", "b", "c"})
+	_ = tri.Add([]float64{0.5}, 0, "g")
+	if _, err := PRCurve(scoreClassifier{}, tri); err == nil {
+		t.Error("3 classes should fail")
+	}
+}
+
+var _ mlearn.Classifier = hardClassifier{}

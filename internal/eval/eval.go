@@ -1,0 +1,201 @@
+// Package eval implements the paper's evaluation metrics: detection
+// accuracy (§4.1), ROC curves and AUC for classification robustness
+// (§4.2), and the combined ACC×AUC performance metric (§4.3).
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/mlearn"
+)
+
+// Confusion is a binary confusion matrix (class 1 = malware =
+// positive).
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Accuracy returns (TP+TN)/total.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.TN + c.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// Precision returns TP/(TP+FP).
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns the true-positive rate TP/(TP+FN).
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FPR returns the false-positive rate FP/(FP+TN).
+func (c Confusion) FPR() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String formats the matrix compactly.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d", c.TP, c.FP, c.TN, c.FN)
+}
+
+// Evaluate runs c over every row of test and returns the confusion
+// matrix.
+func Evaluate(c mlearn.Classifier, test *dataset.Instances) (Confusion, error) {
+	if test.NumClasses() != 2 {
+		return Confusion{}, errors.New("eval: binary classification only")
+	}
+	var cm Confusion
+	for i := range test.X {
+		pred := mlearn.Predict(c, test.X[i])
+		switch {
+		case pred == 1 && test.Y[i] == 1:
+			cm.TP++
+		case pred == 1 && test.Y[i] == 0:
+			cm.FP++
+		case pred == 0 && test.Y[i] == 0:
+			cm.TN++
+		default:
+			cm.FN++
+		}
+	}
+	return cm, nil
+}
+
+// Accuracy is a convenience wrapper returning only the accuracy.
+func Accuracy(c mlearn.Classifier, test *dataset.Instances) (float64, error) {
+	cm, err := Evaluate(c, test)
+	if err != nil {
+		return 0, err
+	}
+	return cm.Accuracy(), nil
+}
+
+// ROCPoint is one operating point of a classifier.
+type ROCPoint struct {
+	FPR, TPR  float64
+	Threshold float64
+}
+
+// ROC holds a full receiver-operating-characteristic curve.
+type ROC struct {
+	Points []ROCPoint // ordered from (0,0) to (1,1)
+}
+
+// BuildROC scores every test row with P(malware) and sweeps the
+// decision threshold, producing one point per distinct score plus the
+// two trivial endpoints.
+func BuildROC(c mlearn.Classifier, test *dataset.Instances) (*ROC, error) {
+	if test.NumClasses() != 2 {
+		return nil, errors.New("eval: binary classification only")
+	}
+	type scored struct {
+		s   float64
+		pos bool
+	}
+	items := make([]scored, 0, test.NumRows())
+	nPos, nNeg := 0, 0
+	for i := range test.X {
+		pos := test.Y[i] == 1
+		if pos {
+			nPos++
+		} else {
+			nNeg++
+		}
+		items = append(items, scored{s: mlearn.Score(c, test.X[i]), pos: pos})
+	}
+	if nPos == 0 || nNeg == 0 {
+		return nil, errors.New("eval: ROC needs both classes in the test set")
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].s > items[b].s })
+
+	roc := &ROC{}
+	roc.Points = append(roc.Points, ROCPoint{FPR: 0, TPR: 0, Threshold: items[0].s + 1})
+	tp, fp := 0, 0
+	for i := 0; i < len(items); {
+		// Consume all items sharing this score (one threshold step).
+		s := items[i].s
+		for i < len(items) && items[i].s == s {
+			if items[i].pos {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		roc.Points = append(roc.Points, ROCPoint{
+			FPR:       float64(fp) / float64(nNeg),
+			TPR:       float64(tp) / float64(nPos),
+			Threshold: s,
+		})
+	}
+	return roc, nil
+}
+
+// AUC returns the area under the curve by trapezoidal integration.
+func (r *ROC) AUC() float64 {
+	area := 0.0
+	for i := 1; i < len(r.Points); i++ {
+		a, b := r.Points[i-1], r.Points[i]
+		area += (b.FPR - a.FPR) * (a.TPR + b.TPR) / 2
+	}
+	return area
+}
+
+// AUC computes the area under the ROC curve of c on test directly.
+func AUC(c mlearn.Classifier, test *dataset.Instances) (float64, error) {
+	roc, err := BuildROC(c, test)
+	if err != nil {
+		return 0, err
+	}
+	return roc.AUC(), nil
+}
+
+// Result bundles the paper's three headline metrics for one detector.
+type Result struct {
+	Accuracy float64
+	AUC      float64
+}
+
+// Performance returns the paper's ACC*AUC metric (both in [0,1];
+// reported as a percentage in Figure 5).
+func (r Result) Performance() float64 { return r.Accuracy * r.AUC }
+
+// Measure computes accuracy and AUC in one pass over the test set.
+func Measure(c mlearn.Classifier, test *dataset.Instances) (Result, error) {
+	acc, err := Accuracy(c, test)
+	if err != nil {
+		return Result{}, err
+	}
+	auc, err := AUC(c, test)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Accuracy: acc, AUC: auc}, nil
+}

@@ -1,0 +1,213 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mlearn"
+)
+
+// scoreClassifier scores by the first feature directly.
+type scoreClassifier struct{}
+
+func (scoreClassifier) Distribution(x []float64) []float64 {
+	p := x[0]
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return []float64{1 - p, p}
+}
+
+// hardClassifier predicts class 1 iff x[0] >= 0.5, emitting one-hot.
+type hardClassifier struct{}
+
+func (hardClassifier) Distribution(x []float64) []float64 {
+	if x[0] >= 0.5 {
+		return []float64{0, 1}
+	}
+	return []float64{1, 0}
+}
+
+func mk(t *testing.T, scores []float64, labels []int) *dataset.Instances {
+	t.Helper()
+	d := dataset.New([]string{"s"}, dataset.BinaryClassNames())
+	for i := range scores {
+		_ = d.Add([]float64{scores[i]}, labels[i], map[int]string{0: "b", 1: "m"}[labels[i]])
+	}
+	return d
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	cm := Confusion{TP: 40, FP: 10, TN: 45, FN: 5}
+	if a := cm.Accuracy(); math.Abs(a-0.85) > 1e-12 {
+		t.Errorf("accuracy = %v", a)
+	}
+	if p := cm.Precision(); math.Abs(p-0.8) > 1e-12 {
+		t.Errorf("precision = %v", p)
+	}
+	if r := cm.Recall(); math.Abs(r-40.0/45) > 1e-12 {
+		t.Errorf("recall = %v", r)
+	}
+	if f := cm.FPR(); math.Abs(f-10.0/55) > 1e-12 {
+		t.Errorf("fpr = %v", f)
+	}
+	if f1 := cm.F1(); f1 <= 0 || f1 > 1 {
+		t.Errorf("f1 = %v", f1)
+	}
+	if (Confusion{}).Accuracy() != 0 || (Confusion{}).Precision() != 0 ||
+		(Confusion{}).Recall() != 0 || (Confusion{}).FPR() != 0 || (Confusion{}).F1() != 0 {
+		t.Error("empty confusion should yield zero metrics")
+	}
+	if cm.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestEvaluateCounts(t *testing.T) {
+	d := mk(t,
+		[]float64{0.9, 0.8, 0.6, 0.4, 0.2, 0.1},
+		[]int{1, 1, 0, 1, 0, 0})
+	cm, err := Evaluate(hardClassifier{}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold 0.5: predictions 1,1,1,0,0,0 vs labels 1,1,0,1,0,0.
+	want := Confusion{TP: 2, FP: 1, TN: 2, FN: 1}
+	if cm != want {
+		t.Errorf("confusion = %+v, want %+v", cm, want)
+	}
+	acc, _ := Accuracy(hardClassifier{}, d)
+	if math.Abs(acc-4.0/6) > 1e-12 {
+		t.Errorf("accuracy = %v", acc)
+	}
+}
+
+func TestROCPerfectClassifier(t *testing.T) {
+	d := mk(t,
+		[]float64{0.9, 0.8, 0.7, 0.3, 0.2, 0.1},
+		[]int{1, 1, 1, 0, 0, 0})
+	roc, err := BuildROC(scoreClassifier{}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := roc.AUC(); math.Abs(auc-1) > 1e-12 {
+		t.Errorf("perfect AUC = %v, want 1", auc)
+	}
+	// Curve must start at (0,0) and end at (1,1).
+	first, last := roc.Points[0], roc.Points[len(roc.Points)-1]
+	if first.FPR != 0 || first.TPR != 0 || last.FPR != 1 || last.TPR != 1 {
+		t.Error("ROC endpoints wrong")
+	}
+	// Monotone non-decreasing in both axes.
+	for i := 1; i < len(roc.Points); i++ {
+		if roc.Points[i].FPR < roc.Points[i-1].FPR || roc.Points[i].TPR < roc.Points[i-1].TPR {
+			t.Fatal("ROC not monotone")
+		}
+	}
+}
+
+func TestROCAntiClassifier(t *testing.T) {
+	d := mk(t,
+		[]float64{0.9, 0.8, 0.2, 0.1},
+		[]int{0, 0, 1, 1})
+	auc, err := AUC(scoreClassifier{}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc > 1e-12 {
+		t.Errorf("inverted AUC = %v, want 0", auc)
+	}
+}
+
+func TestROCRandomScores(t *testing.T) {
+	// Interleaved scores: AUC should be 0.5.
+	d := mk(t,
+		[]float64{0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1},
+		[]int{1, 0, 1, 0, 1, 0, 1, 0})
+	auc, err := AUC(scoreClassifier{}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.15 {
+		t.Errorf("interleaved AUC = %v, want ~0.5", auc)
+	}
+}
+
+func TestROCHardClassifierSingleStep(t *testing.T) {
+	// A hard 0/1 scorer yields a 3-point ROC: (0,0), one operating
+	// point, (1,1). Its AUC equals (TPR+TNR)/2 — the balanced accuracy
+	// — which is the WEKA SMO effect the paper observes.
+	d := mk(t,
+		[]float64{0.9, 0.8, 0.6, 0.4, 0.2, 0.1},
+		[]int{1, 1, 0, 1, 0, 0})
+	roc, err := BuildROC(hardClassifier{}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roc.Points) != 3 {
+		t.Fatalf("hard classifier ROC has %d points, want 3", len(roc.Points))
+	}
+	tpr := 2.0 / 3 // TP=2 of 3 positives
+	fpr := 1.0 / 3 // FP=1 of 3 negatives
+	wantAUC := (tpr + (1 - fpr)) / 2
+	if auc := roc.AUC(); math.Abs(auc-wantAUC) > 1e-12 {
+		t.Errorf("hard AUC = %v, want %v (balanced accuracy)", auc, wantAUC)
+	}
+}
+
+func TestROCTiedScores(t *testing.T) {
+	// All identical scores collapse to one threshold step; AUC = 0.5.
+	d := mk(t, []float64{0.5, 0.5, 0.5, 0.5}, []int{1, 0, 1, 0})
+	roc, err := BuildROC(scoreClassifier{}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roc.Points) != 2 {
+		t.Fatalf("tied scores should give 2 points, got %d", len(roc.Points))
+	}
+	if auc := roc.AUC(); math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("tied AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	single := dataset.New([]string{"s"}, dataset.BinaryClassNames())
+	_ = single.Add([]float64{0.5}, 1, "m")
+	if _, err := BuildROC(scoreClassifier{}, single); err == nil {
+		t.Error("single-class test set should fail")
+	}
+	tri := dataset.New([]string{"s"}, []string{"a", "b", "c"})
+	_ = tri.Add([]float64{0.5}, 0, "g")
+	if _, err := BuildROC(scoreClassifier{}, tri); err == nil {
+		t.Error("3-class should fail")
+	}
+	if _, err := Evaluate(scoreClassifier{}, tri); err == nil {
+		t.Error("3-class Evaluate should fail")
+	}
+}
+
+func TestMeasureAndPerformance(t *testing.T) {
+	d := mk(t,
+		[]float64{0.9, 0.8, 0.7, 0.3, 0.2, 0.1},
+		[]int{1, 1, 1, 0, 0, 0})
+	res, err := Measure(scoreClassifier{}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy != 1 || res.AUC != 1 {
+		t.Errorf("measure = %+v, want perfect", res)
+	}
+	if res.Performance() != 1 {
+		t.Error("performance should be ACC*AUC")
+	}
+	r := Result{Accuracy: 0.9, AUC: 0.8}
+	if math.Abs(r.Performance()-0.72) > 1e-12 {
+		t.Error("performance product wrong")
+	}
+}
+
+var _ mlearn.Classifier = scoreClassifier{}

@@ -1,0 +1,116 @@
+package eval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/micro"
+)
+
+// TestPropertyAUCBounds: for arbitrary score/label assignments the AUC
+// stays in [0,1] and the curve is monotone with fixed endpoints.
+func TestPropertyAUCBounds(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rows := int(n%50) + 4
+		rng := micro.NewRNG(seed | 1)
+		d := dataset.New([]string{"s"}, dataset.BinaryClassNames())
+		// Guarantee both classes.
+		_ = d.Add([]float64{rng.Float64()}, 0, "b")
+		_ = d.Add([]float64{rng.Float64()}, 1, "m")
+		for i := 0; i < rows; i++ {
+			y := rng.Intn(2)
+			g := "b"
+			if y == 1 {
+				g = "m"
+			}
+			_ = d.Add([]float64{rng.Float64()}, y, g)
+		}
+		roc, err := BuildROC(scoreClassifier{}, d)
+		if err != nil {
+			return false
+		}
+		auc := roc.AUC()
+		if auc < 0 || auc > 1 {
+			return false
+		}
+		first := roc.Points[0]
+		last := roc.Points[len(roc.Points)-1]
+		if first.FPR != 0 || first.TPR != 0 || last.FPR != 1 || last.TPR != 1 {
+			return false
+		}
+		for i := 1; i < len(roc.Points); i++ {
+			if roc.Points[i].FPR < roc.Points[i-1].FPR || roc.Points[i].TPR < roc.Points[i-1].TPR {
+				return false
+			}
+			if roc.Points[i].Threshold > roc.Points[i-1].Threshold {
+				return false // thresholds must descend
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyAUCInvariantToMonotoneTransform: AUC is a rank statistic,
+// so squashing all scores through a monotone map must not change it.
+func TestPropertyAUCInvariantToMonotoneTransform(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := micro.NewRNG(seed | 1)
+		raw := dataset.New([]string{"s"}, dataset.BinaryClassNames())
+		squashed := dataset.New([]string{"s"}, dataset.BinaryClassNames())
+		for i := 0; i < 40; i++ {
+			y := rng.Intn(2)
+			g := "b"
+			if y == 1 {
+				g = "m"
+			}
+			v := rng.Float64()
+			_ = raw.Add([]float64{v}, y, g)
+			_ = squashed.Add([]float64{v * v}, y, g) // monotone on [0,1]
+		}
+		a1, err1 := AUC(scoreClassifier{}, raw)
+		a2, err2 := AUC(scoreClassifier{}, squashed)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		diff := a1 - a2
+		return diff < 1e-9 && diff > -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyConfusionConsistency: the four cells always sum to the
+// row count and accuracy equals (TP+TN)/n.
+func TestPropertyConfusionConsistency(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rows := int(n%60) + 2
+		rng := micro.NewRNG(seed | 1)
+		d := dataset.New([]string{"s"}, dataset.BinaryClassNames())
+		for i := 0; i < rows; i++ {
+			y := rng.Intn(2)
+			g := "b"
+			if y == 1 {
+				g = "m"
+			}
+			_ = d.Add([]float64{rng.Float64()}, y, g)
+		}
+		cm, err := Evaluate(hardClassifier{}, d)
+		if err != nil {
+			return false
+		}
+		if cm.TP+cm.FP+cm.TN+cm.FN != rows {
+			return false
+		}
+		want := float64(cm.TP+cm.TN) / float64(rows)
+		diff := cm.Accuracy() - want
+		return diff < 1e-12 && diff > -1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,425 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§4): Table 1 (feature ranking), Figure 3
+// (accuracy grid), Table 2 (AUC grid), Figure 4 (ROC curves), Figure 5
+// (ACC×AUC grid) and Table 3 (hardware latency/area). The cmd/hmd-bench
+// tool and the repository's benchmark suite are thin wrappers around
+// this package.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/features"
+	"repro/internal/hls"
+	"repro/internal/mlearn/zoo"
+)
+
+// HPCCounts are the paper's counter budgets, largest first.
+var HPCCounts = []int{16, 8, 4, 2}
+
+// Context carries the collected corpus, the split/ranking state and a
+// cache of trained detectors; building it performs the full collection
+// pass (the expensive part, ~15 s at paper scale).
+type Context struct {
+	Data    *dataset.Instances
+	Builder *core.Builder
+
+	mu    sync.Mutex
+	cache map[string]gridEntry
+}
+
+type gridEntry struct {
+	det *core.Detector
+	res eval.Result
+}
+
+// NewContext collects a corpus with cfg and prepares the 70/30
+// app-level split and feature ranking.
+func NewContext(cfg collect.Config, seed uint64) (*Context, error) {
+	res, err := collect.Collect(cfg)
+	if err != nil {
+		return nil, err
+	}
+	b, err := core.NewBuilder(res.Data, 0.7, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{Data: res.Data, Builder: b, cache: map[string]gridEntry{}}, nil
+}
+
+// Detector trains (or returns the cached) detector for the given
+// configuration and its held-out evaluation.
+func (ctx *Context) Detector(name string, variant zoo.Variant, hpcs int) (*core.Detector, eval.Result, error) {
+	key := fmt.Sprintf("%s/%s/%d", name, variant, hpcs)
+	ctx.mu.Lock()
+	if e, ok := ctx.cache[key]; ok {
+		ctx.mu.Unlock()
+		return e.det, e.res, nil
+	}
+	ctx.mu.Unlock()
+
+	det, err := ctx.Builder.Build(name, variant, hpcs)
+	if err != nil {
+		return nil, eval.Result{}, err
+	}
+	res, err := ctx.Builder.Evaluate(det)
+	if err != nil {
+		return nil, eval.Result{}, err
+	}
+	ctx.mu.Lock()
+	ctx.cache[key] = gridEntry{det: det, res: res}
+	ctx.mu.Unlock()
+	return det, res, nil
+}
+
+// ---- Table 1 ----
+
+// Table1Row is one ranked hardware performance counter.
+type Table1Row struct {
+	Rank  int
+	Event string
+	Score float64
+}
+
+// Table1 ranks all events on the training split and returns the top-k
+// (the paper lists 16).
+func (ctx *Context) Table1(k int) ([]Table1Row, error) {
+	ranked, err := features.RankCorrelation(ctx.Builder.Train())
+	if err != nil {
+		return nil, err
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	rows := make([]Table1Row, k)
+	for i := 0; i < k; i++ {
+		rows[i] = Table1Row{Rank: i + 1, Event: ranked[i].Name, Score: ranked[i].Score}
+	}
+	return rows, nil
+}
+
+// ---- Figures 3 & 5, Table 2 (the detector grid) ----
+
+// GridCell is one (classifier, HPC count, variant) evaluation.
+type GridCell struct {
+	Classifier string
+	HPCs       int
+	Variant    zoo.Variant
+	Result     eval.Result
+}
+
+// Label returns the paper-style detector label of the cell.
+func (g GridCell) Label() string {
+	if g.Variant == zoo.General {
+		return fmt.Sprintf("%dHPC-%s", g.HPCs, g.Classifier)
+	}
+	return fmt.Sprintf("%dHPC-%s-%s", g.HPCs, g.Variant, g.Classifier)
+}
+
+// Grid trains and evaluates every combination the paper studies:
+// 8 classifiers × 4 HPC budgets × 3 variants = 96 detectors. Training
+// runs in parallel; results are cached on the context, so Figure 3,
+// Table 2 and Figure 5 share one grid.
+func (ctx *Context) Grid() ([]GridCell, error) {
+	type job struct {
+		name    string
+		hpcs    int
+		variant zoo.Variant
+	}
+	var jobs []job
+	for _, name := range zoo.Names() {
+		for _, hpcs := range HPCCounts {
+			for _, v := range []zoo.Variant{zoo.General, zoo.Boosted, zoo.Bagged} {
+				jobs = append(jobs, job{name, hpcs, v})
+			}
+		}
+	}
+	cells := make([]GridCell, len(jobs))
+	errs := make([]error, len(jobs))
+
+	par := runtime.NumCPU()
+	if par > len(jobs) {
+		par = len(jobs)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				j := jobs[i]
+				_, res, err := ctx.Detector(j.name, j.variant, j.hpcs)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				cells[i] = GridCell{Classifier: j.name, HPCs: j.hpcs, Variant: j.variant, Result: res}
+			}
+		}()
+	}
+	for i := range jobs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cells, nil
+}
+
+// Figure3 returns the accuracy grid (the paper plots accuracy per
+// classifier for 16/8/4/2 HPC general models plus the boosted and
+// bagged reduced models).
+func (ctx *Context) Figure3() ([]GridCell, error) { return ctx.Grid() }
+
+// Figure5 returns the same grid; consumers read
+// Result.Performance() (ACC×AUC).
+func (ctx *Context) Figure5() ([]GridCell, error) { return ctx.Grid() }
+
+// Table2Row mirrors the paper's Table 2 columns for one classifier.
+type Table2Row struct {
+	Classifier string
+	AUC16      float64 // 16HPC general
+	AUC8       float64 // 8HPC general
+	AUC4       float64 // 4HPC general
+	AUC4Boost  float64 // 4HPC-Boosted
+	AUC4Bag    float64 // 4HPC-Bagging
+	AUC2       float64 // 2HPC general
+	AUC2Boost  float64 // 2HPC-Boosted
+	AUC2Bag    float64 // 2HPC-Bagging
+}
+
+// Table2 assembles the AUC table from the grid.
+func (ctx *Context) Table2() ([]Table2Row, error) {
+	cells, err := ctx.Grid()
+	if err != nil {
+		return nil, err
+	}
+	idx := map[string]eval.Result{}
+	for _, c := range cells {
+		idx[c.Label()] = c.Result
+	}
+	var rows []Table2Row
+	for _, name := range zoo.Names() {
+		rows = append(rows, Table2Row{
+			Classifier: name,
+			AUC16:      idx[fmt.Sprintf("16HPC-%s", name)].AUC,
+			AUC8:       idx[fmt.Sprintf("8HPC-%s", name)].AUC,
+			AUC4:       idx[fmt.Sprintf("4HPC-%s", name)].AUC,
+			AUC4Boost:  idx[fmt.Sprintf("4HPC-Boosted-%s", name)].AUC,
+			AUC4Bag:    idx[fmt.Sprintf("4HPC-Bagging-%s", name)].AUC,
+			AUC2:       idx[fmt.Sprintf("2HPC-%s", name)].AUC,
+			AUC2Boost:  idx[fmt.Sprintf("2HPC-Boosted-%s", name)].AUC,
+			AUC2Bag:    idx[fmt.Sprintf("2HPC-Bagging-%s", name)].AUC,
+		})
+	}
+	return rows, nil
+}
+
+// ---- Figure 4 ----
+
+// NamedROC is a labelled ROC curve.
+type NamedROC struct {
+	Label string
+	ROC   *eval.ROC
+}
+
+// Figure4a returns the ROC curves for the 4HPC-Bagging detectors of
+// BayesNet, JRip, MLP and OneR (paper Figure 4-a).
+func (ctx *Context) Figure4a() ([]NamedROC, error) {
+	var out []NamedROC
+	for _, name := range []string{"BayesNet", "JRip", "MLP", "OneR"} {
+		det, _, err := ctx.Detector(name, zoo.Bagged, 4)
+		if err != nil {
+			return nil, err
+		}
+		roc, err := ctx.Builder.ROC(det)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, NamedROC{Label: det.Name(), ROC: roc})
+	}
+	return out, nil
+}
+
+// Figure4b returns the ROC curves comparing 8HPC general vs
+// 2HPC-Boosted for JRip and OneR (paper Figure 4-b).
+func (ctx *Context) Figure4b() ([]NamedROC, error) {
+	var out []NamedROC
+	for _, name := range []string{"JRip", "OneR"} {
+		for _, cfg := range []struct {
+			v    zoo.Variant
+			hpcs int
+		}{{zoo.General, 8}, {zoo.Boosted, 2}} {
+			det, _, err := ctx.Detector(name, cfg.v, cfg.hpcs)
+			if err != nil {
+				return nil, err
+			}
+			roc, err := ctx.Builder.ROC(det)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, NamedROC{Label: det.Name(), ROC: roc})
+		}
+	}
+	return out, nil
+}
+
+// ---- Table 3 ----
+
+// Table3Row is the hardware cost of one classifier under the paper's
+// three implementation configurations.
+type Table3Row struct {
+	Classifier string
+	// 8HPC general implementation.
+	LatGeneral8 int
+	AreaGen8    float64
+	// 4HPC AdaBoost implementation.
+	LatBoost4 int
+	AreaB4    float64
+	// 2HPC AdaBoost implementation.
+	LatBoost2 int
+	AreaB2    float64
+}
+
+// Table3 compiles the trained models to hardware and reports latency
+// (cycles @10 ns) and area (% of the OpenSPARC budget).
+func (ctx *Context) Table3() ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, name := range zoo.Names() {
+		row := Table3Row{Classifier: name}
+
+		detG, _, err := ctx.Detector(name, zoo.General, 8)
+		if err != nil {
+			return nil, err
+		}
+		dg, err := hls.Compile(detG.Model, detG.Name())
+		if err != nil {
+			return nil, err
+		}
+		row.LatGeneral8, row.AreaGen8 = dg.Latency, dg.AreaPercent()
+
+		det4, _, err := ctx.Detector(name, zoo.Boosted, 4)
+		if err != nil {
+			return nil, err
+		}
+		d4, err := hls.Compile(det4.Model, det4.Name())
+		if err != nil {
+			return nil, err
+		}
+		row.LatBoost4, row.AreaB4 = d4.Latency, d4.AreaPercent()
+
+		det2, _, err := ctx.Detector(name, zoo.Boosted, 2)
+		if err != nil {
+			return nil, err
+		}
+		d2, err := hls.Compile(det2.Model, det2.Name())
+		if err != nil {
+			return nil, err
+		}
+		row.LatBoost2, row.AreaB2 = d2.Latency, d2.AreaPercent()
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ---- Rendering ----
+
+// RenderTable1 formats Table 1 rows.
+func RenderTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: hardware performance counters in order of importance\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%2d. %-28s score=%.4f\n", r.Rank, r.Event, r.Score)
+	}
+	return sb.String()
+}
+
+// RenderGrid formats Figure 3/5 cells as one row per detector with the
+// chosen metric ("acc" or "perf").
+func RenderGrid(cells []GridCell, metric string) string {
+	sorted := append([]GridCell(nil), cells...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Classifier != sorted[b].Classifier {
+			return sorted[a].Classifier < sorted[b].Classifier
+		}
+		if sorted[a].HPCs != sorted[b].HPCs {
+			return sorted[a].HPCs > sorted[b].HPCs
+		}
+		return sorted[a].Variant < sorted[b].Variant
+	})
+	var sb strings.Builder
+	title := "Figure 3: accuracy (%)"
+	if metric == "perf" {
+		title = "Figure 5: performance ACC*AUC (%)"
+	}
+	sb.WriteString(title + "\n")
+	for _, c := range sorted {
+		v := c.Result.Accuracy
+		if metric == "perf" {
+			v = c.Result.Performance()
+		}
+		fmt.Fprintf(&sb, "%-28s %6.2f\n", c.Label(), v*100)
+	}
+	return sb.String()
+}
+
+// RenderTable2 formats the AUC table.
+func RenderTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: AUC values for general and ensemble detectors\n")
+	fmt.Fprintf(&sb, "%-10s %6s %6s %6s %9s %8s %6s %9s %8s\n",
+		"Classifier", "16HPC", "8HPC", "4HPC", "4HPC-Bst", "4HPC-Bag", "2HPC", "2HPC-Bst", "2HPC-Bag")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %6.2f %6.2f %6.2f %9.2f %8.2f %6.2f %9.2f %8.2f\n",
+			r.Classifier, r.AUC16, r.AUC8, r.AUC4, r.AUC4Boost, r.AUC4Bag, r.AUC2, r.AUC2Boost, r.AUC2Bag)
+	}
+	return sb.String()
+}
+
+// RenderROCs formats ROC curves as a compact point series (the paper
+// plots these; here each curve is downsampled to at most 12 points).
+func RenderROCs(title string, curves []NamedROC) string {
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	for _, c := range curves {
+		fmt.Fprintf(&sb, "%-26s AUC=%.3f  ", c.Label, c.ROC.AUC())
+		pts := c.ROC.Points
+		step := 1
+		if len(pts) > 12 {
+			step = len(pts) / 12
+		}
+		for i := 0; i < len(pts); i += step {
+			fmt.Fprintf(&sb, "(%.2f,%.2f) ", pts[i].FPR, pts[i].TPR)
+		}
+		last := pts[len(pts)-1]
+		fmt.Fprintf(&sb, "(%.2f,%.2f)\n", last.FPR, last.TPR)
+	}
+	return sb.String()
+}
+
+// RenderTable3 formats the hardware table.
+func RenderTable3(rows []Table3Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: hardware implementation results (latency cycles @10ns, area % of OpenSPARC)\n")
+	fmt.Fprintf(&sb, "%-10s | %9s %7s | %9s %7s | %9s %7s\n",
+		"Classifier", "8HPC lat", "area%", "4HPC-B lat", "area%", "2HPC-B lat", "area%")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s | %9d %7.1f | %9d %7.1f | %9d %7.1f\n",
+			r.Classifier, r.LatGeneral8, r.AreaGen8, r.LatBoost4, r.AreaB4, r.LatBoost2, r.AreaB2)
+	}
+	return sb.String()
+}

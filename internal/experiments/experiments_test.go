@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/collect"
+	"repro/internal/mlearn/zoo"
+)
+
+var (
+	ctxOnce sync.Once
+	ctxVal  *Context
+	ctxErr  error
+)
+
+// testContext builds one reduced-scale context shared by all tests in
+// this package (48 apps, 10 intervals — enough signal for structural
+// assertions without paper-scale runtimes).
+func testContext(t *testing.T) *Context {
+	t.Helper()
+	ctxOnce.Do(func() {
+		cfg := collect.Default()
+		cfg.Suite.AppsPerFamily = 4
+		cfg.Intervals = 10
+		ctxVal, ctxErr = NewContext(cfg, 1)
+	})
+	if ctxErr != nil {
+		t.Fatal(ctxErr)
+	}
+	return ctxVal
+}
+
+func TestTable1Structure(t *testing.T) {
+	ctx := testContext(t)
+	rows, err := ctx.Table1(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("got %d rows, want 16", len(rows))
+	}
+	for i, r := range rows {
+		if r.Rank != i+1 {
+			t.Errorf("row %d has rank %d", i, r.Rank)
+		}
+		if i > 0 && r.Score > rows[i-1].Score {
+			t.Error("scores must be non-increasing")
+		}
+		if r.Event == "" {
+			t.Error("empty event name")
+		}
+	}
+	// The top-ranked event should carry clearly more class signal than
+	// the 16th.
+	if rows[0].Score < 1.3*rows[15].Score {
+		t.Errorf("weak ranking: top=%.3f vs 16th=%.3f", rows[0].Score, rows[15].Score)
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, rows[0].Event) {
+		t.Error("render missing content")
+	}
+}
+
+func TestDetectorCaching(t *testing.T) {
+	ctx := testContext(t)
+	d1, r1, err := ctx.Detector("OneR", zoo.General, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, r2, err := ctx.Detector("OneR", zoo.General, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("second call should return the cached detector")
+	}
+	if r1 != r2 {
+		t.Error("cached result should be identical")
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	ctx := testContext(t)
+	cells, err := ctx.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 8*4*3 {
+		t.Fatalf("grid has %d cells, want 96", len(cells))
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if seen[c.Label()] {
+			t.Fatalf("duplicate cell %s", c.Label())
+		}
+		seen[c.Label()] = true
+		if c.Result.Accuracy <= 0.4 || c.Result.Accuracy > 1 {
+			t.Errorf("%s: accuracy %.3f out of plausible range", c.Label(), c.Result.Accuracy)
+		}
+		if c.Result.AUC < 0.3 || c.Result.AUC > 1 {
+			t.Errorf("%s: AUC %.3f out of plausible range", c.Label(), c.Result.AUC)
+		}
+	}
+	// OneR must be invariant to the HPC budget as long as its one
+	// chosen feature is in every budget — the paper's signature
+	// observation (it only ever uses the top-ranked counter).
+	var oneR []GridCell
+	for _, c := range cells {
+		if c.Classifier == "OneR" && c.Variant == zoo.General {
+			oneR = append(oneR, c)
+		}
+	}
+	if len(oneR) != 4 {
+		t.Fatalf("OneR rows = %d", len(oneR))
+	}
+	// OneR uses a single attribute, so its accuracy is (nearly) flat
+	// across HPC budgets — exactly flat whenever its preferred
+	// attribute survives the cut, and within a few points otherwise.
+	for _, c := range oneR[1:] {
+		diff := c.Result.Accuracy - oneR[0].Result.Accuracy
+		if diff < -0.06 || diff > 0.06 {
+			t.Errorf("OneR accuracy should be nearly flat across HPC budgets: %v vs %v",
+				c.Result.Accuracy, oneR[0].Result.Accuracy)
+		}
+	}
+	if out := RenderGrid(cells, "acc"); !strings.Contains(out, "16HPC-J48") {
+		t.Error("grid render missing rows")
+	}
+	if out := RenderGrid(cells, "perf"); !strings.Contains(out, "Figure 5") {
+		t.Error("perf render missing title")
+	}
+}
+
+func TestTable2Columns(t *testing.T) {
+	ctx := testContext(t)
+	rows, err := ctx.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		for _, v := range []float64{r.AUC16, r.AUC8, r.AUC4, r.AUC4Boost, r.AUC4Bag, r.AUC2, r.AUC2Boost, r.AUC2Bag} {
+			if v <= 0 || v > 1 {
+				t.Errorf("%s: AUC %v out of range", r.Classifier, v)
+			}
+		}
+	}
+	if out := RenderTable2(rows); !strings.Contains(out, "Table 2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure4Curves(t *testing.T) {
+	ctx := testContext(t)
+	a, err := ctx.Figure4a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 4 {
+		t.Fatalf("figure 4a has %d curves, want 4", len(a))
+	}
+	for _, c := range a {
+		if !strings.Contains(c.Label, "4HPC-Bagging") {
+			t.Errorf("unexpected curve %s", c.Label)
+		}
+		if len(c.ROC.Points) < 2 {
+			t.Errorf("%s: degenerate ROC", c.Label)
+		}
+	}
+	b, err := ctx.Figure4b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 4 {
+		t.Fatalf("figure 4b has %d curves, want 4 (2 classifiers x 2 configs)", len(b))
+	}
+	if out := RenderROCs("Figure 4a", a); !strings.Contains(out, "AUC=") {
+		t.Error("ROC render missing AUC")
+	}
+}
+
+func TestTable3Hardware(t *testing.T) {
+	ctx := testContext(t)
+	rows, err := ctx.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	var oneR, mlp Table3Row
+	for _, r := range rows {
+		if r.LatGeneral8 <= 0 || r.LatBoost4 <= 0 || r.LatBoost2 <= 0 {
+			t.Errorf("%s: non-positive latency", r.Classifier)
+		}
+		if r.AreaGen8 <= 0 || r.AreaB4 <= 0 || r.AreaB2 <= 0 {
+			t.Errorf("%s: non-positive area", r.Classifier)
+		}
+		// Boosted committees on a shared engine are slower than the
+		// single 8HPC model for every classifier, as in Table 3.
+		if r.LatBoost4 <= r.LatGeneral8 && r.Classifier != "MLP" {
+			t.Errorf("%s: boosted latency %d <= general %d", r.Classifier, r.LatBoost4, r.LatGeneral8)
+		}
+		switch r.Classifier {
+		case "OneR":
+			oneR = r
+		case "MLP":
+			mlp = r
+		}
+	}
+	// Table 3's qualitative anchors: OneR is the cheapest general
+	// design; MLP the most expensive.
+	if oneR.LatGeneral8 >= mlp.LatGeneral8 {
+		t.Error("OneR should be faster than MLP")
+	}
+	if oneR.AreaGen8 >= mlp.AreaGen8 {
+		t.Error("OneR should be smaller than MLP")
+	}
+	if out := RenderTable3(rows); !strings.Contains(out, "Table 3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestSpecializedComparison(t *testing.T) {
+	ctx := testContext(t)
+	rows, err := ctx.SpecializedComparison(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		for _, v := range []float64{r.Mono.Accuracy, r.Specialized.Accuracy} {
+			if v < 0.4 || v > 1 {
+				t.Errorf("%s: accuracy %v implausible", r.Classifier, v)
+			}
+		}
+	}
+	if out := RenderOrgRows(rows); !strings.Contains(out, "specialized") {
+		t.Error("render missing title")
+	}
+}
+
+func TestEvasionSweep(t *testing.T) {
+	ctx := testContext(t)
+	pts, err := ctx.EvasionSweep("J48", zoo.General, 4, []float64{0, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[1].FlagRate >= pts[0].FlagRate {
+		t.Errorf("evasion should reduce flag rate: %.2f -> %.2f", pts[0].FlagRate, pts[1].FlagRate)
+	}
+	if out := RenderEvasion("4HPC-J48", pts); !strings.Contains(out, "alpha=0.90") {
+		t.Error("render missing sweep points")
+	}
+}

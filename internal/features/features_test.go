@@ -1,0 +1,202 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/micro"
+)
+
+// synth builds a dataset where attribute 0 is perfectly correlated with
+// the class, attribute 1 is anti-correlated, attribute 2 is noise and
+// attribute 3 is constant.
+func synth(t *testing.T) *dataset.Instances {
+	t.Helper()
+	d := dataset.New([]string{"pos", "neg", "noise", "flat"}, dataset.BinaryClassNames())
+	rng := micro.NewRNG(1)
+	for i := 0; i < 200; i++ {
+		y := i % 2
+		x := []float64{
+			float64(y),
+			float64(1 - y),
+			rng.Float64(),
+			3.14,
+		}
+		group := "benign-app"
+		if y == 1 {
+			group = "mal-app"
+		}
+		if err := d.Add(x, y, group); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestCorrelationScores(t *testing.T) {
+	d := synth(t)
+	scores, err := CorrelationScores(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scores[0]-1) > 1e-9 {
+		t.Errorf("perfectly correlated attr scored %.4f, want 1", scores[0])
+	}
+	if math.Abs(scores[1]-1) > 1e-9 {
+		t.Errorf("anti-correlated attr scored %.4f, want 1 (absolute value)", scores[1])
+	}
+	if scores[2] > 0.3 {
+		t.Errorf("noise attr scored %.4f, want near 0", scores[2])
+	}
+	if scores[3] != 0 {
+		t.Errorf("constant attr scored %.4f, want exactly 0", scores[3])
+	}
+}
+
+func TestCorrelationEdgeCases(t *testing.T) {
+	d := dataset.New([]string{"a"}, dataset.BinaryClassNames())
+	_ = d.Add([]float64{1}, 0, "g")
+	if _, err := CorrelationScores(d); err == nil {
+		t.Error("single row should fail")
+	}
+	// Single-class dataset: zero scores, no error.
+	_ = d.Add([]float64{2}, 0, "g")
+	scores, err := CorrelationScores(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0] != 0 {
+		t.Error("single-class dataset should score 0")
+	}
+}
+
+func TestRankCorrelationOrder(t *testing.T) {
+	d := synth(t)
+	ranked, err := RankCorrelation(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 4 {
+		t.Fatalf("ranked %d attrs, want 4", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Score > ranked[i-1].Score {
+			t.Fatal("ranking not descending")
+		}
+	}
+	// The two perfect attrs must head the list; flat must be last.
+	if ranked[0].Name == "noise" || ranked[0].Name == "flat" {
+		t.Errorf("top-ranked = %q, want pos or neg", ranked[0].Name)
+	}
+	if ranked[3].Name != "flat" {
+		t.Errorf("bottom-ranked = %q, want flat", ranked[3].Name)
+	}
+}
+
+func TestTopKAndReduce(t *testing.T) {
+	d := synth(t)
+	cols, err := TopK(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 {
+		t.Fatal("wrong k")
+	}
+	for _, c := range cols {
+		if c != 0 && c != 1 {
+			t.Errorf("top-2 includes column %d, want {0,1}", c)
+		}
+	}
+	red, cols2, err := Reduce(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.NumAttrs() != 2 || red.NumRows() != d.NumRows() {
+		t.Fatal("reduced shape wrong")
+	}
+	if len(cols2) != 2 {
+		t.Fatal("reduce column list wrong")
+	}
+
+	if _, err := TopK(d, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := TopK(d, 99); err == nil {
+		t.Error("k too large should fail")
+	}
+}
+
+func TestTopKNestedPrefix(t *testing.T) {
+	// The paper's 16/8/4/2 HPC budgets are nested prefixes of one
+	// ranking; verify TopK(k) is a prefix of TopK(k+1).
+	d := synth(t)
+	k3, _ := TopK(d, 3)
+	k2, _ := TopK(d, 2)
+	for i := range k2 {
+		if k2[i] != k3[i] {
+			t.Fatal("TopK results are not nested prefixes")
+		}
+	}
+}
+
+func TestVarianceScores(t *testing.T) {
+	d := synth(t)
+	scores, err := VarianceScores(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[3] > 1e-18 {
+		t.Errorf("constant attr variance score = %g, want ~0", scores[3])
+	}
+	if scores[0] == 0 {
+		t.Error("varying attr should have positive variance score")
+	}
+	ranked, err := RankVariance(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[len(ranked)-1].Name != "flat" {
+		t.Error("flat should rank last under variance")
+	}
+}
+
+func TestRandomK(t *testing.T) {
+	d := synth(t)
+	cols, err := RandomK(d, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range cols {
+		if c < 0 || c >= d.NumAttrs() || seen[c] {
+			t.Fatal("RandomK returned invalid or duplicate column")
+		}
+		seen[c] = true
+	}
+	cols2, _ := RandomK(d, 3, 5)
+	for i := range cols {
+		if cols[i] != cols2[i] {
+			t.Fatal("RandomK not deterministic for equal seeds")
+		}
+	}
+	if _, err := RandomK(d, 0, 1); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestRankDeterministicTieBreak(t *testing.T) {
+	// Two identical attributes must rank by column index.
+	d := dataset.New([]string{"a", "b"}, dataset.BinaryClassNames())
+	for i := 0; i < 50; i++ {
+		y := i % 2
+		_ = d.Add([]float64{float64(y), float64(y)}, y, map[int]string{0: "g0", 1: "g1"}[y])
+	}
+	ranked, err := RankCorrelation(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Index != 0 || ranked[1].Index != 1 {
+		t.Error("ties must break by column index")
+	}
+}

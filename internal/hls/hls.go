@@ -1,0 +1,441 @@
+// Package hls is the hardware-implementation cost model standing in for
+// the paper's Vivado HLS → Xilinx Virtex-7 flow (§4.4, Table 3). It
+// compiles *trained* models into a dataflow description of hardware
+// operators (comparators, adders, multiply-accumulates, table lookups,
+// sigmoid units), schedules them, and reports:
+//
+//   - Latency, in clock cycles at 10 ns (the paper's unit), and
+//   - Area, as a percentage of an OpenSPARC-class core budget (the
+//     paper's reference), from LUT/FF/DSP/BRAM utilisation.
+//
+// The compiler walks the real trained structures — tree nodes, rule
+// conditions, CPT widths, network weights — so the qualitative content
+// of Table 3 (MLP an order of magnitude bigger and slower; rule/tree
+// models tiny; ensembles multiplying latency but sharing compute)
+// falls out of model structure rather than being hard-coded.
+package hls
+
+import (
+	"fmt"
+
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/bayesnet"
+	"repro/internal/mlearn/ensemble"
+	"repro/internal/mlearn/j48"
+	"repro/internal/mlearn/jrip"
+	"repro/internal/mlearn/knn"
+	"repro/internal/mlearn/logistic"
+	"repro/internal/mlearn/mlp"
+	"repro/internal/mlearn/oner"
+	"repro/internal/mlearn/reptree"
+	"repro/internal/mlearn/sgd"
+	"repro/internal/mlearn/smo"
+)
+
+// Resources aggregates FPGA primitive utilisation.
+type Resources struct {
+	LUTs  int
+	FFs   int
+	DSPs  int
+	BRAMs int
+}
+
+// Add accumulates other into r.
+func (r *Resources) Add(other Resources) {
+	r.LUTs += other.LUTs
+	r.FFs += other.FFs
+	r.DSPs += other.DSPs
+	r.BRAMs += other.BRAMs
+}
+
+// Scale multiplies every resource count by f (rounding down, min 0).
+func (r Resources) Scale(f float64) Resources {
+	return Resources{
+		LUTs:  int(float64(r.LUTs) * f),
+		FFs:   int(float64(r.FFs) * f),
+		DSPs:  int(float64(r.DSPs) * f),
+		BRAMs: int(float64(r.BRAMs) * f),
+	}
+}
+
+// Max returns the element-wise maximum (shared-logic area of two
+// alternatives).
+func (r Resources) Max(other Resources) Resources {
+	m := r
+	if other.LUTs > m.LUTs {
+		m.LUTs = other.LUTs
+	}
+	if other.FFs > m.FFs {
+		m.FFs = other.FFs
+	}
+	if other.DSPs > m.DSPs {
+		m.DSPs = other.DSPs
+	}
+	if other.BRAMs > m.BRAMs {
+		m.BRAMs = other.BRAMs
+	}
+	return m
+}
+
+// LUTEquivalent folds the mixed resource vector into one figure using
+// typical Virtex-7 exchange rates (a DSP48 slice is worth roughly 150
+// LUTs of multiplier logic; a BRAM roughly 200 LUTs of distributed
+// memory; FFs pair with LUTs at about half weight).
+func (r Resources) LUTEquivalent() float64 {
+	return float64(r.LUTs) + 0.5*float64(r.FFs) + 150*float64(r.DSPs) + 200*float64(r.BRAMs)
+}
+
+// OpenSPARCBudget is the LUT-equivalent footprint of the reference
+// OpenSPARC T1 core on a Virtex-7-class FPGA, against which the paper
+// reports relative area.
+const OpenSPARCBudget = 62000.0
+
+// Operator cost table: latency in 10 ns cycles and primitive cost per
+// instance, for 32-bit fixed-point datapaths.
+var (
+	costCmp     = opCost{lat: 1, res: Resources{LUTs: 32, FFs: 32}}
+	costAdd     = opCost{lat: 1, res: Resources{LUTs: 32, FFs: 32}}
+	costMul     = opCost{lat: 3, res: Resources{LUTs: 12, FFs: 48, DSPs: 1}}
+	costTable   = opCost{lat: 2, res: Resources{LUTs: 24, FFs: 16, BRAMs: 1}} // CPT / constant ROM
+	costSigmoid = opCost{lat: 2, res: Resources{LUTs: 96, FFs: 32}}           // piecewise-linear unit
+	costMux     = opCost{lat: 1, res: Resources{LUTs: 16, FFs: 8}}
+	costCtl     = opCost{lat: 2, res: Resources{LUTs: 64, FFs: 64}} // FSM / IO registration
+)
+
+type opCost struct {
+	lat int
+	res Resources
+}
+
+// Design is a compiled hardware implementation of one trained model.
+type Design struct {
+	Name    string
+	Latency int // cycles @10ns to classify one input vector
+	Res     Resources
+	// Submodels counts base models for ensemble designs (1 otherwise).
+	Submodels int
+}
+
+// AreaPercent reports the design's area relative to the OpenSPARC core
+// budget, as in Table 3.
+func (d *Design) AreaPercent() float64 {
+	return d.Res.LUTEquivalent() / OpenSPARCBudget * 100
+}
+
+// String formats a Table 3-style row.
+func (d *Design) String() string {
+	return fmt.Sprintf("%-24s latency=%3d cycles  area=%5.1f%%  (LUT=%d FF=%d DSP=%d BRAM=%d)",
+		d.Name, d.Latency, d.AreaPercent(), d.Res.LUTs, d.Res.FFs, d.Res.DSPs, d.Res.BRAMs)
+}
+
+// Schedule selects how ensemble members map onto hardware.
+type Schedule int
+
+const (
+	// Shared runs ensemble members sequentially on one shared compute
+	// engine (per-member constants in ROM): low area, latency scales
+	// with the member count. This matches the paper's Table 3 numbers.
+	Shared Schedule = iota
+	// Parallel instantiates every member: latency of the slowest
+	// member plus the vote tree, at the cost of summed area. Provided
+	// for the DESIGN.md §5 ablation.
+	Parallel
+)
+
+// Compile lowers a trained model into a Design using the Shared
+// schedule for ensembles.
+func Compile(c mlearn.Classifier, name string) (*Design, error) {
+	return CompileScheduled(c, name, Shared)
+}
+
+// CompileScheduled lowers a trained model with an explicit ensemble
+// schedule.
+func CompileScheduled(c mlearn.Classifier, name string, sched Schedule) (*Design, error) {
+	var d *Design
+	switch m := c.(type) {
+	case *oner.Model:
+		d = compileOneR(m)
+	case *j48.Model:
+		d = compileTree(m.Root)
+	case *reptree.Model:
+		d = compileTree(m.Root)
+	case *jrip.Model:
+		d = compileRules(m)
+	case *bayesnet.Model:
+		d = compileBayes(m)
+	case *sgd.Model:
+		d = compileLinear(len(m.Weights))
+	case *smo.Model:
+		d = compileLinear(len(m.Weights))
+	case *logistic.Model:
+		// Linear datapath plus a sigmoid unit for the probability
+		// output.
+		d = compileLinear(len(m.Weights))
+		d.Latency += costSigmoid.lat
+		d.Res.Add(costSigmoid.res)
+	case *knn.Model:
+		d = compileKNN(m)
+	case *mlp.Model:
+		d = compileMLP(m)
+	case *ensemble.BoostedModel:
+		return compileEnsemble(m.Models, name, sched, true)
+	case *ensemble.BaggedModel:
+		return compileEnsemble(m.Models, name, sched, false)
+	default:
+		return nil, fmt.Errorf("hls: cannot compile model of type %T", c)
+	}
+	d.Name = name
+	d.Submodels = 1
+	// Input registration / decision FSM overhead applies once.
+	d.Latency += costCtl.lat
+	d.Res.Add(costCtl.res)
+	return d, nil
+}
+
+// compileOneR: all interval comparators evaluate in parallel, a
+// priority encoder picks the interval — single-cycle datapath, tiny
+// area. This is why the paper reports OneR at 1 cycle.
+func compileOneR(m *oner.Model) *Design {
+	n := len(m.Thresholds)
+	if n == 0 {
+		n = 1
+	}
+	res := Resources{}
+	for i := 0; i < n; i++ {
+		res.Add(costCmp.res)
+	}
+	res.Add(costMux.res) // priority encoder / output select
+	return &Design{Latency: costCmp.lat, Res: res}
+}
+
+// compileTree: one comparator per internal node (all instantiated), a
+// root-to-leaf multiplexer chain. Latency follows tree depth; area
+// follows node count.
+func compileTree(root *mlearn.TreeNode) *Design {
+	internal, leaves := root.Count()
+	depth := root.Depth()
+	if depth == 0 {
+		depth = 1
+	}
+	res := Resources{}
+	for i := 0; i < internal; i++ {
+		res.Add(costCmp.res)
+	}
+	for i := 0; i < leaves; i++ {
+		res.Add(Resources{LUTs: 4, FFs: 8}) // leaf constant registers
+	}
+	// Mux chain along the critical path.
+	for i := 0; i < depth; i++ {
+		res.Add(costMux.res)
+	}
+	return &Design{Latency: depth*costCmp.lat + 1, Res: res}
+}
+
+// compileRules: every condition across all rules gets a comparator
+// (parallel), each rule ANDs its conditions, and a priority chain picks
+// the first match. Latency: compare + AND-reduce + priority.
+func compileRules(m *jrip.Model) *Design {
+	res := Resources{}
+	conds := 0
+	maxConds := 1
+	for _, r := range m.Rules {
+		conds += len(r.Conds)
+		if len(r.Conds) > maxConds {
+			maxConds = len(r.Conds)
+		}
+	}
+	if conds == 0 {
+		conds = 1
+	}
+	for i := 0; i < conds; i++ {
+		res.Add(costCmp.res)
+	}
+	// AND trees + priority encoder.
+	res.Add(Resources{LUTs: 8 * len(m.Rules), FFs: 4 * len(m.Rules)})
+	res.Add(costMux.res)
+	andDepth := ceilLog2(maxConds)
+	return &Design{Latency: costCmp.lat + andDepth + 1, Res: res}
+}
+
+// compileBayes: per attribute a bin-index comparator ladder feeds a CPT
+// ROM; per-class log-probability adder tree reduces the lookups; a
+// final comparator picks the class.
+func compileBayes(m *bayesnet.Model) *Design {
+	res := Resources{}
+	nAttrs := len(m.CPT)
+	classes := len(m.Prior)
+	maxBins := 1
+	for j := range m.CPT {
+		bins := len(m.CPT[j][0])
+		if bins > maxBins {
+			maxBins = bins
+		}
+		// Bin ladder: bins-1 comparators.
+		for b := 0; b < bins-1; b++ {
+			res.Add(costCmp.res)
+		}
+		// CPT ROM per attribute.
+		res.Add(costTable.res)
+	}
+	// Adder tree per class.
+	adders := (nAttrs - 1) * classes
+	if adders < 1 {
+		adders = 1
+	}
+	for i := 0; i < adders; i++ {
+		res.Add(costAdd.res)
+	}
+	res.Add(costCmp.res) // argmax
+	latency := ceilLog2(maxBins) + costTable.lat + ceilLog2(nAttrs)*costAdd.lat + costCmp.lat
+	return &Design{Latency: latency, Res: res}
+}
+
+// compileLinear: a dot product on a single shared MAC (one DSP), the
+// standard HLS result for a WEKA "functions" model without unrolling:
+// latency scales linearly with the feature count.
+func compileLinear(features int) *Design {
+	if features < 1 {
+		features = 1
+	}
+	res := Resources{}
+	res.Add(costMul.res) // the shared MAC
+	res.Add(costAdd.res)
+	res.Add(costTable.res) // weight ROM
+	res.Add(costCmp.res)   // sign decision
+	latency := features*(costMul.lat+costAdd.lat) + costCmp.lat
+	return &Design{Latency: latency, Res: res}
+}
+
+// compileKNN: a stored-corpus design — one distance engine (shared
+// MAC) streaming the training set from ROM, plus a k-entry
+// insertion-sorted neighbour buffer. Latency and memory scale with the
+// corpus, which is precisely the property that makes KNN unattractive
+// for on-chip detection (the baseline point the paper's related work
+// makes against Demme'13).
+func compileKNN(m *knn.Model) *Design {
+	features := 0
+	if len(m.X) > 0 {
+		features = len(m.X[0])
+	}
+	res := Resources{}
+	res.Add(costMul.res) // shared distance MAC
+	res.Add(costAdd.res)
+	res.Add(costCmp.res) // neighbour-buffer compare
+	// Training-set ROM: one BRAM per ~512 stored words.
+	words := len(m.X)*features + len(m.Y)
+	brams := (words + 511) / 512
+	if brams < 1 {
+		brams = 1
+	}
+	res.Add(Resources{BRAMs: brams, LUTs: 64, FFs: 96})
+	latency := len(m.X)*(features*(costMul.lat+costAdd.lat)/4+costCmp.lat) + costCmp.lat
+	return &Design{Latency: latency, Res: res}
+}
+
+// compileMLP: each layer is a MAC grid with modest unrolling (one MAC
+// per hidden unit), plus a sigmoid unit per neuron — the big, slow
+// design the paper observes (hundreds of cycles, dominant area).
+func compileMLP(m *mlp.Model) *Design {
+	in, hid, out := m.Inputs(), m.Hidden(), m.Outputs()
+	res := Resources{}
+	// One MAC + sigmoid per hidden unit, one per output unit.
+	for i := 0; i < hid+out; i++ {
+		res.Add(costMul.res)
+		res.Add(costAdd.res)
+		res.Add(costSigmoid.res)
+	}
+	// Weight ROMs: one per neuron.
+	for i := 0; i < hid+out; i++ {
+		res.Add(costTable.res)
+	}
+	res.Add(costCmp.res)
+	// Each hidden unit consumes its inputs sequentially on its MAC;
+	// layers are pipelined one after the other.
+	latHidden := in*(costMul.lat+costAdd.lat) + costSigmoid.lat
+	latOut := hid*(costMul.lat+costAdd.lat) + costSigmoid.lat
+	return &Design{Latency: latHidden + latOut + costCmp.lat, Res: res}
+}
+
+// compileEnsemble lowers a committee. Under the Shared schedule the
+// members time-multiplex one compute engine sized for the largest
+// member (per-member constants live in ROMs), and each member's vote
+// costs a multiply-accumulate (weighted vote for boosting, averaging
+// for bagging). Under Parallel, every member is instantiated.
+func compileEnsemble(models []mlearn.Classifier, name string, sched Schedule, weighted bool) (*Design, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("hls: empty ensemble")
+	}
+	subs := make([]*Design, 0, len(models))
+	for i, m := range models {
+		d, err := CompileScheduled(m, fmt.Sprintf("%s[%d]", name, i), sched)
+		if err != nil {
+			return nil, err
+		}
+		// Strip the per-design control overhead; the ensemble has one
+		// shared FSM added below.
+		d.Latency -= costCtl.lat
+		d.Res.LUTs -= costCtl.res.LUTs
+		d.Res.FFs -= costCtl.res.FFs
+		subs = append(subs, d)
+	}
+
+	out := &Design{Name: name, Submodels: len(models)}
+	voteOps := costAdd.lat
+	voteRes := costAdd.res
+	if weighted {
+		voteOps += costMul.lat
+		voteRes.Add(costMul.res)
+		voteRes.Add(costTable.res) // alpha ROM
+	}
+
+	switch sched {
+	case Shared:
+		// Shared engine: area = largest member + per-member constant
+		// ROMs (12% of each member's area: thresholds/weights, not
+		// datapath) + vote logic.
+		shared := Resources{}
+		for _, s := range subs {
+			shared = shared.Max(s.Res)
+		}
+		out.Res.Add(shared)
+		for _, s := range subs {
+			out.Res.Add(s.Res.Scale(0.12))
+		}
+		out.Res.Add(voteRes)
+		total := 0
+		for _, s := range subs {
+			total += s.Latency + voteOps
+		}
+		out.Latency = total + costCmp.lat
+	case Parallel:
+		for _, s := range subs {
+			out.Res.Add(s.Res)
+		}
+		out.Res.Add(voteRes.Scale(float64(len(subs))))
+		maxLat := 0
+		for _, s := range subs {
+			if s.Latency > maxLat {
+				maxLat = s.Latency
+			}
+		}
+		out.Latency = maxLat + voteOps + ceilLog2(len(subs)) + costCmp.lat
+	default:
+		return nil, fmt.Errorf("hls: unknown schedule %d", sched)
+	}
+	out.Latency += costCtl.lat
+	out.Res.Add(costCtl.res)
+	return out, nil
+}
+
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	l := 0
+	v := 1
+	for v < n {
+		v <<= 1
+		l++
+	}
+	return l
+}

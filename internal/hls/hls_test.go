@@ -1,0 +1,200 @@
+package hls
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/mltest"
+	"repro/internal/mlearn/zoo"
+)
+
+func trainAll(t *testing.T) map[string]mlearn.Classifier {
+	t.Helper()
+	train := mltest.Blobs(300, 4, 1)
+	out := map[string]mlearn.Classifier{}
+	for _, name := range zoo.Names() {
+		c, err := zoo.MustNew(name, 3).Train(train, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = c
+	}
+	return out
+}
+
+func TestCompileAllModels(t *testing.T) {
+	for name, c := range trainAll(t) {
+		d, err := Compile(c, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.Latency <= 0 {
+			t.Errorf("%s: non-positive latency", name)
+		}
+		if d.Res.LUTs <= 0 {
+			t.Errorf("%s: no logic at all", name)
+		}
+		if d.AreaPercent() <= 0 || d.AreaPercent() > 100 {
+			t.Errorf("%s: area %.1f%% out of plausible range", name, d.AreaPercent())
+		}
+		if !strings.Contains(d.String(), name) {
+			t.Errorf("%s: String() missing name", name)
+		}
+	}
+}
+
+func TestMLPDominatesCost(t *testing.T) {
+	// Table 3's headline: the MLP is the most expensive design in both
+	// latency and area by a wide margin.
+	models := trainAll(t)
+	dMLP, err := Compile(models["MLP"], "MLP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range []string{"OneR", "J48", "JRip", "REPTree", "BayesNet"} {
+		d, err := Compile(models[other], other)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Latency >= dMLP.Latency {
+			t.Errorf("%s latency %d >= MLP %d", other, d.Latency, dMLP.Latency)
+		}
+		if d.AreaPercent() >= dMLP.AreaPercent() {
+			t.Errorf("%s area %.1f%% >= MLP %.1f%%", other, d.AreaPercent(), dMLP.AreaPercent())
+		}
+	}
+}
+
+func TestOneRIsCheapest(t *testing.T) {
+	// The paper reports OneR at 1 cycle: a parallel comparator bank.
+	models := trainAll(t)
+	d, err := Compile(models["OneR"], "OneR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Control overhead adds a couple of cycles on top of the 1-cycle
+	// datapath; the total must stay tiny.
+	if d.Latency > 4 {
+		t.Errorf("OneR latency = %d, want <= 4", d.Latency)
+	}
+	for _, other := range []string{"MLP", "SGD", "SMO", "BayesNet"} {
+		od, _ := Compile(models[other], other)
+		if od.Latency < d.Latency {
+			t.Errorf("%s (%d) beat OneR (%d) on latency", other, od.Latency, d.Latency)
+		}
+	}
+}
+
+func TestLinearLatencyScalesWithFeatures(t *testing.T) {
+	d8 := compileLinear(8)
+	d2 := compileLinear(2)
+	if d8.Latency <= d2.Latency {
+		t.Error("more features must cost more MAC cycles")
+	}
+	// Sequential MAC: 8 features ~ 4x the 2-feature latency.
+	ratio := float64(d8.Latency) / float64(d2.Latency)
+	if ratio < 2 || ratio > 5 {
+		t.Errorf("8/2 feature latency ratio = %.2f, want ~4", ratio)
+	}
+}
+
+func TestEnsembleSharedSchedule(t *testing.T) {
+	train := mltest.Blobs(300, 4, 5)
+	boost, err := zoo.NewVariant("OneR", zoo.Boosted, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := boost.Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, _ := zoo.MustNew("OneR", 7).Train(train, nil)
+
+	dBoost, err := Compile(c, "Boosted-OneR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dSingle, err := Compile(single, "OneR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dBoost.Submodels < 2 {
+		t.Skipf("boosting collapsed to %d model(s)", dBoost.Submodels)
+	}
+	// Shared schedule: latency multiplies with member count, area
+	// grows but far less than proportionally.
+	if dBoost.Latency <= dSingle.Latency {
+		t.Error("boosted shared-schedule latency should exceed the single model")
+	}
+	// The paper's claim: ensemble area overhead stays under ~3% of the
+	// core budget thanks to compute sharing.
+	if over := dBoost.AreaPercent() - dSingle.AreaPercent(); over > 3.0 {
+		t.Errorf("shared-schedule area overhead = %.1f%%, want < 3%%", over)
+	}
+}
+
+func TestEnsembleParallelSchedule(t *testing.T) {
+	train := mltest.Blobs(300, 4, 9)
+	bag, err := zoo.NewVariant("REPTree", zoo.Bagged, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := bag.Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := CompileScheduled(c, "Bagged-REPTree", Shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CompileScheduled(c, "Bagged-REPTree", Parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Latency >= shared.Latency {
+		t.Error("parallel schedule should be faster than shared")
+	}
+	if par.Res.LUTEquivalent() <= shared.Res.LUTEquivalent() {
+		t.Error("parallel schedule should be bigger than shared")
+	}
+}
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{LUTs: 100, FFs: 50, DSPs: 2, BRAMs: 1}
+	b := Resources{LUTs: 10, FFs: 200, DSPs: 1, BRAMs: 0}
+	a.Add(b)
+	if a.LUTs != 110 || a.FFs != 250 || a.DSPs != 3 || a.BRAMs != 1 {
+		t.Error("Add wrong")
+	}
+	m := (Resources{LUTs: 5, FFs: 500}).Max(Resources{LUTs: 50, FFs: 5})
+	if m.LUTs != 50 || m.FFs != 500 {
+		t.Error("Max wrong")
+	}
+	s := (Resources{LUTs: 100, DSPs: 3}).Scale(0.5)
+	if s.LUTs != 50 || s.DSPs != 1 {
+		t.Error("Scale wrong")
+	}
+	if (Resources{DSPs: 1}).LUTEquivalent() != 150 {
+		t.Error("DSP exchange rate wrong")
+	}
+}
+
+func TestCompileUnknownType(t *testing.T) {
+	if _, err := Compile(fakeModel{}, "fake"); err == nil {
+		t.Error("unknown model type should fail")
+	}
+}
+
+type fakeModel struct{}
+
+func (fakeModel) Distribution([]float64) []float64 { return []float64{1, 0} }
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10}
+	for n, want := range cases {
+		if got := ceilLog2(n); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,418 @@
+package hls
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/ensemble"
+	"repro/internal/mlearn/j48"
+	"repro/internal/mlearn/jrip"
+	"repro/internal/mlearn/logistic"
+	"repro/internal/mlearn/oner"
+	"repro/internal/mlearn/reptree"
+	"repro/internal/mlearn/sgd"
+	"repro/internal/mlearn/smo"
+)
+
+// The netlist layer lowers a trained model into an explicit dataflow
+// graph of fixed-point hardware operators. The same graph serves three
+// purposes: a bit-exact reference evaluation (Eval — used by tests to
+// prove the hardware matches the software model's decisions), Verilog
+// emission (Verilog — a synthesizable combinational implementation),
+// and honest operator counts for the cost model.
+//
+// Fixed-point conventions: HPC inputs are integer event counts. Tree
+// and rule thresholds are half-integers (split midpoints), so inputs
+// are compared pre-shifted by one bit against 2x thresholds. Linear
+// model weights are scaled by 2^fxShift.
+
+// NetOp enumerates netlist operator kinds.
+type NetOp int
+
+// Netlist operator kinds.
+const (
+	OpInput NetOp = iota // input port (Input = port index)
+	OpConst              // integer constant (Value)
+	OpLT                 // Args[0] <  Args[1]  (1-bit result)
+	OpGE                 // Args[0] >= Args[1]
+	OpLE                 // Args[0] <= Args[1]
+	OpAnd                // bitwise AND over Args
+	OpOr                 // bitwise OR over Args
+	OpNot                // 1-bit negation
+	OpMux                // Args[0] ? Args[1] : Args[2]
+	OpAdd                // sum of Args
+	OpMul                // Args[0] * Args[1]
+	OpShl                // Args[0] << Value
+)
+
+// fxShift is the fixed-point fraction width for linear-model weights.
+const fxShift = 12
+
+// NetNode is one operator in the graph; Args index earlier nodes
+// (the netlist is topologically ordered by construction).
+type NetNode struct {
+	Op    NetOp
+	Args  []int
+	Value int64 // OpConst payload / OpShl amount
+	Input int   // OpInput port index
+}
+
+// Netlist is a combinational dataflow graph with one 1-bit output
+// (malware decision).
+type Netlist struct {
+	Name      string
+	NumInputs int
+	Nodes     []NetNode
+	Output    int // node index of the decision bit
+}
+
+// add appends a node and returns its index.
+func (n *Netlist) add(node NetNode) int {
+	n.Nodes = append(n.Nodes, node)
+	return len(n.Nodes) - 1
+}
+
+func (n *Netlist) input(port int) int {
+	return n.add(NetNode{Op: OpInput, Input: port})
+}
+
+func (n *Netlist) constant(v int64) int {
+	return n.add(NetNode{Op: OpConst, Value: v})
+}
+
+// Eval computes the netlist over integer inputs, returning the decision
+// bit. This is the bit-exact reference the Verilog corresponds to.
+func (n *Netlist) Eval(inputs []int64) (int64, error) {
+	if len(inputs) != n.NumInputs {
+		return 0, fmt.Errorf("hls: %d inputs for %d ports", len(inputs), n.NumInputs)
+	}
+	vals := make([]int64, len(n.Nodes))
+	for i, node := range n.Nodes {
+		switch node.Op {
+		case OpInput:
+			vals[i] = inputs[node.Input]
+		case OpConst:
+			vals[i] = node.Value
+		case OpLT:
+			vals[i] = b2i(vals[node.Args[0]] < vals[node.Args[1]])
+		case OpGE:
+			vals[i] = b2i(vals[node.Args[0]] >= vals[node.Args[1]])
+		case OpLE:
+			vals[i] = b2i(vals[node.Args[0]] <= vals[node.Args[1]])
+		case OpAnd:
+			v := int64(1)
+			for _, a := range node.Args {
+				v &= vals[a]
+			}
+			vals[i] = v
+		case OpOr:
+			v := int64(0)
+			for _, a := range node.Args {
+				v |= vals[a]
+			}
+			vals[i] = v
+		case OpNot:
+			vals[i] = 1 - (vals[node.Args[0]] & 1)
+		case OpMux:
+			if vals[node.Args[0]] != 0 {
+				vals[i] = vals[node.Args[1]]
+			} else {
+				vals[i] = vals[node.Args[2]]
+			}
+		case OpAdd:
+			var v int64
+			for _, a := range node.Args {
+				v += vals[a]
+			}
+			vals[i] = v
+		case OpMul:
+			vals[i] = vals[node.Args[0]] * vals[node.Args[1]]
+		case OpShl:
+			vals[i] = vals[node.Args[0]] << uint(node.Value)
+		default:
+			return 0, fmt.Errorf("hls: unknown op %d", node.Op)
+		}
+	}
+	return vals[n.Output] & 1, nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// BuildNetlist lowers a trained model to a netlist. Supported model
+// families: OneR, J48/REPTree trees, JRip rules, SGD/SMO/Logistic
+// linear models, and AdaBoost/Bagging committees thereof. The MLP and
+// BayesNet need sigmoid/probability arithmetic that a combinational
+// integer netlist cannot express faithfully; Compile still costs them,
+// but they cannot be emitted as Verilog.
+func BuildNetlist(c mlearn.Classifier, name string, numInputs int) (*Netlist, error) {
+	n := &Netlist{Name: sanitizeIdent(name), NumInputs: numInputs}
+	out, err := lower(n, c)
+	if err != nil {
+		return nil, err
+	}
+	n.Output = out
+	return n, nil
+}
+
+func lower(n *Netlist, c mlearn.Classifier) (int, error) {
+	switch m := c.(type) {
+	case *oner.Model:
+		return lowerOneR(n, m), nil
+	case *j48.Model:
+		return lowerTree(n, m.Root), nil
+	case *reptree.Model:
+		return lowerTree(n, m.Root), nil
+	case *jrip.Model:
+		return lowerRules(n, m), nil
+	case *sgd.Model:
+		return lowerLinear(n, m.Scaler, m.Weights, m.Bias), nil
+	case *smo.Model:
+		return lowerLinear(n, m.Scaler, m.Weights, m.Bias), nil
+	case *logistic.Model:
+		// P >= 0.5 iff the linear margin >= 0, so the decision logic
+		// is the same linear netlist.
+		return lowerLinear(n, m.Scaler, m.Weights, m.Bias), nil
+	case *ensemble.BoostedModel:
+		return lowerCommittee(n, m.Models, m.Alphas)
+	case *ensemble.BaggedModel:
+		alphas := make([]float64, len(m.Models))
+		for i := range alphas {
+			alphas[i] = 1
+		}
+		return lowerCommittee(n, m.Models, alphas)
+	}
+	return 0, fmt.Errorf("hls: cannot lower model of type %T to a netlist", c)
+}
+
+// lowerOneR: comparator ladder with a priority mux chain, matching
+// Model.predict exactly (v < Thresholds[i] selects Classes[i]).
+func lowerOneR(n *Netlist, m *oner.Model) int {
+	x := n.input(m.Attr)
+	x2 := n.add(NetNode{Op: OpShl, Args: []int{x}, Value: 1})
+	// Default: last interval's class.
+	out := n.constant(int64(m.Classes[len(m.Classes)-1]))
+	// Walk thresholds from last to first so the first match wins.
+	for i := len(m.Thresholds) - 1; i >= 0; i-- {
+		th := n.constant(int64(m.Thresholds[i] * 2)) // half-integer safe
+		lt := n.add(NetNode{Op: OpLT, Args: []int{x2, th}})
+		cls := n.constant(int64(m.Classes[i]))
+		out = n.add(NetNode{Op: OpMux, Args: []int{lt, cls, out}})
+	}
+	return out
+}
+
+// lowerTree: one comparator per internal node and a mux per level.
+func lowerTree(n *Netlist, t *mlearn.TreeNode) int {
+	if t.Leaf {
+		pred := 0
+		best := -1.0
+		for c, p := range t.Dist {
+			if p > best {
+				pred, best = c, p
+			}
+		}
+		return n.constant(int64(pred))
+	}
+	x := n.input(t.Attr)
+	x2 := n.add(NetNode{Op: OpShl, Args: []int{x}, Value: 1})
+	th := n.constant(int64(t.Threshold * 2))
+	lt := n.add(NetNode{Op: OpLT, Args: []int{x2, th}})
+	l := lowerTree(n, t.Left)
+	r := lowerTree(n, t.Right)
+	return n.add(NetNode{Op: OpMux, Args: []int{lt, l, r}})
+}
+
+// lowerRules: condition comparators, per-rule AND trees, priority mux
+// chain ending in the default class.
+func lowerRules(n *Netlist, m *jrip.Model) int {
+	defPred := 0
+	best := -1.0
+	for c, p := range m.Default {
+		if p > best {
+			defPred, best = c, p
+		}
+	}
+	out := n.constant(int64(defPred))
+	for i := len(m.Rules) - 1; i >= 0; i-- {
+		r := &m.Rules[i]
+		var condBits []int
+		for _, cond := range r.Conds {
+			x := n.input(cond.Attr)
+			x2 := n.add(NetNode{Op: OpShl, Args: []int{x}, Value: 1})
+			th := n.constant(int64(cond.Threshold * 2))
+			if cond.Ge {
+				condBits = append(condBits, n.add(NetNode{Op: OpGE, Args: []int{x2, th}}))
+			} else {
+				condBits = append(condBits, n.add(NetNode{Op: OpLE, Args: []int{x2, th}}))
+			}
+		}
+		var match int
+		if len(condBits) == 0 {
+			match = n.constant(1)
+		} else {
+			match = n.add(NetNode{Op: OpAnd, Args: condBits})
+		}
+		// The software model predicts argmax of the rule's confidence
+		// distribution, which flips away from r.Class when the
+		// confidence dips below one half (rare, but exactness matters
+		// for hardware equivalence).
+		pred := r.Class
+		if r.Confidence < 0.5 && m.NumClasses == 2 {
+			pred = 1 - r.Class
+		}
+		cls := n.constant(int64(pred))
+		out = n.add(NetNode{Op: OpMux, Args: []int{match, cls, out}})
+	}
+	return out
+}
+
+// lowerLinear: fixed-point dot product in the scaler-normalised space.
+// The normalisation (x-min)/span is folded into integer weights:
+// margin = bias + Σ w_j (x_j - min_j)/span_j, computed as
+// Q = round(w_j / span_j * 2^fxShift), acc = Σ Q_j*(x_j - min_j),
+// plus bias scaled by 2^fxShift. Decision: acc >= 0.
+func lowerLinear(n *Netlist, scaler *mlearn.Scaler, weights []float64, bias float64) int {
+	var terms []int
+	biasAcc := bias
+	for j, w := range weights {
+		span := scaler.Max[j] - scaler.Min[j]
+		if span <= 0 {
+			// Constant feature contributed w*0.5 during training.
+			biasAcc += w * 0.5
+			continue
+		}
+		q := int64(w / span * (1 << fxShift))
+		if q == 0 {
+			continue
+		}
+		x := n.input(j)
+		negMin := n.constant(int64(-scaler.Min[j]))
+		diff := n.add(NetNode{Op: OpAdd, Args: []int{x, negMin}})
+		// Clamp to [0, span], mirroring Scaler.Apply for inputs outside
+		// the training range.
+		zero := n.constant(0)
+		spanC := n.constant(int64(span))
+		under := n.add(NetNode{Op: OpLT, Args: []int{diff, zero}})
+		low := n.add(NetNode{Op: OpMux, Args: []int{under, zero, diff}})
+		over := n.add(NetNode{Op: OpGE, Args: []int{low, spanC}})
+		clamped := n.add(NetNode{Op: OpMux, Args: []int{over, spanC, low}})
+		qc := n.constant(q)
+		terms = append(terms, n.add(NetNode{Op: OpMul, Args: []int{clamped, qc}}))
+	}
+	terms = append(terms, n.constant(int64(biasAcc*(1<<fxShift))))
+	acc := n.add(NetNode{Op: OpAdd, Args: terms})
+	zero := n.constant(0)
+	return n.add(NetNode{Op: OpGE, Args: []int{acc, zero}})
+}
+
+// lowerCommittee: member decision bits weighted by integer-scaled
+// alphas; malware wins when its vote total reaches half the alpha sum.
+func lowerCommittee(n *Netlist, models []mlearn.Classifier, alphas []float64) (int, error) {
+	const voteScale = 1024
+	var voteTerms []int
+	var totalAlpha int64
+	for i, m := range models {
+		bit, err := lower(n, m)
+		if err != nil {
+			return 0, err
+		}
+		a := int64(alphas[i] * voteScale)
+		if a < 1 {
+			a = 1
+		}
+		totalAlpha += a
+		ac := n.constant(a)
+		voteTerms = append(voteTerms, n.add(NetNode{Op: OpMul, Args: []int{bit, ac}}))
+	}
+	sum := n.add(NetNode{Op: OpAdd, Args: voteTerms})
+	// malware iff its vote total strictly exceeds half the alpha mass:
+	// 2*sum > total. Strict comparison matches the software argmax,
+	// which breaks ties toward the benign class.
+	sum2 := n.add(NetNode{Op: OpShl, Args: []int{sum}, Value: 1})
+	tot := n.constant(totalAlpha)
+	return n.add(NetNode{Op: OpLT, Args: []int{tot, sum2}}), nil
+}
+
+// Verilog emits a synthesizable combinational module: one 64-bit input
+// per HPC, a single-bit malware output, and one continuous assignment
+// per netlist node.
+func (n *Netlist) Verilog() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// Generated by hls.BuildNetlist — do not edit.\n")
+	fmt.Fprintf(&sb, "// Combinational malware detector: %d HPC inputs, 1 decision bit.\n", n.NumInputs)
+	fmt.Fprintf(&sb, "module %s (\n", n.Name)
+	for i := 0; i < n.NumInputs; i++ {
+		fmt.Fprintf(&sb, "    input  signed [63:0] hpc%d,\n", i)
+	}
+	fmt.Fprintf(&sb, "    output malware\n);\n\n")
+
+	for i, node := range n.Nodes {
+		switch node.Op {
+		case OpInput:
+			fmt.Fprintf(&sb, "  wire signed [63:0] n%d = hpc%d;\n", i, node.Input)
+		case OpConst:
+			if node.Value < 0 {
+				fmt.Fprintf(&sb, "  wire signed [63:0] n%d = -64'sd%d;\n", i, -node.Value)
+			} else {
+				fmt.Fprintf(&sb, "  wire signed [63:0] n%d = 64'sd%d;\n", i, node.Value)
+			}
+		case OpLT:
+			fmt.Fprintf(&sb, "  wire signed [63:0] n%d = (n%d < n%d) ? 64'sd1 : 64'sd0;\n", i, node.Args[0], node.Args[1])
+		case OpGE:
+			fmt.Fprintf(&sb, "  wire signed [63:0] n%d = (n%d >= n%d) ? 64'sd1 : 64'sd0;\n", i, node.Args[0], node.Args[1])
+		case OpLE:
+			fmt.Fprintf(&sb, "  wire signed [63:0] n%d = (n%d <= n%d) ? 64'sd1 : 64'sd0;\n", i, node.Args[0], node.Args[1])
+		case OpAnd:
+			fmt.Fprintf(&sb, "  wire signed [63:0] n%d = %s;\n", i, joinOp(node.Args, " & "))
+		case OpOr:
+			fmt.Fprintf(&sb, "  wire signed [63:0] n%d = %s;\n", i, joinOp(node.Args, " | "))
+		case OpNot:
+			fmt.Fprintf(&sb, "  wire signed [63:0] n%d = n%d[0] ? 64'sd0 : 64'sd1;\n", i, node.Args[0])
+		case OpMux:
+			fmt.Fprintf(&sb, "  wire signed [63:0] n%d = n%d[0] ? n%d : n%d;\n", i, node.Args[0], node.Args[1], node.Args[2])
+		case OpAdd:
+			fmt.Fprintf(&sb, "  wire signed [63:0] n%d = %s;\n", i, joinOp(node.Args, " + "))
+		case OpMul:
+			fmt.Fprintf(&sb, "  wire signed [63:0] n%d = n%d * n%d;\n", i, node.Args[0], node.Args[1])
+		case OpShl:
+			fmt.Fprintf(&sb, "  wire signed [63:0] n%d = n%d <<< %d;\n", i, node.Args[0], node.Value)
+		}
+	}
+	fmt.Fprintf(&sb, "\n  assign malware = n%d[0];\nendmodule\n", n.Output)
+	return sb.String()
+}
+
+func joinOp(args []int, op string) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = fmt.Sprintf("n%d", a)
+	}
+	return strings.Join(parts, op)
+}
+
+func sanitizeIdent(s string) string {
+	var sb strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				sb.WriteByte('m')
+			}
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "detector"
+	}
+	return sb.String()
+}

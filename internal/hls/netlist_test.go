@@ -1,0 +1,220 @@
+package hls
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/micro"
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/zoo"
+)
+
+// intBlobs builds a dataset of integer "HPC count" vectors (the real
+// domain: counter deltas are integral).
+func intBlobs(n, attrs int, seed uint64) *dataset.Instances {
+	names := make([]string, attrs)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	d := dataset.New(names, dataset.BinaryClassNames())
+	rng := micro.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		y := i % 2
+		x := make([]float64, attrs)
+		for j := range x {
+			base := 1000 + 600*y*(j%2+1)
+			x[j] = float64(base + rng.Intn(800))
+		}
+		g := "b"
+		if y == 1 {
+			g = "m"
+		}
+		_ = d.Add(x, y, g)
+	}
+	return d
+}
+
+// agreement measures how often the netlist decision equals the software
+// model's prediction over the dataset.
+func agreement(t *testing.T, c mlearn.Classifier, nl *Netlist, d *dataset.Instances) float64 {
+	t.Helper()
+	match := 0
+	for i := range d.X {
+		in := make([]int64, len(d.X[i]))
+		for j, v := range d.X[i] {
+			in[j] = int64(v)
+		}
+		bit, err := nl.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(bit) == mlearn.Predict(c, d.X[i]) {
+			match++
+		}
+	}
+	return float64(match) / float64(d.NumRows())
+}
+
+func TestNetlistEquivalence(t *testing.T) {
+	train := intBlobs(300, 4, 1)
+	probe := intBlobs(400, 4, 2)
+
+	cases := []struct {
+		name    string
+		variant zoo.Variant
+		minAgr  float64
+	}{
+		// Integer-threshold models must agree bit-exactly.
+		{"OneR", zoo.General, 1.0},
+		{"J48", zoo.General, 1.0},
+		{"REPTree", zoo.General, 1.0},
+		{"JRip", zoo.General, 1.0},
+		// Linear models quantise weights to Q12: near-boundary points
+		// may flip.
+		{"SGD", zoo.General, 0.98},
+		{"SMO", zoo.General, 0.98},
+		{"Logistic", zoo.General, 0.98},
+		// Committees: integer alpha scaling.
+		{"J48", zoo.Boosted, 0.97},
+		{"OneR", zoo.Boosted, 0.97},
+		// Bagging averages graded distributions in software but
+		// majority-votes in hardware.
+		{"REPTree", zoo.Bagged, 0.9},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name+"-"+tc.variant.String(), func(t *testing.T) {
+			tr, err := zoo.NewVariant(tc.name, tc.variant, 10, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model, err := tr.Train(train, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nl, err := BuildNetlist(model, tc.name, train.NumAttrs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if agr := agreement(t, model, nl, probe); agr < tc.minAgr {
+				t.Errorf("hardware/software agreement = %.3f, want >= %.2f", agr, tc.minAgr)
+			}
+		})
+	}
+}
+
+func TestNetlistRejectsUnsupported(t *testing.T) {
+	train := intBlobs(100, 2, 5)
+	for _, name := range []string{"MLP", "BayesNet"} {
+		model, err := zoo.MustNew(name, 1).Train(train, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := BuildNetlist(model, name, 2); err == nil {
+			t.Errorf("%s should not lower to a combinational netlist", name)
+		}
+	}
+}
+
+func TestNetlistEvalValidation(t *testing.T) {
+	train := intBlobs(100, 3, 7)
+	model, _ := zoo.MustNew("OneR", 1).Train(train, nil)
+	nl, err := BuildNetlist(model, "x", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.Eval([]int64{1}); err == nil {
+		t.Error("wrong input width should fail")
+	}
+}
+
+func TestVerilogStructure(t *testing.T) {
+	train := intBlobs(200, 4, 9)
+	model, err := zoo.MustNew("J48", 1).Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := BuildNetlist(model, "4HPC-J48", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := nl.Verilog()
+
+	for _, want := range []string{
+		"module m4HPC_J48", "endmodule",
+		"input  signed [63:0] hpc0", "input  signed [63:0] hpc3",
+		"output malware", "assign malware",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("Verilog missing %q", want)
+		}
+	}
+	// One wire declaration per netlist node.
+	if got := strings.Count(v, "wire signed"); got != len(nl.Nodes) {
+		t.Errorf("%d wire declarations for %d nodes", got, len(nl.Nodes))
+	}
+	// No dangling references: every nK used must be declared.
+	for i := range nl.Nodes {
+		decl := "n" + itoa(i) + " ="
+		if !strings.Contains(v, decl) {
+			t.Errorf("node %d has no declaration", i)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+func TestVerilogGoldenOneR(t *testing.T) {
+	// Train OneR on a trivially separable 1-feature set so the model
+	// has a single midpoint threshold at 10.
+	d := dataset.New([]string{"v"}, dataset.BinaryClassNames())
+	for i := 0; i < 20; i++ {
+		y := i % 2
+		_ = d.Add([]float64{float64(5 + 10*y)}, y, map[int]string{0: "b", 1: "m"}[y])
+	}
+	model, err := zoo.MustNew("OneR", 1).Train(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := BuildNetlist(model, "golden", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decision flips exactly at the midpoint (10).
+	low, _ := nl.Eval([]int64{5})
+	high, _ := nl.Eval([]int64{15})
+	if low != 0 || high != 1 {
+		t.Errorf("golden OneR netlist: Eval(5)=%d Eval(15)=%d, want 0/1", low, high)
+	}
+	v := nl.Verilog()
+	if !strings.Contains(v, "module golden") {
+		t.Error("module name not sanitised as expected")
+	}
+}
+
+func TestSanitizeIdent(t *testing.T) {
+	cases := map[string]string{
+		"4HPC-Boosted-J48": "m4HPC_Boosted_J48",
+		"plain":            "plain",
+		"":                 "detector",
+		"a b":              "a_b",
+	}
+	for in, want := range cases {
+		if got := sanitizeIdent(in); got != want {
+			t.Errorf("sanitizeIdent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package lxc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/micro"
+)
+
+func TestContainerLifecycle(t *testing.T) {
+	mgr := NewManager(micro.FastConfig())
+	c := mgr.Create(1)
+	m, err := c.Machine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("nil machine from live container")
+	}
+	if mgr.Active() != 1 {
+		t.Errorf("Active() = %d, want 1", mgr.Active())
+	}
+	c.Destroy()
+	if mgr.Active() != 0 {
+		t.Errorf("Active() after destroy = %d, want 0", mgr.Active())
+	}
+	if _, err := c.Machine(); !errors.Is(err, ErrDestroyed) {
+		t.Errorf("using destroyed container: err = %v, want ErrDestroyed", err)
+	}
+	c.Destroy() // idempotent
+	created, destroyed := mgr.Stats()
+	if created != 1 || destroyed != 1 {
+		t.Errorf("stats = (%d,%d), want (1,1)", created, destroyed)
+	}
+}
+
+func TestRunIsolatedDestroysOnError(t *testing.T) {
+	mgr := NewManager(micro.FastConfig())
+	wantErr := errors.New("boom")
+	err := mgr.RunIsolated(1, func(m *micro.Machine) error { return wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if mgr.Active() != 0 {
+		t.Error("container leaked after error")
+	}
+	if err := mgr.CheckClean(); err != nil {
+		t.Errorf("CheckClean: %v", err)
+	}
+}
+
+func TestFreshStatePerContainer(t *testing.T) {
+	// The contamination guard: two containers with the same seed must
+	// observe identical machine behaviour — no state carries over.
+	mgr := NewManager(micro.FastConfig())
+	p := micro.StreamParams{
+		LoadFrac: 0.3, StoreFrac: 0.1, BranchFrac: 0.1,
+		CodeBytes: 8 << 10, HotCodeBytes: 1 << 10, HotCodeFrac: 0.9,
+		DataBytes: 64 << 10, HotDataBytes: 8 << 10, HotDataFrac: 0.9,
+		StrideFrac: 0.4, TakenFrac: 0.6, BranchBias: 0.95,
+		BaseIPC: 2, UopsPerInstr: 1.2,
+	}
+	var first, second micro.CounterBlock
+	run := func(out *micro.CounterBlock) {
+		if err := mgr.RunIsolated(42, func(m *micro.Machine) error {
+			m.Run(&p, 3000)
+			*out = m.Counters()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(&first)
+	// Pollute with a different, malware-ish run in between.
+	_ = mgr.RunIsolated(999, func(m *micro.Machine) error {
+		q := p
+		q.BranchFrac = 0.3
+		q.LoadFrac = 0.2
+		m.Run(&q, 5000)
+		return nil
+	})
+	run(&second)
+	if first != second {
+		t.Fatal("container state contaminated across runs")
+	}
+}
+
+func TestCheckCleanReportsLeaks(t *testing.T) {
+	mgr := NewManager(micro.FastConfig())
+	c := mgr.Create(1)
+	if err := mgr.CheckClean(); err == nil {
+		t.Fatal("CheckClean should report the live container")
+	}
+	c.Destroy()
+	if err := mgr.CheckClean(); err != nil {
+		t.Fatalf("CheckClean after destroy: %v", err)
+	}
+}
+
+func TestManagerConcurrentUse(t *testing.T) {
+	mgr := NewManager(micro.FastConfig())
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			_ = mgr.RunIsolated(seed, func(m *micro.Machine) error { return nil })
+		}(uint64(i))
+	}
+	wg.Wait()
+	created, destroyed := mgr.Stats()
+	if created != 16 || destroyed != 16 {
+		t.Errorf("stats = (%d,%d), want (16,16)", created, destroyed)
+	}
+	if mgr.Active() != 0 {
+		t.Error("containers leaked under concurrency")
+	}
+}
+
+func TestContainerIDsUnique(t *testing.T) {
+	mgr := NewManager(micro.FastConfig())
+	a, b := mgr.Create(1), mgr.Create(1)
+	if a.ID() == b.ID() {
+		t.Error("container IDs must be unique")
+	}
+	a.Destroy()
+	b.Destroy()
+}

@@ -1,0 +1,127 @@
+package micro
+
+import "testing"
+
+func TestBranchPredictorLearnsBias(t *testing.T) {
+	bp := NewBranchPredictor(10, 256)
+	// Always-taken branch at one site: after warm-up the predictor
+	// should be nearly perfect.
+	for i := 0; i < 64; i++ {
+		bp.Predict(0x400000, true)
+	}
+	before := bp.Mispredicts
+	for i := 0; i < 1000; i++ {
+		bp.Predict(0x400000, true)
+	}
+	if d := bp.Mispredicts - before; d != 0 {
+		t.Errorf("steady always-taken branch mispredicted %d times after warm-up", d)
+	}
+}
+
+func TestBranchPredictorRandomIsHard(t *testing.T) {
+	bp := NewBranchPredictor(10, 256)
+	rng := NewRNG(7)
+	n := 20000
+	for i := 0; i < n; i++ {
+		bp.Predict(0x400000, rng.Bernoulli(0.5))
+	}
+	rate := float64(bp.Mispredicts) / float64(n)
+	if rate < 0.35 {
+		t.Errorf("random branch misprediction rate = %.3f, want >= 0.35", rate)
+	}
+}
+
+func TestBranchPredictorBiasedSites(t *testing.T) {
+	// Many sites, each with a fixed direction: a bimodal table learns
+	// each after two visits, so steady-state accuracy is near perfect.
+	bp := NewBranchPredictor(10, 1024)
+	sites := 64
+	dir := func(s int) bool { return s%3 != 0 }
+	for round := 0; round < 4; round++ {
+		for s := 0; s < sites; s++ {
+			bp.Predict(uint64(0x1000+s*4), dir(s))
+		}
+	}
+	before := bp.Mispredicts
+	for round := 0; round < 50; round++ {
+		for s := 0; s < sites; s++ {
+			bp.Predict(uint64(0x1000+s*4), dir(s))
+		}
+	}
+	rate := float64(bp.Mispredicts-before) / float64(50*sites)
+	if rate > 0.01 {
+		t.Errorf("fixed-direction sites misprediction rate = %.3f, want <= 0.01", rate)
+	}
+}
+
+func TestBranchPredictorAlternatingIsHardForBimodal(t *testing.T) {
+	// A strictly alternating branch defeats a 2-bit bimodal counter;
+	// this pins down the modelled predictor class.
+	bp := NewBranchPredictor(10, 256)
+	for i := 0; i < 2000; i++ {
+		bp.Predict(0x400000, i%2 == 0)
+	}
+	rate := float64(bp.Mispredicts) / 2000
+	if rate < 0.4 {
+		t.Errorf("alternating pattern misprediction rate = %.3f, want >= 0.4 for bimodal", rate)
+	}
+}
+
+func TestBranchBTBCounting(t *testing.T) {
+	bp := NewBranchPredictor(10, 16)
+	// First taken branch at a fresh site: BTB lookup misses, allocates.
+	bp.Predict(0x1000, true)
+	if bp.Lookups != 1 || bp.BTBMisses != 1 || bp.BTBAllocs != 1 {
+		t.Fatalf("fresh taken branch: lookups=%d misses=%d allocs=%d, want 1,1,1",
+			bp.Lookups, bp.BTBMisses, bp.BTBAllocs)
+	}
+	// Repeat: BTB hit, no new alloc.
+	bp.Predict(0x1000, true)
+	if bp.BTBMisses != 1 || bp.BTBAllocs != 1 {
+		t.Fatalf("repeat branch should hit BTB: misses=%d allocs=%d", bp.BTBMisses, bp.BTBAllocs)
+	}
+	// Not-taken branch at a new site misses but does not allocate.
+	bp.Predict(0x2000, false)
+	if bp.BTBMisses != 2 || bp.BTBAllocs != 1 {
+		t.Fatalf("not-taken miss should not allocate: misses=%d allocs=%d", bp.BTBMisses, bp.BTBAllocs)
+	}
+}
+
+func TestBranchBTBConflictEviction(t *testing.T) {
+	bp := NewBranchPredictor(10, 4)
+	// Five distinct taken sites in a 4-entry direct-mapped BTB must
+	// displace at least one live entry.
+	for pc := uint64(0); pc < 5; pc++ {
+		bp.Predict(0x1000+(pc<<2), true)
+	}
+	if bp.BTBAllocMiss == 0 {
+		t.Error("expected at least one displaced BTB entry")
+	}
+}
+
+func TestBranchFlush(t *testing.T) {
+	bp := NewBranchPredictor(8, 16)
+	for i := 0; i < 100; i++ {
+		bp.Predict(uint64(0x1000+i*4), i%3 == 0)
+	}
+	bp.Flush()
+	if bp.Lookups != 0 || bp.Mispredicts != 0 || bp.BranchesSeen != 0 {
+		t.Error("flush should clear all statistics")
+	}
+}
+
+func TestBranchConstructorValidation(t *testing.T) {
+	for _, tc := range []struct {
+		bits uint
+		btb  int
+	}{{0, 16}, {30, 16}, {10, 0}, {10, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBranchPredictor(%d,%d) did not panic", tc.bits, tc.btb)
+				}
+			}()
+			NewBranchPredictor(tc.bits, tc.btb)
+		}()
+	}
+}

@@ -1,0 +1,153 @@
+package micro
+
+// Cache models a set-associative cache with true-LRU replacement. It is
+// address-tagged only (no data payload): the simulator needs hit/miss
+// behaviour, not contents. Line size, set count and associativity are
+// configurable so the same type models L1I, L1D and the shared LLC.
+type Cache struct {
+	lineShift uint   // log2(line size)
+	setMask   uint64 // sets-1 (sets must be a power of two)
+	ways      int
+	sets      []cacheSet
+
+	// Statistics maintained by the cache itself (the machine maps these
+	// onto event counters).
+	Accesses uint64
+	Misses   uint64
+}
+
+type cacheSet struct {
+	tags []uint64 // tags[0] is MRU, tags[len-1] is LRU
+	used []bool
+}
+
+// NewCache builds a cache with the given geometry. sizeBytes must equal
+// lineBytes*sets*ways with sets a power of two; the constructor derives
+// sets from the other three parameters.
+func NewCache(sizeBytes, lineBytes, ways int) *Cache {
+	if sizeBytes <= 0 || lineBytes <= 0 || ways <= 0 {
+		panic("micro: cache geometry must be positive")
+	}
+	if sizeBytes%(lineBytes*ways) != 0 {
+		panic("micro: cache size not divisible by line*ways")
+	}
+	sets := sizeBytes / (lineBytes * ways)
+	if sets&(sets-1) != 0 {
+		panic("micro: cache set count must be a power of two")
+	}
+	c := &Cache{
+		lineShift: log2(uint64(lineBytes)),
+		setMask:   uint64(sets - 1),
+		ways:      ways,
+		sets:      make([]cacheSet, sets),
+	}
+	for i := range c.sets {
+		c.sets[i] = cacheSet{tags: make([]uint64, ways), used: make([]bool, ways)}
+	}
+	return c
+}
+
+func log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		if v&1 != 0 {
+			panic("micro: value is not a power of two")
+		}
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Access looks addr up, fills on miss, and reports whether the access
+// hit. LRU state is updated on both paths.
+func (c *Cache) Access(addr uint64) bool {
+	c.Accesses++
+	line := addr >> c.lineShift
+	set := &c.sets[line&c.setMask]
+	tag := line >> log2OfSets(c.setMask)
+
+	for i, t := range set.tags {
+		if set.used[i] && t == tag {
+			promote(set, i)
+			return true
+		}
+	}
+	c.Misses++
+	// Fill: evict LRU (last slot), insert at MRU.
+	copy(set.tags[1:], set.tags[:len(set.tags)-1])
+	copy(set.used[1:], set.used[:len(set.used)-1])
+	set.tags[0] = tag
+	set.used[0] = true
+	return false
+}
+
+// Probe reports whether addr is resident without updating statistics or
+// replacement state. Used by prefetchers to avoid redundant fills.
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := &c.sets[line&c.setMask]
+	tag := line >> log2OfSets(c.setMask)
+	for i, t := range set.tags {
+		if set.used[i] && t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills addr without counting an access (prefetch fill path).
+func (c *Cache) Insert(addr uint64) {
+	line := addr >> c.lineShift
+	set := &c.sets[line&c.setMask]
+	tag := line >> log2OfSets(c.setMask)
+	for i, t := range set.tags {
+		if set.used[i] && t == tag {
+			promote(set, i)
+			return
+		}
+	}
+	copy(set.tags[1:], set.tags[:len(set.tags)-1])
+	copy(set.used[1:], set.used[:len(set.used)-1])
+	set.tags[0] = tag
+	set.used[0] = true
+}
+
+// Flush empties the cache and clears statistics, modelling a fresh
+// container environment (the paper destroys the LXC container between
+// runs to avoid contamination).
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		for j := range c.sets[i].used {
+			c.sets[i].used[j] = false
+		}
+	}
+	c.Accesses = 0
+	c.Misses = 0
+}
+
+// LineBytes returns the cache line size in bytes.
+func (c *Cache) LineBytes() int { return 1 << c.lineShift }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.sets) }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+func promote(set *cacheSet, i int) {
+	tag := set.tags[i]
+	copy(set.tags[1:i+1], set.tags[:i])
+	copy(set.used[1:i+1], set.used[:i])
+	set.tags[0] = tag
+	set.used[0] = true
+}
+
+func log2OfSets(mask uint64) uint {
+	var n uint
+	for mask != 0 {
+		mask >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,172 @@
+package micro
+
+import "testing"
+
+func TestCacheGeometry(t *testing.T) {
+	c := NewCache(32<<10, 64, 8)
+	if got := c.Sets(); got != 64 {
+		t.Errorf("Sets() = %d, want 64", got)
+	}
+	if got := c.Ways(); got != 8 {
+		t.Errorf("Ways() = %d, want 8", got)
+	}
+	if got := c.LineBytes(); got != 64 {
+		t.Errorf("LineBytes() = %d, want 64", got)
+	}
+}
+
+func TestCacheBadGeometryPanics(t *testing.T) {
+	cases := []struct {
+		name              string
+		size, line, wayss int
+	}{
+		{"zero size", 0, 64, 8},
+		{"non-divisible", 1000, 64, 8},
+		{"non-power-of-two sets", 3 * 64 * 2, 64, 2},
+		{"zero ways", 1024, 64, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewCache(%d,%d,%d) did not panic", tc.size, tc.line, tc.wayss)
+				}
+			}()
+			NewCache(tc.size, tc.line, tc.wayss)
+		})
+	}
+}
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := NewCache(1024, 64, 2)
+	if c.Access(0x1000) {
+		t.Fatal("first access should miss")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("second access to same line should hit")
+	}
+	if !c.Access(0x1004) {
+		t.Fatal("same-line different-offset access should hit")
+	}
+	if c.Accesses != 3 || c.Misses != 1 {
+		t.Errorf("stats = (%d accesses, %d misses), want (3, 1)", c.Accesses, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Direct construction: 2-way cache with a single set (size=line*ways).
+	c := NewCache(128, 64, 2)
+	a, b, d := uint64(0x0000), uint64(0x1000), uint64(0x2000)
+	c.Access(a) // miss, fill
+	c.Access(b) // miss, fill; set now [b, a]
+	c.Access(a) // hit; set now [a, b]
+	c.Access(d) // miss, evicts LRU=b; set now [d, a]
+	if !c.Probe(a) {
+		t.Error("a should still be resident (was MRU before d filled)")
+	}
+	if c.Probe(b) {
+		t.Error("b should have been evicted as LRU")
+	}
+	if !c.Probe(d) {
+		t.Error("d should be resident")
+	}
+}
+
+func TestCacheProbeDoesNotDisturb(t *testing.T) {
+	c := NewCache(128, 64, 2)
+	c.Access(0x0000)
+	acc, miss := c.Accesses, c.Misses
+	c.Probe(0x0000)
+	c.Probe(0x9000)
+	if c.Accesses != acc || c.Misses != miss {
+		t.Error("Probe must not change statistics")
+	}
+}
+
+func TestCacheInsertActsAsFill(t *testing.T) {
+	c := NewCache(128, 64, 2)
+	c.Insert(0x4000)
+	if !c.Probe(0x4000) {
+		t.Fatal("inserted line should be resident")
+	}
+	if c.Accesses != 0 || c.Misses != 0 {
+		t.Error("Insert must not count as a demand access")
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := NewCache(1024, 64, 2)
+	for i := 0; i < 16; i++ {
+		c.Access(uint64(i * 64))
+	}
+	c.Flush()
+	if c.Accesses != 0 || c.Misses != 0 {
+		t.Error("flush should clear statistics")
+	}
+	if c.Probe(0) {
+		t.Error("flush should empty contents")
+	}
+}
+
+func TestCacheThrashing(t *testing.T) {
+	// Working set of 4 lines mapping to one set of a 2-way cache ->
+	// every access misses under LRU with a cyclic pattern.
+	c := NewCache(2*64*4, 64, 2) // 4 sets, 2 ways
+	setStride := uint64(4 * 64)  // same set, different tags
+	for round := 0; round < 10; round++ {
+		for i := uint64(0); i < 4; i++ {
+			c.Access(i * setStride)
+		}
+	}
+	if c.Misses != c.Accesses {
+		t.Errorf("cyclic over-capacity pattern should always miss: %d misses of %d", c.Misses, c.Accesses)
+	}
+}
+
+func TestTLBBasic(t *testing.T) {
+	tlb := NewTLB(4, 4096)
+	if tlb.Access(0x1000) {
+		t.Fatal("cold TLB should miss")
+	}
+	if !tlb.Access(0x1abc) {
+		t.Fatal("same-page access should hit")
+	}
+	if tlb.Access(0x2000) {
+		t.Fatal("new page should miss")
+	}
+	if tlb.Accesses != 3 || tlb.Misses != 2 {
+		t.Errorf("stats = (%d, %d), want (3, 2)", tlb.Accesses, tlb.Misses)
+	}
+}
+
+func TestTLBLRU(t *testing.T) {
+	tlb := NewTLB(2, 4096)
+	tlb.Access(0x1000)
+	tlb.Access(0x2000)
+	tlb.Access(0x1000) // promote page 1
+	tlb.Access(0x3000) // evict page 2
+	miss := tlb.Misses
+	tlb.Access(0x1000)
+	if tlb.Misses != miss {
+		t.Error("page 1 should have survived (MRU before eviction)")
+	}
+	tlb.Access(0x2000)
+	if tlb.Misses != miss+1 {
+		t.Error("page 2 should have been evicted")
+	}
+}
+
+func TestTLBFlush(t *testing.T) {
+	tlb := NewTLB(4, 4096)
+	tlb.Access(0x1000)
+	tlb.Flush()
+	if tlb.Accesses != 0 || tlb.Misses != 0 {
+		t.Error("flush should clear stats")
+	}
+	if tlb.Access(0x1000) {
+		t.Error("flushed TLB should miss")
+	}
+	if tlb.Entries() != 4 {
+		t.Errorf("Entries() = %d, want 4", tlb.Entries())
+	}
+}

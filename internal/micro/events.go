@@ -1,0 +1,175 @@
+// Package micro implements a trace-driven micro-architecture simulator.
+//
+// The simulator stands in for the Intel Xeon X5550 (Nehalem) testbed used
+// by the paper: a synthetic instruction stream, generated from a workload
+// behaviour profile, is executed against models of the cache hierarchy
+// (L1I/L1D/LLC), the instruction and data TLBs, a two-level branch
+// predictor, and a two-node NUMA memory system. Execution increments the
+// 44 hardware event counters that the perf layer (internal/perf) exposes
+// through a 4-register PMU, exactly mirroring the event vocabulary the
+// paper extracts with the Linux perf tool.
+package micro
+
+// EventID identifies one of the hardware events the simulated machine
+// counts. The numbering is stable; serialized datasets index events by
+// this value.
+type EventID int
+
+// The full 44-event vocabulary. The first sixteen entries are the
+// paper's Table 1 features (the sixteen most important counters after
+// feature reduction); the remainder are the additional perf "generalized
+// hardware" and cache events captured during the 11-batch collection.
+const (
+	EvBranchInstructions EventID = iota // retired branch instructions
+	EvBranchLoads                       // branch-unit load operations (BPU lookups)
+	EvITLBLoadMisses                    // instruction TLB misses
+	EvDTLBLoadMisses                    // data TLB load misses
+	EvDTLBStoreMisses                   // data TLB store misses
+	EvL1DcacheStores                    // L1 data cache store accesses
+	EvCacheMisses                       // last-level cache misses (perf cache-misses)
+	EvNodeLoads                         // local NUMA node load accesses
+	EvDTLBStores                        // data TLB store accesses
+	EvITLBLoads                         // instruction TLB load accesses
+	EvL1IcacheLoadMisses                // L1 instruction cache misses
+	EvBranchLoadMisses                  // BPU load misses
+	EvBranchMisses                      // mispredicted branches
+	EvLLCStoreMisses                    // LLC store misses
+	EvNodeStores                        // local NUMA node store accesses
+	EvL1DcacheLoadMisses                // L1 data cache load misses
+
+	EvInstructions          // retired instructions
+	EvCPUCycles             // core clock cycles
+	EvRefCycles             // reference (unhalted TSC) cycles
+	EvBusCycles             // bus cycles
+	EvCacheReferences       // LLC references (perf cache-references)
+	EvL1DcacheLoads         // L1 data cache load accesses
+	EvL1DcacheStoreMisses   // L1 data cache store misses
+	EvL1DcachePrefetches    // L1 data prefetcher requests
+	EvL1DcachePrefMisses    // L1 data prefetch misses
+	EvL1IcacheLoads         // L1 instruction cache accesses
+	EvLLCLoads              // LLC load accesses
+	EvLLCLoadMisses         // LLC load misses
+	EvLLCStores             // LLC store accesses
+	EvLLCPrefetches         // LLC prefetch requests
+	EvLLCPrefMisses         // LLC prefetch misses
+	EvDTLBLoads             // data TLB load accesses
+	EvNodeLoadMisses        // remote-node load accesses
+	EvNodeStoreMisses       // remote-node store accesses
+	EvNodePrefetches        // NUMA node prefetches
+	EvNodePrefMisses        // NUMA node prefetch misses
+	EvStalledCyclesFrontend // cycles with no uops issued (front-end stall)
+	EvStalledCyclesBackend  // cycles with no uops executed (back-end stall)
+	EvMemLoads              // retired memory load uops
+	EvMemStores             // retired memory store uops
+	EvBranchStores          // BTB update stores
+	EvBranchStoreMisses     // BTB update misses
+	EvUopsIssued            // micro-ops issued
+	EvUopsRetired           // micro-ops retired
+
+	NumEvents // total number of hardware events (44)
+)
+
+var eventNames = [NumEvents]string{
+	EvBranchInstructions:    "branch_instructions",
+	EvBranchLoads:           "branch_loads",
+	EvITLBLoadMisses:        "iTLB_load_misses",
+	EvDTLBLoadMisses:        "dTLB_load_misses",
+	EvDTLBStoreMisses:       "dTLB_store_misses",
+	EvL1DcacheStores:        "L1_dcache_stores",
+	EvCacheMisses:           "cache_misses",
+	EvNodeLoads:             "node_loads",
+	EvDTLBStores:            "dTLB_stores",
+	EvITLBLoads:             "iTLB_loads",
+	EvL1IcacheLoadMisses:    "L1_icache_load_misses",
+	EvBranchLoadMisses:      "branch_load_misses",
+	EvBranchMisses:          "branch_misses",
+	EvLLCStoreMisses:        "LLC_store_misses",
+	EvNodeStores:            "node_stores",
+	EvL1DcacheLoadMisses:    "L1_dcache_load_misses",
+	EvInstructions:          "instructions",
+	EvCPUCycles:             "cpu_cycles",
+	EvRefCycles:             "ref_cycles",
+	EvBusCycles:             "bus_cycles",
+	EvCacheReferences:       "cache_references",
+	EvL1DcacheLoads:         "L1_dcache_loads",
+	EvL1DcacheStoreMisses:   "L1_dcache_store_misses",
+	EvL1DcachePrefetches:    "L1_dcache_prefetches",
+	EvL1DcachePrefMisses:    "L1_dcache_prefetch_misses",
+	EvL1IcacheLoads:         "L1_icache_loads",
+	EvLLCLoads:              "LLC_loads",
+	EvLLCLoadMisses:         "LLC_load_misses",
+	EvLLCStores:             "LLC_stores",
+	EvLLCPrefetches:         "LLC_prefetches",
+	EvLLCPrefMisses:         "LLC_prefetch_misses",
+	EvDTLBLoads:             "dTLB_loads",
+	EvNodeLoadMisses:        "node_load_misses",
+	EvNodeStoreMisses:       "node_store_misses",
+	EvNodePrefetches:        "node_prefetches",
+	EvNodePrefMisses:        "node_prefetch_misses",
+	EvStalledCyclesFrontend: "stalled_cycles_frontend",
+	EvStalledCyclesBackend:  "stalled_cycles_backend",
+	EvMemLoads:              "mem_loads",
+	EvMemStores:             "mem_stores",
+	EvBranchStores:          "branch_stores",
+	EvBranchStoreMisses:     "branch_store_misses",
+	EvUopsIssued:            "uops_issued",
+	EvUopsRetired:           "uops_retired",
+}
+
+// String returns the perf-style name of the event.
+func (e EventID) String() string {
+	if e < 0 || e >= NumEvents {
+		return "unknown_event"
+	}
+	return eventNames[e]
+}
+
+// Valid reports whether e is one of the defined hardware events.
+func (e EventID) Valid() bool { return e >= 0 && e < NumEvents }
+
+// EventByName returns the EventID with the given perf-style name.
+func EventByName(name string) (EventID, bool) {
+	for i := EventID(0); i < NumEvents; i++ {
+		if eventNames[i] == name {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// AllEvents returns the full event vocabulary in ID order.
+func AllEvents() []EventID {
+	evs := make([]EventID, NumEvents)
+	for i := range evs {
+		evs[i] = EventID(i)
+	}
+	return evs
+}
+
+// CounterBlock holds one count per hardware event. It is the raw
+// substrate the PMU samples from; the perf layer restricts visibility to
+// the four counter registers programmed for the current batch.
+type CounterBlock [NumEvents]uint64
+
+// Add accumulates other into c.
+func (c *CounterBlock) Add(other *CounterBlock) {
+	for i := range c {
+		c[i] += other[i]
+	}
+}
+
+// Sub returns c - other element-wise (counts since a snapshot).
+func (c *CounterBlock) Sub(other *CounterBlock) CounterBlock {
+	var d CounterBlock
+	for i := range c {
+		d[i] = c[i] - other[i]
+	}
+	return d
+}
+
+// Reset zeroes every counter.
+func (c *CounterBlock) Reset() {
+	for i := range c {
+		c[i] = 0
+	}
+}

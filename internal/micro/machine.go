@@ -1,0 +1,399 @@
+package micro
+
+// Machine is the simulated core. It executes synthetic instruction
+// streams described by StreamParams against the cache/TLB/predictor
+// models and accumulates the 44 hardware event counters.
+//
+// Address map: code lives at codeBase, local data at dataBase, and
+// remote-node data at dataBase with the remote bit set. The NUMA model
+// classifies memory traffic by that bit.
+type Machine struct {
+	cfg MachineConfig
+
+	icache *Cache
+	dcache *Cache
+	llc    *Cache
+	itlb   *TLB
+	dtlb   *TLB
+	bp     *BranchPredictor
+
+	counters CounterBlock
+	rng      *RNG
+	salt     uint64 // per-run salt for static branch directions
+
+	pc        uint64 // current fetch address
+	lastFetch uint64 // last fetched icache line (fetch block dedup)
+	lastLoad  uint64 // previous load address (stride model)
+	lastStore uint64 // previous store address
+
+	cycleCarry float64 // fractional cycles carried between instructions
+	frontCarry float64 // fractional front-end stall cycles
+	backCarry  float64 // fractional back-end stall cycles
+}
+
+const (
+	codeBase  = 0x0000_0040_0000
+	dataBase  = 0x0000_2000_0000
+	remoteBit = 1 << 40 // addresses with this bit live on the remote node
+)
+
+// Miss/redirect penalties in core cycles, Nehalem-flavoured raw
+// latencies. An out-of-order core hides most of this latency behind
+// independent work (memory-level parallelism, speculative issue), which
+// stallOverlap models: only that fraction of the raw penalty surfaces
+// as lost cycles. Without it, stall-heavy applications would retire an
+// order of magnitude fewer instructions per fixed-time interval than
+// lean ones — far beyond what real hardware shows — and every
+// rate-based HPC signal would drown in instruction-count dispersion.
+const (
+	penaltyL1I      = 8.0
+	penaltyL1D      = 10.0
+	penaltyLLC      = 42.0
+	penaltyLocalMem = 140.0
+	penaltyRemote   = 220.0
+	penaltyTLB      = 26.0
+	penaltyBranch   = 16.0
+	penaltyBTB      = 6.0
+	stallOverlap    = 0.12 // fraction of raw stall cycles actually exposed
+	storeOverlap    = 0.25 // stores hide most of their miss latency in the buffer
+)
+
+// NewMachine builds a machine with the given geometry and a deterministic
+// RNG seed. Two machines built with equal config and seed produce
+// identical event streams for identical Run calls.
+func NewMachine(cfg MachineConfig, seed uint64) *Machine {
+	m := &Machine{
+		cfg:    cfg,
+		icache: NewCache(cfg.L1ISize, cfg.LineBytes, cfg.L1IWays),
+		dcache: NewCache(cfg.L1DSize, cfg.LineBytes, cfg.L1DWays),
+		llc:    NewCache(cfg.LLCSize, cfg.LineBytes, cfg.LLCWays),
+		itlb:   NewTLB(cfg.ITLBEntries, cfg.PageBytes),
+		dtlb:   NewTLB(cfg.DTLBEntries, cfg.PageBytes),
+		bp:     NewBranchPredictor(cfg.HistoryBits, cfg.BTBEntries),
+		rng:    NewRNG(seed),
+		salt:   seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+		pc:     codeBase,
+	}
+	return m
+}
+
+// siteHash maps a branch site to a deterministic value in [0,1) used to
+// assign the site's natural direction.
+func siteHash(site, salt uint64) float64 {
+	z := site ^ salt
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// Counters returns a copy of the accumulated event counts.
+func (m *Machine) Counters() CounterBlock { return m.counters }
+
+// Reset flushes all micro-architectural state and zeroes the counters,
+// modelling a freshly created execution environment.
+func (m *Machine) Reset(seed uint64) {
+	m.icache.Flush()
+	m.dcache.Flush()
+	m.llc.Flush()
+	m.itlb.Flush()
+	m.dtlb.Flush()
+	m.bp.Flush()
+	m.counters.Reset()
+	m.rng.Seed(seed)
+	m.salt = seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	m.pc = codeBase
+	m.lastFetch = 0
+	m.lastLoad = 0
+	m.lastStore = 0
+	m.cycleCarry = 0
+	m.frontCarry = 0
+	m.backCarry = 0
+}
+
+// Run executes n synthetic instructions drawn from p, accumulating event
+// counters. It may be called repeatedly; micro-architectural state
+// (cache contents, history) persists across calls within one Reset
+// epoch, which is what gives consecutive sampling intervals of the same
+// application their phase correlation.
+func (m *Machine) Run(p *StreamParams, n int) {
+	p.Validate()
+	c := &m.counters
+	rng := m.rng
+
+	loadCut := p.LoadFrac
+	storeCut := loadCut + p.StoreFrac
+	branchCut := storeCut + p.BranchFrac
+
+	for i := 0; i < n; i++ {
+		cycles := p.UopsPerInstr / p.BaseIPC
+		frontStall, backStall := 0.0, 0.0
+
+		// ---- Fetch ----
+		m.pc += 4
+		if m.pc >= codeBase+uint64(p.CodeBytes) {
+			m.pc = codeBase
+		}
+		fetchLine := m.pc &^ uint64(m.cfg.LineBytes-1)
+		if fetchLine != m.lastFetch {
+			m.lastFetch = fetchLine
+			c[EvL1IcacheLoads]++
+			c[EvITLBLoads]++
+			if !m.itlb.Access(m.pc) {
+				c[EvITLBLoadMisses]++
+				frontStall += penaltyTLB
+			}
+			if !m.icache.Access(m.pc) {
+				c[EvL1IcacheLoadMisses]++
+				frontStall += penaltyL1I
+				// Instruction miss goes to the LLC.
+				c[EvCacheReferences]++
+				c[EvLLCLoads]++
+				if !m.llc.Access(m.pc) {
+					c[EvCacheMisses]++
+					c[EvLLCLoadMisses]++
+					c[EvNodeLoads]++ // code pages are local
+					frontStall += penaltyLLC + penaltyLocalMem
+				} else {
+					frontStall += penaltyLLC
+				}
+			}
+		}
+
+		// ---- Execute ----
+		r := rng.Float64()
+		switch {
+		case r < loadCut:
+			addr := m.dataAddress(p, rng, m.lastLoad)
+			m.lastLoad = addr
+			backStall += m.load(p, addr, rng)
+		case r < storeCut:
+			addr := m.dataAddress(p, rng, m.lastStore)
+			m.lastStore = addr
+			backStall += m.store(p, addr, rng)
+		case r < branchCut:
+			frontStall += m.branch(p, rng)
+		default:
+			// Plain ALU instruction: no memory traffic.
+		}
+
+		// ---- Retire & timing ----
+		c[EvInstructions]++
+		uops := p.UopsPerInstr
+		c[EvUopsRetired] += uint64(uops)
+		// Issued uops include wrong-path work proportional to stall churn.
+		c[EvUopsIssued] += uint64(uops) + uint64(frontStall/8)
+
+		effFront := frontStall * stallOverlap
+		effBack := backStall * stallOverlap
+		cycles += effFront + effBack
+		m.cycleCarry += cycles
+		whole := uint64(m.cycleCarry)
+		m.cycleCarry -= float64(whole)
+		c[EvCPUCycles] += whole
+		c[EvRefCycles] += whole
+		c[EvBusCycles] += whole / 4
+		// Stall counters carry fractions across instructions so
+		// sub-cycle effective stalls are not truncated away.
+		m.frontCarry += effFront
+		wf := uint64(m.frontCarry)
+		m.frontCarry -= float64(wf)
+		c[EvStalledCyclesFrontend] += wf
+		m.backCarry += effBack
+		wb := uint64(m.backCarry)
+		m.backCarry -= float64(wb)
+		c[EvStalledCyclesBackend] += wb
+	}
+}
+
+// RunCycles executes instructions from p until at least budget core
+// cycles have elapsed, returning the number of instructions executed.
+// This models a fixed wall-clock sampling interval (the paper samples
+// HPCs every 10 ms): slow, stall-heavy code retires fewer instructions
+// per interval than efficient code, exactly as on real hardware.
+func (m *Machine) RunCycles(p *StreamParams, budget uint64) int {
+	p.Validate()
+	start := m.counters[EvCPUCycles]
+	executed := 0
+	const chunk = 256
+	for m.counters[EvCPUCycles]-start < budget {
+		m.Run(p, chunk)
+		executed += chunk
+	}
+	return executed
+}
+
+// dataAddress picks the next data address under the locality model:
+// with StrideFrac probability the access continues sequentially from
+// prev; otherwise it lands uniformly in the hot working set (with
+// HotDataFrac probability) or in the full data span. A RemoteFrac slice
+// of the span is tagged as remote-node memory.
+func (m *Machine) dataAddress(p *StreamParams, rng *RNG, prev uint64) uint64 {
+	if prev != 0 && rng.Bernoulli(p.StrideFrac) {
+		next := prev + 8
+		limit := uint64(p.DataBytes)
+		if (next&^remoteBit)-dataBase >= limit {
+			next = dataBase | (next & remoteBit)
+		}
+		return next
+	}
+	var off uint64
+	if rng.Bernoulli(p.HotDataFrac) {
+		off = uint64(rng.Intn(p.HotDataBytes)) &^ 7
+	} else {
+		off = uint64(rng.Intn(p.DataBytes)) &^ 7
+	}
+	addr := dataBase + off
+	if rng.Bernoulli(p.RemoteFrac) {
+		addr |= remoteBit
+	}
+	return addr
+}
+
+// load simulates one load uop and returns its back-end stall cycles.
+func (m *Machine) load(p *StreamParams, addr uint64, rng *RNG) float64 {
+	c := &m.counters
+	c[EvMemLoads]++
+	c[EvDTLBLoads]++
+	c[EvL1DcacheLoads]++
+
+	stall := 0.0
+	if !m.dtlb.Access(addr) {
+		c[EvDTLBLoadMisses]++
+		stall += penaltyTLB
+	}
+	if m.dcache.Access(addr) {
+		return stall
+	}
+	c[EvL1DcacheLoadMisses]++
+	stall += penaltyL1D
+	c[EvCacheReferences]++
+	c[EvLLCLoads]++
+	if m.llc.Access(addr) {
+		stall += penaltyLLC
+	} else {
+		c[EvCacheMisses]++
+		c[EvLLCLoadMisses]++
+		if addr&remoteBit != 0 {
+			c[EvNodeLoadMisses]++
+			stall += penaltyLLC + penaltyRemote
+		} else {
+			c[EvNodeLoads]++
+			stall += penaltyLLC + penaltyLocalMem
+		}
+	}
+	m.prefetch(p, addr, rng)
+	return stall
+}
+
+// store simulates one store uop and returns its back-end stall cycles.
+// Stores mostly drain through the store buffer, so their effective
+// penalty is scaled by storeOverlap.
+func (m *Machine) store(p *StreamParams, addr uint64, rng *RNG) float64 {
+	c := &m.counters
+	c[EvMemStores]++
+	c[EvDTLBStores]++
+	c[EvL1DcacheStores]++
+
+	stall := 0.0
+	if !m.dtlb.Access(addr) {
+		c[EvDTLBStoreMisses]++
+		stall += penaltyTLB * storeOverlap
+	}
+	if m.dcache.Access(addr) {
+		return stall
+	}
+	c[EvL1DcacheStoreMisses]++
+	stall += penaltyL1D * storeOverlap
+	c[EvCacheReferences]++
+	c[EvLLCStores]++
+	if m.llc.Access(addr) {
+		stall += penaltyLLC * storeOverlap
+	} else {
+		c[EvCacheMisses]++
+		c[EvLLCStoreMisses]++
+		if addr&remoteBit != 0 {
+			c[EvNodeStoreMisses]++
+			stall += (penaltyLLC + penaltyRemote) * storeOverlap
+		} else {
+			c[EvNodeStores]++
+			stall += (penaltyLLC + penaltyLocalMem) * storeOverlap
+		}
+	}
+	return stall
+}
+
+// prefetch models a next-line L1D prefetcher triggered by stride-pattern
+// misses: after a demand miss, the following line is brought in.
+func (m *Machine) prefetch(p *StreamParams, addr uint64, rng *RNG) {
+	if !rng.Bernoulli(p.StrideFrac) {
+		return
+	}
+	c := &m.counters
+	next := addr + uint64(m.cfg.LineBytes)
+	c[EvL1DcachePrefetches]++
+	if m.dcache.Probe(next) {
+		return
+	}
+	c[EvL1DcachePrefMisses]++
+	c[EvLLCPrefetches]++
+	if !m.llc.Probe(next) {
+		c[EvLLCPrefMisses]++
+		c[EvNodePrefetches]++
+		if next&remoteBit != 0 {
+			c[EvNodePrefMisses]++
+		}
+		m.llc.Insert(next)
+	}
+	m.dcache.Insert(next)
+}
+
+// branch simulates one branch instruction and returns its front-end
+// stall cycles.
+func (m *Machine) branch(p *StreamParams, rng *RNG) float64 {
+	c := &m.counters
+
+	// Static branch site: the current pc, so loop bodies re-execute the
+	// same sites. Each site has a deterministic "natural" direction
+	// chosen so that a TakenFrac share of sites are taken-biased; the
+	// dynamic outcome follows the natural direction with probability
+	// BranchBias. BranchBias=1 gives fully consistent (learnable)
+	// branches, 0.5 gives coin flips.
+	site := m.pc
+	natural := siteHash(site, m.salt) < p.TakenFrac
+	taken := natural
+	if !rng.Bernoulli(p.BranchBias) {
+		taken = !taken
+	}
+
+	btbMissBefore := m.bp.BTBMisses
+	mispred := m.bp.Predict(site, taken)
+	btbMissed := m.bp.BTBMisses != btbMissBefore
+
+	c[EvBranchInstructions]++
+	c[EvBranchLoads] = m.bp.Lookups
+	c[EvBranchLoadMisses] = m.bp.BTBMisses
+	c[EvBranchStores] = m.bp.BTBAllocs
+	c[EvBranchStoreMisses] = m.bp.BTBAllocMiss
+	c[EvBranchMisses] = m.bp.Mispredicts
+
+	if taken {
+		// Redirect the fetch stream to a branch target: usually the hot
+		// loop head, sometimes a cold region (function call / scan).
+		var target uint64
+		if rng.Bernoulli(p.HotCodeFrac) {
+			target = codeBase + uint64(rng.Intn(p.HotCodeBytes))&^3
+		} else {
+			target = codeBase + uint64(rng.Intn(p.CodeBytes))&^3
+		}
+		m.pc = target
+	}
+	stall := 0.0
+	if mispred {
+		stall += penaltyBranch
+	}
+	if taken && btbMissed {
+		stall += penaltyBTB
+	}
+	return stall
+}

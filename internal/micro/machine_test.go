@@ -1,0 +1,274 @@
+package micro
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// testParams returns a plausible benign-ish stream for machine tests.
+func testParams() StreamParams {
+	return StreamParams{
+		LoadFrac: 0.25, StoreFrac: 0.10, BranchFrac: 0.15,
+		CodeBytes: 32 << 10, HotCodeBytes: 2 << 10, HotCodeFrac: 0.9,
+		DataBytes: 256 << 10, HotDataBytes: 8 << 10, HotDataFrac: 0.9,
+		StrideFrac: 0.5, TakenFrac: 0.6, BranchBias: 0.95,
+		RemoteFrac: 0.05, BaseIPC: 2.0, UopsPerInstr: 1.2,
+	}
+}
+
+func TestMachineDeterminism(t *testing.T) {
+	p := testParams()
+	m1 := NewMachine(FastConfig(), 42)
+	m2 := NewMachine(FastConfig(), 42)
+	m1.Run(&p, 5000)
+	m2.Run(&p, 5000)
+	if m1.Counters() != m2.Counters() {
+		t.Fatal("identical seeds must produce identical counter blocks")
+	}
+	m3 := NewMachine(FastConfig(), 43)
+	m3.Run(&p, 5000)
+	if m1.Counters() == m3.Counters() {
+		t.Fatal("different seeds should produce different counter blocks")
+	}
+}
+
+func TestMachineResetReproduces(t *testing.T) {
+	p := testParams()
+	m := NewMachine(FastConfig(), 42)
+	m.Run(&p, 3000)
+	first := m.Counters()
+	m.Reset(42)
+	m.Run(&p, 3000)
+	if m.Counters() != first {
+		t.Fatal("Reset with the same seed must reproduce the identical run")
+	}
+}
+
+func TestMachineBasicInvariants(t *testing.T) {
+	p := testParams()
+	m := NewMachine(FastConfig(), 1)
+	n := 20000
+	m.Run(&p, n)
+	c := m.Counters()
+
+	if got := c[EvInstructions]; got != uint64(n) {
+		t.Errorf("instructions = %d, want %d", got, n)
+	}
+	if c[EvCPUCycles] < c[EvInstructions]/4 {
+		t.Error("cycle count implausibly low")
+	}
+	if c[EvL1DcacheLoadMisses] > c[EvL1DcacheLoads] {
+		t.Error("L1D load misses exceed loads")
+	}
+	if c[EvL1IcacheLoadMisses] > c[EvL1IcacheLoads] {
+		t.Error("L1I misses exceed accesses")
+	}
+	if c[EvDTLBLoadMisses] > c[EvDTLBLoads] {
+		t.Error("dTLB load misses exceed accesses")
+	}
+	if c[EvBranchMisses] > c[EvBranchInstructions] {
+		t.Error("branch misses exceed branches")
+	}
+	if c[EvLLCLoadMisses] > c[EvLLCLoads] {
+		t.Error("LLC load misses exceed LLC loads")
+	}
+	if c[EvCacheMisses] > c[EvCacheReferences] {
+		t.Error("cache misses exceed cache references")
+	}
+	// Mix fractions should be roughly honoured.
+	loads := float64(c[EvMemLoads]) / float64(n)
+	if loads < 0.20 || loads > 0.30 {
+		t.Errorf("load fraction = %.3f, want approx 0.25", loads)
+	}
+	branches := float64(c[EvBranchInstructions]) / float64(n)
+	if branches < 0.10 || branches > 0.20 {
+		t.Errorf("branch fraction = %.3f, want approx 0.15", branches)
+	}
+}
+
+func TestMachineWorkingSetSensitivity(t *testing.T) {
+	// A working set far beyond L1D must miss much more than one that
+	// fits. FastConfig L1D is 4 KiB.
+	small := testParams()
+	small.HotDataBytes = 1 << 10
+	small.HotDataFrac = 1.0
+	small.StrideFrac = 0
+
+	big := small
+	big.HotDataBytes = 128 << 10
+	big.DataBytes = 256 << 10
+
+	ms := NewMachine(FastConfig(), 9)
+	ms.Run(&small, 30000)
+	mb := NewMachine(FastConfig(), 9)
+	mb.Run(&big, 30000)
+
+	smallRate := missRate(ms.Counters())
+	bigRate := missRate(mb.Counters())
+	if bigRate < 4*smallRate {
+		t.Errorf("big working set miss rate %.4f not clearly above small %.4f", bigRate, smallRate)
+	}
+}
+
+func missRate(c CounterBlock) float64 {
+	if c[EvL1DcacheLoads] == 0 {
+		return 0
+	}
+	return float64(c[EvL1DcacheLoadMisses]) / float64(c[EvL1DcacheLoads])
+}
+
+func TestMachineBranchBiasSensitivity(t *testing.T) {
+	predictable := testParams()
+	predictable.BranchBias = 1.0
+	chaotic := testParams()
+	chaotic.BranchBias = 0.5
+
+	mp := NewMachine(FastConfig(), 3)
+	mp.Run(&predictable, 30000)
+	mc := NewMachine(FastConfig(), 3)
+	mc.Run(&chaotic, 30000)
+
+	rp := float64(mp.Counters()[EvBranchMisses]) / float64(mp.Counters()[EvBranchInstructions])
+	rc := float64(mc.Counters()[EvBranchMisses]) / float64(mc.Counters()[EvBranchInstructions])
+	if rc < rp+0.1 {
+		t.Errorf("chaotic branches (%.3f) should mispredict far more than biased (%.3f)", rc, rp)
+	}
+}
+
+func TestMachineRemoteTraffic(t *testing.T) {
+	local := testParams()
+	local.RemoteFrac = 0
+	remote := testParams()
+	remote.RemoteFrac = 0.8
+	remote.HotDataFrac = 0 // force span accesses that miss
+
+	ml := NewMachine(FastConfig(), 5)
+	ml.Run(&local, 30000)
+	mr := NewMachine(FastConfig(), 5)
+	mr.Run(&remote, 30000)
+
+	if ml.Counters()[EvNodeLoadMisses] != 0 {
+		// Code fills are always local, so local runs must have zero
+		// remote load traffic.
+		t.Errorf("local run produced %d remote loads", ml.Counters()[EvNodeLoadMisses])
+	}
+	if mr.Counters()[EvNodeLoadMisses] == 0 {
+		t.Error("remote-heavy run produced no remote load traffic")
+	}
+}
+
+func TestMachineValidateRejectsBadParams(t *testing.T) {
+	bad := testParams()
+	bad.LoadFrac = 0.9
+	bad.StoreFrac = 0.9
+	m := NewMachine(FastConfig(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run with invalid mix should panic")
+		}
+	}()
+	m.Run(&bad, 10)
+}
+
+func TestEventNamesRoundTrip(t *testing.T) {
+	if NumEvents != 44 {
+		t.Fatalf("NumEvents = %d, want 44 (the paper's perf event count)", NumEvents)
+	}
+	seen := map[string]bool{}
+	for _, ev := range AllEvents() {
+		name := ev.String()
+		if name == "" || name == "unknown_event" {
+			t.Fatalf("event %d has no name", ev)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate event name %q", name)
+		}
+		seen[name] = true
+		back, ok := EventByName(name)
+		if !ok || back != ev {
+			t.Fatalf("EventByName(%q) = %v, %v", name, back, ok)
+		}
+	}
+	if _, ok := EventByName("bogus"); ok {
+		t.Error("EventByName should reject unknown names")
+	}
+	if EventID(-1).Valid() || EventID(NumEvents).Valid() {
+		t.Error("Valid() should reject out-of-range IDs")
+	}
+}
+
+func TestCounterBlockArithmetic(t *testing.T) {
+	var a, b CounterBlock
+	a[EvInstructions] = 100
+	b[EvInstructions] = 40
+	b[EvCPUCycles] = 7
+	a.Add(&b)
+	if a[EvInstructions] != 140 || a[EvCPUCycles] != 7 {
+		t.Error("Add did not accumulate")
+	}
+	d := a.Sub(&b)
+	if d[EvInstructions] != 100 || d[EvCPUCycles] != 0 {
+		t.Error("Sub did not compute delta")
+	}
+	a.Reset()
+	if a != (CounterBlock{}) {
+		t.Error("Reset did not zero")
+	}
+}
+
+func TestRNGProperties(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r1, r2 := NewRNG(seed), NewRNG(seed)
+		for i := 0; i < 16; i++ {
+			if r1.Uint64() != r2.Uint64() {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+
+	// Float64 in [0,1); Intn in [0,n).
+	r := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %v", v)
+		}
+	}
+
+	// Norm should be roughly centred with unit-ish variance.
+	sum, sumSq := 0.0, 0.0
+	n := 20000
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if mean < -0.05 || mean > 0.05 {
+		t.Errorf("Norm mean = %.4f, want approx 0", mean)
+	}
+	if variance < 0.9 || variance > 1.1 {
+		t.Errorf("Norm variance = %.4f, want approx 1", variance)
+	}
+
+	// Fork must diverge from parent.
+	p := NewRNG(5)
+	f := p.Fork()
+	same := 0
+	for i := 0; i < 10; i++ {
+		if p.Uint64() == f.Uint64() {
+			same++
+		}
+	}
+	if same == 10 {
+		t.Error("forked stream identical to parent")
+	}
+}

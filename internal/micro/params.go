@@ -1,0 +1,104 @@
+package micro
+
+// StreamParams describe the synthetic instruction stream one application
+// phase generates. The workload package derives these from higher-level
+// behaviour profiles; the machine executes them. All fractions are in
+// [0,1] and the instruction mix fractions must sum to at most 1 (the
+// remainder is plain ALU work).
+type StreamParams struct {
+	// Instruction mix.
+	LoadFrac   float64 // fraction of instructions that are loads
+	StoreFrac  float64 // fraction that are stores
+	BranchFrac float64 // fraction that are branches
+
+	// Code behaviour.
+	CodeBytes    int     // total code footprint in bytes
+	HotCodeBytes int     // hot loop body size in bytes
+	HotCodeFrac  float64 // probability a branch target stays in the hot region
+
+	// Data behaviour.
+	DataBytes    int     // total data footprint in bytes
+	HotDataBytes int     // hot working-set size in bytes
+	HotDataFrac  float64 // probability an access goes to the hot set
+	StrideFrac   float64 // probability an access is sequential (next element)
+
+	// Branch behaviour.
+	TakenFrac  float64 // fraction of branches that are taken
+	BranchBias float64 // per-static-branch outcome bias (0.5 random .. 1 fixed)
+
+	// Memory system behaviour.
+	RemoteFrac float64 // fraction of memory placed on the remote NUMA node
+
+	// Timing.
+	BaseIPC      float64 // issue rate in uops/cycle absent stalls
+	UopsPerInstr float64 // micro-op expansion factor
+}
+
+// Validate reports a descriptive panic when parameters are out of range;
+// callers construct params programmatically, so a malformed value is a
+// programming error rather than user input.
+func (p *StreamParams) Validate() {
+	sum := p.LoadFrac + p.StoreFrac + p.BranchFrac
+	switch {
+	case p.LoadFrac < 0 || p.StoreFrac < 0 || p.BranchFrac < 0 || sum > 1.0001:
+		panic("micro: instruction mix fractions invalid")
+	case p.CodeBytes <= 0 || p.HotCodeBytes <= 0 || p.HotCodeBytes > p.CodeBytes:
+		panic("micro: code footprint invalid")
+	case p.DataBytes <= 0 || p.HotDataBytes <= 0 || p.HotDataBytes > p.DataBytes:
+		panic("micro: data footprint invalid")
+	case p.TakenFrac < 0 || p.TakenFrac > 1 || p.BranchBias < 0.5 || p.BranchBias > 1:
+		panic("micro: branch behaviour invalid")
+	case p.RemoteFrac < 0 || p.RemoteFrac > 1:
+		panic("micro: remote fraction invalid")
+	case p.BaseIPC <= 0 || p.UopsPerInstr <= 0:
+		panic("micro: timing parameters invalid")
+	}
+}
+
+// MachineConfig fixes the simulated micro-architecture geometry. The
+// default mirrors a Nehalem-class core (Xeon X5550): 32 KiB 8-way L1
+// caches, an 8 MiB 16-way LLC standing in for L2+L3, 64-entry TLBs and a
+// 4K-entry gshare predictor with a 1K-entry BTB.
+type MachineConfig struct {
+	L1ISize, L1IWays int
+	L1DSize, L1DWays int
+	LLCSize, LLCWays int
+	LineBytes        int
+	ITLBEntries      int
+	DTLBEntries      int
+	PageBytes        int
+	HistoryBits      uint
+	BTBEntries       int
+}
+
+// DefaultConfig returns the Nehalem-class geometry described above.
+func DefaultConfig() MachineConfig {
+	return MachineConfig{
+		L1ISize: 32 << 10, L1IWays: 8,
+		L1DSize: 32 << 10, L1DWays: 8,
+		LLCSize: 8 << 20, LLCWays: 16,
+		LineBytes:   64,
+		ITLBEntries: 64,
+		DTLBEntries: 64,
+		PageBytes:   4096,
+		HistoryBits: 12,
+		BTBEntries:  1024,
+	}
+}
+
+// FastConfig returns a scaled-down geometry for unit tests: the same
+// structure with smaller capacities so locality effects appear within a
+// few thousand simulated instructions.
+func FastConfig() MachineConfig {
+	return MachineConfig{
+		L1ISize: 4 << 10, L1IWays: 4,
+		L1DSize: 4 << 10, L1DWays: 4,
+		LLCSize: 64 << 10, LLCWays: 8,
+		LineBytes:   64,
+		ITLBEntries: 16,
+		DTLBEntries: 16,
+		PageBytes:   4096,
+		HistoryBits: 10,
+		BTBEntries:  256,
+	}
+}

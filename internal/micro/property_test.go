@@ -1,0 +1,124 @@
+package micro
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyCacheHitAfterAccess: immediately re-accessing any address
+// always hits (the line was just filled or touched).
+func TestPropertyCacheHitAfterAccess(t *testing.T) {
+	f := func(addrs []uint64) bool {
+		c := NewCache(1024, 64, 2)
+		for _, a := range addrs {
+			c.Access(a)
+			if !c.Probe(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCacheMissesBounded: misses never exceed accesses, and a
+// working set within capacity eventually stops missing.
+func TestPropertyCacheMissesBounded(t *testing.T) {
+	f := func(seed uint64, setSize uint8) bool {
+		c := NewCache(4096, 64, 4) // 16 sets x 4 ways
+		n := int(setSize%16) + 1   // <= 16 consecutive lines: one per set
+		rng := NewRNG(seed | 1)
+		base := uint64(rng.Intn(1<<16)) * 4096 // random page-aligned base
+		addrs := make([]uint64, n)
+		for i := range addrs {
+			addrs[i] = base + uint64(i)*64 // consecutive lines -> distinct sets
+		}
+		for round := 0; round < 8; round++ {
+			for _, a := range addrs {
+				c.Access(a)
+			}
+		}
+		if c.Misses > c.Accesses {
+			return false
+		}
+		// After warm-up, a final sweep over a small resident set should
+		// hit: count misses of the last round only.
+		before := c.Misses
+		for _, a := range addrs {
+			c.Access(a)
+		}
+		return c.Misses == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTLBHitAfterAccess mirrors the cache property for pages.
+func TestPropertyTLBHitAfterAccess(t *testing.T) {
+	f := func(addrs []uint64) bool {
+		tlb := NewTLB(8, 4096)
+		for _, a := range addrs {
+			tlb.Access(a)
+			miss := tlb.Misses
+			tlb.Access(a) // same page immediately after: must hit
+			if tlb.Misses != miss {
+				return false
+			}
+		}
+		return tlb.Misses <= tlb.Accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMachineCounterInvariants: for arbitrary (valid) stream
+// parameters, structural counter relations always hold.
+func TestPropertyMachineCounterInvariants(t *testing.T) {
+	f := func(seed uint64, mixPick, sizePick uint8) bool {
+		load := 0.1 + float64(mixPick%5)*0.05
+		branch := 0.05 + float64(mixPick%7)*0.03
+		p := StreamParams{
+			LoadFrac: load, StoreFrac: 0.1, BranchFrac: branch,
+			CodeBytes: 4096 << (sizePick % 4), HotCodeBytes: 1024,
+			HotCodeFrac: 0.8,
+			DataBytes:   32768 << (sizePick % 4), HotDataBytes: 8192,
+			HotDataFrac: 0.8, StrideFrac: 0.4,
+			TakenFrac: 0.6, BranchBias: 0.9,
+			RemoteFrac: 0.1, BaseIPC: 2, UopsPerInstr: 1.2,
+		}
+		m := NewMachine(FastConfig(), seed|1)
+		m.Run(&p, 5000)
+		c := m.Counters()
+		checks := []bool{
+			c[EvInstructions] == 5000,
+			c[EvL1DcacheLoadMisses] <= c[EvL1DcacheLoads],
+			c[EvL1DcacheStoreMisses] <= c[EvL1DcacheStores],
+			c[EvL1IcacheLoadMisses] <= c[EvL1IcacheLoads],
+			c[EvDTLBLoadMisses] <= c[EvDTLBLoads],
+			c[EvDTLBStoreMisses] <= c[EvDTLBStores],
+			c[EvITLBLoadMisses] <= c[EvITLBLoads],
+			c[EvBranchMisses] <= c[EvBranchInstructions],
+			c[EvBranchLoadMisses] <= c[EvBranchLoads],
+			c[EvLLCLoadMisses] <= c[EvLLCLoads],
+			c[EvLLCStoreMisses] <= c[EvLLCStores],
+			c[EvCacheMisses] <= c[EvCacheReferences],
+			c[EvMemLoads] == c[EvDTLBLoads],
+			c[EvMemStores] == c[EvDTLBStores],
+			c[EvCPUCycles] >= c[EvStalledCyclesFrontend],
+			c[EvBusCycles] <= c[EvCPUCycles],
+		}
+		for _, ok := range checks {
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,60 @@
+package micro
+
+// TLB models a fully-associative translation lookaside buffer with LRU
+// replacement over 4 KiB pages. Instruction and data TLBs are separate
+// instances, as on Nehalem.
+type TLB struct {
+	pageShift uint
+	entries   []uint64 // entries[0] is MRU
+	valid     []bool
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewTLB builds a TLB with the given number of entries and page size.
+func NewTLB(entries int, pageBytes int) *TLB {
+	if entries <= 0 || pageBytes <= 0 {
+		panic("micro: TLB geometry must be positive")
+	}
+	return &TLB{
+		pageShift: log2(uint64(pageBytes)),
+		entries:   make([]uint64, entries),
+		valid:     make([]bool, entries),
+	}
+}
+
+// Access translates addr, filling on miss, and reports whether the
+// translation hit.
+func (t *TLB) Access(addr uint64) bool {
+	t.Accesses++
+	page := addr >> t.pageShift
+	for i, p := range t.entries {
+		if t.valid[i] && p == page {
+			// Promote to MRU.
+			copy(t.entries[1:i+1], t.entries[:i])
+			copy(t.valid[1:i+1], t.valid[:i])
+			t.entries[0] = page
+			t.valid[0] = true
+			return true
+		}
+	}
+	t.Misses++
+	copy(t.entries[1:], t.entries[:len(t.entries)-1])
+	copy(t.valid[1:], t.valid[:len(t.valid)-1])
+	t.entries[0] = page
+	t.valid[0] = true
+	return false
+}
+
+// Flush empties the TLB and clears statistics.
+func (t *TLB) Flush() {
+	for i := range t.valid {
+		t.valid[i] = false
+	}
+	t.Accesses = 0
+	t.Misses = 0
+}
+
+// Entries returns the TLB capacity.
+func (t *TLB) Entries() int { return len(t.entries) }

@@ -1,0 +1,119 @@
+// Package bayesnet implements the BayesNet detector: WEKA's BayesNet
+// with its default K2 search (max one parent) degenerates to a
+// naive-Bayes structure over supervised-discretized attributes, which
+// is what this package builds — per-attribute MDL discretization
+// (Fayyad–Irani) followed by a naive-Bayes network with Laplace
+// smoothing on the conditional probability tables.
+//
+// BayesNet's probability outputs are well calibrated, which is why the
+// paper measures a high, HPC-count-insensitive AUC (~0.92) for it.
+package bayesnet
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/mlearn"
+)
+
+// Trainer builds BayesNet models.
+type Trainer struct {
+	// Alpha is the Laplace smoothing pseudo-count (WEKA estimator
+	// default 0.5).
+	Alpha float64
+}
+
+// New returns a BayesNet trainer with WEKA defaults.
+func New() *Trainer { return &Trainer{Alpha: 0.5} }
+
+// Name implements mlearn.Trainer.
+func (t *Trainer) Name() string { return "BayesNet" }
+
+// Model is a trained naive-Bayes network over discretized attributes.
+type Model struct {
+	Disc  *mlearn.Discretizer
+	Prior []float64     // class prior
+	CPT   [][][]float64 // CPT[attr][class][bin] = P(bin|class)
+}
+
+// Train implements mlearn.Trainer.
+func (t *Trainer) Train(d *dataset.Instances, weights []float64) (mlearn.Classifier, error) {
+	if err := mlearn.CheckTrainable(d, weights); err != nil {
+		return nil, err
+	}
+	w := mlearn.UniformWeights(d, weights)
+	alpha := t.Alpha
+	if alpha <= 0 {
+		alpha = 0.5
+	}
+
+	disc := mlearn.FitMDL(d, w)
+	k := d.NumClasses()
+	nA := d.NumAttrs()
+
+	classW := make([]float64, k)
+	for i, y := range d.Y {
+		classW[y] += w[i]
+	}
+	totalW := 0.0
+	for _, cw := range classW {
+		totalW += cw
+	}
+
+	prior := make([]float64, k)
+	for c := range prior {
+		prior[c] = (classW[c] + alpha) / (totalW + alpha*float64(k))
+	}
+
+	cpt := make([][][]float64, nA)
+	for j := 0; j < nA; j++ {
+		bins := disc.Bins(j)
+		cpt[j] = make([][]float64, k)
+		for c := range cpt[j] {
+			cpt[j][c] = make([]float64, bins)
+		}
+		for i := range d.X {
+			cpt[j][d.Y[i]][disc.Bin(j, d.X[i][j])] += w[i]
+		}
+		for c := 0; c < k; c++ {
+			for b := 0; b < bins; b++ {
+				cpt[j][c][b] = (cpt[j][c][b] + alpha) / (classW[c] + alpha*float64(bins))
+			}
+		}
+	}
+
+	return &Model{Disc: disc, Prior: prior, CPT: cpt}, nil
+}
+
+// Distribution implements mlearn.Classifier: the naive-Bayes posterior.
+func (m *Model) Distribution(x []float64) []float64 {
+	k := len(m.Prior)
+	post := make([]float64, k)
+	copy(post, m.Prior)
+	for j := range m.CPT {
+		b := m.Disc.Bin(j, x[j])
+		for c := 0; c < k; c++ {
+			post[c] *= m.CPT[j][c][b]
+		}
+		// Rescale to dodge underflow on wide attribute sets.
+		sum := 0.0
+		for _, p := range post {
+			sum += p
+		}
+		if sum > 0 {
+			for c := range post {
+				post[c] /= sum
+			}
+		}
+	}
+	sum := 0.0
+	for _, p := range post {
+		sum += p
+	}
+	if sum == 0 {
+		copy(post, m.Prior)
+		return post
+	}
+	for c := range post {
+		post[c] /= sum
+	}
+	return post
+}

@@ -1,0 +1,106 @@
+package bayesnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mlearn/mltest"
+)
+
+func TestBayesNetBlobs(t *testing.T) {
+	train := mltest.Blobs(300, 5, 1)
+	test := mltest.Blobs(200, 5, 2)
+	c := mltest.AssertAccuracyAbove(t, New(), train, test, 0.9)
+	mltest.AssertValidDistributions(t, c, test)
+}
+
+func TestBayesNetGradedPosterior(t *testing.T) {
+	// Unlike SMO/OneR, BayesNet must produce genuinely graded
+	// probabilities — the property behind its strong AUC in the paper.
+	train := mltest.Blobs(400, 2.5, 3) // overlapping classes
+	c, err := New().Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graded := 0
+	for i := range train.X {
+		p := c.Distribution(train.X[i])[1]
+		if p > 0.05 && p < 0.95 {
+			graded++
+		}
+	}
+	if graded < 10 {
+		t.Errorf("only %d/%d graded posteriors; expected genuinely probabilistic output", graded, train.NumRows())
+	}
+}
+
+func TestBayesNetPriorFallback(t *testing.T) {
+	// With a single useless attribute, the posterior should be close
+	// to the class prior.
+	d := dataset.New([]string{"junk"}, dataset.BinaryClassNames())
+	for i := 0; i < 90; i++ {
+		y := 0
+		if i%3 == 0 {
+			y = 1
+		}
+		_ = d.Add([]float64{1}, y, map[int]string{0: "b", 1: "m"}[y]) // constant attr
+	}
+	c, err := New().Train(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Distribution([]float64{1})
+	if math.Abs(p[0]-2.0/3) > 0.05 {
+		t.Errorf("posterior %v should approximate the prior [0.67 0.33]", p)
+	}
+}
+
+func TestBayesNetWeightsInfluence(t *testing.T) {
+	// Same data, weights concentrated on class-1 rows: the prior (and
+	// hence posterior on an uninformative point) should shift.
+	d := dataset.New([]string{"v"}, dataset.BinaryClassNames())
+	for i := 0; i < 60; i++ {
+		y := i % 2
+		_ = d.Add([]float64{float64(i % 4)}, y, map[int]string{0: "b", 1: "m"}[y])
+	}
+	w := make([]float64, 60)
+	for i := range w {
+		if i%2 == 1 {
+			w[i] = 9
+		} else {
+			w[i] = 1
+		}
+	}
+	c, err := New().Train(d, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Distribution([]float64{1.5})
+	if p[1] < 0.7 {
+		t.Errorf("posterior %v should be dominated by the upweighted class", p)
+	}
+}
+
+func TestBayesNetUnderflowResistance(t *testing.T) {
+	// Many attributes with tiny conditional probabilities must not
+	// underflow to a zero posterior.
+	names := make([]string, 40)
+	for i := range names {
+		names[i] = "a" + string(rune('0'+i%10)) + string(rune('a'+i/10))
+	}
+	d := dataset.New(names, dataset.BinaryClassNames())
+	for i := 0; i < 200; i++ {
+		y := i % 2
+		x := make([]float64, 40)
+		for j := range x {
+			x[j] = float64((i*7+j*13)%100)/10 + float64(y)
+		}
+		_ = d.Add(x, y, map[int]string{0: "b", 1: "m"}[y])
+	}
+	c, err := New().Train(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mltest.AssertValidDistributions(t, c, d)
+}

@@ -1,0 +1,165 @@
+// Package describe renders trained models as human-readable text — the
+// view WEKA prints after training, which analysts use to understand
+// *why* a detector flags a program (which counters, which thresholds).
+package describe
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/bayesnet"
+	"repro/internal/mlearn/ensemble"
+	"repro/internal/mlearn/j48"
+	"repro/internal/mlearn/jrip"
+	"repro/internal/mlearn/knn"
+	"repro/internal/mlearn/logistic"
+	"repro/internal/mlearn/mlp"
+	"repro/internal/mlearn/oner"
+	"repro/internal/mlearn/reptree"
+	"repro/internal/mlearn/sgd"
+	"repro/internal/mlearn/smo"
+)
+
+// Model renders a trained classifier. attrNames supplies display names
+// per feature column (nil falls back to attr<N>); classNames likewise
+// (nil falls back to class<N>).
+func Model(c mlearn.Classifier, attrNames, classNames []string) string {
+	d := &describer{attrs: attrNames, classes: classNames}
+	var sb strings.Builder
+	d.model(&sb, c, "")
+	return sb.String()
+}
+
+type describer struct {
+	attrs   []string
+	classes []string
+}
+
+func (d *describer) attr(i int) string {
+	if i >= 0 && i < len(d.attrs) {
+		return d.attrs[i]
+	}
+	return fmt.Sprintf("attr%d", i)
+}
+
+func (d *describer) class(i int) string {
+	if i >= 0 && i < len(d.classes) {
+		return d.classes[i]
+	}
+	return fmt.Sprintf("class%d", i)
+}
+
+func (d *describer) classOfDist(dist []float64) string {
+	best, bestP := 0, -1.0
+	for c, p := range dist {
+		if p > bestP {
+			best, bestP = c, p
+		}
+	}
+	return fmt.Sprintf("%s (%.2f)", d.class(best), bestP)
+}
+
+func (d *describer) model(sb *strings.Builder, c mlearn.Classifier, indent string) {
+	switch m := c.(type) {
+	case *oner.Model:
+		fmt.Fprintf(sb, "%sOneR on %s (train error %.3f):\n", indent, d.attr(m.Attr), m.TrainError)
+		for i, cls := range m.Classes {
+			var cond string
+			switch {
+			case len(m.Thresholds) == 0:
+				cond = "always"
+			case i == 0:
+				cond = fmt.Sprintf("< %.6g", m.Thresholds[0])
+			case i == len(m.Classes)-1:
+				cond = fmt.Sprintf(">= %.6g", m.Thresholds[i-1])
+			default:
+				cond = fmt.Sprintf("in [%.6g, %.6g)", m.Thresholds[i-1], m.Thresholds[i])
+			}
+			fmt.Fprintf(sb, "%s  %s -> %s\n", indent, cond, d.class(cls))
+		}
+	case *j48.Model:
+		fmt.Fprintf(sb, "%sJ48 tree:\n", indent)
+		d.tree(sb, m.Root, indent+"  ")
+	case *reptree.Model:
+		fmt.Fprintf(sb, "%sREPTree:\n", indent)
+		d.tree(sb, m.Root, indent+"  ")
+	case *jrip.Model:
+		fmt.Fprintf(sb, "%sJRip rule list (target %s):\n", indent, d.class(m.TargetClass))
+		for i := range m.Rules {
+			r := &m.Rules[i]
+			var conds []string
+			for _, cond := range r.Conds {
+				op := "<="
+				if cond.Ge {
+					op = ">="
+				}
+				conds = append(conds, fmt.Sprintf("%s %s %.6g", d.attr(cond.Attr), op, cond.Threshold))
+			}
+			fmt.Fprintf(sb, "%s  IF %s THEN %s (conf %.2f)\n",
+				indent, strings.Join(conds, " AND "), d.class(r.Class), r.Confidence)
+		}
+		fmt.Fprintf(sb, "%s  ELSE %s\n", indent, d.classOfDist(m.Default))
+	case *sgd.Model:
+		d.linear(sb, "SGD (hinge)", m.Weights, m.Bias, indent)
+	case *smo.Model:
+		d.linear(sb, fmt.Sprintf("SMO (%d support vectors)", m.SupportVectors), m.Weights, m.Bias, indent)
+	case *logistic.Model:
+		d.linear(sb, "Logistic regression", m.Weights, m.Bias, indent)
+	case *knn.Model:
+		fmt.Fprintf(sb, "%sKNN: k=%d over %d stored instances\n", indent, m.K, len(m.X))
+	case *mlp.Model:
+		fmt.Fprintf(sb, "%sMLP: %d inputs -> %d sigmoid hidden -> %d outputs\n",
+			indent, m.Inputs(), m.Hidden(), m.Outputs())
+	case *bayesnet.Model:
+		fmt.Fprintf(sb, "%sBayesNet (naive structure): priors", indent)
+		for c, p := range m.Prior {
+			fmt.Fprintf(sb, " %s=%.2f", d.class(c), p)
+		}
+		fmt.Fprintf(sb, "\n")
+		for j := range m.CPT {
+			fmt.Fprintf(sb, "%s  %s: %d bins (cuts:", indent, d.attr(j), m.Disc.Bins(j))
+			for _, cut := range m.Disc.Cuts[j] {
+				fmt.Fprintf(sb, " %.6g", cut)
+			}
+			fmt.Fprintf(sb, ")\n")
+		}
+	case *ensemble.BoostedModel:
+		fmt.Fprintf(sb, "%sAdaBoost.M1 committee of %d:\n", indent, len(m.Models))
+		for i, base := range m.Models {
+			fmt.Fprintf(sb, "%s  [%d] alpha=%.3f\n", indent, i, m.Alphas[i])
+			d.model(sb, base, indent+"    ")
+		}
+	case *ensemble.BaggedModel:
+		fmt.Fprintf(sb, "%sBagging committee of %d:\n", indent, len(m.Models))
+		for i, base := range m.Models {
+			fmt.Fprintf(sb, "%s  [%d]\n", indent, i)
+			d.model(sb, base, indent+"    ")
+		}
+	default:
+		fmt.Fprintf(sb, "%s(unrenderable model %T)\n", indent, c)
+	}
+}
+
+func (d *describer) tree(sb *strings.Builder, n *mlearn.TreeNode, indent string) {
+	if n.Leaf {
+		fmt.Fprintf(sb, "%s-> %s\n", indent, d.classOfDist(n.Dist))
+		return
+	}
+	fmt.Fprintf(sb, "%s%s < %.6g:\n", indent, d.attr(n.Attr), n.Threshold)
+	d.tree(sb, n.Left, indent+"|  ")
+	fmt.Fprintf(sb, "%s%s >= %.6g:\n", indent, d.attr(n.Attr), n.Threshold)
+	d.tree(sb, n.Right, indent+"|  ")
+}
+
+func (d *describer) linear(sb *strings.Builder, kind string, weights []float64, bias float64, indent string) {
+	fmt.Fprintf(sb, "%s%s: margin = %.4g", indent, kind, bias)
+	for j, w := range weights {
+		if w >= 0 {
+			fmt.Fprintf(sb, " + %.4g*%s", w, d.attr(j))
+		} else {
+			fmt.Fprintf(sb, " - %.4g*%s", -w, d.attr(j))
+		}
+	}
+	fmt.Fprintf(sb, "  (inputs min-max normalised)\n")
+}

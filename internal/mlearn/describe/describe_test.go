@@ -1,0 +1,108 @@
+package describe
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mlearn/mltest"
+	"repro/internal/mlearn/zoo"
+)
+
+func TestDescribeAllModels(t *testing.T) {
+	train := mltest.Blobs(200, 4, 1)
+	attrs := []string{"branch_misses", "prefetches"}
+	classes := []string{"benign", "malware"}
+
+	names := append(zoo.Names(), zoo.BaselineNames()...)
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c, err := zoo.MustNew(name, 3).Train(train, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := Model(c, attrs, classes)
+			if out == "" {
+				t.Fatal("empty description")
+			}
+			if strings.Contains(out, "unrenderable") {
+				t.Fatalf("model not rendered:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestDescribeTreeContent(t *testing.T) {
+	train := mltest.Blobs(300, 6, 5)
+	c, err := zoo.MustNew("J48", 1).Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Model(c, []string{"f0", "f1"}, []string{"benign", "malware"})
+	for _, want := range []string{"J48 tree", "f0", "<", ">=", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree description missing %q:\n%s", want, out)
+		}
+	}
+	// Both class names should appear in leaf annotations.
+	if !strings.Contains(out, "benign") || !strings.Contains(out, "malware") {
+		t.Error("class names missing from leaves")
+	}
+}
+
+func TestDescribeRuleContent(t *testing.T) {
+	train := mltest.Bands(400, 3)
+	c, err := zoo.MustNew("JRip", 1).Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Model(c, []string{"v"}, []string{"benign", "malware"})
+	for _, want := range []string{"JRip rule list", "IF", "THEN", "ELSE", "conf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rule description missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDescribeEnsembleNesting(t *testing.T) {
+	train := mltest.Blobs(200, 4, 7)
+	tr, err := zoo.NewVariant("OneR", zoo.Boosted, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tr.Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Model(c, []string{"a", "b"}, []string{"benign", "malware"})
+	if !strings.Contains(out, "AdaBoost.M1 committee") {
+		t.Errorf("missing committee header:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha=") {
+		t.Error("missing member vote weights")
+	}
+	if !strings.Contains(out, "OneR on") {
+		t.Error("missing nested base description")
+	}
+}
+
+func TestDescribeFallbacks(t *testing.T) {
+	train := mltest.Blobs(100, 4, 9)
+	c, err := zoo.MustNew("OneR", 1).Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No names supplied: generic placeholders appear.
+	out := Model(c, nil, nil)
+	if !strings.Contains(out, "attr") || !strings.Contains(out, "class") {
+		t.Errorf("fallback names missing:\n%s", out)
+	}
+	// Unknown model type renders a marker instead of panicking.
+	if out := Model(fake{}, nil, nil); !strings.Contains(out, "unrenderable") {
+		t.Error("unknown type should be marked unrenderable")
+	}
+}
+
+type fake struct{}
+
+func (fake) Distribution([]float64) []float64 { return []float64{1, 0} }

@@ -1,0 +1,132 @@
+package mlearn
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// Discretizer holds per-attribute cut points produced by supervised
+// MDL discretization (Fayyad & Irani 1993), the method WEKA applies
+// inside BayesNet for numeric attributes.
+type Discretizer struct {
+	Cuts [][]float64 // ascending cut points per attribute
+}
+
+// Bin maps value v of attribute j to its bin index.
+func (dz *Discretizer) Bin(j int, v float64) int {
+	cuts := dz.Cuts[j]
+	// Binary search: number of cuts <= v.
+	lo, hi := 0, len(cuts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v < cuts[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Bins returns the number of bins for attribute j.
+func (dz *Discretizer) Bins(j int) int { return len(dz.Cuts[j]) + 1 }
+
+type sortedVal struct {
+	v float64
+	y int
+	w float64
+}
+
+// FitMDL learns cut points for every attribute of d using recursive
+// entropy minimisation with the MDL stopping criterion. weights must
+// have one entry per row (use UniformWeights).
+func FitMDL(d *dataset.Instances, weights []float64) *Discretizer {
+	k := d.NumClasses()
+	dz := &Discretizer{Cuts: make([][]float64, d.NumAttrs())}
+	for j := 0; j < d.NumAttrs(); j++ {
+		vals := make([]sortedVal, len(d.X))
+		for i := range d.X {
+			vals[i] = sortedVal{v: d.X[i][j], y: d.Y[i], w: weights[i]}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		var cuts []float64
+		mdlSplit(vals, k, &cuts)
+		sort.Float64s(cuts)
+		dz.Cuts[j] = cuts
+	}
+	return dz
+}
+
+// mdlSplit recursively finds the best entropy split of vals and keeps
+// it if the MDL criterion accepts it.
+func mdlSplit(vals []sortedVal, k int, cuts *[]float64) {
+	n := len(vals)
+	if n < 4 {
+		return
+	}
+	total := make([]float64, k)
+	totalW := 0.0
+	for _, v := range vals {
+		total[v.y] += v.w
+		totalW += v.w
+	}
+	baseEnt := Entropy(total)
+	if baseEnt == 0 {
+		return
+	}
+
+	left := make([]float64, k)
+	leftW := 0.0
+	bestGain, bestIdx := 0.0, -1
+	var bestLeftEnt, bestRightEnt float64
+	var bestLeftK, bestRightK int
+
+	right := append([]float64(nil), total...)
+	for i := 0; i < n-1; i++ {
+		left[vals[i].y] += vals[i].w
+		right[vals[i].y] -= vals[i].w
+		leftW += vals[i].w
+		if vals[i+1].v <= vals[i].v {
+			continue // can only cut between distinct values
+		}
+		le, re := Entropy(left), Entropy(right)
+		ent := (leftW*le + (totalW-leftW)*re) / totalW
+		gain := baseEnt - ent
+		if gain > bestGain {
+			bestGain, bestIdx = gain, i
+			bestLeftEnt, bestRightEnt = le, re
+			bestLeftK, bestRightK = classesPresent(left), classesPresent(right)
+		}
+	}
+	if bestIdx < 0 {
+		return
+	}
+
+	// MDL acceptance (Fayyad–Irani): gain must exceed
+	// (log2(n-1) + log2(3^kPresent - 2) - kPresent*E + kl*El + kr*Er)/n
+	// computed with instance counts; we use weighted totals.
+	kPresent := classesPresent(total)
+	delta := math.Log2(math.Pow(3, float64(kPresent))-2) -
+		(float64(kPresent)*baseEnt - float64(bestLeftK)*bestLeftEnt - float64(bestRightK)*bestRightEnt)
+	threshold := (math.Log2(float64(n)-1) + delta) / float64(n)
+	if bestGain <= threshold {
+		return
+	}
+
+	cut := (vals[bestIdx].v + vals[bestIdx+1].v) / 2
+	*cuts = append(*cuts, cut)
+	mdlSplit(vals[:bestIdx+1], k, cuts)
+	mdlSplit(vals[bestIdx+1:], k, cuts)
+}
+
+func classesPresent(counts []float64) int {
+	n := 0
+	for _, c := range counts {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}

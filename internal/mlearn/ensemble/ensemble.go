@@ -1,0 +1,248 @@
+// Package ensemble implements the two ensemble meta-learners the paper
+// applies to every general classifier: AdaBoost.M1 (Freund & Schapire
+// 1997) and Bagging (Breiman 1996), both with WEKA's default of 10
+// iterations.
+//
+// The crucial property for the paper's robustness results: an
+// AdaBoost/Bagging ensemble of hard-output base learners (OneR, SGD,
+// SMO) produces *graded* vote-weighted scores, so the ensemble sweeps a
+// real ROC curve even when the base model cannot — which is exactly how
+// boosting repairs the AUC of SMO and OneR with only 2 HPCs.
+package ensemble
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/mlearn"
+)
+
+// AdaBoost is the AdaBoost.M1 meta-trainer.
+type AdaBoost struct {
+	// Base is the weak-learner factory: it must return a fresh trainer
+	// per iteration (trainers may keep state such as seeds).
+	Base func(iteration int) mlearn.Trainer
+	// Iterations is the maximum number of boosting rounds (WEKA
+	// default 10).
+	Iterations int
+	// UseResampling trains each round on a weighted bootstrap instead
+	// of passing weights through (for base learners that ignore
+	// weights). WEKA's -Q option.
+	UseResampling bool
+	// Seed drives resampling.
+	Seed uint64
+}
+
+// NewAdaBoost wraps base construction with WEKA defaults.
+func NewAdaBoost(base func(int) mlearn.Trainer) *AdaBoost {
+	return &AdaBoost{Base: base, Iterations: 10, Seed: 1}
+}
+
+// Name implements mlearn.Trainer.
+func (t *AdaBoost) Name() string {
+	if t.Base == nil {
+		return "AdaBoostM1"
+	}
+	return "AdaBoostM1+" + t.Base(0).Name()
+}
+
+// BoostedModel is a trained AdaBoost.M1 ensemble.
+type BoostedModel struct {
+	Models     []mlearn.Classifier
+	Alphas     []float64 // log((1-err)/err) vote weights
+	NumClasses int
+}
+
+// Len returns the number of base models in the committee.
+func (m *BoostedModel) Len() int { return len(m.Models) }
+
+// Distribution implements mlearn.Classifier: alpha-weighted votes of
+// the base models' predictions, normalised.
+func (m *BoostedModel) Distribution(x []float64) []float64 {
+	votes := make([]float64, m.NumClasses)
+	for i, base := range m.Models {
+		votes[mlearn.Predict(base, x)] += m.Alphas[i]
+	}
+	total := 0.0
+	for _, v := range votes {
+		total += v
+	}
+	if total <= 0 {
+		for i := range votes {
+			votes[i] = 1 / float64(m.NumClasses)
+		}
+		return votes
+	}
+	for i := range votes {
+		votes[i] /= total
+	}
+	return votes
+}
+
+// Train implements mlearn.Trainer.
+func (t *AdaBoost) Train(d *dataset.Instances, weights []float64) (mlearn.Classifier, error) {
+	if t.Base == nil {
+		return nil, errors.New("ensemble: AdaBoost needs a base trainer")
+	}
+	if err := mlearn.CheckTrainable(d, weights); err != nil {
+		return nil, err
+	}
+	iters := t.Iterations
+	if iters <= 0 {
+		iters = 10
+	}
+	n := d.NumRows()
+	w := mlearn.UniformWeights(d, weights)
+
+	model := &BoostedModel{NumClasses: d.NumClasses()}
+	const epsilon = 1e-10
+	for it := 0; it < iters; it++ {
+		trainer := t.Base(it)
+		var base mlearn.Classifier
+		var err error
+		if t.UseResampling {
+			sample := mlearn.Resample(d, w, n, t.Seed+uint64(it)*0x9e37)
+			base, err = trainer.Train(sample, nil)
+		} else {
+			base, err = trainer.Train(d, w)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ensemble: boosting round %d: %v", it, err)
+		}
+
+		// Weighted training error of this round's model.
+		var errW, totalW float64
+		miss := make([]bool, n)
+		for i := 0; i < n; i++ {
+			totalW += w[i]
+			if mlearn.Predict(base, d.X[i]) != d.Y[i] {
+				miss[i] = true
+				errW += w[i]
+			}
+		}
+		e := errW / totalW
+
+		if e >= 0.5 {
+			// Weak-learning assumption violated: stop. Keep the model
+			// only if the committee would otherwise be empty.
+			if len(model.Models) == 0 {
+				model.Models = append(model.Models, base)
+				model.Alphas = append(model.Alphas, 1)
+			}
+			break
+		}
+		if e < epsilon {
+			// Perfect model: give it a large (finite) vote and stop.
+			model.Models = append(model.Models, base)
+			model.Alphas = append(model.Alphas, math.Log((1-epsilon)/epsilon))
+			break
+		}
+
+		alpha := math.Log((1 - e) / e)
+		model.Models = append(model.Models, base)
+		model.Alphas = append(model.Alphas, alpha)
+
+		// Reweight: misclassified instances gain weight.
+		beta := e / (1 - e)
+		newTotal := 0.0
+		for i := 0; i < n; i++ {
+			if !miss[i] {
+				w[i] *= beta
+			}
+			newTotal += w[i]
+		}
+		// Renormalise to total n (the WEKA convention).
+		scale := float64(n) / newTotal
+		for i := range w {
+			w[i] *= scale
+		}
+	}
+	if len(model.Models) == 0 {
+		return nil, errors.New("ensemble: boosting produced no usable model")
+	}
+	return model, nil
+}
+
+// Bagging is the bootstrap-aggregation meta-trainer.
+type Bagging struct {
+	// Base is the base-learner factory, fresh per bag.
+	Base func(iteration int) mlearn.Trainer
+	// Iterations is the number of bags (WEKA default 10).
+	Iterations int
+	// BagPercent is the bootstrap size as a percentage of the training
+	// set (WEKA default 100).
+	BagPercent float64
+	// Seed drives the bootstrap sampling.
+	Seed uint64
+}
+
+// NewBagging wraps base construction with WEKA defaults.
+func NewBagging(base func(int) mlearn.Trainer) *Bagging {
+	return &Bagging{Base: base, Iterations: 10, BagPercent: 100, Seed: 1}
+}
+
+// Name implements mlearn.Trainer.
+func (t *Bagging) Name() string {
+	if t.Base == nil {
+		return "Bagging"
+	}
+	return "Bagging+" + t.Base(0).Name()
+}
+
+// BaggedModel averages the base models' distributions.
+type BaggedModel struct {
+	Models     []mlearn.Classifier
+	NumClasses int
+}
+
+// Len returns the number of base models.
+func (m *BaggedModel) Len() int { return len(m.Models) }
+
+// Distribution implements mlearn.Classifier.
+func (m *BaggedModel) Distribution(x []float64) []float64 {
+	avg := make([]float64, m.NumClasses)
+	for _, base := range m.Models {
+		for c, p := range base.Distribution(x) {
+			avg[c] += p
+		}
+	}
+	for c := range avg {
+		avg[c] /= float64(len(m.Models))
+	}
+	return avg
+}
+
+// Train implements mlearn.Trainer.
+func (t *Bagging) Train(d *dataset.Instances, weights []float64) (mlearn.Classifier, error) {
+	if t.Base == nil {
+		return nil, errors.New("ensemble: Bagging needs a base trainer")
+	}
+	if err := mlearn.CheckTrainable(d, weights); err != nil {
+		return nil, err
+	}
+	iters := t.Iterations
+	if iters <= 0 {
+		iters = 10
+	}
+	pct := t.BagPercent
+	if pct <= 0 {
+		pct = 100
+	}
+	size := int(float64(d.NumRows()) * pct / 100)
+	if size < 1 {
+		size = 1
+	}
+
+	model := &BaggedModel{NumClasses: d.NumClasses()}
+	for it := 0; it < iters; it++ {
+		bag := mlearn.Resample(d, weights, size, t.Seed+uint64(it)*0x85eb)
+		base, err := t.Base(it).Train(bag, nil)
+		if err != nil {
+			return nil, fmt.Errorf("ensemble: bag %d: %v", it, err)
+		}
+		model.Models = append(model.Models, base)
+	}
+	return model, nil
+}

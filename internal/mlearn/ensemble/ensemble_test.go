@@ -1,0 +1,182 @@
+package ensemble
+
+import (
+	"testing"
+
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/j48"
+	"repro/internal/mlearn/mltest"
+	"repro/internal/mlearn/oner"
+	"repro/internal/mlearn/sgd"
+)
+
+func stumpFactory(int) mlearn.Trainer {
+	return &j48.Trainer{MinLeaf: 2, MaxDepth: 1, Unpruned: true}
+}
+
+func TestAdaBoostLiftsStumpsOnDiagonal(t *testing.T) {
+	// The paper's central mechanism: weak base models + boosting beat
+	// the base model alone. On a diagonal boundary an axis-aligned
+	// stump tops out near 75%; 25 boosted stumps must clear 87%.
+	// (Symmetric XOR is deliberately NOT used here: every axis-aligned
+	// stump has 50% weighted error there, so AdaBoost provably cannot
+	// start — the classic counterexample.)
+	train := mltest.Diagonal(600, 1)
+	test := mltest.Diagonal(400, 2)
+
+	base, err := stumpFactory(0).Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accBase := mltest.Accuracy(base, test)
+	if accBase > 0.85 {
+		t.Fatalf("stump too strong (%.3f) for this test to be meaningful", accBase)
+	}
+
+	boost := NewAdaBoost(stumpFactory)
+	boost.Iterations = 25
+	c, err := boost.Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accBoost := mltest.Accuracy(c, test)
+	if accBoost < accBase+0.05 || accBoost < 0.87 {
+		t.Errorf("boosted stumps = %.3f, want >= 0.87 (base was %.3f)", accBoost, accBase)
+	}
+	mltest.AssertValidDistributions(t, c, test)
+}
+
+func TestAdaBoostGradedVotes(t *testing.T) {
+	// Boosting hard-output learners yields graded committee scores —
+	// the property that repairs SMO/OneR AUC in the paper.
+	train := mltest.Blobs(300, 2, 3)
+	boost := NewAdaBoost(func(it int) mlearn.Trainer {
+		tr := sgd.New()
+		tr.Seed = uint64(it + 1)
+		return tr
+	})
+	c, err := boost.Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.(*BoostedModel)
+	if m.Len() < 2 {
+		t.Skipf("committee collapsed to %d model(s); grading test not applicable", m.Len())
+	}
+	distinct := map[float64]bool{}
+	for i := range train.X {
+		distinct[c.Distribution(train.X[i])[1]] = true
+	}
+	if len(distinct) < 3 {
+		t.Errorf("boosted committee produced only %d distinct scores; expected graded votes", len(distinct))
+	}
+}
+
+func TestAdaBoostEarlyStopOnPerfection(t *testing.T) {
+	// A fully separable problem is solved by the first J48; boosting
+	// must stop early rather than run all iterations.
+	train := mltest.Blobs(200, 10, 5)
+	boost := NewAdaBoost(func(int) mlearn.Trainer { return j48.New() })
+	boost.Iterations = 10
+	c, err := boost.Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c.(*BoostedModel).Len(); n > 3 {
+		t.Errorf("perfect base model should stop boosting early, got %d rounds", n)
+	}
+}
+
+func TestAdaBoostResamplingMode(t *testing.T) {
+	train := mltest.Diagonal(500, 7)
+	test := mltest.Diagonal(300, 8)
+	boost := NewAdaBoost(stumpFactory)
+	boost.Iterations = 25
+	boost.UseResampling = true
+	c, err := boost.Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(c, test); acc < 0.8 {
+		t.Errorf("resampling-mode boosting = %.3f, want >= 0.8", acc)
+	}
+}
+
+func TestBaggingReducesVariance(t *testing.T) {
+	// On noisy data an unpruned tree overfits; bagging should not be
+	// worse, usually better.
+	train := mltest.Blobs(400, 1.6, 9)
+	test := mltest.Blobs(400, 1.6, 10)
+
+	single, err := (&j48.Trainer{MinLeaf: 2, Unpruned: true}).Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bag := NewBagging(func(int) mlearn.Trainer {
+		return &j48.Trainer{MinLeaf: 2, Unpruned: true}
+	})
+	c, err := bag.Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accSingle := mltest.Accuracy(single, test)
+	accBag := mltest.Accuracy(c, test)
+	if accBag < accSingle-0.03 {
+		t.Errorf("bagging (%.3f) clearly worse than single tree (%.3f)", accBag, accSingle)
+	}
+	mltest.AssertValidDistributions(t, c, test)
+}
+
+func TestBaggingAveragesDistributions(t *testing.T) {
+	train := mltest.Blobs(200, 2, 11)
+	bag := NewBagging(func(int) mlearn.Trainer { return oner.New() })
+	c, err := bag.Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.(*BaggedModel)
+	if m.Len() != 10 {
+		t.Fatalf("bagging built %d models, want 10 (WEKA default)", m.Len())
+	}
+	// OneR bases are one-hot; the average over 10 bags on ambiguous
+	// points should produce fractional scores somewhere.
+	distinct := map[float64]bool{}
+	for i := range train.X {
+		distinct[c.Distribution(train.X[i])[1]] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("bagged OneR produced no graded scores at all")
+	}
+}
+
+func TestBagPercent(t *testing.T) {
+	train := mltest.Blobs(200, 5, 13)
+	bag := NewBagging(func(int) mlearn.Trainer { return oner.New() })
+	bag.BagPercent = 10
+	c, err := bag.Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(c, train); acc < 0.8 {
+		t.Errorf("10%% bags on separable data = %.3f", acc)
+	}
+}
+
+func TestEnsembleErrors(t *testing.T) {
+	if _, err := (&AdaBoost{}).Train(mltest.Blobs(10, 5, 1), nil); err == nil {
+		t.Error("AdaBoost without base should fail")
+	}
+	if _, err := (&Bagging{}).Train(mltest.Blobs(10, 5, 1), nil); err == nil {
+		t.Error("Bagging without base should fail")
+	}
+	boost := NewAdaBoost(stumpFactory)
+	if _, err := boost.Train(nil, nil); err == nil {
+		t.Error("nil dataset should fail")
+	}
+	if NewAdaBoost(nil).Name() != "AdaBoostM1" {
+		t.Error("nil-base AdaBoost name wrong")
+	}
+	if NewBagging(nil).Name() != "Bagging" {
+		t.Error("nil-base Bagging name wrong")
+	}
+}

@@ -1,0 +1,281 @@
+// Package j48 implements the C4.5 decision-tree learner (Quinlan 1993),
+// the algorithm behind WEKA's J48: binary splits on numeric attributes
+// chosen by gain ratio, followed by pessimistic (confidence-bound)
+// subtree-replacement pruning with C4.5's default confidence 0.25.
+package j48
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/mlearn"
+)
+
+// Trainer builds J48 trees.
+type Trainer struct {
+	// MinLeaf is the minimum weighted instance count per leaf (WEKA
+	// minNumObj, default 2).
+	MinLeaf float64
+	// Confidence is the pruning confidence factor (WEKA default 0.25).
+	// Zero disables pruning only if Unpruned is set.
+	Confidence float64
+	// Unpruned disables pessimistic pruning.
+	Unpruned bool
+	// MaxDepth bounds tree depth (0 = unlimited).
+	MaxDepth int
+}
+
+// New returns a J48 trainer with WEKA defaults.
+func New() *Trainer { return &Trainer{MinLeaf: 2, Confidence: 0.25} }
+
+// Name implements mlearn.Trainer.
+func (t *Trainer) Name() string { return "J48" }
+
+// Model is a trained C4.5 tree.
+type Model struct {
+	Root *mlearn.TreeNode
+}
+
+// Distribution implements mlearn.Classifier.
+func (m *Model) Distribution(x []float64) []float64 { return m.Root.Distribution(x) }
+
+// trainData is the working set view used during induction.
+type trainData struct {
+	d *dataset.Instances
+	w []float64
+	k int
+}
+
+// Train implements mlearn.Trainer.
+func (t *Trainer) Train(d *dataset.Instances, weights []float64) (mlearn.Classifier, error) {
+	if err := mlearn.CheckTrainable(d, weights); err != nil {
+		return nil, err
+	}
+	td := &trainData{d: d, w: mlearn.UniformWeights(d, weights), k: d.NumClasses()}
+	idx := make([]int, d.NumRows())
+	for i := range idx {
+		idx[i] = i
+	}
+	minLeaf := t.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 2
+	}
+	root := t.grow(td, idx, 0, minLeaf)
+	if !t.Unpruned {
+		cf := t.Confidence
+		if cf <= 0 {
+			cf = 0.25
+		}
+		prune(td, root, idx, cf)
+	}
+	return &Model{Root: root}, nil
+}
+
+// classCounts returns weighted class counts over idx.
+func (td *trainData) classCounts(idx []int) []float64 {
+	counts := make([]float64, td.k)
+	for _, i := range idx {
+		counts[td.d.Y[i]] += td.w[i]
+	}
+	return counts
+}
+
+func leafFromCounts(counts []float64) *mlearn.TreeNode {
+	total := 0.0
+	for _, c := range counts {
+		total += c
+	}
+	dist := make([]float64, len(counts))
+	if total > 0 {
+		for i, c := range counts {
+			dist[i] = c / total
+		}
+	} else {
+		for i := range dist {
+			dist[i] = 1 / float64(len(dist))
+		}
+	}
+	return &mlearn.TreeNode{Leaf: true, Dist: dist}
+}
+
+// grow recursively induces the tree over the rows in idx.
+func (t *Trainer) grow(td *trainData, idx []int, depth int, minLeaf float64) *mlearn.TreeNode {
+	counts := td.classCounts(idx)
+	total := 0.0
+	nonZero := 0
+	for _, c := range counts {
+		total += c
+		if c > 0 {
+			nonZero++
+		}
+	}
+	if nonZero <= 1 || total < 2*minLeaf || (t.MaxDepth > 0 && depth >= t.MaxDepth) {
+		return leafFromCounts(counts)
+	}
+
+	attr, threshold, ok := bestGainRatioSplit(td, idx, counts, minLeaf)
+	if !ok {
+		return leafFromCounts(counts)
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		if td.d.X[i][attr] < threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return leafFromCounts(counts)
+	}
+	return &mlearn.TreeNode{
+		Attr:      attr,
+		Threshold: threshold,
+		Left:      t.grow(td, left, depth+1, minLeaf),
+		Right:     t.grow(td, right, depth+1, minLeaf),
+	}
+}
+
+// bestGainRatioSplit scans every attribute for the threshold maximising
+// information gain, then picks the attribute with the best gain ratio
+// among splits with at least average gain (C4.5's heuristic).
+func bestGainRatioSplit(td *trainData, idx []int, parentCounts []float64, minLeaf float64) (attr int, threshold float64, ok bool) {
+	parentEnt := mlearn.Entropy(parentCounts)
+	totalW := 0.0
+	for _, c := range parentCounts {
+		totalW += c
+	}
+
+	type cand struct {
+		attr      int
+		threshold float64
+		gain      float64
+		ratio     float64
+	}
+	var cands []cand
+
+	vals := make([]struct {
+		v float64
+		y int
+		w float64
+	}, len(idx))
+
+	for j := 0; j < td.d.NumAttrs(); j++ {
+		for p, i := range idx {
+			vals[p].v = td.d.X[i][j]
+			vals[p].y = td.d.Y[i]
+			vals[p].w = td.w[i]
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+
+		left := make([]float64, td.k)
+		right := append([]float64(nil), parentCounts...)
+		leftW := 0.0
+		bestGain, bestTh := 0.0, 0.0
+		found := false
+		for p := 0; p < len(vals)-1; p++ {
+			left[vals[p].y] += vals[p].w
+			right[vals[p].y] -= vals[p].w
+			leftW += vals[p].w
+			if vals[p+1].v <= vals[p].v {
+				continue
+			}
+			rightW := totalW - leftW
+			if leftW < minLeaf || rightW < minLeaf {
+				continue
+			}
+			ent := (leftW*mlearn.Entropy(left) + rightW*mlearn.Entropy(right)) / totalW
+			gain := parentEnt - ent
+			if gain > bestGain {
+				bestGain = gain
+				bestTh = (vals[p].v + vals[p+1].v) / 2
+				found = true
+			}
+		}
+		if !found || bestGain <= 1e-12 {
+			continue
+		}
+		// Split info for the binary partition at the chosen threshold.
+		lw := 0.0
+		for p := range vals {
+			if vals[p].v < bestTh {
+				lw += vals[p].w
+			}
+		}
+		si := mlearn.Entropy([]float64{lw, totalW - lw})
+		if si <= 1e-12 {
+			continue
+		}
+		cands = append(cands, cand{attr: j, threshold: bestTh, gain: bestGain, ratio: bestGain / si})
+	}
+	if len(cands) == 0 {
+		return 0, 0, false
+	}
+	avgGain := 0.0
+	for _, c := range cands {
+		avgGain += c.gain
+	}
+	avgGain /= float64(len(cands))
+
+	best := -1
+	for i, c := range cands {
+		if c.gain+1e-12 < avgGain {
+			continue
+		}
+		if best < 0 || c.ratio > cands[best].ratio {
+			best = i
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	return cands[best].attr, cands[best].threshold, true
+}
+
+// prune performs C4.5 subtree-replacement pruning in place, returning
+// the pessimistic error estimate of the (possibly replaced) node.
+func prune(td *trainData, n *mlearn.TreeNode, idx []int, cf float64) float64 {
+	counts := td.classCounts(idx)
+	total := 0.0
+	maxC := 0.0
+	for _, c := range counts {
+		total += c
+		if c > maxC {
+			maxC = c
+		}
+	}
+	leafErr := total - maxC
+	leafEst := leafErr
+	if total > 0 {
+		leafEst += mlearn.AddErrs(total, leafErr, cf)
+	}
+
+	if n.Leaf {
+		return leafEst
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		if td.d.X[i][n.Attr] < n.Threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	subEst := prune(td, n.Left, left, cf) + prune(td, n.Right, right, cf)
+
+	if leafEst <= subEst+1e-9 {
+		// Replace the subtree with a leaf.
+		leaf := leafFromCounts(counts)
+		*n = *leaf
+		return leafEst
+	}
+	return subEst
+}
+
+// Size returns (internal nodes, leaves) of the trained tree.
+func (m *Model) Size() (internal, leaves int) { return m.Root.Count() }
+
+// Depth returns the tree depth.
+func (m *Model) Depth() int { return m.Root.Depth() }

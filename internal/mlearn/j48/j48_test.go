@@ -1,0 +1,122 @@
+package j48
+
+import (
+	"testing"
+
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/mltest"
+)
+
+func TestJ48SolvesXOR(t *testing.T) {
+	train := mltest.XOR(400, 1)
+	test := mltest.XOR(300, 2)
+	c := mltest.AssertAccuracyAbove(t, New(), train, test, 0.9)
+	mltest.AssertValidDistributions(t, c, test)
+
+	m := c.(*Model)
+	if m.Depth() < 2 {
+		t.Errorf("XOR needs depth >= 2, got %d", m.Depth())
+	}
+}
+
+func TestJ48PruningShrinksTree(t *testing.T) {
+	// Noisy blobs: the unpruned tree should be larger than the pruned
+	// one, and pruning should not devastate accuracy.
+	train := mltest.Blobs(400, 2, 3)
+	test := mltest.Blobs(300, 2, 4)
+
+	unpruned := &Trainer{MinLeaf: 2, Unpruned: true}
+	pruned := New()
+
+	cu, err := unpruned.Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := pruned.Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iu, lu := cu.(*Model).Size()
+	ip, lp := cp.(*Model).Size()
+	if ip+lp > iu+lu {
+		t.Errorf("pruned tree (%d) larger than unpruned (%d)", ip+lp, iu+lu)
+	}
+	accU := mltest.Accuracy(cu, test)
+	accP := mltest.Accuracy(cp, test)
+	if accP < accU-0.08 {
+		t.Errorf("pruning cost too much accuracy: %.3f vs %.3f", accP, accU)
+	}
+}
+
+func TestJ48MaxDepthStump(t *testing.T) {
+	train := mltest.XOR(300, 5)
+	stump := &Trainer{MinLeaf: 2, MaxDepth: 1, Unpruned: true}
+	c, err := stump.Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := c.(*Model).Depth(); d > 1 {
+		t.Errorf("stump depth = %d, want <= 1", d)
+	}
+	// A stump cannot solve XOR.
+	if acc := mltest.Accuracy(c, train); acc > 0.7 {
+		t.Errorf("stump on XOR = %.3f, expected <= 0.7", acc)
+	}
+}
+
+func TestJ48PureLeafShortCircuit(t *testing.T) {
+	// A trivially separable set must produce a small tree with
+	// confident leaves.
+	train := mltest.Blobs(200, 8, 5)
+	c, err := New().Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(c, train); acc < 0.97 {
+		t.Errorf("train accuracy on separable data = %.3f", acc)
+	}
+	internal, _ := c.(*Model).Size()
+	if internal > 8 {
+		t.Errorf("tree has %d internal nodes for a linearly separable blob pair", internal)
+	}
+}
+
+func TestJ48WeightsChangeTree(t *testing.T) {
+	train := mltest.Blobs(200, 2, 6)
+	w := make([]float64, train.NumRows())
+	for i := range w {
+		if train.Y[i] == 1 {
+			w[i] = 10
+		} else {
+			w[i] = 0.1
+		}
+	}
+	cu, _ := New().Train(train, nil)
+	cw, _ := New().Train(train, w)
+	// The weighted tree should favour class 1 much more often.
+	flips := 0
+	for i := range train.X {
+		if mlearn.Predict(cw, train.X[i]) == 1 && mlearn.Predict(cu, train.X[i]) == 0 {
+			flips++
+		}
+	}
+	pred1 := 0
+	for i := range train.X {
+		if mlearn.Predict(cw, train.X[i]) == 1 {
+			pred1++
+		}
+	}
+	if pred1 < train.NumRows()/2 {
+		t.Errorf("heavily class-1-weighted tree predicts 1 only %d/%d times", pred1, train.NumRows())
+	}
+	_ = flips
+}
+
+func TestJ48Trainable(t *testing.T) {
+	if _, err := New().Train(nil, nil); err == nil {
+		t.Error("nil dataset should fail")
+	}
+	if New().Name() != "J48" {
+		t.Error("name wrong")
+	}
+}

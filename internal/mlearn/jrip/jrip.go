@@ -1,0 +1,434 @@
+// Package jrip implements the RIPPER rule learner (Cohen 1995), WEKA's
+// JRip: an ordered rule list for the minority class learned by
+// IREP-style grow/prune — each rule is grown condition-by-condition on
+// a grow subset maximising FOIL information gain until it covers no
+// negatives, then pruned back on a held-out prune subset maximising the
+// (p-n)/(p+n) worth metric. Rule induction stops when a new rule's
+// prune-set error exceeds 50% or the description-length budget is
+// exhausted; remaining instances fall through to a default rule.
+//
+// Like the original, conditions test numeric attributes against
+// thresholds (attr <= v or attr >= v). The optimisation pass of full
+// RIPPER (rule replacement/revision) is run once, matching WEKA's
+// default of 2 optimisation rounds in spirit while keeping induction
+// deterministic and fast.
+package jrip
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/micro"
+	"repro/internal/mlearn"
+)
+
+// Trainer builds JRip models.
+type Trainer struct {
+	// Folds controls the grow/prune partition per rule (WEKA default 3:
+	// two thirds grow, one third prune).
+	Folds int
+	// MinWeight is the minimal total weight of instances a rule must
+	// cover (WEKA minNo, default 2).
+	MinWeight float64
+	// Optimize enables the post-induction revision pass.
+	Optimize bool
+	// Seed controls the grow/prune partition.
+	Seed uint64
+}
+
+// New returns a JRip trainer with WEKA-like defaults.
+func New() *Trainer { return &Trainer{Folds: 3, MinWeight: 2, Optimize: true, Seed: 1} }
+
+// Name implements mlearn.Trainer.
+func (t *Trainer) Name() string { return "JRip" }
+
+// Condition is one numeric test in a rule.
+type Condition struct {
+	Attr      int
+	Ge        bool // true: x[Attr] >= Threshold, false: x[Attr] <= Threshold
+	Threshold float64
+}
+
+// Match reports whether x satisfies the condition.
+func (c Condition) Match(x []float64) bool {
+	if c.Ge {
+		return x[c.Attr] >= c.Threshold
+	}
+	return x[c.Attr] <= c.Threshold
+}
+
+// Rule is a conjunction of conditions predicting Class.
+type Rule struct {
+	Conds []Condition
+	Class int
+	// Confidence is the smoothed precision of the rule on training
+	// data, used for the distribution output.
+	Confidence float64
+}
+
+// Match reports whether x satisfies every condition of the rule.
+func (r *Rule) Match(x []float64) bool {
+	for _, c := range r.Conds {
+		if !c.Match(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// Model is an ordered rule list with a default distribution.
+type Model struct {
+	Rules       []Rule
+	Default     []float64 // class distribution of uncovered instances
+	NumClasses  int
+	TargetClass int // the class the rules predict (minority class)
+}
+
+// Distribution implements mlearn.Classifier: the first matching rule
+// fires with its confidence; otherwise the default distribution.
+func (m *Model) Distribution(x []float64) []float64 {
+	for i := range m.Rules {
+		if m.Rules[i].Match(x) {
+			dist := make([]float64, m.NumClasses)
+			rest := (1 - m.Rules[i].Confidence) / float64(m.NumClasses-1)
+			for c := range dist {
+				if c == m.Rules[i].Class {
+					dist[c] = m.Rules[i].Confidence
+				} else {
+					dist[c] = rest
+				}
+			}
+			return dist
+		}
+	}
+	return m.Default
+}
+
+type inst struct {
+	x []float64
+	y int
+	w float64
+}
+
+// Train implements mlearn.Trainer. Binary classification only (the
+// paper's malware-vs-benign setting).
+func (t *Trainer) Train(d *dataset.Instances, weights []float64) (mlearn.Classifier, error) {
+	if err := mlearn.CheckTrainable(d, weights); err != nil {
+		return nil, err
+	}
+	w := mlearn.UniformWeights(d, weights)
+	k := d.NumClasses()
+
+	// Target = minority class by weight (RIPPER orders classes by
+	// increasing frequency; with two classes only the minority gets
+	// rules).
+	classW := make([]float64, k)
+	for i, y := range d.Y {
+		classW[y] += w[i]
+	}
+	target := 0
+	for c := range classW {
+		if classW[c] < classW[target] {
+			target = c
+		}
+	}
+
+	pool := make([]inst, d.NumRows())
+	for i := range pool {
+		pool[i] = inst{x: d.X[i], y: d.Y[i], w: w[i]}
+	}
+
+	minW := t.MinWeight
+	if minW <= 0 {
+		minW = 2
+	}
+	folds := t.Folds
+	if folds < 2 {
+		folds = 3
+	}
+
+	var rules []Rule
+	rng := micro.NewRNG(t.Seed ^ 0xa5a5a5a5)
+	maxRules := 2*d.NumAttrs() + 8 // generous cap to guarantee termination
+	for len(rules) < maxRules {
+		pos := 0.0
+		for _, in := range pool {
+			if in.y == target {
+				pos += in.w
+			}
+		}
+		if pos < minW {
+			break
+		}
+		grow, prune := partition(pool, folds, rng)
+		r, ok := growRule(grow, target, minW)
+		if !ok {
+			break
+		}
+		pruneRule(&r, prune, target)
+
+		// Accept only if prune-set precision is better than chance.
+		p, n := coverage(prune, &r, target)
+		if p+n > 0 && p < n {
+			break
+		}
+		// Confidence from the full pool (Laplace smoothing).
+		fp, fn := coverage(pool, &r, target)
+		r.Confidence = (fp + 1) / (fp + fn + 2)
+		rules = append(rules, r)
+
+		// Remove all covered instances (RIPPER removes covered
+		// examples of both classes).
+		next := pool[:0]
+		for _, in := range pool {
+			if !r.Match(in.x) {
+				next = append(next, in)
+			}
+		}
+		if len(next) == len(pool) {
+			break // rule covered nothing; avoid livelock
+		}
+		pool = next
+	}
+
+	if t.Optimize && len(rules) > 0 {
+		rules = t.optimize(d, w, rules, target, minW, folds, rng)
+	}
+
+	// Default distribution over instances not covered by any rule.
+	def := make([]float64, k)
+	covered := func(x []float64) bool {
+		for i := range rules {
+			if rules[i].Match(x) {
+				return true
+			}
+		}
+		return false
+	}
+	defTotal := 0.0
+	for i := range d.X {
+		if !covered(d.X[i]) {
+			def[d.Y[i]] += w[i]
+			defTotal += w[i]
+		}
+	}
+	if defTotal > 0 {
+		for c := range def {
+			def[c] /= defTotal
+		}
+	} else {
+		// Everything covered: default to the complement-class prior.
+		for c := range def {
+			def[c] = classW[c]
+		}
+		s := classW[0] + classW[1]
+		for c := range def {
+			def[c] /= s
+		}
+	}
+
+	return &Model{Rules: rules, Default: def, NumClasses: k, TargetClass: target}, nil
+}
+
+// partition shuffles pool and splits it into grow (2/3) and prune (1/3).
+func partition(pool []inst, folds int, rng *micro.RNG) (grow, prune []inst) {
+	perm := append([]inst(nil), pool...)
+	for i := len(perm) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	cut := len(perm) - len(perm)/folds
+	if cut == len(perm) && len(perm) > 1 {
+		cut = len(perm) - 1
+	}
+	return perm[:cut], perm[cut:]
+}
+
+// coverage returns the weighted positive and negative coverage of r.
+func coverage(set []inst, r *Rule, target int) (p, n float64) {
+	for _, in := range set {
+		if !r.Match(in.x) {
+			continue
+		}
+		if in.y == target {
+			p += in.w
+		} else {
+			n += in.w
+		}
+	}
+	return p, n
+}
+
+// growRule adds conditions greedily, maximising FOIL gain, until the
+// rule covers no negatives on the grow set or no condition helps.
+func growRule(grow []inst, target int, minW float64) (Rule, bool) {
+	r := Rule{Class: target}
+	covered := append([]inst(nil), grow...)
+	if len(covered) == 0 {
+		return r, false
+	}
+	numAttrs := len(covered[0].x)
+
+	for iter := 0; iter < 64; iter++ {
+		p0, n0 := coverage(covered, &Rule{Class: target}, target)
+		if n0 == 0 || p0 < minW {
+			break
+		}
+		base := math.Log2(p0 / (p0 + n0))
+
+		bestGain := 1e-9
+		var bestCond Condition
+		found := false
+		for a := 0; a < numAttrs; a++ {
+			for _, cond := range candidateConds(covered, a, target) {
+				p1, n1 := condCoverage(covered, cond, target)
+				if p1 < minW {
+					continue
+				}
+				gain := p1 * (math.Log2(p1/(p1+n1)) - base)
+				if gain > bestGain {
+					bestGain, bestCond, found = gain, cond, true
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		r.Conds = append(r.Conds, bestCond)
+		next := covered[:0]
+		for _, in := range covered {
+			if bestCond.Match(in.x) {
+				next = append(next, in)
+			}
+		}
+		covered = next
+	}
+	return r, len(r.Conds) > 0
+}
+
+// candidateConds proposes threshold tests for attribute a: midpoints
+// between adjacent distinct values, capped for tractability by
+// quantile subsampling.
+func candidateConds(set []inst, a int, target int) []Condition {
+	vals := make([]float64, 0, len(set))
+	for _, in := range set {
+		vals = append(vals, in.x[a])
+	}
+	sort.Float64s(vals)
+	uniq := vals[:0]
+	for i, v := range vals {
+		if i == 0 || v > uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	if len(uniq) < 2 {
+		return nil
+	}
+	const maxCuts = 24
+	step := 1
+	if len(uniq)-1 > maxCuts {
+		step = (len(uniq) - 1) / maxCuts
+	}
+	var conds []Condition
+	for i := 0; i+1 < len(uniq); i += step {
+		th := (uniq[i] + uniq[i+1]) / 2
+		conds = append(conds,
+			Condition{Attr: a, Ge: false, Threshold: th},
+			Condition{Attr: a, Ge: true, Threshold: th},
+		)
+	}
+	return conds
+}
+
+func condCoverage(set []inst, c Condition, target int) (p, n float64) {
+	for _, in := range set {
+		if !c.Match(in.x) {
+			continue
+		}
+		if in.y == target {
+			p += in.w
+		} else {
+			n += in.w
+		}
+	}
+	return p, n
+}
+
+// pruneRule drops trailing conditions while the IREP worth metric
+// (p-n)/(p+n) on the prune set improves.
+func pruneRule(r *Rule, prune []inst, target int) {
+	if len(prune) == 0 {
+		return
+	}
+	worth := func(conds []Condition) float64 {
+		rr := Rule{Conds: conds, Class: target}
+		p, n := coverage(prune, &rr, target)
+		if p+n == 0 {
+			return -1
+		}
+		return (p - n) / (p + n)
+	}
+	best := worth(r.Conds)
+	bestLen := len(r.Conds)
+	for l := len(r.Conds) - 1; l >= 1; l-- {
+		if w := worth(r.Conds[:l]); w >= best {
+			best, bestLen = w, l
+		}
+	}
+	r.Conds = r.Conds[:bestLen]
+}
+
+// optimize re-grows each rule and keeps the variant (original,
+// replacement, revision) with the lowest error on a fresh partition —
+// a single-round version of RIPPER's optimisation stage.
+func (t *Trainer) optimize(d *dataset.Instances, w []float64, rules []Rule, target int, minW float64, folds int, rng *micro.RNG) []Rule {
+	all := make([]inst, d.NumRows())
+	for i := range all {
+		all[i] = inst{x: d.X[i], y: d.Y[i], w: w[i]}
+	}
+	out := append([]Rule(nil), rules...)
+	for ri := range out {
+		// Instances not covered by the other rules.
+		var residual []inst
+		for _, in := range all {
+			coveredByOther := false
+			for rj := range out {
+				if rj != ri && out[rj].Match(in.x) {
+					coveredByOther = true
+					break
+				}
+			}
+			if !coveredByOther {
+				residual = append(residual, in)
+			}
+		}
+		if len(residual) == 0 {
+			continue
+		}
+		grow, prune := partition(residual, folds, rng)
+		repl, ok := growRule(grow, target, minW)
+		if !ok {
+			continue
+		}
+		pruneRule(&repl, prune, target)
+
+		evalErr := func(r *Rule) float64 {
+			p, n := coverage(residual, r, target)
+			posTotal := 0.0
+			for _, in := range residual {
+				if in.y == target {
+					posTotal += in.w
+				}
+			}
+			// Error = false positives + missed positives.
+			return n + (posTotal - p)
+		}
+		if evalErr(&repl) < evalErr(&out[ri]) {
+			fp, fn := coverage(all, &repl, target)
+			repl.Confidence = (fp + 1) / (fp + fn + 2)
+			out[ri] = repl
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package jrip
+
+import (
+	"testing"
+
+	"repro/internal/mlearn/mltest"
+)
+
+func TestJRipBlobs(t *testing.T) {
+	train := mltest.Blobs(300, 5, 1)
+	test := mltest.Blobs(200, 5, 2)
+	c := mltest.AssertAccuracyAbove(t, New(), train, test, 0.9)
+	mltest.AssertValidDistributions(t, c, test)
+
+	m := c.(*Model)
+	if len(m.Rules) == 0 {
+		t.Fatal("separable problem should produce at least one rule")
+	}
+	for _, r := range m.Rules {
+		if len(r.Conds) == 0 {
+			t.Error("rule with no conditions")
+		}
+		if r.Confidence <= 0.5 {
+			t.Errorf("rule confidence %.3f suspiciously low", r.Confidence)
+		}
+	}
+}
+
+func TestJRipXOR(t *testing.T) {
+	train := mltest.XOR(500, 3)
+	test := mltest.XOR(300, 4)
+	c := mltest.AssertAccuracyAbove(t, New(), train, test, 0.85)
+	m := c.(*Model)
+	// XOR needs at least two rules (one per positive quadrant).
+	if len(m.Rules) < 2 {
+		t.Errorf("XOR should need >= 2 rules, got %d", len(m.Rules))
+	}
+}
+
+func TestJRipBands(t *testing.T) {
+	train := mltest.Bands(500, 5)
+	test := mltest.Bands(300, 6)
+	c := mltest.AssertAccuracyAbove(t, New(), train, test, 0.9)
+	m := c.(*Model)
+	// The band is the minority -> rules should target class 1 and need
+	// both a >= and a <= condition.
+	if m.TargetClass != 1 {
+		t.Errorf("target class = %d, want 1 (minority/malware-like)", m.TargetClass)
+	}
+}
+
+func TestJRipConditionMatch(t *testing.T) {
+	ge := Condition{Attr: 0, Ge: true, Threshold: 5}
+	le := Condition{Attr: 0, Ge: false, Threshold: 5}
+	if !ge.Match([]float64{5}) || ge.Match([]float64{4.9}) {
+		t.Error("Ge condition wrong")
+	}
+	if !le.Match([]float64{5}) || le.Match([]float64{5.1}) {
+		t.Error("Le condition wrong")
+	}
+	r := Rule{Conds: []Condition{ge, {Attr: 1, Ge: false, Threshold: 2}}, Class: 1}
+	if !r.Match([]float64{6, 1}) || r.Match([]float64{6, 3}) || r.Match([]float64{4, 1}) {
+		t.Error("rule conjunction wrong")
+	}
+}
+
+func TestJRipDefaultDistribution(t *testing.T) {
+	train := mltest.Blobs(200, 5, 7)
+	c, err := New().Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.(*Model)
+	sum := 0.0
+	for _, p := range m.Default {
+		if p < 0 || p > 1 {
+			t.Fatalf("default distribution entry %v out of range", p)
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("default distribution sums to %v", sum)
+	}
+}
+
+func TestJRipOptimizeToggle(t *testing.T) {
+	train := mltest.XOR(400, 9)
+	test := mltest.XOR(300, 10)
+	plain := &Trainer{Folds: 3, MinWeight: 2, Optimize: false, Seed: 1}
+	opt := New()
+	cp, err := plain.Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := opt.Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accP := mltest.Accuracy(cp, test)
+	accO := mltest.Accuracy(co, test)
+	if accO < accP-0.1 {
+		t.Errorf("optimisation pass hurt badly: %.3f vs %.3f", accO, accP)
+	}
+}
+
+func TestJRipTerminates(t *testing.T) {
+	// Pure-noise labels: rule induction must terminate quickly and
+	// produce few or no rules.
+	train := mltest.Blobs(200, 0, 11) // zero separation
+	c, err := New().Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.(*Model)
+	if len(m.Rules) > 20 {
+		t.Errorf("noise dataset produced %d rules", len(m.Rules))
+	}
+	mltest.AssertValidDistributions(t, c, train)
+}

@@ -1,0 +1,105 @@
+// Package knn implements the k-nearest-neighbour classifier used by the
+// first hardware-malware-detection study (Demme et al., ISCA'13 [3]),
+// provided as a baseline comparator. Neighbours vote with their
+// instance weights over min-max-normalised Euclidean distance; the
+// distribution output is the weighted neighbour class mix, so KNN is
+// naturally graded.
+//
+// The trained "model" stores the training set — which is precisely why
+// the paper's line of work moved away from it for hardware
+// implementation (the area cost scales with the corpus, not the
+// hypothesis).
+package knn
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/mlearn"
+)
+
+// Trainer builds KNN models.
+type Trainer struct {
+	// K is the neighbourhood size (default 5).
+	K int
+}
+
+// New returns a KNN trainer with k=5.
+func New() *Trainer { return &Trainer{K: 5} }
+
+// Name implements mlearn.Trainer.
+func (t *Trainer) Name() string { return "KNN" }
+
+// Model is a stored-corpus nearest-neighbour classifier.
+type Model struct {
+	Scaler     *mlearn.Scaler
+	X          [][]float64 // normalised training vectors
+	Y          []int
+	W          []float64
+	K          int
+	NumClasses int
+}
+
+// Train implements mlearn.Trainer.
+func (t *Trainer) Train(d *dataset.Instances, weights []float64) (mlearn.Classifier, error) {
+	if err := mlearn.CheckTrainable(d, weights); err != nil {
+		return nil, err
+	}
+	w := mlearn.UniformWeights(d, weights)
+	scaler := mlearn.FitScaler(d)
+	k := t.K
+	if k <= 0 {
+		k = 5
+	}
+	if k > d.NumRows() {
+		k = d.NumRows()
+	}
+	m := &Model{
+		Scaler:     scaler,
+		X:          make([][]float64, d.NumRows()),
+		Y:          append([]int(nil), d.Y...),
+		W:          w,
+		K:          k,
+		NumClasses: d.NumClasses(),
+	}
+	for i := range d.X {
+		m.X[i] = scaler.Apply(d.X[i])
+	}
+	return m, nil
+}
+
+// Distribution implements mlearn.Classifier.
+func (m *Model) Distribution(x []float64) []float64 {
+	u := m.Scaler.Apply(x)
+	type nb struct {
+		d2 float64
+		i  int
+	}
+	nbs := make([]nb, len(m.X))
+	for i, xi := range m.X {
+		s := 0.0
+		for j := range xi {
+			d := xi[j] - u[j]
+			s += d * d
+		}
+		nbs[i] = nb{d2: s, i: i}
+	}
+	sort.Slice(nbs, func(a, b int) bool {
+		if nbs[a].d2 != nbs[b].d2 {
+			return nbs[a].d2 < nbs[b].d2
+		}
+		return nbs[a].i < nbs[b].i
+	})
+	votes := make([]float64, m.NumClasses)
+	total := 0.0
+	for _, n := range nbs[:m.K] {
+		votes[m.Y[n.i]] += m.W[n.i]
+		total += m.W[n.i]
+	}
+	if total > 0 {
+		for c := range votes {
+			votes[c] /= total
+		}
+	}
+	return votes
+}

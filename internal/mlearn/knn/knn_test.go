@@ -1,0 +1,99 @@
+package knn
+
+import (
+	"testing"
+
+	"repro/internal/mlearn/mltest"
+)
+
+func TestKNNBlobs(t *testing.T) {
+	train := mltest.Blobs(300, 5, 1)
+	test := mltest.Blobs(200, 5, 2)
+	c := mltest.AssertAccuracyAbove(t, New(), train, test, 0.9)
+	mltest.AssertValidDistributions(t, c, test)
+}
+
+func TestKNNSolvesXOR(t *testing.T) {
+	// Nearest neighbours handle nonlinear boundaries natively.
+	train := mltest.XOR(400, 3)
+	test := mltest.XOR(300, 4)
+	mltest.AssertAccuracyAbove(t, New(), train, test, 0.9)
+}
+
+func TestKNNGradedVotes(t *testing.T) {
+	train := mltest.Blobs(300, 1.5, 5) // overlapping
+	c, err := New().Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graded := 0
+	for i := range train.X {
+		p := c.Distribution(train.X[i])[1]
+		if p > 0.1 && p < 0.9 {
+			graded++
+		}
+	}
+	if graded == 0 {
+		t.Error("overlapping data should produce mixed neighbourhoods")
+	}
+}
+
+func TestKNNK1MemorizesTraining(t *testing.T) {
+	train := mltest.Blobs(100, 2, 7)
+	tr := &Trainer{K: 1}
+	c, err := tr.Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(c, train); acc != 1 {
+		t.Errorf("1-NN training accuracy = %.3f, want 1.0", acc)
+	}
+}
+
+func TestKNNWeightsBiasVotes(t *testing.T) {
+	train := mltest.Blobs(200, 1.2, 9)
+	w := make([]float64, train.NumRows())
+	for i := range w {
+		if train.Y[i] == 1 {
+			w[i] = 10
+		} else {
+			w[i] = 0.1
+		}
+	}
+	cu, _ := New().Train(train, nil)
+	cw, _ := New().Train(train, w)
+	p1u, p1w := 0, 0
+	for i := range train.X {
+		if cu.Distribution(train.X[i])[1] > 0.5 {
+			p1u++
+		}
+		if cw.Distribution(train.X[i])[1] > 0.5 {
+			p1w++
+		}
+	}
+	if p1w <= p1u {
+		t.Errorf("weighted votes should favour class 1: %d vs %d", p1w, p1u)
+	}
+}
+
+func TestKNNKClamped(t *testing.T) {
+	train := mltest.Blobs(4, 6, 1)
+	tr := &Trainer{K: 50} // larger than the corpus
+	c, err := tr.Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.(*Model).K != 4 {
+		t.Errorf("K should clamp to corpus size, got %d", c.(*Model).K)
+	}
+	mltest.AssertValidDistributions(t, c, train)
+}
+
+func TestKNNRejectsBadInput(t *testing.T) {
+	if _, err := New().Train(nil, nil); err == nil {
+		t.Error("nil dataset should fail")
+	}
+	if New().Name() != "KNN" {
+		t.Error("name wrong")
+	}
+}

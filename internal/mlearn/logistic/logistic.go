@@ -1,0 +1,119 @@
+// Package logistic implements L2-regularised logistic regression
+// trained by gradient descent — the classifier used by two of the
+// hardware-malware-detection baselines the paper compares against
+// (Ozsoy et al., HPCA'15 [13] and Khasawneh et al., RAID'15 [11]).
+// It is provided as a baseline comparator; it is not one of the
+// paper's eight studied classifiers.
+package logistic
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/micro"
+	"repro/internal/mlearn"
+)
+
+// Trainer builds logistic-regression models.
+type Trainer struct {
+	// LearningRate is the gradient step size (default 0.1).
+	LearningRate float64
+	// Lambda is the L2 regularisation strength (default 1e-4).
+	Lambda float64
+	// Epochs of full-gradient descent (default 300).
+	Epochs int
+	// Seed controls example ordering.
+	Seed uint64
+}
+
+// New returns a trainer with the defaults above.
+func New() *Trainer { return &Trainer{LearningRate: 0.1, Lambda: 1e-4, Epochs: 300, Seed: 1} }
+
+// Name implements mlearn.Trainer.
+func (t *Trainer) Name() string { return "Logistic" }
+
+// Model is a trained logistic-regression classifier.
+type Model struct {
+	Scaler  *mlearn.Scaler
+	Weights []float64
+	Bias    float64
+}
+
+// Probability returns P(malware|x), a calibrated sigmoid output —
+// unlike SMO/SGD, logistic regression is naturally graded, which gives
+// it a respectable AUC as a baseline.
+func (m *Model) Probability(x []float64) float64 {
+	u := m.Scaler.Apply(x)
+	s := m.Bias
+	for j, w := range m.Weights {
+		s += w * u[j]
+	}
+	return 1 / (1 + math.Exp(-s))
+}
+
+// Distribution implements mlearn.Classifier.
+func (m *Model) Distribution(x []float64) []float64 {
+	p := m.Probability(x)
+	return []float64{1 - p, p}
+}
+
+// Train implements mlearn.Trainer. Binary classification only.
+func (t *Trainer) Train(d *dataset.Instances, weights []float64) (mlearn.Classifier, error) {
+	if err := mlearn.CheckTrainable(d, weights); err != nil {
+		return nil, err
+	}
+	w := mlearn.UniformWeights(d, weights)
+	scaler := mlearn.FitScaler(d)
+
+	n := d.NumRows()
+	nA := d.NumAttrs()
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		X[i] = scaler.Apply(d.X[i])
+		y[i] = float64(d.Y[i])
+	}
+
+	lr := t.LearningRate
+	if lr <= 0 {
+		lr = 0.1
+	}
+	lambda := t.Lambda
+	if lambda < 0 {
+		lambda = 1e-4
+	}
+	epochs := t.Epochs
+	if epochs <= 0 {
+		epochs = 300
+	}
+
+	wv := make([]float64, nA)
+	bias := 0.0
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	rng := micro.NewRNG(t.Seed ^ 0xfeedface)
+
+	for e := 0; e < epochs; e++ {
+		for i := len(order) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		eta := lr / (1 + 0.01*float64(e))
+		for _, i := range order {
+			s := bias
+			for j, v := range X[i] {
+				s += wv[j] * v
+			}
+			p := 1 / (1 + math.Exp(-s))
+			g := eta * (y[i] - p) * w[i]
+			shrink := 1 - eta*lambda
+			for j := range wv {
+				wv[j] = wv[j]*shrink + g*X[i][j]
+			}
+			bias += g
+		}
+	}
+	return &Model{Scaler: scaler, Weights: wv, Bias: bias}, nil
+}

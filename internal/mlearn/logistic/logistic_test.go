@@ -1,0 +1,100 @@
+package logistic
+
+import (
+	"testing"
+
+	"repro/internal/mlearn/mltest"
+)
+
+func TestLogisticBlobs(t *testing.T) {
+	train := mltest.Blobs(300, 5, 1)
+	test := mltest.Blobs(200, 5, 2)
+	c := mltest.AssertAccuracyAbove(t, New(), train, test, 0.9)
+	mltest.AssertValidDistributions(t, c, test)
+}
+
+func TestLogisticCalibratedOutput(t *testing.T) {
+	// Unlike SMO/SGD, logistic regression must emit graded
+	// probabilities — high near the class-1 centre, low near class-0,
+	// intermediate at the midpoint.
+	train := mltest.Blobs(400, 4, 3)
+	c, err := New().Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.(*Model)
+	pHigh := m.Probability([]float64{4, 2})
+	pLow := m.Probability([]float64{0, 0})
+	pMid := m.Probability([]float64{2, 1})
+	if pHigh < 0.8 {
+		t.Errorf("P at class-1 centre = %.3f, want high", pHigh)
+	}
+	if pLow > 0.2 {
+		t.Errorf("P at class-0 centre = %.3f, want low", pLow)
+	}
+	if pMid <= pLow || pMid >= pHigh {
+		t.Errorf("midpoint probability %.3f not between %.3f and %.3f", pMid, pLow, pHigh)
+	}
+}
+
+func TestLogisticLinearCap(t *testing.T) {
+	// XOR caps any linear model around the 3-corner bound.
+	train := mltest.XOR(400, 5)
+	c, err := New().Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(c, train); acc > 0.82 {
+		t.Errorf("linear model on XOR = %.3f, expected <= ~0.78", acc)
+	}
+}
+
+func TestLogisticWeights(t *testing.T) {
+	train := mltest.Blobs(300, 1.5, 7)
+	w := make([]float64, train.NumRows())
+	for i := range w {
+		if train.Y[i] == 1 {
+			w[i] = 15
+		} else {
+			w[i] = 0.05
+		}
+	}
+	cu, _ := New().Train(train, nil)
+	cw, _ := New().Train(train, w)
+	p1u, p1w := 0, 0
+	for i := range train.X {
+		if cu.Distribution(train.X[i])[1] > 0.5 {
+			p1u++
+		}
+		if cw.Distribution(train.X[i])[1] > 0.5 {
+			p1w++
+		}
+	}
+	if p1w <= p1u {
+		t.Errorf("upweighting class 1 should shift decisions: %d vs %d", p1w, p1u)
+	}
+}
+
+func TestLogisticDeterminism(t *testing.T) {
+	train := mltest.Blobs(150, 4, 9)
+	a, _ := New().Train(train, nil)
+	b, _ := New().Train(train, nil)
+	ma, mb := a.(*Model), b.(*Model)
+	if ma.Bias != mb.Bias {
+		t.Fatal("same seed must reproduce the model")
+	}
+	for j := range ma.Weights {
+		if ma.Weights[j] != mb.Weights[j] {
+			t.Fatal("same seed must reproduce the weights")
+		}
+	}
+}
+
+func TestLogisticRejectsBadInput(t *testing.T) {
+	if _, err := New().Train(nil, nil); err == nil {
+		t.Error("nil dataset should fail")
+	}
+	if New().Name() != "Logistic" {
+		t.Error("name wrong")
+	}
+}

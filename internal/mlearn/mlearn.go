@@ -1,0 +1,259 @@
+// Package mlearn defines the classifier interfaces and shared training
+// utilities for the eight general learners the paper evaluates
+// (BayesNet, J48, JRip, MLP, OneR, REPTree, SGD, SMO — implemented in
+// subpackages) and the ensemble meta-learners (AdaBoost.M1, Bagging).
+//
+// All trainers accept per-instance weights so boosting can reweight the
+// training set; passing nil means uniform weights. Classifiers expose
+// class probability distributions, which the evaluation layer uses to
+// build ROC curves; learners whose natural output is an uncalibrated
+// hard decision (WEKA's SMO without logistic fitting) return degenerate
+// one-hot distributions, which — exactly as in the paper — costs them
+// AUC even when their accuracy is competitive.
+package mlearn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/micro"
+)
+
+// Classifier is a trained model.
+type Classifier interface {
+	// Distribution returns the per-class probability estimate for x.
+	// The slice has one entry per class and sums to 1 (or is all-zero
+	// only if the model is degenerate).
+	Distribution(x []float64) []float64
+}
+
+// Trainer builds classifiers from weighted training data.
+type Trainer interface {
+	// Name returns the WEKA-style classifier name (e.g. "J48").
+	Name() string
+	// Train fits a model. weights may be nil (uniform) and need not be
+	// normalised; len(weights) must equal d.NumRows() otherwise.
+	Train(d *dataset.Instances, weights []float64) (Classifier, error)
+}
+
+// Predict returns the argmax class of c's distribution for x, breaking
+// ties toward the lower class index.
+func Predict(c Classifier, x []float64) int {
+	dist := c.Distribution(x)
+	best, bestP := 0, math.Inf(-1)
+	for i, p := range dist {
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return best
+}
+
+// Score returns a scalar "malware-ness" score used for ROC sweeps on
+// binary problems: the probability of class 1.
+func Score(c Classifier, x []float64) float64 {
+	dist := c.Distribution(x)
+	if len(dist) < 2 {
+		return 0
+	}
+	return dist[1]
+}
+
+// CheckTrainable validates the (dataset, weights) pair for trainers.
+func CheckTrainable(d *dataset.Instances, weights []float64) error {
+	if d == nil || d.NumRows() == 0 {
+		return errors.New("mlearn: empty training set")
+	}
+	if d.NumAttrs() == 0 {
+		return errors.New("mlearn: no attributes")
+	}
+	if d.NumClasses() < 2 {
+		return errors.New("mlearn: need at least two classes")
+	}
+	if weights != nil && len(weights) != d.NumRows() {
+		return fmt.Errorf("mlearn: %d weights for %d rows", len(weights), d.NumRows())
+	}
+	if weights != nil {
+		sum := 0.0
+		for _, w := range weights {
+			if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return errors.New("mlearn: invalid instance weight")
+			}
+			sum += w
+		}
+		if sum == 0 {
+			return errors.New("mlearn: all instance weights are zero")
+		}
+	}
+	return nil
+}
+
+// UniformWeights returns a weight vector of 1s, or normalises the given
+// weights to sum to n (the WEKA convention, which keeps weighted counts
+// on the same scale as instance counts).
+func UniformWeights(d *dataset.Instances, weights []float64) []float64 {
+	n := d.NumRows()
+	out := make([]float64, n)
+	if weights == nil {
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	scale := float64(n) / sum
+	for i, w := range weights {
+		out[i] = w * scale
+	}
+	return out
+}
+
+// ClassDistribution returns the weighted class prior of d.
+func ClassDistribution(d *dataset.Instances, weights []float64) []float64 {
+	w := weights
+	if w == nil {
+		w = UniformWeights(d, nil)
+	}
+	dist := make([]float64, d.NumClasses())
+	total := 0.0
+	for i, y := range d.Y {
+		dist[y] += w[i]
+		total += w[i]
+	}
+	if total > 0 {
+		for i := range dist {
+			dist[i] /= total
+		}
+	}
+	return dist
+}
+
+// MajorityClass returns the weighted majority class of d.
+func MajorityClass(d *dataset.Instances, weights []float64) int {
+	dist := ClassDistribution(d, weights)
+	best, bestP := 0, -1.0
+	for i, p := range dist {
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return best
+}
+
+// Resample draws a bootstrap sample of size n from d with probability
+// proportional to weights (uniform when nil). Used by Bagging and by
+// AdaBoost for base learners that cannot consume weights directly.
+func Resample(d *dataset.Instances, weights []float64, n int, seed uint64) *dataset.Instances {
+	if n <= 0 {
+		n = d.NumRows()
+	}
+	w := weights
+	if w == nil {
+		w = UniformWeights(d, nil)
+	}
+	// Cumulative distribution for inverse-transform sampling.
+	cum := make([]float64, len(w))
+	total := 0.0
+	for i, v := range w {
+		total += v
+		cum[i] = total
+	}
+	attrs := make([]string, d.NumAttrs())
+	for i, a := range d.Attributes {
+		attrs[i] = a.Name
+	}
+	out := dataset.New(attrs, d.ClassNames)
+	rng := micro.NewRNG(seed)
+	for k := 0; k < n; k++ {
+		u := rng.Float64() * total
+		// Binary search the cumulative weights.
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		_ = out.Add(d.X[lo], d.Y[lo], d.Groups[lo])
+	}
+	return out
+}
+
+// Entropy computes the Shannon entropy (bits) of a weighted count
+// vector.
+func Entropy(counts []float64) float64 {
+	total := 0.0
+	for _, c := range counts {
+		total += c
+	}
+	if total <= 0 {
+		return 0
+	}
+	e := 0.0
+	for _, c := range counts {
+		if c > 0 {
+			p := c / total
+			e -= p * math.Log2(p)
+		}
+	}
+	return e
+}
+
+// Scaler normalises attributes to [0,1] by training-set min/max, the
+// preprocessing WEKA's MultilayerPerceptron and function-family
+// learners apply.
+type Scaler struct {
+	Min, Max []float64
+}
+
+// FitScaler learns per-attribute ranges from d.
+func FitScaler(d *dataset.Instances) *Scaler {
+	s := &Scaler{
+		Min: make([]float64, d.NumAttrs()),
+		Max: make([]float64, d.NumAttrs()),
+	}
+	for j := range s.Min {
+		s.Min[j] = math.Inf(1)
+		s.Max[j] = math.Inf(-1)
+	}
+	for _, row := range d.X {
+		for j, v := range row {
+			if v < s.Min[j] {
+				s.Min[j] = v
+			}
+			if v > s.Max[j] {
+				s.Max[j] = v
+			}
+		}
+	}
+	return s
+}
+
+// Apply maps x into [0,1] per attribute (clamping values outside the
+// training range, as happens with unseen test programs).
+func (s *Scaler) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		span := s.Max[j] - s.Min[j]
+		if span <= 0 {
+			out[j] = 0.5
+			continue
+		}
+		u := (v - s.Min[j]) / span
+		if u < 0 {
+			u = 0
+		}
+		if u > 1 {
+			u = 1
+		}
+		out[j] = u
+	}
+	return out
+}

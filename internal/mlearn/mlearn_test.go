@@ -1,0 +1,283 @@
+package mlearn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func smallSet(t *testing.T) *dataset.Instances {
+	t.Helper()
+	d := dataset.New([]string{"a", "b"}, dataset.BinaryClassNames())
+	rows := []struct {
+		x []float64
+		y int
+	}{
+		{[]float64{0, 1}, 0}, {[]float64{1, 2}, 0}, {[]float64{2, 1}, 0},
+		{[]float64{8, 9}, 1}, {[]float64{9, 8}, 1},
+	}
+	for i, r := range rows {
+		_ = d.Add(r.x, r.y, map[int]string{0: "b0", 1: "m0"}[r.y])
+		_ = i
+	}
+	return d
+}
+
+func TestCheckTrainable(t *testing.T) {
+	d := smallSet(t)
+	if err := CheckTrainable(d, nil); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+	if err := CheckTrainable(nil, nil); err == nil {
+		t.Error("nil dataset should fail")
+	}
+	if err := CheckTrainable(d, []float64{1}); err == nil {
+		t.Error("wrong weight length should fail")
+	}
+	if err := CheckTrainable(d, []float64{1, 1, 1, 1, -1}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if err := CheckTrainable(d, []float64{0, 0, 0, 0, 0}); err == nil {
+		t.Error("all-zero weights should fail")
+	}
+	if err := CheckTrainable(d, []float64{1, 1, 1, 1, math.NaN()}); err == nil {
+		t.Error("NaN weight should fail")
+	}
+	empty := dataset.New([]string{"a"}, dataset.BinaryClassNames())
+	if err := CheckTrainable(empty, nil); err == nil {
+		t.Error("empty set should fail")
+	}
+}
+
+func TestUniformWeights(t *testing.T) {
+	d := smallSet(t)
+	w := UniformWeights(d, nil)
+	if len(w) != 5 {
+		t.Fatal("wrong length")
+	}
+	for _, v := range w {
+		if v != 1 {
+			t.Fatal("nil weights should become 1s")
+		}
+	}
+	w2 := UniformWeights(d, []float64{2, 2, 2, 2, 2})
+	sum := 0.0
+	for _, v := range w2 {
+		sum += v
+	}
+	if math.Abs(sum-5) > 1e-9 {
+		t.Errorf("normalised weights sum to %v, want 5", sum)
+	}
+}
+
+func TestClassDistributionAndMajority(t *testing.T) {
+	d := smallSet(t)
+	dist := ClassDistribution(d, nil)
+	if math.Abs(dist[0]-0.6) > 1e-9 || math.Abs(dist[1]-0.4) > 1e-9 {
+		t.Errorf("dist = %v, want [0.6 0.4]", dist)
+	}
+	if MajorityClass(d, nil) != 0 {
+		t.Error("majority should be class 0")
+	}
+	// Weights flip the majority.
+	if MajorityClass(d, []float64{1, 1, 1, 10, 10}) != 1 {
+		t.Error("weighted majority should be class 1")
+	}
+}
+
+func TestResample(t *testing.T) {
+	d := smallSet(t)
+	s := Resample(d, nil, 100, 7)
+	if s.NumRows() != 100 {
+		t.Fatalf("resample size = %d, want 100", s.NumRows())
+	}
+	// With overwhelming weight on row 4, nearly every draw should be it.
+	s2 := Resample(d, []float64{0.001, 0.001, 0.001, 0.001, 1000}, 50, 7)
+	hits := 0
+	for i := range s2.X {
+		if s2.Y[i] == 1 && s2.X[i][0] == 9 {
+			hits++
+		}
+	}
+	if hits < 45 {
+		t.Errorf("weighted resample drew the heavy row only %d/50 times", hits)
+	}
+	// Determinism.
+	a := Resample(d, nil, 20, 3)
+	b := Resample(d, nil, 20, 3)
+	for i := range a.X {
+		if a.X[i][0] != b.X[i][0] {
+			t.Fatal("resample not deterministic")
+		}
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if e := Entropy([]float64{5, 5}); math.Abs(e-1) > 1e-12 {
+		t.Errorf("Entropy(5,5) = %v, want 1", e)
+	}
+	if e := Entropy([]float64{10, 0}); e != 0 {
+		t.Errorf("pure entropy = %v, want 0", e)
+	}
+	if e := Entropy(nil); e != 0 {
+		t.Error("empty entropy should be 0")
+	}
+	if e := Entropy([]float64{1, 1, 1, 1}); math.Abs(e-2) > 1e-12 {
+		t.Errorf("uniform-4 entropy = %v, want 2", e)
+	}
+}
+
+func TestScaler(t *testing.T) {
+	d := smallSet(t)
+	s := FitScaler(d)
+	u := s.Apply([]float64{0, 1})
+	if u[0] != 0 || u[1] != 0 {
+		t.Errorf("min row should map to 0: %v", u)
+	}
+	u = s.Apply([]float64{9, 9})
+	if u[0] != 1 || u[1] != 1 {
+		t.Errorf("max row should map to 1: %v", u)
+	}
+	// Clamping outside the training range.
+	u = s.Apply([]float64{-5, 100})
+	if u[0] != 0 || u[1] != 1 {
+		t.Errorf("out-of-range values should clamp: %v", u)
+	}
+	// Degenerate attribute maps to 0.5.
+	dd := dataset.New([]string{"c"}, dataset.BinaryClassNames())
+	_ = dd.Add([]float64{3}, 0, "g0")
+	_ = dd.Add([]float64{3}, 1, "g1")
+	sc := FitScaler(dd)
+	if v := sc.Apply([]float64{3})[0]; v != 0.5 {
+		t.Errorf("constant attribute should map to 0.5, got %v", v)
+	}
+}
+
+func TestProbit(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0}, {0.75, 0.6744898}, {0.975, 1.959964}, {0.9999, 3.719016},
+	}
+	for _, c := range cases {
+		if got := Probit(c.p); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("Probit(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Symmetry property.
+	if err := quick.Check(func(u float64) bool {
+		p := math.Abs(math.Mod(u, 1))
+		if p <= 0.001 || p >= 0.999 {
+			return true
+		}
+		return math.Abs(Probit(p)+Probit(1-p)) < 1e-7
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if !math.IsNaN(Probit(0)) || !math.IsNaN(Probit(1)) {
+		t.Error("Probit at bounds should be NaN")
+	}
+}
+
+func TestAddErrs(t *testing.T) {
+	// Zero observed errors still predicts some pessimistic errors.
+	if e := AddErrs(10, 0, 0.25); e <= 0 {
+		t.Errorf("AddErrs(10,0) = %v, want > 0", e)
+	}
+	// More observed errors -> more predicted extra errors... at least
+	// monotone non-crazy behaviour.
+	if AddErrs(100, 10, 0.25) <= 0 {
+		t.Error("AddErrs(100,10) should be positive")
+	}
+	// Saturated case.
+	if e := AddErrs(10, 10, 0.25); e != 0 {
+		t.Errorf("AddErrs(N,e=N) = %v, want 0", e)
+	}
+	// Lower confidence (stronger pruning) means larger estimates.
+	if AddErrs(100, 10, 0.1) <= AddErrs(100, 10, 0.4) {
+		t.Error("smaller CF should be more pessimistic")
+	}
+}
+
+func TestTreeNode(t *testing.T) {
+	tree := &TreeNode{
+		Attr: 0, Threshold: 5,
+		Left: &TreeNode{Leaf: true, Dist: []float64{0.9, 0.1}},
+		Right: &TreeNode{
+			Attr: 1, Threshold: 2,
+			Left:  &TreeNode{Leaf: true, Dist: []float64{0.3, 0.7}},
+			Right: &TreeNode{Leaf: true, Dist: []float64{0.1, 0.9}},
+		},
+	}
+	if d := tree.Distribution([]float64{1, 0}); d[0] != 0.9 {
+		t.Error("left route failed")
+	}
+	if d := tree.Distribution([]float64{7, 1}); d[1] != 0.7 {
+		t.Error("right-left route failed")
+	}
+	if d := tree.Distribution([]float64{7, 3}); d[1] != 0.9 {
+		t.Error("right-right route failed")
+	}
+	if tree.Depth() != 2 {
+		t.Errorf("depth = %d, want 2", tree.Depth())
+	}
+	internal, leaves := tree.Count()
+	if internal != 2 || leaves != 3 {
+		t.Errorf("count = (%d,%d), want (2,3)", internal, leaves)
+	}
+}
+
+func TestFitMDLSeparable(t *testing.T) {
+	// Attribute with a clean class boundary at 5 should get one cut
+	// near 5; a noise attribute should get no cuts.
+	d := dataset.New([]string{"signal", "noise"}, dataset.BinaryClassNames())
+	for i := 0; i < 100; i++ {
+		y := i % 2
+		v := float64(i%50) / 10
+		if y == 1 {
+			v += 5
+		}
+		noise := float64((i*37)%100) / 10
+		_ = d.Add([]float64{v, noise}, y, map[int]string{0: "b", 1: "m"}[y])
+	}
+	dz := FitMDL(d, UniformWeights(d, nil))
+	if len(dz.Cuts[0]) == 0 {
+		t.Fatal("signal attribute got no cuts")
+	}
+	foundBoundary := false
+	for _, c := range dz.Cuts[0] {
+		if c > 4.5 && c < 5.5 {
+			foundBoundary = true
+		}
+	}
+	if !foundBoundary {
+		t.Errorf("no cut near the class boundary: %v", dz.Cuts[0])
+	}
+	if len(dz.Cuts[1]) > 2 {
+		t.Errorf("noise attribute got %d cuts, want few/none", len(dz.Cuts[1]))
+	}
+	// Bin mapping is monotone and in range.
+	for v := -1.0; v < 12; v += 0.5 {
+		b := dz.Bin(0, v)
+		if b < 0 || b >= dz.Bins(0) {
+			t.Fatalf("bin %d out of range for value %v", b, v)
+		}
+	}
+}
+
+func TestPredictTieBreak(t *testing.T) {
+	c := constClassifier{dist: []float64{0.5, 0.5}}
+	if Predict(c, nil) != 0 {
+		t.Error("ties should break toward class 0")
+	}
+	if Score(c, nil) != 0.5 {
+		t.Error("Score should return P(class 1)")
+	}
+	if Score(constClassifier{dist: []float64{1}}, nil) != 0 {
+		t.Error("degenerate single-class distribution should score 0")
+	}
+}
+
+type constClassifier struct{ dist []float64 }
+
+func (c constClassifier) Distribution([]float64) []float64 { return c.dist }

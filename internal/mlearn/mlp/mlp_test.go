@@ -1,0 +1,97 @@
+package mlp
+
+import (
+	"testing"
+
+	"repro/internal/mlearn/mltest"
+)
+
+func TestMLPBlobs(t *testing.T) {
+	train := mltest.Blobs(300, 5, 1)
+	test := mltest.Blobs(200, 5, 2)
+	c := mltest.AssertAccuracyAbove(t, New(), train, test, 0.9)
+	mltest.AssertValidDistributions(t, c, test)
+}
+
+func TestMLPSolvesXORWithEnoughHidden(t *testing.T) {
+	train := mltest.XOR(400, 1)
+	test := mltest.XOR(300, 2)
+	tr := New()
+	tr.Hidden = 6
+	tr.Epochs = 400
+	c := mltest.AssertAccuracyAbove(t, tr, train, test, 0.9)
+	mltest.AssertValidDistributions(t, c, test)
+}
+
+func TestMLPArchitectureDefaults(t *testing.T) {
+	train := mltest.Blobs(100, 5, 3)
+	c, err := New().Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.(*Model)
+	// WEKA "a" heuristic: (2 attrs + 2 classes)/2 = 2.
+	if m.Hidden() != 2 {
+		t.Errorf("hidden = %d, want 2 ((attrs+classes)/2)", m.Hidden())
+	}
+	if m.Inputs() != 2 || m.Outputs() != 2 {
+		t.Errorf("shape = (%d in, %d out), want (2,2)", m.Inputs(), m.Outputs())
+	}
+}
+
+func TestMLPGradedOutput(t *testing.T) {
+	train := mltest.Blobs(300, 2, 5) // overlapping
+	c, err := New().Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graded := 0
+	for i := range train.X {
+		p := c.Distribution(train.X[i])[1]
+		if p > 0.05 && p < 0.95 {
+			graded++
+		}
+	}
+	if graded == 0 {
+		t.Error("MLP on overlapping data should emit some graded probabilities")
+	}
+}
+
+func TestMLPDeterminism(t *testing.T) {
+	train := mltest.Blobs(150, 4, 7)
+	a, _ := New().Train(train, nil)
+	b, _ := New().Train(train, nil)
+	for i := range train.X {
+		pa := a.Distribution(train.X[i])
+		pb := b.Distribution(train.X[i])
+		if pa[0] != pb[0] {
+			t.Fatal("identical seeds must give identical networks")
+		}
+	}
+}
+
+func TestMLPWeightsEmphasis(t *testing.T) {
+	train := mltest.Blobs(300, 1.2, 9) // heavy overlap
+	w := make([]float64, train.NumRows())
+	for i := range w {
+		if train.Y[i] == 1 {
+			w[i] = 15
+		} else {
+			w[i] = 0.05
+		}
+	}
+	cu, _ := New().Train(train, nil)
+	cw, _ := New().Train(train, w)
+	p1u, p1w := 0, 0
+	for i := range train.X {
+		if cu.Distribution(train.X[i])[1] > 0.5 {
+			p1u++
+		}
+		if cw.Distribution(train.X[i])[1] > 0.5 {
+			p1w++
+		}
+	}
+	if p1w <= p1u {
+		t.Errorf("class-1 weighting should increase class-1 predictions: %d vs %d", p1w, p1u)
+	}
+}

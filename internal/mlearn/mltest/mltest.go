@@ -1,0 +1,134 @@
+// Package mltest provides synthetic datasets and assertion helpers for
+// testing the classifier implementations.
+package mltest
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/micro"
+	"repro/internal/mlearn"
+)
+
+// Blobs returns a 2-feature binary dataset of two Gaussian-ish blobs
+// whose centres are separated by sep noise standard deviations.
+// Linearly separable for sep >~ 4.
+func Blobs(n int, sep float64, seed uint64) *dataset.Instances {
+	d := dataset.New([]string{"f0", "f1"}, dataset.BinaryClassNames())
+	rng := micro.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		y := i % 2
+		cx := 0.0
+		if y == 1 {
+			cx = sep
+		}
+		x := []float64{cx + rng.Norm(), cx/2 + rng.Norm()}
+		group := fmt.Sprintf("%s-%02d", dataset.BinaryClassNames()[y], i%8)
+		_ = d.Add(x, y, group)
+	}
+	return d
+}
+
+// XOR returns the classic nonlinearly-separable XOR problem with
+// Gaussian jitter: class 1 iff the two features' signs differ.
+func XOR(n int, seed uint64) *dataset.Instances {
+	d := dataset.New([]string{"f0", "f1"}, dataset.BinaryClassNames())
+	rng := micro.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		a, b := rng.Intn(2), rng.Intn(2)
+		y := a ^ b
+		x := []float64{
+			float64(a)*4 - 2 + rng.Norm()*0.5,
+			float64(b)*4 - 2 + rng.Norm()*0.5,
+		}
+		group := fmt.Sprintf("%s-%02d", dataset.BinaryClassNames()[y], i%8)
+		_ = d.Add(x, y, group)
+	}
+	return d
+}
+
+// Diagonal returns a 2-feature dataset whose true boundary is the line
+// f0+f1=0 — a single axis-aligned stump tops out near 75%, while a
+// boosted stump committee can approximate the diagonal.
+func Diagonal(n int, seed uint64) *dataset.Instances {
+	d := dataset.New([]string{"f0", "f1"}, dataset.BinaryClassNames())
+	rng := micro.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		a := rng.Float64()*6 - 3
+		b := rng.Float64()*6 - 3
+		y := 0
+		if a+b > 0 {
+			y = 1
+		}
+		group := fmt.Sprintf("%s-%02d", dataset.BinaryClassNames()[y], i%8)
+		_ = d.Add([]float64{a, b}, y, group)
+	}
+	return d
+}
+
+// Bands returns a 1-feature dataset where class 1 occupies the middle
+// band of the range — solvable by interval rules but not by a single
+// threshold.
+func Bands(n int, seed uint64) *dataset.Instances {
+	d := dataset.New([]string{"v"}, dataset.BinaryClassNames())
+	rng := micro.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		v := rng.Float64() * 10
+		y := 0
+		if v > 3.5 && v < 6.5 {
+			y = 1
+		}
+		group := fmt.Sprintf("%s-%02d", dataset.BinaryClassNames()[y], i%8)
+		_ = d.Add([]float64{v}, y, group)
+	}
+	return d
+}
+
+// Accuracy computes the fraction of correct predictions of c on d.
+func Accuracy(c mlearn.Classifier, d *dataset.Instances) float64 {
+	correct := 0
+	for i := range d.X {
+		if mlearn.Predict(c, d.X[i]) == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.NumRows())
+}
+
+// AssertAccuracyAbove trains t on train and requires accuracy >= want
+// on test.
+func AssertAccuracyAbove(t *testing.T, tr mlearn.Trainer, train, test *dataset.Instances, want float64) mlearn.Classifier {
+	t.Helper()
+	c, err := tr.Train(train, nil)
+	if err != nil {
+		t.Fatalf("%s: train failed: %v", tr.Name(), err)
+	}
+	acc := Accuracy(c, test)
+	if acc < want {
+		t.Errorf("%s: accuracy = %.3f, want >= %.3f", tr.Name(), acc, want)
+	}
+	return c
+}
+
+// AssertValidDistributions checks that c emits well-formed
+// distributions on every row of d.
+func AssertValidDistributions(t *testing.T, c mlearn.Classifier, d *dataset.Instances) {
+	t.Helper()
+	for i := range d.X {
+		dist := c.Distribution(d.X[i])
+		if len(dist) != d.NumClasses() {
+			t.Fatalf("distribution has %d entries, want %d", len(dist), d.NumClasses())
+		}
+		sum := 0.0
+		for _, p := range dist {
+			if p < -1e-9 || p > 1+1e-9 {
+				t.Fatalf("distribution entry %v out of [0,1]", p)
+			}
+			sum += p
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("distribution sums to %v", sum)
+		}
+	}
+}

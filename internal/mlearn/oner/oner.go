@@ -1,0 +1,169 @@
+// Package oner implements the OneR (1R) rule learner (Holte 1993; WEKA
+// classifiers.rules.OneR): for every attribute it builds a one-level
+// rule by bucketing the sorted attribute values into intervals whose
+// majority class has at least MinBucket (weighted) instances, then
+// keeps the single attribute whose rule has the lowest training error.
+//
+// The paper observes that OneR's accuracy is flat across HPC budgets
+// because it only ever consumes one counter (branch_instructions, the
+// top-ranked feature) — a behaviour this implementation reproduces as
+// long as that feature is in the selected set.
+package oner
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/mlearn"
+)
+
+// Trainer builds OneR models.
+type Trainer struct {
+	// MinBucket is the minimum weighted count of the optimal class per
+	// interval (WEKA's minBucketSize, default 6).
+	MinBucket float64
+}
+
+// New returns a OneR trainer with WEKA defaults.
+func New() *Trainer { return &Trainer{MinBucket: 6} }
+
+// Name implements mlearn.Trainer.
+func (t *Trainer) Name() string { return "OneR" }
+
+// Model is a trained OneR rule: thresholds split the chosen attribute
+// into len(Classes) intervals; interval i (values < Thresholds[i], or
+// the open tail for the last) predicts Classes[i].
+type Model struct {
+	Attr       int       // chosen attribute column
+	AttrName   string    // its name
+	Thresholds []float64 // ascending cut points, len = len(Classes)-1
+	Classes    []int     // majority class per interval
+	NumClasses int
+	TrainError float64 // weighted training error of the rule
+}
+
+// Distribution implements mlearn.Classifier. OneR is a hard rule
+// learner: it returns a one-hot distribution, which (as with WEKA) caps
+// its standalone AUC.
+func (m *Model) Distribution(x []float64) []float64 {
+	dist := make([]float64, m.NumClasses)
+	dist[m.predict(x[m.Attr])] = 1
+	return dist
+}
+
+func (m *Model) predict(v float64) int {
+	for i, th := range m.Thresholds {
+		if v < th {
+			return m.Classes[i]
+		}
+	}
+	return m.Classes[len(m.Classes)-1]
+}
+
+// Train implements mlearn.Trainer.
+func (t *Trainer) Train(d *dataset.Instances, weights []float64) (mlearn.Classifier, error) {
+	if err := mlearn.CheckTrainable(d, weights); err != nil {
+		return nil, err
+	}
+	w := mlearn.UniformWeights(d, weights)
+	minBucket := t.MinBucket
+	if minBucket <= 0 {
+		minBucket = 6
+	}
+
+	best := (*Model)(nil)
+	for j := 0; j < d.NumAttrs(); j++ {
+		m := buildRule(d, w, j, minBucket)
+		if best == nil || m.TrainError < best.TrainError {
+			best = m
+		}
+	}
+	best.AttrName = d.Attributes[best.Attr].Name
+	return best, nil
+}
+
+type valueWeight struct {
+	v float64
+	y int
+	w float64
+}
+
+// buildRule constructs the 1R rule for attribute j: sort by value,
+// sweep forming intervals that close once their majority class holds at
+// least minBucket weight and the next value differs, then merge
+// adjacent intervals that predict the same class.
+func buildRule(d *dataset.Instances, w []float64, j int, minBucket float64) *Model {
+	n := d.NumRows()
+	vals := make([]valueWeight, n)
+	for i := 0; i < n; i++ {
+		vals[i] = valueWeight{v: d.X[i][j], y: d.Y[i], w: w[i]}
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+
+	k := d.NumClasses()
+	var thresholds []float64
+	var classes []int
+	counts := make([]float64, k)
+
+	flush := func() {
+		maxC, maxW := 0, -1.0
+		for c, cw := range counts {
+			if cw > maxW {
+				maxC, maxW = c, cw
+			}
+		}
+		classes = append(classes, maxC)
+		for c := range counts {
+			counts[c] = 0
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		counts[vals[i].y] += vals[i].w
+		// Close the interval when the majority class weight reaches
+		// minBucket and the next value is distinct (cannot split equal
+		// values across intervals).
+		if i == n-1 {
+			break
+		}
+		maxW := 0.0
+		for _, cw := range counts {
+			if cw > maxW {
+				maxW = cw
+			}
+		}
+		if maxW >= minBucket && vals[i+1].v > vals[i].v {
+			thresholds = append(thresholds, (vals[i].v+vals[i+1].v)/2)
+			flush()
+		}
+	}
+	flush()
+
+	// Merge adjacent intervals with equal predictions.
+	mThresh := thresholds[:0]
+	mClasses := classes[:1]
+	for i := 1; i < len(classes); i++ {
+		if classes[i] != mClasses[len(mClasses)-1] {
+			mThresh = append(mThresh, thresholds[i-1])
+			mClasses = append(mClasses, classes[i])
+		}
+	}
+
+	m := &Model{Attr: j, Thresholds: mThresh, Classes: mClasses, NumClasses: k}
+
+	// Weighted training error.
+	errW, total := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		total += w[i]
+		if m.predict(d.X[i][j]) != d.Y[i] {
+			errW += w[i]
+		}
+	}
+	if total > 0 {
+		m.TrainError = errW / total
+	} else {
+		m.TrainError = math.Inf(1)
+	}
+	return m
+}

@@ -1,0 +1,132 @@
+package oner
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/mltest"
+)
+
+func TestOneRPicksInformativeAttribute(t *testing.T) {
+	// Attribute 0 separates the classes; attribute 1 is junk.
+	d := dataset.New([]string{"signal", "junk"}, dataset.BinaryClassNames())
+	for i := 0; i < 100; i++ {
+		y := i % 2
+		sig := float64(y*10) + float64(i%5)
+		junk := float64(i % 7)
+		_ = d.Add([]float64{sig, junk}, y, map[int]string{0: "b", 1: "m"}[y])
+	}
+	c, err := New().Train(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.(*Model)
+	if m.Attr != 0 {
+		t.Errorf("OneR chose attribute %d (%s), want 0 (signal)", m.Attr, m.AttrName)
+	}
+	if m.AttrName != "signal" {
+		t.Errorf("AttrName = %q", m.AttrName)
+	}
+	if acc := mltest.Accuracy(c, d); acc < 0.95 {
+		t.Errorf("train accuracy = %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestOneRSolvesBands(t *testing.T) {
+	// The middle-band problem needs multiple intervals on one
+	// attribute — precisely OneR's hypothesis space.
+	train := mltest.Bands(400, 1)
+	test := mltest.Bands(300, 2)
+	c := mltest.AssertAccuracyAbove(t, New(), train, test, 0.9)
+	m := c.(*Model)
+	if len(m.Thresholds) < 2 {
+		t.Errorf("band problem needs >= 2 thresholds, got %d", len(m.Thresholds))
+	}
+	mltest.AssertValidDistributions(t, c, test)
+}
+
+func TestOneRHardOutput(t *testing.T) {
+	train := mltest.Blobs(100, 5, 1)
+	c, err := New().Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range train.X {
+		dist := c.Distribution(train.X[i])
+		if dist[0] != 0 && dist[0] != 1 {
+			t.Fatal("OneR must emit one-hot distributions (WEKA behaviour)")
+		}
+	}
+}
+
+func TestOneRMinBucketControlsGranularity(t *testing.T) {
+	train := mltest.Bands(300, 3)
+	coarse := &Trainer{MinBucket: 100}
+	fine := &Trainer{MinBucket: 3}
+	cc, _ := coarse.Train(train, nil)
+	cf, _ := fine.Train(train, nil)
+	if len(cc.(*Model).Thresholds) > len(cf.(*Model).Thresholds) {
+		t.Error("larger MinBucket should produce no more intervals")
+	}
+}
+
+func TestOneRWeightsShiftTheRule(t *testing.T) {
+	// Two attributes, each predictive for a different half of the
+	// data; upweighting one half should steer attribute choice.
+	d := dataset.New([]string{"a", "b"}, dataset.BinaryClassNames())
+	// First 40 rows: attribute a separates. Last 40: attribute b does.
+	for i := 0; i < 40; i++ {
+		y := i % 2
+		_ = d.Add([]float64{float64(y), 0.5}, y, map[int]string{0: "b", 1: "m"}[y])
+	}
+	for i := 0; i < 40; i++ {
+		y := i % 2
+		_ = d.Add([]float64{0.5, float64(y)}, y, map[int]string{0: "b", 1: "m"}[y])
+	}
+	wA := make([]float64, 80)
+	for i := range wA {
+		if i < 40 {
+			wA[i] = 10
+		} else {
+			wA[i] = 0.1
+		}
+	}
+	cA, err := New().Train(d, wA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cA.(*Model).Attr != 0 {
+		t.Errorf("upweighting first half should pick attr 0, got %d", cA.(*Model).Attr)
+	}
+
+	wB := make([]float64, 80)
+	for i := range wB {
+		if i < 40 {
+			wB[i] = 0.1
+		} else {
+			wB[i] = 10
+		}
+	}
+	cB, err := New().Train(d, wB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cB.(*Model).Attr != 1 {
+		t.Errorf("upweighting second half should pick attr 1, got %d", cB.(*Model).Attr)
+	}
+}
+
+func TestOneRRejectsBadInput(t *testing.T) {
+	var tr mlearn.Trainer = New()
+	if _, err := tr.Train(nil, nil); err == nil {
+		t.Error("nil dataset should fail")
+	}
+	d := mltest.Blobs(10, 5, 1)
+	if _, err := tr.Train(d, []float64{1}); err == nil {
+		t.Error("mismatched weights should fail")
+	}
+	if tr.Name() != "OneR" {
+		t.Error("name wrong")
+	}
+}

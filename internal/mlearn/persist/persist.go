@@ -1,0 +1,80 @@
+// Package persist serialises trained classifiers (and core detectors)
+// with encoding/gob so a detector trained offline can be deployed by a
+// separate monitoring process — the paper's workflow, where training
+// happens in WEKA and the trained model is implemented in hardware or
+// shipped to the monitor.
+//
+// All model types from internal/mlearn/... are registered; ensemble
+// models serialise their member models through the Classifier
+// interface.
+package persist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/bayesnet"
+	"repro/internal/mlearn/ensemble"
+	"repro/internal/mlearn/j48"
+	"repro/internal/mlearn/jrip"
+	"repro/internal/mlearn/knn"
+	"repro/internal/mlearn/logistic"
+	"repro/internal/mlearn/mlp"
+	"repro/internal/mlearn/oner"
+	"repro/internal/mlearn/reptree"
+	"repro/internal/mlearn/sgd"
+	"repro/internal/mlearn/smo"
+)
+
+func init() {
+	gob.Register(&oner.Model{})
+	gob.Register(&bayesnet.Model{})
+	gob.Register(&j48.Model{})
+	gob.Register(&reptree.Model{})
+	gob.Register(&jrip.Model{})
+	gob.Register(&knn.Model{})
+	gob.Register(&logistic.Model{})
+	gob.Register(&sgd.Model{})
+	gob.Register(&smo.Model{})
+	gob.Register(&mlp.Model{})
+	gob.Register(&ensemble.BoostedModel{})
+	gob.Register(&ensemble.BaggedModel{})
+}
+
+// envelope wraps the interface value so gob records the concrete type.
+type envelope struct {
+	Model mlearn.Classifier
+}
+
+// Save writes a trained classifier to w.
+func Save(w io.Writer, c mlearn.Classifier) error {
+	return SaveInto(gob.NewEncoder(w), c)
+}
+
+// SaveInto encodes a classifier onto an existing gob stream, letting
+// callers prepend their own metadata with the same encoder.
+func SaveInto(enc *gob.Encoder, c mlearn.Classifier) error {
+	if c == nil {
+		return fmt.Errorf("persist: nil classifier")
+	}
+	return enc.Encode(envelope{Model: c})
+}
+
+// Load reads a classifier previously written by Save.
+func Load(r io.Reader) (mlearn.Classifier, error) {
+	return LoadFrom(gob.NewDecoder(r))
+}
+
+// LoadFrom decodes a classifier from an existing gob stream.
+func LoadFrom(dec *gob.Decoder) (mlearn.Classifier, error) {
+	var env envelope
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("persist: %v", err)
+	}
+	if env.Model == nil {
+		return nil, fmt.Errorf("persist: decoded envelope holds no model")
+	}
+	return env.Model, nil
+}

@@ -1,0 +1,74 @@
+package persist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/mltest"
+	"repro/internal/mlearn/zoo"
+)
+
+// TestRoundTripAllModels trains every classifier and every ensemble
+// variant, saves it, loads it back and verifies predictions are
+// identical on a probe set.
+func TestRoundTripAllModels(t *testing.T) {
+	train := mltest.Blobs(200, 4, 1)
+	probe := mltest.Blobs(100, 4, 2)
+
+	var trainers []mlearn.Trainer
+	for _, name := range zoo.Names() {
+		trainers = append(trainers, zoo.MustNew(name, 7))
+		for _, v := range []zoo.Variant{zoo.Boosted, zoo.Bagged} {
+			tr, err := zoo.NewVariant(name, v, 5, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trainers = append(trainers, tr)
+		}
+	}
+
+	for _, tr := range trainers {
+		tr := tr
+		t.Run(tr.Name(), func(t *testing.T) {
+			orig, err := tr.Train(train, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := Save(&buf, orig); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+			loaded, err := Load(&buf)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			for i := range probe.X {
+				a := orig.Distribution(probe.X[i])
+				b := loaded.Distribution(probe.X[i])
+				if len(a) != len(b) {
+					t.Fatal("distribution width changed")
+				}
+				for c := range a {
+					if a[c] != b[c] {
+						t.Fatalf("row %d class %d: %v != %v after round-trip", i, c, a[c], b[c])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSaveNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, nil); err == nil {
+		t.Error("nil classifier should fail")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("garbage input should fail")
+	}
+}

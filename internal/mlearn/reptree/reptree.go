@@ -1,0 +1,256 @@
+// Package reptree implements the reduced-error-pruning tree (WEKA's
+// REPTree): a fast decision tree grown with plain information gain on
+// a grow subset, then pruned bottom-up against a held-out prune subset
+// (reduced-error pruning, Quinlan 1987). WEKA's default uses 3 folds —
+// two thirds grow the tree, one third prunes it.
+package reptree
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/micro"
+	"repro/internal/mlearn"
+)
+
+// Trainer builds REPTree models.
+type Trainer struct {
+	// MinLeaf is the minimum weighted instance count per leaf (WEKA
+	// minNum, default 2).
+	MinLeaf float64
+	// Folds controls the grow/prune split: 1/Folds of the data prunes
+	// (WEKA numFolds, default 3). Folds<=1 disables pruning.
+	Folds int
+	// MaxDepth bounds tree depth (0 = unlimited, WEKA default -1).
+	MaxDepth int
+	// Seed controls the grow/prune partition.
+	Seed uint64
+}
+
+// New returns a REPTree trainer with WEKA defaults.
+func New() *Trainer { return &Trainer{MinLeaf: 2, Folds: 3, Seed: 1} }
+
+// Name implements mlearn.Trainer.
+func (t *Trainer) Name() string { return "REPTree" }
+
+// Model is a trained REPTree.
+type Model struct {
+	Root *mlearn.TreeNode
+}
+
+// Distribution implements mlearn.Classifier.
+func (m *Model) Distribution(x []float64) []float64 { return m.Root.Distribution(x) }
+
+// Size returns (internal nodes, leaves).
+func (m *Model) Size() (internal, leaves int) { return m.Root.Count() }
+
+// Depth returns the tree depth.
+func (m *Model) Depth() int { return m.Root.Depth() }
+
+// Train implements mlearn.Trainer.
+func (t *Trainer) Train(d *dataset.Instances, weights []float64) (mlearn.Classifier, error) {
+	if err := mlearn.CheckTrainable(d, weights); err != nil {
+		return nil, err
+	}
+	w := mlearn.UniformWeights(d, weights)
+	minLeaf := t.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 2
+	}
+
+	n := d.NumRows()
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+
+	growIdx, pruneIdx := all, []int(nil)
+	if t.Folds > 1 && n >= 2*t.Folds {
+		// Deterministic shuffle, last 1/Folds prunes.
+		perm := append([]int(nil), all...)
+		rng := micro.NewRNG(t.Seed ^ 0x9e3779b97f4a7c15)
+		for i := len(perm) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		cut := n - n/t.Folds
+		growIdx, pruneIdx = perm[:cut], perm[cut:]
+	}
+
+	g := &grower{d: d, w: w, k: d.NumClasses(), maxDepth: t.MaxDepth, minLeaf: minLeaf}
+	root := g.grow(growIdx, 0)
+	if len(pruneIdx) > 0 {
+		repPrune(g, root, pruneIdx)
+	}
+	return &Model{Root: root}, nil
+}
+
+type grower struct {
+	d        *dataset.Instances
+	w        []float64
+	k        int
+	maxDepth int
+	minLeaf  float64
+}
+
+func (g *grower) classCounts(idx []int) []float64 {
+	counts := make([]float64, g.k)
+	for _, i := range idx {
+		counts[g.d.Y[i]] += g.w[i]
+	}
+	return counts
+}
+
+func leaf(counts []float64) *mlearn.TreeNode {
+	total := 0.0
+	for _, c := range counts {
+		total += c
+	}
+	dist := make([]float64, len(counts))
+	if total > 0 {
+		for i, c := range counts {
+			dist[i] = c / total
+		}
+	} else {
+		for i := range dist {
+			dist[i] = 1 / float64(len(dist))
+		}
+	}
+	return &mlearn.TreeNode{Leaf: true, Dist: dist}
+}
+
+func (g *grower) grow(idx []int, depth int) *mlearn.TreeNode {
+	counts := g.classCounts(idx)
+	total, nonZero := 0.0, 0
+	for _, c := range counts {
+		total += c
+		if c > 0 {
+			nonZero++
+		}
+	}
+	if nonZero <= 1 || total < 2*g.minLeaf || (g.maxDepth > 0 && depth >= g.maxDepth) {
+		return leaf(counts)
+	}
+
+	attr, threshold, ok := g.bestGainSplit(idx, counts)
+	if !ok {
+		return leaf(counts)
+	}
+	var left, right []int
+	for _, i := range idx {
+		if g.d.X[i][attr] < threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return leaf(counts)
+	}
+	return &mlearn.TreeNode{
+		Attr:      attr,
+		Threshold: threshold,
+		Left:      g.grow(left, depth+1),
+		Right:     g.grow(right, depth+1),
+	}
+}
+
+// bestGainSplit maximises plain information gain (REPTree does not use
+// the gain-ratio correction).
+func (g *grower) bestGainSplit(idx []int, parentCounts []float64) (int, float64, bool) {
+	parentEnt := mlearn.Entropy(parentCounts)
+	totalW := 0.0
+	for _, c := range parentCounts {
+		totalW += c
+	}
+	type rec struct {
+		v float64
+		y int
+		w float64
+	}
+	vals := make([]rec, len(idx))
+
+	bestGain, bestAttr, bestTh := 1e-12, -1, 0.0
+	for j := 0; j < g.d.NumAttrs(); j++ {
+		for p, i := range idx {
+			vals[p] = rec{v: g.d.X[i][j], y: g.d.Y[i], w: g.w[i]}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		left := make([]float64, g.k)
+		right := append([]float64(nil), parentCounts...)
+		leftW := 0.0
+		for p := 0; p < len(vals)-1; p++ {
+			left[vals[p].y] += vals[p].w
+			right[vals[p].y] -= vals[p].w
+			leftW += vals[p].w
+			if vals[p+1].v <= vals[p].v {
+				continue
+			}
+			rightW := totalW - leftW
+			if leftW < g.minLeaf || rightW < g.minLeaf {
+				continue
+			}
+			ent := (leftW*mlearn.Entropy(left) + rightW*mlearn.Entropy(right)) / totalW
+			if gain := parentEnt - ent; gain > bestGain {
+				bestGain, bestAttr = gain, j
+				bestTh = (vals[p].v + vals[p+1].v) / 2
+			}
+		}
+	}
+	return bestAttr, bestTh, bestAttr >= 0
+}
+
+// repPrune performs reduced-error pruning: replace a subtree with a
+// leaf whenever the leaf makes no more errors on the prune set than the
+// subtree does. Returns the subtree's prune-set error after pruning.
+func repPrune(g *grower, n *mlearn.TreeNode, pruneIdx []int) float64 {
+	counts := g.classCounts(pruneIdx)
+	if n.Leaf {
+		return errorsAsLeaf(g, n.Dist, counts)
+	}
+	var left, right []int
+	for _, i := range pruneIdx {
+		if g.d.X[i][n.Attr] < n.Threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	subErr := repPrune(g, n.Left, left) + repPrune(g, n.Right, right)
+
+	// No prune evidence at this node: keep the grown subtree.
+	total := 0.0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return subErr
+	}
+
+	// Candidate leaf: majority class over the prune set at this node.
+	leafNode := leaf(counts)
+	leafErr := errorsAsLeaf(g, leafNode.Dist, counts)
+	if leafErr <= subErr {
+		*n = *leafNode
+		return leafErr
+	}
+	return subErr
+}
+
+// errorsAsLeaf counts the weighted prune-set errors a leaf with the
+// given distribution commits against the observed class counts.
+func errorsAsLeaf(g *grower, dist []float64, counts []float64) float64 {
+	pred, best := 0, -1.0
+	for c, p := range dist {
+		if p > best {
+			pred, best = c, p
+		}
+	}
+	e := 0.0
+	for c, cw := range counts {
+		if c != pred {
+			e += cw
+		}
+	}
+	return e
+}

@@ -1,0 +1,76 @@
+package reptree
+
+import (
+	"testing"
+
+	"repro/internal/mlearn/mltest"
+)
+
+func TestREPTreeXOR(t *testing.T) {
+	train := mltest.XOR(500, 1)
+	test := mltest.XOR(300, 2)
+	c := mltest.AssertAccuracyAbove(t, New(), train, test, 0.85)
+	mltest.AssertValidDistributions(t, c, test)
+}
+
+func TestREPTreePruningShrinks(t *testing.T) {
+	train := mltest.Blobs(500, 2, 3)
+	test := mltest.Blobs(300, 2, 4)
+
+	noPrune := &Trainer{MinLeaf: 2, Folds: 1, Seed: 1}
+	withPrune := New()
+
+	cn, err := noPrune.Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := withPrune.Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, ln := cn.(*Model).Size()
+	ip, lp := cp.(*Model).Size()
+	if ip+lp > in+ln {
+		t.Errorf("pruned tree (%d nodes) larger than unpruned (%d)", ip+lp, in+ln)
+	}
+	if acc := mltest.Accuracy(cp, test); acc < 0.75 {
+		t.Errorf("pruned accuracy = %.3f", acc)
+	}
+}
+
+func TestREPTreeMaxDepth(t *testing.T) {
+	train := mltest.XOR(300, 5)
+	tr := &Trainer{MinLeaf: 2, Folds: 1, MaxDepth: 1, Seed: 1}
+	c, err := tr.Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := c.(*Model).Depth(); d > 1 {
+		t.Errorf("depth = %d, want <= 1", d)
+	}
+}
+
+func TestREPTreeDeterministicPerSeed(t *testing.T) {
+	train := mltest.Blobs(300, 3, 9)
+	a, _ := New().Train(train, nil)
+	b, _ := New().Train(train, nil)
+	for i := range train.X {
+		da := a.Distribution(train.X[i])
+		db := b.Distribution(train.X[i])
+		for c := range da {
+			if da[c] != db[c] {
+				t.Fatal("same seed should give identical trees")
+			}
+		}
+	}
+}
+
+func TestREPTreeTinySets(t *testing.T) {
+	// Sets too small to partition must still train (pruning skipped).
+	train := mltest.Blobs(5, 6, 1)
+	c, err := New().Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mltest.AssertValidDistributions(t, c, train)
+}

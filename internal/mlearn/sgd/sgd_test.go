@@ -1,0 +1,85 @@
+package sgd
+
+import (
+	"testing"
+
+	"repro/internal/mlearn/mltest"
+)
+
+func TestSGDBlobs(t *testing.T) {
+	train := mltest.Blobs(300, 5, 1)
+	test := mltest.Blobs(200, 5, 2)
+	c := mltest.AssertAccuracyAbove(t, New(), train, test, 0.9)
+	mltest.AssertValidDistributions(t, c, test)
+}
+
+func TestSGDHardOutput(t *testing.T) {
+	train := mltest.Blobs(200, 3, 3)
+	c, err := New().Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range train.X {
+		d := c.Distribution(train.X[i])
+		if !(d[0] == 0 && d[1] == 1) && !(d[0] == 1 && d[1] == 0) {
+			t.Fatal("SGD must emit hard 0/1 distributions (WEKA hinge behaviour)")
+		}
+	}
+}
+
+func TestSGDMarginSign(t *testing.T) {
+	train := mltest.Blobs(400, 6, 5)
+	c, err := New().Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.(*Model)
+	// Class-1 blob centre is at (6,3): margin should be positive there
+	// and negative at the class-0 centre (0,0).
+	if m.Margin([]float64{6, 3}) <= 0 {
+		t.Error("margin at class-1 centre should be positive")
+	}
+	if m.Margin([]float64{0, 0}) >= 0 {
+		t.Error("margin at class-0 centre should be negative")
+	}
+}
+
+func TestSGDWeightsBiasDecision(t *testing.T) {
+	// Overlapping blobs with weight massively on class 1: decisions in
+	// the overlap zone should flip toward class 1.
+	train := mltest.Blobs(400, 1.5, 7)
+	w := make([]float64, train.NumRows())
+	for i := range w {
+		if train.Y[i] == 1 {
+			w[i] = 20
+		} else {
+			w[i] = 0.05
+		}
+	}
+	cu, _ := New().Train(train, nil)
+	cw, _ := New().Train(train, w)
+	pred1u, pred1w := 0, 0
+	for i := range train.X {
+		if cu.Distribution(train.X[i])[1] == 1 {
+			pred1u++
+		}
+		if cw.Distribution(train.X[i])[1] == 1 {
+			pred1w++
+		}
+	}
+	if pred1w <= pred1u {
+		t.Errorf("class-1 weighting should increase class-1 predictions: %d vs %d", pred1w, pred1u)
+	}
+}
+
+func TestSGDDeterminism(t *testing.T) {
+	train := mltest.Blobs(200, 4, 9)
+	a, _ := New().Train(train, nil)
+	b, _ := New().Train(train, nil)
+	ma, mb := a.(*Model), b.(*Model)
+	for j := range ma.Weights {
+		if ma.Weights[j] != mb.Weights[j] {
+			t.Fatal("identical seeds must give identical weights")
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package smo
+
+import (
+	"testing"
+
+	"repro/internal/mlearn/mltest"
+)
+
+func TestSMOBlobs(t *testing.T) {
+	train := mltest.Blobs(300, 5, 1)
+	test := mltest.Blobs(200, 5, 2)
+	c := mltest.AssertAccuracyAbove(t, New(), train, test, 0.9)
+	mltest.AssertValidDistributions(t, c, test)
+}
+
+func TestSMOHardOutput(t *testing.T) {
+	train := mltest.Blobs(200, 3, 3)
+	c, err := New().Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range train.X {
+		d := c.Distribution(train.X[i])
+		if !(d[0] == 0 && d[1] == 1) && !(d[0] == 1 && d[1] == 0) {
+			t.Fatal("SMO must emit hard 0/1 distributions (uncalibrated WEKA behaviour)")
+		}
+	}
+}
+
+func TestSMOSupportVectorsSparse(t *testing.T) {
+	// On well-separated data, only points near the margin should be
+	// support vectors.
+	train := mltest.Blobs(400, 8, 5)
+	c, err := New().Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.(*Model)
+	if m.SupportVectors == 0 {
+		t.Fatal("no support vectors at all")
+	}
+	if m.SupportVectors > train.NumRows()/2 {
+		t.Errorf("%d/%d support vectors on easily separable data", m.SupportVectors, train.NumRows())
+	}
+}
+
+func TestSMOMarginGeometry(t *testing.T) {
+	train := mltest.Blobs(400, 6, 7)
+	c, err := New().Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.(*Model)
+	if m.Margin([]float64{6, 3}) <= 0 {
+		t.Error("margin at class-1 centre should be positive")
+	}
+	if m.Margin([]float64{0, 0}) >= 0 {
+		t.Error("margin at class-0 centre should be negative")
+	}
+	// Margin magnitude should grow with distance from the boundary.
+	near := m.Margin([]float64{3.2, 1.6})
+	far := m.Margin([]float64{9, 4.5})
+	if far <= near {
+		t.Error("margin should increase away from the boundary")
+	}
+}
+
+func TestSMODeterminism(t *testing.T) {
+	train := mltest.Blobs(150, 4, 9)
+	a, _ := New().Train(train, nil)
+	b, _ := New().Train(train, nil)
+	ma, mb := a.(*Model), b.(*Model)
+	if ma.Bias != mb.Bias {
+		t.Fatal("identical seeds must give identical bias")
+	}
+	for j := range ma.Weights {
+		if ma.Weights[j] != mb.Weights[j] {
+			t.Fatal("identical seeds must give identical weights")
+		}
+	}
+}
+
+func TestSMOWeightedBox(t *testing.T) {
+	// Upweighting class 1 raises its box constraint; overlap-zone
+	// decisions should shift toward class 1.
+	train := mltest.Blobs(300, 1.5, 11)
+	w := make([]float64, train.NumRows())
+	for i := range w {
+		if train.Y[i] == 1 {
+			w[i] = 10
+		} else {
+			w[i] = 0.1
+		}
+	}
+	cu, _ := New().Train(train, nil)
+	cw, _ := New().Train(train, w)
+	p1u, p1w := 0, 0
+	for i := range train.X {
+		if cu.Distribution(train.X[i])[1] == 1 {
+			p1u++
+		}
+		if cw.Distribution(train.X[i])[1] == 1 {
+			p1w++
+		}
+	}
+	if p1w <= p1u {
+		t.Errorf("weighted SMO should favour class 1 more: %d vs %d", p1w, p1u)
+	}
+}

@@ -1,0 +1,108 @@
+package mlearn
+
+import "math"
+
+// TreeNode is the shared binary decision-tree representation used by
+// the J48 and REPTree learners and consumed by the HLS model compiler.
+// Internal nodes route on Attr < Threshold (left) vs >= (right); leaves
+// carry a class distribution.
+type TreeNode struct {
+	Leaf      bool
+	Dist      []float64 // leaf class distribution (sums to 1)
+	Attr      int       // split attribute (internal nodes)
+	Threshold float64   // split threshold
+	Left      *TreeNode // Attr <  Threshold
+	Right     *TreeNode // Attr >= Threshold
+}
+
+// Distribution walks the tree and returns the leaf distribution for x.
+func (n *TreeNode) Distribution(x []float64) []float64 {
+	node := n
+	for !node.Leaf {
+		if x[node.Attr] < node.Threshold {
+			node = node.Left
+		} else {
+			node = node.Right
+		}
+	}
+	return node.Dist
+}
+
+// Depth returns the maximum root-to-leaf edge count.
+func (n *TreeNode) Depth() int {
+	if n.Leaf {
+		return 0
+	}
+	l, r := n.Left.Depth(), n.Right.Depth()
+	if r > l {
+		l = r
+	}
+	return l + 1
+}
+
+// Count returns the number of internal and leaf nodes.
+func (n *TreeNode) Count() (internal, leaves int) {
+	if n.Leaf {
+		return 0, 1
+	}
+	li, ll := n.Left.Count()
+	ri, rl := n.Right.Count()
+	return li + ri + 1, ll + rl
+}
+
+// Probit approximates the standard normal inverse CDF (Acklam's
+// rational approximation, |relative error| < 1.15e-9). Used for C4.5's
+// pessimistic error bound.
+func Probit(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	e := []float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((e[0]*q+e[1])*q+e[2])*q+e[3])*q + 1)
+	case p > pHigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((e[0]*q+e[1])*q+e[2])*q+e[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// AddErrs computes C4.5's pessimistic additional-error estimate (WEKA's
+// Stats.addErrs): given N weighted instances with e weighted errors at
+// a leaf, the expected extra errors under confidence CF.
+func AddErrs(n, e, cf float64) float64 {
+	if cf > 0.5 {
+		return e + 1
+	}
+	if e < 1 {
+		base := n * (1 - math.Pow(cf, 1/n))
+		if e == 0 {
+			return base
+		}
+		return base + e*(AddErrs(n, 1, cf)-base)
+	}
+	if e+0.5 >= n {
+		return math.Max(n-e, 0)
+	}
+	z := Probit(1 - cf)
+	f := (e + 0.5) / n
+	r := (f + z*z/(2*n) + z*math.Sqrt(f/n-f*f/n+z*z/(4*n*n))) / (1 + z*z/n)
+	return r*n - e
+}

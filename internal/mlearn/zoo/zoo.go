@@ -1,0 +1,163 @@
+// Package zoo is the classifier registry: it maps the paper's WEKA
+// classifier names (BayesNet, J48, JRip, MLP, OneR, REPTree, SGD, SMO)
+// to trainer constructors and builds the ensemble variants (AdaBoost,
+// Bagging) around them. All experiment harnesses and tools resolve
+// detectors through this package so names are consistent everywhere.
+package zoo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/bayesnet"
+	"repro/internal/mlearn/ensemble"
+	"repro/internal/mlearn/j48"
+	"repro/internal/mlearn/jrip"
+	"repro/internal/mlearn/knn"
+	"repro/internal/mlearn/logistic"
+	"repro/internal/mlearn/mlp"
+	"repro/internal/mlearn/oner"
+	"repro/internal/mlearn/reptree"
+	"repro/internal/mlearn/sgd"
+	"repro/internal/mlearn/smo"
+)
+
+// Variant selects the learning scheme applied to a base classifier.
+type Variant int
+
+const (
+	// General is the plain base classifier.
+	General Variant = iota
+	// Boosted wraps the base in AdaBoost.M1.
+	Boosted
+	// Bagged wraps the base in Bagging.
+	Bagged
+)
+
+// String returns the paper's label for the variant.
+func (v Variant) String() string {
+	switch v {
+	case Boosted:
+		return "Boosted"
+	case Bagged:
+		return "Bagging"
+	default:
+		return "General"
+	}
+}
+
+// Names returns the eight base classifier names in the paper's order.
+func Names() []string {
+	return []string{"BayesNet", "J48", "JRip", "MLP", "OneR", "REPTree", "SGD", "SMO"}
+}
+
+// BaselineNames returns the extra classifiers implemented as
+// related-work baselines (Demme'13 KNN; Ozsoy'15 / Khasawneh'15
+// logistic regression). They resolve through New like the studied
+// eight but are not part of the paper's grid.
+func BaselineNames() []string { return []string{"KNN", "Logistic"} }
+
+// New constructs a fresh base trainer by name. seed parameterises any
+// stochastic element (partitions, initial weights, example order).
+func New(name string, seed uint64) (mlearn.Trainer, error) {
+	switch name {
+	case "BayesNet":
+		return bayesnet.New(), nil
+	case "J48":
+		return j48.New(), nil
+	case "JRip":
+		t := jrip.New()
+		t.Seed = seed
+		return t, nil
+	case "MLP", "MultilayerPerceptron":
+		t := mlp.New()
+		t.Seed = seed
+		return t, nil
+	case "OneR":
+		return oner.New(), nil
+	case "REPTree":
+		t := reptree.New()
+		t.Seed = seed
+		return t, nil
+	case "SGD":
+		t := sgd.New()
+		t.Seed = seed
+		return t, nil
+	case "SMO":
+		t := smo.New()
+		t.Seed = seed
+		return t, nil
+	case "KNN":
+		return knn.New(), nil
+	case "Logistic":
+		t := logistic.New()
+		t.Seed = seed
+		return t, nil
+	}
+	return nil, fmt.Errorf("zoo: unknown classifier %q (known: %v)", name, Names())
+}
+
+// MustNew is New for statically-known names; it panics on error.
+func MustNew(name string, seed uint64) mlearn.Trainer {
+	t, err := New(name, seed)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NewVariant builds the requested scheme around the named base
+// classifier. iterations applies to ensembles only (0 = WEKA default
+// 10).
+func NewVariant(name string, v Variant, iterations int, seed uint64) (mlearn.Trainer, error) {
+	if _, err := New(name, seed); err != nil {
+		return nil, err
+	}
+	base := func(it int) mlearn.Trainer {
+		return MustNew(name, seed+uint64(it)*0x9e3779b9+1)
+	}
+	switch v {
+	case General:
+		return MustNew(name, seed), nil
+	case Boosted:
+		t := ensemble.NewAdaBoost(base)
+		if iterations > 0 {
+			t.Iterations = iterations
+		}
+		t.Seed = seed
+		return t, nil
+	case Bagged:
+		t := ensemble.NewBagging(base)
+		if iterations > 0 {
+			t.Iterations = iterations
+		}
+		t.Seed = seed
+		return t, nil
+	}
+	return nil, fmt.Errorf("zoo: unknown variant %d", v)
+}
+
+// Detectors enumerates every (classifier, variant) combination the
+// paper studies, sorted by name then variant: 8 general + 8 boosted +
+// 8 bagged = 24 detector kinds.
+func Detectors() []struct {
+	Name    string
+	Variant Variant
+} {
+	names := Names()
+	sort.Strings(names)
+	var out []struct {
+		Name    string
+		Variant Variant
+	}
+	for _, n := range names {
+		for _, v := range []Variant{General, Boosted, Bagged} {
+			out = append(out, struct {
+				Name    string
+				Variant Variant
+			}{n, v})
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package zoo
+
+import (
+	"testing"
+
+	"repro/internal/mlearn/mltest"
+)
+
+// TestAllClassifiersOnBlobs is the cross-classifier conformance test:
+// every general classifier must solve a well-separated 2D problem and
+// emit valid distributions; every ensemble variant must do at least as
+// well as chance by a wide margin.
+func TestAllClassifiersOnBlobs(t *testing.T) {
+	train := mltest.Blobs(300, 5, 1)
+	test := mltest.Blobs(200, 5, 2)
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tr := MustNew(name, 7)
+			c := mltest.AssertAccuracyAbove(t, tr, train, test, 0.9)
+			mltest.AssertValidDistributions(t, c, test)
+		})
+	}
+}
+
+func TestEnsembleVariantsOnBlobs(t *testing.T) {
+	train := mltest.Blobs(240, 5, 3)
+	test := mltest.Blobs(160, 5, 4)
+	for _, name := range []string{"OneR", "REPTree", "SGD"} {
+		for _, v := range []Variant{Boosted, Bagged} {
+			name, v := name, v
+			t.Run(name+"-"+v.String(), func(t *testing.T) {
+				tr, err := NewVariant(name, v, 10, 11)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := mltest.AssertAccuracyAbove(t, tr, train, test, 0.85)
+				mltest.AssertValidDistributions(t, c, test)
+			})
+		}
+	}
+}
+
+// TestNonlinearLearnersSolveXOR verifies the tree-family learners (and
+// the MLP) handle a nonlinearly separable problem, while the linear
+// family cannot — the structural reason the paper's ensembles help
+// linear detectors with few HPCs.
+func TestNonlinearLearnersSolveXOR(t *testing.T) {
+	train := mltest.XOR(400, 5)
+	test := mltest.XOR(300, 6)
+	for _, name := range []string{"J48", "REPTree", "JRip"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			mltest.AssertAccuracyAbove(t, MustNew(name, 3), train, test, 0.85)
+		})
+	}
+	// A linear separator can get at most ~3 of the 4 XOR corners
+	// (~75%); the nonlinear learners above must clear that bar.
+	for _, name := range []string{"SGD", "SMO"} {
+		name := name
+		t.Run(name+"-capped", func(t *testing.T) {
+			c, err := MustNew(name, 3).Train(train, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if acc := mltest.Accuracy(c, test); acc > 0.82 {
+				t.Errorf("linear model on XOR = %.3f, expected <= ~0.78 (corner bound)", acc)
+			}
+		})
+	}
+
+	// Boosting the linear learner produces a piecewise ensemble that
+	// beats the standalone linear model on XOR.
+	boostSGD, err := NewVariant("SGD", Boosted, 25, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cBoost, err := boostSGD.Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := MustNew("SGD", 3).Train(train, nil)
+	accBase := mltest.Accuracy(base, test)
+	accBoost := mltest.Accuracy(cBoost, test)
+	if accBoost < accBase {
+		t.Errorf("boosted SGD (%.3f) should not trail plain SGD (%.3f)", accBoost, accBase)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New("NotAClassifier", 1); err == nil {
+		t.Error("unknown name should fail")
+	}
+	if _, err := NewVariant("NotAClassifier", Boosted, 10, 1); err == nil {
+		t.Error("unknown name should fail for variants")
+	}
+	if _, err := NewVariant("J48", Variant(99), 10, 1); err == nil {
+		t.Error("unknown variant should fail")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on unknown names")
+		}
+	}()
+	MustNew("nope", 1)
+}
+
+func TestDetectorsEnumeration(t *testing.T) {
+	ds := Detectors()
+	if len(ds) != 24 {
+		t.Fatalf("detectors = %d, want 24 (8 classifiers x 3 variants)", len(ds))
+	}
+	seen := map[string]bool{}
+	for _, d := range ds {
+		key := d.Name + "/" + d.Variant.String()
+		if seen[key] {
+			t.Fatalf("duplicate detector %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if General.String() != "General" || Boosted.String() != "Boosted" || Bagged.String() != "Bagging" {
+		t.Error("variant names wrong")
+	}
+}
+
+func TestTrainerNames(t *testing.T) {
+	for _, n := range Names() {
+		tr := MustNew(n, 1)
+		if tr.Name() == "" {
+			t.Errorf("%s: empty trainer name", n)
+		}
+	}
+	b, _ := NewVariant("J48", Boosted, 10, 1)
+	if b.Name() != "AdaBoostM1+J48" {
+		t.Errorf("boosted name = %q", b.Name())
+	}
+	g, _ := NewVariant("J48", Bagged, 10, 1)
+	if g.Name() != "Bagging+J48" {
+		t.Errorf("bagged name = %q", g.Name())
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	for _, name := range BaselineNames() {
+		tr, err := New(name, 5)
+		if err != nil {
+			t.Fatalf("%s should resolve: %v", name, err)
+		}
+		train := mltest.Blobs(200, 5, 1)
+		test := mltest.Blobs(150, 5, 2)
+		c := mltest.AssertAccuracyAbove(t, tr, train, test, 0.9)
+		mltest.AssertValidDistributions(t, c, test)
+	}
+	// Baselines are not part of the paper's studied eight.
+	for _, n := range Names() {
+		for _, b := range BaselineNames() {
+			if n == b {
+				t.Fatalf("%s is listed both as studied and baseline", n)
+			}
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package perf models the Linux perf tool layer the paper collects HPC
+// data with: a PMU with a small number of programmable counter
+// registers (four on the Xeon X5550), event groups, batch scheduling of
+// a large event list across multiple runs, and fixed-interval sampling
+// (the paper samples every 10 ms).
+//
+// The central constraint the paper builds on is embodied here: only
+// NumCounters events can be measured concurrently, so capturing all 44
+// events requires either multiple runs (Batches — the paper's approach,
+// 11 batches of 4) or time-multiplexing with scaling error
+// (SampleMultiplexed — provided for the ablation study).
+package perf
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/micro"
+)
+
+// NumCounters is the number of programmable HPC registers, matching the
+// paper's Intel Xeon X5550 (Nehalem): four.
+const NumCounters = 4
+
+// DefaultCycleBudget is the simulated core-cycle budget of one 10 ms
+// sampling interval. The simulator is scale-reduced: what matters for
+// the detectors is per-interval event *ratios*, not absolute magnitude,
+// so one simulated interval covers a representative slice of execution.
+const DefaultCycleBudget = 24000
+
+// Group is a set of events programmed onto the PMU together. All events
+// in a group are counted concurrently over the same instructions, like
+// a perf_event_open group.
+type Group struct {
+	events []micro.EventID
+}
+
+// NewGroup validates and builds an event group. At most NumCounters
+// events may be scheduled concurrently and duplicates are rejected.
+func NewGroup(events ...micro.EventID) (Group, error) {
+	if len(events) == 0 {
+		return Group{}, errors.New("perf: empty event group")
+	}
+	if len(events) > NumCounters {
+		return Group{}, fmt.Errorf("perf: group of %d events exceeds %d counter registers", len(events), NumCounters)
+	}
+	seen := map[micro.EventID]bool{}
+	for _, ev := range events {
+		if !ev.Valid() {
+			return Group{}, fmt.Errorf("perf: invalid event %d", ev)
+		}
+		if seen[ev] {
+			return Group{}, fmt.Errorf("perf: duplicate event %v in group", ev)
+		}
+		seen[ev] = true
+	}
+	g := Group{events: append([]micro.EventID(nil), events...)}
+	return g, nil
+}
+
+// Events returns the group's events in programming order.
+func (g Group) Events() []micro.EventID {
+	return append([]micro.EventID(nil), g.events...)
+}
+
+// Size returns the number of events in the group.
+func (g Group) Size() int { return len(g.events) }
+
+// Batches splits an event list into consecutive groups of at most
+// NumCounters events — the paper's "11 batches of 4 events" schedule
+// for the 44-event list. Every batch requires a separate run of the
+// application.
+func Batches(events []micro.EventID) ([]Group, error) {
+	if len(events) == 0 {
+		return nil, errors.New("perf: no events to batch")
+	}
+	var groups []Group
+	for start := 0; start < len(events); start += NumCounters {
+		end := start + NumCounters
+		if end > len(events) {
+			end = len(events)
+		}
+		g, err := NewGroup(events[start:end]...)
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
+}
+
+// Sample is one fixed-interval reading of a group: the event deltas
+// accumulated during that interval.
+type Sample struct {
+	Interval     int      // interval index within the run
+	Values       []uint64 // one delta per group event, in group order
+	Instructions int      // instructions executed during the interval
+}
+
+// Program supplies per-interval stream parameters; workload.Run
+// satisfies it.
+type Program interface {
+	IntervalParams(interval int) micro.StreamParams
+}
+
+// CounterWidth is the bit width of a hardware counter register.
+// Nehalem general-purpose PMCs are 48 bits wide; counts wrap modulo
+// 2^48 and the reader must reconstruct deltas, which Counters does.
+const CounterWidth = 48
+
+// Counters wraps a machine with PMU read-out logic. Only the events of
+// the currently programmed group are visible, mirroring the register
+// constraint of real hardware, and registers wrap at their bit width
+// exactly as physical PMCs do.
+type Counters struct {
+	m     *micro.Machine
+	group Group
+	mask  uint64
+	last  []uint64 // register views (masked) at the previous read
+}
+
+// Attach programs group onto the machine's PMU with the default
+// 48-bit registers.
+func Attach(m *micro.Machine, group Group) *Counters {
+	return AttachWidth(m, group, CounterWidth)
+}
+
+// AttachWidth programs group onto a PMU with width-bit counter
+// registers (1 <= width <= 63). Narrow widths are useful to study
+// overflow behaviour; deltas remain correct as long as no single
+// interval advances a counter by 2^width or more.
+func AttachWidth(m *micro.Machine, group Group, width uint) *Counters {
+	if width == 0 || width > 63 {
+		panic("perf: counter width out of range")
+	}
+	c := &Counters{m: m, group: group, mask: (uint64(1) << width) - 1}
+	c.last = c.registers()
+	return c
+}
+
+// registers returns the current masked register values for the group.
+func (c *Counters) registers() []uint64 {
+	block := c.m.Counters()
+	regs := make([]uint64, len(c.group.events))
+	for i, ev := range c.group.events {
+		regs[i] = block[ev] & c.mask
+	}
+	return regs
+}
+
+// ReadDelta returns the programmed events' deltas since the previous
+// read (or attach), reconstructing across at most one register wrap —
+// the same contract as an interrupt-less PMC reader.
+func (c *Counters) ReadDelta() []uint64 {
+	now := c.registers()
+	out := make([]uint64, len(now))
+	for i := range now {
+		out[i] = (now[i] - c.last[i]) & c.mask
+	}
+	c.last = now
+	return out
+}
+
+// SampleRun executes prog on m for the given number of fixed-cycle
+// intervals with group programmed, returning one Sample per interval.
+// This is the paper's per-batch collection: one full execution of the
+// application observed through 4 counter registers.
+func SampleRun(m *micro.Machine, prog Program, group Group, intervals int, cycleBudget uint64) []Sample {
+	if intervals <= 0 {
+		return nil
+	}
+	if cycleBudget == 0 {
+		cycleBudget = DefaultCycleBudget
+	}
+	ctr := Attach(m, group)
+	samples := make([]Sample, 0, intervals)
+	for i := 0; i < intervals; i++ {
+		p := prog.IntervalParams(i)
+		n := m.RunCycles(&p, cycleBudget)
+		samples = append(samples, Sample{Interval: i, Values: ctr.ReadDelta(), Instructions: n})
+	}
+	return samples
+}
+
+// SampleMultiplexed executes prog once while time-slicing all groups
+// onto the PMU within each interval, scaling each group's observed
+// counts by the inverse of its time share — the standard perf
+// multiplexing estimate, with its attendant error. Returned as one
+// value slice per interval covering every event of every group, in
+// batch order. Used by the multiplexing ablation (DESIGN.md §5).
+func SampleMultiplexed(m *micro.Machine, prog Program, groups []Group, intervals int, cycleBudget uint64) [][]float64 {
+	if intervals <= 0 || len(groups) == 0 {
+		return nil
+	}
+	if cycleBudget == 0 {
+		cycleBudget = DefaultCycleBudget
+	}
+	slice := cycleBudget / uint64(len(groups))
+	if slice == 0 {
+		slice = 1
+	}
+	out := make([][]float64, 0, intervals)
+	for i := 0; i < intervals; i++ {
+		p := prog.IntervalParams(i)
+		row := make([]float64, 0, len(groups)*NumCounters)
+		for _, g := range groups {
+			ctr := Attach(m, g)
+			m.RunCycles(&p, slice)
+			vals := ctr.ReadDelta()
+			scale := float64(len(groups)) // observed 1/len of the interval
+			for _, v := range vals {
+				row = append(row, float64(v)*scale)
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/micro"
+)
+
+type constProg struct{ p micro.StreamParams }
+
+func (c constProg) IntervalParams(int) micro.StreamParams { return c.p }
+
+func prog() constProg {
+	return constProg{p: micro.StreamParams{
+		LoadFrac: 0.25, StoreFrac: 0.1, BranchFrac: 0.15,
+		CodeBytes: 16 << 10, HotCodeBytes: 2 << 10, HotCodeFrac: 0.9,
+		DataBytes: 128 << 10, HotDataBytes: 8 << 10, HotDataFrac: 0.85,
+		StrideFrac: 0.5, TakenFrac: 0.6, BranchBias: 0.95,
+		RemoteFrac: 0.05, BaseIPC: 2, UopsPerInstr: 1.2,
+	}}
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	if _, err := NewGroup(); err == nil {
+		t.Error("empty group should fail")
+	}
+	if _, err := NewGroup(micro.EvInstructions, micro.EvCPUCycles, micro.EvBranchMisses,
+		micro.EvCacheMisses, micro.EvLLCLoads); err == nil {
+		t.Error("5-event group should exceed the 4 counter registers")
+	}
+	if _, err := NewGroup(micro.EvInstructions, micro.EvInstructions); err == nil {
+		t.Error("duplicate events should fail")
+	}
+	if _, err := NewGroup(micro.EventID(999)); err == nil {
+		t.Error("invalid event should fail")
+	}
+	g, err := NewGroup(micro.EvInstructions, micro.EvBranchMisses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 2 {
+		t.Errorf("Size() = %d, want 2", g.Size())
+	}
+}
+
+func TestBatchesCoverAllEvents(t *testing.T) {
+	groups, err := Batches(micro.AllEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 11 {
+		t.Fatalf("44 events should form 11 batches of 4 (paper), got %d", len(groups))
+	}
+	seen := map[micro.EventID]bool{}
+	for _, g := range groups {
+		if g.Size() > NumCounters {
+			t.Fatalf("batch exceeds %d registers", NumCounters)
+		}
+		for _, ev := range g.Events() {
+			if seen[ev] {
+				t.Fatalf("event %v scheduled twice", ev)
+			}
+			seen[ev] = true
+		}
+	}
+	if len(seen) != int(micro.NumEvents) {
+		t.Fatalf("batches cover %d events, want %d", len(seen), micro.NumEvents)
+	}
+
+	if _, err := Batches(nil); err == nil {
+		t.Error("empty event list should fail")
+	}
+}
+
+func TestSampleRunShapes(t *testing.T) {
+	g, _ := NewGroup(micro.EvInstructions, micro.EvBranchInstructions, micro.EvCPUCycles, micro.EvL1DcacheLoads)
+	m := micro.NewMachine(micro.FastConfig(), 1)
+	samples := SampleRun(m, prog(), g, 10, 5000)
+	if len(samples) != 10 {
+		t.Fatalf("got %d samples, want 10", len(samples))
+	}
+	for i, s := range samples {
+		if s.Interval != i {
+			t.Errorf("sample %d has interval %d", i, s.Interval)
+		}
+		if len(s.Values) != 4 {
+			t.Fatalf("sample has %d values, want 4", len(s.Values))
+		}
+		// cycles value (index 2) must meet the budget.
+		if s.Values[2] < 5000 {
+			t.Errorf("interval %d ran %d cycles, want >= 5000", i, s.Values[2])
+		}
+		if s.Instructions <= 0 {
+			t.Errorf("interval %d executed no instructions", i)
+		}
+	}
+}
+
+func TestSampleRunDeterminism(t *testing.T) {
+	g, _ := NewGroup(micro.EvInstructions, micro.EvBranchMisses)
+	m1 := micro.NewMachine(micro.FastConfig(), 7)
+	m2 := micro.NewMachine(micro.FastConfig(), 7)
+	s1 := SampleRun(m1, prog(), g, 5, 4000)
+	s2 := SampleRun(m2, prog(), g, 5, 4000)
+	for i := range s1 {
+		for j := range s1[i].Values {
+			if s1[i].Values[j] != s2[i].Values[j] {
+				t.Fatal("sampling is not deterministic")
+			}
+		}
+	}
+}
+
+func TestSampleRunEdgeCases(t *testing.T) {
+	g, _ := NewGroup(micro.EvInstructions)
+	m := micro.NewMachine(micro.FastConfig(), 1)
+	if s := SampleRun(m, prog(), g, 0, 1000); s != nil {
+		t.Error("zero intervals should return nil")
+	}
+	// Zero budget falls back to the default.
+	s := SampleRun(m, prog(), g, 1, 0)
+	if len(s) != 1 || s[0].Values[0] == 0 {
+		t.Error("default budget sampling failed")
+	}
+}
+
+func TestSampleMultiplexedApproximatesDedicated(t *testing.T) {
+	// Multiplexing 11 groups over one run should estimate per-event
+	// counts within a reasonable factor of a dedicated-batch run.
+	groups, _ := Batches(micro.AllEvents())
+
+	mDed := micro.NewMachine(micro.DefaultConfig(), 3)
+	gInstr, _ := NewGroup(micro.EvInstructions, micro.EvBranchInstructions, micro.EvMemLoads, micro.EvCPUCycles)
+	dedicated := SampleRun(mDed, prog(), gInstr, 8, 40000)
+
+	mMux := micro.NewMachine(micro.DefaultConfig(), 3)
+	mux := SampleMultiplexed(mMux, prog(), groups, 8, 40000)
+	if len(mux) != 8 {
+		t.Fatalf("got %d multiplexed intervals, want 8", len(mux))
+	}
+	if len(mux[0]) != int(micro.NumEvents) {
+		t.Fatalf("multiplexed row has %d values, want %d", len(mux[0]), micro.NumEvents)
+	}
+
+	// Compare mean instructions-per-interval: the multiplexed estimate
+	// scales a 1/11 observation window by 11, so it is noisy but should
+	// land within 40% of the dedicated measurement on average.
+	var dSum, mSum float64
+	for i := range dedicated {
+		dSum += float64(dedicated[i].Values[0])
+		mSum += mux[i][int(micro.EvInstructions)]
+	}
+	ratio := mSum / dSum
+	if ratio < 0.6 || ratio > 1.4 {
+		t.Errorf("multiplexed instruction estimate off by ratio %.2f", ratio)
+	}
+}
+
+func TestAttachReadDelta(t *testing.T) {
+	g, _ := NewGroup(micro.EvInstructions)
+	m := micro.NewMachine(micro.FastConfig(), 1)
+	p := prog().p
+	m.Run(&p, 1000)
+	ctr := Attach(m, g) // snapshot taken here
+	m.Run(&p, 500)
+	d1 := ctr.ReadDelta()
+	if d1[0] != 500 {
+		t.Errorf("first delta = %d, want 500", d1[0])
+	}
+	d2 := ctr.ReadDelta()
+	if d2[0] != 0 {
+		t.Errorf("second delta with no progress = %d, want 0", d2[0])
+	}
+}
+
+func TestCounterWrapReconstruction(t *testing.T) {
+	// A narrow 12-bit register wraps every 4096 counts; per-interval
+	// deltas must still be exact as long as each interval advances the
+	// counter by less than 2^12.
+	g, _ := NewGroup(micro.EvInstructions)
+	mWide := micro.NewMachine(micro.FastConfig(), 3)
+	mNarrow := micro.NewMachine(micro.FastConfig(), 3)
+	wide := Attach(mWide, g)
+	narrow := AttachWidth(mNarrow, g, 12)
+	p := prog().p
+	for i := 0; i < 10; i++ {
+		mWide.Run(&p, 3000) // 3000 < 4096: at most one wrap per interval
+		mNarrow.Run(&p, 3000)
+		dw := wide.ReadDelta()
+		dn := narrow.ReadDelta()
+		if dw[0] != dn[0] {
+			t.Fatalf("interval %d: narrow delta %d != wide delta %d", i, dn[0], dw[0])
+		}
+		if dw[0] != 3000 {
+			t.Fatalf("interval %d: delta %d, want 3000", i, dw[0])
+		}
+	}
+}
+
+func TestCounterWrapUndetectedOverflow(t *testing.T) {
+	// Advancing a counter by >= 2^width within one interval aliases:
+	// the PMU cannot distinguish it. Document the failure mode.
+	g, _ := NewGroup(micro.EvInstructions)
+	m := micro.NewMachine(micro.FastConfig(), 3)
+	ctr := AttachWidth(m, g, 8) // wraps every 256
+	p := prog().p
+	m.Run(&p, 1000) // ~4 wraps within one read
+	d := ctr.ReadDelta()
+	if d[0] == 1000 {
+		t.Fatal("an 8-bit register cannot represent a 1000-count delta")
+	}
+	if d[0] != 1000%256 {
+		t.Fatalf("aliased delta = %d, want %d", d[0], 1000%256)
+	}
+}
+
+func TestAttachWidthValidation(t *testing.T) {
+	g, _ := NewGroup(micro.EvInstructions)
+	m := micro.NewMachine(micro.FastConfig(), 1)
+	for _, w := range []uint{0, 64, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("width %d should panic", w)
+				}
+			}()
+			AttachWidth(m, g, w)
+		}()
+	}
+}

@@ -1,0 +1,79 @@
+package workload
+
+// Evasion modelling: a mimicry attacker reshapes a malware payload's
+// micro-architectural profile toward benign behaviour (padding with
+// benign-like computation, throttling probe loops) at the cost of
+// efficiency. Blend interpolates a malware family's behavioural ranges
+// toward a benign cover family; EvasiveSuite builds a corpus of such
+// families at a given evasion strength. These families are NOT part of
+// the default training corpus — they exist to measure how detection
+// degrades under evasion, the robustness question the paper's
+// conclusion raises for future architectures.
+
+// lerp interpolates a range field: alpha=0 keeps m, alpha=1 becomes b
+// (endpoints are exact, not subject to rounding).
+func lerp(m, b Range, alpha float64) Range {
+	if alpha <= 0 {
+		return m
+	}
+	if alpha >= 1 {
+		return b
+	}
+	return Range{
+		Lo: m.Lo + (b.Lo-m.Lo)*alpha,
+		Hi: m.Hi + (b.Hi-m.Hi)*alpha,
+	}
+}
+
+// Blend returns a new malware family whose behaviour ranges are moved
+// alpha of the way toward the cover family's (0 = unchanged malware,
+// 1 = indistinguishable from the cover). The class stays Malware — the
+// payload still acts; it just hides.
+func Blend(mal, cover Family, alpha float64) Family {
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	out := mal
+	out.Name = mal.Name + "-evasive"
+	out.About = mal.About + " (mimicking " + cover.Name + ")"
+	out.Load = lerp(mal.Load, cover.Load, alpha)
+	out.Store = lerp(mal.Store, cover.Store, alpha)
+	out.Branch = lerp(mal.Branch, cover.Branch, alpha)
+	out.CodeKB = lerp(mal.CodeKB, cover.CodeKB, alpha)
+	out.HotCodeKB = lerp(mal.HotCodeKB, cover.HotCodeKB, alpha)
+	out.HotCodeFrac = lerp(mal.HotCodeFrac, cover.HotCodeFrac, alpha)
+	out.DataKB = lerp(mal.DataKB, cover.DataKB, alpha)
+	out.HotDataKB = lerp(mal.HotDataKB, cover.HotDataKB, alpha)
+	out.HotDataFrac = lerp(mal.HotDataFrac, cover.HotDataFrac, alpha)
+	out.Stride = lerp(mal.Stride, cover.Stride, alpha)
+	out.TakenFrac = lerp(mal.TakenFrac, cover.TakenFrac, alpha)
+	out.BranchBias = lerp(mal.BranchBias, cover.BranchBias, alpha)
+	out.RemoteFrac = lerp(mal.RemoteFrac, cover.RemoteFrac, alpha)
+	out.BaseIPC = lerp(mal.BaseIPC, cover.BaseIPC, alpha)
+	out.UopsPerInstr = lerp(mal.UopsPerInstr, cover.UopsPerInstr, alpha)
+	return out
+}
+
+// EvasiveSuite instantiates every malware family blended alpha of the
+// way toward a representative benign cover (sysutil — the closest
+// benign behaviour), membersPerFamily members each.
+func EvasiveSuite(alpha float64, membersPerFamily int, seed uint64) []App {
+	cover, _ := FamilyByName("sysutil")
+	if membersPerFamily <= 0 {
+		membersPerFamily = 3
+	}
+	var apps []App
+	for _, f := range Families() {
+		if f.Class != Malware {
+			continue
+		}
+		ev := Blend(f, cover, alpha)
+		for i := 0; i < membersPerFamily; i++ {
+			apps = append(apps, ev.Instantiate(i, seed))
+		}
+	}
+	return apps
+}

@@ -1,0 +1,161 @@
+package workload
+
+// Families returns the behavioural family library. Benign families
+// mirror the paper's corpus (MiBench kernels and streaming codecs,
+// Linux system utilities, a browser, a text editor, a word processor,
+// a compressor); malware families mirror the four malware types the
+// paper collects from VirusTotal (Linux ELFs, python, perl and bash
+// scripts), modelled by their dominant micro-architectural signatures:
+//
+//   - elf-spinprobe: resident ELF implants that poll and probe in tight,
+//     branchy loops (C&C beaconing, keylogging hooks).
+//   - elf-scanner: ELF payloads sweeping large spans of memory/files
+//     (ransomware enumeration, credential scraping) — LLC/remote-node
+//     pressure with streaming access.
+//   - script-python / script-perl: interpreter dispatch loops — large
+//     cold code footprints, indirect low-bias branches, i-side TLB and
+//     cache pressure.
+//   - script-bash: process spawners — cold-start behaviour on both the
+//     instruction and data sides.
+//
+// The class-conditional ranges overlap deliberately: the paper's
+// detectors work on noisy 10 ms interval vectors, and the entire result
+// (weak few-HPC general classifiers, ensemble recovery) depends on the
+// classes not being trivially separable by any single feature.
+func Families() []Family {
+	return []Family{
+		// ---- Benign ----
+		{
+			Name: "mibench-kernel", Class: Benign,
+			About: "MiBench-style compute kernels (qsort, susan, dijkstra, patricia)",
+			Load:  Range{0.20, 0.28}, Store: Range{0.07, 0.12}, Branch: Range{0.08, 0.14},
+			CodeKB: Range{8, 32}, HotCodeKB: Range{1, 4}, HotCodeFrac: Range{0.88, 0.97},
+			DataKB: Range{64, 512}, HotDataKB: Range{8, 32}, HotDataFrac: Range{0.85, 0.95},
+			Stride: Range{0.35, 0.60}, TakenFrac: Range{0.55, 0.65}, BranchBias: Range{0.90, 0.97},
+			RemoteFrac: Range{0, 0.05}, BaseIPC: Range{1.9, 2.5}, UopsPerInstr: Range{1.1, 1.3},
+			PhasePeriod: Range{6, 12}, PhaseDepth: Range{0.08, 0.2}, JitterFrac: Range{0.05, 0.10},
+		},
+		{
+			Name: "mibench-stream", Class: Benign,
+			About: "MiBench streaming codecs (adpcm, crc32, fft, gsm)",
+			Load:  Range{0.24, 0.32}, Store: Range{0.10, 0.15}, Branch: Range{0.06, 0.10},
+			CodeKB: Range{8, 24}, HotCodeKB: Range{1, 3}, HotCodeFrac: Range{0.9, 0.98},
+			DataKB: Range{1024, 4096}, HotDataKB: Range{64, 256}, HotDataFrac: Range{0.5, 0.7},
+			Stride: Range{0.60, 0.85}, TakenFrac: Range{0.5, 0.6}, BranchBias: Range{0.92, 0.98},
+			RemoteFrac: Range{0, 0.08}, BaseIPC: Range{1.8, 2.4}, UopsPerInstr: Range{1.1, 1.3},
+			PhasePeriod: Range{8, 14}, PhaseDepth: Range{0.05, 0.15}, JitterFrac: Range{0.04, 0.08},
+		},
+		{
+			Name: "sysutil", Class: Benign,
+			About: "Linux system programs (ls, ps, grep, find)",
+			Load:  Range{0.20, 0.26}, Store: Range{0.09, 0.14}, Branch: Range{0.11, 0.16},
+			CodeKB: Range{32, 128}, HotCodeKB: Range{4, 16}, HotCodeFrac: Range{0.7, 0.85},
+			DataKB: Range{128, 512}, HotDataKB: Range{16, 64}, HotDataFrac: Range{0.7, 0.85},
+			Stride: Range{0.30, 0.55}, TakenFrac: Range{0.55, 0.68}, BranchBias: Range{0.89, 0.96},
+			RemoteFrac: Range{0, 0.08}, BaseIPC: Range{1.7, 2.2}, UopsPerInstr: Range{1.15, 1.35},
+			PhasePeriod: Range{4, 9}, PhaseDepth: Range{0.1, 0.25}, JitterFrac: Range{0.06, 0.11},
+		},
+		{
+			Name: "browser", Class: Benign,
+			About: "web browser rendering/scripting mix",
+			Load:  Range{0.22, 0.28}, Store: Range{0.11, 0.16}, Branch: Range{0.11, 0.15},
+			CodeKB: Range{256, 1024}, HotCodeKB: Range{16, 64}, HotCodeFrac: Range{0.6, 0.8},
+			DataKB: Range{2048, 8192}, HotDataKB: Range{128, 512}, HotDataFrac: Range{0.6, 0.8},
+			Stride: Range{0.30, 0.50}, TakenFrac: Range{0.55, 0.65}, BranchBias: Range{0.88, 0.95},
+			RemoteFrac: Range{0.05, 0.15}, BaseIPC: Range{1.6, 2.1}, UopsPerInstr: Range{1.2, 1.4},
+			PhasePeriod: Range{3, 8}, PhaseDepth: Range{0.15, 0.3}, JitterFrac: Range{0.07, 0.12},
+		},
+		{
+			Name: "editor", Class: Benign,
+			About: "text editor (vim/emacs-like) interactive behaviour",
+			Load:  Range{0.19, 0.25}, Store: Range{0.09, 0.13}, Branch: Range{0.10, 0.14},
+			CodeKB: Range{128, 512}, HotCodeKB: Range{8, 32}, HotCodeFrac: Range{0.72, 0.88},
+			DataKB: Range{512, 2048}, HotDataKB: Range{64, 256}, HotDataFrac: Range{0.75, 0.9},
+			Stride: Range{0.30, 0.55}, TakenFrac: Range{0.55, 0.65}, BranchBias: Range{0.89, 0.96},
+			RemoteFrac: Range{0, 0.08}, BaseIPC: Range{1.7, 2.2}, UopsPerInstr: Range{1.1, 1.3},
+			PhasePeriod: Range{5, 10}, PhaseDepth: Range{0.08, 0.2}, JitterFrac: Range{0.06, 0.11},
+		},
+		{
+			Name: "wordproc", Class: Benign,
+			About: "word processor document pipeline",
+			Load:  Range{0.21, 0.27}, Store: Range{0.10, 0.15}, Branch: Range{0.09, 0.13},
+			CodeKB: Range{256, 768}, HotCodeKB: Range{16, 48}, HotCodeFrac: Range{0.65, 0.82},
+			DataKB: Range{1024, 4096}, HotDataKB: Range{96, 384}, HotDataFrac: Range{0.68, 0.85},
+			Stride: Range{0.35, 0.60}, TakenFrac: Range{0.52, 0.64}, BranchBias: Range{0.88, 0.95},
+			RemoteFrac: Range{0.02, 0.1}, BaseIPC: Range{1.6, 2.1}, UopsPerInstr: Range{1.15, 1.35},
+			PhasePeriod: Range{5, 11}, PhaseDepth: Range{0.1, 0.22}, JitterFrac: Range{0.06, 0.11},
+		},
+		{
+			Name: "compress", Class: Benign,
+			About: "compression/decompression pipeline (gzip-like)",
+			Load:  Range{0.24, 0.30}, Store: Range{0.12, 0.18}, Branch: Range{0.07, 0.11},
+			CodeKB: Range{16, 48}, HotCodeKB: Range{2, 6}, HotCodeFrac: Range{0.88, 0.97},
+			DataKB: Range{1024, 4096}, HotDataKB: Range{32, 128}, HotDataFrac: Range{0.55, 0.75},
+			Stride: Range{0.50, 0.75}, TakenFrac: Range{0.5, 0.62}, BranchBias: Range{0.90, 0.97},
+			RemoteFrac: Range{0, 0.06}, BaseIPC: Range{1.8, 2.4}, UopsPerInstr: Range{1.1, 1.3},
+			PhasePeriod: Range{7, 13}, PhaseDepth: Range{0.06, 0.16}, JitterFrac: Range{0.04, 0.08},
+		},
+
+		// ---- Malware ----
+		{
+			Name: "elf-spinprobe", Class: Malware,
+			About: "resident ELF implant: tight polling/probing loops",
+			Load:  Range{0.17, 0.23}, Store: Range{0.05, 0.09}, Branch: Range{0.26, 0.34},
+			CodeKB: Range{4, 16}, HotCodeKB: Range{0.5, 2}, HotCodeFrac: Range{0.9, 0.97},
+			DataKB: Range{32, 128}, HotDataKB: Range{4, 16}, HotDataFrac: Range{0.82, 0.93},
+			Stride: Range{0.25, 0.45}, TakenFrac: Range{0.6, 0.75}, BranchBias: Range{0.80, 0.90},
+			RemoteFrac: Range{0, 0.06}, BaseIPC: Range{1.8, 2.4}, UopsPerInstr: Range{1.1, 1.3},
+			PhasePeriod: Range{4, 9}, PhaseDepth: Range{0.1, 0.25}, JitterFrac: Range{0.06, 0.12},
+		},
+		{
+			Name: "elf-scanner", Class: Malware,
+			About: "ELF payload sweeping memory/files (ransomware enumeration)",
+			Load:  Range{0.27, 0.34}, Store: Range{0.13, 0.19}, Branch: Range{0.21, 0.27},
+			CodeKB: Range{16, 64}, HotCodeKB: Range{2, 8}, HotCodeFrac: Range{0.8, 0.92},
+			DataKB: Range{2048, 8192}, HotDataKB: Range{2048, 8192}, HotDataFrac: Range{0.3, 0.5},
+			Stride: Range{0.55, 0.80}, TakenFrac: Range{0.55, 0.68}, BranchBias: Range{0.84, 0.92},
+			RemoteFrac: Range{0.1, 0.25}, BaseIPC: Range{1.5, 2.0}, UopsPerInstr: Range{1.15, 1.35},
+			PhasePeriod: Range{5, 10}, PhaseDepth: Range{0.12, 0.28}, JitterFrac: Range{0.07, 0.13},
+		},
+		{
+			Name: "script-python", Class: Malware,
+			About: "python script malware: interpreter dispatch, cold i-side",
+			Load:  Range{0.23, 0.29}, Store: Range{0.10, 0.14}, Branch: Range{0.24, 0.31},
+			CodeKB: Range{256, 1024}, HotCodeKB: Range{256, 1024}, HotCodeFrac: Range{0.6, 0.8},
+			DataKB: Range{1024, 4096}, HotDataKB: Range{128, 384}, HotDataFrac: Range{0.6, 0.75},
+			Stride: Range{0.25, 0.45}, TakenFrac: Range{0.55, 0.7}, BranchBias: Range{0.80, 0.89},
+			RemoteFrac: Range{0.03, 0.12}, BaseIPC: Range{1.5, 2.0}, UopsPerInstr: Range{1.25, 1.45},
+			PhasePeriod: Range{4, 9}, PhaseDepth: Range{0.12, 0.26}, JitterFrac: Range{0.07, 0.12},
+		},
+		{
+			Name: "script-perl", Class: Malware,
+			About: "perl script malware: regex-heavy interpreter loops",
+			Load:  Range{0.22, 0.28}, Store: Range{0.09, 0.13}, Branch: Range{0.23, 0.29},
+			CodeKB: Range{256, 1024}, HotCodeKB: Range{32, 96}, HotCodeFrac: Range{0.62, 0.8},
+			DataKB: Range{512, 2048}, HotDataKB: Range{64, 256}, HotDataFrac: Range{0.62, 0.78},
+			Stride: Range{0.25, 0.45}, TakenFrac: Range{0.56, 0.7}, BranchBias: Range{0.81, 0.90},
+			RemoteFrac: Range{0.02, 0.1}, BaseIPC: Range{1.5, 2.0}, UopsPerInstr: Range{1.2, 1.4},
+			PhasePeriod: Range{5, 10}, PhaseDepth: Range{0.1, 0.24}, JitterFrac: Range{0.06, 0.12},
+		},
+		{
+			Name: "script-bash", Class: Malware,
+			About: "bash script malware: process spawning, cold-start churn",
+			Load:  Range{0.20, 0.26}, Store: Range{0.11, 0.16}, Branch: Range{0.22, 0.28},
+			CodeKB: Range{64, 256}, HotCodeKB: Range{8, 32}, HotCodeFrac: Range{0.5, 0.68},
+			DataKB: Range{256, 1024}, HotDataKB: Range{32, 128}, HotDataFrac: Range{0.4, 0.6},
+			Stride: Range{0.25, 0.45}, TakenFrac: Range{0.55, 0.7}, BranchBias: Range{0.82, 0.90},
+			RemoteFrac: Range{0.02, 0.12}, BaseIPC: Range{1.5, 2.0}, UopsPerInstr: Range{1.2, 1.4},
+			PhasePeriod: Range{3, 7}, PhaseDepth: Range{0.15, 0.3}, JitterFrac: Range{0.07, 0.13},
+		},
+	}
+}
+
+// FamilyByName returns the named family.
+func FamilyByName(name string) (Family, bool) {
+	for _, f := range Families() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}

@@ -1,0 +1,264 @@
+// Package workload provides the application behaviour library that
+// stands in for the paper's corpus of more than 100 benign and malware
+// programs (MiBench, Linux system programs, browsers, editors, word
+// processors on the benign side; VirusTotal Linux ELF, python, perl and
+// bash malware on the other).
+//
+// Each App owns a family-specific base behaviour (instruction mix, code
+// and data footprints, branch predictability, NUMA spread) plus a phase
+// schedule and per-interval jitter. A Run binds an App to one execution:
+// the paper's methodology executes every application eleven times (11
+// batches x 4 counters) and destroys the container in between, so each
+// Run gets its own derived seed, giving realistic run-to-run variation
+// while the App-level phase structure stays aligned across runs.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/micro"
+)
+
+// Class labels an application as benign or malware. It is the target
+// variable of the detectors.
+type Class int
+
+const (
+	// Benign marks ordinary applications.
+	Benign Class = iota
+	// Malware marks malicious applications.
+	Malware
+)
+
+// String returns "benign" or "malware".
+func (c Class) String() string {
+	if c == Malware {
+		return "malware"
+	}
+	return "benign"
+}
+
+// Range is a closed interval parameters are drawn from.
+type Range struct{ Lo, Hi float64 }
+
+// draw picks a uniform value in the range.
+func (r Range) draw(rng *micro.RNG) float64 {
+	if r.Hi <= r.Lo {
+		return r.Lo
+	}
+	return r.Lo + (r.Hi-r.Lo)*rng.Float64()
+}
+
+// Family describes a behavioural family of applications; individual
+// apps draw their base parameters from the family's ranges.
+type Family struct {
+	Name  string
+	Class Class
+	About string // one-line description of the behaviour modelled
+
+	Load, Store, Branch   Range // instruction mix fractions
+	CodeKB, HotCodeKB     Range // code footprints (KiB)
+	HotCodeFrac           Range
+	DataKB, HotDataKB     Range // data footprints (KiB)
+	HotDataFrac, Stride   Range
+	TakenFrac, BranchBias Range
+	RemoteFrac            Range
+	BaseIPC, UopsPerInstr Range
+	PhasePeriod           Range // intervals between phase switches
+	PhaseDepth            Range // relative parameter swing between phases
+	JitterFrac            Range // per-interval multiplicative noise scale
+}
+
+// App is one concrete application: a named draw from a family.
+type App struct {
+	Name   string
+	Family string
+	Class  Class
+	Seed   uint64
+
+	Base        micro.StreamParams
+	PhasePeriod int     // intervals per phase
+	PhaseDepth  float64 // fraction by which phase B perturbs phase A
+	JitterFrac  float64 // sigma of per-interval lognormal-ish jitter
+}
+
+// Instantiate draws one App from the family. The app index feeds the
+// seed so a family yields distinct but reproducible members.
+func (f *Family) Instantiate(index int, suiteSeed uint64) App {
+	rng := micro.NewRNG(suiteSeed ^ hash64(f.Name) ^ (uint64(index)+1)*0x9e3779b97f4a7c15)
+	base := micro.StreamParams{
+		LoadFrac:     f.Load.draw(rng),
+		StoreFrac:    f.Store.draw(rng),
+		BranchFrac:   f.Branch.draw(rng),
+		CodeBytes:    int(f.CodeKB.draw(rng) * 1024),
+		HotCodeBytes: int(f.HotCodeKB.draw(rng) * 1024),
+		HotCodeFrac:  f.HotCodeFrac.draw(rng),
+		DataBytes:    int(f.DataKB.draw(rng) * 1024),
+		HotDataBytes: int(f.HotDataKB.draw(rng) * 1024),
+		HotDataFrac:  f.HotDataFrac.draw(rng),
+		StrideFrac:   f.Stride.draw(rng),
+		TakenFrac:    f.TakenFrac.draw(rng),
+		BranchBias:   f.BranchBias.draw(rng),
+		RemoteFrac:   f.RemoteFrac.draw(rng),
+		BaseIPC:      f.BaseIPC.draw(rng),
+		UopsPerInstr: f.UopsPerInstr.draw(rng),
+	}
+	if base.HotCodeBytes > base.CodeBytes {
+		base.HotCodeBytes = base.CodeBytes
+	}
+	if base.HotDataBytes > base.DataBytes {
+		base.HotDataBytes = base.DataBytes
+	}
+	base.Validate()
+	return App{
+		Name:        fmt.Sprintf("%s-%02d", f.Name, index),
+		Family:      f.Name,
+		Class:       f.Class,
+		Seed:        rng.Uint64(),
+		Base:        base,
+		PhasePeriod: int(f.PhasePeriod.draw(rng)),
+		PhaseDepth:  f.PhaseDepth.draw(rng),
+		JitterFrac:  f.JitterFrac.draw(rng),
+	}
+}
+
+// Run binds an App to one execution. runIndex distinguishes the eleven
+// collection runs of the same application; the derived seed gives each
+// run independent jitter while the phase schedule (a function of the
+// App seed and interval index only) stays aligned across runs.
+type Run struct {
+	app     *App
+	runSeed uint64
+	jitter  *micro.RNG
+}
+
+// NewRun creates the runIndex-th execution of the application.
+func (a *App) NewRun(runIndex int) *Run {
+	seed := a.Seed ^ (uint64(runIndex)+0x51)*0xd1b54a32d192ed03
+	return &Run{
+		app:     a,
+		runSeed: seed,
+		jitter:  micro.NewRNG(seed ^ 0xabcdef),
+	}
+}
+
+// MachineSeed returns the seed the simulated machine should use for
+// this run, so different runs traverse different micro-architectural
+// paths just as real re-executions do.
+func (r *Run) MachineSeed() uint64 { return r.runSeed }
+
+// App returns the application this run executes.
+func (r *Run) App() *App { return r.app }
+
+// IntervalParams produces the stream parameters for sampling interval i
+// of this run: the app base, perturbed by the current phase, with
+// per-interval jitter applied.
+func (r *Run) IntervalParams(i int) micro.StreamParams {
+	p := r.app.Base
+
+	// Phase schedule: alternating A/B phases keyed off the app seed so
+	// all runs of the same app see the same schedule.
+	if r.app.PhasePeriod > 0 && r.app.PhaseDepth > 0 {
+		phase := (i / r.app.PhasePeriod) % 2
+		if phase == 1 {
+			d := r.app.PhaseDepth
+			p.LoadFrac = clamp01(p.LoadFrac * (1 + d))
+			p.StoreFrac = clamp01(p.StoreFrac * (1 - d/2))
+			p.HotDataFrac = clamp01(p.HotDataFrac * (1 - d/2))
+			p.StrideFrac = clamp01(p.StrideFrac * (1 + d/2))
+		}
+	}
+
+	// Per-interval jitter: multiplicative wobble on the behavioural
+	// fractions, modelling OS noise, input dependence and measurement
+	// skid.
+	j := r.app.JitterFrac
+	if j > 0 {
+		p.LoadFrac = clamp01(p.LoadFrac * wobble(r.jitter, j))
+		p.StoreFrac = clamp01(p.StoreFrac * wobble(r.jitter, j))
+		p.BranchFrac = clamp01(p.BranchFrac * wobble(r.jitter, j))
+		p.HotDataFrac = clamp01(p.HotDataFrac * wobble(r.jitter, j))
+		p.StrideFrac = clamp01(p.StrideFrac * wobble(r.jitter, j))
+		p.BranchBias = clampRange(p.BranchBias*wobble(r.jitter, j/2), 0.5, 1.0)
+		p.RemoteFrac = clamp01(p.RemoteFrac * wobble(r.jitter, j))
+	}
+
+	// Renormalise the mix if jitter pushed the fractions above 1.
+	if s := p.LoadFrac + p.StoreFrac + p.BranchFrac; s > 0.95 {
+		p.LoadFrac *= 0.95 / s
+		p.StoreFrac *= 0.95 / s
+		p.BranchFrac *= 0.95 / s
+	}
+	return p
+}
+
+func wobble(rng *micro.RNG, sigma float64) float64 {
+	w := 1 + sigma*rng.Norm()
+	if w < 0.2 {
+		w = 0.2
+	}
+	return w
+}
+
+func clamp01(v float64) float64 { return clampRange(v, 0, 1) }
+
+func clampRange(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func hash64(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// SuiteConfig sizes the generated corpus.
+type SuiteConfig struct {
+	Seed          uint64
+	AppsPerFamily int // members drawn from each family
+}
+
+// DefaultSuite mirrors the paper's ">100 applications" corpus: 7 benign
+// families and 5 malware families, 10 members each (120 apps).
+func DefaultSuite() SuiteConfig { return SuiteConfig{Seed: 0xDAC2018, AppsPerFamily: 10} }
+
+// SmallSuite is a reduced corpus for unit tests.
+func SmallSuite() SuiteConfig { return SuiteConfig{Seed: 0xDAC2018, AppsPerFamily: 3} }
+
+// Suite instantiates the full corpus: every family in Families(), with
+// cfg.AppsPerFamily members each, sorted by name for determinism.
+func Suite(cfg SuiteConfig) []App {
+	if cfg.AppsPerFamily <= 0 {
+		cfg.AppsPerFamily = 10
+	}
+	var apps []App
+	for _, f := range Families() {
+		for i := 0; i < cfg.AppsPerFamily; i++ {
+			apps = append(apps, f.Instantiate(i, cfg.Seed))
+		}
+	}
+	sort.Slice(apps, func(i, j int) bool { return apps[i].Name < apps[j].Name })
+	return apps
+}
+
+// Split partitions apps by class.
+func Split(apps []App) (benign, malware []App) {
+	for _, a := range apps {
+		if a.Class == Malware {
+			malware = append(malware, a)
+		} else {
+			benign = append(benign, a)
+		}
+	}
+	return benign, malware
+}

@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/micro"
+)
+
+func TestSuiteComposition(t *testing.T) {
+	apps := Suite(DefaultSuite())
+	if len(apps) < 100 {
+		t.Fatalf("suite has %d apps, paper uses >100", len(apps))
+	}
+	benign, malware := Split(apps)
+	if len(benign) == 0 || len(malware) == 0 {
+		t.Fatal("suite must contain both classes")
+	}
+	ratio := float64(len(benign)) / float64(len(malware))
+	if ratio < 1.0 || ratio > 2.0 {
+		t.Errorf("benign/malware ratio = %.2f, want between 1 and 2", ratio)
+	}
+	// Names must be unique.
+	seen := map[string]bool{}
+	for _, a := range apps {
+		if seen[a.Name] {
+			t.Fatalf("duplicate app name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+func TestSuiteDeterminism(t *testing.T) {
+	a := Suite(DefaultSuite())
+	b := Suite(DefaultSuite())
+	if len(a) != len(b) {
+		t.Fatal("suite size differs between calls")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Seed != b[i].Seed || a[i].Base != b[i].Base {
+			t.Fatalf("app %d differs between identical suite builds", i)
+		}
+	}
+	c := Suite(SuiteConfig{Seed: 99, AppsPerFamily: 10})
+	diff := false
+	for i := range a {
+		if a[i].Base != c[i].Base {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different suite seeds should produce different parameter draws")
+	}
+}
+
+func TestInstantiateValidParams(t *testing.T) {
+	for _, f := range Families() {
+		for i := 0; i < 20; i++ {
+			app := f.Instantiate(i, 0xDAC2018)
+			app.Base.Validate() // panics on invalid
+			if app.Class != f.Class {
+				t.Errorf("%s: class mismatch", app.Name)
+			}
+			if !strings.HasPrefix(app.Name, f.Name) {
+				t.Errorf("app name %q missing family prefix %q", app.Name, f.Name)
+			}
+			if app.PhasePeriod <= 0 {
+				t.Errorf("%s: non-positive phase period", app.Name)
+			}
+		}
+	}
+}
+
+func TestFamilyMembersDiffer(t *testing.T) {
+	f := Families()[0]
+	a := f.Instantiate(0, 1)
+	b := f.Instantiate(1, 1)
+	if a.Base == b.Base {
+		t.Error("two members of a family should draw different base parameters")
+	}
+}
+
+func TestRunIntervalParamsValid(t *testing.T) {
+	apps := Suite(SmallSuite())
+	for _, app := range apps {
+		run := app.NewRun(0)
+		for i := 0; i < 30; i++ {
+			p := run.IntervalParams(i)
+			p.Validate() // must never emit invalid params, even with jitter
+		}
+	}
+}
+
+func TestRunToRunVariation(t *testing.T) {
+	app := Families()[0].Instantiate(0, 7)
+	r0 := app.NewRun(0)
+	r1 := app.NewRun(1)
+	if r0.MachineSeed() == r1.MachineSeed() {
+		t.Error("distinct runs must have distinct machine seeds")
+	}
+	same := true
+	for i := 0; i < 5; i++ {
+		if r0.IntervalParams(i) != r1.IntervalParams(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("distinct runs should jitter differently")
+	}
+	// But re-creating the same run index reproduces exactly.
+	ra := app.NewRun(3)
+	rb := app.NewRun(3)
+	for i := 0; i < 5; i++ {
+		if ra.IntervalParams(i) != rb.IntervalParams(i) {
+			t.Fatal("same run index must reproduce identical parameters")
+		}
+	}
+}
+
+func TestPhaseScheduleAlternates(t *testing.T) {
+	app := App{
+		Name: "t", Class: Benign, Seed: 1,
+		Base: micro.StreamParams{
+			LoadFrac: 0.2, StoreFrac: 0.1, BranchFrac: 0.1,
+			CodeBytes: 4096, HotCodeBytes: 1024, HotCodeFrac: 0.9,
+			DataBytes: 65536, HotDataBytes: 8192, HotDataFrac: 0.8,
+			StrideFrac: 0.5, TakenFrac: 0.6, BranchBias: 0.95,
+			BaseIPC: 2, UopsPerInstr: 1.2,
+		},
+		PhasePeriod: 5, PhaseDepth: 0.3, JitterFrac: 0, // no jitter: pure phases
+	}
+	r := app.NewRun(0)
+	p0 := r.IntervalParams(0) // phase A
+	p5 := r.IntervalParams(5) // phase B
+	if p0.LoadFrac == p5.LoadFrac {
+		t.Error("phase B should perturb the load fraction")
+	}
+	p10 := r.IntervalParams(10) // back to phase A
+	if p10.LoadFrac != p0.LoadFrac {
+		t.Error("phase schedule should return to phase A")
+	}
+}
+
+func TestClassBranchSeparation(t *testing.T) {
+	// The corpus-level design premise: malware has a systematically
+	// higher branch fraction than benign code (probing loops,
+	// interpreter dispatch), though with overlap. Verify the means are
+	// separated at the suite level.
+	apps := Suite(DefaultSuite())
+	var bSum, mSum float64
+	var bN, mN int
+	for _, a := range apps {
+		if a.Class == Malware {
+			mSum += a.Base.BranchFrac
+			mN++
+		} else {
+			bSum += a.Base.BranchFrac
+			bN++
+		}
+	}
+	bMean, mMean := bSum/float64(bN), mSum/float64(mN)
+	if mMean < bMean+0.04 {
+		t.Errorf("malware branch mean %.3f not clearly above benign %.3f", mMean, bMean)
+	}
+}
+
+func TestFamilyByName(t *testing.T) {
+	f, ok := FamilyByName("elf-scanner")
+	if !ok || f.Class != Malware {
+		t.Fatal("elf-scanner should resolve to a malware family")
+	}
+	if _, ok := FamilyByName("nope"); ok {
+		t.Fatal("unknown family should not resolve")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Benign.String() != "benign" || Malware.String() != "malware" {
+		t.Error("class names wrong")
+	}
+}
+
+func TestBlendInterpolates(t *testing.T) {
+	mal, _ := FamilyByName("elf-spinprobe")
+	cover, _ := FamilyByName("sysutil")
+
+	unchanged := Blend(mal, cover, 0)
+	if unchanged.Branch != mal.Branch || unchanged.BranchBias != mal.BranchBias {
+		t.Error("alpha=0 should keep the malware profile")
+	}
+	full := Blend(mal, cover, 1)
+	if full.Branch != cover.Branch {
+		t.Error("alpha=1 should adopt the cover profile")
+	}
+	half := Blend(mal, cover, 0.5)
+	wantLo := (mal.Branch.Lo + cover.Branch.Lo) / 2
+	if half.Branch.Lo < wantLo-1e-9 || half.Branch.Lo > wantLo+1e-9 {
+		t.Errorf("alpha=0.5 branch lo = %v, want %v", half.Branch.Lo, wantLo)
+	}
+	if full.Class != Malware {
+		t.Error("blended family must stay malware")
+	}
+	// Clamping.
+	if Blend(mal, cover, -1).Branch != mal.Branch {
+		t.Error("alpha < 0 should clamp to 0")
+	}
+	if Blend(mal, cover, 2).Branch != cover.Branch {
+		t.Error("alpha > 1 should clamp to 1")
+	}
+}
+
+func TestEvasiveSuite(t *testing.T) {
+	apps := EvasiveSuite(0.5, 2, 99)
+	if len(apps) != 10 { // 5 malware families x 2 members
+		t.Fatalf("evasive suite has %d apps, want 10", len(apps))
+	}
+	for _, a := range apps {
+		if a.Class != Malware {
+			t.Fatalf("%s: evasive app must be malware", a.Name)
+		}
+		if !strings.Contains(a.Name, "evasive") {
+			t.Errorf("%s: name should mark evasion", a.Name)
+		}
+		a.Base.Validate()
+	}
+	// Evasive apps at alpha=1 should have benign-like branch fractions.
+	full := EvasiveSuite(1, 1, 99)
+	cover, _ := FamilyByName("sysutil")
+	for _, a := range full {
+		if a.Base.BranchFrac < cover.Branch.Lo-1e-9 || a.Base.BranchFrac > cover.Branch.Hi+1e-9 {
+			t.Errorf("%s: branch fraction %v outside cover range at alpha=1", a.Name, a.Base.BranchFrac)
+		}
+	}
+}
