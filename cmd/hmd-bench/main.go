@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	hmd-bench [-exp all|table1|figure3|table2|figure4|figure5|table3|claims] [-apps N] [-intervals N] [-seed N]
+//	hmd-bench [-exp all|table1|figure3|table2|figure4|figure5|table3|robustness|claims] [-apps N] [-intervals N] [-seed N]
 //
 // With -exp all (the default) the tool prints every artefact in paper
 // order followed by the headline-claim checklist. Expect a few minutes
@@ -21,11 +21,12 @@ import (
 
 	"repro/internal/collect"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/mlearn/zoo"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, figure3, table2, figure4, figure5, table3, extensions, claims")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, figure3, table2, figure4, figure5, table3, extensions, robustness, claims")
 	apps := flag.Int("apps", 10, "applications per behaviour family (10 = paper scale, 120 apps)")
 	intervals := flag.Int("intervals", 30, "sampling intervals per run")
 	seed := flag.Uint64("seed", 1, "split/training seed")
@@ -49,7 +50,7 @@ func main() {
 			return
 		}
 		if err := fn(ctx); err != nil {
-			fatal(fmt.Errorf("%s: %v", name, err))
+			fatal(fmt.Errorf("experiment %s: %w", name, err))
 		}
 	}
 
@@ -60,6 +61,7 @@ func main() {
 	run("figure5", figure5)
 	run("table3", table3)
 	run("extensions", extensions)
+	run("robustness", robustness)
 	run("claims", claims)
 }
 
@@ -147,6 +149,25 @@ func extensions(ctx *experiments.Context) error {
 	}
 	fmt.Print(experiments.RenderEvasion("2HPC-Boosted-REPTree", pts))
 	fmt.Println()
+	return nil
+}
+
+// robustness prints the fault-rate sweep: accuracy/AUC of general vs
+// boosted vs bagged detectors as injected HPC faults intensify,
+// extending the paper's reduced-HPC comparison to degraded inputs.
+func robustness(ctx *experiments.Context) error {
+	rates := []float64{0, 0.1, 0.2, 0.3, 0.5}
+	for _, cfg := range []struct {
+		name string
+		hpcs int
+	}{{"REPTree", 2}, {"JRip", 4}} {
+		curve, err := ctx.RobustnessSweep(cfg.name, cfg.hpcs, rates, faults.Plan{Seed: 0xF417})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderRobustness(curve))
+		fmt.Println()
+	}
 	return nil
 }
 

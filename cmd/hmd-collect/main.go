@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/collect"
+	"repro/internal/faults"
 )
 
 func main() {
@@ -24,17 +25,26 @@ func main() {
 	apps := flag.Int("apps", 10, "applications per behaviour family (12 families)")
 	intervals := flag.Int("intervals", 30, "sampling intervals per run")
 	seed := flag.Uint64("seed", 0xDAC2018, "suite generation seed")
+	faultRate := flag.Float64("faults", 0, "inject infrastructure faults at this rate (0 = clean pass)")
+	faultKinds := flag.String("fault-kinds", "all", "comma-separated fault kinds (drop,stuck,zero,noise,saturate,jitter,crash)")
 	flag.Parse()
 
 	cfg := collect.Default()
 	cfg.Suite.AppsPerFamily = *apps
 	cfg.Suite.Seed = *seed
 	cfg.Intervals = *intervals
+	if *faultRate > 0 {
+		kinds, err := faults.ParseKinds(*faultKinds)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Faults = &faults.Plan{Seed: *seed, Rate: *faultRate, Kinds: kinds}
+	}
 
 	start := time.Now()
 	res, err := collect.Collect(cfg)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("collecting corpus (%d apps/family, %d intervals): %w", *apps, *intervals, err))
 	}
 	counts := res.Data.ClassCounts()
 	fmt.Fprintf(os.Stderr,
@@ -42,10 +52,13 @@ func main() {
 			"  %d runs per app (4-register PMU), %d containers created+destroyed\n",
 		res.Data.NumRows(), counts[0], counts[1], res.Data.NumAttrs(),
 		time.Since(start).Round(time.Millisecond), res.RunsPerApp, res.Containers)
+	if res.Report.Degraded() {
+		fmt.Fprintf(os.Stderr, "  %s\n", res.Report)
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("creating %s: %w", *out, err))
 	}
 	defer f.Close()
 	switch *format {
@@ -57,7 +70,7 @@ func main() {
 		err = fmt.Errorf("unknown format %q", *format)
 	}
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("writing %s: %w", *out, err))
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 }

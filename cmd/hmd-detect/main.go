@@ -4,9 +4,18 @@
 // suite seed than training), printing the per-interval verdict stream
 // and a summary of flags per application.
 //
+// With -faults > 0 the demo runs degraded: a seeded fault plan injects
+// dropped samples, stuck/zeroed counters, multiplexing noise,
+// saturation, interval jitter and run crashes into the monitoring
+// stream, and detection switches to a graceful-degradation chain
+// (4-HPC → 2-HPC → majority-prior) that steps down when counters go
+// bad. Timeline legend: '!' malware verdict, '.' benign verdict, '_'
+// verdict over a lost sample, '#' run crashed.
+//
 // Usage:
 //
 //	hmd-detect [-classifier REPTree] [-variant boosted] [-hpcs 2] [-window 5] [-apps 6]
+//	           [-faults 0.2] [-fault-kinds drop,stuck,crash]
 package main
 
 import (
@@ -17,8 +26,10 @@ import (
 
 	"repro/internal/collect"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/micro"
 	"repro/internal/mlearn/zoo"
+	"repro/internal/perf"
 	"repro/internal/workload"
 )
 
@@ -30,6 +41,8 @@ func main() {
 	nApps := flag.Int("apps", 6, "unseen applications to monitor")
 	intervals := flag.Int("intervals", 24, "sampling intervals per monitored app")
 	seed := flag.Uint64("seed", 1, "training seed")
+	faultRate := flag.Float64("faults", 0, "fault-injection rate (0 = clean monitoring)")
+	faultKinds := flag.String("fault-kinds", "all", "comma-separated fault kinds: drop,stuck,zero,noise,saturate,jitter,crash (or all)")
 	flag.Parse()
 
 	variant := zoo.General
@@ -43,26 +56,11 @@ func main() {
 	fmt.Fprintln(os.Stderr, "collecting training corpus and fitting the detector...")
 	res, err := collect.Collect(collect.Default())
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("collecting training corpus: %w", err))
 	}
 	b, err := core.NewBuilder(res.Data, 0.7, *seed)
 	if err != nil {
-		fatal(err)
-	}
-	det, err := b.Build(*name, variant, *hpcs)
-	if err != nil {
-		fatal(err)
-	}
-	ev, err := b.Evaluate(det)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("detector %s: accuracy %.1f%%, AUC %.3f (held-out apps)\n",
-		det.Name(), ev.Accuracy*100, ev.AUC)
-
-	mon, err := core.NewMonitor(det, *window, 0.5)
-	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("splitting corpus: %w", err))
 	}
 
 	// Unseen applications: a different suite seed than the training
@@ -78,6 +76,32 @@ func main() {
 		}
 	}
 
+	if *faultRate > 0 {
+		kinds, err := faults.ParseKinds(*faultKinds)
+		if err != nil {
+			fatal(err)
+		}
+		plan := faults.Plan{Seed: *seed, Rate: *faultRate, Kinds: kinds}
+		monitorDegraded(b, *name, variant, *hpcs, *window, *intervals, plan, schedule)
+		return
+	}
+
+	det, err := b.Build(*name, variant, *hpcs)
+	if err != nil {
+		fatal(fmt.Errorf("training %s: %w", *name, err))
+	}
+	ev, err := b.Evaluate(det)
+	if err != nil {
+		fatal(fmt.Errorf("evaluating %s: %w", det.Name(), err))
+	}
+	fmt.Printf("detector %s: accuracy %.1f%%, AUC %.3f (held-out apps)\n",
+		det.Name(), ev.Accuracy*100, ev.AUC)
+
+	mon, err := core.NewMonitor(det, *window, 0.5)
+	if err != nil {
+		fatal(err)
+	}
+
 	fmt.Printf("\nmonitoring %d unseen applications (%d x 10ms intervals each):\n\n", len(schedule), *intervals)
 	correct := 0
 	for _, app := range schedule {
@@ -86,10 +110,10 @@ func main() {
 		mon.Reset()
 		verdicts, err := mon.Watch(mach, run, *intervals, 0)
 		if err != nil {
-			fatal(err)
+			fatal(fmt.Errorf("monitoring %s: %w", app.Name, err))
 		}
-		flags := 0
 		var timeline strings.Builder
+		flags := 0
 		for _, v := range verdicts {
 			if v.Malware {
 				flags++
@@ -98,19 +122,121 @@ func main() {
 				timeline.WriteByte('.')
 			}
 		}
-		flagged := flags > len(verdicts)/3
-		verdict := "BENIGN "
-		if flagged {
-			verdict = "MALWARE"
-		}
-		truth := app.Class.String()
-		hit := (flagged && app.Class == workload.Malware) || (!flagged && app.Class == workload.Benign)
-		if hit {
+		if scoreApp(app, flags, len(verdicts), timeline.String(), "") {
 			correct++
 		}
-		fmt.Printf("  %-22s truth=%-8s verdict=%s  [%s]\n", app.Name, truth, verdict, timeline.String())
 	}
 	fmt.Printf("\n%d/%d applications classified correctly at run time\n", correct, len(schedule))
+}
+
+// monitorDegraded runs the fault-injected demo: sampling goes through
+// the injector and verdicts come from a FallbackChain that steps down
+// as counters die.
+func monitorDegraded(b *core.Builder, name string, variant zoo.Variant, hpcs, window, intervals int, plan faults.Plan, schedule []workload.App) {
+	// Chain stages: the requested budget first, stepping down to 2
+	// HPCs, with the training prior as the terminal stage.
+	counts := []int{hpcs}
+	if hpcs > 2 {
+		counts = append(counts, 2)
+	}
+	chain, err := b.BuildChain(name, variant, counts, core.ChainConfig{Window: window})
+	if err != nil {
+		fatal(fmt.Errorf("building fallback chain: %w", err))
+	}
+	group, err := perf.NewGroup(chain.Events()...)
+	if err != nil {
+		fatal(err)
+	}
+	stageNames := make([]string, 0, chain.Stages()+1)
+	for i := 0; i <= chain.Stages(); i++ {
+		stageNames = append(stageNames, chain.StageName(i))
+	}
+	fmt.Printf("degraded-mode monitoring: fault rate %.2f, chain %s\n",
+		plan.Rate, strings.Join(stageNames, " -> "))
+	fmt.Printf("\nmonitoring %d unseen applications (%d x 10ms intervals each):\n\n", len(schedule), intervals)
+
+	correct := 0
+	for _, app := range schedule {
+		inj := plan.ForRun(app.Name)
+		chain.Reset()
+
+		var timeline strings.Builder
+		flags, scored := 0, 0
+		if inj.BootFails() {
+			timeline.WriteByte('#')
+		} else {
+			run := app.NewRun(0)
+			mach := micro.NewMachine(micro.DefaultConfig(), run.MachineSeed())
+			samples, serr := perf.SampleRunInjected(mach, run, group, intervals, 0, inj)
+			byInterval := map[int][]uint64{}
+			last := -1
+			for _, s := range samples {
+				byInterval[s.Interval] = s.Values
+				if s.Interval > last {
+					last = s.Interval
+				}
+			}
+			end := intervals
+			if serr != nil {
+				end = last + 1 // the run died after its last surviving sample
+			}
+			for i := 0; i < end; i++ {
+				var v core.Verdict
+				if vals, ok := byInterval[i]; ok {
+					v, err = chain.Observe(vals)
+					if err != nil {
+						fatal(fmt.Errorf("monitoring %s interval %d: %w", app.Name, i, err))
+					}
+					if v.Malware {
+						timeline.WriteByte('!')
+					} else {
+						timeline.WriteByte('.')
+					}
+				} else {
+					v = chain.ObserveLost()
+					timeline.WriteByte('_')
+				}
+				scored++
+				if v.Malware {
+					flags++
+				}
+			}
+			if serr != nil {
+				timeline.WriteByte('#')
+			}
+		}
+
+		note := ""
+		if trs := chain.Transitions(); len(trs) > 0 {
+			parts := make([]string, len(trs))
+			for i, tr := range trs {
+				parts[i] = fmt.Sprintf("%s->%s@%d", chain.StageName(tr.From), chain.StageName(tr.To), tr.Interval)
+			}
+			note = " degraded: " + strings.Join(parts, ", ")
+		}
+		if scoreApp(app, flags, scored, timeline.String(), note) {
+			correct++
+		}
+	}
+	fmt.Printf("\n%d/%d applications classified correctly under fault injection\n", correct, len(schedule))
+}
+
+// scoreApp prints one application's verdict line and reports whether
+// the windowed decision matched the ground truth. Apps whose run
+// produced no verdicts at all (boot crash) count as misses.
+func scoreApp(app workload.App, flags, total int, timeline, note string) bool {
+	flagged := total > 0 && flags > total/3
+	verdict := "BENIGN "
+	if flagged {
+		verdict = "MALWARE"
+	}
+	if total == 0 {
+		verdict = "NO DATA"
+	}
+	hit := total > 0 &&
+		((flagged && app.Class == workload.Malware) || (!flagged && app.Class == workload.Benign))
+	fmt.Printf("  %-22s truth=%-8s verdict=%s  [%s]%s\n", app.Name, app.Class, verdict, timeline, note)
+	return hit
 }
 
 func fatal(err error) {

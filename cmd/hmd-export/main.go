@@ -43,19 +43,19 @@ func main() {
 
 	data, err := loadData(*dataPath)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("loading dataset: %w", err))
 	}
 	b, err := core.NewBuilder(data, 0.7, *seed)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("splitting dataset: %w", err))
 	}
 	det, err := b.Build(*name, variant, *hpcs)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("training %s/%s with %d HPCs: %w", *name, variant, *hpcs, err))
 	}
 	res, err := b.Evaluate(det)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("evaluating %s: %w", det.Name(), err))
 	}
 	fmt.Printf("trained %s: accuracy %.1f%%, AUC %.3f\n", det.Name(), res.Accuracy*100, res.AUC)
 
@@ -63,20 +63,20 @@ func main() {
 	gobPath := *out + ".hmd"
 	f, err := os.Create(gobPath)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("creating %s: %w", gobPath, err))
 	}
 	if err := core.SaveDetector(f, det); err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("serializing %s to %s: %w", det.Name(), gobPath, err))
 	}
 	if err := f.Close(); err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("closing %s: %w", gobPath, err))
 	}
 	fmt.Printf("wrote %s (load with core.LoadDetector)\n", gobPath)
 
 	// 2. Hardware cost report.
 	design, err := hls.Compile(det.Model, det.Name())
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("compiling %s to hardware: %w", det.Name(), err))
 	}
 	fmt.Printf("hardware: %s\n", design)
 
@@ -90,7 +90,7 @@ func main() {
 	}
 	vPath := *out + ".v"
 	if err := os.WriteFile(vPath, []byte(nl.Verilog()), 0o644); err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("writing %s: %w", vPath, err))
 	}
 	fmt.Printf("wrote %s (%d netlist nodes; inputs, in order:", vPath, len(nl.Nodes))
 	for i, ev := range det.Events {
@@ -113,7 +113,7 @@ func loadData(path string) (*dataset.Instances, error) {
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("opening %s: %w", path, err)
 	}
 	defer f.Close()
 	if strings.HasSuffix(path, ".csv") {

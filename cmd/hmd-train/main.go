@@ -40,22 +40,22 @@ func main() {
 
 	data, err := loadData(*dataPath)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("loading dataset: %w", err))
 	}
 
 	b, err := core.NewBuilder(data, 0.7, *seed)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("splitting dataset: %w", err))
 	}
 	b.Iterations = *iterations
 
 	det, err := b.Build(*name, variant, *hpcs)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("training %s/%s with %d HPCs: %w", *name, variant, *hpcs, err))
 	}
 	res, err := b.Evaluate(det)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("evaluating %s: %w", det.Name(), err))
 	}
 
 	fmt.Printf("detector:    %s\n", det.Name())
@@ -74,7 +74,7 @@ func main() {
 
 	design, err := hls.Compile(det.Model, det.Name())
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("compiling %s to hardware: %w", det.Name(), err))
 	}
 	fmt.Printf("hardware:    %d cycles @10ns, %.1f%% of OpenSPARC core area\n",
 		design.Latency, design.AreaPercent())
@@ -103,7 +103,7 @@ func loadData(path string) (*dataset.Instances, error) {
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("opening %s: %w", path, err)
 	}
 	defer f.Close()
 	if strings.HasSuffix(path, ".csv") {

@@ -6,14 +6,25 @@
 // per-batch interval samples are then assembled into full 44-event
 // feature vectors, one per sampling interval, labelled with the
 // application's class.
+//
+// Collection is resilient to injected (and, by construction, real)
+// infrastructure faults: crashed runs are retried with bounded
+// exponential backoff, partial sample streams from crashed or lossy
+// runs are salvaged, and batches that stay dead after all retries are
+// imputed rather than aborting the pass. A Report accounts for every
+// retry, loss and imputation so experiments can condition on collection
+// quality.
 package collect
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/lxc"
 	"repro/internal/micro"
 	"repro/internal/perf"
@@ -28,7 +39,27 @@ type Config struct {
 	Intervals   int             // sampling intervals per run
 	CycleBudget uint64          // simulated cycles per interval
 	Parallelism int             // concurrent applications (0 = NumCPU)
+
+	// Faults optionally injects infrastructure faults into every run;
+	// nil means clean collection. Injection is deterministic in
+	// (Faults.Seed, app, batch, attempt) and therefore independent of
+	// Parallelism.
+	Faults *faults.Plan
+	// MaxRetries bounds the re-runs attempted per batch after a
+	// crashed run (0 = DefaultMaxRetries when Faults is set).
+	MaxRetries int
+	// RetryBackoff is the base backoff before the first retry; it
+	// doubles per attempt. Negative disables sleeping entirely (useful
+	// in tests); 0 = DefaultRetryBackoff.
+	RetryBackoff time.Duration
 }
+
+// DefaultMaxRetries is the per-batch retry budget used when faults are
+// enabled and Config.MaxRetries is zero.
+const DefaultMaxRetries = 3
+
+// DefaultRetryBackoff is the base backoff between retry attempts.
+const DefaultRetryBackoff = time.Millisecond
 
 // Default mirrors the paper-scale corpus: 120 applications, sampled
 // over 30 intervals per run.
@@ -52,6 +83,64 @@ func Small() Config {
 	}
 }
 
+// Report accounts for the faults a collection pass absorbed. All
+// fields are zero for a clean pass.
+type Report struct {
+	// Runs is the total number of isolated runs attempted, retries
+	// included.
+	Runs int
+	// Retries is the number of re-runs performed after crashes.
+	Retries int
+	// CrashedRuns is the number of runs that died (boot failure or
+	// mid-run crash).
+	CrashedRuns int
+	// LostBatches is the number of (app, batch) units that stayed dead
+	// after the full retry budget and were imputed.
+	LostBatches int
+	// SalvagedRuns is the number of exhausted batches whose partial
+	// sample prefix from the last crashed attempt was still used.
+	SalvagedRuns int
+	// DroppedSamples is the number of per-interval readings lost
+	// (dropped or crashed away) and reconstructed by carry-forward.
+	DroppedSamples int
+	// ImputedValues is the number of individual feature values filled
+	// in for unrecoverable batches.
+	ImputedValues int
+	// MissingEvents names the events (attribute names) that had at
+	// least one batch imputed, with the number of affected apps.
+	MissingEvents map[string]int
+}
+
+// Degraded reports whether the pass absorbed any fault at all.
+func (r Report) Degraded() bool {
+	return r.Retries > 0 || r.CrashedRuns > 0 || r.LostBatches > 0 ||
+		r.DroppedSamples > 0 || r.ImputedValues > 0
+}
+
+// String summarises the report in one line.
+func (r Report) String() string {
+	return fmt.Sprintf("collect: %d runs (%d retries, %d crashed), %d batches lost (%d salvaged), %d samples dropped, %d values imputed",
+		r.Runs, r.Retries, r.CrashedRuns, r.LostBatches, r.SalvagedRuns, r.DroppedSamples, r.ImputedValues)
+}
+
+func (r *Report) merge(o appReport, groups []perf.Group) {
+	r.Runs += o.runs
+	r.Retries += o.retries
+	r.CrashedRuns += o.crashed
+	r.LostBatches += len(o.lostBatches)
+	r.SalvagedRuns += o.salvaged
+	r.DroppedSamples += o.dropped
+	r.ImputedValues += o.imputed
+	for _, b := range o.lostBatches {
+		for _, ev := range groups[b].Events() {
+			if r.MissingEvents == nil {
+				r.MissingEvents = map[string]int{}
+			}
+			r.MissingEvents[ev.String()]++
+		}
+	}
+}
+
 // Result carries the assembled dataset plus collection bookkeeping.
 type Result struct {
 	Data *dataset.Instances
@@ -61,6 +150,16 @@ type Result struct {
 	// Containers is the total number of containers created (and
 	// destroyed) during the pass.
 	Containers int
+	// Report accounts for retries, losses and imputations; all-zero
+	// for a clean pass.
+	Report Report
+}
+
+// appReport is the per-application slice of the pass Report, merged in
+// deterministic app order after the workers finish.
+type appReport struct {
+	runs, retries, crashed, salvaged, dropped, imputed int
+	lostBatches                                        []int
 }
 
 // Collect runs the full collection pass and assembles the dataset.
@@ -75,9 +174,15 @@ func Collect(cfg Config) (*Result, error) {
 	if cfg.CycleBudget == 0 {
 		cfg.CycleBudget = perf.DefaultCycleBudget
 	}
+	if cfg.MaxRetries == 0 && cfg.Faults != nil && cfg.Faults.Active() {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	}
 	groups, err := perf.Batches(events)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("collect: batching %d events: %w", len(events), err)
 	}
 	apps := workload.Suite(cfg.Suite)
 	if len(apps) == 0 {
@@ -89,6 +194,7 @@ func Collect(cfg Config) (*Result, error) {
 	// vectors[appIdx][interval][eventPos] assembled across batches.
 	type appData struct {
 		vectors [][]float64
+		report  appReport
 		err     error
 	}
 	results := make([]appData, len(apps))
@@ -107,8 +213,8 @@ func Collect(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for ai := range work {
-				results[ai].vectors, results[ai].err =
-					collectApp(mgr, &apps[ai], groups, cfg.Intervals, cfg.CycleBudget)
+				results[ai].vectors, results[ai].report, results[ai].err =
+					collectApp(mgr, &apps[ai], groups, &cfg)
 			}
 		}()
 	}
@@ -119,7 +225,7 @@ func Collect(cfg Config) (*Result, error) {
 	wg.Wait()
 
 	if err := mgr.CheckClean(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("collect: %w", err)
 	}
 
 	names := make([]string, len(events))
@@ -127,55 +233,173 @@ func Collect(cfg Config) (*Result, error) {
 		names[i] = ev.String()
 	}
 	data := dataset.New(names, dataset.BinaryClassNames())
+	var report Report
 	for ai, app := range apps {
 		if results[ai].err != nil {
-			return nil, fmt.Errorf("collect: app %s: %v", app.Name, results[ai].err)
+			return nil, fmt.Errorf("collect: app %s: %w", app.Name, results[ai].err)
 		}
+		report.merge(results[ai].report, groups)
 		y := 0
 		if app.Class == workload.Malware {
 			y = 1
 		}
 		for _, vec := range results[ai].vectors {
 			if err := data.Add(vec, y, app.Name); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("collect: app %s: adding vector: %w", app.Name, err)
 			}
 		}
 	}
 
 	created, _ := mgr.Stats()
-	return &Result{Data: data, RunsPerApp: len(groups), Containers: created}, nil
+	return &Result{Data: data, RunsPerApp: len(groups), Containers: created, Report: report}, nil
+}
+
+// crashed reports whether err is a recoverable infrastructure crash
+// (container boot failure or mid-run sampling death) rather than a
+// configuration error.
+func crashed(err error) bool {
+	return errors.Is(err, lxc.ErrCrashed) || errors.Is(err, perf.ErrRunCrashed)
 }
 
 // collectApp performs the per-application collection: one isolated run
-// per event batch, then assembles full vectors by interval index.
-func collectApp(mgr *lxc.Manager, app *workload.App, groups []perf.Group, intervals int, budget uint64) ([][]float64, error) {
+// per event batch (retried on crashes), then assembles full vectors by
+// interval index, carrying forward dropped readings and imputing
+// batches that could not be recovered.
+func collectApp(mgr *lxc.Manager, app *workload.App, groups []perf.Group, cfg *Config) ([][]float64, appReport, error) {
+	var rep appReport
+
 	width := 0
 	for _, g := range groups {
 		width += g.Size()
 	}
-	vectors := make([][]float64, intervals)
+	vectors := make([][]float64, cfg.Intervals)
 	for i := range vectors {
-		vectors[i] = make([]float64, 0, width)
+		vectors[i] = make([]float64, width)
 	}
 
+	off := 0
 	for b, g := range groups {
-		run := app.NewRun(b)
-		var samples []perf.Sample
-		err := mgr.RunIsolated(run.MachineSeed(), func(m *micro.Machine) error {
-			samples = perf.SampleRun(m, run, g, intervals, budget)
-			return nil
-		})
+		samples, brep, err := collectBatch(mgr, app, b, g, cfg)
+		rep.runs += brep.runs
+		rep.retries += brep.retries
+		rep.crashed += brep.crashed
+		rep.salvaged += brep.salvaged
 		if err != nil {
-			return nil, err
+			return nil, rep, fmt.Errorf("batch %d/%d: %w", b, len(groups), err)
 		}
-		if len(samples) != intervals {
-			return nil, fmt.Errorf("batch %d produced %d samples, want %d", b, len(samples), intervals)
+
+		if samples == nil {
+			// The batch stayed dead through the whole retry budget:
+			// impute zeros for its event columns and account for it.
+			rep.lostBatches = append(rep.lostBatches, b)
+			rep.imputed += cfg.Intervals * g.Size()
+			off += g.Size()
+			continue
 		}
-		for i, s := range samples {
-			for _, v := range s.Values {
-				vectors[i] = append(vectors[i], float64(v))
+
+		// Salvage: index surviving samples by interval, then fill every
+		// interval, carrying the previous reading forward over holes
+		// (standard last-observation-carried-forward for sensor gaps).
+		byInterval := make(map[int][]uint64, len(samples))
+		for _, s := range samples {
+			byInterval[s.Interval] = s.Values
+		}
+		prev := make([]uint64, g.Size())
+		for i := 0; i < cfg.Intervals; i++ {
+			vals, ok := byInterval[i]
+			if !ok {
+				rep.dropped++
+				vals = prev
+			} else {
+				prev = vals
+			}
+			for j, v := range vals {
+				vectors[i][off+j] = float64(v)
 			}
 		}
+		off += g.Size()
 	}
-	return vectors, nil
+	return vectors, rep, nil
+}
+
+// collectBatch runs one (app, batch) unit with bounded
+// retry-with-backoff. It returns the surviving samples (possibly a
+// salvaged partial prefix, flagged via appReport.salvaged), or nil
+// samples with a nil error when the batch is unrecoverable, or an error
+// for non-crash failures.
+func collectBatch(mgr *lxc.Manager, app *workload.App, b int, g perf.Group, cfg *Config) ([]perf.Sample, appReport, error) {
+	var rep appReport
+	var salvage []perf.Sample
+
+	attempts := 1 + cfg.MaxRetries
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			rep.retries++
+			backoff(cfg.RetryBackoff, attempt)
+		}
+		rep.runs++
+
+		var inj *faults.Injector
+		if cfg.Faults != nil && cfg.Faults.Active() {
+			// Scope includes the attempt so retries draw a fresh — but
+			// still reproducible — fault schedule.
+			inj = cfg.Faults.ForRun(fmt.Sprintf("%s/b%d/a%d", app.Name, b, attempt))
+		}
+
+		// A fresh Run per attempt replays the identical instruction
+		// stream, so a retry observes the same program.
+		run := app.NewRun(b)
+		var samples []perf.Sample
+		err := mgr.RunIsolatedInjected(run.MachineSeed(), injectorOrNil(inj), func(m *micro.Machine) error {
+			var serr error
+			samples, serr = perf.SampleRunInjected(m, run, g, cfg.Intervals, cfg.CycleBudget, perfInjectorOrNil(inj))
+			return serr
+		})
+		if err == nil {
+			return samples, rep, nil
+		}
+		if !crashed(err) {
+			return nil, rep, fmt.Errorf("app %s batch %d attempt %d: %w", app.Name, b, attempt, err)
+		}
+		rep.crashed++
+		if len(samples) > len(salvage) {
+			salvage = samples
+		}
+	}
+
+	if len(salvage) > 0 {
+		rep.salvaged = 1
+		return salvage, rep, nil
+	}
+	return nil, rep, nil
+}
+
+// injectorOrNil converts a possibly-nil *faults.Injector to the lxc
+// interface without producing a non-nil interface holding a nil
+// pointer.
+func injectorOrNil(in *faults.Injector) lxc.Injector {
+	if in == nil {
+		return nil
+	}
+	return in
+}
+
+func perfInjectorOrNil(in *faults.Injector) perf.Injector {
+	if in == nil {
+		return nil
+	}
+	return in
+}
+
+// backoff sleeps the bounded exponential delay before retry `attempt`
+// (1-based). A negative base disables sleeping for tests.
+func backoff(base time.Duration, attempt int) {
+	if base <= 0 {
+		return
+	}
+	d := base << uint(attempt-1)
+	if max := 50 * time.Millisecond; d > max {
+		d = max
+	}
+	time.Sleep(d)
 }

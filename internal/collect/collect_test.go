@@ -3,6 +3,7 @@ package collect
 import (
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/micro"
 	"repro/internal/workload"
 )
@@ -109,6 +110,156 @@ func TestCollectParallelMatchesSerial(t *testing.T) {
 				t.Fatal("values differ between serial and parallel collection")
 			}
 		}
+	}
+}
+
+// identicalData asserts two collection results are byte-identical:
+// same rows, groups, values, and fault report.
+func identicalData(t *testing.T, a, b *Result) {
+	t.Helper()
+	if a.Data.NumRows() != b.Data.NumRows() {
+		t.Fatalf("row counts differ: %d vs %d", a.Data.NumRows(), b.Data.NumRows())
+	}
+	for i := range a.Data.X {
+		if a.Data.Groups[i] != b.Data.Groups[i] {
+			t.Fatalf("row %d group differs: %q vs %q", i, a.Data.Groups[i], b.Data.Groups[i])
+		}
+		if a.Data.Y[i] != b.Data.Y[i] {
+			t.Fatalf("row %d label differs", i)
+		}
+		for j := range a.Data.X[i] {
+			if a.Data.X[i][j] != b.Data.X[i][j] {
+				t.Fatalf("value (%d,%d) differs: %v vs %v", i, j, a.Data.X[i][j], b.Data.X[i][j])
+			}
+		}
+	}
+	if !reportsEqual(a.Report, b.Report) {
+		t.Fatalf("reports differ:\n  %v\n  %v", a.Report, b.Report)
+	}
+}
+
+func reportsEqual(a, b Report) bool {
+	if a.Runs != b.Runs || a.Retries != b.Retries || a.CrashedRuns != b.CrashedRuns ||
+		a.LostBatches != b.LostBatches || a.SalvagedRuns != b.SalvagedRuns ||
+		a.DroppedSamples != b.DroppedSamples || a.ImputedValues != b.ImputedValues {
+		return false
+	}
+	if len(a.MissingEvents) != len(b.MissingEvents) {
+		return false
+	}
+	for k, v := range a.MissingEvents {
+		if b.MissingEvents[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCollectParallelDeterministicUnderFaults is the concurrency
+// determinism guarantee: with fault injection active, a parallel pass
+// must assemble a dataset byte-identical to the serial pass for the
+// same seed, because injectors are scoped per (app, batch, attempt),
+// never per goroutine.
+func TestCollectParallelDeterministicUnderFaults(t *testing.T) {
+	cfg := Small()
+	cfg.Suite.AppsPerFamily = 1
+	cfg.Intervals = 6
+	cfg.Faults = &faults.Plan{Seed: 42, Rate: 0.2}
+	cfg.RetryBackoff = -1 // no sleeping in tests
+
+	serial := cfg
+	serial.Parallelism = 1
+	parallel := cfg
+	parallel.Parallelism = 8
+
+	a, err := Collect(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collect(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identicalData(t, a, b)
+	if !a.Report.Degraded() {
+		t.Fatal("rate-0.2 all-kinds plan should have degraded the pass")
+	}
+}
+
+// TestCollectRetryRecoversCrashes injects only whole-run crashes and
+// checks that bounded retries recover every batch: the assembled
+// dataset must equal the clean dataset exactly (crashes kill runs
+// before or during sampling, and a retried run replays the identical
+// deterministic stream).
+func TestCollectRetryRecoversCrashes(t *testing.T) {
+	cfg := Small()
+	cfg.Suite.AppsPerFamily = 1
+	cfg.Intervals = 4
+	cfg.RetryBackoff = -1
+
+	clean, err := Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Faults = &faults.Plan{Seed: 7, Rate: 0.4, Kinds: []faults.Kind{faults.CrashRun}}
+	cfg.MaxRetries = 8
+	faulty, err := Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if faulty.Report.CrashedRuns == 0 {
+		t.Fatal("rate-0.4 crash plan should have crashed at least one run")
+	}
+	if faulty.Report.Retries == 0 {
+		t.Fatal("crashed runs should have been retried")
+	}
+	if faulty.Report.LostBatches != 0 {
+		t.Fatalf("8 retries at rate 0.4 should recover every batch; lost %d", faulty.Report.LostBatches)
+	}
+	// Mid-run crashes abort sampling, so recovery must come from a
+	// clean retry — and a clean retry reproduces the clean data.
+	for i := range clean.Data.X {
+		for j := range clean.Data.X[i] {
+			if clean.Data.X[i][j] != faulty.Data.X[i][j] {
+				t.Fatalf("value (%d,%d): retried collection %v != clean %v",
+					i, j, faulty.Data.X[i][j], clean.Data.X[i][j])
+			}
+		}
+	}
+	if faulty.Containers <= clean.Containers {
+		t.Errorf("retries should create extra containers: %d <= %d", faulty.Containers, clean.Containers)
+	}
+}
+
+// TestCollectSalvagesLostBatches drives the crash rate high enough that
+// some batches exhaust their retries, and checks the pass still
+// completes with imputation instead of failing.
+func TestCollectSalvagesLostBatches(t *testing.T) {
+	cfg := Small()
+	cfg.Suite.AppsPerFamily = 1
+	cfg.Intervals = 4
+	cfg.RetryBackoff = -1
+	cfg.Faults = &faults.Plan{Seed: 3, Rate: 0.95, Kinds: []faults.Kind{faults.CrashRun}}
+	cfg.MaxRetries = 1
+
+	res, err := Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.LostBatches == 0 {
+		t.Fatal("rate-0.95 crashes with 1 retry should lose batches")
+	}
+	if res.Report.ImputedValues == 0 {
+		t.Fatal("lost batches must be accounted as imputed values")
+	}
+	if len(res.Report.MissingEvents) == 0 {
+		t.Fatal("lost batches must name their missing events")
+	}
+	apps := workload.Suite(cfg.Suite)
+	if res.Data.NumRows() != len(apps)*cfg.Intervals {
+		t.Fatalf("degraded pass must still emit every row: got %d", res.Data.NumRows())
 	}
 }
 

@@ -141,12 +141,21 @@ func (b *Builder) Build(baseName string, variant zoo.Variant, k int) (*Detector,
 // Evaluate measures a detector on the held-out split, returning the
 // paper's metrics (accuracy, AUC, ACC*AUC via Result.Performance).
 func (b *Builder) Evaluate(d *Detector) (eval.Result, error) {
-	cols := b.ranked[:len(d.Events)]
-	testK, err := b.test.Select(cols)
+	testK, err := b.TestFor(d)
 	if err != nil {
 		return eval.Result{}, err
 	}
 	return eval.Measure(d.Model, testK)
+}
+
+// TestFor returns the held-out split restricted to the detector's
+// features, in the detector's input order — the dataset Evaluate
+// measures on. Callers can perturb a copy of it (e.g. with
+// faults.Plan.CorruptDataset) to evaluate the detector on degraded
+// inputs.
+func (b *Builder) TestFor(d *Detector) (*dataset.Instances, error) {
+	cols := b.ranked[:len(d.Events)]
+	return b.test.Select(cols)
 }
 
 // ROC builds the detector's ROC curve on the held-out split.

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/micro"
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/zoo"
+	"repro/internal/perf"
+)
+
+// This file implements graceful degradation for the run-time monitor: a
+// FallbackChain watches the health of every counter the primary
+// detector consumes and, when counters go bad (stuck or dead — exactly
+// the corruptions the faults package injects and real PMUs exhibit),
+// steps the detection down through progressively narrower detectors —
+// e.g. 4-HPC → 2-HPC → majority-prior — instead of emitting garbage
+// verdicts or crashing. The sliding verdict window is shared across
+// stage transitions, so a stepdown never drops a verdict interval and
+// the windowed score degrades smoothly (hysteresis) rather than
+// snapping.
+
+// ChainConfig parameterises a FallbackChain.
+type ChainConfig struct {
+	// Window is the sliding verdict window in samples (<=0 means 5).
+	Window int
+	// Threshold flags the window as malware when the mean score
+	// reaches it (<=0 means 0.5).
+	Threshold float64
+	// BadAfter is how many consecutive suspect readings (stuck at the
+	// same delta, or zero) mark a counter bad (<=0 means 3).
+	BadAfter int
+	// GoodAfter is how many consecutive healthy readings a bad counter
+	// needs to be trusted again (<=0 means 2*BadAfter). Asymmetric
+	// thresholds are the hysteresis that stops the chain flapping
+	// between stages on a marginal counter.
+	GoodAfter int
+	// PriorScore is the malware score emitted by the terminal
+	// majority-prior stage, when every detector's counters are bad.
+	// Use Builder.PriorScore for the training-set prior.
+	PriorScore float64
+}
+
+func (c ChainConfig) window() int {
+	if c.Window > 0 {
+		return c.Window
+	}
+	return 5
+}
+
+func (c ChainConfig) threshold() float64 {
+	if c.Threshold > 0 {
+		return c.Threshold
+	}
+	return 0.5
+}
+
+func (c ChainConfig) badAfter() int {
+	if c.BadAfter > 0 {
+		return c.BadAfter
+	}
+	return 3
+}
+
+func (c ChainConfig) goodAfter() int {
+	if c.GoodAfter > 0 {
+		return c.GoodAfter
+	}
+	return 2 * c.badAfter()
+}
+
+// counterHealth tracks one counter register's run-time health.
+type counterHealth struct {
+	last       uint64 // previous raw delta
+	seen       bool   // last is valid
+	suspectRun int    // consecutive suspect readings
+	healthyRun int    // consecutive healthy readings while bad
+	bad        bool
+}
+
+// observe folds in one reading. A reading is suspect when it exactly
+// repeats the previous delta (stuck register) or reads zero (dead /
+// descheduled event); healthy counters in a live machine essentially
+// never do either.
+func (h *counterHealth) observe(v uint64) {
+	suspect := v == 0 || (h.seen && v == h.last)
+	h.last, h.seen = v, true
+	if suspect {
+		h.suspectRun++
+		h.healthyRun = 0
+	} else {
+		h.healthyRun++
+		h.suspectRun = 0
+	}
+}
+
+// step applies the hysteresis thresholds and returns whether the
+// counter is currently bad.
+func (h *counterHealth) step(badAfter, goodAfter int) bool {
+	if !h.bad && h.suspectRun >= badAfter {
+		h.bad = true
+	} else if h.bad && h.healthyRun >= goodAfter {
+		h.bad = false
+	}
+	return h.bad
+}
+
+// Transition records one stage change of the chain.
+type Transition struct {
+	Interval int
+	From, To int // stage indices; To == Stages() means the prior stage
+}
+
+// FallbackChain is a degradation-aware run-time detector. Stage 0 is
+// the primary detector; each later stage consumes a subset of stage 0's
+// events; past the last stage sits the implicit majority-prior stage.
+type FallbackChain struct {
+	stages []*Detector
+	cfg    ChainConfig
+	// idx[s][j] is the position, within stage 0's event list, of stage
+	// s's j-th feature.
+	idx    [][]int
+	health []counterHealth
+
+	history     []float64
+	interval    int
+	active      int
+	transitions []Transition
+}
+
+// NewFallbackChain validates and assembles a chain. Stage 0 must fit
+// the PMU, and every later stage's events must be a subset of stage 0's
+// (they are read from the same programmed registers).
+func NewFallbackChain(stages []*Detector, cfg ChainConfig) (*FallbackChain, error) {
+	if len(stages) == 0 {
+		return nil, errors.New("core: fallback chain needs at least one stage")
+	}
+	primary := stages[0]
+	if !primary.RunTimeCapable() {
+		return nil, fmt.Errorf("core: primary detector %s needs %d HPCs but the PMU has %d registers",
+			primary.Name(), primary.HPCs(), perf.NumCounters)
+	}
+	pos := map[micro.EventID]int{}
+	for i, ev := range primary.Events {
+		pos[ev] = i
+	}
+	idx := make([][]int, len(stages))
+	for s, d := range stages {
+		if s > 0 && d.HPCs() >= stages[s-1].HPCs() {
+			return nil, fmt.Errorf("core: stage %d (%s) must need fewer HPCs than stage %d (%s)",
+				s, d.Name(), s-1, stages[s-1].Name())
+		}
+		idx[s] = make([]int, len(d.Events))
+		for j, ev := range d.Events {
+			p, ok := pos[ev]
+			if !ok {
+				return nil, fmt.Errorf("core: stage %d (%s) needs event %v outside the primary's register set",
+					s, d.Name(), ev)
+			}
+			idx[s][j] = p
+		}
+	}
+	return &FallbackChain{
+		stages: stages,
+		cfg:    cfg,
+		idx:    idx,
+		health: make([]counterHealth, primary.HPCs()),
+	}, nil
+}
+
+// Events returns the events the chain programs onto the PMU (the
+// primary detector's).
+func (fc *FallbackChain) Events() []micro.EventID {
+	return append([]micro.EventID(nil), fc.stages[0].Events...)
+}
+
+// Stages returns the number of trained stages; ActiveStage == Stages()
+// means the chain has degraded all the way to the majority prior.
+func (fc *FallbackChain) Stages() int { return len(fc.stages) }
+
+// ActiveStage returns the stage currently producing scores.
+func (fc *FallbackChain) ActiveStage() int { return fc.active }
+
+// StageName names stage i ("4HPC-Boosted-REPTree", ... , "prior").
+func (fc *FallbackChain) StageName(i int) string {
+	if i >= len(fc.stages) {
+		return "prior"
+	}
+	return fc.stages[i].Name()
+}
+
+// Transitions returns every stage change observed so far.
+func (fc *FallbackChain) Transitions() []Transition {
+	return append([]Transition(nil), fc.transitions...)
+}
+
+// Reset clears the window, health state and transition log (e.g. when
+// the monitored process changes).
+func (fc *FallbackChain) Reset() {
+	fc.history = fc.history[:0]
+	fc.interval = 0
+	fc.active = 0
+	fc.transitions = nil
+	for i := range fc.health {
+		fc.health[i] = counterHealth{}
+	}
+}
+
+// selectStage picks the first stage all of whose counters are healthy,
+// or Stages() for the prior.
+func (fc *FallbackChain) selectStage(bad []bool) int {
+	for s := range fc.stages {
+		ok := true
+		for _, p := range fc.idx[s] {
+			if bad[p] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s
+		}
+	}
+	return len(fc.stages)
+}
+
+// score runs stage s on the full reading.
+func (fc *FallbackChain) score(s int, values []uint64) float64 {
+	if s >= len(fc.stages) {
+		return fc.cfg.PriorScore
+	}
+	x := make([]float64, len(fc.idx[s]))
+	for j, p := range fc.idx[s] {
+		x[j] = float64(values[p])
+	}
+	return mlearn.Score(fc.stages[s].Model, x)
+}
+
+// verdict folds score s into the shared window and emits the interval's
+// decision.
+func (fc *FallbackChain) verdict(s float64) Verdict {
+	fc.history = append(fc.history, s)
+	if w := fc.cfg.window(); len(fc.history) > w {
+		fc.history = fc.history[len(fc.history)-w:]
+	}
+	mean := 0.0
+	for _, v := range fc.history {
+		mean += v
+	}
+	mean /= float64(len(fc.history))
+	v := Verdict{Interval: fc.interval, Score: mean, Malware: mean >= fc.cfg.threshold()}
+	fc.interval++
+	return v
+}
+
+// Observe consumes one interval's raw readings of the primary
+// detector's events, updates counter health, steps the active stage
+// down (or back up) as needed, and returns the windowed verdict. Every
+// call yields a verdict: degradation changes which model scores the
+// interval, never whether the interval is scored.
+func (fc *FallbackChain) Observe(values []uint64) (Verdict, error) {
+	if len(values) != fc.stages[0].HPCs() {
+		return Verdict{}, fmt.Errorf("core: sample width %d does not match primary detector's %d events",
+			len(values), fc.stages[0].HPCs())
+	}
+	bad := make([]bool, len(fc.health))
+	for c := range fc.health {
+		fc.health[c].observe(values[c])
+		bad[c] = fc.health[c].step(fc.cfg.badAfter(), fc.cfg.goodAfter())
+	}
+	if s := fc.selectStage(bad); s != fc.active {
+		fc.transitions = append(fc.transitions, Transition{Interval: fc.interval, From: fc.active, To: s})
+		fc.active = s
+	}
+	return fc.verdict(fc.score(fc.active, values)), nil
+}
+
+// ObserveLost accounts for an interval whose reading was lost entirely
+// (a dropped sample): the chain holds its current windowed score so the
+// verdict stream stays gap-free.
+func (fc *FallbackChain) ObserveLost() Verdict {
+	last := fc.cfg.PriorScore
+	if len(fc.history) > 0 {
+		last = fc.history[len(fc.history)-1]
+	}
+	return fc.verdict(last)
+}
+
+// PriorScore returns the malware prior of the training split — the
+// score of the chain's terminal stage: with no usable counters the best
+// guess is the base rate.
+func (b *Builder) PriorScore() float64 {
+	total := b.train.NumRows()
+	if total == 0 {
+		return 0.5
+	}
+	malware := 0
+	for _, y := range b.train.Y {
+		if y == 1 {
+			malware++
+		}
+	}
+	return float64(malware) / float64(total)
+}
+
+// BuildChain trains one detector per HPC budget in counts (descending,
+// e.g. [4, 2]) and assembles them into a FallbackChain whose terminal
+// prior is the training-set base rate. Because the builder ranks
+// features once, each narrower detector's events are automatically a
+// prefix — hence a subset — of the wider one's.
+func (b *Builder) BuildChain(baseName string, variant zoo.Variant, counts []int, cfg ChainConfig) (*FallbackChain, error) {
+	if len(counts) == 0 {
+		return nil, errors.New("core: BuildChain needs at least one HPC budget")
+	}
+	stages := make([]*Detector, len(counts))
+	for i, k := range counts {
+		d, err := b.Build(baseName, variant, k)
+		if err != nil {
+			return nil, fmt.Errorf("core: chain stage %d (%d HPCs): %w", i, k, err)
+		}
+		stages[i] = d
+	}
+	cfg.PriorScore = b.PriorScore()
+	return NewFallbackChain(stages, cfg)
+}

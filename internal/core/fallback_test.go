@@ -1,0 +1,232 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mlearn/zoo"
+)
+
+func newChain(t *testing.T, cfg ChainConfig) *FallbackChain {
+	t.Helper()
+	b := newBuilder(t)
+	chain, err := b.BuildChain("REPTree", zoo.General, []int{4, 2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chain
+}
+
+// liveValues returns a plausible healthy 4-counter reading for interval
+// i: every delta distinct from the previous interval's and non-zero.
+func liveValues(i int) []uint64 {
+	base := uint64(1000 + 37*i)
+	return []uint64{base, base + 101, base + 211, base + 307}
+}
+
+// TestFallbackStepsDownOnDeadCounter is the acceptance test for
+// graceful degradation: a counter dies (sticks) mid-stream and the
+// 2-HPC fallback must take over — without a panic and without a single
+// dropped verdict interval.
+func TestFallbackStepsDownOnDeadCounter(t *testing.T) {
+	cfg := ChainConfig{Window: 3, BadAfter: 3}
+	chain := newChain(t, cfg)
+	if chain.Stages() != 2 {
+		t.Fatalf("stages = %d, want 2", chain.Stages())
+	}
+
+	const total = 30
+	const killAt = 10
+	verdicts := 0
+	for i := 0; i < total; i++ {
+		vals := liveValues(i)
+		if i >= killAt {
+			// Counter 3 wedges: it repeats the same delta forever. The
+			// 2-HPC stage uses the top-2 ranked events (positions 0 and
+			// 1), so it remains fully served.
+			vals[3] = 4242
+		}
+		v, err := chain.Observe(vals)
+		if err != nil {
+			t.Fatalf("interval %d: %v", i, err)
+		}
+		if v.Interval != i {
+			t.Fatalf("verdict interval %d, want %d (no interval may be dropped)", v.Interval, i)
+		}
+		verdicts++
+
+		// The first wedged reading is indistinguishable from a live
+		// one (the delta differs from the previous interval's), so the
+		// stuck run is only detectable from killAt+1 onwards.
+		if i < killAt+cfg.BadAfter {
+			if chain.ActiveStage() != 0 {
+				t.Fatalf("interval %d: stepped down too early (stage %d)", i, chain.ActiveStage())
+			}
+		}
+	}
+	if verdicts != total {
+		t.Fatalf("got %d verdicts for %d intervals", verdicts, total)
+	}
+	if chain.ActiveStage() != 1 {
+		t.Fatalf("active stage = %s, want the 2-HPC fallback", chain.StageName(chain.ActiveStage()))
+	}
+	trs := chain.Transitions()
+	if len(trs) != 1 {
+		t.Fatalf("transitions = %v, want exactly one stepdown", trs)
+	}
+	if trs[0].From != 0 || trs[0].To != 1 {
+		t.Fatalf("transition %v, want 0 -> 1", trs[0])
+	}
+	// The stepdown must occur exactly when the stuck counter crosses
+	// BadAfter consecutive identical deltas.
+	if want := killAt + cfg.BadAfter; trs[0].Interval != want {
+		t.Errorf("stepdown at interval %d, want %d", trs[0].Interval, want)
+	}
+}
+
+// TestFallbackDegradesToPriorAndRecovers drives every counter dead
+// (reaching the majority-prior stage) and then revives them, checking
+// the hysteresis brings the chain back up to the primary.
+func TestFallbackDegradesToPriorAndRecovers(t *testing.T) {
+	cfg := ChainConfig{Window: 3, BadAfter: 2, GoodAfter: 4}
+	chain := newChain(t, cfg)
+
+	// Healthy warm-up.
+	for i := 0; i < 5; i++ {
+		if _, err := chain.Observe(liveValues(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if chain.ActiveStage() != 0 {
+		t.Fatal("healthy stream should stay on the primary")
+	}
+
+	// All four counters read zero: nothing is usable.
+	for i := 5; i < 10; i++ {
+		if _, err := chain.Observe([]uint64{0, 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if chain.ActiveStage() != chain.Stages() {
+		t.Fatalf("active stage = %s, want prior", chain.StageName(chain.ActiveStage()))
+	}
+
+	// Counters revive; GoodAfter healthy readings restore the primary.
+	for i := 10; i < 10+cfg.GoodAfter+1; i++ {
+		if _, err := chain.Observe(liveValues(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if chain.ActiveStage() != 0 {
+		t.Fatalf("active stage = %s after recovery, want primary", chain.StageName(chain.ActiveStage()))
+	}
+
+	// The transition log must show down-and-back.
+	trs := chain.Transitions()
+	if len(trs) < 2 {
+		t.Fatalf("transitions = %v, want a stepdown and a recovery", trs)
+	}
+	last := trs[len(trs)-1]
+	if last.To != 0 {
+		t.Fatalf("last transition %v, want recovery to stage 0", last)
+	}
+}
+
+// TestFallbackHysteresisHoldsWindow checks the sliding verdict window
+// survives a stepdown: the windowed score right after the transition
+// still blends pre-transition scores (no snap).
+func TestFallbackHysteresisHoldsWindow(t *testing.T) {
+	cfg := ChainConfig{Window: 5, BadAfter: 2}
+	chain := newChain(t, cfg)
+
+	var before Verdict
+	for i := 0; i < 8; i++ {
+		v, err := chain.Observe(liveValues(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before = v
+	}
+	// Counters 2 and 3 go dead (zero reads are suspect immediately);
+	// the 2-HPC stage takes over after BadAfter intervals.
+	var after Verdict
+	for i := 8; i < 10; i++ {
+		vals := liveValues(i)
+		vals[2], vals[3] = 0, 0
+		v, err := chain.Observe(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after = v
+	}
+	if chain.ActiveStage() != 1 {
+		t.Fatalf("stage = %d, want 1", chain.ActiveStage())
+	}
+	// Window carries 5 samples; at most 2 are post-transition, so the
+	// score cannot have moved by more than 2/5 of the score range.
+	diff := after.Score - before.Score
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.4+1e-9 {
+		t.Fatalf("windowed score snapped across stepdown: %.3f -> %.3f", before.Score, after.Score)
+	}
+}
+
+// TestObserveLostKeepsStreamGapFree covers dropped samples: the chain
+// emits a verdict for lost intervals too.
+func TestObserveLostKeepsStreamGapFree(t *testing.T) {
+	chain := newChain(t, ChainConfig{Window: 4})
+	for i := 0; i < 4; i++ {
+		if _, err := chain.Observe(liveValues(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := chain.ObserveLost()
+	if v.Interval != 4 {
+		t.Fatalf("lost interval verdict at %d, want 4", v.Interval)
+	}
+	v2, err := chain.Observe(liveValues(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Interval != 5 {
+		t.Fatalf("stream not contiguous after loss: %d", v2.Interval)
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	b := newBuilder(t)
+	d4, err := b.Build("REPTree", zoo.General, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d8, err := b.Build("REPTree", zoo.General, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFallbackChain(nil, ChainConfig{}); err == nil {
+		t.Error("empty chain should fail")
+	}
+	if _, err := NewFallbackChain([]*Detector{d8}, ChainConfig{}); err == nil {
+		t.Error("8-HPC primary cannot fit the 4-register PMU")
+	}
+	if _, err := NewFallbackChain([]*Detector{d4, d4}, ChainConfig{}); err == nil {
+		t.Error("non-decreasing stage widths should fail")
+	}
+	// Sample width mismatch must error, not panic.
+	chain, err := NewFallbackChain([]*Detector{d4}, ChainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chain.Observe([]uint64{1, 2}); err == nil {
+		t.Error("short sample should fail")
+	}
+}
+
+func TestBuilderPriorScore(t *testing.T) {
+	b := newBuilder(t)
+	p := b.PriorScore()
+	if p <= 0 || p >= 1 {
+		t.Fatalf("prior %.3f outside (0,1) for a mixed corpus", p)
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/mlearn/zoo"
+)
+
+// TestRobustnessSweepDeterministic is the acceptance check for the
+// robustness study: two sweeps with the same seeded plan must reproduce
+// identical curves.
+func TestRobustnessSweepDeterministic(t *testing.T) {
+	ctx := testContext(t)
+	rates := []float64{0, 0.2, 0.5}
+	plan := faults.Plan{Seed: 0xF417}
+
+	a, err := ctx.RobustnessSweep("REPTree", 2, rates, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.RobustnessSweep("REPTree", 2, rates, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) != len(rates) || len(b.Points) != len(rates) {
+		t.Fatalf("point counts: %d, %d, want %d", len(a.Points), len(b.Points), len(rates))
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("rate %.2f: curves differ across identical seeds:\n  %+v\n  %+v",
+				rates[i], a.Points[i], b.Points[i])
+		}
+	}
+}
+
+// TestRobustnessRateZeroMatchesCleanEval checks that the sweep's 0-rate
+// point equals the ordinary held-out evaluation (the study is anchored
+// to the paper's clean numbers).
+func TestRobustnessRateZeroMatchesCleanEval(t *testing.T) {
+	ctx := testContext(t)
+	curve, err := ctx.RobustnessSweep("REPTree", 2, []float64{0}, faults.Plan{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, clean, err := ctx.Detector("REPTree", zoo.General, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.Points[0].General != clean {
+		t.Fatalf("rate-0 point %+v != clean evaluation %+v", curve.Points[0].General, clean)
+	}
+}
+
+// TestRobustnessDegradesWithRate asserts the basic sanity of the curve:
+// heavy corruption cannot beat clean inputs for the general detector.
+func TestRobustnessDegradesWithRate(t *testing.T) {
+	ctx := testContext(t)
+	curve, err := ctx.RobustnessSweep("REPTree", 2, []float64{0, 0.8}, faults.Plan{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, dirty := curve.Points[0], curve.Points[1]
+	if dirty.General.Accuracy > clean.General.Accuracy+0.02 {
+		t.Errorf("rate-0.8 general accuracy %.3f implausibly above clean %.3f",
+			dirty.General.Accuracy, clean.General.Accuracy)
+	}
+
+	out := RenderRobustness(curve)
+	if !strings.Contains(out, "Robustness") || !strings.Contains(out, "0.80") {
+		t.Errorf("render missing expected content:\n%s", out)
+	}
+}

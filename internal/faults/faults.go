@@ -1,0 +1,393 @@
+// Package faults is a composable, deterministic fault-injection layer
+// for the run-time detection pipeline. It models the failure modes real
+// PMU-based collection infrastructure exhibits — dropped sampling
+// intervals, stuck or zeroed counter registers, multiplexing scaling
+// noise, counter saturation, interval-length jitter, and whole-run
+// container crashes — so that the collection and detection layers can
+// be exercised, and hardened, against degraded inputs.
+//
+// Everything is driven by a seeded Plan. An injector derived from a
+// plan is a pure function of (plan seed, scope string), never of
+// wall-clock time or goroutine scheduling, so fault sequences reproduce
+// exactly across runs and are independent of collection parallelism.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/micro"
+)
+
+// Kind identifies one fault class the plan can inject.
+type Kind uint8
+
+const (
+	// DropSample loses a whole sampling interval (the perf ring buffer
+	// overflowed, the reader was descheduled, ...).
+	DropSample Kind = iota
+	// StuckCounter freezes a counter register: it repeats its previous
+	// delta for a short episode, as a wedged PMC does.
+	StuckCounter
+	// ZeroCounter reads a counter as zero for a short episode (the
+	// event was descheduled from the register).
+	ZeroCounter
+	// MultiplexNoise applies multiplicative scaling error to every
+	// counter of an interval — the estimate error time-multiplexed
+	// perf sessions suffer.
+	MultiplexNoise
+	// Saturation clamps counter deltas at a cap, modelling a narrow
+	// counter pegging at full scale within an interval.
+	Saturation
+	// IntervalJitter stretches or shrinks an interval's cycle budget
+	// (timer interrupt skid), changing how much execution a sample
+	// covers.
+	IntervalJitter
+	// CrashRun kills a whole run: either the container fails to boot or
+	// the collection session dies partway through the interval stream.
+	CrashRun
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"drop", "stuck", "zero", "noise", "saturate", "jitter", "crash",
+}
+
+// String returns the kind's flag-friendly name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// AllKinds returns every fault kind.
+func AllKinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// ParseKinds parses a comma-separated kind list ("drop,stuck,crash").
+// The empty string and "all" mean every kind.
+func ParseKinds(s string) ([]Kind, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" || s == "all" {
+		return AllKinds(), nil
+	}
+	var out []Kind
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		found := false
+		for i, name := range kindNames {
+			if tok == name {
+				out = append(out, Kind(i))
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("faults: unknown kind %q (known: %s)", tok, strings.Join(kindNames[:], ","))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("faults: no kinds in %q", s)
+	}
+	return out, nil
+}
+
+// Plan is a seeded description of which faults to inject and how hard.
+// The zero value (rate 0) injects nothing. Plans are value types: copy
+// and tweak freely.
+type Plan struct {
+	// Seed drives every random draw; identical (Seed, scope) pairs
+	// reproduce identical fault sequences.
+	Seed uint64
+	// Rate is the base probability of each fault opportunity firing
+	// (per interval, per counter, or per run, depending on the kind).
+	Rate float64
+	// Kinds enables a subset of fault classes; empty means all.
+	Kinds []Kind
+
+	// NoiseSigma is the relative std-dev of multiplexing scaling error
+	// (default 0.15).
+	NoiseSigma float64
+	// SaturationCap is the delta value counters peg at when Saturation
+	// fires (default 1<<12).
+	SaturationCap uint64
+	// JitterFrac is the maximum relative interval-budget perturbation
+	// (default 0.3).
+	JitterFrac float64
+	// EpisodeLen is the mean length, in intervals, of stuck/zero
+	// episodes (default 3).
+	EpisodeLen int
+}
+
+// Enabled reports whether the plan injects kind k at all.
+func (p Plan) Enabled(k Kind) bool {
+	if p.Rate <= 0 {
+		return false
+	}
+	if len(p.Kinds) == 0 {
+		return true
+	}
+	for _, pk := range p.Kinds {
+		if pk == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Active reports whether the plan injects anything.
+func (p Plan) Active() bool { return p.Rate > 0 }
+
+func (p Plan) noiseSigma() float64 {
+	if p.NoiseSigma > 0 {
+		return p.NoiseSigma
+	}
+	return 0.15
+}
+
+func (p Plan) saturationCap() uint64 {
+	if p.SaturationCap > 0 {
+		return p.SaturationCap
+	}
+	return 1 << 12
+}
+
+func (p Plan) jitterFrac() float64 {
+	if p.JitterFrac > 0 {
+		return p.JitterFrac
+	}
+	return 0.3
+}
+
+func (p Plan) episodeLen() int {
+	if p.EpisodeLen > 0 {
+		return p.EpisodeLen
+	}
+	return 3
+}
+
+// hash64 is FNV-1a; it decorrelates scope strings into seed material.
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ForRun derives the injector for one scoped unit of work (one
+// container run, one monitored application, ...). The scope string —
+// e.g. "appname/b3/a0" for batch 3, attempt 0 — is the only input
+// besides the plan seed, which is what makes injection deterministic
+// under any degree of collection concurrency and gives retries fresh,
+// reproducible fault draws.
+func (p Plan) ForRun(scope string) *Injector {
+	return &Injector{
+		plan: p,
+		rng:  micro.NewRNG(p.Seed ^ hash64(scope) ^ 0x5DEECE66D),
+	}
+}
+
+// Injector applies one run's fault schedule. It is stateful (stuck and
+// zero episodes span intervals) and must not be shared across
+// goroutines; derive one per run via Plan.ForRun.
+type Injector struct {
+	plan Plan
+	rng  *micro.RNG
+
+	stuckLeft []int // remaining stuck intervals per counter
+	stuckVal  []uint64
+	zeroLeft  []int
+}
+
+// Plan returns the plan the injector was derived from.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// BootFails reports whether the container for this run fails to start.
+// It satisfies lxc.Injector. One draw per injector: a run either boots
+// or it does not.
+func (in *Injector) BootFails() bool {
+	if !in.plan.Enabled(CrashRun) {
+		return false
+	}
+	// Half of the crash budget lands at boot, half mid-run (see
+	// CrashInterval); splitting the draw keeps the overall crash
+	// probability at Rate.
+	return in.rng.Bernoulli(in.plan.Rate / 2)
+}
+
+// CrashInterval returns the sampling interval at which the run dies, or
+// -1 if it survives. It satisfies part of perf.Injector. Call once per
+// run, after BootFails.
+func (in *Injector) CrashInterval(intervals int) int {
+	if !in.plan.Enabled(CrashRun) || intervals <= 0 {
+		return -1
+	}
+	if !in.rng.Bernoulli(in.plan.Rate / 2) {
+		return -1
+	}
+	return in.rng.Intn(intervals)
+}
+
+// BudgetJitter perturbs the cycle budget of one interval.
+func (in *Injector) BudgetJitter(interval int, budget uint64) uint64 {
+	if !in.plan.Enabled(IntervalJitter) || !in.rng.Bernoulli(in.plan.Rate) {
+		return budget
+	}
+	f := 1 + in.plan.jitterFrac()*(2*in.rng.Float64()-1)
+	j := uint64(float64(budget) * f)
+	if j == 0 {
+		j = 1
+	}
+	return j
+}
+
+// DropSample reports whether interval i's reading is lost entirely.
+func (in *Injector) DropSample(interval int) bool {
+	return in.plan.Enabled(DropSample) && in.rng.Bernoulli(in.plan.Rate)
+}
+
+func (in *Injector) ensureState(n int) {
+	if len(in.stuckLeft) >= n {
+		return
+	}
+	in.stuckLeft = append(in.stuckLeft, make([]int, n-len(in.stuckLeft))...)
+	in.stuckVal = append(in.stuckVal, make([]uint64, n-len(in.stuckVal))...)
+	in.zeroLeft = append(in.zeroLeft, make([]int, n-len(in.zeroLeft))...)
+}
+
+func (in *Injector) episode() int {
+	return 1 + in.rng.Intn(2*in.plan.episodeLen())
+}
+
+// TransformSample corrupts one interval's counter deltas in place:
+// stuck and zero episodes, multiplexing noise, and saturation.
+func (in *Injector) TransformSample(interval int, values []uint64) {
+	if !in.plan.Active() {
+		return
+	}
+	in.ensureState(len(values))
+
+	if in.plan.Enabled(StuckCounter) {
+		for c := range values {
+			if in.stuckLeft[c] > 0 {
+				in.stuckLeft[c]--
+				values[c] = in.stuckVal[c]
+			} else if in.rng.Bernoulli(in.plan.Rate) {
+				in.stuckLeft[c] = in.episode()
+				in.stuckVal[c] = values[c]
+			}
+		}
+	}
+	if in.plan.Enabled(ZeroCounter) {
+		for c := range values {
+			if in.zeroLeft[c] > 0 {
+				in.zeroLeft[c]--
+				values[c] = 0
+			} else if in.rng.Bernoulli(in.plan.Rate) {
+				in.zeroLeft[c] = in.episode()
+				values[c] = 0
+			}
+		}
+	}
+	if in.plan.Enabled(MultiplexNoise) && in.rng.Bernoulli(in.plan.Rate) {
+		sigma := in.plan.noiseSigma()
+		for c := range values {
+			f := 1 + sigma*in.rng.Norm()
+			if f < 0 {
+				f = 0
+			}
+			values[c] = uint64(float64(values[c]) * f)
+		}
+	}
+	if in.plan.Enabled(Saturation) && in.rng.Bernoulli(in.plan.Rate) {
+		cap := in.plan.saturationCap()
+		for c := range values {
+			if values[c] > cap {
+				values[c] = cap
+			}
+		}
+	}
+}
+
+// TransformVector corrupts one already-assembled float feature vector
+// in place, mirroring TransformSample for offline datasets: stuck
+// (repeat previous row's value), zero, multiplexing noise, saturation.
+// Used by the robustness experiments to evaluate trained detectors on
+// degraded test splits.
+func (in *Injector) TransformVector(row int, x []float64) {
+	if !in.plan.Active() {
+		return
+	}
+	in.ensureState(len(x))
+
+	if in.plan.Enabled(StuckCounter) {
+		for c := range x {
+			if in.stuckLeft[c] > 0 {
+				in.stuckLeft[c]--
+				x[c] = math.Float64frombits(in.stuckVal[c])
+			} else if in.rng.Bernoulli(in.plan.Rate) {
+				in.stuckLeft[c] = in.episode()
+				in.stuckVal[c] = math.Float64bits(x[c])
+			}
+		}
+	}
+	if in.plan.Enabled(ZeroCounter) {
+		for c := range x {
+			if in.zeroLeft[c] > 0 {
+				in.zeroLeft[c]--
+				x[c] = 0
+			} else if in.rng.Bernoulli(in.plan.Rate) {
+				in.zeroLeft[c] = in.episode()
+				x[c] = 0
+			}
+		}
+	}
+	if in.plan.Enabled(MultiplexNoise) && in.rng.Bernoulli(in.plan.Rate) {
+		sigma := in.plan.noiseSigma()
+		for c := range x {
+			f := 1 + sigma*in.rng.Norm()
+			if f < 0 {
+				f = 0
+			}
+			x[c] *= f
+		}
+	}
+	if in.plan.Enabled(Saturation) && in.rng.Bernoulli(in.plan.Rate) {
+		cap := float64(in.plan.saturationCap())
+		for c := range x {
+			if x[c] > cap {
+				x[c] = cap
+			}
+		}
+	}
+}
+
+// CorruptDataset returns a fault-injected copy of d: feature values
+// perturbed row by row, labels and metadata untouched. DropSample and
+// CrashRun do not apply to an assembled dataset and are ignored. The
+// result is deterministic for a given (plan, dataset).
+func (p Plan) CorruptDataset(d *dataset.Instances) *dataset.Instances {
+	out := d.Clone()
+	if !p.Active() {
+		return out
+	}
+	in := p.ForRun("dataset")
+	for i := range out.X {
+		in.TransformVector(i, out.X[i])
+	}
+	return out
+}

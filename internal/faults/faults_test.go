@@ -1,0 +1,258 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/micro"
+	"repro/internal/perf"
+	"repro/internal/workload"
+)
+
+// testApp returns an application to sample plus a full 4-counter
+// group. Callers must create a fresh Run per sampling pass: Run carries
+// jitter RNG state that advances as intervals are generated.
+func testApp(t *testing.T) (workload.App, perf.Group) {
+	t.Helper()
+	apps := workload.Suite(workload.SmallSuite())
+	if len(apps) == 0 {
+		t.Fatal("empty suite")
+	}
+	g, err := perf.NewGroup(micro.AllEvents()[:perf.NumCounters]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return apps[0], g
+}
+
+// TestRateZeroIsIdentity is the satellite property test: for any seeded
+// plan with rate 0, injected sampling output equals uninjected output
+// exactly — same intervals, same values, same instruction counts.
+func TestRateZeroIsIdentity(t *testing.T) {
+	app, g := testApp(t)
+	const intervals = 10
+	for seed := uint64(0); seed < 25; seed++ {
+		plan := Plan{Seed: seed*0x9E3779B9 + 1, Rate: 0}
+
+		clean := perf.SampleRun(micro.NewMachine(micro.FastConfig(), 11), app.NewRun(0), g, intervals, 4000)
+		injected, err := perf.SampleRunInjected(micro.NewMachine(micro.FastConfig(), 11), app.NewRun(0), g, intervals, 4000, plan.ForRun("prop"))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(clean) != len(injected) {
+			t.Fatalf("seed %d: %d samples vs %d", seed, len(injected), len(clean))
+		}
+		for i := range clean {
+			if clean[i].Interval != injected[i].Interval || clean[i].Instructions != injected[i].Instructions {
+				t.Fatalf("seed %d interval %d: metadata differs", seed, i)
+			}
+			for j := range clean[i].Values {
+				if clean[i].Values[j] != injected[i].Values[j] {
+					t.Fatalf("seed %d: value (%d,%d) differs: %d vs %d",
+						seed, i, j, injected[i].Values[j], clean[i].Values[j])
+				}
+			}
+		}
+	}
+}
+
+// TestInjectorDeterministicPerScope asserts that identical (seed,
+// scope) pairs reproduce identical fault schedules and that different
+// scopes de-correlate.
+func TestInjectorDeterministicPerScope(t *testing.T) {
+	app, g := testApp(t)
+	plan := Plan{Seed: 99, Rate: 0.3}
+	const intervals = 12
+
+	sample := func(scope string) ([]perf.Sample, error) {
+		return perf.SampleRunInjected(micro.NewMachine(micro.FastConfig(), 5), app.NewRun(0), g, intervals, 4000, plan.ForRun(scope))
+	}
+	a, errA := sample("app/b0/a0")
+	b, errB := sample("app/b0/a0")
+	if (errA == nil) != (errB == nil) {
+		t.Fatal("crash outcome differs for identical scopes")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Interval != b[i].Interval {
+			t.Fatal("surviving intervals differ for identical scopes")
+		}
+		for j := range a[i].Values {
+			if a[i].Values[j] != b[i].Values[j] {
+				t.Fatal("values differ for identical scopes")
+			}
+		}
+	}
+
+	// Different scope should (at rate 0.3 across 12 intervals x 4
+	// counters of opportunity) produce a different schedule.
+	c, _ := sample("app/b0/a1")
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].Interval != c[i].Interval {
+				same = false
+				break
+			}
+			for j := range a[i].Values {
+				if a[i].Values[j] != c[i].Values[j] {
+					same = false
+					break
+				}
+			}
+		}
+	}
+	if same {
+		t.Fatal("distinct scopes produced identical fault schedules")
+	}
+}
+
+func TestCrashKindsOnly(t *testing.T) {
+	plan := Plan{Seed: 5, Rate: 1, Kinds: []Kind{CrashRun}}
+	boots, mids := 0, 0
+	for i := 0; i < 64; i++ {
+		in := plan.ForRun(string(rune('a' + i)))
+		if in.BootFails() {
+			boots++
+		} else if in.CrashInterval(10) >= 0 {
+			mids++
+		}
+	}
+	if boots == 0 || mids == 0 {
+		t.Fatalf("rate-1 crash plan should produce both boot (%d) and mid-run (%d) crashes", boots, mids)
+	}
+	// Crash-only plans must not touch values.
+	in := plan.ForRun("x")
+	vals := []uint64{1, 2, 3, 4}
+	in.TransformSample(0, vals)
+	if vals[0] != 1 || vals[3] != 4 {
+		t.Fatal("crash-only plan corrupted counter values")
+	}
+	if in.DropSample(0) {
+		t.Fatal("crash-only plan dropped a sample")
+	}
+}
+
+func TestStuckAndZeroEpisodes(t *testing.T) {
+	plan := Plan{Seed: 8, Rate: 1, Kinds: []Kind{StuckCounter}}
+	in := plan.ForRun("s")
+	first := []uint64{10, 20, 30, 40}
+	in.TransformSample(0, first)
+	next := []uint64{11, 21, 31, 41}
+	in.TransformSample(1, next)
+	for c := range next {
+		if next[c] != first[c] {
+			t.Fatalf("counter %d not stuck: %d != %d", c, next[c], first[c])
+		}
+	}
+
+	plan.Kinds = []Kind{ZeroCounter}
+	in = plan.ForRun("z")
+	vals := []uint64{10, 20, 30, 40}
+	in.TransformSample(0, vals)
+	for c, v := range vals {
+		if v != 0 {
+			t.Fatalf("counter %d not zeroed: %d", c, v)
+		}
+	}
+}
+
+func TestSaturationClamps(t *testing.T) {
+	plan := Plan{Seed: 1, Rate: 1, Kinds: []Kind{Saturation}, SaturationCap: 100}
+	in := plan.ForRun("sat")
+	vals := []uint64{50, 150, 1000, 99}
+	in.TransformSample(0, vals)
+	want := []uint64{50, 100, 100, 99}
+	for c := range vals {
+		if vals[c] != want[c] {
+			t.Fatalf("counter %d: %d, want %d", c, vals[c], want[c])
+		}
+	}
+}
+
+func TestParseKinds(t *testing.T) {
+	all, err := ParseKinds("all")
+	if err != nil || len(all) != int(numKinds) {
+		t.Fatalf("ParseKinds(all) = %v, %v", all, err)
+	}
+	ks, err := ParseKinds("drop, crash")
+	if err != nil || len(ks) != 2 || ks[0] != DropSample || ks[1] != CrashRun {
+		t.Fatalf("ParseKinds(drop,crash) = %v, %v", ks, err)
+	}
+	if _, err := ParseKinds("bogus"); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+	for _, k := range AllKinds() {
+		if _, err := ParseKinds(k.String()); err != nil {
+			t.Fatalf("round-trip %v: %v", k, err)
+		}
+	}
+}
+
+func TestCorruptDatasetDeterministic(t *testing.T) {
+	d := dataset.New([]string{"a", "b"}, dataset.BinaryClassNames())
+	rng := micro.NewRNG(17)
+	for i := 0; i < 40; i++ {
+		if err := d.Add([]float64{rng.Float64() * 1000, rng.Float64() * 1000}, i%2, "g"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	zero := Plan{Seed: 4, Rate: 0}.CorruptDataset(d)
+	for i := range d.X {
+		for j := range d.X[i] {
+			if zero.X[i][j] != d.X[i][j] {
+				t.Fatal("rate-0 corruption must be the identity")
+			}
+		}
+	}
+
+	plan := Plan{Seed: 4, Rate: 0.5}
+	a := plan.CorruptDataset(d)
+	b := plan.CorruptDataset(d)
+	changed := false
+	for i := range a.X {
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatal("corruption not deterministic")
+			}
+			if a.X[i][j] != d.X[i][j] {
+				changed = true
+			}
+		}
+		if a.Y[i] != d.Y[i] {
+			t.Fatal("corruption must not touch labels")
+		}
+	}
+	if !changed {
+		t.Fatal("rate-0.5 corruption changed nothing")
+	}
+}
+
+// TestCrashErrorIdentity makes sure the sentinel errors survive the
+// wrapping applied by the perf layer, which the collect retry logic
+// depends on.
+func TestCrashErrorIdentity(t *testing.T) {
+	app, g := testApp(t)
+	plan := Plan{Seed: 2, Rate: 1, Kinds: []Kind{CrashRun}}
+	sawCrash := false
+	for i := 0; i < 24 && !sawCrash; i++ {
+		in := plan.ForRun(string(rune('k' + i)))
+		if in.BootFails() {
+			continue // boot crashes are lxc's concern
+		}
+		_, err := perf.SampleRunInjected(micro.NewMachine(micro.FastConfig(), 3), app.NewRun(0), g, 10, 4000, in)
+		if err != nil {
+			if !errors.Is(err, perf.ErrRunCrashed) {
+				t.Fatalf("crash error does not wrap ErrRunCrashed: %v", err)
+			}
+			sawCrash = true
+		}
+	}
+	if !sawCrash {
+		t.Fatal("rate-1 mid-run crash plan never crashed")
+	}
+}

@@ -21,6 +21,19 @@ import (
 // ErrDestroyed is returned when a destroyed container is used.
 var ErrDestroyed = errors.New("lxc: container already destroyed")
 
+// ErrCrashed marks a container run killed by fault injection before
+// the workload could execute. Callers distinguish it (and
+// perf.ErrRunCrashed) from real configuration errors to decide whether
+// a retry is worthwhile.
+var ErrCrashed = errors.New("lxc: container crashed")
+
+// Injector is the fault hook consulted by RunIsolatedInjected; the
+// faults package provides the production implementation.
+type Injector interface {
+	// BootFails reports whether this run's container dies at start-up.
+	BootFails() bool
+}
+
 // Container is one isolated execution environment.
 type Container struct {
 	id        int
@@ -88,11 +101,23 @@ func (c *Container) Destroy() {
 // destroys the container afterwards regardless of fn's outcome. This is
 // the paper's per-run discipline in one call.
 func (m *Manager) RunIsolated(seed uint64, fn func(*micro.Machine) error) error {
+	return m.RunIsolatedInjected(seed, nil, fn)
+}
+
+// RunIsolatedInjected is RunIsolated with an optional fault injector:
+// the container may fail at boot (returning an error wrapping
+// ErrCrashed) before fn ever runs. The container is destroyed on every
+// path, so crashed runs cannot leak. A nil injector behaves exactly
+// like RunIsolated.
+func (m *Manager) RunIsolatedInjected(seed uint64, inj Injector, fn func(*micro.Machine) error) error {
 	c := m.Create(seed)
 	defer c.Destroy()
+	if inj != nil && inj.BootFails() {
+		return fmt.Errorf("lxc: container %d failed to start: %w", c.id, ErrCrashed)
+	}
 	mach, err := c.Machine()
 	if err != nil {
-		return err
+		return fmt.Errorf("lxc: container %d: %w", c.id, err)
 	}
 	return fn(mach)
 }

@@ -127,3 +127,49 @@ func TestContainerIDsUnique(t *testing.T) {
 	a.Destroy()
 	b.Destroy()
 }
+
+// bootKiller is a test Injector that fails the first n boots.
+type bootKiller struct{ left int }
+
+func (b *bootKiller) BootFails() bool {
+	if b.left > 0 {
+		b.left--
+		return true
+	}
+	return false
+}
+
+func TestRunIsolatedInjectedBootCrash(t *testing.T) {
+	mgr := NewManager(micro.FastConfig())
+	inj := &bootKiller{left: 1}
+
+	ran := false
+	err := mgr.RunIsolatedInjected(1, inj, func(m *micro.Machine) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("boot crash err = %v, want ErrCrashed", err)
+	}
+	if ran {
+		t.Fatal("fn ran despite boot crash")
+	}
+	if mgr.Active() != 0 {
+		t.Fatal("crashed container leaked")
+	}
+
+	// Second attempt boots fine (the injector's crash budget is spent).
+	if err := mgr.RunIsolatedInjected(1, inj, func(m *micro.Machine) error { return nil }); err != nil {
+		t.Fatalf("retry after boot crash: %v", err)
+	}
+	if err := mgr.CheckClean(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunIsolatedInjectedNilInjector(t *testing.T) {
+	mgr := NewManager(micro.FastConfig())
+	if err := mgr.RunIsolatedInjected(1, nil, func(m *micro.Machine) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

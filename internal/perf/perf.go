@@ -166,20 +166,71 @@ func (c *Counters) ReadDelta() []uint64 {
 // This is the paper's per-batch collection: one full execution of the
 // application observed through 4 counter registers.
 func SampleRun(m *micro.Machine, prog Program, group Group, intervals int, cycleBudget uint64) []Sample {
+	samples, _ := SampleRunInjected(m, prog, group, intervals, cycleBudget, nil)
+	return samples
+}
+
+// Injector is the fault hook consulted by SampleRunInjected; the
+// faults package provides the production implementation. A nil Injector
+// means clean sampling.
+type Injector interface {
+	// CrashInterval returns the interval at which the run dies, or -1.
+	// Consulted once, before sampling starts.
+	CrashInterval(intervals int) int
+	// BudgetJitter may perturb the interval's cycle budget.
+	BudgetJitter(interval int, budget uint64) uint64
+	// DropSample reports whether the interval's reading is lost.
+	DropSample(interval int) bool
+	// TransformSample corrupts the interval's counter deltas in place.
+	TransformSample(interval int, values []uint64)
+}
+
+// ErrRunCrashed marks a sampling run killed mid-stream by fault
+// injection; the samples gathered before the crash are still returned
+// so callers can salvage them.
+var ErrRunCrashed = errors.New("perf: sampling run crashed")
+
+// SampleRunInjected is SampleRun with an optional fault injector
+// threaded through every interval: the injector may jitter the cycle
+// budget, drop whole readings, corrupt counter deltas, or kill the run
+// partway. Dropped intervals are simply absent from the returned slice
+// (Sample.Interval identifies the survivors). On a mid-run crash the
+// partial sample prefix is returned together with an error wrapping
+// ErrRunCrashed. With a nil injector it is byte-for-byte identical to
+// SampleRun.
+func SampleRunInjected(m *micro.Machine, prog Program, group Group, intervals int, cycleBudget uint64, inj Injector) ([]Sample, error) {
 	if intervals <= 0 {
-		return nil
+		return nil, nil
 	}
 	if cycleBudget == 0 {
 		cycleBudget = DefaultCycleBudget
 	}
+	crash := -1
+	if inj != nil {
+		crash = inj.CrashInterval(intervals)
+	}
 	ctr := Attach(m, group)
 	samples := make([]Sample, 0, intervals)
 	for i := 0; i < intervals; i++ {
+		if i == crash {
+			return samples, fmt.Errorf("perf: interval %d/%d: %w", i, intervals, ErrRunCrashed)
+		}
+		budget := cycleBudget
+		if inj != nil {
+			budget = inj.BudgetJitter(i, budget)
+		}
 		p := prog.IntervalParams(i)
-		n := m.RunCycles(&p, cycleBudget)
-		samples = append(samples, Sample{Interval: i, Values: ctr.ReadDelta(), Instructions: n})
+		n := m.RunCycles(&p, budget)
+		vals := ctr.ReadDelta()
+		if inj != nil {
+			if inj.DropSample(i) {
+				continue
+			}
+			inj.TransformSample(i, vals)
+		}
+		samples = append(samples, Sample{Interval: i, Values: vals, Instructions: n})
 	}
-	return samples
+	return samples, nil
 }
 
 // SampleMultiplexed executes prog once while time-slicing all groups

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 checks: everything must pass before a change lands.
+# The race-detector pass covers the packages with real concurrency
+# (parallel collection) and the fault-injection layer feeding it.
+set -ex
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/collect ./internal/faults
