@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	hmd-bench [-exp all|table1|figure3|table2|figure4|figure5|table3|robustness|claims] [-apps N] [-intervals N] [-seed N]
+//	hmd-bench [-exp all|table1|figure3|table2|figure4|figure5|table3|robustness|chaos|claims] [-apps N] [-intervals N] [-seed N]
 //
 // With -exp all (the default) the tool prints every artefact in paper
 // order followed by the headline-claim checklist. Expect a few minutes
@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, figure3, table2, figure4, figure5, table3, extensions, robustness, claims")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, figure3, table2, figure4, figure5, table3, extensions, robustness, chaos, claims")
 	apps := flag.Int("apps", 10, "applications per behaviour family (10 = paper scale, 120 apps)")
 	intervals := flag.Int("intervals", 30, "sampling intervals per run")
 	seed := flag.Uint64("seed", 1, "split/training seed")
@@ -62,6 +62,7 @@ func main() {
 	run("table3", table3)
 	run("extensions", extensions)
 	run("robustness", robustness)
+	run("chaos", chaos)
 	run("claims", claims)
 }
 
@@ -167,6 +168,31 @@ func robustness(ctx *experiments.Context) error {
 		}
 		fmt.Print(experiments.RenderRobustness(curve))
 		fmt.Println()
+	}
+	return nil
+}
+
+// chaos runs the supervised-service drill: crash-safe checkpoint
+// recovery plus fault-injected monitoring through the supervised
+// pipeline, with the service contracts (gap-free stream, breaker
+// trip/recovery, torn-checkpoint quarantine, determinism) asserted.
+func chaos(ctx *experiments.Context) error {
+	dir, err := os.MkdirTemp("", "hmd-chaos-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	res, err := ctx.Chaos(experiments.ChaosConfig{
+		Plan:          faults.Plan{Seed: 0xCA05, Rate: 0.3},
+		CheckpointDir: dir,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderChaos(res))
+	fmt.Println()
+	if !res.Passed() {
+		return fmt.Errorf("chaos drill contracts failed")
 	}
 	return nil
 }

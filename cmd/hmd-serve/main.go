@@ -1,0 +1,419 @@
+// Command hmd-serve runs the hardware malware detector as a supervised
+// long-running service. Startup trains the fallback chain (or reloads
+// it from a crash-safe checkpoint, skipping training entirely), then
+// the supervised pipeline monitors a rotating schedule of unseen
+// applications: collection, feature reduction and ensemble inference
+// run as independently restartable stages behind bounded queues, a
+// circuit breaker guards the sample source, and the chain's run-time
+// state is checkpointed so a killed process resumes its verdict
+// timeline instead of restarting it.
+//
+// Usage:
+//
+//	hmd-serve [-addr :8642] [-checkpoint DIR] [-faults RATE] [-loops N] ...
+//
+// HTTP endpoints (when -addr is set):
+//
+//	/healthz  liveness: 200 as soon as the process serves HTTP
+//	/readyz   readiness: 503 while training/recovering, 200 once monitoring
+//	/stats    JSON snapshot: service phase, collection progress while
+//	          training, and the supervised pipeline's counters (restarts,
+//	          breaker trips, queue depths, drops, checkpoints)
+//
+// The service is deterministic per seed: faults, crashes, breaker
+// behaviour and verdicts reproduce exactly across runs (modulo HTTP
+// timing, which observes but never steers the pipeline).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/micro"
+	"repro/internal/mlearn/zoo"
+	"repro/internal/supervise"
+	"repro/internal/workload"
+)
+
+func main() {
+	name := flag.String("classifier", "REPTree", "base classifier for the fallback chain")
+	variantName := flag.String("variant", "general", "general, boosted or bagging")
+	countsFlag := flag.String("counts", "4,2", "chain HPC budgets, primary first")
+	window := flag.Int("window", 5, "sliding verdict window (samples)")
+	apps := flag.Int("apps", 4, "training applications per behaviour family")
+	intervals := flag.Int("intervals", 10, "sampling intervals per training run")
+	nApps := flag.Int("monitor-apps", 6, "unseen applications per monitoring loop")
+	monIntervals := flag.Int("monitor-intervals", 40, "sampling intervals per monitored app")
+	loops := flag.Int("loops", 1, "monitoring loops over the schedule (0 = run until signalled)")
+	seed := flag.Uint64("seed", 1, "split/training seed")
+	faultRate := flag.Float64("faults", 0, "fault-injection rate on the monitored source (0 = clean)")
+	faultKinds := flag.String("fault-kinds", "all", "comma-separated fault kinds: drop,stuck,zero,noise,saturate,jitter,crash (or all)")
+	addr := flag.String("addr", "", "HTTP listen address for health/stats (empty = no HTTP)")
+	ckptDir := flag.String("checkpoint", "", "checkpoint directory (empty = no persistence)")
+	ckptEvery := flag.Int("checkpoint-every", 16, "verdicts between chain-state checkpoints")
+	queueCap := flag.Int("queue", 8, "bounded stage-queue capacity")
+	policy := flag.String("overflow", "block", "queue overflow policy: block (deterministic) or drop-oldest")
+	flag.Parse()
+
+	variant := zoo.General
+	switch strings.ToLower(*variantName) {
+	case "boosted":
+		variant = zoo.Boosted
+	case "bagging", "bagged":
+		variant = zoo.Bagged
+	}
+	counts, err := parseCounts(*countsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	overflow := supervise.Block
+	if *policy == "drop-oldest" {
+		overflow = supervise.DropOldest
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := newService()
+	if *addr != "" {
+		shutdown := srv.serveHTTP(*addr)
+		defer shutdown()
+	}
+
+	// ---- Model: recover from checkpoint or train from scratch ----
+	var modelStore, stateStore *core.CheckpointStore
+	if *ckptDir != "" {
+		if modelStore, err = core.NewCheckpointStore(*ckptDir, "model", core.ChainModelVersion); err != nil {
+			fatal(err)
+		}
+		if stateStore, err = core.NewCheckpointStore(*ckptDir, "state", core.ChainStateVersion); err != nil {
+			fatal(err)
+		}
+	}
+	chain, err := loadOrTrain(srv, modelStore, *name, variant, counts, *window, *apps, *intervals, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	// ---- Supervised pipeline ----
+	var plan *faults.Plan
+	if *faultRate > 0 {
+		kinds, err := faults.ParseKinds(*faultKinds)
+		if err != nil {
+			fatal(err)
+		}
+		plan = &faults.Plan{Seed: *seed, Rate: *faultRate, Kinds: kinds}
+	}
+	pipe, err := supervise.New(supervise.Config{
+		Chain:           chain,
+		QueueCap:        *queueCap,
+		Policy:          overflow,
+		Checkpoint:      stateStore,
+		CheckpointEvery: *ckptEvery,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if stateStore != nil {
+		gen, quarantined, rerr := pipe.RestoreState()
+		switch {
+		case rerr == nil:
+			fmt.Fprintf(os.Stderr, "hmd-serve: resumed chain state from checkpoint generation %d (interval %d)\n",
+				gen, chain.State().Interval)
+		case errors.Is(rerr, core.ErrNoCheckpoint):
+			// Fresh timeline.
+		default:
+			fatal(rerr)
+		}
+		for _, q := range quarantined {
+			fmt.Fprintf(os.Stderr, "hmd-serve: quarantined torn state checkpoint: %s\n", q)
+		}
+	}
+	srv.setPipeline(pipe)
+
+	// ---- Monitoring loop over unseen applications ----
+	schedule := unseenSchedule(*nApps)
+	if len(schedule) == 0 {
+		fatal(errors.New("empty monitoring schedule"))
+	}
+	srv.setReady(true)
+	fmt.Fprintf(os.Stderr, "hmd-serve: monitoring %d unseen apps x %d intervals per loop\n",
+		len(schedule), *monIntervals)
+
+	for loop := 0; *loops == 0 || loop < *loops; loop++ {
+		for _, app := range schedule {
+			if ctx.Err() != nil {
+				finish(srv, pipe, stateStore)
+				return
+			}
+			srv.setApp(app.Name, loop)
+			src, err := supervise.NewMachineSource(supervise.MachineSourceConfig{
+				Machine: micro.FastConfig(),
+				Run:     app.NewRun(loop),
+				Events:  chain.Events(),
+				Total:   *monIntervals,
+				Plan:    plan,
+				Scope:   fmt.Sprintf("%s/l%d", app.Name, loop),
+			})
+			if err != nil {
+				fatal(err)
+			}
+			verdicts, err := pipe.Run(ctx, src, *monIntervals)
+			if err != nil {
+				if errors.Is(err, context.Canceled) {
+					finish(srv, pipe, stateStore)
+					return
+				}
+				fatal(fmt.Errorf("monitoring %s: %w", app.Name, err))
+			}
+			logApp(app, verdicts, pipe.Stats())
+		}
+	}
+	finish(srv, pipe, stateStore)
+}
+
+// finish persists the chain state once more so the next process resumes
+// exactly where this one stopped.
+func finish(srv *service, pipe *supervise.Pipeline, stateStore *core.CheckpointStore) {
+	srv.setReady(false)
+	if stateStore != nil {
+		if err := pipe.SaveState(); err != nil {
+			fmt.Fprintf(os.Stderr, "hmd-serve: final state checkpoint failed: %v\n", err)
+		}
+	}
+	st := pipe.Stats()
+	fmt.Fprintf(os.Stderr, "hmd-serve: done: %d verdicts (%d prior-held), %d source failures, breaker trips=%d, restarts=%d, checkpoints=%d\n",
+		st.Verdicts, st.LostVerdicts, st.SourceFailures, st.Breaker.Trips,
+		st.Collector.Restarts+st.Reducer.Restarts+st.Inferrer.Restarts, st.CheckpointsWritten)
+}
+
+// loadOrTrain reloads the trained chain from the model checkpoint, or
+// trains it from a fresh collection pass (exposing live collection
+// progress through the service) and checkpoints the result.
+func loadOrTrain(srv *service, store *core.CheckpointStore, name string, variant zoo.Variant,
+	counts []int, window, apps, intervals int, seed uint64) (*core.FallbackChain, error) {
+	if store != nil {
+		var chain *core.FallbackChain
+		gen, quarantined, err := store.Recover(func(payload []byte) error {
+			c, cerr := core.LoadChain(bytes.NewReader(payload))
+			if cerr != nil {
+				return cerr
+			}
+			chain = c
+			return nil
+		})
+		for _, q := range quarantined {
+			fmt.Fprintf(os.Stderr, "hmd-serve: quarantined torn model checkpoint: %s\n", q)
+		}
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "hmd-serve: loaded trained chain from checkpoint generation %d\n", gen)
+			return chain, nil
+		}
+		if !errors.Is(err, core.ErrNoCheckpoint) {
+			return nil, err
+		}
+	}
+
+	fmt.Fprintln(os.Stderr, "hmd-serve: no model checkpoint; collecting corpus and training...")
+	cfg := collect.Default()
+	cfg.Suite.AppsPerFamily = apps
+	cfg.Intervals = intervals
+	cfg.Live = srv.live
+	start := time.Now()
+	res, err := collect.Collect(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("collecting corpus: %w", err)
+	}
+	b, err := core.NewBuilder(res.Data, 0.7, seed)
+	if err != nil {
+		return nil, fmt.Errorf("splitting corpus: %w", err)
+	}
+	chain, err := b.BuildChain(name, variant, counts, core.ChainConfig{Window: window})
+	if err != nil {
+		return nil, fmt.Errorf("training chain: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "hmd-serve: trained %v chain in %v\n", counts, time.Since(start).Round(time.Millisecond))
+	if store != nil {
+		if err := store.Save(func(w io.Writer) error { return core.SaveChain(w, chain) }); err != nil {
+			return nil, fmt.Errorf("checkpointing model: %w", err)
+		}
+	}
+	return chain, nil
+}
+
+func unseenSchedule(n int) []workload.App {
+	unseen := workload.Suite(workload.SuiteConfig{Seed: 0xBEEF, AppsPerFamily: 1})
+	benign, malware := workload.Split(unseen)
+	var schedule []workload.App
+	for i := 0; i < n; i++ {
+		if i%2 == 0 && i/2 < len(benign) {
+			schedule = append(schedule, benign[i/2])
+		} else if i/2 < len(malware) {
+			schedule = append(schedule, malware[i/2])
+		}
+	}
+	return schedule
+}
+
+func logApp(app workload.App, verdicts []core.Verdict, st supervise.Snapshot) {
+	flags := 0
+	for _, v := range verdicts {
+		if v.Malware {
+			flags++
+		}
+	}
+	verdict := "BENIGN "
+	if len(verdicts) > 0 && flags > len(verdicts)/3 {
+		verdict = "MALWARE"
+	}
+	fmt.Printf("%-22s truth=%-8s verdict=%s  intervals=%d held=%d breaker=%s\n",
+		app.Name, app.Class, verdict, len(verdicts), st.LostVerdicts, st.Breaker.State)
+}
+
+func parseCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -counts entry %q", part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, errors.New("-counts must list at least one HPC budget")
+	}
+	return counts, nil
+}
+
+// service is the HTTP-observable state of the process. All fields are
+// mutex-guarded; the HTTP handlers only ever read snapshots, so scraping
+// never perturbs the pipeline.
+type service struct {
+	mu    sync.Mutex
+	ready bool
+	app   string
+	loop  int
+	pipe  *supervise.Pipeline
+	live  *collect.LiveReport
+}
+
+func newService() *service {
+	return &service{live: &collect.LiveReport{}}
+}
+
+func (s *service) setReady(v bool) { s.mu.Lock(); s.ready = v; s.mu.Unlock() }
+
+func (s *service) setApp(name string, loop int) {
+	s.mu.Lock()
+	s.app, s.loop = name, loop
+	s.mu.Unlock()
+}
+
+func (s *service) setPipeline(p *supervise.Pipeline) {
+	s.mu.Lock()
+	s.pipe = p
+	s.mu.Unlock()
+}
+
+// statsPayload is the /stats JSON document.
+type statsPayload struct {
+	Phase string `json:"phase"` // "starting", "training", "serving"
+	App   string `json:"app,omitempty"`
+	Loop  int    `json:"loop"`
+
+	// Collection progress (meaningful while training).
+	CollectedApps    int             `json:"collected_apps"`
+	CollectionReport *collect.Report `json:"collection,omitempty"`
+
+	// Supervised-pipeline counters (present once the pipeline exists).
+	Pipeline *supervise.Snapshot `json:"pipeline,omitempty"`
+}
+
+func (s *service) stats() statsPayload {
+	s.mu.Lock()
+	ready, app, loop, pipe := s.ready, s.app, s.loop, s.pipe
+	s.mu.Unlock()
+
+	rep, apps := s.live.Snapshot()
+	payload := statsPayload{
+		Phase:         "starting",
+		App:           app,
+		Loop:          loop,
+		CollectedApps: apps,
+	}
+	if apps > 0 {
+		payload.Phase = "training"
+		payload.CollectionReport = &rep
+	}
+	if pipe != nil {
+		snap := pipe.Stats()
+		payload.Pipeline = &snap
+	}
+	if ready {
+		payload.Phase = "serving"
+	}
+	return payload
+}
+
+// serveHTTP starts the observation endpoints and returns a shutdown
+// function.
+func (s *service) serveHTTP(addr string) func() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		ready := s.ready
+		s.mu.Unlock()
+		if !ready {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s.stats()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	srv := &http.Server{Addr: addr, Handler: mux}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "hmd-serve: http: %v\n", err)
+		}
+	}()
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hmd-serve:", err)
+	os.Exit(1)
+}

@@ -52,6 +52,12 @@ type Config struct {
 	// doubles per attempt. Negative disables sleeping entirely (useful
 	// in tests); 0 = DefaultRetryBackoff.
 	RetryBackoff time.Duration
+
+	// Live, when non-nil, receives fault accounting incrementally as
+	// applications finish, so a serving process can expose collection
+	// progress while the pass is still running. The final Result.Report
+	// is unaffected (and stays deterministically ordered).
+	Live *LiveReport
 }
 
 // DefaultMaxRetries is the per-batch retry budget used when faults are
@@ -141,6 +147,41 @@ func (r *Report) merge(o appReport, groups []perf.Group) {
 	}
 }
 
+// LiveReport is a concurrency-safe view of an in-flight collection
+// pass. Workers merge each application's accounting as it completes;
+// any number of readers may Snapshot concurrently (hmd-serve scrapes
+// one from its /stats endpoint during startup training). Because apps
+// complete in scheduling order, intermediate snapshots are not
+// deterministic — only the final state is, and it equals the pass's
+// Result.Report.
+type LiveReport struct {
+	mu   sync.Mutex
+	rep  Report
+	apps int
+}
+
+// Snapshot returns a copy of the accounting so far plus the number of
+// applications fully collected.
+func (l *LiveReport) Snapshot() (Report, int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rep := l.rep
+	if l.rep.MissingEvents != nil {
+		rep.MissingEvents = make(map[string]int, len(l.rep.MissingEvents))
+		for k, v := range l.rep.MissingEvents {
+			rep.MissingEvents[k] = v
+		}
+	}
+	return rep, l.apps
+}
+
+func (l *LiveReport) merge(o appReport, groups []perf.Group) {
+	l.mu.Lock()
+	l.rep.merge(o, groups)
+	l.apps++
+	l.mu.Unlock()
+}
+
 // Result carries the assembled dataset plus collection bookkeeping.
 type Result struct {
 	Data *dataset.Instances
@@ -215,6 +256,9 @@ func Collect(cfg Config) (*Result, error) {
 			for ai := range work {
 				results[ai].vectors, results[ai].report, results[ai].err =
 					collectApp(mgr, &apps[ai], groups, &cfg)
+				if cfg.Live != nil && results[ai].err == nil {
+					cfg.Live.merge(results[ai].report, groups)
+				}
 			}
 		}()
 	}

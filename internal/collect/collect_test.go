@@ -293,3 +293,68 @@ func TestCollectBadConfig(t *testing.T) {
 		t.Error("invalid event should fail")
 	}
 }
+
+// TestLiveReportConcurrentScrape runs a faulty collection pass while a
+// reader hammers the live report — the -race runs of this package are
+// the real assertion — and checks the final live state equals the
+// pass's own report.
+func TestLiveReportConcurrentScrape(t *testing.T) {
+	cfg := Small()
+	cfg.Faults = &faults.Plan{Seed: 11, Rate: 0.3}
+	cfg.RetryBackoff = -1
+	cfg.Live = &LiveReport{}
+
+	stop := make(chan struct{})
+	scraped := make(chan int)
+	go func() {
+		n := 0
+		for {
+			select {
+			case <-stop:
+				scraped <- n
+				return
+			default:
+				rep, apps := cfg.Live.Snapshot()
+				_ = rep.Degraded()
+				_ = apps
+				n++
+			}
+		}
+	}()
+
+	res, err := Collect(cfg)
+	close(stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := <-scraped; n == 0 {
+		t.Fatal("scraper never ran")
+	}
+
+	final, apps := cfg.Live.Snapshot()
+	if apps != len(workload.Suite(cfg.Suite)) {
+		t.Fatalf("live report saw %d apps, want %d", apps, len(workload.Suite(cfg.Suite)))
+	}
+	// The live report accumulates the same per-app accounting the final
+	// Report merges, so the totals must agree exactly.
+	if final.Runs != res.Report.Runs || final.Retries != res.Report.Retries ||
+		final.CrashedRuns != res.Report.CrashedRuns || final.LostBatches != res.Report.LostBatches ||
+		final.DroppedSamples != res.Report.DroppedSamples || final.ImputedValues != res.Report.ImputedValues {
+		t.Fatalf("live report diverges from pass report:\nlive:  %v\nfinal: %v", final, res.Report)
+	}
+	if len(final.MissingEvents) != len(res.Report.MissingEvents) {
+		t.Fatalf("missing-event maps diverge: %v vs %v", final.MissingEvents, res.Report.MissingEvents)
+	}
+
+	// Snapshot returns a copy: mutating it must not corrupt the source.
+	snap, _ := cfg.Live.Snapshot()
+	for k := range snap.MissingEvents {
+		snap.MissingEvents[k] = -1
+	}
+	again, _ := cfg.Live.Snapshot()
+	for k, v := range again.MissingEvents {
+		if v < 0 {
+			t.Fatalf("snapshot aliases the live map (event %s)", k)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+// Crash-safe detector and chain persistence for the supervised runtime.
+// A CheckpointStore keeps a small rotation of checkpoint generations
+// (name.ckpt is the newest, name.ckpt.1 the previous one) written
+// through persist's atomic temp-file + fsync + rename path. Recovery
+// walks the generations newest-first, quarantines any file that fails
+// validation — a torn write from a killed process must never be loaded
+// — and decodes the first good one.
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/mlearn/persist"
+	"repro/internal/mlearn/zoo"
+)
+
+// Checkpoint payload versions. Each independent payload format gets its
+// own version so a store can reject payloads it cannot decode.
+const (
+	// ChainModelVersion versions the trained-chain checkpoint payload
+	// (SaveChain/LoadChain).
+	ChainModelVersion = 1
+	// ChainStateVersion versions the run-time chain-state payload
+	// (ChainState via gob).
+	ChainStateVersion = 1
+)
+
+// ErrNoCheckpoint is returned by Recover when no usable generation
+// exists — the caller should fall back to training from scratch.
+var ErrNoCheckpoint = errors.New("core: no usable checkpoint")
+
+// CheckpointStore manages the rotated generations of one named
+// checkpoint inside a directory. It is safe for concurrent use.
+type CheckpointStore struct {
+	mu      sync.Mutex
+	dir     string
+	name    string
+	version uint32
+	keep    int // previous generations kept besides the newest
+}
+
+// NewCheckpointStore creates (if needed) dir and returns a store for
+// checkpoints named name with the given payload version. One previous
+// generation is kept as the fallback for a torn newest write.
+func NewCheckpointStore(dir, name string, version uint32) (*CheckpointStore, error) {
+	if name == "" {
+		return nil, errors.New("core: checkpoint name must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: creating checkpoint dir: %w", err)
+	}
+	return &CheckpointStore{dir: dir, name: name, version: version, keep: 1}, nil
+}
+
+// Path returns the file path of generation gen (0 = newest).
+func (s *CheckpointStore) Path(gen int) string {
+	base := filepath.Join(s.dir, s.name+".ckpt")
+	if gen == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s.%d", base, gen)
+}
+
+// Save writes a new newest generation with the payload produced by fn,
+// first rotating the current newest (if any) into the .1 slot. The
+// write itself is atomic, so a crash at any point leaves either the old
+// rotation or the completed new one — never a torn file under a live
+// generation name.
+func (s *CheckpointStore) Save(fn func(io.Writer) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	newest := s.Path(0)
+	if _, err := os.Stat(newest); err == nil {
+		if err := os.Rename(newest, s.Path(1)); err != nil {
+			return fmt.Errorf("core: rotating checkpoint: %w", err)
+		}
+	}
+	if err := persist.WriteCheckpoint(newest, s.version, fn); err != nil {
+		return fmt.Errorf("core: writing checkpoint %s: %w", s.name, err)
+	}
+	return nil
+}
+
+// Recover finds the newest generation that validates and decodes,
+// hands its payload to decode, and reports which generation was used.
+// Generations that fail validation (torn by a crashed writer, wrong
+// version) or whose payload fails to decode are quarantined — renamed
+// aside with a .corrupt suffix so they are never considered again — and
+// recovery falls through to the next older generation. With no usable
+// generation the error wraps ErrNoCheckpoint.
+func (s *CheckpointStore) Recover(decode func(payload []byte) error) (gen int, quarantined []string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var lastErr error
+	for g := 0; g <= s.keep; g++ {
+		path := s.Path(g)
+		payload, rerr := persist.ReadCheckpoint(path, s.version)
+		if rerr != nil {
+			if errors.Is(rerr, os.ErrNotExist) {
+				continue
+			}
+			lastErr = rerr
+			quarantined = append(quarantined, s.quarantine(path))
+			continue
+		}
+		if derr := decode(payload); derr != nil {
+			// The container validated but the payload does not decode:
+			// same treatment, the file is unusable.
+			lastErr = derr
+			quarantined = append(quarantined, s.quarantine(path))
+			continue
+		}
+		return g, quarantined, nil
+	}
+	if lastErr != nil {
+		return -1, quarantined, fmt.Errorf("%w (last failure: %v)", ErrNoCheckpoint, lastErr)
+	}
+	return -1, quarantined, ErrNoCheckpoint
+}
+
+// quarantine moves a corrupt checkpoint aside, picking a fresh
+// .corrupt-N name so successive quarantines never clobber evidence.
+// The original path is returned if even the rename fails (nothing more
+// can be done; the file will fail validation again next time).
+func (s *CheckpointStore) quarantine(path string) string {
+	for n := 0; ; n++ {
+		dst := fmt.Sprintf("%s.corrupt-%d", path, n)
+		if _, err := os.Stat(dst); err == nil {
+			continue
+		}
+		if err := os.Rename(path, dst); err != nil {
+			return path
+		}
+		return dst
+	}
+}
+
+// chainHeader precedes the per-stage detectors in a chain checkpoint.
+type chainHeader struct {
+	Stages int
+	Cfg    ChainConfig
+}
+
+// SaveChain serialises a trained fallback chain — configuration plus
+// every stage's detector — so a monitoring process can reload it
+// without retraining.
+func SaveChain(w io.Writer, fc *FallbackChain) error {
+	if fc == nil || len(fc.stages) == 0 {
+		return errors.New("core: nil or empty chain")
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(chainHeader{Stages: len(fc.stages), Cfg: fc.cfg}); err != nil {
+		return fmt.Errorf("core: encoding chain header: %w", err)
+	}
+	for i, d := range fc.stages {
+		hdr := detectorHeader{BaseName: d.BaseName, Variant: int(d.Variant), Events: d.Events}
+		if err := enc.Encode(hdr); err != nil {
+			return fmt.Errorf("core: encoding stage %d header: %w", i, err)
+		}
+		if err := persist.SaveInto(enc, d.Model); err != nil {
+			return fmt.Errorf("core: encoding stage %d model: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LoadChain reads a chain previously written by SaveChain and
+// revalidates it through NewFallbackChain (stage shrinking, event
+// subsets, PMU fit).
+func LoadChain(r io.Reader) (*FallbackChain, error) {
+	dec := gob.NewDecoder(r)
+	var hdr chainHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("core: decoding chain header: %w", err)
+	}
+	if hdr.Stages <= 0 || hdr.Stages > 16 {
+		return nil, fmt.Errorf("core: chain checkpoint declares %d stages", hdr.Stages)
+	}
+	stages := make([]*Detector, hdr.Stages)
+	for i := range stages {
+		var dh detectorHeader
+		if err := dec.Decode(&dh); err != nil {
+			return nil, fmt.Errorf("core: decoding stage %d header: %w", i, err)
+		}
+		for _, ev := range dh.Events {
+			if !ev.Valid() {
+				return nil, fmt.Errorf("core: stage %d references unknown event %d", i, ev)
+			}
+		}
+		model, err := persist.LoadFrom(dec)
+		if err != nil {
+			return nil, fmt.Errorf("core: decoding stage %d model: %w", i, err)
+		}
+		stages[i] = &Detector{
+			BaseName: dh.BaseName,
+			Variant:  zoo.Variant(dh.Variant),
+			Events:   dh.Events,
+			Model:    model,
+		}
+	}
+	return NewFallbackChain(stages, hdr.Cfg)
+}

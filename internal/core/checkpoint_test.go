@@ -1,0 +1,252 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/mlearn/zoo"
+)
+
+func testStore(t *testing.T, version uint32) *CheckpointStore {
+	t.Helper()
+	s, err := NewCheckpointStore(t.TempDir(), "model", version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func saveString(t *testing.T, s *CheckpointStore, payload string) {
+	t.Helper()
+	if err := s.Save(func(w io.Writer) error {
+		_, err := io.WriteString(w, payload)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func recoverString(t *testing.T, s *CheckpointStore) (string, int, []string) {
+	t.Helper()
+	var got string
+	gen, quarantined, err := s.Recover(func(p []byte) error {
+		got = string(p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, gen, quarantined
+}
+
+func TestCheckpointStoreRotation(t *testing.T) {
+	s := testStore(t, 1)
+	saveString(t, s, "first")
+	saveString(t, s, "second")
+	saveString(t, s, "third")
+
+	got, gen, q := recoverString(t, s)
+	if got != "third" || gen != 0 || len(q) != 0 {
+		t.Fatalf("got %q gen %d quarantined %v", got, gen, q)
+	}
+	// The previous generation must hold the second write.
+	if raw, err := os.ReadFile(s.Path(1)); err != nil || !strings.HasSuffix(string(raw), "second") {
+		t.Fatalf("previous generation: %q, %v", raw, err)
+	}
+}
+
+// TestCheckpointStoreTornNewestFallsBack is the kill -9 scenario: the
+// newest generation is torn (a writer that bypassed the atomic path, or
+// a filesystem that lost the tail), and recovery must quarantine it and
+// load the previous good generation — the torn file is never decoded.
+func TestCheckpointStoreTornNewestFallsBack(t *testing.T) {
+	s := testStore(t, 1)
+	saveString(t, s, "good-old")
+	saveString(t, s, "good-new")
+
+	// Tear the newest generation in place.
+	raw, err := os.ReadFile(s.Path(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.Path(0), raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, gen, q := recoverString(t, s)
+	if got != "good-old" {
+		t.Fatalf("recovered %q, want the previous good generation", got)
+	}
+	if gen != 1 {
+		t.Fatalf("recovered generation %d, want 1", gen)
+	}
+	if len(q) != 1 || !strings.Contains(q[0], ".corrupt-") {
+		t.Fatalf("torn file not quarantined: %v", q)
+	}
+	if _, err := os.Stat(s.Path(0)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("torn newest generation still present under its live name")
+	}
+}
+
+func TestCheckpointStoreAllTorn(t *testing.T) {
+	s := testStore(t, 1)
+	saveString(t, s, "a")
+	saveString(t, s, "b")
+	for gen := 0; gen <= 1; gen++ {
+		if err := os.WriteFile(s.Path(gen), []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, q, err := s.Recover(func([]byte) error { return nil })
+	if !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("want ErrNoCheckpoint, got %v", err)
+	}
+	if len(q) != 2 {
+		t.Fatalf("want both generations quarantined, got %v", q)
+	}
+}
+
+func TestCheckpointStoreEmpty(t *testing.T) {
+	s := testStore(t, 1)
+	_, q, err := s.Recover(func([]byte) error { return nil })
+	if !errors.Is(err, ErrNoCheckpoint) || len(q) != 0 {
+		t.Fatalf("empty store: err=%v quarantined=%v", err, q)
+	}
+}
+
+func TestCheckpointStoreUndecodablePayloadQuarantined(t *testing.T) {
+	s := testStore(t, 1)
+	saveString(t, s, "good")
+	saveString(t, s, "not-a-gob-stream")
+	var got string
+	gen, q, err := s.Recover(func(p []byte) error {
+		if string(p) == "not-a-gob-stream" {
+			return errors.New("decode failure")
+		}
+		got = string(p)
+		return nil
+	})
+	if err != nil || got != "good" || gen != 1 {
+		t.Fatalf("err=%v got=%q gen=%d", err, got, gen)
+	}
+	if len(q) != 1 {
+		t.Fatalf("undecodable newest not quarantined: %v", q)
+	}
+}
+
+func TestSaveLoadChainRoundTrip(t *testing.T) {
+	b := newBuilder(t)
+	chain, err := b.BuildChain("REPTree", zoo.General, []int{4, 2}, ChainConfig{Window: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := SaveChain(&buf, chain); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadChain(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Stages() != chain.Stages() {
+		t.Fatalf("stage count %d != %d", loaded.Stages(), chain.Stages())
+	}
+	for i := 0; i <= chain.Stages(); i++ {
+		if loaded.StageName(i) != chain.StageName(i) {
+			t.Fatalf("stage %d: %q != %q", i, loaded.StageName(i), chain.StageName(i))
+		}
+	}
+
+	// The reloaded chain must score identically: same verdict stream on
+	// the same readings.
+	for i := 0; i < 20; i++ {
+		want, err := chain.Observe(liveValues(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Observe(liveValues(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != got {
+			t.Fatalf("interval %d: verdict %+v != %+v", i, got, want)
+		}
+	}
+}
+
+func TestChainStateRoundTrip(t *testing.T) {
+	chain := newChain(t, ChainConfig{Window: 4})
+	// Drive the chain into a degraded, mid-window state: healthy
+	// readings, then a dead counter.
+	for i := 0; i < 6; i++ {
+		if _, err := chain.Observe(liveValues(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dead := []uint64{0, 2000, 3000, 4000}
+	for i := 0; i < 4; i++ {
+		dead[1], dead[2], dead[3] = dead[1]+17, dead[2]+29, dead[3]+31
+		if _, err := chain.Observe(dead); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := chain.State()
+
+	// Serialise through gob as the supervised checkpointer does.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	var decoded ChainState
+	if err := gob.NewDecoder(&buf).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := newChain(t, ChainConfig{Window: 4})
+	if err := restored.SetState(decoded); err != nil {
+		t.Fatal(err)
+	}
+	if restored.ActiveStage() != chain.ActiveStage() {
+		t.Fatalf("active stage %d != %d", restored.ActiveStage(), chain.ActiveStage())
+	}
+	// Both chains must continue bit-identically.
+	for i := 0; i < 10; i++ {
+		v := liveValues(100 + i)
+		want, err := chain.Observe(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Observe(append([]uint64(nil), v...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != got {
+			t.Fatalf("interval %d after restore: %+v != %+v", i, got, want)
+		}
+	}
+}
+
+func TestChainSetStateValidates(t *testing.T) {
+	chain := newChain(t, ChainConfig{})
+	if err := chain.SetState(ChainState{Health: make([]CounterHealthState, 1)}); err == nil {
+		t.Fatal("wrong health width accepted")
+	}
+	if err := chain.SetState(ChainState{Health: make([]CounterHealthState, 4), Active: 99}); err == nil {
+		t.Fatal("out-of-range active stage accepted")
+	}
+	if err := chain.SetState(ChainState{Health: make([]CounterHealthState, 4), Interval: -1}); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+}
+
+func TestCheckpointStoreRejectsEmptyName(t *testing.T) {
+	if _, err := NewCheckpointStore(t.TempDir(), "", 1); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}

@@ -133,7 +133,7 @@ func (b *Builder) Build(baseName string, variant zoo.Variant, k int) (*Detector,
 	}
 	model, err := trainer.Train(trainK, nil)
 	if err != nil {
-		return nil, fmt.Errorf("core: training %s: %v", baseName, err)
+		return nil, fmt.Errorf("core: training %s: %w", baseName, err)
 	}
 	return &Detector{BaseName: baseName, Variant: variant, Events: evs, Model: model}, nil
 }

@@ -287,6 +287,72 @@ func (fc *FallbackChain) ObserveLost() Verdict {
 	return fc.verdict(last)
 }
 
+// CounterHealthState is the serialisable state of one counter's health
+// tracker.
+type CounterHealthState struct {
+	Last       uint64
+	Seen       bool
+	SuspectRun int
+	HealthyRun int
+	Bad        bool
+}
+
+// ChainState is the serialisable run-time state of a FallbackChain:
+// everything Observe mutates, and nothing about the trained models. A
+// supervised monitor checkpoints it periodically so a process restart
+// resumes the verdict stream with the same window, stage and health
+// trackers instead of cold-starting at stage 0.
+type ChainState struct {
+	Window      []float64
+	Interval    int
+	Active      int
+	Health      []CounterHealthState
+	Transitions []Transition
+}
+
+// State snapshots the chain's current run-time state.
+func (fc *FallbackChain) State() ChainState {
+	st := ChainState{
+		Window:      append([]float64(nil), fc.history...),
+		Interval:    fc.interval,
+		Active:      fc.active,
+		Health:      make([]CounterHealthState, len(fc.health)),
+		Transitions: append([]Transition(nil), fc.transitions...),
+	}
+	for i, h := range fc.health {
+		st.Health[i] = CounterHealthState{
+			Last: h.last, Seen: h.seen,
+			SuspectRun: h.suspectRun, HealthyRun: h.healthyRun, Bad: h.bad,
+		}
+	}
+	return st
+}
+
+// SetState restores a snapshot taken by State on a chain with the same
+// shape (same primary width and stage count).
+func (fc *FallbackChain) SetState(st ChainState) error {
+	if len(st.Health) != len(fc.health) {
+		return fmt.Errorf("core: chain state has %d counters, chain has %d", len(st.Health), len(fc.health))
+	}
+	if st.Active < 0 || st.Active > len(fc.stages) {
+		return fmt.Errorf("core: chain state active stage %d out of range 0..%d", st.Active, len(fc.stages))
+	}
+	if st.Interval < 0 {
+		return fmt.Errorf("core: chain state interval %d is negative", st.Interval)
+	}
+	fc.history = append(fc.history[:0], st.Window...)
+	fc.interval = st.Interval
+	fc.active = st.Active
+	fc.transitions = append([]Transition(nil), st.Transitions...)
+	for i, h := range st.Health {
+		fc.health[i] = counterHealth{
+			last: h.Last, seen: h.Seen,
+			suspectRun: h.SuspectRun, healthyRun: h.HealthyRun, bad: h.Bad,
+		}
+	}
+	return nil
+}
+
 // PriorScore returns the malware prior of the training split — the
 // score of the chain's terminal stage: with no usable counters the best
 // guess is the base rate.

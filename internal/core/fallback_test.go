@@ -230,3 +230,119 @@ func TestBuilderPriorScore(t *testing.T) {
 		t.Fatalf("prior %.3f outside (0,1) for a mixed corpus", p)
 	}
 }
+
+// TestFallbackRecoveryExactlyAtBoundary pins the hysteresis edge: after
+// a dead episode, the chain must stay degraded through the first
+// GoodAfter-1 healthy readings and step back up on exactly the
+// GoodAfter-th — one interval earlier is flapping, one later is a
+// missed recovery.
+func TestFallbackRecoveryExactlyAtBoundary(t *testing.T) {
+	cfg := ChainConfig{Window: 3, BadAfter: 2, GoodAfter: 3}
+	chain := newChain(t, cfg)
+
+	// Warm-up, then kill everything with zero reads until the chain sits
+	// on the prior stage.
+	i := 0
+	for ; i < 4; i++ {
+		if _, err := chain.Observe(liveValues(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for ; i < 8; i++ {
+		if _, err := chain.Observe([]uint64{0, 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if chain.ActiveStage() != chain.Stages() {
+		t.Fatalf("setup failed: stage %d, want prior (%d)", chain.ActiveStage(), chain.Stages())
+	}
+
+	// GoodAfter-1 healthy readings: still degraded.
+	for k := 0; k < cfg.GoodAfter-1; k++ {
+		if _, err := chain.Observe(liveValues(i)); err != nil {
+			t.Fatal(err)
+		}
+		i++
+		if chain.ActiveStage() != chain.Stages() {
+			t.Fatalf("recovered after %d healthy readings, hysteresis demands %d", k+1, cfg.GoodAfter)
+		}
+	}
+
+	// The GoodAfter-th healthy reading recovers the primary.
+	recoveryInterval := i
+	if _, err := chain.Observe(liveValues(i)); err != nil {
+		t.Fatal(err)
+	}
+	if chain.ActiveStage() != 0 {
+		t.Fatalf("stage %d after %d healthy readings, want primary", chain.ActiveStage(), cfg.GoodAfter)
+	}
+	trs := chain.Transitions()
+	last := trs[len(trs)-1]
+	if last.To != 0 || last.Interval != recoveryInterval {
+		t.Fatalf("recovery transition %+v, want To=0 at interval %d", last, recoveryInterval)
+	}
+}
+
+// TestAllCountersDeadPriorOnlyGoldenStream drives a chain whose every
+// counter is dead from the first interval: the verdict stream must stay
+// gap-free, settle on the training-prior score exactly once the window
+// has flushed, and reproduce bit-identically across chains — the
+// golden behaviour hmd-serve relies on when a source is fully dark.
+func TestAllCountersDeadPriorOnlyGoldenStream(t *testing.T) {
+	b := newBuilder(t)
+	cfg := ChainConfig{Window: 3, BadAfter: 2}
+	build := func() *FallbackChain {
+		chain, err := b.BuildChain("REPTree", zoo.General, []int{4, 2}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return chain
+	}
+	prior := b.PriorScore()
+
+	const total = 20
+	run := func(chain *FallbackChain) []Verdict {
+		out := make([]Verdict, 0, total)
+		for i := 0; i < total; i++ {
+			v, err := chain.Observe([]uint64{0, 0, 0, 0})
+			if err != nil {
+				t.Fatalf("interval %d: %v", i, err)
+			}
+			out = append(out, v)
+		}
+		return out
+	}
+
+	c1 := build()
+	verdicts := run(c1)
+	for i, v := range verdicts {
+		if v.Interval != i {
+			t.Fatalf("gap at interval %d (got %d)", i, v.Interval)
+		}
+	}
+	if c1.ActiveStage() != c1.Stages() {
+		t.Fatalf("stage %d, want prior", c1.ActiveStage())
+	}
+	// Once the chain is on the prior stage AND the window holds only
+	// prior-scored samples, every verdict is exactly the training prior.
+	settled := cfg.BadAfter + cfg.Window
+	for i := settled; i < total; i++ {
+		// The window averages identical prior scores, so the verdict can
+		// differ from the prior only by floating-point rounding.
+		if d := verdicts[i].Score - prior; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("interval %d: score %.17g, want the prior %.17g", i, verdicts[i].Score, prior)
+		}
+		if verdicts[i].Malware != (prior >= 0.5) {
+			t.Fatalf("interval %d: verdict %v inconsistent with prior %.3f", i, verdicts[i].Malware, prior)
+		}
+	}
+
+	// Golden reproducibility: a second identical chain emits the
+	// bit-identical stream.
+	again := run(build())
+	for i := range verdicts {
+		if verdicts[i] != again[i] {
+			t.Fatalf("interval %d: %+v != %+v across identical chains", i, verdicts[i], again[i])
+		}
+	}
+}

@@ -28,7 +28,7 @@ func SaveDetector(w io.Writer, d *Detector) error {
 	enc := gob.NewEncoder(w)
 	hdr := detectorHeader{BaseName: d.BaseName, Variant: int(d.Variant), Events: d.Events}
 	if err := enc.Encode(hdr); err != nil {
-		return fmt.Errorf("core: encoding detector header: %v", err)
+		return fmt.Errorf("core: encoding detector header: %w", err)
 	}
 	return persist.SaveInto(enc, d.Model)
 }
@@ -38,7 +38,7 @@ func LoadDetector(r io.Reader) (*Detector, error) {
 	dec := gob.NewDecoder(r)
 	var hdr detectorHeader
 	if err := dec.Decode(&hdr); err != nil {
-		return nil, fmt.Errorf("core: decoding detector header: %v", err)
+		return nil, fmt.Errorf("core: decoding detector header: %w", err)
 	}
 	for _, ev := range hdr.Events {
 		if !ev.Valid() {

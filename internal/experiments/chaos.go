@@ -1,0 +1,366 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/micro"
+	"repro/internal/mlearn/zoo"
+	"repro/internal/supervise"
+	"repro/internal/workload"
+)
+
+// The chaos experiment is the end-to-end drill for the supervised
+// run-time service: a trained fallback chain is checkpointed, a torn
+// checkpoint (the kill -9 case) is recovered from, and the supervised
+// pipeline then monitors a schedule of unseen applications while a
+// seeded fault plan crashes the source, drops samples and corrupts
+// counters. The experiment asserts the service's contracts rather than
+// its accuracy: the verdict stream stays gap-free, the circuit breaker
+// trips and recovers, the torn checkpoint is quarantined (never
+// loaded), and the whole exercise reproduces bit-identically per seed.
+
+// ChaosConfig parameterises the chaos drill.
+type ChaosConfig struct {
+	// Classifier/Variant/Counts/Window define the fallback chain
+	// (defaults: REPTree, General, [4,2], window 5).
+	Classifier string
+	Variant    zoo.Variant
+	Counts     []int
+	Window     int
+	// Apps is the number of unseen applications monitored (default 6).
+	Apps int
+	// Intervals per application (default 40).
+	Intervals int
+	// Plan is the fault plan; Rate must be positive so the drill
+	// actually exercises crash paths.
+	Plan faults.Plan
+	// Breaker configures the source circuit breaker (defaults apply).
+	Breaker supervise.BreakerConfig
+	// CheckpointDir hosts the checkpoint-recovery drill's files.
+	CheckpointDir string
+}
+
+func (c *ChaosConfig) fill() {
+	if c.Classifier == "" {
+		c.Classifier = "REPTree"
+	}
+	if len(c.Counts) == 0 {
+		c.Counts = []int{4, 2}
+	}
+	if c.Window == 0 {
+		c.Window = 5
+	}
+	if c.Apps == 0 {
+		c.Apps = 6
+	}
+	if c.Intervals == 0 {
+		c.Intervals = 40
+	}
+	// The drill's contract is that the breaker trips and recovers, so
+	// default it to the most sensitive setting: any source failure opens
+	// the circuit, a short cooldown later the probe reboots the source.
+	if c.Breaker.FailAfter == 0 {
+		c.Breaker.FailAfter = 1
+	}
+	if c.Breaker.Cooldown == 0 {
+		c.Breaker.Cooldown = 4
+	}
+}
+
+// ChaosApp is one monitored application's outcome under chaos.
+type ChaosApp struct {
+	App     string
+	Class   workload.Class
+	Flagged bool
+	// Verdicts is the stream length; GapFree reports whether it covers
+	// every interval consecutively.
+	Verdicts int
+	GapFree  bool
+	// Lost counts verdicts held by the prior path (crashes, open
+	// breaker, dropped samples).
+	Lost int
+	// Boots is how many times the source (re)booted; Trips how often
+	// the breaker opened while monitoring this app.
+	Boots int
+	Trips int
+	// Timeline is the per-interval verdict strip ('.' benign, '!'
+	// flagged, one char per interval).
+	Timeline string
+}
+
+// ChaosResult aggregates the drill.
+type ChaosResult struct {
+	Apps []ChaosApp
+
+	// Checkpoint drill outcomes.
+	TornQuarantined bool // the torn newest generation was quarantined
+	RecoveredGen    int  // generation actually loaded
+	RecoveredIntact bool // recovered chain matches the original's shape
+
+	// Service contract outcomes, aggregated over all apps.
+	GapFree       bool
+	Trips         int
+	Recoveries    int
+	SourceBoots   int
+	LostVerdicts  int
+	Restarts      int
+	Deterministic bool // second identical pass reproduced every verdict
+}
+
+// Passed reports whether every chaos contract held.
+func (r ChaosResult) Passed() bool {
+	return r.GapFree && r.TornQuarantined && r.RecoveredIntact &&
+		r.Trips > 0 && r.Recoveries > 0 && r.Deterministic
+}
+
+// Chaos runs the drill. The plan must be active (Rate > 0) and include
+// the crash kind, otherwise the breaker contract cannot be exercised.
+func (ctx *Context) Chaos(cfg ChaosConfig) (ChaosResult, error) {
+	cfg.fill()
+	var res ChaosResult
+	if !cfg.Plan.Active() {
+		return res, errors.New("chaos: fault plan must have Rate > 0")
+	}
+	if !cfg.Plan.Enabled(faults.CrashRun) {
+		return res, errors.New("chaos: fault plan must enable the crash kind")
+	}
+	if cfg.CheckpointDir == "" {
+		return res, errors.New("chaos: checkpoint dir required")
+	}
+
+	chain, err := ctx.Builder.BuildChain(cfg.Classifier, cfg.Variant, cfg.Counts, core.ChainConfig{Window: cfg.Window})
+	if err != nil {
+		return res, fmt.Errorf("chaos: building chain: %w", err)
+	}
+
+	// ---- Checkpoint drill: save, tear, recover ----
+	recovered, err := checkpointDrill(cfg.CheckpointDir, chain, &res)
+	if err != nil {
+		return res, err
+	}
+
+	// ---- Supervised monitoring under faults, twice for determinism ----
+	schedule := chaosSchedule(cfg.Apps)
+	first, err := chaosPass(recovered, cfg, schedule, &res)
+	if err != nil {
+		return res, err
+	}
+	second, err := chaosPass(recovered, cfg, schedule, nil)
+	if err != nil {
+		return res, fmt.Errorf("chaos: determinism pass: %w", err)
+	}
+	res.Deterministic = streamsEqual(first, second)
+	return res, nil
+}
+
+// checkpointDrill saves the chain twice, tears the newest generation in
+// place (what a kill -9 against a sector-torn disk leaves behind) and
+// recovers: the torn file must be quarantined and the older generation
+// loaded.
+func checkpointDrill(dir string, chain *core.FallbackChain, res *ChaosResult) (*core.FallbackChain, error) {
+	store, err := core.NewCheckpointStore(dir, "model", core.ChainModelVersion)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: checkpoint store: %w", err)
+	}
+	save := func() error {
+		return store.Save(func(w io.Writer) error { return core.SaveChain(w, chain) })
+	}
+	if err := save(); err != nil {
+		return nil, fmt.Errorf("chaos: first checkpoint: %w", err)
+	}
+	if err := save(); err != nil {
+		return nil, fmt.Errorf("chaos: second checkpoint: %w", err)
+	}
+	newest := store.Path(0)
+	info, err := os.Stat(newest)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: stating checkpoint: %w", err)
+	}
+	if err := os.Truncate(newest, info.Size()/2); err != nil {
+		return nil, fmt.Errorf("chaos: tearing checkpoint: %w", err)
+	}
+
+	var recovered *core.FallbackChain
+	gen, quarantined, err := store.Recover(func(payload []byte) error {
+		c, err := core.LoadChain(bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		recovered = c
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: recovering checkpoint: %w", err)
+	}
+	res.RecoveredGen = gen
+	res.TornQuarantined = gen == 1 && len(quarantined) == 1
+	res.RecoveredIntact = chainsMatch(chain, recovered)
+	return recovered, nil
+}
+
+func chainsMatch(a, b *core.FallbackChain) bool {
+	if a.Stages() != b.Stages() {
+		return false
+	}
+	for i := 0; i < a.Stages(); i++ {
+		if a.StageName(i) != b.StageName(i) {
+			return false
+		}
+	}
+	ae, be := a.Events(), b.Events()
+	if len(ae) != len(be) {
+		return false
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// chaosSchedule interleaves benign and malware apps from the unseen
+// suite (a different seed universe than the training corpus).
+func chaosSchedule(n int) []workload.App {
+	unseen := workload.Suite(workload.SuiteConfig{Seed: 0xBEEF, AppsPerFamily: 1})
+	benign, malware := workload.Split(unseen)
+	var schedule []workload.App
+	for i := 0; i < n; i++ {
+		if i%2 == 0 && i/2 < len(benign) {
+			schedule = append(schedule, benign[i/2])
+		} else if i/2 < len(malware) {
+			schedule = append(schedule, malware[i/2])
+		}
+	}
+	return schedule
+}
+
+// chaosPass monitors the whole schedule once through the supervised
+// pipeline, returning the concatenated verdict streams. When res is
+// non-nil the pass also records per-app and aggregate outcomes.
+func chaosPass(chain *core.FallbackChain, cfg ChaosConfig, schedule []workload.App, res *ChaosResult) ([][]core.Verdict, error) {
+	var streams [][]core.Verdict
+	if res != nil {
+		res.GapFree = true
+	}
+	for _, app := range schedule {
+		chain.Reset()
+		p, err := supervise.New(supervise.Config{
+			Chain:          chain,
+			Policy:         supervise.Block, // the deterministic policy
+			Breaker:        cfg.Breaker,
+			RestartBackoff: -1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: pipeline for %s: %w", app.Name, err)
+		}
+		src, err := supervise.NewMachineSource(supervise.MachineSourceConfig{
+			Machine: micro.FastConfig(),
+			Run:     app.NewRun(0),
+			Events:  chain.Events(),
+			Total:   cfg.Intervals,
+			Plan:    &cfg.Plan,
+			Scope:   app.Name,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: source for %s: %w", app.Name, err)
+		}
+		verdicts, err := p.Run(context.Background(), src, cfg.Intervals)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: monitoring %s: %w", app.Name, err)
+		}
+		streams = append(streams, verdicts)
+		if res == nil {
+			continue
+		}
+		st := p.Stats()
+		gapFree := len(verdicts) == cfg.Intervals
+		flags := 0
+		var timeline strings.Builder
+		for i, v := range verdicts {
+			if gapFree && v.Interval != i {
+				gapFree = false
+			}
+			if v.Malware {
+				flags++
+				timeline.WriteByte('!')
+			} else {
+				timeline.WriteByte('.')
+			}
+		}
+		res.Apps = append(res.Apps, ChaosApp{
+			App:      app.Name,
+			Class:    app.Class,
+			Flagged:  flags > len(verdicts)/3,
+			Verdicts: len(verdicts),
+			GapFree:  gapFree,
+			Lost:     st.LostVerdicts,
+			Boots:    src.Boots(),
+			Trips:    st.Breaker.Trips,
+			Timeline: timeline.String(),
+		})
+		res.GapFree = res.GapFree && gapFree
+		res.Trips += st.Breaker.Trips
+		res.Recoveries += st.Breaker.Recoveries
+		res.SourceBoots += src.Boots()
+		res.LostVerdicts += st.LostVerdicts
+		res.Restarts += st.Collector.Restarts + st.Reducer.Restarts + st.Inferrer.Restarts
+	}
+	return streams, nil
+}
+
+func streamsEqual(a, b [][]core.Verdict) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RenderChaos formats the drill's outcome as a checklist plus the
+// per-app monitoring log.
+func RenderChaos(r ChaosResult) string {
+	var sb strings.Builder
+	sb.WriteString("Chaos drill: supervised service under fault injection\n")
+	for _, a := range r.Apps {
+		verdict := "BENIGN "
+		if a.Flagged {
+			verdict = "MALWARE"
+		}
+		fmt.Fprintf(&sb, "  %-22s truth=%-8s verdict=%s boots=%d trips=%d lost=%2d [%s]\n",
+			a.App, a.Class, verdict, a.Boots, a.Trips, a.Lost, a.Timeline)
+	}
+	check := func(ok bool, format string, args ...any) {
+		mark := "PASS"
+		if !ok {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&sb, "  [%s] %s\n", mark, fmt.Sprintf(format, args...))
+	}
+	sb.WriteString("contracts:\n")
+	check(r.GapFree, "verdict stream gap-free across crashes and restarts")
+	check(r.TornQuarantined, "torn checkpoint quarantined, generation %d recovered", r.RecoveredGen)
+	check(r.RecoveredIntact, "recovered model matches the checkpointed chain")
+	check(r.Trips > 0 && r.Recoveries > 0, "breaker tripped (%d) and recovered (%d)", r.Trips, r.Recoveries)
+	check(r.Deterministic, "identical seeds reproduce identical verdict streams")
+	fmt.Fprintf(&sb, "  source boots=%d, prior-held verdicts=%d, stage restarts=%d\n",
+		r.SourceBoots, r.LostVerdicts, r.Restarts)
+	return sb.String()
+}

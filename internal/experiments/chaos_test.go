@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/supervise"
+)
+
+func chaosConfig(t *testing.T) ChaosConfig {
+	t.Helper()
+	return ChaosConfig{
+		Apps:      4,
+		Intervals: 40,
+		Plan:      faults.Plan{Seed: 0xCA05, Rate: 0.3},
+		Breaker:   supervise.BreakerConfig{FailAfter: 1, Cooldown: 3},
+
+		CheckpointDir: t.TempDir(),
+	}
+}
+
+// TestChaos is the acceptance drill for the supervised service: seeded
+// crashes at a double-digit rate, a torn model checkpoint, and every
+// service contract asserted. scripts/check.sh runs it in -short mode as
+// the smoke gate.
+func TestChaos(t *testing.T) {
+	ctx := testContext(t)
+	cfg := chaosConfig(t)
+	if testing.Short() {
+		cfg.Apps = 2
+	}
+	res, err := ctx.Chaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.GapFree {
+		t.Error("verdict stream has gaps under fault injection")
+	}
+	for _, a := range res.Apps {
+		if a.Verdicts != cfg.Intervals {
+			t.Errorf("%s: %d verdicts, want %d", a.App, a.Verdicts, cfg.Intervals)
+		}
+	}
+	if !res.TornQuarantined || res.RecoveredGen != 1 {
+		t.Errorf("torn checkpoint handling: quarantined=%v gen=%d, want true/1",
+			res.TornQuarantined, res.RecoveredGen)
+	}
+	if !res.RecoveredIntact {
+		t.Error("recovered chain does not match the checkpointed one")
+	}
+	if res.Trips == 0 || res.Recoveries == 0 {
+		t.Errorf("breaker trips=%d recoveries=%d, want both > 0", res.Trips, res.Recoveries)
+	}
+	if res.SourceBoots <= len(res.Apps) {
+		t.Errorf("source boots=%d for %d apps: no crash forced a reboot", res.SourceBoots, len(res.Apps))
+	}
+	if !res.Deterministic {
+		t.Error("identical seeds did not reproduce identical verdict streams")
+	}
+	if !res.Passed() {
+		t.Errorf("chaos drill failed: %+v", res)
+	}
+
+	out := RenderChaos(res)
+	for _, want := range []string{"Chaos drill", "[PASS]", "gap-free", "quarantined"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderChaos output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "[FAIL]") {
+		t.Errorf("RenderChaos reports failures:\n%s", out)
+	}
+}
+
+func TestChaosRejectsInertPlans(t *testing.T) {
+	ctx := testContext(t)
+	cfg := chaosConfig(t)
+	cfg.Plan.Rate = 0
+	if _, err := ctx.Chaos(cfg); err == nil {
+		t.Error("inactive plan accepted")
+	}
+	cfg = chaosConfig(t)
+	cfg.Plan.Kinds = []faults.Kind{faults.DropSample}
+	if _, err := ctx.Chaos(cfg); err == nil {
+		t.Error("crash-free plan accepted")
+	}
+	cfg = chaosConfig(t)
+	cfg.CheckpointDir = ""
+	if _, err := ctx.Chaos(cfg); err == nil {
+		t.Error("missing checkpoint dir accepted")
+	}
+}

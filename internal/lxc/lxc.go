@@ -27,6 +27,11 @@ var ErrDestroyed = errors.New("lxc: container already destroyed")
 // a retry is worthwhile.
 var ErrCrashed = errors.New("lxc: container crashed")
 
+// ErrLeaked marks a violated destroy-after-run discipline; CheckClean
+// wraps it so callers can match the condition without parsing the
+// leaked-container listing.
+var ErrLeaked = errors.New("lxc: containers leaked")
+
 // Injector is the fault hook consulted by RunIsolatedInjected; the
 // faults package provides the production implementation.
 type Injector interface {
@@ -149,5 +154,5 @@ func (m *Manager) CheckClean() error {
 	for id := range m.active {
 		ids = append(ids, id)
 	}
-	return fmt.Errorf("lxc: %d container(s) leaked: %v", len(ids), ids)
+	return fmt.Errorf("%w: %d container(s): %v", ErrLeaked, len(ids), ids)
 }

@@ -89,8 +89,8 @@ func TestFreshStatePerContainer(t *testing.T) {
 func TestCheckCleanReportsLeaks(t *testing.T) {
 	mgr := NewManager(micro.FastConfig())
 	c := mgr.Create(1)
-	if err := mgr.CheckClean(); err == nil {
-		t.Fatal("CheckClean should report the live container")
+	if err := mgr.CheckClean(); !errors.Is(err, ErrLeaked) {
+		t.Fatalf("CheckClean: %v, want ErrLeaked", err)
 	}
 	c.Destroy()
 	if err := mgr.CheckClean(); err != nil {

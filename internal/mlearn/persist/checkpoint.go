@@ -1,0 +1,140 @@
+package persist
+
+// Crash-safe checkpoint files. A checkpoint is a single self-validating
+// file: a fixed magic, a format version, the payload length and a CRC
+// over the payload, then the payload itself. Writes go through a temp
+// file in the target directory that is fsync'd and atomically renamed
+// into place (then the directory is fsync'd), so a crash — including
+// kill -9 mid-write — can never leave a half-written file under the
+// checkpoint's name: either the old generation survives intact or the
+// new one is complete. Torn or tampered files (truncated payload, bad
+// magic, CRC mismatch) are detected at read time and reported as
+// ErrCorrupt so callers can quarantine them instead of loading garbage.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// checkpointMagic identifies an HMD checkpoint file. The trailing byte
+// versions the *container* format; payload formats are versioned by the
+// header's Version field.
+var checkpointMagic = [8]byte{'H', 'M', 'D', 'C', 'K', 'P', 'T', '1'}
+
+// ErrCorrupt marks a checkpoint file that failed validation: truncated,
+// torn by a crashed writer, or bit-rotted. Callers must treat the file
+// as unusable (quarantine it) and fall back to an older generation.
+var ErrCorrupt = errors.New("persist: corrupt checkpoint")
+
+// checkpointHeader is the fixed-size binary header preceding the
+// payload.
+type checkpointHeader struct {
+	Magic   [8]byte
+	Version uint32
+	Length  uint64
+	CRC     uint32
+}
+
+// WriteCheckpoint atomically writes the payload produced by fn to path.
+// The payload is first staged in memory so its length and CRC land in
+// the header; the file is then written to a temp name in path's
+// directory, fsync'd, renamed over path, and the directory fsync'd.
+func WriteCheckpoint(path string, version uint32, fn func(io.Writer) error) error {
+	var payload bytes.Buffer
+	if err := fn(&payload); err != nil {
+		return fmt.Errorf("persist: building checkpoint payload: %w", err)
+	}
+	hdr := checkpointHeader{
+		Magic:   checkpointMagic,
+		Version: version,
+		Length:  uint64(payload.Len()),
+		CRC:     crc32.ChecksumIEEE(payload.Bytes()),
+	}
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("persist: staging checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	// Any failure past this point must not leave the temp file behind.
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := binary.Write(tmp, binary.LittleEndian, hdr); err != nil {
+		return fail(fmt.Errorf("persist: writing checkpoint header: %w", err))
+	}
+	if _, err := tmp.Write(payload.Bytes()); err != nil {
+		return fail(fmt.Errorf("persist: writing checkpoint payload: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("persist: fsync checkpoint: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(fmt.Errorf("persist: closing checkpoint: %w", err))
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("persist: publishing checkpoint: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Filesystems that refuse directory fsync (some CI overlays) are not an
+// error: rename durability is then best-effort, exactly as for any
+// other tool on that filesystem.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}
+
+// ReadCheckpoint validates and returns the payload of the checkpoint at
+// path. Validation failures (short file, wrong magic, length or CRC
+// mismatch) return an error wrapping ErrCorrupt; a version other than
+// wantVersion is also reported as corruption, since the payload decoder
+// that follows cannot interpret it.
+func ReadCheckpoint(path string, wantVersion uint32) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading checkpoint: %w", err)
+	}
+	var hdr checkpointHeader
+	hdrSize := binary.Size(hdr)
+	if len(raw) < hdrSize {
+		return nil, fmt.Errorf("%w: %s: %d bytes is shorter than the %d-byte header",
+			ErrCorrupt, path, len(raw), hdrSize)
+	}
+	if err := binary.Read(bytes.NewReader(raw[:hdrSize]), binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("%w: %s: unreadable header", ErrCorrupt, path)
+	}
+	if hdr.Magic != checkpointMagic {
+		return nil, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, path)
+	}
+	if hdr.Version != wantVersion {
+		return nil, fmt.Errorf("%w: %s: version %d, want %d", ErrCorrupt, path, hdr.Version, wantVersion)
+	}
+	payload := raw[hdrSize:]
+	if uint64(len(payload)) != hdr.Length {
+		return nil, fmt.Errorf("%w: %s: torn payload (%d bytes, header says %d)",
+			ErrCorrupt, path, len(payload), hdr.Length)
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != hdr.CRC {
+		return nil, fmt.Errorf("%w: %s: CRC mismatch (%08x, header says %08x)",
+			ErrCorrupt, path, crc, hdr.CRC)
+	}
+	return payload, nil
+}

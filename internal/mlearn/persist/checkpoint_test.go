@@ -1,0 +1,137 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTestCheckpoint(t *testing.T, path string, version uint32, payload []byte) {
+	t.Helper()
+	err := WriteCheckpoint(path, version, func(w io.Writer) error {
+		_, werr := w.Write(payload)
+		return werr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	payload := []byte("the trained model bytes")
+	writeTestCheckpoint(t, path, 3, payload)
+
+	got, err := ReadCheckpoint(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q != %q", got, payload)
+	}
+}
+
+func TestCheckpointOverwriteIsAtomicReplacement(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	writeTestCheckpoint(t, path, 1, []byte("generation one"))
+	writeTestCheckpoint(t, path, 1, []byte("generation two"))
+
+	got, err := ReadCheckpoint(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "generation two" {
+		t.Fatalf("got %q after overwrite", got)
+	}
+	// No stray temp files may survive a successful write.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("stale temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+// TestCheckpointTornWriteDetected is the crash-safety contract: every
+// truncation point of a valid checkpoint file must be detected as
+// corruption, never returned as a payload.
+func TestCheckpointTornWriteDetected(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "model.ckpt")
+	payload := []byte("0123456789abcdefghijklmnopqrstuvwxyz")
+	writeTestCheckpoint(t, good, 7, payload)
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut < len(raw); cut++ {
+		torn := filepath.Join(dir, "torn.ckpt")
+		if err := os.WriteFile(torn, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadCheckpoint(torn, 7); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d/%d bytes not detected: err=%v", cut, len(raw), err)
+		}
+	}
+}
+
+func TestCheckpointBitFlipDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	writeTestCheckpoint(t, path, 7, []byte("sensitive model state"))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpoint(path, 7); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit flip not detected: err=%v", err)
+	}
+}
+
+func TestCheckpointVersionMismatchIsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	writeTestCheckpoint(t, path, 1, []byte("v1 payload"))
+	if _, err := ReadCheckpoint(path, 2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version mismatch not reported as corruption: err=%v", err)
+	}
+}
+
+func TestCheckpointMissingFileIsNotExist(t *testing.T) {
+	_, err := ReadCheckpoint(filepath.Join(t.TempDir(), "absent.ckpt"), 1)
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file should surface os.ErrNotExist, got %v", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatal("missing file must not be classified as corrupt")
+	}
+}
+
+func TestCheckpointFailedPayloadLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	err := WriteCheckpoint(path, 1, func(io.Writer) error {
+		return errors.New("payload build failed")
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("failed write left files behind: %v", entries)
+	}
+}

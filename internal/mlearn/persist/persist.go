@@ -71,7 +71,7 @@ func Load(r io.Reader) (mlearn.Classifier, error) {
 func LoadFrom(dec *gob.Decoder) (mlearn.Classifier, error) {
 	var env envelope
 	if err := dec.Decode(&env); err != nil {
-		return nil, fmt.Errorf("persist: %v", err)
+		return nil, fmt.Errorf("persist: %w", err)
 	}
 	if env.Model == nil {
 		return nil, fmt.Errorf("persist: decoded envelope holds no model")

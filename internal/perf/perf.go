@@ -35,22 +35,28 @@ type Group struct {
 	events []micro.EventID
 }
 
+// ErrBadGroup marks an event-group validation failure (empty group, too
+// many events for the PMU, invalid or duplicate events). Callers that
+// wrap group construction — the supervision layer does, several levels
+// deep — can still classify the failure with errors.Is.
+var ErrBadGroup = errors.New("perf: invalid event group")
+
 // NewGroup validates and builds an event group. At most NumCounters
 // events may be scheduled concurrently and duplicates are rejected.
 func NewGroup(events ...micro.EventID) (Group, error) {
 	if len(events) == 0 {
-		return Group{}, errors.New("perf: empty event group")
+		return Group{}, fmt.Errorf("%w: empty", ErrBadGroup)
 	}
 	if len(events) > NumCounters {
-		return Group{}, fmt.Errorf("perf: group of %d events exceeds %d counter registers", len(events), NumCounters)
+		return Group{}, fmt.Errorf("%w: %d events exceed %d counter registers", ErrBadGroup, len(events), NumCounters)
 	}
 	seen := map[micro.EventID]bool{}
 	for _, ev := range events {
 		if !ev.Valid() {
-			return Group{}, fmt.Errorf("perf: invalid event %d", ev)
+			return Group{}, fmt.Errorf("%w: invalid event %d", ErrBadGroup, ev)
 		}
 		if seen[ev] {
-			return Group{}, fmt.Errorf("perf: duplicate event %v in group", ev)
+			return Group{}, fmt.Errorf("%w: duplicate event %v", ErrBadGroup, ev)
 		}
 		seen[ev] = true
 	}
@@ -72,7 +78,7 @@ func (g Group) Size() int { return len(g.events) }
 // application.
 func Batches(events []micro.EventID) ([]Group, error) {
 	if len(events) == 0 {
-		return nil, errors.New("perf: no events to batch")
+		return nil, fmt.Errorf("%w: no events to batch", ErrBadGroup)
 	}
 	var groups []Group
 	for start := 0; start < len(events); start += NumCounters {

@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/micro"
@@ -21,18 +22,20 @@ func prog() constProg {
 }
 
 func TestNewGroupValidation(t *testing.T) {
-	if _, err := NewGroup(); err == nil {
-		t.Error("empty group should fail")
+	// Every validation failure must classify as ErrBadGroup so callers
+	// wrapping NewGroup several levels deep can still errors.Is it.
+	if _, err := NewGroup(); !errors.Is(err, ErrBadGroup) {
+		t.Errorf("empty group: %v, want ErrBadGroup", err)
 	}
 	if _, err := NewGroup(micro.EvInstructions, micro.EvCPUCycles, micro.EvBranchMisses,
-		micro.EvCacheMisses, micro.EvLLCLoads); err == nil {
-		t.Error("5-event group should exceed the 4 counter registers")
+		micro.EvCacheMisses, micro.EvLLCLoads); !errors.Is(err, ErrBadGroup) {
+		t.Errorf("5-event group: %v, want ErrBadGroup", err)
 	}
-	if _, err := NewGroup(micro.EvInstructions, micro.EvInstructions); err == nil {
-		t.Error("duplicate events should fail")
+	if _, err := NewGroup(micro.EvInstructions, micro.EvInstructions); !errors.Is(err, ErrBadGroup) {
+		t.Errorf("duplicate events: %v, want ErrBadGroup", err)
 	}
-	if _, err := NewGroup(micro.EventID(999)); err == nil {
-		t.Error("invalid event should fail")
+	if _, err := NewGroup(micro.EventID(999)); !errors.Is(err, ErrBadGroup) {
+		t.Errorf("invalid event: %v, want ErrBadGroup", err)
 	}
 	g, err := NewGroup(micro.EvInstructions, micro.EvBranchMisses)
 	if err != nil {

@@ -1,0 +1,152 @@
+package supervise
+
+import "sync"
+
+// BreakerConfig parameterises the circuit breaker guarding the sample
+// source. All thresholds are counted in sampling intervals — never
+// wall-clock time — so breaker behaviour is deterministic per seed.
+type BreakerConfig struct {
+	// FailAfter is how many consecutive source failures trip the
+	// breaker open (<=0 means 3).
+	FailAfter int
+	// Cooldown is how many intervals the breaker stays open — serving
+	// fallback-prior verdicts without touching the source — before a
+	// half-open probe (<=0 means 8).
+	Cooldown int
+}
+
+func (c BreakerConfig) failAfter() int {
+	if c.FailAfter > 0 {
+		return c.FailAfter
+	}
+	return 3
+}
+
+func (c BreakerConfig) cooldown() int {
+	if c.Cooldown > 0 {
+		return c.Cooldown
+	}
+	return 8
+}
+
+// BreakerSnapshot is the breaker's externally visible state.
+type BreakerSnapshot struct {
+	State      string
+	Trips      int
+	Recoveries int
+	// LastError describes the failure that most recently counted
+	// against the breaker ("" if none yet).
+	LastError string
+}
+
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a classic closed → open → half-open circuit breaker around
+// the collector's source. A flapping PMU source trips it open after
+// FailAfter consecutive failures; while open the collector emits lost
+// frames (scored by the FallbackChain's prior) instead of hammering the
+// dead source; after Cooldown intervals a single probe read decides
+// between recovery and re-opening.
+type breaker struct {
+	mu         sync.Mutex
+	cfg        BreakerConfig
+	state      breakerState
+	fails      int // consecutive failures while closed
+	wait       int // intervals left before the half-open probe
+	trips      int
+	recoveries int
+	lastErr    error
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg}
+}
+
+// allow reports whether the source may be read this interval. Called
+// exactly once per interval by the collector, which is what advances
+// the open-state cooldown.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed, breakerHalfOpen:
+		return true
+	default: // open: burn one cooldown interval
+		b.wait--
+		if b.wait <= 0 {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	}
+}
+
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.state = breakerClosed
+		b.recoveries++
+	}
+	b.fails = 0
+}
+
+func (b *breaker) onFailure(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lastErr = err
+	switch b.state {
+	case breakerHalfOpen:
+		// The probe failed: straight back to open.
+		b.state = breakerOpen
+		b.wait = b.cfg.cooldown()
+		b.trips++
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.failAfter() {
+			b.state = breakerOpen
+			b.wait = b.cfg.cooldown()
+			b.trips++
+		}
+	}
+}
+
+// lastError returns the most recent failure counted against the
+// breaker, with its full wrap chain intact (errors.Is works through
+// it).
+func (b *breaker) lastError() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastErr
+}
+
+func (b *breaker) snapshot() BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := BreakerSnapshot{
+		State:      b.state.String(),
+		Trips:      b.trips,
+		Recoveries: b.recoveries,
+	}
+	if b.lastErr != nil {
+		s.LastError = b.lastErr.Error()
+	}
+	return s
+}

@@ -1,0 +1,128 @@
+package supervise
+
+import (
+	"context"
+	"sync"
+)
+
+// OverflowPolicy selects what a bounded stage queue does when a
+// producer outruns its consumer.
+type OverflowPolicy int
+
+const (
+	// Block applies backpressure: the producer waits for space. The
+	// whole pipeline then advances at the slowest stage's pace and no
+	// frame is ever lost to queueing. This is the deterministic policy.
+	Block OverflowPolicy = iota
+	// DropOldest sheds load: the oldest queued frame is discarded (and
+	// counted) to admit the new one, keeping the monitor current at the
+	// cost of holes that the inference stage repairs with prior-held
+	// verdicts. Which frames drop depends on scheduling, so verdict
+	// *scores* are not reproducible under this policy — only stream
+	// completeness is.
+	DropOldest
+)
+
+// String returns the policy's flag-friendly name.
+func (p OverflowPolicy) String() string {
+	if p == DropOldest {
+		return "drop-oldest"
+	}
+	return "block"
+}
+
+// queue is a bounded FIFO of frames connecting two pipeline stages. All
+// methods are safe for concurrent use; blocked producers and consumers
+// are released by close and by wake (which the pipeline wires to
+// context cancellation).
+type queue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buf      []frame
+	capacity int
+	policy   OverflowPolicy
+	drops    int
+	closed   bool
+}
+
+func newQueue(capacity int, policy OverflowPolicy) *queue {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	q := &queue{capacity: capacity, policy: policy}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// put enqueues f, applying the overflow policy when full. It returns
+// ctx.Err() if the context is cancelled while blocked (or on entry).
+func (q *queue) put(ctx context.Context, f frame) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.policy == Block && len(q.buf) >= q.capacity && !q.closed && ctx.Err() == nil {
+		q.cond.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if q.closed {
+		// Producers close their own downstream queue, so this is a
+		// programming error; treat it as a lost frame rather than a
+		// crash.
+		return nil
+	}
+	if len(q.buf) >= q.capacity {
+		q.buf = q.buf[1:]
+		q.drops++
+	}
+	q.buf = append(q.buf, f)
+	q.cond.Broadcast()
+	return nil
+}
+
+// get dequeues the next frame, blocking until one is available. ok is
+// false when the queue is closed and drained, or the context is
+// cancelled.
+func (q *queue) get(ctx context.Context) (f frame, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.buf) == 0 && !q.closed && ctx.Err() == nil {
+		q.cond.Wait()
+	}
+	if ctx.Err() != nil || len(q.buf) == 0 {
+		return frame{}, false
+	}
+	f = q.buf[0]
+	q.buf = q.buf[1:]
+	q.cond.Broadcast()
+	return f, true
+}
+
+// close marks the producer side finished; blocked consumers drain the
+// remaining frames and then receive ok=false.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// wake releases all blocked producers and consumers so they can observe
+// context cancellation.
+func (q *queue) wake() {
+	q.mu.Lock()
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf)
+}
+
+func (q *queue) dropped() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.drops
+}

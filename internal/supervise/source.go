@@ -1,0 +1,152 @@
+package supervise
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/lxc"
+	"repro/internal/micro"
+	"repro/internal/perf"
+	"repro/internal/workload"
+)
+
+// Source produces one interval's raw counter readings for the chain's
+// programmed events. Implementations must honour ctx cancellation — the
+// collector's watchdog deadline arrives through it — and are only ever
+// called from one goroutine at a time.
+type Source interface {
+	Read(ctx context.Context, interval int) ([]uint64, error)
+}
+
+// ErrSampleLost marks an interval whose reading was lost (dropped by
+// the sampling infrastructure) rather than failed: the collector emits
+// a lost frame and the interval is scored by the chain's hold-last
+// path. Lost samples do not count against the circuit breaker.
+var ErrSampleLost = errors.New("supervise: sample lost")
+
+// MachineSourceConfig parameterises a MachineSource.
+type MachineSourceConfig struct {
+	// Machine is the simulated machine geometry each (re)boot starts
+	// from.
+	Machine micro.MachineConfig
+	// Run is the monitored program; its instruction stream replays
+	// identically across reboots.
+	Run *workload.Run
+	// Events are the PMU events to program, in the chain's order.
+	Events []micro.EventID
+	// Total is the number of intervals the monitoring run covers (the
+	// crash-schedule horizon).
+	Total int
+	// CycleBudget is the simulated cycles per interval (0 = perf
+	// default).
+	CycleBudget uint64
+	// Plan optionally injects faults; nil or inactive means a clean
+	// source. Injection is deterministic in (Plan.Seed, Scope, boot
+	// attempt) — never in wall-clock time or scheduling.
+	Plan *faults.Plan
+	// Scope keys the fault schedule (typically the monitored app's
+	// name).
+	Scope string
+}
+
+// sourceSession is one boot of the monitored machine: it lives until
+// the fault plan kills it.
+type sourceSession struct {
+	mach    *micro.Machine
+	ctr     *perf.Counters
+	inj     *faults.Injector
+	crashAt int // absolute interval the session dies at, or -1
+}
+
+// MachineSource samples a simulated machine running a workload, with
+// the full fault model threaded through: boot failures, mid-run
+// crashes, dropped samples, stuck/zero/noisy/saturated counters and
+// interval jitter. After a crash the next Read attempts a fresh boot —
+// each attempt draws its own deterministic fault schedule, so a source
+// can flap (crash, reboot, crash again) exactly as a sick collection
+// box does.
+type MachineSource struct {
+	cfg     MachineSourceConfig
+	group   perf.Group
+	attempt int
+	sess    *sourceSession
+}
+
+// NewMachineSource validates the config and builds the source.
+func NewMachineSource(cfg MachineSourceConfig) (*MachineSource, error) {
+	if cfg.Run == nil {
+		return nil, errors.New("supervise: machine source needs a workload run")
+	}
+	if cfg.Total <= 0 {
+		return nil, errors.New("supervise: machine source needs a positive interval horizon")
+	}
+	group, err := perf.NewGroup(cfg.Events...)
+	if err != nil {
+		return nil, fmt.Errorf("supervise: programming source events: %w", err)
+	}
+	return &MachineSource{cfg: cfg, group: group}, nil
+}
+
+// Boots returns how many boot attempts the source has made.
+func (s *MachineSource) Boots() int { return s.attempt }
+
+// Read implements Source.
+func (s *MachineSource) Read(ctx context.Context, interval int) ([]uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.sess == nil {
+		if err := s.boot(interval); err != nil {
+			return nil, err
+		}
+	}
+	sess := s.sess
+	if sess.crashAt >= 0 && interval >= sess.crashAt {
+		s.sess = nil
+		return nil, fmt.Errorf("supervise: source %s died at interval %d: %w",
+			s.cfg.Scope, interval, perf.ErrRunCrashed)
+	}
+	budget := s.cfg.CycleBudget
+	if budget == 0 {
+		budget = perf.DefaultCycleBudget
+	}
+	if sess.inj != nil {
+		budget = sess.inj.BudgetJitter(interval, budget)
+	}
+	params := s.cfg.Run.IntervalParams(interval)
+	sess.mach.RunCycles(&params, budget)
+	vals := sess.ctr.ReadDelta()
+	if sess.inj != nil {
+		if sess.inj.DropSample(interval) {
+			return nil, fmt.Errorf("%w: interval %d", ErrSampleLost, interval)
+		}
+		sess.inj.TransformSample(interval, vals)
+	}
+	return vals, nil
+}
+
+// boot provisions a fresh machine session. The fault injector is scoped
+// to (plan seed, source scope, attempt number), so every reboot draws a
+// fresh but reproducible schedule.
+func (s *MachineSource) boot(interval int) error {
+	s.attempt++
+	var inj *faults.Injector
+	if s.cfg.Plan != nil && s.cfg.Plan.Active() {
+		inj = s.cfg.Plan.ForRun(fmt.Sprintf("%s/serve/a%d", s.cfg.Scope, s.attempt))
+		if inj.BootFails() {
+			return fmt.Errorf("supervise: source %s boot attempt %d: %w",
+				s.cfg.Scope, s.attempt, lxc.ErrCrashed)
+		}
+	}
+	mach := micro.NewMachine(s.cfg.Machine, s.cfg.Run.MachineSeed())
+	sess := &sourceSession{mach: mach, ctr: perf.Attach(mach, s.group), inj: inj, crashAt: -1}
+	if inj != nil {
+		if rel := inj.CrashInterval(s.cfg.Total - interval); rel >= 0 {
+			sess.crashAt = interval + rel
+		}
+	}
+	s.sess = sess
+	return nil
+}

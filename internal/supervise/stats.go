@@ -1,0 +1,144 @@
+package supervise
+
+import "sync"
+
+// Stage indices used by stats and the supervisor.
+const (
+	stageCollector = iota
+	stageReducer
+	stageInferrer
+	numStages
+)
+
+var stageNames = [numStages]string{"collector", "reducer", "inferrer"}
+
+// StageStats counts one stage's supervision events.
+type StageStats struct {
+	// Restarts is how many times the stage was torn down and relaunched
+	// after a failure.
+	Restarts int
+	// Panics is how many of those failures were recovered panics.
+	Panics int
+	// DeadlineMisses is how many watchdog deadlines the stage blew.
+	DeadlineMisses int
+}
+
+// Snapshot is a point-in-time view of the pipeline's health, cumulative
+// across every Run of the pipeline. It is what hmd-serve's /stats
+// endpoint returns.
+type Snapshot struct {
+	// Runs completed plus the one in flight, if any.
+	Runs int
+	// Intervals is the number of sampling intervals the collector has
+	// handled (reads attempted, breaker-suppressed intervals included).
+	Intervals int
+	// Verdicts emitted; LostVerdicts of those were emitted by the
+	// prior-holding ObserveLost path (dropped samples, open breaker,
+	// frames shed by backpressure, crash gaps).
+	Verdicts     int
+	LostVerdicts int
+	// SourceFailures counts failed source reads (crashes, boot
+	// failures, stalls) — the events the breaker watches.
+	SourceFailures int
+	// BadFrames counts frames rejected by the reducer's width check.
+	BadFrames int
+	// QueueDrops is the number of frames shed by drop-oldest
+	// backpressure across both queues.
+	QueueDrops int
+	// CollectDepth/InferDepth are the current queue depths; QueueCap is
+	// their shared capacity.
+	CollectDepth int
+	InferDepth   int
+	QueueCap     int
+	// Per-stage supervision counters.
+	Collector StageStats
+	Reducer   StageStats
+	Inferrer  StageStats
+	// Breaker is the collector-source circuit breaker's state.
+	Breaker BreakerSnapshot
+	// CheckpointsWritten/CheckpointErrors account for periodic chain-
+	// state checkpoints.
+	CheckpointsWritten int
+	CheckpointErrors   int
+	// ActiveStage names the fallback-chain stage that scored the most
+	// recent verdict ("" before the first one).
+	ActiveStage string
+}
+
+// stats is the pipeline's mutable counter set. A plain mutex keeps it
+// trivially race-free; every bump is far off the hot path relative to
+// simulated interval execution.
+type stats struct {
+	mu   sync.Mutex
+	snap Snapshot
+}
+
+func (s *stats) bump(f func(*Snapshot)) {
+	s.mu.Lock()
+	f(&s.snap)
+	s.mu.Unlock()
+}
+
+func (s *stats) runStarted() { s.bump(func(sn *Snapshot) { sn.Runs++ }) }
+func (s *stats) interval()   { s.bump(func(sn *Snapshot) { sn.Intervals++ }) }
+
+func (s *stats) verdict(lost bool) {
+	s.bump(func(sn *Snapshot) {
+		sn.Verdicts++
+		if lost {
+			sn.LostVerdicts++
+		}
+	})
+}
+
+func (s *stats) sourceFailure() { s.bump(func(sn *Snapshot) { sn.SourceFailures++ }) }
+func (s *stats) badFrame()      { s.bump(func(sn *Snapshot) { sn.BadFrames++ }) }
+
+func (s *stats) stage(idx int) *StageStats {
+	switch idx {
+	case stageCollector:
+		return &s.snap.Collector
+	case stageReducer:
+		return &s.snap.Reducer
+	default:
+		return &s.snap.Inferrer
+	}
+}
+
+func (s *stats) restart(idx int, panicked bool) {
+	s.mu.Lock()
+	st := s.stage(idx)
+	st.Restarts++
+	if panicked {
+		st.Panics++
+	}
+	s.mu.Unlock()
+}
+
+func (s *stats) deadlineMiss(idx int) {
+	s.mu.Lock()
+	s.stage(idx).DeadlineMisses++
+	s.mu.Unlock()
+}
+
+func (s *stats) checkpoint(err error) {
+	s.bump(func(sn *Snapshot) {
+		if err != nil {
+			sn.CheckpointErrors++
+		} else {
+			sn.CheckpointsWritten++
+		}
+	})
+}
+
+func (s *stats) setActiveStage(name string) {
+	s.bump(func(sn *Snapshot) { sn.ActiveStage = name })
+}
+
+// snapshot copies the counters; the caller overlays live queue and
+// breaker state.
+func (s *stats) snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap
+}

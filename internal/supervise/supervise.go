@@ -1,0 +1,456 @@
+// Package supervise is the always-on runtime above the detection
+// substrates: it runs sample collection → feature reduction → ensemble
+// inference as independently restartable stages connected by bounded
+// queues, and keeps the verdict stream gap-free — exactly one verdict
+// per sampling interval — no matter what fails underneath.
+//
+// The supervision model, stage by stage:
+//
+//	source ──▶ [collector] ──q1──▶ [reducer] ──q2──▶ [inferrer] ──▶ verdicts
+//	             │  ▲                                   │
+//	          breaker │                            chain-state
+//	             ▼  │                              checkpoints
+//	           fallback-prior frames
+//
+//   - Bounded queues with an explicit backpressure policy: Block (lossless,
+//     deterministic) or DropOldest (load-shedding, with a drop counter; the
+//     inferrer repairs the holes).
+//   - Every stage runs under a supervisor that converts panics into
+//     restartable failures and restarts the stage with exponential backoff
+//     under a bounded restart budget; a stage that keeps dying takes the
+//     pipeline down with its root cause intact (errors.Is sees through
+//     every wrap).
+//   - The collector's source reads run under a watchdog deadline
+//     (context propagation end-to-end); a wedged source is a stage
+//     failure, not a hang.
+//   - A circuit breaker guards the source: a flapping PMU trips it open
+//     after consecutive failures, verdicts route through the
+//     FallbackChain's prior until a half-open probe succeeds.
+//   - The chain's run-time state is periodically checkpointed through the
+//     crash-safe store so a process restart resumes, not cold-starts.
+//
+// Everything the supervisor counts — breaker cooldowns, restart
+// budgets, checkpoint cadence — is denominated in sampling intervals,
+// not wall-clock time, so a seeded fault plan reproduces the same
+// verdict stream on every run (under the Block policy).
+package supervise
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ErrStagePanic marks a stage failure that began as a recovered panic.
+var ErrStagePanic = errors.New("supervise: stage panicked")
+
+// frame is one sampling interval's unit of work flowing between stages.
+type frame struct {
+	interval int
+	values   []uint64
+	// lost marks an interval with no usable reading (dropped sample,
+	// open breaker, failed read): the inferrer scores it via the
+	// chain's hold-last path so the stream stays gap-free.
+	lost bool
+}
+
+// Config parameterises a supervised pipeline.
+type Config struct {
+	// Chain produces the verdicts; its fallback stages and prior are
+	// what lost intervals and dead counters degrade to.
+	Chain *core.FallbackChain
+	// QueueCap bounds each inter-stage queue (<=0 means 8).
+	QueueCap int
+	// Policy is the backpressure policy of both queues.
+	Policy OverflowPolicy
+	// StageDeadline is the watchdog budget for one source read (<=0
+	// means 2s; it never fires with the in-process simulated source —
+	// it exists for sources that can wedge).
+	StageDeadline time.Duration
+	// RestartBudget is how many restarts each stage gets per Run before
+	// the pipeline fails (<=0 means 5).
+	RestartBudget int
+	// RestartBackoff is the base delay before a stage restart, doubling
+	// per consecutive restart and capped at 100ms. Zero means 1ms;
+	// negative disables sleeping (tests).
+	RestartBackoff time.Duration
+	// Breaker parameterises the collector-source circuit breaker.
+	Breaker BreakerConfig
+	// Checkpoint, when set, receives periodic chain-state checkpoints
+	// (payload version core.ChainStateVersion).
+	Checkpoint *core.CheckpointStore
+	// CheckpointEvery is the number of verdicts between state
+	// checkpoints (<=0 means 16).
+	CheckpointEvery int
+	// OnVerdict, when set, observes every verdict as it is emitted
+	// (from the inferrer goroutine).
+	OnVerdict func(core.Verdict)
+}
+
+func (c Config) queueCap() int {
+	if c.QueueCap > 0 {
+		return c.QueueCap
+	}
+	return 8
+}
+
+func (c Config) stageDeadline() time.Duration {
+	if c.StageDeadline > 0 {
+		return c.StageDeadline
+	}
+	return 2 * time.Second
+}
+
+func (c Config) restartBudget() int {
+	if c.RestartBudget > 0 {
+		return c.RestartBudget
+	}
+	return 5
+}
+
+func (c Config) checkpointEvery() int {
+	if c.CheckpointEvery > 0 {
+		return c.CheckpointEvery
+	}
+	return 16
+}
+
+// Pipeline is a supervised run-time detection service. It is reusable:
+// successive Runs (one per monitored program) share the chain, the
+// breaker state and the cumulative stats, exactly like a long-lived
+// monitor hopping between processes. Stats may be read concurrently
+// with a Run; Run itself must not be called concurrently.
+type Pipeline struct {
+	cfg   Config
+	width int
+	st    *stats
+	br    *breaker
+
+	mu     sync.Mutex
+	q1, q2 *queue
+
+	// testReduceHook, when set by white-box tests, sees every non-lost
+	// frame inside the reducer stage (a handy place to panic on cue).
+	testReduceHook func(*frame)
+}
+
+// New validates cfg and builds a pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.Chain == nil {
+		return nil, errors.New("supervise: config needs a fallback chain")
+	}
+	return &Pipeline{
+		cfg:   cfg,
+		width: len(cfg.Chain.Events()),
+		st:    &stats{},
+		br:    newBreaker(cfg.Breaker),
+	}, nil
+}
+
+// Stats returns a point-in-time snapshot of the pipeline's health,
+// cumulative across runs. Safe to call concurrently with Run — this is
+// what a serving process scrapes.
+func (p *Pipeline) Stats() Snapshot {
+	snap := p.st.snapshot()
+	snap.Breaker = p.br.snapshot()
+	snap.QueueCap = p.cfg.queueCap()
+	p.mu.Lock()
+	q1, q2 := p.q1, p.q2
+	p.mu.Unlock()
+	if q1 != nil {
+		snap.CollectDepth = q1.depth()
+		snap.QueueDrops += q1.dropped()
+	}
+	if q2 != nil {
+		snap.InferDepth = q2.depth()
+		snap.QueueDrops += q2.dropped()
+	}
+	return snap
+}
+
+// LastSourceError returns the most recent source failure counted
+// against the breaker, wrap chain intact: errors.Is(err,
+// lxc.ErrCrashed) and friends work through it.
+func (p *Pipeline) LastSourceError() error { return p.br.lastError() }
+
+// SaveState checkpoints the chain's current run-time state to the
+// configured store. The inferrer calls it on its periodic cadence; a
+// serving process may also call it at shutdown. Must not race with an
+// active Run (between runs, or from OnVerdict, is safe).
+func (p *Pipeline) SaveState() error {
+	if p.cfg.Checkpoint == nil {
+		return errors.New("supervise: no checkpoint store configured")
+	}
+	st := p.cfg.Chain.State()
+	return p.cfg.Checkpoint.Save(func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(st)
+	})
+}
+
+// RestoreState recovers the most recent good chain-state checkpoint
+// into the chain, quarantining any torn generation it encounters on the
+// way. Call before the first Run of a restarted process. A store with
+// no usable checkpoint returns an error wrapping core.ErrNoCheckpoint —
+// the caller starts cold, which is not a failure.
+func (p *Pipeline) RestoreState() (gen int, quarantined []string, err error) {
+	if p.cfg.Checkpoint == nil {
+		return -1, nil, core.ErrNoCheckpoint
+	}
+	return p.cfg.Checkpoint.Recover(func(payload []byte) error {
+		var st core.ChainState
+		if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&st); derr != nil {
+			return derr
+		}
+		return p.cfg.Chain.SetState(st)
+	})
+}
+
+// Run monitors one program for the given number of intervals, returning
+// its verdict stream: exactly one verdict per interval, in order,
+// regardless of source crashes, stage panics or shed frames. The error
+// is non-nil only when supervision itself gives up (a stage exhausted
+// its restart budget, or ctx was cancelled); the verdicts produced up
+// to that point are still returned.
+func (p *Pipeline) Run(ctx context.Context, src Source, intervals int) ([]core.Verdict, error) {
+	if src == nil {
+		return nil, errors.New("supervise: nil source")
+	}
+	if intervals <= 0 {
+		return nil, errors.New("supervise: intervals must be positive")
+	}
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	q1 := newQueue(p.cfg.queueCap(), p.cfg.Policy)
+	q2 := newQueue(p.cfg.queueCap(), p.cfg.Policy)
+	p.mu.Lock()
+	p.q1, p.q2 = q1, q2
+	p.mu.Unlock()
+	// Cancellation must release stages blocked on queue waits.
+	stopWake := context.AfterFunc(ctx, func() { q1.wake(); q2.wake() })
+	defer stopWake()
+
+	p.st.runStarted()
+
+	var verdicts []core.Verdict
+
+	// ---- collector ----------------------------------------------------
+	// Reads the source once per interval under the watchdog deadline,
+	// consulting the breaker first. Emits exactly one frame per
+	// interval. nextInterval survives restarts.
+	nextInterval := 0
+	collect := func() error {
+		for nextInterval < intervals {
+			i := nextInterval
+			p.st.interval()
+			f := frame{interval: i}
+			if !p.br.allow() {
+				f.lost = true
+			} else {
+				rctx, rcancel := context.WithTimeout(ctx, p.cfg.stageDeadline())
+				vals, err := src.Read(rctx, i)
+				rcancel()
+				switch {
+				case err == nil:
+					p.br.onSuccess()
+					f.values = vals
+				case errors.Is(err, ErrSampleLost):
+					f.lost = true
+				case ctx.Err() != nil:
+					return ctx.Err()
+				case errors.Is(err, context.DeadlineExceeded):
+					// Watchdog: the source wedged past the stage
+					// deadline. Emit the interval as lost, then fail the
+					// stage so the supervisor restarts it.
+					p.st.deadlineMiss(stageCollector)
+					p.st.sourceFailure()
+					p.br.onFailure(err)
+					f.lost = true
+					nextInterval = i + 1
+					if perr := q1.put(ctx, f); perr != nil {
+						return perr
+					}
+					return fmt.Errorf("supervise: collector: source stalled past %v at interval %d: %w",
+						p.cfg.stageDeadline(), i, err)
+				default:
+					p.st.sourceFailure()
+					p.br.onFailure(err)
+					f.lost = true
+				}
+			}
+			if err := q1.put(ctx, f); err != nil {
+				return err
+			}
+			nextInterval = i + 1
+		}
+		q1.close()
+		return nil
+	}
+
+	// ---- reducer ------------------------------------------------------
+	// Validates frame width against the chain's programmed events (a
+	// malformed reading becomes a lost interval, not a crash downstream)
+	// and forwards. Restart-safe by construction: a frame consumed by a
+	// failing iteration is simply absent downstream, and the inferrer
+	// repairs the hole.
+	reduce := func() error {
+		for {
+			f, ok := q1.get(ctx)
+			if !ok {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				q2.close()
+				return nil
+			}
+			if !f.lost && len(f.values) != p.width {
+				p.st.badFrame()
+				f.values, f.lost = nil, true
+			}
+			if !f.lost && p.testReduceHook != nil {
+				p.testReduceHook(&f)
+			}
+			if err := q2.put(ctx, f); err != nil {
+				return err
+			}
+		}
+	}
+
+	// ---- inferrer -----------------------------------------------------
+	// Feeds the chain and emits verdicts, repairing any hole in the
+	// frame sequence with the chain's hold-last path so the stream is
+	// gap-free by construction. done and sinceCkpt survive restarts.
+	done := 0
+	sinceCkpt := 0
+	emit := func(v core.Verdict, lost bool) {
+		verdicts = append(verdicts, v)
+		p.st.verdict(lost)
+		if p.cfg.OnVerdict != nil {
+			p.cfg.OnVerdict(v)
+		}
+		sinceCkpt++
+		if p.cfg.Checkpoint != nil && sinceCkpt >= p.cfg.checkpointEvery() {
+			sinceCkpt = 0
+			p.st.checkpoint(p.SaveState())
+		}
+	}
+	infer := func() error {
+		for {
+			f, ok := q2.get(ctx)
+			if !ok {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				// Upstream finished; repair any shed tail.
+				for done < intervals {
+					emit(p.cfg.Chain.ObserveLost(), true)
+					done++
+				}
+				return nil
+			}
+			if f.interval < done {
+				continue // stale frame from a pre-restart iteration
+			}
+			for done < f.interval {
+				emit(p.cfg.Chain.ObserveLost(), true)
+				done++
+			}
+			var v core.Verdict
+			if f.lost {
+				v = p.cfg.Chain.ObserveLost()
+			} else {
+				var err error
+				v, err = p.cfg.Chain.Observe(f.values)
+				if err != nil {
+					return fmt.Errorf("supervise: inference at interval %d: %w", f.interval, err)
+				}
+			}
+			done++
+			emit(v, f.lost)
+			p.st.setActiveStage(p.cfg.Chain.StageName(p.cfg.Chain.ActiveStage()))
+		}
+	}
+
+	// ---- supervision --------------------------------------------------
+	var wg sync.WaitGroup
+	errs := make([]error, numStages)
+	start := func(idx int, fn func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.supervised(ctx, idx, fn); err != nil {
+				errs[idx] = err
+				cancel() // take the pipeline down with the failing stage
+			}
+		}()
+	}
+	start(stageCollector, collect)
+	start(stageReducer, reduce)
+	start(stageInferrer, infer)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return verdicts, err
+		}
+	}
+	if err := parent.Err(); err != nil {
+		return verdicts, err
+	}
+	return verdicts, nil
+}
+
+// supervised runs one stage under the restart policy: panics become
+// errors, every failure is restarted with exponential backoff until the
+// budget is spent, and cancellation is never treated as a failure.
+func (p *Pipeline) supervised(ctx context.Context, idx int, fn func() error) error {
+	restarts := 0
+	for {
+		err := runGuarded(fn)
+		if err == nil || ctx.Err() != nil {
+			return nil
+		}
+		panicked := errors.Is(err, ErrStagePanic)
+		p.st.restart(idx, panicked)
+		restarts++
+		if restarts > p.cfg.restartBudget() {
+			return fmt.Errorf("supervise: %s stage: restart budget (%d) exhausted: %w",
+				stageNames[idx], p.cfg.restartBudget(), err)
+		}
+		backoffSleep(p.cfg.RestartBackoff, restarts)
+	}
+}
+
+// runGuarded converts a stage panic into a restartable error.
+func runGuarded(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrStagePanic, r)
+		}
+	}()
+	return fn()
+}
+
+// backoffSleep sleeps the bounded exponential restart delay. base 0
+// means 1ms; negative disables sleeping entirely (tests).
+func backoffSleep(base time.Duration, attempt int) {
+	if base < 0 {
+		return
+	}
+	if base == 0 {
+		base = time.Millisecond
+	}
+	d := base << uint(attempt-1)
+	if max := 100 * time.Millisecond; d > max {
+		d = max
+	}
+	time.Sleep(d)
+}

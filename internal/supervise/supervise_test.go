@@ -1,0 +1,522 @@
+package supervise
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/lxc"
+	"repro/internal/micro"
+	"repro/internal/perf"
+	"repro/internal/workload"
+)
+
+// stubModel is a fixed-score classifier: enough to drive the chain
+// without training anything.
+type stubModel struct{ score float64 }
+
+func (m stubModel) Distribution(x []float64) []float64 {
+	return []float64{1 - m.score, m.score}
+}
+
+// testChain builds a 4HPC → 2HPC → prior chain from stub models.
+func testChain(t *testing.T, cfg core.ChainConfig) *core.FallbackChain {
+	t.Helper()
+	evs := micro.AllEvents()
+	d4 := &core.Detector{BaseName: "Stub", Events: evs[:4], Model: stubModel{score: 0.8}}
+	d2 := &core.Detector{BaseName: "Stub", Events: evs[:2], Model: stubModel{score: 0.6}}
+	if cfg.PriorScore == 0 {
+		cfg.PriorScore = 0.3
+	}
+	chain, err := core.NewFallbackChain([]*core.Detector{d4, d2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chain
+}
+
+func testPipeline(t *testing.T, cfg Config) *Pipeline {
+	t.Helper()
+	if cfg.Chain == nil {
+		cfg.Chain = testChain(t, core.ChainConfig{Window: 3})
+	}
+	if cfg.RestartBackoff == 0 {
+		cfg.RestartBackoff = -1 // no sleeping in tests
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// funcSource adapts a function to the Source interface.
+type funcSource func(ctx context.Context, interval int) ([]uint64, error)
+
+func (f funcSource) Read(ctx context.Context, interval int) ([]uint64, error) {
+	return f(ctx, interval)
+}
+
+// liveValues is a healthy 4-counter reading: distinct per interval,
+// never zero.
+func liveValues(i int) []uint64 {
+	base := uint64(1000 + 37*i)
+	return []uint64{base, base + 101, base + 211, base + 307}
+}
+
+func healthySource() Source {
+	return funcSource(func(_ context.Context, i int) ([]uint64, error) {
+		return liveValues(i), nil
+	})
+}
+
+// requireGapFree asserts the stream has exactly one verdict per
+// interval, consecutively numbered from the first.
+func requireGapFree(t *testing.T, verdicts []core.Verdict, want int) {
+	t.Helper()
+	if len(verdicts) != want {
+		t.Fatalf("got %d verdicts, want %d", len(verdicts), want)
+	}
+	for i := 1; i < len(verdicts); i++ {
+		if verdicts[i].Interval != verdicts[i-1].Interval+1 {
+			t.Fatalf("gap in verdict stream: interval %d follows %d",
+				verdicts[i].Interval, verdicts[i-1].Interval)
+		}
+	}
+}
+
+func TestCleanRunIsGapFree(t *testing.T) {
+	p := testPipeline(t, Config{})
+	verdicts, err := p.Run(context.Background(), healthySource(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireGapFree(t, verdicts, 50)
+	st := p.Stats()
+	if st.LostVerdicts != 0 || st.SourceFailures != 0 || st.Breaker.Trips != 0 {
+		t.Fatalf("clean run reported degradation: %+v", st)
+	}
+	if st.Collector.Restarts+st.Reducer.Restarts+st.Inferrer.Restarts != 0 {
+		t.Fatalf("clean run restarted stages: %+v", st)
+	}
+	if st.Verdicts != 50 || st.Intervals != 50 || st.Runs != 1 {
+		t.Fatalf("counters off: %+v", st)
+	}
+}
+
+func TestLostSamplesAreHeldNotDropped(t *testing.T) {
+	p := testPipeline(t, Config{})
+	src := funcSource(func(_ context.Context, i int) ([]uint64, error) {
+		if i%3 == 1 {
+			return nil, fmt.Errorf("%w: interval %d", ErrSampleLost, i)
+		}
+		return liveValues(i), nil
+	})
+	verdicts, err := p.Run(context.Background(), src, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireGapFree(t, verdicts, 30)
+	st := p.Stats()
+	if st.LostVerdicts != 10 {
+		t.Fatalf("lost verdicts %d, want 10", st.LostVerdicts)
+	}
+	// Lost samples are not failures: the breaker must not have moved.
+	if st.SourceFailures != 0 || st.Breaker.Trips != 0 {
+		t.Fatalf("lost samples counted as failures: %+v", st)
+	}
+}
+
+// TestBreakerTripsAndRecovers drives the source through a dead episode:
+// the breaker must trip open (stopping reads), probe, and recover —
+// with the verdict stream complete throughout and the crash sentinel
+// surviving every layer of wrapping.
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	p := testPipeline(t, Config{Breaker: BreakerConfig{FailAfter: 2, Cooldown: 3}})
+	reads := 0
+	src := funcSource(func(_ context.Context, i int) ([]uint64, error) {
+		reads++
+		if i >= 10 && i < 20 {
+			return nil, fmt.Errorf("source: boot: %w", lxc.ErrCrashed)
+		}
+		return liveValues(i), nil
+	})
+	verdicts, err := p.Run(context.Background(), src, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireGapFree(t, verdicts, 40)
+
+	st := p.Stats()
+	if st.Breaker.Trips == 0 {
+		t.Fatalf("breaker never tripped: %+v", st.Breaker)
+	}
+	if st.Breaker.Recoveries == 0 || st.Breaker.State != "closed" {
+		t.Fatalf("breaker never recovered: %+v", st.Breaker)
+	}
+	// The breaker must have suppressed reads while open: strictly fewer
+	// source calls than intervals.
+	if reads >= 40 {
+		t.Fatalf("breaker did not suppress reads: %d reads for 40 intervals", reads)
+	}
+	// errors.Is end-to-end: the sentinel survives the source wrap and
+	// the supervision layer's bookkeeping.
+	if !errors.Is(p.LastSourceError(), lxc.ErrCrashed) {
+		t.Fatalf("lxc.ErrCrashed lost in wrapping: %v", p.LastSourceError())
+	}
+}
+
+func TestRunCrashSentinelSurvivesWrapping(t *testing.T) {
+	p := testPipeline(t, Config{Breaker: BreakerConfig{FailAfter: 1, Cooldown: 2}})
+	src := funcSource(func(_ context.Context, i int) ([]uint64, error) {
+		if i == 5 {
+			return nil, fmt.Errorf("source: interval %d: %w", i, perf.ErrRunCrashed)
+		}
+		return liveValues(i), nil
+	})
+	verdicts, err := p.Run(context.Background(), src, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireGapFree(t, verdicts, 12)
+	if !errors.Is(p.LastSourceError(), perf.ErrRunCrashed) {
+		t.Fatalf("perf.ErrRunCrashed lost in wrapping: %v", p.LastSourceError())
+	}
+}
+
+func TestPanicBecomesRestartableStageFailure(t *testing.T) {
+	p := testPipeline(t, Config{})
+	fired := false
+	p.testReduceHook = func(f *frame) {
+		if f.interval == 7 && !fired {
+			fired = true
+			panic("injected reducer panic")
+		}
+	}
+	verdicts, err := p.Run(context.Background(), healthySource(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The panicking iteration consumed interval 7's frame; the stream
+	// must still be complete, with that interval held by the prior path.
+	requireGapFree(t, verdicts, 20)
+	st := p.Stats()
+	if st.Reducer.Restarts != 1 || st.Reducer.Panics != 1 {
+		t.Fatalf("reducer restarts=%d panics=%d, want 1/1", st.Reducer.Restarts, st.Reducer.Panics)
+	}
+	if st.LostVerdicts != 1 {
+		t.Fatalf("lost verdicts %d, want exactly the panicked interval", st.LostVerdicts)
+	}
+}
+
+func TestRestartBudgetExhaustionFailsPipeline(t *testing.T) {
+	p := testPipeline(t, Config{RestartBudget: 3})
+	p.testReduceHook = func(f *frame) {
+		panic("deterministic reducer bug")
+	}
+	verdicts, err := p.Run(context.Background(), healthySource(), 50)
+	if err == nil {
+		t.Fatal("pipeline should fail once the restart budget is spent")
+	}
+	if !errors.Is(err, ErrStagePanic) {
+		t.Fatalf("budget-exhaustion error hides the root cause: %v", err)
+	}
+	st := p.Stats()
+	if st.Reducer.Restarts != 4 { // budget 3 + the final failed attempt
+		t.Fatalf("reducer restarts %d, want 4", st.Reducer.Restarts)
+	}
+	_ = verdicts // partial stream is fine; the error is the contract here
+}
+
+func TestWatchdogConvertsStallIntoRestart(t *testing.T) {
+	p := testPipeline(t, Config{StageDeadline: 20 * time.Millisecond})
+	stalled := false
+	src := funcSource(func(ctx context.Context, i int) ([]uint64, error) {
+		if i == 5 && !stalled {
+			stalled = true
+			<-ctx.Done() // wedge until the watchdog fires
+			return nil, ctx.Err()
+		}
+		return liveValues(i), nil
+	})
+	verdicts, err := p.Run(context.Background(), src, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireGapFree(t, verdicts, 15)
+	st := p.Stats()
+	if st.Collector.DeadlineMisses != 1 || st.Collector.Restarts != 1 {
+		t.Fatalf("watchdog stats: %+v", st.Collector)
+	}
+	if st.LostVerdicts != 1 {
+		t.Fatalf("stalled interval not held: %d lost", st.LostVerdicts)
+	}
+}
+
+// TestDropOldestShedsLoadButStreamStaysComplete jams the inferrer so
+// bounded queues overflow under the drop-oldest policy: frames must be
+// shed (and counted), yet the final stream still has one verdict per
+// interval.
+func TestDropOldestShedsLoadButStreamStaysComplete(t *testing.T) {
+	const n = 40
+	collectorDone := make(chan struct{})
+	release := sync.OnceFunc(func() { close(collectorDone) })
+	first := true
+
+	p := testPipeline(t, Config{
+		QueueCap: 2,
+		Policy:   DropOldest,
+		OnVerdict: func(core.Verdict) {
+			if first {
+				first = false
+				<-collectorDone // jam inference until collection finishes
+			}
+		},
+	})
+	src := funcSource(func(_ context.Context, i int) ([]uint64, error) {
+		if i == n-1 {
+			release()
+		}
+		return liveValues(i), nil
+	})
+	verdicts, err := p.Run(context.Background(), src, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireGapFree(t, verdicts, n)
+	st := p.Stats()
+	if st.QueueDrops == 0 {
+		t.Fatal("expected drop-oldest to shed frames")
+	}
+	if st.LostVerdicts == 0 {
+		t.Fatal("shed frames must surface as held verdicts")
+	}
+}
+
+func TestBlockPolicyNeverDrops(t *testing.T) {
+	jam := make(chan struct{})
+	release := sync.OnceFunc(func() { close(jam) })
+	first := true
+	p := testPipeline(t, Config{
+		QueueCap: 2,
+		Policy:   Block,
+		OnVerdict: func(core.Verdict) {
+			if first {
+				first = false
+				<-jam
+			}
+		},
+	})
+	src := funcSource(func(_ context.Context, i int) ([]uint64, error) {
+		if i == 6 { // queues are saturated by now; unjam and finish
+			release()
+		}
+		return liveValues(i), nil
+	})
+	verdicts, err := p.Run(context.Background(), src, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireGapFree(t, verdicts, 30)
+	st := p.Stats()
+	if st.QueueDrops != 0 || st.LostVerdicts != 0 {
+		t.Fatalf("block policy lost frames: %+v", st)
+	}
+}
+
+func TestPeriodicCheckpointAndRestore(t *testing.T) {
+	store, err := core.NewCheckpointStore(t.TempDir(), "state", core.ChainStateVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := testChain(t, core.ChainConfig{Window: 3})
+	p := testPipeline(t, Config{Chain: chain, Checkpoint: store, CheckpointEvery: 4})
+	if _, err := p.Run(context.Background(), healthySource(), 20); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().CheckpointsWritten; got != 5 {
+		t.Fatalf("checkpoints written %d, want 5", got)
+	}
+
+	// A restarted process: fresh chain, same store.
+	chain2 := testChain(t, core.ChainConfig{Window: 3})
+	p2 := testPipeline(t, Config{Chain: chain2, Checkpoint: store})
+	gen, quarantined, err := p2.RestoreState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 0 || len(quarantined) != 0 {
+		t.Fatalf("gen=%d quarantined=%v", gen, quarantined)
+	}
+	if st := chain2.State(); st.Interval != 20 {
+		t.Fatalf("restored interval %d, want 20", st.Interval)
+	}
+	// The resumed stream continues the global interval numbering.
+	verdicts, err := p2.Run(context.Background(), healthySource(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdicts[0].Interval != 20 {
+		t.Fatalf("resumed stream starts at %d, want 20", verdicts[0].Interval)
+	}
+}
+
+func TestRestoreStateColdStart(t *testing.T) {
+	store, err := core.NewCheckpointStore(t.TempDir(), "state", core.ChainStateVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPipeline(t, Config{Checkpoint: store})
+	if _, _, err := p.RestoreState(); !errors.Is(err, core.ErrNoCheckpoint) {
+		t.Fatalf("cold start should report ErrNoCheckpoint, got %v", err)
+	}
+}
+
+func TestCancellationStopsRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := testPipeline(t, Config{})
+	src := funcSource(func(_ context.Context, i int) ([]uint64, error) {
+		if i == 10 {
+			cancel()
+		}
+		return liveValues(i), nil
+	})
+	_, err := p.Run(ctx, src, 1000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// Cancellation is not a stage failure.
+	st := p.Stats()
+	if st.Collector.Restarts+st.Reducer.Restarts+st.Inferrer.Restarts != 0 {
+		t.Fatalf("cancellation restarted stages: %+v", st)
+	}
+}
+
+func TestStatsScrapedConcurrently(t *testing.T) {
+	p := testPipeline(t, Config{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = p.Stats()
+		}
+	}()
+	verdicts, err := p.Run(context.Background(), healthySource(), 200)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireGapFree(t, verdicts, 200)
+}
+
+// machineSourceConfig builds a fault-injected MachineSource over a real
+// simulated workload.
+func machineSourceConfig(t *testing.T, chain *core.FallbackChain, total int, plan *faults.Plan) MachineSourceConfig {
+	t.Helper()
+	apps := workload.Suite(workload.SuiteConfig{Seed: 0xBEEF, AppsPerFamily: 1})
+	app := apps[0]
+	return MachineSourceConfig{
+		Machine:     micro.FastConfig(),
+		Run:         app.NewRun(0),
+		Events:      chain.Events(),
+		Total:       total,
+		CycleBudget: 4000,
+		Plan:        plan,
+		Scope:       app.Name,
+	}
+}
+
+// TestMachineSourceDeterministic is the reproducibility contract: two
+// identical supervised runs over a faulty machine source produce
+// identical verdict streams and identical breaker histories.
+func TestMachineSourceDeterministic(t *testing.T) {
+	const n = 60
+	plan := &faults.Plan{Seed: 0xC0FFEE, Rate: 0.3}
+	run := func() ([]core.Verdict, Snapshot) {
+		chain := testChain(t, core.ChainConfig{Window: 3})
+		p := testPipeline(t, Config{Chain: chain, Breaker: BreakerConfig{FailAfter: 2, Cooldown: 3}})
+		src, err := NewMachineSource(machineSourceConfig(t, chain, n, plan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdicts, err := p.Run(context.Background(), src, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return verdicts, p.Stats()
+	}
+	va, sa := run()
+	vb, sb := run()
+	requireGapFree(t, va, n)
+	if len(va) != len(vb) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(va), len(vb))
+	}
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatalf("verdict %d differs across identical seeds: %+v vs %+v", i, va[i], vb[i])
+		}
+	}
+	if sa.Breaker.Trips != sb.Breaker.Trips || sa.LostVerdicts != sb.LostVerdicts ||
+		sa.SourceFailures != sb.SourceFailures {
+		t.Fatalf("stats differ across identical seeds:\n%+v\n%+v", sa, sb)
+	}
+}
+
+func TestMachineSourceCleanMatchesPerfSampling(t *testing.T) {
+	const n = 12
+	chain := testChain(t, core.ChainConfig{Window: 3})
+	cfg := machineSourceConfig(t, chain, n, nil)
+	src, err := NewMachineSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: the perf layer's own sampling of an identically seeded
+	// run. (Run carries a stateful jitter RNG, so the reference needs its
+	// own instance rather than sharing cfg.Run.)
+	group, err := perf.NewGroup(cfg.Events...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRun := workload.Suite(workload.SuiteConfig{Seed: 0xBEEF, AppsPerFamily: 1})[0].NewRun(0)
+	mach := micro.NewMachine(cfg.Machine, refRun.MachineSeed())
+	want := perf.SampleRun(mach, refRun, group, n, cfg.CycleBudget)
+
+	for i := 0; i < n; i++ {
+		got, err := src.Read(context.Background(), i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range got {
+			if got[j] != want[i].Values[j] {
+				t.Fatalf("interval %d counter %d: %d != perf's %d", i, j, got[j], want[i].Values[j])
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil chain accepted")
+	}
+	p := testPipeline(t, Config{})
+	if _, err := p.Run(context.Background(), nil, 10); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := p.Run(context.Background(), healthySource(), 0); err == nil {
+		t.Fatal("zero intervals accepted")
+	}
+	if _, err := NewMachineSource(MachineSourceConfig{}); err == nil {
+		t.Fatal("empty machine source config accepted")
+	}
+	// Group-validation sentinel survives the supervise wrap end-to-end.
+	apps := workload.Suite(workload.SuiteConfig{Seed: 1, AppsPerFamily: 1})
+	_, err := NewMachineSource(MachineSourceConfig{Run: apps[0].NewRun(0), Total: 10})
+	if !errors.Is(err, perf.ErrBadGroup) {
+		t.Fatalf("empty event list: %v, want perf.ErrBadGroup", err)
+	}
+}

@@ -1,10 +1,13 @@
 #!/bin/sh
 # Tier-1 checks: everything must pass before a change lands.
 # The race-detector pass covers the packages with real concurrency
-# (parallel collection) and the fault-injection layer feeding it.
+# (parallel collection, the supervised pipeline, chain checkpointing)
+# and the fault-injection layer feeding them.
 set -ex
 
 go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/collect ./internal/faults
+go test -race ./internal/supervise ./internal/core
+go test -run TestChaos -short ./internal/experiments
