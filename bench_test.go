@@ -20,6 +20,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/hls"
 	"repro/internal/micro"
+	"repro/internal/mlearn/j48"
 	"repro/internal/mlearn/zoo"
 	"repro/internal/perf"
 	"repro/internal/workload"
@@ -454,5 +455,100 @@ func BenchmarkExtensionEvasion(b *testing.B) {
 		if i == 0 {
 			b.Log("\n" + experiments.RenderEvasion("2HPC-Boosted-REPTree", pts))
 		}
+	}
+}
+
+// ---- Throughput-engine micro-benchmarks ----
+//
+// Run with -benchmem: the Inference* benches pin the zero-allocation
+// verdict path (allocs/op must read 0 for the chain and batcher), and
+// the Train* pair shows the sorted-index split-search win over the
+// legacy per-node sort.
+
+// BenchmarkInferenceChainObserve measures the steady-state supervised
+// verdict path: one FallbackChain.Observe per sample.
+func BenchmarkInferenceChainObserve(b *testing.B) {
+	ctx := benchContext(b)
+	chain, err := ctx.Builder.BuildChain("BayesNet", zoo.Bagged, []int{4, 2}, core.ChainConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([]uint64, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := uint64(1000 + 37*i)
+		vals[0], vals[1], vals[2], vals[3] = base, base+101, base+211, base+307
+		if _, err := chain.Observe(vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInferenceBatcher measures single-sample scoring through a
+// reusable Batcher (the zero-allocation batch-classification API).
+func BenchmarkInferenceBatcher(b *testing.B) {
+	ctx := benchContext(b)
+	det, _, err := ctx.Detector("REPTree", zoo.Boosted, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := det.NewBatcher()
+	x := []float64{100, 200, 300, 400}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Score(x)
+	}
+}
+
+// BenchmarkInferenceLegacyScore is the allocating baseline the two
+// benches above are compared against: the pre-engine Score path with a
+// fresh feature vector per sample.
+func BenchmarkInferenceLegacyScore(b *testing.B) {
+	ctx := benchContext(b)
+	det, _, err := ctx.Detector("REPTree", zoo.Boosted, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := []uint64{100, 200, 300, 400}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := make([]float64, len(vals))
+		for j, v := range vals {
+			x[j] = float64(v)
+		}
+		det.Score(x)
+	}
+}
+
+// BenchmarkTrainJ48 compares the sorted-index split search against the
+// legacy per-node sort on the shared corpus reduced to 8 features.
+func BenchmarkTrainJ48(b *testing.B) {
+	ctx := benchContext(b)
+	cols, err := features.TopK(ctx.Builder.Train(), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, err := ctx.Builder.Train().Select(cols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name   string
+		legacy bool
+	}{{"sorted", false}, {"legacy", true}} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tr := j48.New()
+				tr.LegacySplit = cfg.legacy
+				if _, err := tr.Train(train, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,11 +27,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, figure3, table2, figure4, figure5, table3, extensions, robustness, chaos, claims")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, figure3, table2, figure4, figure5, table3, extensions, robustness, chaos, perf, claims")
 	apps := flag.Int("apps", 10, "applications per behaviour family (10 = paper scale, 120 apps)")
 	intervals := flag.Int("intervals", 30, "sampling intervals per run")
 	seed := flag.Uint64("seed", 1, "split/training seed")
+	perfOut := flag.String("perfout", "BENCH_PERF.json", "output path of the -exp perf report")
 	flag.Parse()
+	perfPath = *perfOut
 
 	cfg := collect.Default()
 	cfg.Suite.AppsPerFamily = *apps
@@ -63,6 +66,9 @@ func main() {
 	run("extensions", extensions)
 	run("robustness", robustness)
 	run("chaos", chaos)
+	if *exp == "perf" {
+		run("perf", perfReport)
+	}
 	run("claims", claims)
 }
 
@@ -194,6 +200,31 @@ func chaos(ctx *experiments.Context) error {
 	if !res.Passed() {
 		return fmt.Errorf("chaos drill contracts failed")
 	}
+	return nil
+}
+
+// perfPath is where -exp perf writes its JSON report.
+var perfPath string
+
+// perfReport runs the throughput-engine benchmark (training-grid wall
+// time, CV parallelism, per-sample verdict path) and writes the JSON
+// artefact alongside the console summary.
+func perfReport(ctx *experiments.Context) error {
+	rep, err := ctx.Perf()
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderPerf(rep))
+	fmt.Println()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(perfPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "perf report written to %s\n", perfPath)
 	return nil
 }
 

@@ -62,6 +62,7 @@ func main() {
 	monIntervals := flag.Int("monitor-intervals", 40, "sampling intervals per monitored app")
 	loops := flag.Int("loops", 1, "monitoring loops over the schedule (0 = run until signalled)")
 	seed := flag.Uint64("seed", 1, "split/training seed")
+	trainWorkers := flag.Int("train-workers", 0, "worker goroutines for ensemble training (0 = GOMAXPROCS, 1 = sequential; models are bit-identical either way)")
 	faultRate := flag.Float64("faults", 0, "fault-injection rate on the monitored source (0 = clean)")
 	faultKinds := flag.String("fault-kinds", "all", "comma-separated fault kinds: drop,stuck,zero,noise,saturate,jitter,crash (or all)")
 	addr := flag.String("addr", "", "HTTP listen address for health/stats (empty = no HTTP)")
@@ -106,7 +107,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	chain, err := loadOrTrain(srv, modelStore, *name, variant, counts, *window, *apps, *intervals, *seed)
+	chain, err := loadOrTrain(srv, modelStore, *name, variant, counts, *window, *apps, *intervals, *seed, *trainWorkers)
 	if err != nil {
 		fatal(err)
 	}
@@ -207,7 +208,7 @@ func finish(srv *service, pipe *supervise.Pipeline, stateStore *core.CheckpointS
 // trains it from a fresh collection pass (exposing live collection
 // progress through the service) and checkpoints the result.
 func loadOrTrain(srv *service, store *core.CheckpointStore, name string, variant zoo.Variant,
-	counts []int, window, apps, intervals int, seed uint64) (*core.FallbackChain, error) {
+	counts []int, window, apps, intervals int, seed uint64, workers int) (*core.FallbackChain, error) {
 	if store != nil {
 		var chain *core.FallbackChain
 		gen, quarantined, err := store.Recover(func(payload []byte) error {
@@ -244,6 +245,7 @@ func loadOrTrain(srv *service, store *core.CheckpointStore, name string, variant
 	if err != nil {
 		return nil, fmt.Errorf("splitting corpus: %w", err)
 	}
+	b.Workers = workers
 	chain, err := b.BuildChain(name, variant, counts, core.ChainConfig{Window: window})
 	if err != nil {
 		return nil, fmt.Errorf("training chain: %w", err)

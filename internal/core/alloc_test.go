@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mlearn/zoo"
+)
+
+// The steady-state verdict path must not allocate: these gates pin the
+// zero-allocation contract of the throughput engine with
+// testing.AllocsPerRun, so a regression (a fresh slice sneaking back
+// into a Distribution call, a window that appends instead of rotating)
+// fails loudly rather than showing up as GC pressure in production.
+
+func TestMonitorObserveZeroAlloc(t *testing.T) {
+	b := newBuilder(t)
+	det, err := b.Build("REPTree", zoo.Bagged, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMonitor(det, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]uint64, 4)
+	n := 0
+	observe := func() {
+		n++
+		base := uint64(1000 + 37*n)
+		vals[0], vals[1], vals[2], vals[3] = base, base+101, base+211, base+307
+		if _, err := m.Observe(vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	observe() // warm model scratch
+	if allocs := testing.AllocsPerRun(500, observe); allocs != 0 {
+		t.Fatalf("Monitor.Observe allocates %.1f times per sample, want 0", allocs)
+	}
+}
+
+func TestFallbackChainObserveZeroAlloc(t *testing.T) {
+	b := newBuilder(t)
+	chain, err := b.BuildChain("REPTree", zoo.Bagged, []int{4, 2}, ChainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]uint64, 4)
+	n := 0
+	observe := func() {
+		n++
+		base := uint64(1000 + 37*n)
+		vals[0], vals[1], vals[2], vals[3] = base, base+101, base+211, base+307
+		if _, err := chain.Observe(vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	observe()
+	if allocs := testing.AllocsPerRun(500, observe); allocs != 0 {
+		t.Fatalf("FallbackChain.Observe allocates %.1f times per sample, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(500, func() {
+		chain.ObserveLost()
+	}); allocs != 0 {
+		t.Fatalf("FallbackChain.ObserveLost allocates %.1f times per sample, want 0", allocs)
+	}
+}
+
+func TestBatcherZeroAlloc(t *testing.T) {
+	b := newBuilder(t)
+	det, err := b.Build("BayesNet", zoo.Boosted, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := det.NewBatcher()
+	vals := make([]uint64, 4)
+	x := []float64{100, 200, 300, 400}
+	score := func() {
+		if _, err := batch.ScoreValues(vals); err != nil {
+			t.Fatal(err)
+		}
+		batch.Score(x)
+		batch.Classify(x)
+	}
+	score()
+	if allocs := testing.AllocsPerRun(500, score); allocs != 0 {
+		t.Fatalf("Batcher scoring allocates %.1f times per sample, want 0", allocs)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/mlearn"
+)
+
+// Batcher classifies streams of samples through a detector with
+// reusable scratch buffers: after construction, Classify/Score and the
+// batch calls perform zero heap allocations per sample for streaming
+// models. Each Batcher owns its scratch (and, transitively, the
+// model's), so use one Batcher per goroutine.
+type Batcher struct {
+	det  *Detector
+	x    []float64
+	dist []float64
+}
+
+// NewBatcher builds a reusable classification context for the detector.
+func (d *Detector) NewBatcher() *Batcher {
+	return &Batcher{
+		det:  d,
+		x:    make([]float64, len(d.Events)),
+		dist: make([]float64, mlearn.NumClasses(d.Model, len(d.Events))),
+	}
+}
+
+// Detector returns the wrapped detector.
+func (b *Batcher) Detector() *Detector { return b.det }
+
+// Classify returns the predicted class for one sample vector ordered
+// like the detector's events.
+func (b *Batcher) Classify(x []float64) int {
+	return mlearn.PredictWith(b.det.Model, x, b.dist)
+}
+
+// Score returns P(malware) for one sample vector.
+func (b *Batcher) Score(x []float64) float64 {
+	return mlearn.ScoreWith(b.det.Model, x, b.dist)
+}
+
+// ScoreValues is Score on raw counter readings (as delivered by the
+// PMU), converting them in the Batcher's scratch vector.
+func (b *Batcher) ScoreValues(values []uint64) (float64, error) {
+	if len(values) != len(b.det.Events) {
+		return 0, errors.New("core: sample width does not match detector events")
+	}
+	for i, v := range values {
+		b.x[i] = float64(v)
+	}
+	return b.Score(b.x), nil
+}
+
+// ScoreBatch scores every row of xs into out (len(out) == len(xs)) and
+// returns out, allocating it only when nil.
+func (b *Batcher) ScoreBatch(xs [][]float64, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, len(xs))
+	}
+	for i, x := range xs {
+		out[i] = b.Score(x)
+	}
+	return out
+}
+
+// ClassifyBatch predicts every row of xs into out (len(out) ==
+// len(xs)) and returns out, allocating it only when nil.
+func (b *Batcher) ClassifyBatch(xs [][]float64, out []int) []int {
+	if out == nil {
+		out = make([]int, len(xs))
+	}
+	for i, x := range xs {
+		out[i] = b.Classify(x)
+	}
+	return out
+}

@@ -75,6 +75,12 @@ type Builder struct {
 	Seed uint64
 	// Iterations for ensemble variants (0 = WEKA default 10).
 	Iterations int
+	// Workers bounds concurrent bag training in Bagged variants (0 =
+	// GOMAXPROCS, 1 = sequential); models are identical either way.
+	Workers int
+	// LegacySplit selects the pre-sorted-index tree split search — the
+	// baseline mode of the perf experiment.
+	LegacySplit bool
 }
 
 // NewBuilder splits data at application level (trainFrac per class,
@@ -127,7 +133,12 @@ func (b *Builder) Build(baseName string, variant zoo.Variant, k int) (*Detector,
 	if err != nil {
 		return nil, err
 	}
-	trainer, err := zoo.NewVariant(baseName, variant, b.Iterations, b.Seed)
+	trainer, err := zoo.NewVariantOpts(baseName, variant, zoo.Options{
+		Iterations:  b.Iterations,
+		Seed:        b.Seed,
+		Workers:     b.Workers,
+		LegacySplit: b.LegacySplit,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -217,8 +228,18 @@ type Monitor struct {
 	group     perf.Group
 	window    int
 	threshold float64
-	history   []float64
-	interval  int
+	// ring is the fixed-size sliding window of recent scores: head is
+	// the next write slot, filled the number of valid entries. A ring
+	// instead of an append/trim slice keeps the steady-state Observe
+	// loop allocation-free.
+	ring     []float64
+	head     int
+	filled   int
+	interval int
+	// x and dist are the per-Observe scratch buffers (sample vector and
+	// class distribution).
+	x    []float64
+	dist []float64
 }
 
 // NewMonitor builds a run-time monitor. The detector must fit the PMU
@@ -240,7 +261,15 @@ func NewMonitor(d *Detector, window int, threshold float64) (*Monitor, error) {
 	if threshold <= 0 {
 		threshold = 0.5
 	}
-	return &Monitor{det: d, group: g, window: window, threshold: threshold}, nil
+	return &Monitor{
+		det:       d,
+		group:     g,
+		window:    window,
+		threshold: threshold,
+		ring:      make([]float64, window),
+		x:         make([]float64, len(d.Events)),
+		dist:      make([]float64, mlearn.NumClasses(d.Model, len(d.Events))),
+	}, nil
 }
 
 // Detector returns the monitored detector.
@@ -252,20 +281,26 @@ func (m *Monitor) Observe(values []uint64) (Verdict, error) {
 	if len(values) != len(m.det.Events) {
 		return Verdict{}, errors.New("core: sample width does not match detector events")
 	}
-	x := make([]float64, len(values))
 	for i, v := range values {
-		x[i] = float64(v)
+		m.x[i] = float64(v)
 	}
-	s := m.det.Score(x)
-	m.history = append(m.history, s)
-	if len(m.history) > m.window {
-		m.history = m.history[len(m.history)-m.window:]
+	s := mlearn.ScoreWith(m.det.Model, m.x, m.dist)
+	m.ring[m.head] = s
+	m.head = (m.head + 1) % m.window
+	if m.filled < m.window {
+		m.filled++
 	}
+	// Sum oldest-to-newest so the float accumulation order matches the
+	// historical append/trim implementation bit for bit.
 	mean := 0.0
-	for _, v := range m.history {
-		mean += v
+	start := m.head - m.filled
+	if start < 0 {
+		start += m.window
 	}
-	mean /= float64(len(m.history))
+	for i := 0; i < m.filled; i++ {
+		mean += m.ring[(start+i)%m.window]
+	}
+	mean /= float64(m.filled)
 	v := Verdict{Interval: m.interval, Score: mean, Malware: mean >= m.threshold}
 	m.interval++
 	return v, nil
@@ -274,7 +309,8 @@ func (m *Monitor) Observe(values []uint64) (Verdict, error) {
 // Reset clears the sliding window (e.g. when the monitored process
 // changes).
 func (m *Monitor) Reset() {
-	m.history = m.history[:0]
+	m.head = 0
+	m.filled = 0
 	m.interval = 0
 }
 

@@ -123,7 +123,17 @@ type FallbackChain struct {
 	idx    [][]int
 	health []counterHealth
 
-	history     []float64
+	// ring is the fixed sliding verdict window (head = next write slot,
+	// filled = valid entries); xbuf/dist/bad are Observe's scratch
+	// buffers. Together they keep steady-state observation
+	// allocation-free.
+	ring   []float64
+	head   int
+	filled int
+	xbuf   []float64
+	dist   []float64
+	bad    []bool
+
 	interval    int
 	active      int
 	transitions []Transition
@@ -161,11 +171,21 @@ func NewFallbackChain(stages []*Detector, cfg ChainConfig) (*FallbackChain, erro
 			idx[s][j] = p
 		}
 	}
+	distLen := 0
+	for _, d := range stages {
+		if k := mlearn.NumClasses(d.Model, d.HPCs()); k > distLen {
+			distLen = k
+		}
+	}
 	return &FallbackChain{
 		stages: stages,
 		cfg:    cfg,
 		idx:    idx,
 		health: make([]counterHealth, primary.HPCs()),
+		ring:   make([]float64, cfg.window()),
+		xbuf:   make([]float64, primary.HPCs()),
+		dist:   make([]float64, distLen),
+		bad:    make([]bool, primary.HPCs()),
 	}, nil
 }
 
@@ -198,7 +218,8 @@ func (fc *FallbackChain) Transitions() []Transition {
 // Reset clears the window, health state and transition log (e.g. when
 // the monitored process changes).
 func (fc *FallbackChain) Reset() {
-	fc.history = fc.history[:0]
+	fc.head = 0
+	fc.filled = 0
 	fc.interval = 0
 	fc.active = 0
 	fc.transitions = nil
@@ -230,25 +251,33 @@ func (fc *FallbackChain) score(s int, values []uint64) float64 {
 	if s >= len(fc.stages) {
 		return fc.cfg.PriorScore
 	}
-	x := make([]float64, len(fc.idx[s]))
+	x := fc.xbuf[:len(fc.idx[s])]
 	for j, p := range fc.idx[s] {
 		x[j] = float64(values[p])
 	}
-	return mlearn.Score(fc.stages[s].Model, x)
+	return mlearn.ScoreWith(fc.stages[s].Model, x, fc.dist)
 }
 
 // verdict folds score s into the shared window and emits the interval's
 // decision.
 func (fc *FallbackChain) verdict(s float64) Verdict {
-	fc.history = append(fc.history, s)
-	if w := fc.cfg.window(); len(fc.history) > w {
-		fc.history = fc.history[len(fc.history)-w:]
+	w := len(fc.ring)
+	fc.ring[fc.head] = s
+	fc.head = (fc.head + 1) % w
+	if fc.filled < w {
+		fc.filled++
 	}
+	// Sum oldest-to-newest so the float accumulation order matches the
+	// historical append/trim implementation bit for bit.
 	mean := 0.0
-	for _, v := range fc.history {
-		mean += v
+	start := fc.head - fc.filled
+	if start < 0 {
+		start += w
 	}
-	mean /= float64(len(fc.history))
+	for i := 0; i < fc.filled; i++ {
+		mean += fc.ring[(start+i)%w]
+	}
+	mean /= float64(fc.filled)
 	v := Verdict{Interval: fc.interval, Score: mean, Malware: mean >= fc.cfg.threshold()}
 	fc.interval++
 	return v
@@ -264,7 +293,7 @@ func (fc *FallbackChain) Observe(values []uint64) (Verdict, error) {
 		return Verdict{}, fmt.Errorf("core: sample width %d does not match primary detector's %d events",
 			len(values), fc.stages[0].HPCs())
 	}
-	bad := make([]bool, len(fc.health))
+	bad := fc.bad
 	for c := range fc.health {
 		fc.health[c].observe(values[c])
 		bad[c] = fc.health[c].step(fc.cfg.badAfter(), fc.cfg.goodAfter())
@@ -281,8 +310,8 @@ func (fc *FallbackChain) Observe(values []uint64) (Verdict, error) {
 // verdict stream stays gap-free.
 func (fc *FallbackChain) ObserveLost() Verdict {
 	last := fc.cfg.PriorScore
-	if len(fc.history) > 0 {
-		last = fc.history[len(fc.history)-1]
+	if fc.filled > 0 {
+		last = fc.ring[(fc.head-1+len(fc.ring))%len(fc.ring)]
 	}
 	return fc.verdict(last)
 }
@@ -310,10 +339,20 @@ type ChainState struct {
 	Transitions []Transition
 }
 
-// State snapshots the chain's current run-time state.
+// State snapshots the chain's current run-time state. The window
+// serialises oldest-to-newest, the same layout the pre-ring
+// implementation checkpointed, so snapshots stay interchangeable.
 func (fc *FallbackChain) State() ChainState {
+	window := make([]float64, fc.filled)
+	start := fc.head - fc.filled
+	if start < 0 {
+		start += len(fc.ring)
+	}
+	for i := 0; i < fc.filled; i++ {
+		window[i] = fc.ring[(start+i)%len(fc.ring)]
+	}
 	st := ChainState{
-		Window:      append([]float64(nil), fc.history...),
+		Window:      window,
 		Interval:    fc.interval,
 		Active:      fc.active,
 		Health:      make([]CounterHealthState, len(fc.health)),
@@ -340,7 +379,19 @@ func (fc *FallbackChain) SetState(st ChainState) error {
 	if st.Interval < 0 {
 		return fmt.Errorf("core: chain state interval %d is negative", st.Interval)
 	}
-	fc.history = append(fc.history[:0], st.Window...)
+	// Load the last window-full of scores oldest-to-newest; anything
+	// older would have been trimmed on the next verdict anyway.
+	win := st.Window
+	if w := len(fc.ring); len(win) > w {
+		win = win[len(win)-w:]
+	}
+	fc.head = 0
+	fc.filled = 0
+	for _, s := range win {
+		fc.ring[fc.head] = s
+		fc.head = (fc.head + 1) % len(fc.ring)
+		fc.filled++
+	}
 	fc.interval = st.Interval
 	fc.active = st.Active
 	fc.transitions = append([]Transition(nil), st.Transitions...)

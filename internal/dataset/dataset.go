@@ -44,6 +44,27 @@ func New(attrNames, classNames []string) *Instances {
 	}
 }
 
+// NewWithCapacity is New with row storage preallocated for rows
+// instances, for callers (cross-validation fold building, resampling)
+// that know the final size up front.
+func NewWithCapacity(attrNames, classNames []string, rows int) *Instances {
+	d := New(attrNames, classNames)
+	d.X = make([][]float64, 0, rows)
+	d.Y = make([]int, 0, rows)
+	d.Groups = make([]string, 0, rows)
+	return d
+}
+
+// AddShared appends one labelled row without validation or copying: the
+// dataset aliases x. For internal fold/partition building from rows
+// already validated by an Instances — callers must not mutate x
+// afterwards.
+func (d *Instances) AddShared(x []float64, y int, group string) {
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+	d.Groups = append(d.Groups, group)
+}
+
 // BinaryClassNames is the paper's class vocabulary.
 func BinaryClassNames() []string { return []string{"benign", "malware"} }
 

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/micro"
@@ -55,6 +57,16 @@ func (r CVResult) std(f func(Result) float64) float64 {
 // each class are distributed round-robin over folds after a
 // deterministic shuffle, each fold serves once as the test set.
 func CrossValidate(tr mlearn.Trainer, d *dataset.Instances, k int, seed uint64) (CVResult, error) {
+	return CrossValidateWorkers(tr, d, k, seed, 0)
+}
+
+// CrossValidateWorkers is CrossValidate with the fold train/measure
+// loop spread over a worker pool: 0 workers uses GOMAXPROCS, 1 runs
+// sequentially. The fold assignment depends only on (seed, k), each
+// fold's result lands at its own index, and trainers are pure
+// configurations (all mutable state lives in per-Train locals), so the
+// CVResult is identical for any worker count.
+func CrossValidateWorkers(tr mlearn.Trainer, d *dataset.Instances, k int, seed uint64, workers int) (CVResult, error) {
 	if k < 2 {
 		return CVResult{}, errors.New("eval: need at least 2 folds")
 	}
@@ -90,28 +102,77 @@ func CrossValidate(tr mlearn.Trainer, d *dataset.Instances, k int, seed uint64) 
 		attrs[i] = a.Name
 	}
 
-	var out CVResult
+	// Exact fold sizes, so train/test storage is allocated once. Rows
+	// were validated when d was built, so the folds alias them instead
+	// of copying (trainers treat feature rows as read-only).
+	foldSize := make([]int, k)
+	for _, f := range assign {
+		foldSize[f]++
+	}
+	trainSets := make([]*dataset.Instances, k)
+	testSets := make([]*dataset.Instances, k)
 	for f := 0; f < k; f++ {
-		train := dataset.New(attrs, d.ClassNames)
-		test := dataset.New(attrs, d.ClassNames)
-		for i := range d.X {
-			target := train
+		trainSets[f] = dataset.NewWithCapacity(attrs, d.ClassNames, d.NumRows()-foldSize[f])
+		testSets[f] = dataset.NewWithCapacity(attrs, d.ClassNames, foldSize[f])
+	}
+	for i := range d.X {
+		for f := 0; f < k; f++ {
 			if assign[i] == f {
-				target = test
+				testSets[f].AddShared(d.X[i], d.Y[i], d.Groups[i])
+			} else {
+				trainSets[f].AddShared(d.X[i], d.Y[i], d.Groups[i])
 			}
-			if err := target.Add(d.X[i], d.Y[i], d.Groups[i]); err != nil {
-				return CVResult{}, err
-			}
 		}
-		model, err := tr.Train(train, nil)
+	}
+
+	out := CVResult{Folds: make([]Result, k)}
+	errs := make([]error, k)
+	runFold := func(f int) {
+		model, err := tr.Train(trainSets[f], nil)
 		if err != nil {
-			return CVResult{}, fmt.Errorf("eval: fold %d: %v", f, err)
+			errs[f] = fmt.Errorf("eval: fold %d: %v", f, err)
+			return
 		}
-		res, err := Measure(model, test)
+		res, err := Measure(model, testSets[f])
 		if err != nil {
-			return CVResult{}, fmt.Errorf("eval: fold %d: %v", f, err)
+			errs[f] = fmt.Errorf("eval: fold %d: %v", f, err)
+			return
 		}
-		out.Folds = append(out.Folds, res)
+		out.Folds[f] = res
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k {
+		workers = k
+	}
+	if workers == 1 {
+		for f := 0; f < k; f++ {
+			runFold(f)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for f := range next {
+					runFold(f)
+				}
+			}()
+		}
+		for f := 0; f < k; f++ {
+			next <- f
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return CVResult{}, err
+		}
 	}
 	return out, nil
 }
@@ -136,12 +197,13 @@ func PRCurve(c mlearn.Classifier, test *dataset.Instances) ([]PRPoint, error) {
 	}
 	items := make([]scored, 0, test.NumRows())
 	nPos := 0
+	scratch := make([]float64, test.NumClasses())
 	for i := range test.X {
 		pos := test.Y[i] == 1
 		if pos {
 			nPos++
 		}
-		items = append(items, scored{s: mlearn.Score(c, test.X[i]), pos: pos})
+		items = append(items, scored{s: mlearn.ScoreWith(c, test.X[i], scratch), pos: pos})
 	}
 	if nPos == 0 {
 		return nil, errors.New("eval: PR curve needs positive examples")

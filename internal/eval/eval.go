@@ -72,8 +72,9 @@ func Evaluate(c mlearn.Classifier, test *dataset.Instances) (Confusion, error) {
 		return Confusion{}, errors.New("eval: binary classification only")
 	}
 	var cm Confusion
+	scratch := make([]float64, test.NumClasses())
 	for i := range test.X {
-		pred := mlearn.Predict(c, test.X[i])
+		pred := mlearn.PredictWith(c, test.X[i], scratch)
 		switch {
 		case pred == 1 && test.Y[i] == 1:
 			cm.TP++
@@ -121,6 +122,7 @@ func BuildROC(c mlearn.Classifier, test *dataset.Instances) (*ROC, error) {
 	}
 	items := make([]scored, 0, test.NumRows())
 	nPos, nNeg := 0, 0
+	scratch := make([]float64, test.NumClasses())
 	for i := range test.X {
 		pos := test.Y[i] == 1
 		if pos {
@@ -128,7 +130,7 @@ func BuildROC(c mlearn.Classifier, test *dataset.Instances) (*ROC, error) {
 		} else {
 			nNeg++
 		}
-		items = append(items, scored{s: mlearn.Score(c, test.X[i]), pos: pos})
+		items = append(items, scored{s: mlearn.ScoreWith(c, test.X[i], scratch), pos: pos})
 	}
 	if nPos == 0 || nNeg == 0 {
 		return nil, errors.New("eval: ROC needs both classes in the test set")

@@ -1,0 +1,39 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mlearn/reptree"
+)
+
+// TestCrossValidateWorkersIdentical is the determinism contract of
+// parallel cross-validation: the fold assignment is computed before any
+// worker starts and every fold trains from its own derived state, so
+// the CVResult must be identical for any worker count — and identical
+// to the plain CrossValidate entry point.
+func TestCrossValidateWorkersIdentical(t *testing.T) {
+	d := blobSet(240, 2.0, 11)
+	tr := reptree.New()
+
+	ref, err := CrossValidateWorkers(tr, d, 5, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := CrossValidate(tr, d, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, plain) {
+		t.Fatalf("CrossValidate != CrossValidateWorkers(1):\n%+v\n%+v", plain, ref)
+	}
+	for _, workers := range []int{2, 4, 0} {
+		got, err := CrossValidateWorkers(tr, d, 5, 7, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d: folds differ from sequential:\n%+v\n%+v", workers, got, ref)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/mlearn/ensemble"
+	"repro/internal/mlearn/persist"
+	"repro/internal/mlearn/zoo"
+)
+
+// The perf experiment benchmarks the throughput engine against the
+// pre-engine baseline on the same corpus and seed:
+//
+//   - Training: the tree-family detector grid (J48/REPTree x all HPC
+//     budgets x all variants) trained with the legacy per-node-sort
+//     split search vs the sorted-index engine, sequential and parallel.
+//   - Determinism: the engine's sequential and parallel runs must agree
+//     bit for bit — identical held-out metrics and identical serialized
+//     model bytes (what a checkpoint would persist).
+//   - Inference: the per-sample verdict path — the legacy shape
+//     (fresh feature vector + allocating Distribution + append/trim
+//     window) vs the chain's zero-allocation Observe loop.
+
+// PerfCell is one trained detector's held-out result in the perf grid.
+type PerfCell struct {
+	Label string
+	Acc   float64
+	AUC   float64
+}
+
+// PerfTrain is the training half of the perf report.
+type PerfTrain struct {
+	Detectors int
+	Workers   int
+	// Wall-clock training time (ms) for the whole grid under each engine.
+	BaselineMillis  float64 // legacy split search, sequential
+	EngineSeqMillis float64 // sorted-index, Workers=1
+	EngineParMillis float64 // sorted-index, Workers=GOMAXPROCS
+	// SpeedupX is baseline wall time over the parallel engine's.
+	SpeedupX float64
+	// MetricsIdentical / ModelsIdentical compare the engine's
+	// sequential vs parallel runs: held-out accuracy/AUC and the
+	// persist-serialized model bytes must match exactly.
+	MetricsIdentical bool
+	ModelsIdentical  bool
+	Cells            []PerfCell
+}
+
+// PerfCV times k-fold cross-validation sequential vs parallel on one
+// representative trainer and checks the results agree exactly.
+type PerfCV struct {
+	Folds            int
+	SeqMillis        float64
+	ParMillis        float64
+	ResultsIdentical bool
+}
+
+// PerfInference is the per-sample verdict-path half of the report.
+type PerfInference struct {
+	Samples int
+	// Baseline: the pre-engine loop shape (fresh vector + allocating
+	// Distribution + append/trim window).
+	BaselineNsPerOp     float64
+	BaselineAllocsPerOp float64
+	// Fast: FallbackChain.Observe with scratch buffers threaded through.
+	FastNsPerOp     float64
+	FastAllocsPerOp float64
+	// SpeedupX is baseline ns/op over fast ns/op; AllocReductionX is
+	// baseline allocs/op over fast allocs/op (floored at 1 alloc/op so
+	// a zero-allocation fast path yields a finite ratio).
+	SpeedupX        float64
+	AllocReductionX float64
+}
+
+// PerfReport is the full throughput-engine benchmark, serialized to
+// BENCH_PERF.json by hmd-bench -exp perf.
+type PerfReport struct {
+	Train     PerfTrain
+	CV        PerfCV
+	Inference PerfInference
+}
+
+// perfGridJobs is the tree-family grid the training benchmark trains:
+// the sorted-index engine only changes J48/REPTree, so the other
+// classifiers would just dilute the measurement.
+func perfGridJobs() []struct {
+	name    string
+	hpcs    int
+	variant zoo.Variant
+} {
+	type job = struct {
+		name    string
+		hpcs    int
+		variant zoo.Variant
+	}
+	var jobs []job
+	for _, name := range []string{"J48", "REPTree"} {
+		for _, hpcs := range HPCCounts {
+			for _, v := range []zoo.Variant{zoo.General, zoo.Boosted, zoo.Bagged} {
+				jobs = append(jobs, job{name, hpcs, v})
+			}
+		}
+	}
+	return jobs
+}
+
+// perfGrid trains the tree-family grid under the given engine settings,
+// returning the Build wall time, the held-out metrics and the
+// persist-serialized bytes of every model (evaluation and serialization
+// happen outside the timed section).
+func (ctx *Context) perfGrid(legacy bool, workers int) (time.Duration, []PerfCell, [][]byte, error) {
+	b := ctx.Builder
+	savedLegacy, savedWorkers := b.LegacySplit, b.Workers
+	b.LegacySplit, b.Workers = legacy, workers
+	defer func() { b.LegacySplit, b.Workers = savedLegacy, savedWorkers }()
+
+	jobs := perfGridJobs()
+	dets := make([]*core.Detector, len(jobs))
+	var elapsed time.Duration
+	for i, j := range jobs {
+		start := time.Now()
+		det, err := b.Build(j.name, j.variant, j.hpcs)
+		elapsed += time.Since(start)
+		if err != nil {
+			return 0, nil, nil, fmt.Errorf("perf grid %s/%s/%d: %w", j.name, j.variant, j.hpcs, err)
+		}
+		dets[i] = det
+	}
+
+	cells := make([]PerfCell, len(jobs))
+	blobs := make([][]byte, len(jobs))
+	for i, det := range dets {
+		res, err := b.Evaluate(det)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		cells[i] = PerfCell{Label: det.Name(), Acc: res.Accuracy, AUC: res.AUC}
+		var buf bytes.Buffer
+		if err := persist.Save(&buf, det.Model); err != nil {
+			return 0, nil, nil, err
+		}
+		blobs[i] = buf.Bytes()
+	}
+	return elapsed, cells, blobs, nil
+}
+
+// Perf runs the full throughput-engine benchmark on the context's
+// corpus and returns the report.
+func (ctx *Context) Perf() (*PerfReport, error) {
+	rep := &PerfReport{}
+
+	// ---- training grid ------------------------------------------------
+	baseMs, _, _, err := ctx.perfGrid(true, 1)
+	if err != nil {
+		return nil, err
+	}
+	seqMs, seqCells, seqBlobs, err := ctx.perfGrid(false, 1)
+	if err != nil {
+		return nil, err
+	}
+	workers := runtime.GOMAXPROCS(0)
+	parMs, parCells, parBlobs, err := ctx.perfGrid(false, workers)
+	if err != nil {
+		return nil, err
+	}
+
+	rep.Train = PerfTrain{
+		Detectors:        len(seqCells),
+		Workers:          workers,
+		BaselineMillis:   float64(baseMs.Microseconds()) / 1e3,
+		EngineSeqMillis:  float64(seqMs.Microseconds()) / 1e3,
+		EngineParMillis:  float64(parMs.Microseconds()) / 1e3,
+		SpeedupX:         float64(baseMs) / float64(parMs),
+		MetricsIdentical: true,
+		ModelsIdentical:  true,
+		Cells:            parCells,
+	}
+	for i := range seqCells {
+		if seqCells[i] != parCells[i] {
+			rep.Train.MetricsIdentical = false
+		}
+		if !bytes.Equal(seqBlobs[i], parBlobs[i]) {
+			rep.Train.ModelsIdentical = false
+		}
+	}
+
+	// ---- cross-validation ---------------------------------------------
+	cvData, err := ctx.Builder.Train().Select([]int{0, 1, 2, 3})
+	if err != nil {
+		return nil, err
+	}
+	cvTrainer, err := zoo.NewVariantOpts("REPTree", zoo.Boosted, zoo.Options{Seed: 7})
+	if err != nil {
+		return nil, err
+	}
+	const folds = 5
+	start := time.Now()
+	cvSeq, err := eval.CrossValidateWorkers(cvTrainer, cvData, folds, 7, 1)
+	cvSeqDur := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	cvPar, err := eval.CrossValidateWorkers(cvTrainer, cvData, folds, 7, workers)
+	cvParDur := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	rep.CV = PerfCV{
+		Folds:            folds,
+		SeqMillis:        float64(cvSeqDur.Microseconds()) / 1e3,
+		ParMillis:        float64(cvParDur.Microseconds()) / 1e3,
+		ResultsIdentical: cvResultsEqual(cvSeq, cvPar),
+	}
+
+	// ---- per-sample inference path ------------------------------------
+	inf, err := ctx.perfInference()
+	if err != nil {
+		return nil, err
+	}
+	rep.Inference = *inf
+	return rep, nil
+}
+
+func cvResultsEqual(a, b eval.CVResult) bool {
+	if len(a.Folds) != len(b.Folds) {
+		return false
+	}
+	for i := range a.Folds {
+		if a.Folds[i] != b.Folds[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// perfInference benchmarks the steady-state verdict path: the legacy
+// per-sample shape vs the chain's zero-allocation Observe loop, over
+// the same sample stream.
+func (ctx *Context) perfInference() (*PerfInference, error) {
+	chain, err := ctx.Builder.BuildChain("BayesNet", zoo.Bagged, []int{4, 2}, core.ChainConfig{})
+	if err != nil {
+		return nil, err
+	}
+	det, _, err := ctx.Detector("BayesNet", zoo.Bagged, 4)
+	if err != nil {
+		return nil, err
+	}
+	testK, err := ctx.Builder.TestFor(det)
+	if err != nil {
+		return nil, err
+	}
+	rows := testK.NumRows()
+	if rows == 0 {
+		return nil, fmt.Errorf("perf: empty held-out split")
+	}
+	if rows > 256 {
+		rows = 256
+	}
+	stream := make([][]uint64, rows)
+	for i := 0; i < rows; i++ {
+		vals := make([]uint64, len(testK.X[i]))
+		for j, v := range testK.X[i] {
+			if v > 0 {
+				vals[j] = uint64(v)
+			}
+		}
+		stream[i] = vals
+	}
+
+	const iters = 20000
+	const window = 5
+
+	bag, ok := det.Model.(*ensemble.BaggedModel)
+	if !ok {
+		return nil, fmt.Errorf("perf: expected a bagged model, got %T", det.Model)
+	}
+
+	// Legacy loop shape — what the verdict path did before the
+	// throughput engine: a fresh feature vector per sample, a fresh
+	// vote accumulator, one allocating Distribution call per base
+	// model, and an append/trim score window.
+	baseline := func() {
+		var hist []float64
+		for n := 0; n < iters; n++ {
+			values := stream[n%len(stream)]
+			x := make([]float64, len(values))
+			for j, v := range values {
+				x[j] = float64(v)
+			}
+			avg := make([]float64, bag.NumClasses)
+			for _, base := range bag.Models {
+				d := base.Distribution(x)
+				for c := 0; c < len(avg) && c < len(d); c++ {
+					avg[c] += d[c]
+				}
+			}
+			for c := range avg {
+				avg[c] /= float64(len(bag.Models))
+			}
+			hist = append(hist, avg[1])
+			if len(hist) > window {
+				hist = hist[1:]
+			}
+			mean := 0.0
+			for _, h := range hist {
+				mean += h
+			}
+			mean /= float64(len(hist))
+			_ = mean
+		}
+	}
+	fast := func() error {
+		for n := 0; n < iters; n++ {
+			if _, err := chain.Observe(stream[n%len(stream)]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Warm up both paths (model scratch sizing, chain health state),
+	// then measure time and cumulative mallocs per loop.
+	baseline()
+	if err := fast(); err != nil {
+		return nil, err
+	}
+	chain.Reset()
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	baseline()
+	baseDur := time.Since(start)
+	runtime.ReadMemStats(&after)
+	baseAllocs := float64(after.Mallocs-before.Mallocs) / iters
+
+	chain.Reset()
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start = time.Now()
+	if err := fast(); err != nil {
+		return nil, err
+	}
+	fastDur := time.Since(start)
+	runtime.ReadMemStats(&after)
+	fastAllocs := float64(after.Mallocs-before.Mallocs) / iters
+
+	return &PerfInference{
+		Samples:             iters,
+		BaselineNsPerOp:     float64(baseDur.Nanoseconds()) / iters,
+		BaselineAllocsPerOp: baseAllocs,
+		FastNsPerOp:         float64(fastDur.Nanoseconds()) / iters,
+		FastAllocsPerOp:     fastAllocs,
+		SpeedupX:            float64(baseDur) / float64(fastDur),
+		AllocReductionX:     baseAllocs / math.Max(fastAllocs, 1),
+	}, nil
+}
+
+// RenderPerf formats the perf report for the console.
+func RenderPerf(r *PerfReport) string {
+	var sb strings.Builder
+	sb.WriteString("Throughput engine benchmark\n")
+	fmt.Fprintf(&sb, "  training grid (%d tree-family detectors, %d workers):\n",
+		r.Train.Detectors, r.Train.Workers)
+	fmt.Fprintf(&sb, "    legacy split search      %10.1f ms\n", r.Train.BaselineMillis)
+	fmt.Fprintf(&sb, "    sorted-index, sequential %10.1f ms\n", r.Train.EngineSeqMillis)
+	fmt.Fprintf(&sb, "    sorted-index, parallel   %10.1f ms   (%.2fx vs legacy)\n",
+		r.Train.EngineParMillis, r.Train.SpeedupX)
+	fmt.Fprintf(&sb, "    seq vs par: metrics identical=%v, model bytes identical=%v\n",
+		r.Train.MetricsIdentical, r.Train.ModelsIdentical)
+	fmt.Fprintf(&sb, "  %d-fold CV: seq %.1f ms, par %.1f ms, identical=%v\n",
+		r.CV.Folds, r.CV.SeqMillis, r.CV.ParMillis, r.CV.ResultsIdentical)
+	fmt.Fprintf(&sb, "  verdict path (%d samples):\n", r.Inference.Samples)
+	fmt.Fprintf(&sb, "    legacy loop  %8.0f ns/op  %6.1f allocs/op\n",
+		r.Inference.BaselineNsPerOp, r.Inference.BaselineAllocsPerOp)
+	fmt.Fprintf(&sb, "    chain loop   %8.0f ns/op  %6.1f allocs/op   (%.1fx faster, %.0fx fewer allocs)\n",
+		r.Inference.FastNsPerOp, r.Inference.FastAllocsPerOp,
+		r.Inference.SpeedupX, r.Inference.AllocReductionX)
+	return sb.String()
+}

@@ -85,8 +85,17 @@ func (t *Trainer) Train(d *dataset.Instances, weights []float64) (mlearn.Classif
 
 // Distribution implements mlearn.Classifier: the naive-Bayes posterior.
 func (m *Model) Distribution(x []float64) []float64 {
+	post := make([]float64, len(m.Prior))
+	m.DistributionInto(x, post)
+	return post
+}
+
+// DistributionInto implements mlearn.StreamingClassifier, computing the
+// posterior directly in out. The model holds no mutable state, so this
+// is safe for concurrent callers.
+func (m *Model) DistributionInto(x []float64, out []float64) {
 	k := len(m.Prior)
-	post := make([]float64, k)
+	post := out[:k]
 	copy(post, m.Prior)
 	for j := range m.CPT {
 		b := m.Disc.Bin(j, x[j])
@@ -110,10 +119,9 @@ func (m *Model) Distribution(x []float64) []float64 {
 	}
 	if sum == 0 {
 		copy(post, m.Prior)
-		return post
+		return
 	}
 	for c := range post {
 		post[c] /= sum
 	}
-	return post
 }

@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/mlearn"
@@ -53,6 +55,11 @@ type BoostedModel struct {
 	Models     []mlearn.Classifier
 	Alphas     []float64 // log((1-err)/err) vote weights
 	NumClasses int
+
+	// scratch holds one base model's distribution during the vote loop.
+	// Unexported so gob checkpoints skip it; lazily sized because
+	// decoded models arrive with it nil.
+	scratch []float64
 }
 
 // Len returns the number of base models in the committee.
@@ -62,8 +69,24 @@ func (m *BoostedModel) Len() int { return len(m.Models) }
 // the base models' predictions, normalised.
 func (m *BoostedModel) Distribution(x []float64) []float64 {
 	votes := make([]float64, m.NumClasses)
+	m.DistributionInto(x, votes)
+	return votes
+}
+
+// DistributionInto implements mlearn.StreamingClassifier: the votes
+// accumulate directly in out and each base prediction goes through the
+// shared scratch buffer, so a committee of streaming bases classifies
+// with zero allocations. Not safe for concurrent calls.
+func (m *BoostedModel) DistributionInto(x []float64, out []float64) {
+	if len(m.scratch) != m.NumClasses {
+		m.scratch = make([]float64, m.NumClasses)
+	}
+	votes := out[:m.NumClasses]
+	for i := range votes {
+		votes[i] = 0
+	}
 	for i, base := range m.Models {
-		votes[mlearn.Predict(base, x)] += m.Alphas[i]
+		votes[mlearn.PredictWith(base, x, m.scratch)] += m.Alphas[i]
 	}
 	total := 0.0
 	for _, v := range votes {
@@ -73,12 +96,11 @@ func (m *BoostedModel) Distribution(x []float64) []float64 {
 		for i := range votes {
 			votes[i] = 1 / float64(m.NumClasses)
 		}
-		return votes
+		return
 	}
 	for i := range votes {
 		votes[i] /= total
 	}
-	return votes
 }
 
 // Train implements mlearn.Trainer.
@@ -176,6 +198,11 @@ type Bagging struct {
 	BagPercent float64
 	// Seed drives the bootstrap sampling.
 	Seed uint64
+	// Workers bounds the goroutines training bags concurrently: 0 uses
+	// GOMAXPROCS, 1 trains sequentially. Any value produces the same
+	// model bytes — every bag derives its bootstrap seed from (Seed,
+	// iteration) alone and lands at its own index.
+	Workers int
 }
 
 // NewBagging wraps base construction with WEKA defaults.
@@ -195,6 +222,11 @@ func (t *Bagging) Name() string {
 type BaggedModel struct {
 	Models     []mlearn.Classifier
 	NumClasses int
+
+	// scratch holds one base model's distribution during averaging.
+	// Unexported so gob checkpoints skip it; lazily sized because
+	// decoded models arrive with it nil.
+	scratch []float64
 }
 
 // Len returns the number of base models.
@@ -203,15 +235,30 @@ func (m *BaggedModel) Len() int { return len(m.Models) }
 // Distribution implements mlearn.Classifier.
 func (m *BaggedModel) Distribution(x []float64) []float64 {
 	avg := make([]float64, m.NumClasses)
+	m.DistributionInto(x, avg)
+	return avg
+}
+
+// DistributionInto implements mlearn.StreamingClassifier: base
+// distributions stream through the shared scratch buffer and average
+// directly into out. Not safe for concurrent calls.
+func (m *BaggedModel) DistributionInto(x []float64, out []float64) {
+	if len(m.scratch) != m.NumClasses {
+		m.scratch = make([]float64, m.NumClasses)
+	}
+	avg := out[:m.NumClasses]
+	for c := range avg {
+		avg[c] = 0
+	}
 	for _, base := range m.Models {
-		for c, p := range base.Distribution(x) {
+		mlearn.DistributionInto(base, x, m.scratch)
+		for c, p := range m.scratch {
 			avg[c] += p
 		}
 	}
 	for c := range avg {
 		avg[c] /= float64(len(m.Models))
 	}
-	return avg
 }
 
 // Train implements mlearn.Trainer.
@@ -235,14 +282,61 @@ func (t *Bagging) Train(d *dataset.Instances, weights []float64) (mlearn.Classif
 		size = 1
 	}
 
-	model := &BaggedModel{NumClasses: d.NumClasses()}
-	for it := 0; it < iters; it++ {
+	model := &BaggedModel{NumClasses: d.NumClasses(), Models: make([]mlearn.Classifier, iters)}
+	trainBag := func(it int) (mlearn.Classifier, error) {
 		bag := mlearn.Resample(d, weights, size, t.Seed+uint64(it)*0x85eb)
-		base, err := t.Base(it).Train(bag, nil)
+		return t.Base(it).Train(bag, nil)
+	}
+
+	workers := t.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > iters {
+		workers = iters
+	}
+
+	if workers == 1 {
+		for it := 0; it < iters; it++ {
+			base, err := trainBag(it)
+			if err != nil {
+				return nil, fmt.Errorf("ensemble: bag %d: %v", it, err)
+			}
+			model.Models[it] = base
+		}
+		return model, nil
+	}
+
+	// Bags are independent given their derived seeds, so they train on a
+	// worker pool and land at their own index — the committee is
+	// byte-identical to the sequential order. Errors keep sequential
+	// semantics by reporting the lowest failing bag.
+	errs := make([]error, iters)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range next {
+				base, err := trainBag(it)
+				if err != nil {
+					errs[it] = err
+					continue
+				}
+				model.Models[it] = base
+			}
+		}()
+	}
+	for it := 0; it < iters; it++ {
+		next <- it
+	}
+	close(next)
+	wg.Wait()
+	for it, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("ensemble: bag %d: %v", it, err)
 		}
-		model.Models = append(model.Models, base)
 	}
 	return model, nil
 }

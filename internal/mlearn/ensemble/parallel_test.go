@@ -1,0 +1,61 @@
+// Parallel-training determinism tests live in an external test package
+// because they round-trip models through mlearn/persist, which imports
+// ensemble.
+package ensemble_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/ensemble"
+	"repro/internal/mlearn/mltest"
+	"repro/internal/mlearn/persist"
+	"repro/internal/mlearn/reptree"
+)
+
+// trainBagged trains a bagged REPTree committee with the given worker
+// count and returns the persist-serialized model bytes — exactly what
+// a checkpoint would store.
+func trainBagged(t *testing.T, workers int) (mlearn.Classifier, []byte) {
+	t.Helper()
+	train := mltest.Diagonal(300, 3)
+	tr := &ensemble.Bagging{
+		Base: func(it int) mlearn.Trainer {
+			return &reptree.Trainer{MinLeaf: 2, Folds: 3, Seed: uint64(it) + 1}
+		},
+		Iterations: 8,
+		Seed:       99,
+		Workers:    workers,
+	}
+	c, err := tr.Train(train, nil)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if err := persist.Save(&buf, c); err != nil {
+		t.Fatalf("workers=%d: persist: %v", workers, err)
+	}
+	return c, buf.Bytes()
+}
+
+// TestBaggingParallelBitIdentical is the determinism contract of
+// Bagging.Workers: the serialized model bytes must not depend on the
+// worker count, because every bag derives its bootstrap seed from
+// (Seed, iteration) alone and lands at its own index.
+func TestBaggingParallelBitIdentical(t *testing.T) {
+	seqModel, seqBytes := trainBagged(t, 1)
+	for _, workers := range []int{2, 4} {
+		parModel, parBytes := trainBagged(t, workers)
+		if !bytes.Equal(seqBytes, parBytes) {
+			t.Fatalf("workers=%d: serialized model differs from sequential (%d vs %d bytes)",
+				workers, len(parBytes), len(seqBytes))
+		}
+		test := mltest.Diagonal(200, 4)
+		for i := range test.X {
+			if mlearn.Predict(seqModel, test.X[i]) != mlearn.Predict(parModel, test.X[i]) {
+				t.Fatalf("workers=%d: prediction diverges on row %d", workers, i)
+			}
+		}
+	}
+}

@@ -23,6 +23,10 @@ type Trainer struct {
 	Unpruned bool
 	// MaxDepth bounds tree depth (0 = unlimited).
 	MaxDepth int
+	// LegacySplit selects the original per-node gather-and-sort split
+	// search instead of the sorted-index engine. Kept as the baseline
+	// for the perf experiment and for A/B equivalence tests.
+	LegacySplit bool
 }
 
 // New returns a J48 trainer with WEKA defaults.
@@ -60,7 +64,13 @@ func (t *Trainer) Train(d *dataset.Instances, weights []float64) (mlearn.Classif
 	if minLeaf <= 0 {
 		minLeaf = 2
 	}
-	root := t.grow(td, idx, 0, minLeaf)
+	var root *mlearn.TreeNode
+	if t.LegacySplit {
+		root = t.grow(td, idx, 0, minLeaf)
+	} else {
+		ao := mlearn.NewAttrOrder(d.X, idx)
+		root = t.growSorted(td, ao, 0, minLeaf, make([]int32, len(idx)))
+	}
 	if !t.Unpruned {
 		cf := t.Confidence
 		if cf <= 0 {
@@ -75,6 +85,15 @@ func (t *Trainer) Train(d *dataset.Instances, weights []float64) (mlearn.Classif
 func (td *trainData) classCounts(idx []int) []float64 {
 	counts := make([]float64, td.k)
 	for _, i := range idx {
+		counts[td.d.Y[i]] += td.w[i]
+	}
+	return counts
+}
+
+// classCounts32 is classCounts over a sorted-index row list.
+func (td *trainData) classCounts32(rows []int32) []float64 {
+	counts := make([]float64, td.k)
+	for _, i := range rows {
 		counts[td.d.Y[i]] += td.w[i]
 	}
 	return counts
@@ -135,6 +154,131 @@ func (t *Trainer) grow(td *trainData, idx []int, depth int, minLeaf float64) *ml
 		Left:      t.grow(td, left, depth+1, minLeaf),
 		Right:     t.grow(td, right, depth+1, minLeaf),
 	}
+}
+
+// growSorted is grow on the sorted-index engine: the per-attribute row
+// orders built once at the root are partitioned — never re-sorted — on
+// the way down, so split search at each node is a linear walk.
+func (t *Trainer) growSorted(td *trainData, ao mlearn.AttrOrder, depth int, minLeaf float64, scratch []int32) *mlearn.TreeNode {
+	counts := td.classCounts32(ao.Rows())
+	total := 0.0
+	nonZero := 0
+	for _, c := range counts {
+		total += c
+		if c > 0 {
+			nonZero++
+		}
+	}
+	if nonZero <= 1 || total < 2*minLeaf || (t.MaxDepth > 0 && depth >= t.MaxDepth) {
+		return leafFromCounts(counts)
+	}
+
+	attr, threshold, ok := bestGainRatioSplitSorted(td, ao, counts, minLeaf)
+	if !ok {
+		return leafFromCounts(counts)
+	}
+
+	left, right, nLeft := ao.Split(td.d.X, attr, threshold, scratch)
+	if nLeft == 0 || right.Len() == 0 {
+		return leafFromCounts(counts)
+	}
+	return &mlearn.TreeNode{
+		Attr:      attr,
+		Threshold: threshold,
+		Left:      t.growSorted(td, left, depth+1, minLeaf, scratch),
+		Right:     t.growSorted(td, right, depth+1, minLeaf, scratch),
+	}
+}
+
+// bestGainRatioSplitSorted is bestGainRatioSplit walking each
+// attribute's pre-sorted row order instead of gathering and sorting the
+// node's values. The class-count buffers are reused across attributes;
+// the prefix-weight accumulation visits rows in the same ascending
+// order as the legacy sweep, so gains and thresholds match it exactly
+// on tie-free data.
+func bestGainRatioSplitSorted(td *trainData, ao mlearn.AttrOrder, parentCounts []float64, minLeaf float64) (attr int, threshold float64, ok bool) {
+	parentEnt := mlearn.Entropy(parentCounts)
+	totalW := 0.0
+	for _, c := range parentCounts {
+		totalW += c
+	}
+
+	type cand struct {
+		attr      int
+		threshold float64
+		gain      float64
+		ratio     float64
+	}
+	var cands []cand
+
+	left := make([]float64, td.k)
+	right := make([]float64, td.k)
+
+	for j := range ao.Orders {
+		ord := ao.Orders[j]
+		for c := range left {
+			left[c] = 0
+		}
+		copy(right, parentCounts)
+		leftW := 0.0
+		bestGain, bestTh, bestLW := 0.0, 0.0, 0.0
+		found := false
+		for p := 0; p < len(ord)-1; p++ {
+			i := ord[p]
+			left[td.d.Y[i]] += td.w[i]
+			right[td.d.Y[i]] -= td.w[i]
+			leftW += td.w[i]
+			v, next := td.d.X[i][j], td.d.X[ord[p+1]][j]
+			if next <= v {
+				continue
+			}
+			rightW := totalW - leftW
+			if leftW < minLeaf || rightW < minLeaf {
+				continue
+			}
+			ent := (leftW*mlearn.Entropy(left) + rightW*mlearn.Entropy(right)) / totalW
+			gain := parentEnt - ent
+			if gain > bestGain {
+				bestGain = gain
+				bestTh = (v + next) / 2
+				// Sorted order means rows with value < bestTh are exactly
+				// this prefix, so leftW doubles as the split info's left
+				// weight — no second pass.
+				bestLW = leftW
+				found = true
+			}
+		}
+		if !found || bestGain <= 1e-12 {
+			continue
+		}
+		si := mlearn.Entropy([]float64{bestLW, totalW - bestLW})
+		if si <= 1e-12 {
+			continue
+		}
+		cands = append(cands, cand{attr: j, threshold: bestTh, gain: bestGain, ratio: bestGain / si})
+	}
+	if len(cands) == 0 {
+		return 0, 0, false
+	}
+	avgGain := 0.0
+	for _, c := range cands {
+		avgGain += c.gain
+	}
+	avgGain /= float64(len(cands))
+
+	best := -1
+	for i, c := range cands {
+		if c.gain+1e-12 < avgGain {
+			continue
+		}
+		if best < 0 || c.ratio > cands[best].ratio {
+			best = i
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	return cands[best].attr, cands[best].threshold, true
 }
 
 // bestGainRatioSplit scans every attribute for the threshold maximising

@@ -1,0 +1,47 @@
+package j48
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mlearn/mltest"
+)
+
+// TestSortedIndexMatchesLegacySplit checks the sorted-index split
+// search against the legacy per-node sort on tie-free continuous data
+// (with tied attribute values the legacy engine's unstable sort makes
+// the node order unspecified, so equivalence is only promised without
+// ties — which real HPC readings essentially never produce).
+func TestSortedIndexMatchesLegacySplit(t *testing.T) {
+	sets := map[string]*dataset.Instances{
+		"blobs":    mltest.Blobs(400, 2.0, 5),
+		"xor":      mltest.XOR(400, 6),
+		"diagonal": mltest.Diagonal(300, 7),
+	}
+	for name, train := range sets {
+		for _, cfg := range []struct {
+			label string
+			mk    func() *Trainer
+		}{
+			{"pruned", New},
+			{"unpruned", func() *Trainer { return &Trainer{MinLeaf: 2, Unpruned: true} }},
+			{"stump", func() *Trainer { return &Trainer{MinLeaf: 2, MaxDepth: 1, Unpruned: true} }},
+		} {
+			legacy := cfg.mk()
+			legacy.LegacySplit = true
+			fast := cfg.mk()
+			cl, err := legacy.Train(train, nil)
+			if err != nil {
+				t.Fatalf("%s/%s legacy: %v", name, cfg.label, err)
+			}
+			cf, err := fast.Train(train, nil)
+			if err != nil {
+				t.Fatalf("%s/%s sorted: %v", name, cfg.label, err)
+			}
+			if !reflect.DeepEqual(cl, cf) {
+				t.Errorf("%s/%s: sorted-index tree differs from legacy tree", name, cfg.label)
+			}
+		}
+	}
+}

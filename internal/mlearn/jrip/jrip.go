@@ -105,6 +105,25 @@ func (m *Model) Distribution(x []float64) []float64 {
 	return m.Default
 }
 
+// DistributionInto implements mlearn.StreamingClassifier (stateless,
+// safe for concurrent callers).
+func (m *Model) DistributionInto(x []float64, out []float64) {
+	for i := range m.Rules {
+		if m.Rules[i].Match(x) {
+			rest := (1 - m.Rules[i].Confidence) / float64(m.NumClasses-1)
+			for c := range out {
+				if c == m.Rules[i].Class {
+					out[c] = m.Rules[i].Confidence
+				} else {
+					out[c] = rest
+				}
+			}
+			return
+		}
+	}
+	copy(out, m.Default)
+}
+
 type inst struct {
 	x []float64
 	y int

@@ -37,13 +37,22 @@ type Model struct {
 	Scaler  *mlearn.Scaler
 	Weights []float64
 	Bias    float64
+
+	// scratch holds the scaled input during DistributionInto. Unexported
+	// so gob checkpoints skip it; lazily sized because decoded models
+	// arrive with it nil.
+	scratch []float64
 }
 
 // Probability returns P(malware|x), a calibrated sigmoid output —
 // unlike SMO/SGD, logistic regression is naturally graded, which gives
 // it a respectable AUC as a baseline.
 func (m *Model) Probability(x []float64) float64 {
-	u := m.Scaler.Apply(x)
+	return m.probabilityWith(x, make([]float64, len(x)))
+}
+
+func (m *Model) probabilityWith(x, buf []float64) float64 {
+	u := m.Scaler.ApplyInto(x, buf)
 	s := m.Bias
 	for j, w := range m.Weights {
 		s += w * u[j]
@@ -55,6 +64,16 @@ func (m *Model) Probability(x []float64) float64 {
 func (m *Model) Distribution(x []float64) []float64 {
 	p := m.Probability(x)
 	return []float64{1 - p, p}
+}
+
+// DistributionInto implements mlearn.StreamingClassifier. Reuses the
+// model's scaling scratch, so not safe for concurrent calls.
+func (m *Model) DistributionInto(x []float64, out []float64) {
+	if len(m.scratch) < len(x) {
+		m.scratch = make([]float64, len(x))
+	}
+	p := m.probabilityWith(x, m.scratch[:len(x)])
+	out[0], out[1] = 1-p, p
 }
 
 // Train implements mlearn.Trainer. Binary classification only.

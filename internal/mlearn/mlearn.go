@@ -29,6 +29,25 @@ type Classifier interface {
 	Distribution(x []float64) []float64
 }
 
+// StreamingClassifier is the zero-allocation inference fast path: a
+// classifier that can write its class distribution into a
+// caller-provided buffer instead of allocating a fresh slice per call.
+// The run-time verdict loop classifies one sample every 10 ms interval
+// forever, so per-call garbage is the difference between a detector
+// that co-runs with the workload and one that fights it for the
+// allocator.
+//
+// Contract: out has exactly one entry per class; implementations fill
+// every entry and must not retain out. Implementations may reuse
+// internal scratch buffers, so DistributionInto is NOT safe for
+// concurrent calls on the same model — use one model (or one scratch
+// owner, e.g. core.Batcher) per goroutine. Distribution remains safe
+// for concurrent use and keeps its fresh-slice contract.
+type StreamingClassifier interface {
+	Classifier
+	DistributionInto(x []float64, out []float64)
+}
+
 // Trainer builds classifiers from weighted training data.
 type Trainer interface {
 	// Name returns the WEKA-style classifier name (e.g. "J48").
@@ -59,6 +78,53 @@ func Score(c Classifier, x []float64) float64 {
 		return 0
 	}
 	return dist[1]
+}
+
+// DistributionInto writes c's distribution for x into out (one entry
+// per class), using the classifier's zero-allocation fast path when it
+// implements StreamingClassifier and falling back to copying from
+// Distribution otherwise. The fallback allocates; the fast path does
+// not.
+func DistributionInto(c Classifier, x []float64, out []float64) {
+	if sc, ok := c.(StreamingClassifier); ok {
+		sc.DistributionInto(x, out)
+		return
+	}
+	copy(out, c.Distribution(x))
+}
+
+// PredictWith is Predict evaluating the distribution into the
+// caller-owned scratch buffer (len = number of classes), so the
+// steady-state prediction path allocates nothing for streaming
+// classifiers.
+func PredictWith(c Classifier, x []float64, scratch []float64) int {
+	DistributionInto(c, x, scratch)
+	best, bestP := 0, math.Inf(-1)
+	for i, p := range scratch {
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return best
+}
+
+// ScoreWith is Score evaluating the distribution into the caller-owned
+// scratch buffer (len = number of classes).
+func ScoreWith(c Classifier, x []float64, scratch []float64) float64 {
+	DistributionInto(c, x, scratch)
+	if len(scratch) < 2 {
+		return 0
+	}
+	return scratch[1]
+}
+
+// NumClasses reports the class count of a trained classifier expecting
+// attrs input features, by probing it with a zero vector. Used to size
+// scratch buffers for the streaming fast path when the training-time
+// class count is no longer at hand (e.g. a model loaded from a
+// checkpoint).
+func NumClasses(c Classifier, attrs int) int {
+	return len(c.Distribution(make([]float64, attrs)))
 }
 
 // CheckTrainable validates the (dataset, weights) pair for trainers.
@@ -239,7 +305,13 @@ func FitScaler(d *dataset.Instances) *Scaler {
 // Apply maps x into [0,1] per attribute (clamping values outside the
 // training range, as happens with unseen test programs).
 func (s *Scaler) Apply(x []float64) []float64 {
-	out := make([]float64, len(x))
+	return s.ApplyInto(x, make([]float64, len(x)))
+}
+
+// ApplyInto is Apply writing into the caller-owned buffer out
+// (len(out) == len(x)), the allocation-free path for streaming
+// inference. Returns out.
+func (s *Scaler) ApplyInto(x, out []float64) []float64 {
 	for j, v := range x {
 		span := s.Max[j] - s.Min[j]
 		if span <= 0 {

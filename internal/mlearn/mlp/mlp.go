@@ -48,6 +48,12 @@ type Model struct {
 	// W2[c][h] weights hidden unit h into output c; B2[c] is its bias.
 	W2 [][]float64
 	B2 []float64
+
+	// scratchU/scratchH hold the scaled input and hidden activations
+	// during DistributionInto. Unexported so gob checkpoints skip them;
+	// lazily sized because decoded models arrive with them nil.
+	scratchU []float64
+	scratchH []float64
 }
 
 // Hidden returns the hidden layer width.
@@ -70,6 +76,13 @@ func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
 // input.
 func (m *Model) forward(u []float64) (hidden, out []float64) {
 	hidden = make([]float64, len(m.B1))
+	out = make([]float64, len(m.B2))
+	m.forwardInto(u, hidden, out)
+	return hidden, out
+}
+
+// forwardInto is forward writing into caller-owned buffers.
+func (m *Model) forwardInto(u, hidden, out []float64) {
 	for h := range hidden {
 		s := m.B1[h]
 		for j, v := range u {
@@ -77,7 +90,6 @@ func (m *Model) forward(u []float64) (hidden, out []float64) {
 		}
 		hidden[h] = sigmoid(s)
 	}
-	out = make([]float64, len(m.B2))
 	for c := range out {
 		s := m.B2[c]
 		for h, v := range hidden {
@@ -85,28 +97,40 @@ func (m *Model) forward(u []float64) (hidden, out []float64) {
 		}
 		out[c] = sigmoid(s)
 	}
-	return hidden, out
 }
 
 // Distribution implements mlearn.Classifier: per-class sigmoid outputs
 // normalised to sum to one (WEKA's behaviour).
 func (m *Model) Distribution(x []float64) []float64 {
-	_, out := m.forward(m.Scaler.Apply(x))
+	out := make([]float64, len(m.B2))
+	m.DistributionInto(x, out)
+	return out
+}
+
+// DistributionInto implements mlearn.StreamingClassifier. Reuses the
+// model's activation scratch, so not safe for concurrent calls.
+func (m *Model) DistributionInto(x []float64, out []float64) {
+	if len(m.scratchU) < len(x) {
+		m.scratchU = make([]float64, len(x))
+	}
+	if len(m.scratchH) != len(m.B1) {
+		m.scratchH = make([]float64, len(m.B1))
+	}
+	u := m.Scaler.ApplyInto(x, m.scratchU[:len(x)])
+	m.forwardInto(u, m.scratchH, out)
 	sum := 0.0
 	for _, v := range out {
 		sum += v
 	}
 	if sum <= 0 {
-		uniform := make([]float64, len(out))
-		for i := range uniform {
-			uniform[i] = 1 / float64(len(out))
+		for i := range out {
+			out[i] = 1 / float64(len(out))
 		}
-		return uniform
+		return
 	}
 	for i := range out {
 		out[i] /= sum
 	}
-	return out
 }
 
 // Train implements mlearn.Trainer.

@@ -52,6 +52,15 @@ func (m *Model) Distribution(x []float64) []float64 {
 	return dist
 }
 
+// DistributionInto implements mlearn.StreamingClassifier (one-hot,
+// stateless, safe for concurrent callers).
+func (m *Model) DistributionInto(x []float64, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	out[m.predict(x[m.Attr])] = 1
+}
+
 func (m *Model) predict(v float64) int {
 	for i, th := range m.Thresholds {
 		if v < th {

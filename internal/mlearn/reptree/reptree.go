@@ -25,6 +25,10 @@ type Trainer struct {
 	MaxDepth int
 	// Seed controls the grow/prune partition.
 	Seed uint64
+	// LegacySplit selects the original per-node gather-and-sort split
+	// search instead of the sorted-index engine. Kept as the baseline
+	// for the perf experiment and for A/B equivalence tests.
+	LegacySplit bool
 }
 
 // New returns a REPTree trainer with WEKA defaults.
@@ -78,7 +82,13 @@ func (t *Trainer) Train(d *dataset.Instances, weights []float64) (mlearn.Classif
 	}
 
 	g := &grower{d: d, w: w, k: d.NumClasses(), maxDepth: t.MaxDepth, minLeaf: minLeaf}
-	root := g.grow(growIdx, 0)
+	var root *mlearn.TreeNode
+	if t.LegacySplit {
+		root = g.grow(growIdx, 0)
+	} else {
+		ao := mlearn.NewAttrOrder(d.X, growIdx)
+		root = g.growSorted(ao, 0, make([]int32, len(growIdx)))
+	}
 	if len(pruneIdx) > 0 {
 		repPrune(g, root, pruneIdx)
 	}
@@ -153,6 +163,90 @@ func (g *grower) grow(idx []int, depth int) *mlearn.TreeNode {
 		Left:      g.grow(left, depth+1),
 		Right:     g.grow(right, depth+1),
 	}
+}
+
+func (g *grower) classCounts32(rows []int32) []float64 {
+	counts := make([]float64, g.k)
+	for _, i := range rows {
+		counts[g.d.Y[i]] += g.w[i]
+	}
+	return counts
+}
+
+// growSorted is grow on the sorted-index engine: the per-attribute row
+// orders built once for the grow subset are partitioned — never
+// re-sorted — on the way down, so split search at each node is a
+// linear walk.
+func (g *grower) growSorted(ao mlearn.AttrOrder, depth int, scratch []int32) *mlearn.TreeNode {
+	counts := g.classCounts32(ao.Rows())
+	total, nonZero := 0.0, 0
+	for _, c := range counts {
+		total += c
+		if c > 0 {
+			nonZero++
+		}
+	}
+	if nonZero <= 1 || total < 2*g.minLeaf || (g.maxDepth > 0 && depth >= g.maxDepth) {
+		return leaf(counts)
+	}
+
+	attr, threshold, ok := g.bestGainSplitSorted(ao, counts)
+	if !ok {
+		return leaf(counts)
+	}
+	left, right, nLeft := ao.Split(g.d.X, attr, threshold, scratch)
+	if nLeft == 0 || right.Len() == 0 {
+		return leaf(counts)
+	}
+	return &mlearn.TreeNode{
+		Attr:      attr,
+		Threshold: threshold,
+		Left:      g.growSorted(left, depth+1, scratch),
+		Right:     g.growSorted(right, depth+1, scratch),
+	}
+}
+
+// bestGainSplitSorted is bestGainSplit walking each attribute's
+// pre-sorted row order instead of gathering and sorting the node's
+// values; the count buffers are reused across attributes.
+func (g *grower) bestGainSplitSorted(ao mlearn.AttrOrder, parentCounts []float64) (int, float64, bool) {
+	parentEnt := mlearn.Entropy(parentCounts)
+	totalW := 0.0
+	for _, c := range parentCounts {
+		totalW += c
+	}
+	left := make([]float64, g.k)
+	right := make([]float64, g.k)
+
+	bestGain, bestAttr, bestTh := 1e-12, -1, 0.0
+	for j := range ao.Orders {
+		ord := ao.Orders[j]
+		for c := range left {
+			left[c] = 0
+		}
+		copy(right, parentCounts)
+		leftW := 0.0
+		for p := 0; p < len(ord)-1; p++ {
+			i := ord[p]
+			left[g.d.Y[i]] += g.w[i]
+			right[g.d.Y[i]] -= g.w[i]
+			leftW += g.w[i]
+			v, next := g.d.X[i][j], g.d.X[ord[p+1]][j]
+			if next <= v {
+				continue
+			}
+			rightW := totalW - leftW
+			if leftW < g.minLeaf || rightW < g.minLeaf {
+				continue
+			}
+			ent := (leftW*mlearn.Entropy(left) + rightW*mlearn.Entropy(right)) / totalW
+			if gain := parentEnt - ent; gain > bestGain {
+				bestGain, bestAttr = gain, j
+				bestTh = (v + next) / 2
+			}
+		}
+	}
+	return bestAttr, bestTh, bestAttr >= 0
 }
 
 // bestGainSplit maximises plain information gain (REPTree does not use

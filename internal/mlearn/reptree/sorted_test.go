@@ -1,0 +1,45 @@
+package reptree
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mlearn/mltest"
+)
+
+// TestSortedIndexMatchesLegacySplit checks the sorted-index split
+// search against the legacy per-node sort on tie-free continuous data;
+// the grow/prune shuffle and the reduced-error pruning pass are shared,
+// so the whole trained tree must come out identical.
+func TestSortedIndexMatchesLegacySplit(t *testing.T) {
+	sets := map[string]*dataset.Instances{
+		"blobs":    mltest.Blobs(400, 2.0, 5),
+		"xor":      mltest.XOR(400, 6),
+		"diagonal": mltest.Diagonal(300, 7),
+	}
+	for name, train := range sets {
+		for _, cfg := range []struct {
+			label string
+			mk    func() *Trainer
+		}{
+			{"default", New},
+			{"noprune", func() *Trainer { return &Trainer{MinLeaf: 2, Folds: 0, Seed: 1} }},
+		} {
+			legacy := cfg.mk()
+			legacy.LegacySplit = true
+			fast := cfg.mk()
+			cl, err := legacy.Train(train, nil)
+			if err != nil {
+				t.Fatalf("%s/%s legacy: %v", name, cfg.label, err)
+			}
+			cf, err := fast.Train(train, nil)
+			if err != nil {
+				t.Fatalf("%s/%s sorted: %v", name, cfg.label, err)
+			}
+			if !reflect.DeepEqual(cl, cf) {
+				t.Errorf("%s/%s: sorted-index tree differs from legacy tree", name, cfg.label)
+			}
+		}
+	}
+}

@@ -39,11 +39,20 @@ type Model struct {
 	Scaler  *mlearn.Scaler
 	Weights []float64 // one per attribute (normalised space)
 	Bias    float64
+
+	// scratch holds the scaled input during DistributionInto. Unexported
+	// so gob checkpoints skip it; lazily sized because decoded models
+	// arrive with it nil.
+	scratch []float64
 }
 
 // Margin returns the signed decision value for x (positive = class 1).
 func (m *Model) Margin(x []float64) float64 {
-	u := m.Scaler.Apply(x)
+	return m.marginWith(x, make([]float64, len(x)))
+}
+
+func (m *Model) marginWith(x, buf []float64) float64 {
+	u := m.Scaler.ApplyInto(x, buf)
 	s := m.Bias
 	for j, w := range m.Weights {
 		s += w * u[j]
@@ -54,10 +63,22 @@ func (m *Model) Margin(x []float64) float64 {
 // Distribution implements mlearn.Classifier with a hard decision,
 // mirroring WEKA's uncalibrated hinge-loss output.
 func (m *Model) Distribution(x []float64) []float64 {
-	if m.Margin(x) >= 0 {
-		return []float64{0, 1}
+	out := make([]float64, 2)
+	m.DistributionInto(x, out)
+	return out
+}
+
+// DistributionInto implements mlearn.StreamingClassifier. Reuses the
+// model's scaling scratch, so not safe for concurrent calls.
+func (m *Model) DistributionInto(x []float64, out []float64) {
+	if len(m.scratch) < len(x) {
+		m.scratch = make([]float64, len(x))
 	}
-	return []float64{1, 0}
+	if m.marginWith(x, m.scratch[:len(x)]) >= 0 {
+		out[0], out[1] = 0, 1
+	} else {
+		out[0], out[1] = 1, 0
+	}
 }
 
 // Train implements mlearn.Trainer. Binary classification only.

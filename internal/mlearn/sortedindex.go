@@ -1,0 +1,93 @@
+package mlearn
+
+import "sort"
+
+// AttrOrder is the sorted-index view of one decision-tree node's rows:
+// for every attribute, the node's row indices ordered ascending by that
+// attribute's value (ties broken by row index, so the walk order — and
+// therefore every floating-point accumulation during split search — is
+// deterministic).
+//
+// Naive C4.5/REPTree induction re-sorts every attribute at every node,
+// an O(A · m log m) cost per node that dominates training. With an
+// AttrOrder the training set is sorted once at the root; Split then
+// partitions every attribute's list in place in O(A · m), preserving
+// sortedness on both sides, and the children alias disjoint subranges
+// of the parent's backing arrays — no per-node sort, no per-node index
+// allocation.
+type AttrOrder struct {
+	// Orders[j] holds the node's rows sorted ascending by X[row][j].
+	// All lists contain the same row set.
+	Orders [][]int32
+}
+
+// NewAttrOrder builds the root ordering for the given rows of X. Cost:
+// one O(m log m) sort per attribute, backed by a single allocation.
+func NewAttrOrder(X [][]float64, rows []int) AttrOrder {
+	nA := 0
+	if len(X) > 0 {
+		nA = len(X[0])
+	}
+	ao := AttrOrder{Orders: make([][]int32, nA)}
+	backing := make([]int32, nA*len(rows))
+	for j := 0; j < nA; j++ {
+		ord := backing[j*len(rows) : (j+1)*len(rows) : (j+1)*len(rows)]
+		for p, r := range rows {
+			ord[p] = int32(r)
+		}
+		j := j
+		sort.Slice(ord, func(a, b int) bool {
+			va, vb := X[ord[a]][j], X[ord[b]][j]
+			if va != vb {
+				return va < vb
+			}
+			return ord[a] < ord[b]
+		})
+		ao.Orders[j] = ord
+	}
+	return ao
+}
+
+// Len returns the node's row count.
+func (ao AttrOrder) Len() int {
+	if len(ao.Orders) == 0 {
+		return 0
+	}
+	return len(ao.Orders[0])
+}
+
+// Rows returns the node's rows (in attribute-0 order). The slice
+// aliases the order's backing array; callers must not mutate it.
+func (ao AttrOrder) Rows() []int32 { return ao.Orders[0] }
+
+// Split stably partitions every attribute's order by
+// X[row][attr] < threshold: rows routed left keep their relative order
+// at the front of each list, rows routed right at the back, so both
+// children remain sorted per attribute without re-sorting. The
+// partition runs in place — the left child aliases the front of each
+// backing array and the right child the back — so the parent's order
+// must not be used after Split. scratch must hold at least Len()
+// entries and is only used during the call.
+func (ao AttrOrder) Split(X [][]float64, attr int, threshold float64, scratch []int32) (left, right AttrOrder, nLeft int) {
+	nA := len(ao.Orders)
+	left = AttrOrder{Orders: make([][]int32, nA)}
+	right = AttrOrder{Orders: make([][]int32, nA)}
+	for j := 0; j < nA; j++ {
+		ord := ao.Orders[j]
+		nl, nr := 0, 0
+		for _, r := range ord {
+			if X[r][attr] < threshold {
+				ord[nl] = r
+				nl++
+			} else {
+				scratch[nr] = r
+				nr++
+			}
+		}
+		copy(ord[nl:], scratch[:nr])
+		left.Orders[j] = ord[:nl:nl]
+		right.Orders[j] = ord[nl:]
+		nLeft = nl
+	}
+	return left, right, nLeft
+}

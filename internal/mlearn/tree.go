@@ -28,6 +28,21 @@ func (n *TreeNode) Distribution(x []float64) []float64 {
 	return node.Dist
 }
 
+// DistributionInto walks the tree and copies the leaf distribution for
+// x into out — the zero-allocation fast path (trees keep no scratch, so
+// unlike stateful models this is safe for concurrent callers).
+func (n *TreeNode) DistributionInto(x []float64, out []float64) {
+	node := n
+	for !node.Leaf {
+		if x[node.Attr] < node.Threshold {
+			node = node.Left
+		} else {
+			node = node.Right
+		}
+	}
+	copy(out, node.Dist)
+}
+
 // Depth returns the maximum root-to-leaf edge count.
 func (n *TreeNode) Depth() int {
 	if n.Leaf {

@@ -107,32 +107,70 @@ func MustNew(name string, seed uint64) mlearn.Trainer {
 	return t
 }
 
+// Options tunes trainer construction beyond the (name, variant, seed)
+// triple. The zero value reproduces NewVariant's behaviour.
+type Options struct {
+	// Iterations applies to ensembles only (0 = WEKA default 10).
+	Iterations int
+	// Seed drives every stochastic element; per-iteration base seeds
+	// derive from it exactly as in sequential training.
+	Seed uint64
+	// Workers bounds Bagging's concurrent bag training (0 = GOMAXPROCS,
+	// 1 = sequential). Any value yields byte-identical models.
+	Workers int
+	// LegacySplit selects the pre-sorted-index split search in the tree
+	// learners (J48, REPTree) — the baseline mode of the perf
+	// experiment.
+	LegacySplit bool
+}
+
 // NewVariant builds the requested scheme around the named base
 // classifier. iterations applies to ensembles only (0 = WEKA default
 // 10).
 func NewVariant(name string, v Variant, iterations int, seed uint64) (mlearn.Trainer, error) {
+	return NewVariantOpts(name, v, Options{Iterations: iterations, Seed: seed})
+}
+
+// NewVariantOpts is NewVariant with throughput options. Seed derivation
+// is unchanged from sequential training, so models are bit-identical
+// across worker counts.
+func NewVariantOpts(name string, v Variant, opts Options) (mlearn.Trainer, error) {
+	seed := opts.Seed
 	if _, err := New(name, seed); err != nil {
 		return nil, err
 	}
+	mk := func(s uint64) mlearn.Trainer {
+		t := MustNew(name, s)
+		if opts.LegacySplit {
+			switch bt := t.(type) {
+			case *j48.Trainer:
+				bt.LegacySplit = true
+			case *reptree.Trainer:
+				bt.LegacySplit = true
+			}
+		}
+		return t
+	}
 	base := func(it int) mlearn.Trainer {
-		return MustNew(name, seed+uint64(it)*0x9e3779b9+1)
+		return mk(seed + uint64(it)*0x9e3779b9 + 1)
 	}
 	switch v {
 	case General:
-		return MustNew(name, seed), nil
+		return mk(seed), nil
 	case Boosted:
 		t := ensemble.NewAdaBoost(base)
-		if iterations > 0 {
-			t.Iterations = iterations
+		if opts.Iterations > 0 {
+			t.Iterations = opts.Iterations
 		}
 		t.Seed = seed
 		return t, nil
 	case Bagged:
 		t := ensemble.NewBagging(base)
-		if iterations > 0 {
-			t.Iterations = iterations
+		if opts.Iterations > 0 {
+			t.Iterations = opts.Iterations
 		}
 		t.Seed = seed
+		t.Workers = opts.Workers
 		return t, nil
 	}
 	return nil, fmt.Errorf("zoo: unknown variant %d", v)

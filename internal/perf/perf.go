@@ -158,12 +158,21 @@ func (c *Counters) registers() []uint64 {
 // read (or attach), reconstructing across at most one register wrap —
 // the same contract as an interrupt-less PMC reader.
 func (c *Counters) ReadDelta() []uint64 {
-	now := c.registers()
-	out := make([]uint64, len(now))
-	for i := range now {
-		out[i] = (now[i] - c.last[i]) & c.mask
+	return c.ReadDeltaInto(make([]uint64, len(c.group.events)))
+}
+
+// ReadDeltaInto is ReadDelta writing into the caller-provided buffer
+// (cap(out) >= the group size) and returning it resliced to the group
+// size. The register snapshot updates in place, so a steady-state
+// sampling loop reads the PMU with zero heap allocations.
+func (c *Counters) ReadDeltaInto(out []uint64) []uint64 {
+	out = out[:len(c.group.events)]
+	block := c.m.Counters()
+	for i, ev := range c.group.events {
+		now := block[ev] & c.mask
+		out[i] = (now - c.last[i]) & c.mask
+		c.last[i] = now
 	}
-	c.last = now
 	return out
 }
 

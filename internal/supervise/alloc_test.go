@@ -1,0 +1,39 @@
+package supervise
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSamplePathZeroAlloc gates the steady-state sample path of the
+// supervised service — one PMU read through MachineSource.ReadInto plus
+// one FallbackChain.Observe — at zero heap allocations per interval.
+// This is the per-sample work of the collector and inferrer stages; the
+// surrounding supervision machinery (watchdog contexts, queue frames)
+// is control plane, not per-sample data plane.
+func TestSamplePathZeroAlloc(t *testing.T) {
+	chain := testChain(t, core.ChainConfig{})
+	src, err := NewMachineSource(machineSourceConfig(t, chain, 1<<20, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	buf := make([]uint64, len(chain.Events()))
+	interval := 0
+	step := func() {
+		vals, err := src.ReadInto(ctx, interval, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := chain.Observe(vals); err != nil {
+			t.Fatal(err)
+		}
+		interval++
+	}
+	step() // first read boots the machine session
+	if allocs := testing.AllocsPerRun(300, step); allocs != 0 {
+		t.Fatalf("sample path allocates %.1f times per interval, want 0", allocs)
+	}
+}

@@ -20,6 +20,17 @@ type Source interface {
 	Read(ctx context.Context, interval int) ([]uint64, error)
 }
 
+// BufferedSource is an optional Source extension for allocation-free
+// collection: ReadInto fills the caller-provided buffer (cap(buf) >=
+// the chain's event width) and returns it resliced, instead of
+// allocating a fresh reading per interval. The pipeline detects the
+// interface and recycles frame buffers through a free list; sources
+// that cannot reuse buffers just implement Read.
+type BufferedSource interface {
+	Source
+	ReadInto(ctx context.Context, interval int, buf []uint64) ([]uint64, error)
+}
+
 // ErrSampleLost marks an interval whose reading was lost (dropped by
 // the sampling infrastructure) rather than failed: the collector emits
 // a lost frame and the interval is scored by the chain's hold-last
@@ -94,6 +105,13 @@ func (s *MachineSource) Boots() int { return s.attempt }
 
 // Read implements Source.
 func (s *MachineSource) Read(ctx context.Context, interval int) ([]uint64, error) {
+	return s.ReadInto(ctx, interval, make([]uint64, s.group.Size()))
+}
+
+// ReadInto implements BufferedSource: the counter deltas land in buf
+// and the fault injector corrupts them in place, so a steady-state
+// collection loop samples without per-interval allocations.
+func (s *MachineSource) ReadInto(ctx context.Context, interval int, buf []uint64) ([]uint64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -117,7 +135,7 @@ func (s *MachineSource) Read(ctx context.Context, interval int) ([]uint64, error
 	}
 	params := s.cfg.Run.IntervalParams(interval)
 	sess.mach.RunCycles(&params, budget)
-	vals := sess.ctr.ReadDelta()
+	vals := sess.ctr.ReadDeltaInto(buf)
 	if sess.inj != nil {
 		if sess.inj.DropSample(interval) {
 			return nil, fmt.Errorf("%w: interval %d", ErrSampleLost, interval)

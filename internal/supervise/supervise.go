@@ -136,6 +136,13 @@ type Pipeline struct {
 	mu     sync.Mutex
 	q1, q2 *queue
 
+	// bufFree recycles frame value buffers between the inferrer (which
+	// finishes with them) and the collector (which fills them via
+	// BufferedSource.ReadInto): with a buffered source the steady-state
+	// verdict loop allocates nothing per interval. Buffers stranded in a
+	// dropped or lost frame simply fall to the GC.
+	bufFree chan []uint64
+
 	// testReduceHook, when set by white-box tests, sees every non-lost
 	// frame inside the reducer stage (a handy place to panic on cue).
 	testReduceHook func(*frame)
@@ -147,11 +154,35 @@ func New(cfg Config) (*Pipeline, error) {
 		return nil, errors.New("supervise: config needs a fallback chain")
 	}
 	return &Pipeline{
-		cfg:   cfg,
-		width: len(cfg.Chain.Events()),
-		st:    &stats{},
-		br:    newBreaker(cfg.Breaker),
+		cfg:     cfg,
+		width:   len(cfg.Chain.Events()),
+		st:      &stats{},
+		br:      newBreaker(cfg.Breaker),
+		bufFree: make(chan []uint64, 2*cfg.queueCap()+4),
 	}, nil
+}
+
+// getBuf draws a frame buffer from the free list, allocating only when
+// the list is dry (start-up, or buffers stranded in shed frames).
+func (p *Pipeline) getBuf() []uint64 {
+	select {
+	case b := <-p.bufFree:
+		return b
+	default:
+		return make([]uint64, p.width)
+	}
+}
+
+// putBuf returns a consumed frame buffer to the free list, dropping it
+// when the list is full or the buffer is undersized.
+func (p *Pipeline) putBuf(b []uint64) {
+	if cap(b) < p.width {
+		return
+	}
+	select {
+	case p.bufFree <- b[:p.width]:
+	default:
+	}
 }
 
 // Stats returns a point-in-time snapshot of the pipeline's health,
@@ -240,7 +271,8 @@ func (p *Pipeline) Run(ctx context.Context, src Source, intervals int) ([]core.V
 
 	p.st.runStarted()
 
-	var verdicts []core.Verdict
+	verdicts := make([]core.Verdict, 0, intervals)
+	bsrc, buffered := src.(BufferedSource)
 
 	// ---- collector ----------------------------------------------------
 	// Reads the source once per interval under the watchdog deadline,
@@ -256,7 +288,17 @@ func (p *Pipeline) Run(ctx context.Context, src Source, intervals int) ([]core.V
 				f.lost = true
 			} else {
 				rctx, rcancel := context.WithTimeout(ctx, p.cfg.stageDeadline())
-				vals, err := src.Read(rctx, i)
+				var vals []uint64
+				var err error
+				if buffered {
+					buf := p.getBuf()
+					vals, err = bsrc.ReadInto(rctx, i, buf)
+					if err != nil {
+						p.putBuf(buf)
+					}
+				} else {
+					vals, err = src.Read(rctx, i)
+				}
 				rcancel()
 				switch {
 				case err == nil:
@@ -357,6 +399,9 @@ func (p *Pipeline) Run(ctx context.Context, src Source, intervals int) ([]core.V
 				return nil
 			}
 			if f.interval < done {
+				if !f.lost {
+					p.putBuf(f.values)
+				}
 				continue // stale frame from a pre-restart iteration
 			}
 			for done < f.interval {
@@ -372,6 +417,7 @@ func (p *Pipeline) Run(ctx context.Context, src Source, intervals int) ([]core.V
 				if err != nil {
 					return fmt.Errorf("supervise: inference at interval %d: %w", f.interval, err)
 				}
+				p.putBuf(f.values)
 			}
 			done++
 			emit(v, f.lost)

@@ -24,6 +24,10 @@ func (m stubModel) Distribution(x []float64) []float64 {
 	return []float64{1 - m.score, m.score}
 }
 
+func (m stubModel) DistributionInto(x []float64, out []float64) {
+	out[0], out[1] = 1-m.score, m.score
+}
+
 // testChain builds a 4HPC → 2HPC → prior chain from stub models.
 func testChain(t *testing.T, cfg core.ChainConfig) *core.FallbackChain {
 	t.Helper()

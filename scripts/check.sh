@@ -10,4 +10,9 @@ go vet ./...
 go test ./...
 go test -race ./internal/collect ./internal/faults
 go test -race ./internal/supervise ./internal/core
+go test -race ./internal/eval ./internal/mlearn/ensemble
 go test -run TestChaos -short ./internal/experiments
+# Throughput-engine smoke: the Inference benches must report
+# 0 allocs/op on the chain and batcher paths (gated hard by the
+# ZeroAlloc tests; this prints the numbers for the log).
+go test -bench=BenchmarkInference -benchmem -benchtime=10x -run @ .
