@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/collect"
@@ -27,13 +29,25 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, figure3, table2, figure4, figure5, table3, extensions, robustness, chaos, perf, claims")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, figure3, table2, figure4, figure5, table3, extensions, robustness, chaos, perf, fleet, claims")
 	apps := flag.Int("apps", 10, "applications per behaviour family (10 = paper scale, 120 apps)")
 	intervals := flag.Int("intervals", 30, "sampling intervals per run")
 	seed := flag.Uint64("seed", 1, "split/training seed")
 	perfOut := flag.String("perfout", "BENCH_PERF.json", "output path of the -exp perf report")
+	fleetOut := flag.String("fleetout", "BENCH_FLEET.json", "output path of the -exp fleet report")
+	fleetStreams := flag.String("fleetstreams", "", "comma-separated stream counts for -exp fleet (default 16,64,256,512,1024)")
+	fleetIntervals := flag.Int("fleetintervals", 0, "intervals per stream for -exp fleet (default 200)")
 	flag.Parse()
 	perfPath = *perfOut
+	fleetPath = *fleetOut
+	fleetCfg.Intervals = *fleetIntervals
+	if *fleetStreams != "" {
+		counts, err := parseCounts(*fleetStreams)
+		if err != nil {
+			fatal(fmt.Errorf("-fleetstreams: %w", err))
+		}
+		fleetCfg.StreamCounts = counts
+	}
 
 	cfg := collect.Default()
 	cfg.Suite.AppsPerFamily = *apps
@@ -68,6 +82,9 @@ func main() {
 	run("chaos", chaos)
 	if *exp == "perf" {
 		run("perf", perfReport)
+	}
+	if *exp == "fleet" {
+		run("fleet", fleetReport)
 	}
 	run("claims", claims)
 }
@@ -225,6 +242,48 @@ func perfReport(ctx *experiments.Context) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "perf report written to %s\n", perfPath)
+	return nil
+}
+
+// fleetPath is where -exp fleet writes its JSON report; fleetCfg holds
+// the flag overrides (zero values mean experiment defaults).
+var (
+	fleetPath string
+	fleetCfg  experiments.FleetBenchConfig
+)
+
+// parseCounts parses a comma-separated list of positive stream counts.
+func parseCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad stream count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
+// fleetReport runs the multi-stream serving benchmark (sharded fleet
+// engine vs one pipeline per stream) and writes the JSON artefact
+// alongside the console summary.
+func fleetReport(ctx *experiments.Context) error {
+	rep, err := ctx.Fleet(fleetCfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderFleet(rep))
+	fmt.Println()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(fleetPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fleet report written to %s\n", fleetPath)
 	return nil
 }
 

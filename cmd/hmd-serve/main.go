@@ -11,6 +11,14 @@
 // Usage:
 //
 //	hmd-serve [-addr :8642] [-checkpoint DIR] [-faults RATE] [-loops N] ...
+//	hmd-serve -streams 256 -shards 8 ...   (fleet mode)
+//
+// With -streams N > 0 the service runs in fleet mode: instead of one
+// supervised pipeline monitoring apps sequentially, the sharded fleet
+// engine multiplexes N concurrent monitored streams (each with its own
+// chain state, circuit breaker and fault plan) over -shards worker
+// shards with cross-stream batched inference, all paced by one timer
+// wheel at -stream-interval (the paper's 10 ms by default).
 //
 // HTTP endpoints (when -addr is set):
 //
@@ -18,7 +26,11 @@
 //	/readyz   readiness: 503 while training/recovering, 200 once monitoring
 //	/stats    JSON snapshot: service phase, collection progress while
 //	          training, and the supervised pipeline's counters (restarts,
-//	          breaker trips, queue depths, drops, checkpoints)
+//	          breaker trips, queue depths, drops, checkpoints). In fleet
+//	          mode: aggregate fleet counters, per-shard throughput and
+//	          latency percentiles, and per-stream detail (suppress the
+//	          per-stream section with /stats?streams=0)
+//	/debug/pprof/...  Go profiling endpoints (only with -pprof)
 //
 // The service is deterministic per seed: faults, crashes, breaker
 // behaviour and verdicts reproduce exactly across runs (modulo HTTP
@@ -34,6 +46,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -45,6 +58,7 @@ import (
 	"repro/internal/collect"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/fleet"
 	"repro/internal/micro"
 	"repro/internal/mlearn/zoo"
 	"repro/internal/supervise"
@@ -70,6 +84,10 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 16, "verdicts between chain-state checkpoints")
 	queueCap := flag.Int("queue", 8, "bounded stage-queue capacity")
 	policy := flag.String("overflow", "block", "queue overflow policy: block (deterministic) or drop-oldest")
+	streams := flag.Int("streams", 0, "fleet mode: monitored streams served concurrently (0 = classic single-pipeline mode)")
+	shards := flag.Int("shards", 0, "fleet mode: worker shards (0 = GOMAXPROCS)")
+	streamInterval := flag.Duration("stream-interval", 10*time.Millisecond, "fleet mode: per-stream sampling interval (0 = unpaced)")
+	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof on the HTTP mux")
 	flag.Parse()
 
 	variant := zoo.General
@@ -93,7 +111,7 @@ func main() {
 
 	srv := newService()
 	if *addr != "" {
-		shutdown := srv.serveHTTP(*addr)
+		shutdown := srv.serveHTTP(*addr, *pprofOn)
 		defer shutdown()
 	}
 
@@ -112,7 +130,6 @@ func main() {
 		fatal(err)
 	}
 
-	// ---- Supervised pipeline ----
 	var plan *faults.Plan
 	if *faultRate > 0 {
 		kinds, err := faults.ParseKinds(*faultKinds)
@@ -121,6 +138,26 @@ func main() {
 		}
 		plan = &faults.Plan{Seed: *seed, Rate: *faultRate, Kinds: kinds}
 	}
+
+	// ---- Fleet mode: N concurrent streams over sharded workers ----
+	if *streams > 0 {
+		runFleet(ctx, srv, chain, fleetConfig{
+			streams:   *streams,
+			shards:    *shards,
+			interval:  *streamInterval,
+			policy:    overflow,
+			queueCap:  *queueCap,
+			ckptDir:   *ckptDir,
+			ckptEvery: *ckptEvery,
+			nApps:     *nApps,
+			intervals: *monIntervals,
+			loops:     *loops,
+			plan:      plan,
+		})
+		return
+	}
+
+	// ---- Supervised pipeline ----
 	pipe, err := supervise.New(supervise.Config{
 		Chain:           chain,
 		QueueCap:        *queueCap,
@@ -187,6 +224,108 @@ func main() {
 		}
 	}
 	finish(srv, pipe, stateStore)
+}
+
+// fleetConfig carries the fleet-mode flags.
+type fleetConfig struct {
+	streams   int
+	shards    int
+	interval  time.Duration
+	policy    supervise.OverflowPolicy
+	queueCap  int
+	ckptDir   string
+	ckptEvery int
+	nApps     int
+	intervals int
+	loops     int
+	plan      *faults.Plan
+}
+
+// runFleet serves cfg.streams concurrent monitored streams through the
+// sharded fleet engine: each stream monitors one app of the unseen
+// schedule (round-robin) with its own chain state, breaker and fault
+// plan, while the shards batch inference across streams. With -loops 0
+// the fleet runs until signalled; otherwise every stream finishes after
+// loops x monitor-intervals verdicts and the engine drains.
+func runFleet(ctx context.Context, srv *service, chain *core.FallbackChain, cfg fleetConfig) {
+	var store *core.CheckpointStore
+	var err error
+	if cfg.ckptDir != "" {
+		if store, err = core.NewCheckpointStore(cfg.ckptDir, "fleet", fleet.StateVersion); err != nil {
+			fatal(err)
+		}
+	}
+	eng, err := fleet.New(fleet.Config{
+		Chain:           chain,
+		Shards:          cfg.shards,
+		Interval:        cfg.interval,
+		Policy:          cfg.policy,
+		PendingBatches:  cfg.queueCap,
+		Checkpoint:      store,
+		CheckpointEvery: cfg.ckptEvery,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if store != nil {
+		gen, quarantined, rerr := eng.RestoreState()
+		switch {
+		case rerr == nil:
+			fmt.Fprintf(os.Stderr, "hmd-serve: resumed fleet state from checkpoint generation %d\n", gen)
+		case errors.Is(rerr, core.ErrNoCheckpoint):
+			// Fresh timelines for every stream.
+		default:
+			fatal(rerr)
+		}
+		for _, q := range quarantined {
+			fmt.Fprintf(os.Stderr, "hmd-serve: quarantined torn fleet checkpoint: %s\n", q)
+		}
+	}
+
+	schedule := unseenSchedule(cfg.nApps)
+	if len(schedule) == 0 {
+		fatal(errors.New("empty monitoring schedule"))
+	}
+	horizon := cfg.intervals * cfg.loops // 0 = stream until signalled
+	for i := 0; i < cfg.streams; i++ {
+		app := schedule[i%len(schedule)]
+		total := horizon
+		if total <= 0 {
+			total = 1 << 30
+		}
+		src, err := supervise.NewMachineSource(supervise.MachineSourceConfig{
+			Machine: micro.FastConfig(),
+			Run:     app.NewRun(i),
+			Events:  chain.Events(),
+			Total:   total,
+			Plan:    cfg.plan,
+			Scope:   fmt.Sprintf("%s/s%d", app.Name, i),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := eng.Add(fleet.StreamConfig{
+			ID:        fmt.Sprintf("s%04d-%s", i, app.Name),
+			Source:    src,
+			Intervals: horizon,
+		}); err != nil {
+			fatal(err)
+		}
+	}
+
+	srv.setFleet(eng)
+	srv.setReady(true)
+	fmt.Fprintf(os.Stderr, "hmd-serve: fleet monitoring %d streams on %d shards (interval %v, horizon %d)\n",
+		cfg.streams, eng.Shards(), cfg.interval, horizon)
+	err = eng.Run(ctx)
+	srv.setReady(false)
+	snap := eng.Stats(false)
+	fmt.Fprintf(os.Stderr, "hmd-serve: fleet done: %d verdicts (%d prior-held) over %d rotations, shed=%d, checkpoints=%d (%d failed)\n",
+		snap.Verdicts, snap.LostVerdicts, snap.Rotations, snap.ShedIntervals,
+		snap.CheckpointsWritten, snap.CheckpointErrors)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fatal(err)
+	}
 }
 
 // finish persists the chain state once more so the next process resumes
@@ -316,6 +455,7 @@ type service struct {
 	app   string
 	loop  int
 	pipe  *supervise.Pipeline
+	fleet *fleet.Engine
 	live  *collect.LiveReport
 }
 
@@ -337,6 +477,12 @@ func (s *service) setPipeline(p *supervise.Pipeline) {
 	s.mu.Unlock()
 }
 
+func (s *service) setFleet(e *fleet.Engine) {
+	s.mu.Lock()
+	s.fleet = e
+	s.mu.Unlock()
+}
+
 // statsPayload is the /stats JSON document.
 type statsPayload struct {
 	Phase string `json:"phase"` // "starting", "training", "serving"
@@ -349,11 +495,15 @@ type statsPayload struct {
 
 	// Supervised-pipeline counters (present once the pipeline exists).
 	Pipeline *supervise.Snapshot `json:"pipeline,omitempty"`
+
+	// Fleet counters (fleet mode): aggregate totals, per-shard
+	// throughput/latency, and — unless suppressed — per-stream detail.
+	Fleet *fleet.Snapshot `json:"fleet,omitempty"`
 }
 
-func (s *service) stats() statsPayload {
+func (s *service) stats(perStream bool) statsPayload {
 	s.mu.Lock()
-	ready, app, loop, pipe := s.ready, s.app, s.loop, s.pipe
+	ready, app, loop, pipe, eng := s.ready, s.app, s.loop, s.pipe, s.fleet
 	s.mu.Unlock()
 
 	rep, apps := s.live.Snapshot()
@@ -371,6 +521,10 @@ func (s *service) stats() statsPayload {
 		snap := pipe.Stats()
 		payload.Pipeline = &snap
 	}
+	if eng != nil {
+		snap := eng.Stats(perStream)
+		payload.Fleet = &snap
+	}
 	if ready {
 		payload.Phase = "serving"
 	}
@@ -378,8 +532,10 @@ func (s *service) stats() statsPayload {
 }
 
 // serveHTTP starts the observation endpoints and returns a shutdown
-// function.
-func (s *service) serveHTTP(addr string) func() {
+// function. With pprofOn the Go profiling handlers mount under
+// /debug/pprof — off by default, because profiling endpoints on a
+// monitoring port are an operational decision, not a given.
+func (s *service) serveHTTP(addr string, pprofOn bool) func() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -394,14 +550,22 @@ func (s *service) serveHTTP(addr string) func() {
 		}
 		fmt.Fprintln(w, "ready")
 	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		perStream := r.URL.Query().Get("streams") != "0"
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(s.stats()); err != nil {
+		if err := enc.Encode(s.stats(perStream)); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	srv := &http.Server{Addr: addr, Handler: mux}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -9,6 +9,7 @@ package core
 // — and decodes the first good one.
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -169,6 +170,23 @@ func SaveChain(w io.Writer, fc *FallbackChain) error {
 		}
 	}
 	return nil
+}
+
+// NewChainReplicator serialises a trained chain once and returns a
+// factory stamping out independent copies: same trained parameters,
+// fresh model scratch. The fleet engine gives each shard its own
+// replica so shard workers can score concurrently — streaming models
+// reuse internal scratch buffers, which makes a single chain unsafe to
+// share across goroutines.
+func NewChainReplicator(fc *FallbackChain) (func() (*FallbackChain, error), error) {
+	var buf bytes.Buffer
+	if err := SaveChain(&buf, fc); err != nil {
+		return nil, fmt.Errorf("core: replicating chain: %w", err)
+	}
+	blob := buf.Bytes()
+	return func() (*FallbackChain, error) {
+		return LoadChain(bytes.NewReader(blob))
+	}, nil
 }
 
 // LoadChain reads a chain previously written by SaveChain and

@@ -199,6 +199,19 @@ func (fc *FallbackChain) Events() []micro.EventID {
 // means the chain has degraded all the way to the majority prior.
 func (fc *FallbackChain) Stages() int { return len(fc.stages) }
 
+// Detectors returns the chain's trained stage detectors, primary first.
+// The detectors (and their models) are shared, not copied: a caller
+// building sibling chains from them — one run-time state per monitored
+// stream over one set of models — must keep all scoring on a single
+// goroutine, because streaming models reuse internal scratch.
+func (fc *FallbackChain) Detectors() []*Detector {
+	return append([]*Detector(nil), fc.stages...)
+}
+
+// Config returns the chain's configuration (window, thresholds,
+// hysteresis, prior).
+func (fc *FallbackChain) Config() ChainConfig { return fc.cfg }
+
 // ActiveStage returns the stage currently producing scores.
 func (fc *FallbackChain) ActiveStage() int { return fc.active }
 
@@ -246,18 +259,6 @@ func (fc *FallbackChain) selectStage(bad []bool) int {
 	return len(fc.stages)
 }
 
-// score runs stage s on the full reading.
-func (fc *FallbackChain) score(s int, values []uint64) float64 {
-	if s >= len(fc.stages) {
-		return fc.cfg.PriorScore
-	}
-	x := fc.xbuf[:len(fc.idx[s])]
-	for j, p := range fc.idx[s] {
-		x[j] = float64(values[p])
-	}
-	return mlearn.ScoreWith(fc.stages[s].Model, x, fc.dist)
-}
-
 // verdict folds score s into the shared window and emits the interval's
 // decision.
 func (fc *FallbackChain) verdict(s float64) Verdict {
@@ -289,8 +290,31 @@ func (fc *FallbackChain) verdict(s float64) Verdict {
 // call yields a verdict: degradation changes which model scores the
 // interval, never whether the interval is scored.
 func (fc *FallbackChain) Observe(values []uint64) (Verdict, error) {
+	s, x, err := fc.BeginObserve(values)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if s >= len(fc.stages) {
+		return fc.CommitScore(fc.cfg.PriorScore), nil
+	}
+	return fc.CommitScore(mlearn.ScoreWith(fc.stages[s].Model, x, fc.dist)), nil
+}
+
+// BeginObserve is the first half of Observe, split out so an external
+// engine (the fleet's shard workers) can batch the scoring across many
+// chains sharing one model replica: it folds the reading into the
+// counter-health trackers, steps the active stage, and gathers the
+// active stage's feature vector into the chain's scratch buffer. The
+// returned x aliases chain-owned scratch — consume (or copy) it before
+// the next BeginObserve. A stage equal to Stages() means the chain has
+// degraded to the prior; x is nil and the caller commits Prior().
+//
+// Every BeginObserve must be completed by exactly one CommitScore with
+// the score of the returned stage's model on x (or Prior()); the pair
+// is then bit-identical to one Observe call.
+func (fc *FallbackChain) BeginObserve(values []uint64) (stage int, x []float64, err error) {
 	if len(values) != fc.stages[0].HPCs() {
-		return Verdict{}, fmt.Errorf("core: sample width %d does not match primary detector's %d events",
+		return 0, nil, fmt.Errorf("core: sample width %d does not match primary detector's %d events",
 			len(values), fc.stages[0].HPCs())
 	}
 	bad := fc.bad
@@ -302,8 +326,27 @@ func (fc *FallbackChain) Observe(values []uint64) (Verdict, error) {
 		fc.transitions = append(fc.transitions, Transition{Interval: fc.interval, From: fc.active, To: s})
 		fc.active = s
 	}
-	return fc.verdict(fc.score(fc.active, values)), nil
+	s := fc.active
+	if s >= len(fc.stages) {
+		return s, nil, nil
+	}
+	x = fc.xbuf[:len(fc.idx[s])]
+	for j, p := range fc.idx[s] {
+		x[j] = float64(values[p])
+	}
+	return s, x, nil
 }
+
+// CommitScore completes a BeginObserve: it folds the externally
+// computed stage score into the shared window and emits the interval's
+// verdict.
+func (fc *FallbackChain) CommitScore(score float64) Verdict {
+	return fc.verdict(score)
+}
+
+// Prior returns the terminal majority-prior stage's score — what a
+// CommitScore caller passes when BeginObserve selected stage Stages().
+func (fc *FallbackChain) Prior() float64 { return fc.cfg.PriorScore }
 
 // ObserveLost accounts for an interval whose reading was lost entirely
 // (a dropped sample): the chain holds its current windowed score so the

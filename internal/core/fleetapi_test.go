@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mlearn/zoo"
+)
+
+// TestBeginCommitMatchesObserve is the batching invariant the fleet
+// engine rests on: splitting an observation into BeginObserve + an
+// external model evaluation + CommitScore must be bit-identical to one
+// Observe call, through health decay, stepdowns and recovery.
+func TestBeginCommitMatchesObserve(t *testing.T) {
+	cfg := ChainConfig{Window: 3, BadAfter: 3}
+	ref := newChain(t, cfg)
+	split := newChain(t, cfg)
+
+	// One batcher per trained stage — the shard-side scoring path.
+	dets := split.Detectors()
+	if len(dets) != split.Stages() {
+		t.Fatalf("Detectors() returned %d stages, want %d", len(dets), split.Stages())
+	}
+	batchers := make([]*Batcher, len(dets))
+	for i, d := range dets {
+		batchers[i] = d.NewBatcher()
+	}
+
+	const total = 60
+	for i := 0; i < total; i++ {
+		vals := liveValues(i)
+		switch {
+		case i >= 10 && i < 25:
+			vals[3] = 4242 // wedge counter 3: step down to 2HPC
+		case i >= 30 && i < 45:
+			// All counters dead: degrade to the prior stage.
+			vals[0], vals[1], vals[2], vals[3] = 0, 0, 0, 0
+		}
+
+		want, err := ref.Observe(vals)
+		if err != nil {
+			t.Fatalf("interval %d: observe: %v", i, err)
+		}
+
+		stage, x, err := split.BeginObserve(vals)
+		if err != nil {
+			t.Fatalf("interval %d: begin: %v", i, err)
+		}
+		score := split.Prior()
+		if stage < split.Stages() {
+			score = batchers[stage].Score(x)
+		}
+		got := split.CommitScore(score)
+
+		if got != want {
+			t.Fatalf("interval %d: split path %+v != observe %+v (stage %d)", i, got, want, stage)
+		}
+	}
+	if ref.ActiveStage() != split.ActiveStage() {
+		t.Fatalf("active stages diverged: %d vs %d", ref.ActiveStage(), split.ActiveStage())
+	}
+	trA, trB := ref.Transitions(), split.Transitions()
+	if len(trA) != len(trB) {
+		t.Fatalf("transition logs diverged: %v vs %v", trA, trB)
+	}
+	for i := range trA {
+		if trA[i] != trB[i] {
+			t.Fatalf("transition %d diverged: %v vs %v", i, trA[i], trB[i])
+		}
+	}
+}
+
+// TestBeginObserveWidthCheck: a malformed reading is rejected before it
+// can touch health state.
+func TestBeginObserveWidthCheck(t *testing.T) {
+	chain := newChain(t, ChainConfig{Window: 3})
+	if _, _, err := chain.BeginObserve([]uint64{1, 2}); err == nil {
+		t.Fatal("narrow sample accepted")
+	}
+}
+
+// TestChainReplicator: replicas share trained parameters (identical
+// scores) but nothing else — scoring through one replica must not
+// disturb another, and each replica carries its own run-time state.
+func TestChainReplicator(t *testing.T) {
+	b := newBuilder(t)
+	chain, err := b.BuildChain("REPTree", zoo.Boosted, []int{4, 2}, ChainConfig{Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicate, err := NewChainReplicator(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := replicate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := replicate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra == rb || ra.Detectors()[0].Model == rb.Detectors()[0].Model {
+		t.Fatal("replicas share structure")
+	}
+	if ra.Config() != chain.Config() {
+		t.Fatalf("replica config %+v != template %+v", ra.Config(), chain.Config())
+	}
+	for i := 0; i < 20; i++ {
+		va, err := ra.Observe(liveValues(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := rb.Observe(liveValues(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vc, err := chain.Observe(liveValues(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if va != vb || va != vc {
+			t.Fatalf("interval %d: replica verdicts diverge: %+v %+v %+v", i, va, vb, vc)
+		}
+	}
+}
+
+// TestSiblingChainsShareModels: chains assembled from a replica's
+// Detectors() — the fleet's one-state-per-stream arrangement — score
+// identically to the replica itself.
+func TestSiblingChainsShareModels(t *testing.T) {
+	chain := newChain(t, ChainConfig{Window: 3})
+	sibling, err := NewFallbackChain(chain.Detectors(), chain.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		va, err := chain.Observe(liveValues(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := sibling.Observe(liveValues(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if va != vb {
+			t.Fatalf("interval %d: sibling diverges: %+v vs %+v", i, va, vb)
+		}
+	}
+}
+
+// TestBeginCommitZeroAlloc gates the fleet's per-interval chain work —
+// BeginObserve + CommitScore — at zero heap allocations.
+func TestBeginCommitZeroAlloc(t *testing.T) {
+	chain := newChain(t, ChainConfig{Window: 5})
+	dets := chain.Detectors()
+	batchers := make([]*Batcher, len(dets))
+	for i, d := range dets {
+		batchers[i] = d.NewBatcher()
+	}
+	vals := liveValues(0)
+	i := 0
+	step := func() {
+		copy(vals, liveValues(i))
+		stage, x, err := chain.BeginObserve(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score := chain.Prior()
+		if stage < chain.Stages() {
+			score = batchers[stage].Score(x)
+		}
+		chain.CommitScore(score)
+		i++
+	}
+	step()
+	if allocs := testing.AllocsPerRun(500, step); allocs != 0 {
+		t.Fatalf("BeginObserve+CommitScore allocates %.1f times per interval, want 0", allocs)
+	}
+}

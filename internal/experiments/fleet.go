@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/mlearn/zoo"
+	"repro/internal/supervise"
+)
+
+// The fleet experiment benchmarks the sharded multi-stream serving
+// engine against the obvious alternative — one supervised pipeline
+// (three goroutines, two queues) per monitored stream — on the same
+// paper-scale fallback chain (4HPC → 2HPC Boosted-REPTree → prior).
+// Both sides consume identical cheap synthetic sources so the engines'
+// overhead, not simulated microarchitecture, is what the curve
+// measures. Both run the lossless Block policy, so every configuration
+// does exactly streams x intervals verdicts of work.
+
+// FleetBenchConfig parameterises the fleet benchmark.
+type FleetBenchConfig struct {
+	// StreamCounts is the sweep (default 16, 64, 256, 512, 1024).
+	StreamCounts []int
+	// Intervals per stream (default 200).
+	Intervals int
+	// Shards is the fleet worker pool (default GOMAXPROCS).
+	Shards int
+	// BaselineMax caps the stream count the per-pipeline baseline is
+	// run at — N pipelines is 3N goroutines and N model replicas
+	// (default 256, where the headline comparison sits).
+	BaselineMax int
+}
+
+func (c FleetBenchConfig) streamCounts() []int {
+	if len(c.StreamCounts) > 0 {
+		return c.StreamCounts
+	}
+	return []int{16, 64, 256, 512, 1024}
+}
+
+func (c FleetBenchConfig) intervals() int {
+	if c.Intervals > 0 {
+		return c.Intervals
+	}
+	return 200
+}
+
+func (c FleetBenchConfig) shards() int {
+	if c.Shards > 0 {
+		return c.Shards
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c FleetBenchConfig) baselineMax() int {
+	if c.BaselineMax > 0 {
+		return c.BaselineMax
+	}
+	return 256
+}
+
+// FleetPoint is one stream count's measurement.
+type FleetPoint struct {
+	Streams int
+	// Fleet engine, unpaced Block run: wall time, throughput, and the
+	// worst shard's harvest-to-verdict latency percentiles.
+	FleetWallMillis      float64
+	FleetIntervalsPerSec float64
+	FleetP50Micros       float64
+	FleetP99Micros       float64
+	// Sustains10ms: the engine clears 100 intervals/sec/stream — every
+	// stream can be served at the paper's 10 ms sampling interval.
+	Sustains10ms bool
+	// Per-pipeline baseline (zero when skipped above BaselineMax).
+	BaselineWallMillis      float64
+	BaselineIntervalsPerSec float64
+	// SpeedupX is fleet throughput over baseline throughput.
+	SpeedupX float64
+}
+
+// FleetReport is the fleet-serving benchmark, serialized to
+// BENCH_FLEET.json by hmd-bench -exp fleet.
+type FleetReport struct {
+	// Chain names the fallback stages both engines serve.
+	Chain     []string
+	Shards    int
+	Intervals int
+	Points    []FleetPoint
+}
+
+// Fleet runs the multi-stream serving benchmark on the context's
+// trained chain and returns the report.
+func (ctx *Context) Fleet(cfg FleetBenchConfig) (*FleetReport, error) {
+	chain, err := ctx.Builder.BuildChain("REPTree", zoo.Boosted, []int{4, 2}, core.ChainConfig{})
+	if err != nil {
+		return nil, err
+	}
+	width := len(chain.Events())
+	replicate, err := core.NewChainReplicator(chain)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &FleetReport{Shards: cfg.shards(), Intervals: cfg.intervals()}
+	for s := 0; s <= chain.Stages(); s++ {
+		rep.Chain = append(rep.Chain, chain.StageName(s))
+	}
+
+	for _, n := range cfg.streamCounts() {
+		pt := FleetPoint{Streams: n}
+
+		e, err := fleet.New(fleet.Config{
+			Chain:          chain,
+			Shards:         cfg.shards(),
+			Policy:         supervise.Block,
+			PendingBatches: 8,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if err := e.Add(fleet.StreamConfig{
+				ID:        fmt.Sprintf("s%d", i),
+				Source:    fleet.NewSyntheticSource(uint64(i)+1, width),
+				Intervals: cfg.intervals(),
+			}); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		if err := e.Run(context.Background()); err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		snap := e.Stats(false)
+		want := int64(n * cfg.intervals())
+		if snap.Verdicts != want || snap.LostVerdicts != 0 {
+			return nil, fmt.Errorf("fleet bench at %d streams: %d verdicts (%d lost), want %d lossless",
+				n, snap.Verdicts, snap.LostVerdicts, want)
+		}
+		pt.FleetWallMillis = durMillis(wall)
+		pt.FleetIntervalsPerSec = float64(want) / wall.Seconds()
+		for _, sh := range snap.Shards {
+			if sh.P50LatencyMicros > pt.FleetP50Micros {
+				pt.FleetP50Micros = sh.P50LatencyMicros
+			}
+			if sh.P99LatencyMicros > pt.FleetP99Micros {
+				pt.FleetP99Micros = sh.P99LatencyMicros
+			}
+		}
+		pt.Sustains10ms = pt.FleetIntervalsPerSec >= float64(100*n)
+
+		if n <= cfg.baselineMax() {
+			baseWall, err := pipelineBaseline(replicate, n, cfg.intervals(), width)
+			if err != nil {
+				return nil, err
+			}
+			pt.BaselineWallMillis = durMillis(baseWall)
+			pt.BaselineIntervalsPerSec = float64(want) / baseWall.Seconds()
+			pt.SpeedupX = pt.FleetIntervalsPerSec / pt.BaselineIntervalsPerSec
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}
+
+// pipelineBaseline serves the same workload as one supervised pipeline
+// per stream: n pipelines, each with its own chain replica and three
+// stage goroutines, all running concurrently. Replica construction
+// happens outside the timed section.
+func pipelineBaseline(replicate func() (*core.FallbackChain, error), n, intervals, width int) (time.Duration, error) {
+	pipes := make([]*supervise.Pipeline, n)
+	srcs := make([]supervise.Source, n)
+	for i := range pipes {
+		ch, err := replicate()
+		if err != nil {
+			return 0, err
+		}
+		p, err := supervise.New(supervise.Config{
+			Chain:          ch,
+			Policy:         supervise.Block,
+			RestartBackoff: -1,
+		})
+		if err != nil {
+			return 0, err
+		}
+		pipes[i] = p
+		srcs[i] = fleet.NewSyntheticSource(uint64(i)+1, width)
+	}
+
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range pipes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			verdicts, err := pipes[i].Run(context.Background(), srcs[i], intervals)
+			if err == nil && len(verdicts) != intervals {
+				err = fmt.Errorf("pipeline %d: %d verdicts, want %d", i, len(verdicts), intervals)
+			}
+			if err != nil {
+				select {
+				case errs <- err:
+				default:
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return 0, err
+	default:
+	}
+	return elapsed, nil
+}
+
+func durMillis(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1e3
+}
+
+// RenderFleet formats the fleet report for the console.
+func RenderFleet(r *FleetReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fleet serving benchmark (%s; %d shards, %d intervals/stream)\n",
+		strings.Join(r.Chain, " -> "), r.Shards, r.Intervals)
+	sb.WriteString("  streams   fleet iv/s   p50 us   p99 us   10ms?   baseline iv/s   speedup\n")
+	for _, p := range r.Points {
+		sustains := "no"
+		if p.Sustains10ms {
+			sustains = "yes"
+		}
+		if p.BaselineIntervalsPerSec > 0 {
+			fmt.Fprintf(&sb, "  %7d   %10.0f   %6.0f   %6.0f   %5s   %13.0f   %6.2fx\n",
+				p.Streams, p.FleetIntervalsPerSec, p.FleetP50Micros, p.FleetP99Micros,
+				sustains, p.BaselineIntervalsPerSec, p.SpeedupX)
+		} else {
+			fmt.Fprintf(&sb, "  %7d   %10.0f   %6.0f   %6.0f   %5s   %13s   %7s\n",
+				p.Streams, p.FleetIntervalsPerSec, p.FleetP50Micros, p.FleetP99Micros,
+				sustains, "-", "-")
+		}
+	}
+	return sb.String()
+}

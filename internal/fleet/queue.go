@@ -1,0 +1,146 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/supervise"
+)
+
+// batchQueue is the bounded hand-off between the timer wheel and one
+// shard worker: a fixed ring of *batch with the same two overflow
+// policies as the pipeline's stage queues. Block applies backpressure
+// (the wheel waits, nothing is lost, verdicts stay deterministic);
+// DropOldest sheds the oldest *sheddable* batch to admit the new one —
+// drain and checkpoint-marker batches are never shed, since each exists
+// precisely to survive shedding. The ring never reallocates, so
+// put/get are allocation-free.
+type batchQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []*batch // fixed ring
+	head   int
+	n      int
+	policy supervise.OverflowPolicy
+	closed bool
+}
+
+func newBatchQueue(capacity int, policy supervise.OverflowPolicy) *batchQueue {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	q := &batchQueue{buf: make([]*batch, capacity), policy: policy}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// sheddable reports whether DropOldest may discard this batch.
+func (b *batch) sheddable() bool { return !b.drain && b.ckpt == nil }
+
+// put enqueues b, applying the overflow policy when full. Under
+// DropOldest it returns the batch it shed (nil if none) so the caller
+// can account for and recycle it; a full ring holding only unsheddable
+// batches blocks even under DropOldest. It returns ctx.Err() if the
+// context is cancelled while blocked (or on entry); b is then the
+// caller's to recycle.
+func (q *batchQueue) put(ctx context.Context, b *batch) (shed *batch, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n >= len(q.buf) && !q.closed && ctx.Err() == nil {
+		if q.policy == supervise.DropOldest {
+			if shed = q.removeOldestSheddable(); shed != nil {
+				break
+			}
+		}
+		q.cond.Wait()
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return shed, cerr
+	}
+	if q.closed {
+		// The wheel closes the queue itself after its loop, so a put
+		// here is a shutdown race; the batch is simply abandoned.
+		return shed, nil
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = b
+	q.n++
+	q.cond.Broadcast()
+	return shed, nil
+}
+
+// removeOldestSheddable pops the oldest batch DropOldest may discard,
+// compacting the ring. Returns nil when every queued batch is a drain
+// or checkpoint marker.
+func (q *batchQueue) removeOldestSheddable() *batch {
+	for k := 0; k < q.n; k++ {
+		idx := (q.head + k) % len(q.buf)
+		if !q.buf[idx].sheddable() {
+			continue
+		}
+		victim := q.buf[idx]
+		for j := k; j < q.n-1; j++ {
+			q.buf[(q.head+j)%len(q.buf)] = q.buf[(q.head+j+1)%len(q.buf)]
+		}
+		q.n--
+		q.buf[(q.head+q.n)%len(q.buf)] = nil
+		return victim
+	}
+	return nil
+}
+
+// get dequeues the next batch, blocking until one is available. ok is
+// false when the queue is closed and drained, or ctx is cancelled.
+func (q *batchQueue) get(ctx context.Context) (b *batch, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed && ctx.Err() == nil {
+		q.cond.Wait()
+	}
+	if ctx.Err() != nil || q.n == 0 {
+		return nil, false
+	}
+	return q.pop(), true
+}
+
+// tryGet dequeues without blocking; used by the shard's shutdown drain
+// and by white-box tests stepping the engine synchronously.
+func (q *batchQueue) tryGet() (b *batch, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n == 0 {
+		return nil, false
+	}
+	return q.pop(), true
+}
+
+func (q *batchQueue) pop() *batch {
+	b := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.cond.Broadcast()
+	return b
+}
+
+// close marks the producer side finished; blocked consumers drain the
+// remaining batches and then receive ok=false.
+func (q *batchQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// wake releases blocked producers and consumers so they can observe
+// context cancellation.
+func (q *batchQueue) wake() {
+	q.mu.Lock()
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *batchQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}

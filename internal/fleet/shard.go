@@ -1,0 +1,356 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/supervise"
+)
+
+// entry is one stream's due interval inside a harvest batch.
+type entry struct {
+	s        *stream
+	interval int
+	// drain marks a tail-repair entry for a stream whose final
+	// harvests were shed: the shard emits hold-last verdicts up
+	// through interval instead of reading the source.
+	drain bool
+}
+
+// batch is one wheel tick's worth of due streams for one shard, plus
+// the two marker flavours that ride the same queue so they stay ordered
+// against normal work: drain batches (tail repair, see entry.drain) and
+// checkpoint markers (ckpt != nil).
+type batch struct {
+	rot     int64
+	at      time.Time
+	drain   bool
+	ckpt    *ckptReq
+	ckStrms []*stream // the shard's streams to checkpoint (ckpt != nil)
+	entries []entry
+}
+
+// ckptReq coordinates one fleet-wide checkpoint: every shard contributes
+// its own streams' chain states (each chain is only touched by its
+// owning shard, so the marker must flow through the shard's queue), and
+// a collector goroutine persists the assembled map once all shards have
+// reported.
+type ckptReq struct {
+	wg      sync.WaitGroup
+	aborted atomic.Bool // a shard shut down before contributing
+	mu      sync.Mutex
+	states  map[string]core.ChainState
+	// perShard[i] is shard i's slice of streams to snapshot.
+	perShard [][]*stream
+}
+
+// markKind classifies what the gather pass decided about one entry.
+const (
+	markSkip  = iota // removed, stale, or already emitted as lost
+	markScore        // feature vector gathered; awaiting its stage's batch pass
+)
+
+// entryMark is the per-entry scratch carrying gather results to the
+// batched scoring and demux passes.
+type entryMark struct {
+	kind  uint8
+	stage int
+	x     []float64 // aliases the stream chain's scratch until demux
+	score float64
+}
+
+// shard is one worker: it owns a full replica of the trained chain
+// (models reuse internal scratch, so replicas are what make shards
+// independent), one Batcher per stage, and the run-time chains of every
+// stream assigned to it. All chain mutation and scoring for those
+// streams happens on the shard's single goroutine; the wheel only
+// touches streams' atomics.
+type shard struct {
+	e   *Engine
+	idx int
+
+	dets     []*core.Detector
+	chainCfg core.ChainConfig
+	batchers []*core.Batcher
+	width    int
+
+	bufs *supervise.BufferPool
+	q    *batchQueue
+	pool chan *batch // batch free list (wheel gets, shard puts)
+
+	// Scratch reused across batches: marks mirrors the entry slice,
+	// byStage[s] collects mark indices for stage s's one ScoreBatch
+	// pass, rows/scores are that pass's matrix and output.
+	marks   []entryMark
+	byStage [][]int
+	rows    [][]float64
+	scores  []float64
+
+	batches       atomic.Int64
+	intervals     atomic.Int64
+	shedBatches   atomic.Int64
+	shedIntervals atomic.Int64
+	lastRot       atomic.Int64
+	lat           latRing
+}
+
+func newShard(e *Engine, idx int, tmpl *core.FallbackChain, cfg Config) *shard {
+	dets := tmpl.Detectors()
+	sh := &shard{
+		e:        e,
+		idx:      idx,
+		dets:     dets,
+		chainCfg: tmpl.Config(),
+		batchers: make([]*core.Batcher, len(dets)),
+		width:    len(tmpl.Events()),
+		bufs:     supervise.NewBufferPool(len(tmpl.Events()), 4, cfg.DebugBuffers),
+		q:        newBatchQueue(cfg.pendingBatches(), cfg.Policy),
+		pool:     make(chan *batch, cfg.pendingBatches()+4),
+		byStage:  make([][]int, len(dets)),
+	}
+	for i, d := range dets {
+		sh.batchers[i] = d.NewBatcher()
+	}
+	return sh
+}
+
+// getBatch draws a recycled batch from the free list (wheel side).
+func (sh *shard) getBatch() *batch {
+	select {
+	case b := <-sh.pool:
+		return b
+	default:
+		return &batch{}
+	}
+}
+
+// recycle resets and returns a batch to the free list.
+func (sh *shard) recycle(b *batch) {
+	for i := range b.entries {
+		b.entries[i] = entry{}
+	}
+	b.entries = b.entries[:0]
+	b.drain = false
+	b.ckpt = nil
+	b.ckStrms = nil
+	select {
+	case sh.pool <- b:
+	default:
+	}
+}
+
+// run is the shard worker loop.
+func (sh *shard) run(ctx context.Context) {
+	defer sh.drainTail()
+	for {
+		b, ok := sh.q.get(ctx)
+		if !ok {
+			return
+		}
+		sh.process(ctx, b)
+	}
+}
+
+// step processes at most one queued batch synchronously; white-box
+// tests use it to drive the engine without goroutines.
+func (sh *shard) step(ctx context.Context) bool {
+	b, ok := sh.q.tryGet()
+	if !ok {
+		return false
+	}
+	sh.process(ctx, b)
+	return true
+}
+
+// drainTail empties the queue after shutdown so a stranded checkpoint
+// marker cannot leave its collector waiting forever.
+func (sh *shard) drainTail() {
+	for {
+		b, ok := sh.q.tryGet()
+		if !ok {
+			return
+		}
+		if b.ckpt != nil {
+			b.ckpt.aborted.Store(true)
+			b.ckpt.wg.Done()
+		}
+		sh.recycle(b)
+	}
+}
+
+// process handles one batch: checkpoint markers snapshot chain states;
+// harvest batches run the gather → batched-score → demux pipeline.
+func (sh *shard) process(ctx context.Context, b *batch) {
+	if b.ckpt != nil {
+		for _, s := range b.ckStrms {
+			if s.removed.Load() {
+				continue
+			}
+			st := s.chain.State()
+			b.ckpt.mu.Lock()
+			b.ckpt.states[s.id] = st
+			b.ckpt.mu.Unlock()
+		}
+		b.ckpt.wg.Done()
+		sh.recycle(b)
+		return
+	}
+
+	// Gather: per entry, repair any done-gap with hold-last verdicts,
+	// read the source, and run BeginObserve to collect the active
+	// stage's feature vector. Chain operations for a given stream are
+	// strictly interval-ordered: gaps first, then this interval.
+	n := len(b.entries)
+	if cap(sh.marks) < n {
+		sh.marks = make([]entryMark, n)
+	}
+	sh.marks = sh.marks[:n]
+	for st := range sh.byStage {
+		sh.byStage[st] = sh.byStage[st][:0]
+	}
+	for i := range b.entries {
+		en := &b.entries[i]
+		s := en.s
+		m := &sh.marks[i]
+		m.kind = markSkip
+		if s.removed.Load() {
+			continue
+		}
+		done := int(s.done.Load())
+		if en.interval < done {
+			continue // already repaired past this interval by a drain
+		}
+		for ; done < en.interval; done++ {
+			sh.emitLost(s, b)
+		}
+		if en.drain {
+			sh.emitLost(s, b)
+			continue
+		}
+		if !s.br.Allow() {
+			sh.emitLost(s, b)
+			continue
+		}
+		var vals []uint64
+		var err error
+		if s.bsrc != nil {
+			buf := sh.bufs.Get()
+			vals, err = s.bsrc.ReadInto(ctx, en.interval, buf)
+			if err != nil {
+				sh.bufs.Put(buf)
+			}
+		} else {
+			vals, err = s.src.Read(ctx, en.interval)
+		}
+		switch {
+		case err == nil:
+			s.br.OnSuccess()
+		case errors.Is(err, supervise.ErrSampleLost):
+			sh.emitLost(s, b)
+			continue
+		case ctx.Err() != nil:
+			// Shutting down mid-batch: abandon the remaining entries.
+			sh.recycle(b)
+			return
+		default:
+			s.srcFails.Add(1)
+			s.br.OnFailure(err)
+			sh.emitLost(s, b)
+			continue
+		}
+		if len(vals) != sh.width {
+			s.badFrames.Add(1)
+			if s.bsrc != nil {
+				sh.bufs.Put(vals)
+			}
+			sh.emitLost(s, b)
+			continue
+		}
+		stage, x, oerr := s.chain.BeginObserve(vals)
+		if s.bsrc != nil {
+			sh.bufs.Put(vals)
+		}
+		if oerr != nil {
+			s.badFrames.Add(1)
+			sh.emitLost(s, b)
+			continue
+		}
+		m.kind = markScore
+		m.stage = stage
+		m.x = x
+		if stage < len(sh.batchers) {
+			sh.byStage[stage] = append(sh.byStage[stage], i)
+		}
+	}
+
+	// Batched inference: one ScoreBatch pass per stage over every
+	// gathered feature vector — the cross-stream matrix pass that lets
+	// N streams share one model evaluation context.
+	for st := range sh.byStage {
+		idxs := sh.byStage[st]
+		if len(idxs) == 0 {
+			continue
+		}
+		rows := sh.rows[:0]
+		for _, i := range idxs {
+			rows = append(rows, sh.marks[i].x)
+		}
+		sh.rows = rows
+		if cap(sh.scores) < len(idxs) {
+			sh.scores = make([]float64, len(idxs))
+		}
+		out := sh.scores[:len(idxs)]
+		sh.batchers[st].ScoreBatch(rows, out)
+		for k, i := range idxs {
+			sh.marks[i].score = out[k]
+		}
+	}
+
+	// Demux: commit each verdict through its stream's chain, in harvest
+	// order.
+	for i := range b.entries {
+		m := &sh.marks[i]
+		if m.kind != markScore {
+			continue
+		}
+		s := b.entries[i].s
+		score := m.score
+		if m.stage >= len(sh.batchers) {
+			score = s.chain.Prior()
+		}
+		sh.emit(s, s.chain.CommitScore(score), false, b)
+	}
+	sh.batches.Add(1)
+	sh.lastRot.Store(b.rot)
+	sh.recycle(b)
+}
+
+// emit delivers one verdict: stream and fleet accounting, the optional
+// callback, horizon completion, and harvest-to-verdict latency.
+func (sh *shard) emit(s *stream, v core.Verdict, lost bool, b *batch) {
+	done := s.done.Add(1)
+	if lost {
+		s.lost.Add(1)
+		sh.e.lostCount.Add(1)
+	}
+	sh.e.verdictCount.Add(1)
+	sh.intervals.Add(1)
+	s.activeStage.Store(int32(s.chain.ActiveStage()))
+	if s.onVerdict != nil {
+		s.onVerdict(v)
+	}
+	if s.horizon > 0 && done >= int64(s.horizon) {
+		s.finished.Store(true)
+	}
+	sh.lat.record(time.Since(b.at))
+}
+
+// emitLost emits one hold-last verdict for an interval with no usable
+// reading.
+func (sh *shard) emitLost(s *stream, b *batch) {
+	sh.emit(s, s.chain.ObserveLost(), true, b)
+}

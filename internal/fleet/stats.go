@@ -1,0 +1,198 @@
+package fleet
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/supervise"
+)
+
+// latRingSize is the number of recent harvest-to-verdict latencies each
+// shard retains for percentile estimation. A fixed ring of atomics
+// keeps recording allocation-free and race-free against concurrent
+// snapshots.
+const latRingSize = 2048
+
+// latRing is a lock-free ring of recent latency samples (nanoseconds).
+type latRing struct {
+	n   atomic.Int64
+	buf [latRingSize]atomic.Int64
+}
+
+// record stores one latency sample.
+func (r *latRing) record(d time.Duration) {
+	i := r.n.Add(1) - 1
+	r.buf[i%latRingSize].Store(int64(d))
+}
+
+// percentiles returns the p50 and p99 of the retained samples, in
+// microseconds (0, 0 with no samples yet). Control-plane only: it
+// copies and sorts.
+func (r *latRing) percentiles() (p50, p99 float64) {
+	n := r.n.Load()
+	if n > latRingSize {
+		n = latRingSize
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	samples := make([]int64, n)
+	for i := range samples {
+		samples[i] = r.buf[i].Load()
+	}
+	sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+	pick := func(p float64) float64 {
+		idx := int(p * float64(len(samples)-1))
+		return float64(samples[idx]) / 1e3
+	}
+	return pick(0.50), pick(0.99)
+}
+
+// StreamSnapshot is the externally visible state of one monitored
+// stream.
+type StreamSnapshot struct {
+	ID    string
+	Shard int
+	Slot  int
+	// Scheduled is how many intervals the wheel has harvested for the
+	// stream; Verdicts how many the shard has emitted (Scheduled -
+	// Verdicts is the stream's in-flight/shed backlog).
+	Scheduled int
+	Verdicts  int64
+	// LostVerdicts were emitted by the chain's hold-last path (dropped
+	// samples, open breaker, failed reads, shed batches).
+	LostVerdicts   int64
+	SourceFailures int64
+	BadFrames      int64
+	// ActiveStage names the fallback-chain stage that scored the most
+	// recent verdict ("" before the first one).
+	ActiveStage string
+	Breaker     supervise.BreakerSnapshot
+	Finished    bool
+	Removed     bool
+}
+
+// ShardSnapshot is the health of one worker shard.
+type ShardSnapshot struct {
+	// Streams currently assigned (live, not yet pruned).
+	Streams int
+	// Batches processed and intervals (verdicts) emitted.
+	Batches   int64
+	Intervals int64
+	// ShedBatches/ShedIntervals count work discarded by drop-oldest
+	// backpressure on the shard's queue.
+	ShedBatches   int64
+	ShedIntervals int64
+	// QueueDepth is the current batch backlog; LagRotations how many
+	// wheel rotations the shard trails the harvester by.
+	QueueDepth   int
+	LagRotations int64
+	// P50/P99 harvest-to-verdict latency over the recent window,
+	// microseconds.
+	P50LatencyMicros float64
+	P99LatencyMicros float64
+}
+
+// Snapshot is a point-in-time view of the whole fleet — what
+// hmd-serve's /stats endpoint returns in fleet mode.
+type Snapshot struct {
+	// Streams ever added; Live of those still being scheduled.
+	Streams int
+	Live    int
+	// Rotations the wheel has completed (each rotation harvests every
+	// live stream once).
+	Rotations int64
+	Verdicts  int64
+	// LostVerdicts across all streams (see StreamSnapshot).
+	LostVerdicts int64
+	// ShedIntervals across all shards.
+	ShedIntervals      int64
+	CheckpointsWritten int64
+	CheckpointErrors   int64
+	Shards             []ShardSnapshot
+	// PerStream is populated only when requested (Stats(true)); at
+	// fleet scale the aggregate is the cheap default.
+	PerStream []StreamSnapshot `json:",omitempty"`
+}
+
+// Stats returns a point-in-time snapshot of the fleet. Safe to call
+// concurrently with Run. includeStreams adds the per-stream breakdown,
+// which is O(streams) to build.
+func (e *Engine) Stats(includeStreams bool) Snapshot {
+	snap := Snapshot{
+		Rotations:          e.Rotations(),
+		Verdicts:           e.verdictCount.Load(),
+		LostVerdicts:       e.lostCount.Load(),
+		CheckpointsWritten: e.ckptOK.Load(),
+		CheckpointErrors:   e.ckptErr.Load(),
+		Shards:             make([]ShardSnapshot, len(e.shards)),
+	}
+	perShard := make([]int, len(e.shards))
+
+	e.mu.Lock()
+	snap.Streams = len(e.all)
+	snap.Live = e.live
+	var streams []*stream
+	if includeStreams {
+		streams = append(streams, e.all...)
+	}
+	for _, s := range e.all {
+		if !s.pruned {
+			perShard[s.shardIdx]++
+		}
+	}
+	scheduled := make(map[*stream]int, len(streams))
+	for _, s := range streams {
+		scheduled[s] = s.rot
+	}
+	e.mu.Unlock()
+
+	for i, sh := range e.shards {
+		ss := &snap.Shards[i]
+		ss.Streams = perShard[i]
+		ss.Batches = sh.batches.Load()
+		ss.Intervals = sh.intervals.Load()
+		ss.ShedBatches = sh.shedBatches.Load()
+		ss.ShedIntervals = sh.shedIntervals.Load()
+		ss.QueueDepth = sh.q.depth()
+		if lag := snap.Rotations - sh.lastRot.Load(); lag > 0 && ss.Batches > 0 {
+			ss.LagRotations = lag
+		}
+		ss.P50LatencyMicros, ss.P99LatencyMicros = sh.lat.percentiles()
+		snap.ShedIntervals += ss.ShedIntervals
+	}
+
+	if includeStreams {
+		snap.PerStream = make([]StreamSnapshot, 0, len(streams))
+		for _, s := range streams {
+			snap.PerStream = append(snap.PerStream, StreamSnapshot{
+				ID:             s.id,
+				Shard:          s.shardIdx,
+				Slot:           s.slot,
+				Scheduled:      scheduled[s],
+				Verdicts:       s.done.Load(),
+				LostVerdicts:   s.lost.Load(),
+				SourceFailures: s.srcFails.Load(),
+				BadFrames:      s.badFrames.Load(),
+				ActiveStage:    e.stageName(s),
+				Breaker:        s.br.Snapshot(),
+				Finished:       s.finished.Load(),
+				Removed:        s.removed.Load(),
+			})
+		}
+	}
+	return snap
+}
+
+// stageName maps a stream's last recorded active stage to its name.
+func (e *Engine) stageName(s *stream) string {
+	if s.done.Load() == 0 {
+		return ""
+	}
+	idx := int(s.activeStage.Load())
+	if idx < 0 || idx >= len(e.stageNames) {
+		return ""
+	}
+	return e.stageNames[idx]
+}

@@ -58,13 +58,18 @@ func (s breakerState) String() string {
 	}
 }
 
-// breaker is a classic closed → open → half-open circuit breaker around
-// the collector's source. A flapping PMU source trips it open after
-// FailAfter consecutive failures; while open the collector emits lost
-// frames (scored by the FallbackChain's prior) instead of hammering the
-// dead source; after Cooldown intervals a single probe read decides
-// between recovery and re-opening.
-type breaker struct {
+// Breaker is a classic closed → open → half-open circuit breaker around
+// a sample source. A flapping PMU source trips it open after FailAfter
+// consecutive failures; while open the caller emits lost frames (scored
+// by the FallbackChain's prior) instead of hammering the dead source;
+// after Cooldown intervals a single probe read decides between recovery
+// and re-opening.
+//
+// The supervised Pipeline owns one per source; the fleet engine owns
+// one per monitored stream. All methods are safe for concurrent use,
+// though Allow must be called exactly once per sampling interval — it
+// is what advances the open-state cooldown.
+type Breaker struct {
 	mu         sync.Mutex
 	cfg        BreakerConfig
 	state      breakerState
@@ -75,14 +80,15 @@ type breaker struct {
 	lastErr    error
 }
 
-func newBreaker(cfg BreakerConfig) *breaker {
-	return &breaker{cfg: cfg}
+// NewBreaker builds a breaker in the closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg}
 }
 
-// allow reports whether the source may be read this interval. Called
-// exactly once per interval by the collector, which is what advances
-// the open-state cooldown.
-func (b *breaker) allow() bool {
+// Allow reports whether the source may be read this interval. Call
+// exactly once per interval: an open breaker burns one cooldown
+// interval per call.
+func (b *Breaker) Allow() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -98,7 +104,9 @@ func (b *breaker) allow() bool {
 	}
 }
 
-func (b *breaker) onSuccess() {
+// OnSuccess records a successful source read, closing a half-open
+// breaker.
+func (b *Breaker) OnSuccess() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.state == breakerHalfOpen {
@@ -108,7 +116,9 @@ func (b *breaker) onSuccess() {
 	b.fails = 0
 }
 
-func (b *breaker) onFailure(err error) {
+// OnFailure records a failed source read (lost samples should not be
+// reported — they are not source failures).
+func (b *Breaker) OnFailure(err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.lastErr = err
@@ -128,16 +138,17 @@ func (b *breaker) onFailure(err error) {
 	}
 }
 
-// lastError returns the most recent failure counted against the
+// LastError returns the most recent failure counted against the
 // breaker, with its full wrap chain intact (errors.Is works through
 // it).
-func (b *breaker) lastError() error {
+func (b *Breaker) LastError() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.lastErr
 }
 
-func (b *breaker) snapshot() BreakerSnapshot {
+// Snapshot returns the breaker's externally visible state.
+func (b *Breaker) Snapshot() BreakerSnapshot {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	s := BreakerSnapshot{

@@ -1,0 +1,120 @@
+package supervise
+
+import (
+	"fmt"
+	"sync"
+)
+
+// poisonValue is what debug-mode Put smears over a recycled buffer: any
+// consumer still holding the slice after returning it reads values no
+// healthy counter ever produces, so use-after-put corrupts loudly
+// instead of silently.
+const poisonValue = 0xDEADBEEFDEADBEEF
+
+// BufferPool recycles fixed-width []uint64 sample buffers between the
+// stage that finishes with a reading and the stage that fills the next
+// one: with a BufferedSource the steady-state verdict loop allocates
+// nothing per interval. The supervised Pipeline runs one pool per
+// pipeline; the fleet engine runs one per shard.
+//
+// Get and Put are safe for concurrent use and allocation-free (Get
+// allocates only when the pool is dry — start-up, or buffers stranded
+// in shed frames, which simply fall to the GC). Put guards the pool's
+// invariants: a buffer narrower than the pool's width (a foreign or
+// resliced buffer that could corrupt a later reading) is dropped, and a
+// full pool drops the excess rather than growing.
+//
+// Debug mode (NewBufferPool with debug=true) additionally tracks
+// checked-out buffers so a double Put or a Put of a buffer the pool
+// never issued panics at the offending call site, and poisons every
+// returned buffer so use-after-put reads are unmistakable. Debug mode
+// allocates on Get — it is for tests, not the serving path.
+type BufferPool struct {
+	width int
+	free  chan []uint64
+
+	debug bool
+	mu    sync.Mutex
+	out   map[*uint64]struct{} // debug: buffers currently checked out
+}
+
+// NewBufferPool builds a pool of width-sized buffers holding at most
+// capacity spares.
+func NewBufferPool(width, capacity int, debug bool) *BufferPool {
+	if width < 1 {
+		width = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	p := &BufferPool{
+		width: width,
+		free:  make(chan []uint64, capacity),
+		debug: debug,
+	}
+	if debug {
+		p.out = make(map[*uint64]struct{})
+	}
+	return p
+}
+
+// Width returns the buffer width the pool issues.
+func (p *BufferPool) Width() int { return p.width }
+
+// Get draws a buffer from the pool, allocating only when the pool is
+// dry.
+func (p *BufferPool) Get() []uint64 {
+	var b []uint64
+	select {
+	case b = <-p.free:
+	default:
+		b = make([]uint64, p.width)
+	}
+	if p.debug {
+		p.mu.Lock()
+		p.out[&b[0]] = struct{}{}
+		p.mu.Unlock()
+	}
+	return b
+}
+
+// Put returns a consumed buffer to the pool. Undersized (foreign)
+// buffers are dropped by the capacity check; a full pool drops the
+// buffer to the GC. In debug mode a double Put or a foreign buffer
+// panics, and the buffer is poisoned before being recycled.
+func (p *BufferPool) Put(b []uint64) {
+	if cap(b) < p.width {
+		if p.debug {
+			panic(fmt.Sprintf("supervise: BufferPool.Put of foreign buffer (cap %d, pool width %d)", cap(b), p.width))
+		}
+		return
+	}
+	b = b[:p.width]
+	if p.debug {
+		p.mu.Lock()
+		if _, ok := p.out[&b[0]]; !ok {
+			p.mu.Unlock()
+			panic("supervise: BufferPool.Put of a buffer not checked out (double put, or foreign buffer)")
+		}
+		delete(p.out, &b[0])
+		p.mu.Unlock()
+		for i := range b {
+			b[i] = poisonValue
+		}
+	}
+	select {
+	case p.free <- b:
+	default:
+	}
+}
+
+// Outstanding reports, in debug mode, how many buffers are currently
+// checked out; -1 when the pool is not in debug mode.
+func (p *BufferPool) Outstanding() int {
+	if !p.debug {
+		return -1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.out)
+}

@@ -1,0 +1,88 @@
+package supervise
+
+import "testing"
+
+func TestBufferPoolRecycles(t *testing.T) {
+	p := NewBufferPool(4, 2, false)
+	a := p.Get()
+	if len(a) != 4 {
+		t.Fatalf("got width %d, want 4", len(a))
+	}
+	a[0] = 42
+	p.Put(a)
+	b := p.Get()
+	if &b[0] != &a[0] {
+		t.Fatal("pool did not recycle the returned buffer")
+	}
+}
+
+func TestBufferPoolDropsForeignBuffers(t *testing.T) {
+	p := NewBufferPool(4, 2, false)
+	p.Put(make([]uint64, 2)) // undersized: must be dropped, not pooled
+	b := p.Get()
+	if len(b) != 4 {
+		t.Fatalf("pool issued a %d-wide buffer after a foreign Put", len(b))
+	}
+}
+
+func TestBufferPoolCapacityBound(t *testing.T) {
+	p := NewBufferPool(2, 1, false)
+	a, b := p.Get(), p.Get()
+	p.Put(a)
+	p.Put(b) // pool full: dropped silently
+	_ = p.Get()
+	select {
+	case <-p.free:
+		t.Fatal("pool grew past its capacity")
+	default:
+	}
+}
+
+func TestBufferPoolZeroAlloc(t *testing.T) {
+	p := NewBufferPool(4, 2, false)
+	b := p.Get()
+	p.Put(b)
+	if allocs := testing.AllocsPerRun(500, func() {
+		buf := p.Get()
+		p.Put(buf)
+	}); allocs != 0 {
+		t.Fatalf("Get/Put allocates %.1f times per cycle, want 0", allocs)
+	}
+}
+
+func TestBufferPoolDebugDoublePutPanics(t *testing.T) {
+	p := NewBufferPool(4, 4, true)
+	b := p.Get()
+	p.Put(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic in debug mode")
+		}
+	}()
+	p.Put(b)
+}
+
+func TestBufferPoolDebugForeignPutPanics(t *testing.T) {
+	p := NewBufferPool(4, 4, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign Put did not panic in debug mode")
+		}
+	}()
+	p.Put(make([]uint64, 4))
+}
+
+func TestBufferPoolDebugPoisons(t *testing.T) {
+	p := NewBufferPool(4, 4, true)
+	b := p.Get()
+	b[0], b[1] = 1, 2
+	p.Put(b)
+	for i, v := range b {
+		if v != poisonValue {
+			t.Fatalf("slot %d not poisoned after Put: %#x", i, v)
+		}
+	}
+	if n := p.Outstanding(); n != 0 {
+		t.Fatalf("outstanding = %d, want 0", n)
+	}
+}

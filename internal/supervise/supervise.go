@@ -131,17 +131,17 @@ type Pipeline struct {
 	cfg   Config
 	width int
 	st    *stats
-	br    *breaker
+	br    *Breaker
 
 	mu     sync.Mutex
 	q1, q2 *queue
 
-	// bufFree recycles frame value buffers between the inferrer (which
+	// bufs recycles frame value buffers between the inferrer (which
 	// finishes with them) and the collector (which fills them via
 	// BufferedSource.ReadInto): with a buffered source the steady-state
 	// verdict loop allocates nothing per interval. Buffers stranded in a
 	// dropped or lost frame simply fall to the GC.
-	bufFree chan []uint64
+	bufs *BufferPool
 
 	// testReduceHook, when set by white-box tests, sees every non-lost
 	// frame inside the reducer stage (a handy place to panic on cue).
@@ -153,36 +153,14 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.Chain == nil {
 		return nil, errors.New("supervise: config needs a fallback chain")
 	}
+	width := len(cfg.Chain.Events())
 	return &Pipeline{
-		cfg:     cfg,
-		width:   len(cfg.Chain.Events()),
-		st:      &stats{},
-		br:      newBreaker(cfg.Breaker),
-		bufFree: make(chan []uint64, 2*cfg.queueCap()+4),
+		cfg:   cfg,
+		width: width,
+		st:    &stats{},
+		br:    NewBreaker(cfg.Breaker),
+		bufs:  NewBufferPool(width, 2*cfg.queueCap()+4, false),
 	}, nil
-}
-
-// getBuf draws a frame buffer from the free list, allocating only when
-// the list is dry (start-up, or buffers stranded in shed frames).
-func (p *Pipeline) getBuf() []uint64 {
-	select {
-	case b := <-p.bufFree:
-		return b
-	default:
-		return make([]uint64, p.width)
-	}
-}
-
-// putBuf returns a consumed frame buffer to the free list, dropping it
-// when the list is full or the buffer is undersized.
-func (p *Pipeline) putBuf(b []uint64) {
-	if cap(b) < p.width {
-		return
-	}
-	select {
-	case p.bufFree <- b[:p.width]:
-	default:
-	}
 }
 
 // Stats returns a point-in-time snapshot of the pipeline's health,
@@ -190,7 +168,7 @@ func (p *Pipeline) putBuf(b []uint64) {
 // what a serving process scrapes.
 func (p *Pipeline) Stats() Snapshot {
 	snap := p.st.snapshot()
-	snap.Breaker = p.br.snapshot()
+	snap.Breaker = p.br.Snapshot()
 	snap.QueueCap = p.cfg.queueCap()
 	p.mu.Lock()
 	q1, q2 := p.q1, p.q2
@@ -209,7 +187,7 @@ func (p *Pipeline) Stats() Snapshot {
 // LastSourceError returns the most recent source failure counted
 // against the breaker, wrap chain intact: errors.Is(err,
 // lxc.ErrCrashed) and friends work through it.
-func (p *Pipeline) LastSourceError() error { return p.br.lastError() }
+func (p *Pipeline) LastSourceError() error { return p.br.LastError() }
 
 // SaveState checkpoints the chain's current run-time state to the
 // configured store. The inferrer calls it on its periodic cadence; a
@@ -284,17 +262,17 @@ func (p *Pipeline) Run(ctx context.Context, src Source, intervals int) ([]core.V
 			i := nextInterval
 			p.st.interval()
 			f := frame{interval: i}
-			if !p.br.allow() {
+			if !p.br.Allow() {
 				f.lost = true
 			} else {
 				rctx, rcancel := context.WithTimeout(ctx, p.cfg.stageDeadline())
 				var vals []uint64
 				var err error
 				if buffered {
-					buf := p.getBuf()
+					buf := p.bufs.Get()
 					vals, err = bsrc.ReadInto(rctx, i, buf)
 					if err != nil {
-						p.putBuf(buf)
+						p.bufs.Put(buf)
 					}
 				} else {
 					vals, err = src.Read(rctx, i)
@@ -302,7 +280,7 @@ func (p *Pipeline) Run(ctx context.Context, src Source, intervals int) ([]core.V
 				rcancel()
 				switch {
 				case err == nil:
-					p.br.onSuccess()
+					p.br.OnSuccess()
 					f.values = vals
 				case errors.Is(err, ErrSampleLost):
 					f.lost = true
@@ -314,7 +292,7 @@ func (p *Pipeline) Run(ctx context.Context, src Source, intervals int) ([]core.V
 					// stage so the supervisor restarts it.
 					p.st.deadlineMiss(stageCollector)
 					p.st.sourceFailure()
-					p.br.onFailure(err)
+					p.br.OnFailure(err)
 					f.lost = true
 					nextInterval = i + 1
 					if perr := q1.put(ctx, f); perr != nil {
@@ -324,7 +302,7 @@ func (p *Pipeline) Run(ctx context.Context, src Source, intervals int) ([]core.V
 						p.cfg.stageDeadline(), i, err)
 				default:
 					p.st.sourceFailure()
-					p.br.onFailure(err)
+					p.br.OnFailure(err)
 					f.lost = true
 				}
 			}
@@ -400,7 +378,7 @@ func (p *Pipeline) Run(ctx context.Context, src Source, intervals int) ([]core.V
 			}
 			if f.interval < done {
 				if !f.lost {
-					p.putBuf(f.values)
+					p.bufs.Put(f.values)
 				}
 				continue // stale frame from a pre-restart iteration
 			}
@@ -417,7 +395,7 @@ func (p *Pipeline) Run(ctx context.Context, src Source, intervals int) ([]core.V
 				if err != nil {
 					return fmt.Errorf("supervise: inference at interval %d: %w", f.interval, err)
 				}
-				p.putBuf(f.values)
+				p.bufs.Put(f.values)
 			}
 			done++
 			emit(v, f.lost)

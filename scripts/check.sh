@@ -11,8 +11,14 @@ go test ./...
 go test -race ./internal/collect ./internal/faults
 go test -race ./internal/supervise ./internal/core
 go test -race ./internal/eval ./internal/mlearn/ensemble
+go test -race ./internal/fleet
 go test -run TestChaos -short ./internal/experiments
 # Throughput-engine smoke: the Inference benches must report
 # 0 allocs/op on the chain and batcher paths (gated hard by the
 # ZeroAlloc tests; this prints the numbers for the log).
 go test -bench=BenchmarkInference -benchmem -benchtime=10x -run @ .
+# Fleet-engine smoke: the scaling sweep at reduced corpus and stream
+# counts — exercises the sharded engine, the per-pipeline baseline and
+# the lossless-verdict assertion end to end.
+go run ./cmd/hmd-bench -exp fleet -apps 2 -intervals 8 \
+  -fleetstreams 8,32 -fleetintervals 50 -fleetout /tmp/check-fleet.json
