@@ -212,6 +212,27 @@ func (fc *FallbackChain) Detectors() []*Detector {
 // hysteresis, prior).
 func (fc *FallbackChain) Config() ChainConfig { return fc.cfg }
 
+// NewSibling builds a fresh chain over the same trained stages,
+// configuration and event indexing, with cold run-time state — the
+// one-run-time-state-per-stream arrangement the fleet engine uses.
+// Scratch buffers are sized from the template's, so unlike
+// NewFallbackChain it never evaluates the stage models (no class-count
+// probe; models reuse internal scratch and must only be touched by
+// their owning goroutine): assembling a sibling is safe while another
+// goroutine scores through the shared models.
+func (fc *FallbackChain) NewSibling() *FallbackChain {
+	return &FallbackChain{
+		stages: fc.stages,
+		cfg:    fc.cfg,
+		idx:    fc.idx,
+		health: make([]counterHealth, len(fc.health)),
+		ring:   make([]float64, len(fc.ring)),
+		xbuf:   make([]float64, len(fc.xbuf)),
+		dist:   make([]float64, len(fc.dist)),
+		bad:    make([]bool, len(fc.bad)),
+	}
+}
+
 // ActiveStage returns the stage currently producing scores.
 func (fc *FallbackChain) ActiveStage() int { return fc.active }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/micro"
 	"repro/internal/mlearn/zoo"
 )
 
@@ -145,6 +146,73 @@ func TestSiblingChainsShareModels(t *testing.T) {
 		if va != vb {
 			t.Fatalf("interval %d: sibling diverges: %+v vs %+v", i, va, vb)
 		}
+	}
+}
+
+// TestNewSiblingMatchesChain: a sibling built from a template chain
+// carries the template's models and configuration with fresh run-time
+// state, so it scores identically to the template from interval 0.
+func TestNewSiblingMatchesChain(t *testing.T) {
+	chain := newChain(t, ChainConfig{Window: 3})
+	sibling := chain.NewSibling()
+	if sibling == chain {
+		t.Fatal("NewSibling returned the template itself")
+	}
+	for i := 0; i < 15; i++ {
+		va, err := chain.Observe(liveValues(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := sibling.Observe(liveValues(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if va != vb {
+			t.Fatalf("interval %d: sibling diverges: %+v vs %+v", i, va, vb)
+		}
+	}
+}
+
+// armedModel is a classifier that panics when evaluated after arming —
+// proof that a code path never touches the model.
+type armedModel struct{ armed *bool }
+
+func (m armedModel) Distribution(x []float64) []float64 {
+	if *m.armed {
+		panic("core: model evaluated")
+	}
+	return []float64{0.5, 0.5}
+}
+
+func (m armedModel) DistributionInto(x []float64, out []float64) {
+	if *m.armed {
+		panic("core: model evaluated")
+	}
+	out[0], out[1] = 0.5, 0.5
+}
+
+// TestNewSiblingDoesNotEvaluateModels is the concurrency contract the
+// fleet's mid-Run Add relies on: stage models reuse internal scratch
+// and belong to the owning shard's goroutine, so assembling a sibling
+// chain must size every buffer from the template instead of re-probing
+// the live models the way NewFallbackChain's class-count probe does.
+func TestNewSiblingDoesNotEvaluateModels(t *testing.T) {
+	armed := false
+	evs := micro.AllEvents()
+	d4 := &Detector{BaseName: "Armed", Events: evs[:4], Model: armedModel{&armed}}
+	d2 := &Detector{BaseName: "Armed", Events: evs[:2], Model: armedModel{&armed}}
+	chain, err := NewFallbackChain([]*Detector{d4, d2}, ChainConfig{Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed = true
+	sibling := chain.NewSibling()
+	armed = false
+	if got, want := len(sibling.dist), len(chain.dist); got != want {
+		t.Fatalf("sibling dist buffer has %d entries, want %d", got, want)
+	}
+	if got, want := len(sibling.ring), len(chain.ring); got != want {
+		t.Fatalf("sibling window has %d slots, want %d", got, want)
 	}
 }
 

@@ -136,7 +136,9 @@ func (c Config) checkpointEvery() int {
 
 // StreamConfig describes one monitored stream.
 type StreamConfig struct {
-	// ID names the stream (unique among live streams).
+	// ID names the stream. IDs are unique for the engine's lifetime:
+	// a finished or removed stream's ID may not be reused, because
+	// per-stream stats and checkpoint state maps are keyed by ID.
 	ID string
 	// Source produces the stream's counter readings. Sources that
 	// implement supervise.BufferedSource sample allocation-free.
@@ -203,8 +205,9 @@ type Engine struct {
 
 	mu          sync.Mutex
 	slots       [][]*stream
-	streams     map[string]*stream // live (unpruned) streams by id
-	all         []*stream          // every stream ever added (stats)
+	streams     map[string]*stream  // live (unpruned) streams by id
+	ids         map[string]struct{} // every ID ever accepted (no reuse)
+	all         []*stream           // every stream ever added (stats)
 	nextIdx     int
 	live        int
 	everAdded   bool
@@ -235,6 +238,7 @@ func New(cfg Config) (*Engine, error) {
 		shards:  make([]*shard, cfg.shards()),
 		slots:   make([][]*stream, cfg.wheelSlots()),
 		streams: make(map[string]*stream),
+		ids:     make(map[string]struct{}),
 		harvest: make([]*batch, cfg.shards()),
 		drains:  make([]*batch, cfg.shards()),
 	}
@@ -281,17 +285,14 @@ func (e *Engine) Add(sc StreamConfig) error {
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, dup := e.streams[sc.ID]; dup {
+	if _, dup := e.ids[sc.ID]; dup {
 		return fmt.Errorf("fleet: duplicate stream %q", sc.ID)
 	}
 	sh := e.shards[e.nextIdx%len(e.shards)]
 	// Sibling chain: the shard's models, this stream's run-time state.
-	// Model probing in NewFallbackChain uses the concurrency-safe
-	// Distribution path, so this is safe while the shard is scoring.
-	chain, err := core.NewFallbackChain(sh.dets, sh.chainCfg)
-	if err != nil {
-		return fmt.Errorf("fleet: assembling chain for stream %q: %w", sc.ID, err)
-	}
+	// NewSibling never evaluates the models, so assembling the chain
+	// here is safe while the shard is concurrently scoring through them.
+	chain := sh.tmpl.NewSibling()
 	if st, ok := e.restored[sc.ID]; ok {
 		if err := chain.SetState(st); err != nil {
 			return fmt.Errorf("fleet: restoring stream %q: %w", sc.ID, err)
@@ -311,6 +312,7 @@ func (e *Engine) Add(sc StreamConfig) error {
 	s.bsrc, _ = sc.Source.(supervise.BufferedSource)
 	e.nextIdx++
 	e.slots[s.slot] = append(e.slots[s.slot], s)
+	e.ids[sc.ID] = struct{}{}
 	e.streams[sc.ID] = s
 	e.all = append(e.all, s)
 	e.live++
@@ -533,7 +535,8 @@ func (e *Engine) dispatch(ctx context.Context, sh *shard, b *batch) {
 		sh.recycle(shed)
 	}
 	if err != nil {
-		// Cancelled while blocked: the batch never made it in.
+		// Cancelled while blocked, or the queue already closed: either
+		// way the batch never made it in.
 		sh.recycle(b)
 	}
 }

@@ -2,8 +2,10 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -194,6 +196,13 @@ func TestFleetBoundedStreamsDrain(t *testing.T) {
 	snap := e.Stats(true)
 	if snap.Verdicts != int64(total) || snap.LostVerdicts != 0 {
 		t.Fatalf("clean fleet degraded: %+v", snap)
+	}
+	// Drained shards are idle, not behind: lag must not keep growing
+	// against the wheel once a shard has no live streams.
+	for i, ss := range snap.Shards {
+		if ss.LagRotations != 0 {
+			t.Fatalf("idle shard %d reports lag of %d rotations", i, ss.LagRotations)
+		}
 	}
 	for _, ss := range snap.PerStream {
 		if !ss.Finished || ss.Breaker.Trips != 0 {
@@ -455,6 +464,83 @@ func TestFleetZeroAllocSteadyState(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(300, step); allocs != 0 {
 		t.Fatalf("steady-state tick allocates %.2f times (4 streams/tick), want 0", allocs)
+	}
+}
+
+// countingModel is a fixed-score classifier that counts every
+// evaluation, shared across all chains built by one factory.
+type countingModel struct {
+	n     *atomic.Int64
+	score float64
+}
+
+func (m countingModel) Distribution(x []float64) []float64 {
+	m.n.Add(1)
+	return []float64{1 - m.score, m.score}
+}
+
+func (m countingModel) DistributionInto(x []float64, out []float64) {
+	m.n.Add(1)
+	out[0], out[1] = 1-m.score, m.score
+}
+
+// TestFleetAddDoesNotEvaluateModels: Add assembles a stream's chain as
+// a sibling of the shard's template without evaluating the shard's
+// shared models. Re-probing them (as NewFallbackChain's class-count
+// probe does) would race with the owning shard's concurrent scoring:
+// ensemble models write per-model scratch on every evaluation.
+func TestFleetAddDoesNotEvaluateModels(t *testing.T) {
+	var evals atomic.Int64
+	factory := func() (*core.FallbackChain, error) {
+		evs := micro.AllEvents()
+		d4 := &core.Detector{BaseName: "Probe", Events: evs[:4], Model: countingModel{n: &evals, score: 0.8}}
+		d2 := &core.Detector{BaseName: "Probe", Events: evs[:2], Model: countingModel{n: &evals, score: 0.6}}
+		return core.NewFallbackChain([]*core.Detector{d4, d2},
+			core.ChainConfig{Window: 3, PriorScore: 0.3})
+	}
+	e := newTestEngine(t, Config{NewChain: factory, Shards: 2, WheelSlots: 2})
+	before := evals.Load() // engine construction probes; Add must not
+	for i := 0; i < 8; i++ {
+		if err := e.Add(StreamConfig{
+			ID:        fmt.Sprintf("s%d", i),
+			Source:    NewSyntheticSource(uint64(i+1), 4),
+			Intervals: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := evals.Load() - before; got != 0 {
+		t.Fatalf("Add evaluated shard models %d times; chain assembly must not touch live models", got)
+	}
+}
+
+// TestFleetNoIDReuseAfterFinish: a finished stream's ID stays taken.
+// Per-stream stats and checkpoint state maps are keyed by ID, so
+// accepting a reused ID would silently alias two streams.
+func TestFleetNoIDReuseAfterFinish(t *testing.T) {
+	e := newTestEngine(t, Config{Shards: 1, WheelSlots: 2})
+	if err := e.Add(StreamConfig{ID: "a", Source: NewSyntheticSource(1, 4), Intervals: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Add(StreamConfig{ID: "a", Source: NewSyntheticSource(2, 4), Intervals: 3}); err == nil {
+		t.Fatal("finished stream's ID accepted again")
+	}
+	if err := e.Add(StreamConfig{ID: "b", Source: NewSyntheticSource(3, 4), Intervals: 3}); err != nil {
+		t.Fatalf("fresh ID rejected: %v", err)
+	}
+}
+
+// TestQueuePutAfterClose: a put racing shutdown must hand the batch
+// back with an error instead of silently absorbing it — a silently
+// dropped checkpoint marker would strand its collector forever.
+func TestQueuePutAfterClose(t *testing.T) {
+	q := newBatchQueue(2, supervise.Block)
+	q.close()
+	if _, err := q.put(context.Background(), &batch{}); !errors.Is(err, errQueueClosed) {
+		t.Fatalf("put on closed queue returned %v, want errQueueClosed", err)
 	}
 }
 

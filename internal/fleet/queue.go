@@ -2,10 +2,16 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"sync"
 
 	"repro/internal/supervise"
 )
+
+// errQueueClosed reports a put against a closed queue: a shutdown race
+// the caller must treat like cancellation (recycle the batch, abort any
+// checkpoint marker riding it).
+var errQueueClosed = errors.New("fleet: shard queue closed")
 
 // batchQueue is the bounded hand-off between the timer wheel and one
 // shard worker: a fixed ring of *batch with the same two overflow
@@ -41,7 +47,8 @@ func (b *batch) sheddable() bool { return !b.drain && b.ckpt == nil }
 // DropOldest it returns the batch it shed (nil if none) so the caller
 // can account for and recycle it; a full ring holding only unsheddable
 // batches blocks even under DropOldest. It returns ctx.Err() if the
-// context is cancelled while blocked (or on entry); b is then the
+// context is cancelled while blocked (or on entry) and errQueueClosed
+// if the queue was closed; either way b was not enqueued and is the
 // caller's to recycle.
 func (q *batchQueue) put(ctx context.Context, b *batch) (shed *batch, err error) {
 	q.mu.Lock()
@@ -59,8 +66,10 @@ func (q *batchQueue) put(ctx context.Context, b *batch) (shed *batch, err error)
 	}
 	if q.closed {
 		// The wheel closes the queue itself after its loop, so a put
-		// here is a shutdown race; the batch is simply abandoned.
-		return shed, nil
+		// here is a shutdown race; the sentinel hands b back to the
+		// caller, which would otherwise leak it — and, for a checkpoint
+		// marker, leave its collector waiting forever.
+		return shed, errQueueClosed
 	}
 	q.buf[(q.head+q.n)%len(q.buf)] = b
 	q.n++

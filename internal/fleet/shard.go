@@ -73,8 +73,10 @@ type shard struct {
 	e   *Engine
 	idx int
 
-	dets     []*core.Detector
-	chainCfg core.ChainConfig
+	// tmpl is the shard's chain replica; stream chains are assembled as
+	// its siblings (shared models, per-stream run-time state) without
+	// touching the models, so Add stays safe mid-Run.
+	tmpl     *core.FallbackChain
 	batchers []*core.Batcher
 	width    int
 
@@ -103,8 +105,7 @@ func newShard(e *Engine, idx int, tmpl *core.FallbackChain, cfg Config) *shard {
 	sh := &shard{
 		e:        e,
 		idx:      idx,
-		dets:     dets,
-		chainCfg: tmpl.Config(),
+		tmpl:     tmpl,
 		batchers: make([]*core.Batcher, len(dets)),
 		width:    len(tmpl.Events()),
 		bufs:     supervise.NewBufferPool(len(tmpl.Events()), 4, cfg.DebugBuffers),

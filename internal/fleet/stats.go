@@ -156,7 +156,11 @@ func (e *Engine) Stats(includeStreams bool) Snapshot {
 		ss.ShedBatches = sh.shedBatches.Load()
 		ss.ShedIntervals = sh.shedIntervals.Load()
 		ss.QueueDepth = sh.q.depth()
-		if lag := snap.Rotations - sh.lastRot.Load(); lag > 0 && ss.Batches > 0 {
+		// Lag is only meaningful while the shard has live streams: an
+		// idle shard (all its streams finished) stops seeing batches, so
+		// comparing its last batch's rotation against the still-ticking
+		// wheel would report ever-growing phantom lag.
+		if lag := snap.Rotations - sh.lastRot.Load(); lag > 0 && ss.Batches > 0 && ss.Streams > 0 {
 			ss.LagRotations = lag
 		}
 		ss.P50LatencyMicros, ss.P99LatencyMicros = sh.lat.percentiles()

@@ -6,28 +6,28 @@
 //
 // The supervision model, stage by stage:
 //
-//	source ──▶ [collector] ──q1──▶ [reducer] ──q2──▶ [inferrer] ──▶ verdicts
-//	             │  ▲                                   │
-//	          breaker │                            chain-state
-//	             ▼  │                              checkpoints
-//	           fallback-prior frames
+//		source ──▶ [collector] ──q1──▶ [reducer] ──q2──▶ [inferrer] ──▶ verdicts
+//		             │  ▲                                   │
+//		          breaker │                            chain-state
+//		             ▼  │                              checkpoints
+//		           fallback-prior frames
 //
-//   - Bounded queues with an explicit backpressure policy: Block (lossless,
-//     deterministic) or DropOldest (load-shedding, with a drop counter; the
-//     inferrer repairs the holes).
-//   - Every stage runs under a supervisor that converts panics into
-//     restartable failures and restarts the stage with exponential backoff
-//     under a bounded restart budget; a stage that keeps dying takes the
-//     pipeline down with its root cause intact (errors.Is sees through
-//     every wrap).
-//   - The collector's source reads run under a watchdog deadline
-//     (context propagation end-to-end); a wedged source is a stage
-//     failure, not a hang.
-//   - A circuit breaker guards the source: a flapping PMU trips it open
-//     after consecutive failures, verdicts route through the
-//     FallbackChain's prior until a half-open probe succeeds.
-//   - The chain's run-time state is periodically checkpointed through the
-//     crash-safe store so a process restart resumes, not cold-starts.
+//	  - Bounded queues with an explicit backpressure policy: Block (lossless,
+//	    deterministic) or DropOldest (load-shedding, with a drop counter; the
+//	    inferrer repairs the holes).
+//	  - Every stage runs under a supervisor that converts panics into
+//	    restartable failures and restarts the stage with exponential backoff
+//	    under a bounded restart budget; a stage that keeps dying takes the
+//	    pipeline down with its root cause intact (errors.Is sees through
+//	    every wrap).
+//	  - The collector's source reads run under a watchdog deadline
+//	    (context propagation end-to-end); a wedged source is a stage
+//	    failure, not a hang.
+//	  - A circuit breaker guards the source: a flapping PMU trips it open
+//	    after consecutive failures, verdicts route through the
+//	    FallbackChain's prior until a half-open probe succeeds.
+//	  - The chain's run-time state is periodically checkpointed through the
+//	    crash-safe store so a process restart resumes, not cold-starts.
 //
 // Everything the supervisor counts — breaker cooldowns, restart
 // budgets, checkpoint cadence — is denominated in sampling intervals,
