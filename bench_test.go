@@ -10,6 +10,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -520,6 +521,88 @@ func BenchmarkInferenceLegacyScore(b *testing.B) {
 			x[j] = float64(v)
 		}
 		det.Score(x)
+	}
+}
+
+// BenchmarkCompiledVsInterpreted pits the compiled inference backend
+// (flattened forests, fused linear datapaths, blocked MLP batches)
+// against the interpreted models, per detector family, on the
+// single-sample hot path. Run with -benchmem: both sides must report 0
+// allocs/op; the compiled side is the one the fleet shards score
+// through by default.
+func BenchmarkCompiledVsInterpreted(b *testing.B) {
+	ctx := benchContext(b)
+	families := []struct {
+		name    string
+		variant zoo.Variant
+	}{
+		{"REPTree", zoo.Boosted},
+		{"J48", zoo.Bagged},
+		{"MLP", zoo.General},
+		{"SGD", zoo.General},
+		{"BayesNet", zoo.General},
+		{"JRip", zoo.General},
+	}
+	x := []float64{100, 200, 300, 400}
+	for _, fam := range families {
+		det, _, err := ctx.Detector(fam.name, fam.variant, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		label := fam.name + "-" + fam.variant.String()
+		for _, mode := range []string{"compiled", "interpreted"} {
+			batch := det.NewBatcher()
+			if mode == "interpreted" {
+				batch = det.NewInterpretedBatcher()
+			} else if !batch.Compiled() {
+				b.Fatalf("%s: detector did not compile", label)
+			}
+			b.Run(label+"/"+mode, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					batch.Score(x)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBatcherBatchSize sweeps ScoreBatch over batch sizes 1, 16
+// and 256 for the blocked-MLP kernel and a flattened boosted forest,
+// compiled vs interpreted. ns/op divided by the batch size gives the
+// per-sample cost; the MLP compiled path amortises weight-row loads
+// across the batch, so its per-sample cost should fall as the batch
+// grows.
+func BenchmarkBatcherBatchSize(b *testing.B) {
+	ctx := benchContext(b)
+	for _, fam := range []struct {
+		name    string
+		variant zoo.Variant
+	}{{"MLP", zoo.General}, {"REPTree", zoo.Boosted}} {
+		det, _, err := ctx.Detector(fam.name, fam.variant, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		label := fam.name + "-" + fam.variant.String()
+		for _, size := range []int{1, 16, 256} {
+			xs := make([][]float64, size)
+			for i := range xs {
+				xs[i] = []float64{100 + float64(i), 200, 300 - float64(i), 400}
+			}
+			out := make([]float64, size)
+			for _, mode := range []string{"compiled", "interpreted"} {
+				batch := det.NewBatcher()
+				if mode == "interpreted" {
+					batch = det.NewInterpretedBatcher()
+				}
+				b.Run(fmt.Sprintf("%s/%s/batch=%d", label, mode, size), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						batch.ScoreBatch(xs, out)
+					}
+				})
+			}
+		}
 	}
 }
 

@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	hmd-bench [-exp all|table1|figure3|table2|figure4|figure5|table3|robustness|chaos|claims] [-apps N] [-intervals N] [-seed N]
+//	hmd-bench [-exp all|table1|figure3|table2|figure4|figure5|table3|robustness|chaos|perf|fleet|claims]
+//	          [-apps N] [-intervals N] [-seed N]
+//	          [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -cpuprofile and -memprofile write standard pprof profiles of the run
+// (inspect with `go tool pprof`); the heap profile is snapshotted after
+// a final GC when the selected experiments finish.
 //
 // With -exp all (the default) the tool prints every artefact in paper
 // order followed by the headline-claim checklist. Expect a few minutes
@@ -18,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -37,7 +45,39 @@ func main() {
 	fleetOut := flag.String("fleetout", "BENCH_FLEET.json", "output path of the -exp fleet report")
 	fleetStreams := flag.String("fleetstreams", "", "comma-separated stream counts for -exp fleet (default 16,64,256,512,1024)")
 	fleetIntervals := flag.Int("fleetintervals", 0, "intervals per stream for -exp fleet (default 200)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(fmt.Errorf("-cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(fmt.Errorf("-cpuprofile: %w", err))
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(fmt.Errorf("-cpuprofile: %w", err))
+			}
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(fmt.Errorf("-memprofile: %w", err))
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(fmt.Errorf("-memprofile: %w", err))
+			}
+			fmt.Fprintf(os.Stderr, "heap profile written to %s\n", *memProfile)
+		}()
+	}
 	perfPath = *perfOut
 	fleetPath = *fleetOut
 	fleetCfg.Intervals = *fleetIntervals

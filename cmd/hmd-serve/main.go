@@ -129,6 +129,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	fmt.Fprintf(os.Stderr, "hmd-serve: inference backend: %d/%d chain stages compiled\n",
+		chain.CompiledStages(), chain.Stages())
 
 	var plan *faults.Plan
 	if *faultRate > 0 {

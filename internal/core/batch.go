@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/mlearn"
+	"repro/internal/mlearn/compiled"
 )
 
 // Batcher classifies streams of samples through a detector with
@@ -11,14 +12,39 @@ import (
 // batch calls perform zero heap allocations per sample for streaming
 // models. Each Batcher owns its scratch (and, transitively, the
 // model's), so use one Batcher per goroutine.
+//
+// When the detector's model compiles (Detector.Compiled), the Batcher
+// scores through a compiled evaluator — flattened forests, fused linear
+// datapaths, blocked MLP batches — with bit-identical results;
+// otherwise it scores through the interpreted model. Use
+// NewInterpretedBatcher to force the interpreted path (baselines,
+// equivalence tests).
 type Batcher struct {
 	det  *Detector
 	x    []float64
 	dist []float64
+	eval *compiled.Evaluator
 }
 
-// NewBatcher builds a reusable classification context for the detector.
+// NewBatcher builds a reusable classification context for the detector,
+// preferring the compiled fast path when the model supports it.
 func (d *Detector) NewBatcher() *Batcher {
+	if p := d.Compiled(); p != nil {
+		return &Batcher{
+			det:  d,
+			x:    make([]float64, len(d.Events)),
+			dist: make([]float64, p.NumClasses()),
+			eval: p.NewEvaluator(),
+		}
+	}
+	return d.NewInterpretedBatcher()
+}
+
+// NewInterpretedBatcher builds a Batcher pinned to the interpreted
+// model even when a compiled program exists — the baseline side of
+// compiled-vs-interpreted comparisons. Note this probes the model to
+// size scratch (NumClasses), like NewBatcher always did.
+func (d *Detector) NewInterpretedBatcher() *Batcher {
 	return &Batcher{
 		det:  d,
 		x:    make([]float64, len(d.Events)),
@@ -29,14 +55,24 @@ func (d *Detector) NewBatcher() *Batcher {
 // Detector returns the wrapped detector.
 func (b *Batcher) Detector() *Detector { return b.det }
 
+// Compiled reports whether this Batcher scores through the compiled
+// fast path.
+func (b *Batcher) Compiled() bool { return b.eval != nil }
+
 // Classify returns the predicted class for one sample vector ordered
 // like the detector's events.
 func (b *Batcher) Classify(x []float64) int {
+	if b.eval != nil {
+		return b.eval.Predict(x)
+	}
 	return mlearn.PredictWith(b.det.Model, x, b.dist)
 }
 
 // Score returns P(malware) for one sample vector.
 func (b *Batcher) Score(x []float64) float64 {
+	if b.eval != nil {
+		return b.eval.Score(x)
+	}
 	return mlearn.ScoreWith(b.det.Model, x, b.dist)
 }
 
@@ -53,8 +89,14 @@ func (b *Batcher) ScoreValues(values []uint64) (float64, error) {
 }
 
 // ScoreBatch scores every row of xs into out (len(out) == len(xs)) and
-// returns out, allocating it only when nil.
+// returns out, allocating it only when nil. On the compiled path this
+// is the batched hot path proper: MLPs evaluate in blocked
+// matrix-matrix tiles, everything else streams through its flattened
+// program.
 func (b *Batcher) ScoreBatch(xs [][]float64, out []float64) []float64 {
+	if b.eval != nil {
+		return b.eval.ScoreBatch(xs, out)
+	}
 	if out == nil {
 		out = make([]float64, len(xs))
 	}

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"repro/internal/mlearn/compiled"
 	"repro/internal/mlearn/persist"
 	"repro/internal/mlearn/zoo"
 )
@@ -178,14 +179,31 @@ func SaveChain(w io.Writer, fc *FallbackChain) error {
 // replica so shard workers can score concurrently — streaming models
 // reuse internal scratch buffers, which makes a single chain unsafe to
 // share across goroutines.
+//
+// The template's stages are compiled once up front and every replica's
+// detectors are seeded with the same immutable programs: gob preserves
+// every trained float bit-exactly, so the template's lowering is the
+// replica's, and N shards share one set of read-only compiled artifacts
+// instead of compiling N times.
 func NewChainReplicator(fc *FallbackChain) (func() (*FallbackChain, error), error) {
 	var buf bytes.Buffer
 	if err := SaveChain(&buf, fc); err != nil {
 		return nil, fmt.Errorf("core: replicating chain: %w", err)
 	}
 	blob := buf.Bytes()
+	progs := make([]*compiled.Program, len(fc.stages))
+	for i, d := range fc.stages {
+		progs[i] = d.Compiled()
+	}
 	return func() (*FallbackChain, error) {
-		return LoadChain(bytes.NewReader(blob))
+		replica, err := LoadChain(bytes.NewReader(blob))
+		if err != nil {
+			return nil, err
+		}
+		for i, d := range replica.stages {
+			d.setCompiled(progs[i])
+		}
+		return replica, nil
 	}, nil
 }
 

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/compiled"
+	"repro/internal/mlearn/zoo"
+)
+
+// faultyValues replays the fault pattern of TestBeginCommitMatchesObserve:
+// healthy readings with a wedged counter during [10,25) and all counters
+// dead during [30,45), driving stepdown, prior and recovery.
+func faultyValues(i int) []uint64 {
+	vals := liveValues(i)
+	if i >= 10 && i < 25 {
+		vals[3] = 4242 // wedged: repeats the same delta every interval
+	}
+	if i >= 30 && i < 45 {
+		for c := range vals {
+			vals[c] = 0
+		}
+	}
+	return vals
+}
+
+func sameVerdict(a, b Verdict) bool {
+	return a.Interval == b.Interval &&
+		math.Float64bits(a.Score) == math.Float64bits(b.Score) &&
+		a.Malware == b.Malware
+}
+
+// TestChainCompiledMatchesInterpreted drives three scoring paths over
+// the same faulty stream — Observe (compiled stage evaluators), the
+// split path with compiled Batchers, and the split path with
+// interpreted Batchers — and requires bit-identical verdicts and
+// transitions from all three: the compiled engine under faults +
+// stepdowns is indistinguishable from the interpreted one.
+func TestChainCompiledMatchesInterpreted(t *testing.T) {
+	for _, base := range []string{"REPTree", "MLP"} {
+		t.Run(base, func(t *testing.T) {
+			cfg := ChainConfig{Window: 3, BadAfter: 3}
+			b := newBuilder(t)
+			ref, err := b.BuildChain(base, zoo.General, []int{4, 2}, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			splitC := ref.NewSibling()
+			splitI := ref.NewSibling()
+			dets := ref.Detectors()
+			bcomp := make([]*Batcher, len(dets))
+			bint := make([]*Batcher, len(dets))
+			for i, d := range dets {
+				bcomp[i] = d.NewBatcher()
+				bint[i] = d.NewInterpretedBatcher()
+				if !bcomp[i].Compiled() {
+					t.Fatalf("stage %d (%s): expected compiled batcher", i, d.Name())
+				}
+				if bint[i].Compiled() {
+					t.Fatalf("stage %d: interpreted batcher reports compiled", i)
+				}
+			}
+			split := func(fc *FallbackChain, bs []*Batcher, vals []uint64) Verdict {
+				s, x, err := fc.BeginObserve(vals)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if s >= len(bs) {
+					return fc.CommitScore(fc.Prior())
+				}
+				return fc.CommitScore(bs[s].Score(x))
+			}
+			for i := 0; i < 60; i++ {
+				vals := faultyValues(i)
+				want, err := ref.Observe(vals)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotC := split(splitC, bcomp, faultyValues(i))
+				gotI := split(splitI, bint, faultyValues(i))
+				if !sameVerdict(want, gotC) {
+					t.Fatalf("interval %d: Observe %+v != compiled split %+v", i, want, gotC)
+				}
+				if !sameVerdict(want, gotI) {
+					t.Fatalf("interval %d: compiled %+v != interpreted %+v", i, want, gotI)
+				}
+			}
+			if rt, ct := len(ref.Transitions()), len(splitI.Transitions()); rt != ct {
+				t.Fatalf("transition counts diverged: %d vs %d", rt, ct)
+			}
+			if rt := len(ref.Transitions()); rt == 0 {
+				t.Fatal("fault pattern exercised no stage transitions")
+			}
+		})
+	}
+}
+
+// TestBatcherCompiledMatchesInterpreted compares the two Batcher paths
+// head-to-head per detector family on raw score/classify/batch calls.
+func TestBatcherCompiledMatchesInterpreted(t *testing.T) {
+	b := newBuilder(t)
+	kinds := []struct {
+		name    string
+		variant zoo.Variant
+	}{
+		{"REPTree", zoo.Boosted},
+		{"J48", zoo.Bagged},
+		{"BayesNet", zoo.General},
+		{"SGD", zoo.General},
+		{"MLP", zoo.General},
+	}
+	for _, kind := range kinds {
+		d, err := b.Build(kind.name, kind.variant, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp := d.NewBatcher()
+		interp := d.NewInterpretedBatcher()
+		if !comp.Compiled() {
+			t.Fatalf("%s: expected compiled batcher", d.Name())
+		}
+		xs := make([][]float64, 64)
+		for i := range xs {
+			row := make([]float64, 4)
+			for j := range row {
+				row[j] = float64(1000+37*i) + float64(j*101) - float64(i%7)*250
+			}
+			xs[i] = row
+		}
+		co := comp.ScoreBatch(xs, nil)
+		io := interp.ScoreBatch(xs, nil)
+		for i := range xs {
+			if math.Float64bits(co[i]) != math.Float64bits(io[i]) {
+				t.Fatalf("%s row %d: compiled %v != interpreted %v", d.Name(), i, co[i], io[i])
+			}
+			if cc, ic := comp.Classify(xs[i]), interp.Classify(xs[i]); cc != ic {
+				t.Fatalf("%s row %d: classify %d != %d", d.Name(), i, cc, ic)
+			}
+		}
+	}
+}
+
+// TestBatcherFallsBackForUnsupportedModels pins the interpreted
+// fallback: a KNN detector (stored corpus, uncompilable) still scores
+// through NewBatcher.
+func TestBatcherFallsBackForUnsupportedModels(t *testing.T) {
+	b := newBuilder(t)
+	d, err := b.Build("KNN", zoo.General, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Compiled() != nil {
+		t.Fatal("KNN unexpectedly compiled")
+	}
+	bt := d.NewBatcher()
+	if bt.Compiled() {
+		t.Fatal("KNN batcher claims compiled path")
+	}
+	if s := bt.Score([]float64{1, 2}); math.IsNaN(s) {
+		t.Fatal("interpreted fallback produced NaN")
+	}
+}
+
+// TestCheckpointRoundTripCompiled saves a chain through the unchanged
+// gob format, reloads it, and requires the reloaded chain — which
+// recompiles lazily from the decoded models — to emit bit-identical
+// verdicts to the original over a faulty stream.
+func TestCheckpointRoundTripCompiled(t *testing.T) {
+	cfg := ChainConfig{Window: 3, BadAfter: 3}
+	ref := newChain(t, cfg)
+	var blob bytes.Buffer
+	if err := SaveChain(&blob, ref); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadChain(bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.CompiledStages(), loaded.Stages(); got != want {
+		t.Fatalf("loaded chain compiles %d/%d stages", got, want)
+	}
+	for i := 0; i < 60; i++ {
+		want, err := ref.Observe(faultyValues(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Observe(faultyValues(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameVerdict(want, got) {
+			t.Fatalf("interval %d: original %+v != reloaded %+v", i, want, got)
+		}
+	}
+}
+
+// TestReplicatorSharesCompiledArtifacts is the compile-once guarantee:
+// stamping out replicas and siblings must not recompile anything — the
+// template's lowering (one Compile per stage) is the only one, and all
+// replicas score concurrently through the same immutable programs
+// (run under -race, this also pins that sharing is data-race free).
+func TestReplicatorSharesCompiledArtifacts(t *testing.T) {
+	chain := newChain(t, ChainConfig{Window: 3})
+	before := compiled.CompileCount()
+	rep, err := NewChainReplicator(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterTemplate := compiled.CompileCount()
+	if got := afterTemplate - before; got != int64(chain.Stages()) {
+		t.Fatalf("replicator compiled %d programs, want one per stage (%d)", got, chain.Stages())
+	}
+
+	tmplProgs := make([]*compiled.Program, 0, chain.Stages())
+	for _, d := range chain.Detectors() {
+		tmplProgs = append(tmplProgs, d.Compiled())
+	}
+
+	const replicas = 4
+	rows := make([][]float64, 32)
+	for i := range rows {
+		row := make([]float64, 4)
+		for j := range row {
+			row[j] = float64(1000 + 37*i + j*101)
+		}
+		rows[i] = row
+	}
+	want := chain.Detectors()[0].NewBatcher().ScoreBatch(rows, nil)
+
+	var wg sync.WaitGroup
+	for r := 0; r < replicas; r++ {
+		fc, err := rep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s, d := range fc.Detectors() {
+			if d.Compiled() != tmplProgs[s] {
+				t.Fatalf("replica %d stage %d does not alias the template's program", r, s)
+			}
+		}
+		sib := fc.NewSibling()
+		for s, d := range sib.Detectors() {
+			if d.Compiled() != tmplProgs[s] {
+				t.Fatalf("replica %d sibling stage %d does not alias the template's program", r, s)
+			}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := fc.Detectors()[0].NewBatcher().ScoreBatch(rows, nil)
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Errorf("replica diverged from template at row %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := compiled.CompileCount(); got != afterTemplate {
+		t.Fatalf("replicas/siblings triggered %d extra compilations", got-afterTemplate)
+	}
+}
+
+// TestChainObserveZeroAllocCompiled extends the steady-state allocation
+// gate to the compiled Observe path: after the first scored interval
+// (which lazily builds the stage evaluators), observing allocates
+// nothing.
+func TestChainObserveZeroAllocCompiled(t *testing.T) {
+	chain := newChain(t, ChainConfig{Window: 5})
+	if _, err := chain.Observe(liveValues(0)); err != nil {
+		t.Fatal(err)
+	}
+	i := 1
+	if n := testing.AllocsPerRun(500, func() {
+		if _, err := chain.Observe(liveValues(i)); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}); n != 0 {
+		t.Fatalf("compiled Observe allocates %.1f/op", n)
+	}
+}
+
+// mlearnScoreStageBaseline guards against scoreStage drifting from the
+// documented interpreted fallback: a chain whose models do not compile
+// must still produce Observe verdicts equal to mlearn.ScoreWith.
+func TestScoreStageInterpretedFallback(t *testing.T) {
+	b := newBuilder(t)
+	chain, err := b.BuildChain("KNN", zoo.General, []int{2}, ChainConfig{Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := chain.CompiledStages(); got != 0 {
+		t.Fatalf("KNN chain reports %d compiled stages", got)
+	}
+	sib := chain.NewSibling()
+	dist := make([]float64, len(chain.dist))
+	for i := 0; i < 20; i++ {
+		want, err := chain.Observe(liveValues(i)[:2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, x, err := sib.BeginObserve(liveValues(i)[:2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Verdict
+		if s >= sib.Stages() {
+			got = sib.CommitScore(sib.Prior())
+		} else {
+			got = sib.CommitScore(mlearn.ScoreWith(sib.Detectors()[s].Model, x, dist))
+		}
+		if !sameVerdict(want, got) {
+			t.Fatalf("interval %d: %+v != %+v", i, want, got)
+		}
+	}
+}

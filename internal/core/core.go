@@ -17,12 +17,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/features"
 	"repro/internal/micro"
 	"repro/internal/mlearn"
+	"repro/internal/mlearn/compiled"
 	"repro/internal/mlearn/zoo"
 	"repro/internal/perf"
 )
@@ -39,6 +41,42 @@ type Detector struct {
 	// Model is the trained classifier; its input vector order matches
 	// Events.
 	Model mlearn.Classifier
+
+	// compiledMu guards the one-time lowering of Model into a shared
+	// compiled.Program. Detectors are always handled by pointer, so the
+	// cache (like the model's own scratch) travels with the detector and
+	// is never copied.
+	compiledMu   sync.Mutex
+	compiledSet  bool
+	compiledProg *compiled.Program
+}
+
+// Compiled returns the detector's compiled inference program, lowering
+// the model on first call and caching the result. It returns nil when
+// the model cannot be compiled (e.g. KNN) — callers then stay on the
+// interpreted path. Compilation only reads the trained structure (it
+// never evaluates the model), so this is safe to call while another
+// goroutine scores through the shared model; the returned Program is
+// immutable and shared by every caller.
+func (d *Detector) Compiled() *compiled.Program {
+	d.compiledMu.Lock()
+	defer d.compiledMu.Unlock()
+	if !d.compiledSet {
+		d.compiledProg, _ = compiled.Compile(d.Model)
+		d.compiledSet = true
+	}
+	return d.compiledProg
+}
+
+// setCompiled seeds the compiled cache with an already-lowered program:
+// chain replicas stamped from one template share the template's
+// read-only artifacts instead of recompiling per replica (gob copies
+// every float bit-exactly, so the template's program is the replica's).
+func (d *Detector) setCompiled(p *compiled.Program) {
+	d.compiledMu.Lock()
+	d.compiledProg = p
+	d.compiledSet = true
+	d.compiledMu.Unlock()
 }
 
 // Name returns a paper-style label like "4HPC-Boosted-JRip".

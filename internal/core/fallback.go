@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/micro"
 	"repro/internal/mlearn"
+	"repro/internal/mlearn/compiled"
 	"repro/internal/mlearn/zoo"
 	"repro/internal/perf"
 )
@@ -133,6 +134,15 @@ type FallbackChain struct {
 	xbuf   []float64
 	dist   []float64
 	bad    []bool
+
+	// evals[s] is stage s's compiled evaluator (nil for uncompilable
+	// models), built lazily on the first scored interval so sibling
+	// chains that never score themselves — fleet streams, whose shards
+	// score via Batchers — carry no evaluator scratch. The compiled
+	// Programs behind the evaluators are shared, read-only artifacts
+	// cached on the stage Detectors.
+	evals     []*compiled.Evaluator
+	evalsInit bool
 
 	interval    int
 	active      int
@@ -318,7 +328,45 @@ func (fc *FallbackChain) Observe(values []uint64) (Verdict, error) {
 	if s >= len(fc.stages) {
 		return fc.CommitScore(fc.cfg.PriorScore), nil
 	}
-	return fc.CommitScore(mlearn.ScoreWith(fc.stages[s].Model, x, fc.dist)), nil
+	return fc.CommitScore(fc.scoreStage(s, x)), nil
+}
+
+// scoreStage scores x with stage s's model, through its compiled
+// program when one exists (bit-identical to the interpreted model) and
+// through mlearn.ScoreWith otherwise.
+func (fc *FallbackChain) scoreStage(s int, x []float64) float64 {
+	if !fc.evalsInit {
+		fc.initEvals()
+	}
+	if ev := fc.evals[s]; ev != nil {
+		return ev.Score(x)
+	}
+	return mlearn.ScoreWith(fc.stages[s].Model, x, fc.dist)
+}
+
+// initEvals builds one evaluator per compilable stage. Compilation is
+// cached on the shared Detectors, so across siblings and replicas each
+// template model lowers exactly once.
+func (fc *FallbackChain) initEvals() {
+	fc.evals = make([]*compiled.Evaluator, len(fc.stages))
+	for s, d := range fc.stages {
+		if p := d.Compiled(); p != nil {
+			fc.evals[s] = p.NewEvaluator()
+		}
+	}
+	fc.evalsInit = true
+}
+
+// CompiledStages reports how many of the chain's stages score through
+// compiled programs — observability for service /stats endpoints.
+func (fc *FallbackChain) CompiledStages() int {
+	n := 0
+	for _, d := range fc.stages {
+		if d.Compiled() != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // BeginObserve is the first half of Observe, split out so an external

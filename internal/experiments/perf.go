@@ -2,17 +2,21 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/fleet"
 	"repro/internal/mlearn/ensemble"
 	"repro/internal/mlearn/persist"
 	"repro/internal/mlearn/zoo"
+	"repro/internal/supervise"
 )
 
 // The perf experiment benchmarks the throughput engine against the
@@ -79,12 +83,67 @@ type PerfInference struct {
 	AllocReductionX float64
 }
 
+// PerfCompiledFamily is one detector family's compiled-vs-interpreted
+// measurement on the batched scoring path: the same trained model
+// scored through core.Batcher's compiled evaluator and through a
+// Batcher pinned to the interpreted model, over identical held-out
+// inputs.
+type PerfCompiledFamily struct {
+	Label string
+	// Single-vector Score ns/op for each backend.
+	SingleInterpNs   float64
+	SingleCompiledNs float64
+	SingleSpeedupX   float64
+	// ScoreBatch ns per sample at PerfCompiled.BatchSize.
+	BatchInterpNs   float64
+	BatchCompiledNs float64
+	BatchSpeedupX   float64
+	// IntervalsPerSec is the compiled batched throughput — sampling
+	// intervals (one feature vector each) classified per second.
+	IntervalsPerSec float64
+	// P99Micros is the p99 latency of a compiled single-vector Score
+	// call (individually timed, so it includes clock-read overhead —
+	// an upper bound on the true verdict latency).
+	P99Micros float64
+	// VerdictsIdentical: every held-out row produced bit-identical
+	// scores (single and batched) and identical classes on both
+	// backends.
+	VerdictsIdentical bool
+}
+
+// PerfCompiledFleet compares the fleet engine's aggregate serving
+// throughput with shard batchers scoring compiled vs pinned to the
+// interpreted path, on the same chain and synthetic workload.
+type PerfCompiledFleet struct {
+	Streams   int
+	Intervals int
+	Shards    int
+	// Aggregate intervals/sec across all streams under each backend.
+	InterpIntervalsPerSec   float64
+	CompiledIntervalsPerSec float64
+	SpeedupX                float64
+	// MaxStreams10ms derives, from measured aggregate throughput, the
+	// largest stream count each backend sustains at the paper's 10 ms
+	// sampling interval (100 intervals/sec per stream).
+	InterpMaxStreams10ms   int
+	CompiledMaxStreams10ms int
+}
+
+// PerfCompiled is the compiled-inference-backend half of the report:
+// per-family kernels plus the fleet-level effect.
+type PerfCompiled struct {
+	BatchSize int
+	Families  []PerfCompiledFamily
+	Fleet     PerfCompiledFleet
+}
+
 // PerfReport is the full throughput-engine benchmark, serialized to
 // BENCH_PERF.json by hmd-bench -exp perf.
 type PerfReport struct {
 	Train     PerfTrain
 	CV        PerfCV
 	Inference PerfInference
+	Compiled  PerfCompiled
 }
 
 // perfGridJobs is the tree-family grid the training benchmark trains:
@@ -226,6 +285,13 @@ func (ctx *Context) Perf() (*PerfReport, error) {
 		return nil, err
 	}
 	rep.Inference = *inf
+
+	// ---- compiled inference backend -----------------------------------
+	comp, err := ctx.perfCompiled()
+	if err != nil {
+		return nil, err
+	}
+	rep.Compiled = *comp
 	return rep, nil
 }
 
@@ -365,6 +431,223 @@ func (ctx *Context) perfInference() (*PerfInference, error) {
 	}, nil
 }
 
+// perfCompiledFamilies are the representative detectors the compiled
+// benchmark measures: one boosted and one bagged tree ensemble (the
+// flattened-forest kernels), the MLP (blocked batch kernel), a linear
+// model (fused dot product) and BayesNet (precomputed tables).
+var perfCompiledFamilies = []struct {
+	name    string
+	variant zoo.Variant
+}{
+	{"REPTree", zoo.Boosted},
+	{"J48", zoo.Bagged},
+	{"MLP", zoo.General},
+	{"SGD", zoo.General},
+	{"BayesNet", zoo.General},
+}
+
+// perfCompiled benchmarks compiled vs interpreted scoring per family
+// and at the fleet level.
+func (ctx *Context) perfCompiled() (*PerfCompiled, error) {
+	const batch = 256
+	rep := &PerfCompiled{BatchSize: batch}
+	for _, f := range perfCompiledFamilies {
+		det, _, err := ctx.Detector(f.name, f.variant, 4)
+		if err != nil {
+			return nil, err
+		}
+		testK, err := ctx.Builder.TestFor(det)
+		if err != nil {
+			return nil, err
+		}
+		rows := testK.NumRows()
+		if rows == 0 {
+			return nil, fmt.Errorf("perf compiled: empty held-out split")
+		}
+		xs := make([][]float64, batch)
+		for i := range xs {
+			src := testK.X[i%rows]
+			x := make([]float64, len(src))
+			copy(x, src)
+			xs[i] = x
+		}
+
+		cb := det.NewBatcher()
+		ib := det.NewInterpretedBatcher()
+		if !cb.Compiled() {
+			return nil, fmt.Errorf("perf compiled: %s/%s did not compile", f.name, f.variant)
+		}
+
+		fam := PerfCompiledFamily{
+			Label:             f.name + "-" + f.variant.String(),
+			VerdictsIdentical: true,
+		}
+
+		// Equivalence gate first: every row must agree bit for bit on
+		// both the single-vector and the batched path, and on the
+		// predicted class.
+		outC := cb.ScoreBatch(xs, make([]float64, batch))
+		outI := ib.ScoreBatch(xs, make([]float64, batch))
+		for i, x := range xs {
+			if math.Float64bits(outC[i]) != math.Float64bits(outI[i]) ||
+				math.Float64bits(cb.Score(x)) != math.Float64bits(ib.Score(x)) ||
+				cb.Classify(x) != ib.Classify(x) {
+				fam.VerdictsIdentical = false
+				break
+			}
+		}
+
+		// Interleave the two backends and keep each side's best
+		// repetition: alternating short reps exposes both to the same
+		// machine conditions and the minimum sheds contention spikes,
+		// which otherwise dominate ratio noise on a busy host.
+		const reps = 9
+		const singleIters = 40000
+		const batchIters = 400
+		out := make([]float64, batch)
+		// Warm both backends (scratch sizing, branch history) before
+		// the timed reps.
+		perfTimeSingle(cb, xs, singleIters/10)
+		perfTimeSingle(ib, xs, singleIters/10)
+		perfTimeBatch(cb, xs, out, batchIters/10)
+		perfTimeBatch(ib, xs, out, batchIters/10)
+
+		si, sc := math.Inf(1), math.Inf(1)
+		bi, bc := math.Inf(1), math.Inf(1)
+		for r := 0; r < reps; r++ {
+			si = math.Min(si, perfTimeSingle(ib, xs, singleIters))
+			sc = math.Min(sc, perfTimeSingle(cb, xs, singleIters))
+			bi = math.Min(bi, perfTimeBatch(ib, xs, out, batchIters))
+			bc = math.Min(bc, perfTimeBatch(cb, xs, out, batchIters))
+		}
+		fam.SingleInterpNs, fam.SingleCompiledNs = si, sc
+		fam.BatchInterpNs, fam.BatchCompiledNs = bi, bc
+		fam.SingleSpeedupX = fam.SingleInterpNs / fam.SingleCompiledNs
+		fam.BatchSpeedupX = fam.BatchInterpNs / fam.BatchCompiledNs
+		fam.IntervalsPerSec = 1e9 / fam.BatchCompiledNs
+
+		// p99 of individually timed compiled single-vector calls.
+		lat := make([]time.Duration, 20000)
+		for n := range lat {
+			start := time.Now()
+			cb.Score(xs[n%len(xs)])
+			lat[n] = time.Since(start)
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		fam.P99Micros = float64(lat[len(lat)*99/100].Nanoseconds()) / 1e3
+
+		rep.Families = append(rep.Families, fam)
+	}
+
+	fl, err := ctx.perfCompiledFleet()
+	if err != nil {
+		return nil, err
+	}
+	rep.Fleet = *fl
+	return rep, nil
+}
+
+func perfTimeSingle(b *core.Batcher, xs [][]float64, iters int) float64 {
+	sink := 0.0
+	start := time.Now()
+	for n := 0; n < iters; n++ {
+		sink += b.Score(xs[n%len(xs)])
+	}
+	elapsed := time.Since(start)
+	if math.IsNaN(sink) {
+		panic("perf: NaN score")
+	}
+	return float64(elapsed.Nanoseconds()) / float64(iters)
+}
+
+func perfTimeBatch(b *core.Batcher, xs [][]float64, out []float64, iters int) float64 {
+	start := time.Now()
+	for n := 0; n < iters; n++ {
+		b.ScoreBatch(xs, out)
+	}
+	elapsed := time.Since(start)
+	return float64(elapsed.Nanoseconds()) / float64(iters*len(xs))
+}
+
+// perfCompiledFleet serves the same fixed synthetic workload through
+// two fleet engines — shard batchers pinned interpreted vs scoring
+// compiled — and reports aggregate throughput plus the derived
+// max-sustained-streams at the paper's 10 ms sampling interval.
+func (ctx *Context) perfCompiledFleet() (*PerfCompiledFleet, error) {
+	chain, err := ctx.Builder.BuildChain("REPTree", zoo.Boosted, []int{4, 2}, core.ChainConfig{})
+	if err != nil {
+		return nil, err
+	}
+	width := len(chain.Events())
+	const streams = 64
+	const intervals = 200
+	shards := runtime.GOMAXPROCS(0)
+
+	run := func(interpreted bool) (float64, error) {
+		e, err := fleet.New(fleet.Config{
+			Chain:          chain,
+			Shards:         shards,
+			Policy:         supervise.Block,
+			PendingBatches: 8,
+			Interpreted:    interpreted,
+		})
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < streams; i++ {
+			if err := e.Add(fleet.StreamConfig{
+				ID:        fmt.Sprintf("s%d", i),
+				Source:    fleet.NewSyntheticSource(uint64(i)+1, width),
+				Intervals: intervals,
+			}); err != nil {
+				return 0, err
+			}
+		}
+		start := time.Now()
+		if err := e.Run(context.Background()); err != nil {
+			return 0, err
+		}
+		wall := time.Since(start)
+		snap := e.Stats(false)
+		want := int64(streams * intervals)
+		if snap.Verdicts != want || snap.LostVerdicts != 0 {
+			return 0, fmt.Errorf("perf compiled fleet: %d verdicts (%d lost), want %d lossless",
+				snap.Verdicts, snap.LostVerdicts, want)
+		}
+		return float64(want) / wall.Seconds(), nil
+	}
+
+	// Warm once (replica construction paths, scheduler), then measure
+	// interleaved best-of-2 per backend, for the same reason as the
+	// per-family reps above.
+	if _, err := run(false); err != nil {
+		return nil, err
+	}
+	var interp, comp float64
+	for r := 0; r < 2; r++ {
+		i, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		c, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		interp = math.Max(interp, i)
+		comp = math.Max(comp, c)
+	}
+	return &PerfCompiledFleet{
+		Streams:                 streams,
+		Intervals:               intervals,
+		Shards:                  shards,
+		InterpIntervalsPerSec:   interp,
+		CompiledIntervalsPerSec: comp,
+		SpeedupX:                comp / interp,
+		InterpMaxStreams10ms:    int(interp / 100),
+		CompiledMaxStreams10ms:  int(comp / 100),
+	}, nil
+}
+
 // RenderPerf formats the perf report for the console.
 func RenderPerf(r *PerfReport) string {
 	var sb strings.Builder
@@ -385,5 +668,17 @@ func RenderPerf(r *PerfReport) string {
 	fmt.Fprintf(&sb, "    chain loop   %8.0f ns/op  %6.1f allocs/op   (%.1fx faster, %.0fx fewer allocs)\n",
 		r.Inference.FastNsPerOp, r.Inference.FastAllocsPerOp,
 		r.Inference.SpeedupX, r.Inference.AllocReductionX)
+	fmt.Fprintf(&sb, "  compiled inference backend (batch=%d):\n", r.Compiled.BatchSize)
+	for _, f := range r.Compiled.Families {
+		fmt.Fprintf(&sb, "    %-16s single %6.0f -> %5.0f ns (%.2fx)  batch %6.1f -> %5.1f ns/sample (%.2fx)  %5.2fM iv/s  p99 %4.1f us  identical=%v\n",
+			f.Label, f.SingleInterpNs, f.SingleCompiledNs, f.SingleSpeedupX,
+			f.BatchInterpNs, f.BatchCompiledNs, f.BatchSpeedupX,
+			f.IntervalsPerSec/1e6, f.P99Micros, f.VerdictsIdentical)
+	}
+	fl := r.Compiled.Fleet
+	fmt.Fprintf(&sb, "    fleet %d streams x %d intervals, %d shards: interpreted %.0f iv/s -> compiled %.0f iv/s (%.2fx); max streams @10ms %d -> %d\n",
+		fl.Streams, fl.Intervals, fl.Shards,
+		fl.InterpIntervalsPerSec, fl.CompiledIntervalsPerSec, fl.SpeedupX,
+		fl.InterpMaxStreams10ms, fl.CompiledMaxStreams10ms)
 	return sb.String()
 }

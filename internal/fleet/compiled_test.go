@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/micro"
+	"repro/internal/mlearn/zoo"
+	"repro/internal/supervise"
+	"repro/internal/workload"
+)
+
+var (
+	trainedChainOnce sync.Once
+	trainedChain     *core.FallbackChain
+	trainedChainErr  error
+)
+
+// trainedTestChain trains one real (compilable) REPTree fallback chain
+// for the compiled-path fleet tests. The stub chains used elsewhere in
+// this package never compile — their fixed-score models are not in the
+// compiler's type switch — so exercising the compiled engine needs a
+// trained template.
+func trainedTestChain(t *testing.T) *core.FallbackChain {
+	t.Helper()
+	trainedChainOnce.Do(func() {
+		cfg := collect.Small()
+		cfg.Suite.AppsPerFamily = 4
+		cfg.Intervals = 10
+		res, err := collect.Collect(cfg)
+		if err != nil {
+			trainedChainErr = err
+			return
+		}
+		b, err := core.NewBuilder(res.Data, 0.7, 1)
+		if err != nil {
+			trainedChainErr = err
+			return
+		}
+		trainedChain, trainedChainErr = b.BuildChain("REPTree", zoo.General,
+			[]int{4, 2}, core.ChainConfig{Window: 3, BadAfter: 3})
+	})
+	if trainedChainErr != nil {
+		t.Fatal(trainedChainErr)
+	}
+	return trainedChain
+}
+
+// TestFleetCompiledMatchesInterpreted is the golden test for the
+// compiled fast path at fleet scale: the same fault-injected stream
+// population, run once through the default (compiled) engine and once
+// with Config.Interpreted pinning every shard batcher to the
+// interpreted model, must produce bit-identical verdict streams —
+// through dropped samples, breaker trips and chain stepdowns.
+func TestFleetCompiledMatchesInterpreted(t *testing.T) {
+	const n = 50
+	const streams = 6
+	tmpl := trainedTestChain(t)
+	plan := &faults.Plan{Seed: 0xC0FFEE, Rate: 0.3}
+	brCfg := supervise.BreakerConfig{FailAfter: 2, Cooldown: 3}
+	apps := workload.Suite(workload.SuiteConfig{Seed: 0xBEEF, AppsPerFamily: 2})
+
+	srcCfg := func(i int) supervise.MachineSourceConfig {
+		app := apps[i%len(apps)]
+		return supervise.MachineSourceConfig{
+			Machine:     micro.FastConfig(),
+			Run:         app.NewRun(0),
+			Events:      tmpl.Events(),
+			Total:       n,
+			CycleBudget: 4000,
+			Plan:        plan,
+			Scope:       fmt.Sprintf("%s/stream%d", app.Name, i),
+		}
+	}
+
+	run := func(interpreted bool) [][]core.Verdict {
+		// Not newTestEngine: that helper installs the stub-chain factory
+		// when NewChain is nil, and this test needs the trained template.
+		e, err := New(Config{
+			Chain:       tmpl,
+			Shards:      3,
+			WheelSlots:  4,
+			Policy:      supervise.Block,
+			Breaker:     brCfg,
+			Interpreted: interpreted,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]*collector, streams)
+		for i := 0; i < streams; i++ {
+			src, err := supervise.NewMachineSource(srcCfg(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[i] = &collector{}
+			if err := e.Add(StreamConfig{
+				ID:        fmt.Sprintf("s%d", i),
+				Source:    src,
+				Intervals: n,
+				OnVerdict: got[i].add,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		snap := e.Stats(false)
+		for si, sh := range snap.Shards {
+			want := tmpl.Stages()
+			if interpreted {
+				want = 0
+			}
+			if sh.CompiledStages != want {
+				t.Fatalf("interpreted=%v shard %d: CompiledStages = %d, want %d",
+					interpreted, si, sh.CompiledStages, want)
+			}
+		}
+		out := make([][]core.Verdict, streams)
+		for i := range got {
+			requireGapFree(t, fmt.Sprintf("s%d", i), got[i].verdicts, n, 0)
+			out[i] = got[i].verdicts
+		}
+		return out
+	}
+
+	compiledV := run(false)
+	interpretedV := run(true)
+	for i := 0; i < streams; i++ {
+		for k := 0; k < n; k++ {
+			c, iv := compiledV[i][k], interpretedV[i][k]
+			if c.Interval != iv.Interval || c.Malware != iv.Malware ||
+				math.Float64bits(c.Score) != math.Float64bits(iv.Score) {
+				t.Fatalf("stream s%d verdict %d: compiled %+v != interpreted %+v", i, k, c, iv)
+			}
+		}
+	}
+}

@@ -104,6 +104,12 @@ type Config struct {
 	// DebugBuffers turns on the shard buffer pools' guarded debug mode
 	// (double-put panics, poisoning). Tests only: it allocates.
 	DebugBuffers bool
+	// Interpreted pins every shard batcher to the interpreted scoring
+	// path even when the template's models compile. The compiled path
+	// is the default; this knob exists for baselines (perf comparisons)
+	// and equivalence tests — both engines must emit bit-identical
+	// verdict streams.
+	Interpreted bool
 }
 
 func (c Config) shards() int {

@@ -114,7 +114,11 @@ func newShard(e *Engine, idx int, tmpl *core.FallbackChain, cfg Config) *shard {
 		byStage:  make([][]int, len(dets)),
 	}
 	for i, d := range dets {
-		sh.batchers[i] = d.NewBatcher()
+		if cfg.Interpreted {
+			sh.batchers[i] = d.NewInterpretedBatcher()
+		} else {
+			sh.batchers[i] = d.NewBatcher()
+		}
 	}
 	return sh
 }

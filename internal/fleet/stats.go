@@ -88,6 +88,10 @@ type ShardSnapshot struct {
 	// wheel rotations the shard trails the harvester by.
 	QueueDepth   int
 	LagRotations int64
+	// CompiledStages is how many of the shard's per-stage batchers score
+	// through the compiled fast path (0 with Config.Interpreted or when
+	// no stage model lowers).
+	CompiledStages int
 	// P50/P99 harvest-to-verdict latency over the recent window,
 	// microseconds.
 	P50LatencyMicros float64
@@ -164,6 +168,11 @@ func (e *Engine) Stats(includeStreams bool) Snapshot {
 			ss.LagRotations = lag
 		}
 		ss.P50LatencyMicros, ss.P99LatencyMicros = sh.lat.percentiles()
+		for _, b := range sh.batchers {
+			if b.Compiled() {
+				ss.CompiledStages++
+			}
+		}
 		snap.ShedIntervals += ss.ShedIntervals
 	}
 

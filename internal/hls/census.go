@@ -1,0 +1,116 @@
+package hls
+
+// Operator census: an independent inventory of the structural operators
+// a trained model needs, computed by walking the pointer-linked trained
+// structures directly. The compiled package computes the same counts
+// from its flattened arrays (compiled.Program.Census); a cross-check
+// test asserts the two agree for every zoo model, so a lowering bug
+// that drops or duplicates work in either backend shows up as a count
+// mismatch even when scores happen to agree on the probed inputs.
+
+import (
+	"fmt"
+
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/bayesnet"
+	"repro/internal/mlearn/ensemble"
+	"repro/internal/mlearn/j48"
+	"repro/internal/mlearn/jrip"
+	"repro/internal/mlearn/logistic"
+	"repro/internal/mlearn/mlp"
+	"repro/internal/mlearn/oner"
+	"repro/internal/mlearn/reptree"
+	"repro/internal/mlearn/sgd"
+	"repro/internal/mlearn/smo"
+)
+
+// OpCounts mirrors compiled.Census field-for-field (kept as a separate
+// type so neither package depends on the other; the cross-check test
+// bridges them).
+type OpCounts struct {
+	Comparators int
+	Leaves      int
+	MACs        int
+	Sigmoids    int
+	TableWords  int
+	Submodels   int
+}
+
+func (c *OpCounts) add(other OpCounts) {
+	c.Comparators += other.Comparators
+	c.Leaves += other.Leaves
+	c.MACs += other.MACs
+	c.Sigmoids += other.Sigmoids
+	c.TableWords += other.TableWords
+	c.Submodels += other.Submodels
+}
+
+// CensusOf counts the structural operators of a trained model. Models
+// the hardware backend cannot lower (KNN's stored corpus) return an
+// error, matching the compiled backend's ErrUnsupported surface.
+func CensusOf(c mlearn.Classifier) (OpCounts, error) {
+	switch m := c.(type) {
+	case *j48.Model:
+		return treeCensus(m.Root), nil
+	case *reptree.Model:
+		return treeCensus(m.Root), nil
+	case *oner.Model:
+		return OpCounts{Comparators: len(m.Thresholds), Submodels: 1}, nil
+	case *jrip.Model:
+		conds := 0
+		for i := range m.Rules {
+			conds += len(m.Rules[i].Conds)
+		}
+		return OpCounts{Comparators: conds, TableWords: m.NumClasses, Submodels: 1}, nil
+	case *bayesnet.Model:
+		cmp, words := 0, len(m.Prior)
+		for j := range m.Disc.Cuts {
+			cmp += len(m.Disc.Cuts[j])
+		}
+		for j := range m.CPT {
+			for c := range m.CPT[j] {
+				words += len(m.CPT[j][c])
+			}
+		}
+		return OpCounts{Comparators: cmp, TableWords: words, Submodels: 1}, nil
+	case *sgd.Model:
+		return OpCounts{MACs: len(m.Weights), Submodels: 1}, nil
+	case *smo.Model:
+		return OpCounts{MACs: len(m.Weights), Submodels: 1}, nil
+	case *logistic.Model:
+		return OpCounts{MACs: len(m.Weights), Sigmoids: 1, Submodels: 1}, nil
+	case *mlp.Model:
+		in, hid, out := 0, len(m.W1), len(m.W2)
+		if hid > 0 {
+			in = len(m.W1[0])
+		}
+		return OpCounts{MACs: in*hid + hid*out, Sigmoids: hid + out, Submodels: 1}, nil
+	case *ensemble.BoostedModel:
+		return ensembleCensus(m.Models)
+	case *ensemble.BaggedModel:
+		return ensembleCensus(m.Models)
+	default:
+		return OpCounts{}, fmt.Errorf("hls: no operator census for model of type %T", c)
+	}
+}
+
+func treeCensus(root *mlearn.TreeNode) OpCounts {
+	if root == nil {
+		return OpCounts{Submodels: 1}
+	}
+	internal, leaves := root.Count()
+	return OpCounts{Comparators: internal, Leaves: leaves, Submodels: 1}
+}
+
+func ensembleCensus(models []mlearn.Classifier) (OpCounts, error) {
+	total := OpCounts{Submodels: len(models)}
+	for i, m := range models {
+		c, err := CensusOf(m)
+		if err != nil {
+			return OpCounts{}, fmt.Errorf("hls: ensemble member %d: %w", i, err)
+		}
+		c.Submodels = 0 // members count once, via len(models)
+		total.add(c)
+	}
+	return total, nil
+}

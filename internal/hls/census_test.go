@@ -1,0 +1,71 @@
+package hls
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/compiled"
+	"repro/internal/mlearn/mltest"
+	"repro/internal/mlearn/zoo"
+)
+
+// TestCensusMatchesCompiled is the hls-vs-compiled cross-check: both
+// backends independently inventory the operators of every zoo model —
+// this package by walking the trained pointer structures, the compiled
+// package by counting its flattened arrays — and the counts must agree
+// exactly. A lowering that drops or duplicates a node, rule condition,
+// weight or table entry in either backend breaks this even when scores
+// happen to agree on sampled inputs.
+func TestCensusMatchesCompiled(t *testing.T) {
+	train := mltest.Blobs(300, 4, 1)
+	for _, name := range zoo.Names() {
+		for _, v := range []zoo.Variant{zoo.General, zoo.Boosted, zoo.Bagged} {
+			label := name + "/" + v.String()
+			tr, err := zoo.NewVariantOpts(name, v, zoo.Options{Iterations: 5, Seed: 3})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			c, err := tr.Train(train, nil)
+			if err != nil {
+				t.Fatalf("%s: train: %v", label, err)
+			}
+			p, cerr := compiled.Compile(c)
+			got, herr := CensusOf(c)
+			if cerr != nil || herr != nil {
+				t.Fatalf("%s: compile err %v, census err %v", label, cerr, herr)
+			}
+			want := p.Census()
+			if got.Comparators != want.Comparators ||
+				got.Leaves != want.Leaves ||
+				got.MACs != want.MACs ||
+				got.Sigmoids != want.Sigmoids ||
+				got.TableWords != want.TableWords ||
+				got.Submodels != want.Submodels {
+				t.Fatalf("%s: hls census %+v != compiled census %+v", label, got, want)
+			}
+			if got.Comparators+got.Leaves+got.MACs+got.Sigmoids+got.TableWords == 0 {
+				t.Fatalf("%s: census counted no operators at all", label)
+			}
+		}
+	}
+}
+
+// TestCensusUnsupportedAgrees: what one backend refuses, the other must
+// refuse too — KNN's stored-corpus model has no operator lowering in
+// either.
+func TestCensusUnsupportedAgrees(t *testing.T) {
+	train := mltest.Blobs(120, 4, 1)
+	km, err := zoo.MustNew("KNN", 3).Train(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []mlearn.Classifier{km, fakeModel{}} {
+		if _, err := CensusOf(c); err == nil {
+			t.Fatalf("hls census accepted %T", c)
+		}
+		if _, err := compiled.Compile(c); !errors.Is(err, compiled.ErrUnsupported) {
+			t.Fatalf("compiled backend accepted %T (err %v)", c, err)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package compiled_test
+
+import (
+	"testing"
+
+	"repro/internal/mlearn/compiled"
+)
+
+// TestEvaluatorZeroAlloc gates the hot path: once an Evaluator exists,
+// Score, Predict, DistributionInto and a preallocated ScoreBatch must
+// not allocate for any compiled family — the same 0 allocs/interval
+// contract the fleet engine enforces end to end.
+func TestEvaluatorZeroAlloc(t *testing.T) {
+	for _, tc := range buildCorpus(t) {
+		t.Run(tc.label, func(t *testing.T) {
+			prog, err := compiled.Compile(tc.model)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			ev := prog.NewEvaluator()
+			dist := make([]float64, prog.NumClasses())
+			xs := testSet.X[:32]
+			out := make([]float64, len(xs))
+			// Warm once (nothing is lazily sized, but keep the gate
+			// honest about steady state).
+			ev.Score(xs[0])
+			ev.ScoreBatch(xs, out)
+
+			if n := testing.AllocsPerRun(200, func() { ev.Score(xs[1]) }); n != 0 {
+				t.Errorf("Score allocates %.1f/op", n)
+			}
+			if n := testing.AllocsPerRun(200, func() { ev.Predict(xs[1]) }); n != 0 {
+				t.Errorf("Predict allocates %.1f/op", n)
+			}
+			if n := testing.AllocsPerRun(200, func() { ev.DistributionInto(xs[1], dist) }); n != 0 {
+				t.Errorf("DistributionInto allocates %.1f/op", n)
+			}
+			if n := testing.AllocsPerRun(50, func() { ev.ScoreBatch(xs, out) }); n != 0 {
+				t.Errorf("ScoreBatch allocates %.1f/op", n)
+			}
+		})
+	}
+}

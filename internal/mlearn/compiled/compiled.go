@@ -1,0 +1,315 @@
+// Package compiled lowers *trained* classifiers into flattened,
+// cache-contiguous, branch-light evaluation programs — mirroring in
+// software what the hls package does for hardware (§4.4 of the paper:
+// a trained detector becomes fixed comparator trees, MAC arrays and
+// lookup tables precisely because interpreted per-sample evaluation is
+// too slow for 10 ms run-time detection).
+//
+// The contract is strict bit-identical equivalence: for every input
+// vector, a compiled program produces exactly the float64 distribution
+// the interpreted model produces, operation for operation. Lowerings
+// therefore reorganise *memory* (pointer trees become index arrays,
+// [][]float64 weight matrices become row-major slices, CPTs become one
+// packed table) but never reorder or refactor the floating-point
+// schedule. Anything that cannot be lowered under that contract (KNN's
+// stored corpus, unknown model types) fails with ErrUnsupported and the
+// caller keeps the interpreted path.
+//
+// A Program is immutable after Compile and safe to share across
+// goroutines (fleet shards and sibling chains alias one Program). All
+// mutable evaluation scratch lives in an Evaluator — one per goroutine,
+// exactly the ownership rule of mlearn.StreamingClassifier.
+package compiled
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/bayesnet"
+	"repro/internal/mlearn/ensemble"
+	"repro/internal/mlearn/j48"
+	"repro/internal/mlearn/jrip"
+	"repro/internal/mlearn/logistic"
+	"repro/internal/mlearn/mlp"
+	"repro/internal/mlearn/oner"
+	"repro/internal/mlearn/reptree"
+	"repro/internal/mlearn/sgd"
+	"repro/internal/mlearn/smo"
+)
+
+// ErrUnsupported marks a model the compiler cannot lower bit-identically
+// (stored-corpus KNN, specialized ensembles, unknown types). Callers
+// fall back to the interpreted model.
+var ErrUnsupported = errors.New("compiled: unsupported model")
+
+// BatchClassifier is what a compiled evaluation context offers the
+// batched scoring path: the streaming classifier contract plus batch
+// scoring and a probe-free class count. Evaluator implements it.
+type BatchClassifier interface {
+	mlearn.StreamingClassifier
+	// NumClasses reports the class count without evaluating anything.
+	NumClasses() int
+	// Score returns P(class 1) for one vector, allocation-free.
+	Score(x []float64) float64
+	// Predict returns the argmax class (ties toward the lower index).
+	Predict(x []float64) int
+	// ScoreBatch scores every row of xs into out (allocating out only
+	// when nil) and returns out.
+	ScoreBatch(xs [][]float64, out []float64) []float64
+}
+
+// kind discriminates the lowered program families.
+type kind uint8
+
+const (
+	kindTree kind = iota // single flattened decision tree
+	kindBoostForest      // AdaBoost over trees, fused weighted-vote pass
+	kindBagForest        // Bagging over trees, fused averaging pass
+	kindLinear           // SGD/SMO: fused scale+dot, hard output
+	kindLogistic         // linear datapath + sigmoid output
+	kindMLP              // row-major matrices, blocked batch evaluation
+	kindBayes            // packed CPT + cut tables
+	kindOneR             // threshold ladder
+	kindRules            // flattened ordered rule list
+	kindBoostCommittee   // AdaBoost over mixed compiled members
+	kindBagCommittee     // Bagging over mixed compiled members
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindTree:
+		return "tree"
+	case kindBoostForest:
+		return "boosted-forest"
+	case kindBagForest:
+		return "bagged-forest"
+	case kindLinear:
+		return "linear"
+	case kindLogistic:
+		return "logistic"
+	case kindMLP:
+		return "mlp"
+	case kindBayes:
+		return "bayes"
+	case kindOneR:
+		return "oner"
+	case kindRules:
+		return "rules"
+	case kindBoostCommittee:
+		return "boosted-committee"
+	case kindBagCommittee:
+		return "bagged-committee"
+	}
+	return "unknown"
+}
+
+// Census counts the structural operators of a compiled program — the
+// software twin of the hls package's hardware operator inventory. The
+// two are computed independently (hls walks the pointer-linked trained
+// structures, this package counts its flattened arrays) and a test
+// asserts they agree for every zoo model, so the lowerings cannot
+// drift apart.
+type Census struct {
+	// Comparators counts threshold tests: tree internal nodes, rule
+	// conditions, discretizer bin-ladder steps, OneR interval cuts.
+	Comparators int
+	// Leaves counts decision-tree leaf nodes.
+	Leaves int
+	// MACs counts multiply-accumulates per evaluation: linear weights,
+	// MLP weights across both layers.
+	MACs int
+	// Sigmoids counts sigmoid units (MLP neurons, logistic output).
+	Sigmoids int
+	// TableWords counts lookup-table entries (CPT entries + priors).
+	TableWords int
+	// Submodels counts ensemble members (1 for a plain model).
+	Submodels int
+}
+
+// add accumulates other into c (used for ensemble censuses).
+func (c *Census) add(other Census) {
+	c.Comparators += other.Comparators
+	c.Leaves += other.Leaves
+	c.MACs += other.MACs
+	c.Sigmoids += other.Sigmoids
+	c.TableWords += other.TableWords
+}
+
+// Program is an immutable compiled model: flat arrays, no pointers to
+// chase, no interface dispatch on the hot path. Share one Program
+// across any number of goroutines; evaluate through per-goroutine
+// Evaluators.
+type Program struct {
+	kind    kind
+	classes int
+
+	forest *forestProgram
+	linear *linearProgram
+	mlp    *mlpProgram
+	bayes  *bayesProgram
+	oner   *onerProgram
+	rules  *rulesProgram
+
+	// committee members (kindBoostCommittee / kindBagCommittee); alphas
+	// are the boosted vote weights.
+	members []*Program
+	alphas  []float64
+
+	census Census
+}
+
+// NumClasses reports the program's class count, statically — no model
+// probe, so it is safe to call while other goroutines evaluate.
+func (p *Program) NumClasses() int { return p.classes }
+
+// Kind names the lowered program family ("boosted-forest", "mlp", ...).
+func (p *Program) Kind() string { return p.kind.String() }
+
+// Census returns the program's structural operator counts.
+func (p *Program) Census() Census { return p.census }
+
+// compileCount counts top-level Compile calls — the test hook that pins
+// compile-once-per-template sharing across replicas and siblings.
+var compileCount atomic.Int64
+
+// CompileCount returns the number of top-level Compile invocations in
+// this process. Tests snapshot it around replica/sibling construction
+// to prove compiled artifacts are shared rather than rebuilt.
+func CompileCount() int64 { return compileCount.Load() }
+
+// Compile lowers a trained classifier into an immutable Program. The
+// result evaluates bit-identically to the model's own
+// Distribution/DistributionInto. Models that cannot be lowered under
+// that guarantee return an error wrapping ErrUnsupported.
+func Compile(c mlearn.Classifier) (*Program, error) {
+	compileCount.Add(1)
+	return compile(c)
+}
+
+// compile is the recursive lowering entry (ensemble members come
+// through here without bumping the top-level counter).
+func compile(c mlearn.Classifier) (*Program, error) {
+	switch m := c.(type) {
+	case *j48.Model:
+		return compileTree(m.Root)
+	case *reptree.Model:
+		return compileTree(m.Root)
+	case *ensemble.BoostedModel:
+		return compileBoosted(m)
+	case *ensemble.BaggedModel:
+		return compileBagged(m)
+	case *sgd.Model:
+		return compileLinear(m.Scaler, m.Weights, m.Bias, false)
+	case *smo.Model:
+		return compileLinear(m.Scaler, m.Weights, m.Bias, false)
+	case *logistic.Model:
+		return compileLinear(m.Scaler, m.Weights, m.Bias, true)
+	case *mlp.Model:
+		return compileMLP(m)
+	case *bayesnet.Model:
+		return compileBayes(m)
+	case *oner.Model:
+		return compileOneR(m)
+	case *jrip.Model:
+		return compileRules(m)
+	}
+	return nil, fmt.Errorf("%w: %T", ErrUnsupported, c)
+}
+
+// compileBoosted lowers an AdaBoost committee: all-tree committees fuse
+// into one flattened forest scored in a single weighted-vote pass;
+// mixed committees compile each member and keep the vote loop.
+func compileBoosted(m *ensemble.BoostedModel) (*Program, error) {
+	if len(m.Models) == 0 || len(m.Alphas) != len(m.Models) || m.NumClasses < 1 {
+		return nil, fmt.Errorf("%w: malformed boosted ensemble", ErrUnsupported)
+	}
+	if roots := treeRoots(m.Models); roots != nil {
+		fp, err := flattenForest(roots, m.NumClasses)
+		if err != nil {
+			return nil, err
+		}
+		fp.alphas = append([]float64(nil), m.Alphas...)
+		p := &Program{kind: kindBoostForest, classes: m.NumClasses, forest: fp}
+		p.census = fp.censusOf()
+		return p, nil
+	}
+	members, census, err := compileMembers(m.Models, m.NumClasses)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{
+		kind:    kindBoostCommittee,
+		classes: m.NumClasses,
+		members: members,
+		alphas:  append([]float64(nil), m.Alphas...),
+		census:  census,
+	}
+	return p, nil
+}
+
+// compileBagged lowers a Bagging committee the same way: all-tree bags
+// fuse into one forest averaged in a single pass.
+func compileBagged(m *ensemble.BaggedModel) (*Program, error) {
+	if len(m.Models) == 0 || m.NumClasses < 1 {
+		return nil, fmt.Errorf("%w: malformed bagged ensemble", ErrUnsupported)
+	}
+	if roots := treeRoots(m.Models); roots != nil {
+		fp, err := flattenForest(roots, m.NumClasses)
+		if err != nil {
+			return nil, err
+		}
+		p := &Program{kind: kindBagForest, classes: m.NumClasses, forest: fp}
+		p.census = fp.censusOf()
+		return p, nil
+	}
+	members, census, err := compileMembers(m.Models, m.NumClasses)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{kind: kindBagCommittee, classes: m.NumClasses, members: members, census: census}
+	return p, nil
+}
+
+// treeRoots returns the member tree roots when every committee member
+// is a plain decision tree (the fused-forest fast path), nil otherwise.
+func treeRoots(models []mlearn.Classifier) []*mlearn.TreeNode {
+	roots := make([]*mlearn.TreeNode, len(models))
+	for i, m := range models {
+		switch t := m.(type) {
+		case *j48.Model:
+			roots[i] = t.Root
+		case *reptree.Model:
+			roots[i] = t.Root
+		default:
+			return nil
+		}
+		if roots[i] == nil {
+			return nil
+		}
+	}
+	return roots
+}
+
+// compileMembers lowers every committee member, verifying each agrees
+// on the class count; one uncompilable member fails the whole ensemble
+// (which then stays interpreted — a half-compiled committee could not
+// be bit-identical).
+func compileMembers(models []mlearn.Classifier, classes int) ([]*Program, Census, error) {
+	members := make([]*Program, len(models))
+	census := Census{Submodels: len(models)}
+	for i, m := range models {
+		p, err := compile(m)
+		if err != nil {
+			return nil, Census{}, fmt.Errorf("member %d: %w", i, err)
+		}
+		if p.classes != classes {
+			return nil, Census{}, fmt.Errorf("%w: member %d has %d classes, ensemble has %d",
+				ErrUnsupported, i, p.classes, classes)
+		}
+		members[i] = p
+		census.add(p.census)
+	}
+	return members, census, nil
+}

@@ -1,0 +1,275 @@
+package compiled_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/compiled"
+	"repro/internal/mlearn/ensemble"
+	"repro/internal/mlearn/knn"
+	"repro/internal/mlearn/mltest"
+	"repro/internal/mlearn/zoo"
+)
+
+// trained is one (label, model) pair of the equivalence corpus.
+type trained struct {
+	label string
+	model mlearn.Classifier
+}
+
+var (
+	corpusOnce sync.Once
+	corpus     []trained
+	trainSet   *dataset.Instances
+	testSet    *dataset.Instances
+)
+
+// buildCorpus trains every zoo detector kind (8 names x 3 variants)
+// plus the Logistic baseline on a small synthetic set — the full
+// compile surface.
+func buildCorpus(t *testing.T) []trained {
+	t.Helper()
+	corpusOnce.Do(func() {
+		trainSet = mltest.Blobs(120, 1.0, 7)
+		testSet = mltest.Blobs(90, 1.0, 9)
+		for _, name := range zoo.Names() {
+			for _, v := range []zoo.Variant{zoo.General, zoo.Boosted, zoo.Bagged} {
+				tr, err := zoo.NewVariantOpts(name, v, zoo.Options{Iterations: 5, Seed: 3})
+				if err != nil {
+					panic(err)
+				}
+				m, err := tr.Train(trainSet, nil)
+				if err != nil {
+					panic(fmt.Sprintf("train %s/%s: %v", name, v, err))
+				}
+				corpus = append(corpus, trained{fmt.Sprintf("%s/%s", name, v), m})
+			}
+		}
+		tr, err := zoo.New("Logistic", 3)
+		if err != nil {
+			panic(err)
+		}
+		m, err := tr.Train(trainSet, nil)
+		if err != nil {
+			panic(err)
+		}
+		corpus = append(corpus, trained{"Logistic/General", m})
+	})
+	return corpus
+}
+
+// probeVectors returns the test rows plus out-of-range extremes (the
+// clamp and degenerate paths must agree too).
+func probeVectors() [][]float64 {
+	xs := make([][]float64, 0, len(testSet.X)+4)
+	xs = append(xs, testSet.X...)
+	width := testSet.NumAttrs()
+	zero := make([]float64, width)
+	big := make([]float64, width)
+	neg := make([]float64, width)
+	mix := make([]float64, width)
+	for j := 0; j < width; j++ {
+		big[j] = 1e9
+		neg[j] = -1e9
+		if j%2 == 0 {
+			mix[j] = 1e6
+		} else {
+			mix[j] = -3.5
+		}
+	}
+	return append(xs, zero, big, neg, mix)
+}
+
+func sameBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCompiledBitIdentical is the core equivalence gate: for every zoo
+// model and every probe vector, the compiled evaluator's distribution,
+// score and prediction are bit-for-bit those of the interpreted model.
+func TestCompiledBitIdentical(t *testing.T) {
+	for _, tc := range buildCorpus(t) {
+		t.Run(tc.label, func(t *testing.T) {
+			prog, err := compiled.Compile(tc.model)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			k := prog.NumClasses()
+			if probe := len(tc.model.Distribution(make([]float64, testSet.NumAttrs()))); probe != k {
+				t.Fatalf("NumClasses: compiled %d, interpreted %d", k, probe)
+			}
+			ev := prog.NewEvaluator()
+			scratch := make([]float64, k)
+			got := make([]float64, k)
+			for i, x := range probeVectors() {
+				want := tc.model.Distribution(x)
+				ev.DistributionInto(x, got)
+				if !sameBits(want, got) {
+					t.Fatalf("vector %d: distribution mismatch\ninterpreted %v\ncompiled    %v", i, want, got)
+				}
+				if !sameBits(want, ev.Distribution(x)) {
+					t.Fatalf("vector %d: Distribution mismatch", i)
+				}
+				if ws, gs := mlearn.ScoreWith(tc.model, x, scratch), ev.Score(x); math.Float64bits(ws) != math.Float64bits(gs) {
+					t.Fatalf("vector %d: score %v (interpreted) != %v (compiled)", i, ws, gs)
+				}
+				if wp, gp := mlearn.PredictWith(tc.model, x, scratch), ev.Predict(x); wp != gp {
+					t.Fatalf("vector %d: predict %d (interpreted) != %d (compiled)", i, wp, gp)
+				}
+			}
+		})
+	}
+}
+
+// TestScoreBatchMatchesRowByRow pins the batched kernels (including the
+// blocked MLP tiles, whose loop nest differs from the single-vector
+// path) to the interpreted per-row scores at several batch shapes.
+func TestScoreBatchMatchesRowByRow(t *testing.T) {
+	for _, tc := range buildCorpus(t) {
+		t.Run(tc.label, func(t *testing.T) {
+			prog, err := compiled.Compile(tc.model)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			ev := prog.NewEvaluator()
+			scratch := make([]float64, prog.NumClasses())
+			xs := probeVectors()
+			for _, n := range []int{1, 3, 16, 17, len(xs)} {
+				batch := xs[:n]
+				out := ev.ScoreBatch(batch, make([]float64, n))
+				for i, x := range batch {
+					want := mlearn.ScoreWith(tc.model, x, scratch)
+					if math.Float64bits(want) != math.Float64bits(out[i]) {
+						t.Fatalf("batch %d row %d: %v (interpreted) != %v (compiled)", n, i, want, out[i])
+					}
+				}
+			}
+			if got := ev.ScoreBatch(xs[:4], nil); len(got) != 4 {
+				t.Fatalf("nil out: got len %d", len(got))
+			}
+		})
+	}
+}
+
+// TestProgramSharedAcrossEvaluators runs many evaluators over one
+// Program concurrently — the sharing model fleet shards rely on; run
+// under -race this pins that Programs are read-only after compile.
+func TestProgramSharedAcrossEvaluators(t *testing.T) {
+	for _, tc := range buildCorpus(t) {
+		prog, err := compiled.Compile(tc.model)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.label, err)
+		}
+		want := prog.NewEvaluator().ScoreBatch(testSet.X, nil)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ev := prog.NewEvaluator()
+				got := ev.ScoreBatch(testSet.X, nil)
+				for i := range got {
+					if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+						t.Errorf("%s: concurrent evaluator diverged at row %d", tc.label, i)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// TestFusedForestKinds verifies all-tree ensembles fuse into single
+// forest programs instead of member committees.
+func TestFusedForestKinds(t *testing.T) {
+	buildCorpus(t)
+	wantKind := map[string]string{
+		"J48/General":     "tree",
+		"REPTree/General": "tree",
+		"J48/Boosted":     "boosted-forest",
+		"REPTree/Boosted": "boosted-forest",
+		"J48/Bagging":     "bagged-forest",
+		"REPTree/Bagging": "bagged-forest",
+		"MLP/General":     "mlp",
+		"MLP/Bagging":     "bagged-committee",
+		"SMO/Boosted":     "boosted-committee",
+		"BayesNet/General": "bayes",
+		"OneR/General":     "oner",
+		"JRip/General":     "rules",
+		"SGD/General":      "linear",
+		"Logistic/General": "logistic",
+	}
+	for _, tc := range corpus {
+		want, ok := wantKind[tc.label]
+		if !ok {
+			continue
+		}
+		prog, err := compiled.Compile(tc.model)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.label, err)
+		}
+		if prog.Kind() != want {
+			t.Errorf("%s: compiled to %q, want %q", tc.label, prog.Kind(), want)
+		}
+	}
+}
+
+// TestUnsupportedModels pins the interpreted-fallback contract: KNN
+// (stored corpus), unknown types, and committees containing either all
+// fail with ErrUnsupported.
+func TestUnsupportedModels(t *testing.T) {
+	buildCorpus(t)
+	km, err := knn.New().Train(trainSet, nil)
+	if err != nil {
+		t.Fatalf("train KNN: %v", err)
+	}
+	cases := map[string]mlearn.Classifier{
+		"knn":     km,
+		"unknown": fakeModel{},
+		"boosted-with-knn": &ensemble.BoostedModel{
+			Models: []mlearn.Classifier{km}, Alphas: []float64{1}, NumClasses: 2,
+		},
+		"bagged-with-unknown": &ensemble.BaggedModel{
+			Models: []mlearn.Classifier{fakeModel{}}, NumClasses: 2,
+		},
+	}
+	for label, m := range cases {
+		if _, err := compiled.Compile(m); !errors.Is(err, compiled.ErrUnsupported) {
+			t.Errorf("%s: got err %v, want ErrUnsupported", label, err)
+		}
+	}
+}
+
+type fakeModel struct{}
+
+func (fakeModel) Distribution(x []float64) []float64 { return []float64{0.5, 0.5} }
+
+// TestCompileCount verifies the top-level counter ticks once per
+// Compile regardless of committee depth — the hook the share-once
+// replica tests build on.
+func TestCompileCount(t *testing.T) {
+	models := buildCorpus(t)
+	before := compiled.CompileCount()
+	for _, tc := range models {
+		if _, err := compiled.Compile(tc.model); err != nil {
+			t.Fatalf("%s: %v", tc.label, err)
+		}
+	}
+	if got := compiled.CompileCount() - before; got != int64(len(models)) {
+		t.Fatalf("CompileCount advanced by %d, want %d", got, len(models))
+	}
+}

@@ -1,0 +1,191 @@
+package compiled
+
+import "math"
+
+// Evaluator is a per-goroutine evaluation context over an immutable
+// shared Program: it owns every scratch buffer the kernels need, so any
+// number of Evaluators can score through the same Program concurrently.
+// All buffers are sized at construction — the steady-state Score /
+// Predict / DistributionInto / ScoreBatch paths allocate nothing.
+//
+// Like mlearn.StreamingClassifier, one Evaluator serves one goroutine.
+type Evaluator struct {
+	p *Program
+
+	// dist is k-wide output scratch for Score/Predict/ScoreBatch.
+	dist []float64
+	// u and hidden are the MLP single-vector activations.
+	u, hidden []float64
+	// bu and bh are the MLP blocked-batch tiles (mlpBlock samples).
+	bu, bh []float64
+	// sub and mdist serve mixed committees: one member evaluator each
+	// plus the shared member-distribution scratch, mirroring the
+	// interpreted ensembles' single scratch buffer.
+	sub   []*Evaluator
+	mdist []float64
+}
+
+// NewEvaluator builds an evaluation context for p with all scratch
+// preallocated.
+func (p *Program) NewEvaluator() *Evaluator {
+	e := &Evaluator{p: p, dist: make([]float64, p.classes)}
+	switch p.kind {
+	case kindMLP:
+		mp := p.mlp
+		e.u = make([]float64, mp.in)
+		e.hidden = make([]float64, mp.hid)
+		e.bu = make([]float64, mlpBlock*mp.in)
+		e.bh = make([]float64, mlpBlock*mp.hid)
+	case kindBoostCommittee, kindBagCommittee:
+		e.sub = make([]*Evaluator, len(p.members))
+		for i, m := range p.members {
+			e.sub[i] = m.NewEvaluator()
+		}
+		e.mdist = make([]float64, p.classes)
+	}
+	return e
+}
+
+// Program returns the shared compiled program this evaluator runs.
+func (e *Evaluator) Program() *Program { return e.p }
+
+// NumClasses implements BatchClassifier without evaluating anything.
+func (e *Evaluator) NumClasses() int { return e.p.classes }
+
+// Distribution implements mlearn.Classifier (allocates; use
+// DistributionInto on the hot path).
+func (e *Evaluator) Distribution(x []float64) []float64 {
+	out := make([]float64, e.p.classes)
+	e.DistributionInto(x, out)
+	return out
+}
+
+// DistributionInto implements mlearn.StreamingClassifier: it writes the
+// exact distribution the interpreted model would produce into
+// out[:NumClasses()].
+func (e *Evaluator) DistributionInto(x, out []float64) {
+	switch e.p.kind {
+	case kindTree:
+		e.p.forest.singleInto(x, out)
+	case kindBoostForest:
+		e.p.forest.boostedInto(x, out)
+	case kindBagForest:
+		e.p.forest.baggedInto(x, out)
+	case kindLinear, kindLogistic:
+		e.p.linear.into(x, out)
+	case kindMLP:
+		e.p.mlp.into(x, e.u, e.hidden, out)
+	case kindBayes:
+		e.p.bayes.into(x, out)
+	case kindOneR:
+		e.p.oner.into(x, out)
+	case kindRules:
+		e.p.rules.into(x, out)
+	case kindBoostCommittee:
+		e.boostCommitteeInto(x, out)
+	case kindBagCommittee:
+		e.bagCommitteeInto(x, out)
+	}
+}
+
+// Score returns P(class 1), matching mlearn.ScoreWith's semantics
+// (including the degenerate <2-class guard), with zero allocations.
+func (e *Evaluator) Score(x []float64) float64 {
+	e.DistributionInto(x, e.dist)
+	if len(e.dist) < 2 {
+		return 0
+	}
+	return e.dist[1]
+}
+
+// Predict returns the argmax class with mlearn.PredictWith's tie rule
+// (lowest index wins), with zero allocations.
+func (e *Evaluator) Predict(x []float64) int {
+	e.DistributionInto(x, e.dist)
+	best, bestP := 0, math.Inf(-1)
+	for i, p := range e.dist {
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return best
+}
+
+// ScoreBatch scores every row of xs into out (allocated only when nil)
+// and returns out. MLPs run the blocked matrix-matrix kernel and
+// forests a fused per-row loop with the kind dispatch hoisted out;
+// every other family scores row by row through its flat single-vector
+// kernel (already branch-light and pointer-free, so tiling buys them
+// nothing).
+func (e *Evaluator) ScoreBatch(xs [][]float64, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, len(xs))
+	}
+	switch e.p.kind {
+	case kindMLP:
+		e.p.mlp.scoreBatch(xs, out[:len(xs)], e.bu, e.bh, e.dist)
+	case kindTree, kindBoostForest, kindBagForest:
+		e.p.forest.scoreBatch(e.p.kind, xs, out[:len(xs)], e.dist)
+	default:
+		for i, x := range xs {
+			out[i] = e.Score(x)
+		}
+	}
+	return out
+}
+
+// boostCommitteeInto is ensemble.BoostedModel.DistributionInto with
+// each member's prediction produced by its compiled sub-evaluator: the
+// member distribution lands in the shared mdist scratch, the argmax
+// uses PredictWith's exact loop, and the vote accumulation and
+// normalisation follow the interpreted schedule.
+func (e *Evaluator) boostCommitteeInto(x, out []float64) {
+	k := e.p.classes
+	votes := out[:k]
+	for i := range votes {
+		votes[i] = 0
+	}
+	for i, sub := range e.sub {
+		sub.DistributionInto(x, e.mdist)
+		best, bestP := 0, math.Inf(-1)
+		for c, p := range e.mdist {
+			if p > bestP {
+				best, bestP = c, p
+			}
+		}
+		votes[best] += e.p.alphas[i]
+	}
+	total := 0.0
+	for _, v := range votes {
+		total += v
+	}
+	if total <= 0 {
+		for i := range votes {
+			votes[i] = 1 / float64(k)
+		}
+		return
+	}
+	for i := range votes {
+		votes[i] /= total
+	}
+}
+
+// bagCommitteeInto is ensemble.BaggedModel.DistributionInto with
+// compiled members: accumulate each member's distribution in member
+// order, then divide by the member count.
+func (e *Evaluator) bagCommitteeInto(x, out []float64) {
+	k := e.p.classes
+	avg := out[:k]
+	for c := range avg {
+		avg[c] = 0
+	}
+	for _, sub := range e.sub {
+		sub.DistributionInto(x, e.mdist)
+		for c, p := range e.mdist {
+			avg[c] += p
+		}
+	}
+	for c := range avg {
+		avg[c] /= float64(len(e.sub))
+	}
+}

@@ -1,0 +1,262 @@
+package compiled
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mlearn"
+)
+
+// fnode is one flattened tree node. Packing the threshold and the three
+// indices into a single struct keeps each visited node on one cache
+// line and costs one bounds check per hop instead of four parallel
+// slice loads.
+//
+//	attr >= 0: internal node — test x[attr] < thr, descend to left
+//	           (true) or right (false).
+//	attr <  0: leaf — left is the leaf's slot in dists (its class
+//	           distribution is dists[left*k : left*k+k]) and right is
+//	           the precomputed argmax class (PredictWith's tie rule:
+//	           lowest index wins), so the boosted vote pass never
+//	           re-scans the distribution.
+type fnode struct {
+	thr   float64
+	attr  int32
+	left  int32
+	right int32
+}
+
+// forestProgram is one or more decision trees flattened into one
+// contiguous node array: children are indices instead of pointers, so a
+// root-to-leaf walk is a tight loop over one slice with no pointer
+// chasing. The same structure serves a single tree (one root), an
+// AdaBoost committee (alphas set, fused weighted-vote pass) and a
+// Bagging committee (fused averaging pass).
+type forestProgram struct {
+	k     int
+	roots []int32
+	nodes []fnode
+	dists []float64
+	// alphas are the AdaBoost vote weights (kindBoostForest only).
+	alphas []float64
+
+	internal int
+	leaves   int
+}
+
+// compileTree lowers a single J48/REPTree tree (class count read from
+// its first leaf; flattening verifies every leaf agrees).
+func compileTree(root *mlearn.TreeNode) (*Program, error) {
+	if root == nil {
+		return nil, fmt.Errorf("%w: tree model has no root", ErrUnsupported)
+	}
+	leaf := root
+	for leaf != nil && !leaf.Leaf {
+		leaf = leaf.Left
+	}
+	if leaf == nil {
+		return nil, fmt.Errorf("%w: malformed tree (internal node without left child)", ErrUnsupported)
+	}
+	fp, err := flattenForest([]*mlearn.TreeNode{root}, len(leaf.Dist))
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{kind: kindTree, classes: fp.k, forest: fp}
+	p.census = fp.censusOf()
+	return p, nil
+}
+
+// flattenForest lowers a set of tree roots sharing class count k into
+// one forestProgram.
+func flattenForest(roots []*mlearn.TreeNode, k int) (*forestProgram, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: tree with empty leaf distribution", ErrUnsupported)
+	}
+	fp := &forestProgram{k: k, roots: make([]int32, len(roots))}
+	for i, r := range roots {
+		idx, err := fp.flatten(r)
+		if err != nil {
+			return nil, fmt.Errorf("tree %d: %w", i, err)
+		}
+		fp.roots[i] = idx
+	}
+	return fp, nil
+}
+
+// flatten appends node n's subtree in preorder and returns its index.
+func (fp *forestProgram) flatten(n *mlearn.TreeNode) (int32, error) {
+	if n == nil {
+		return 0, fmt.Errorf("%w: nil tree node", ErrUnsupported)
+	}
+	if len(fp.nodes) > math.MaxInt32-2 {
+		return 0, fmt.Errorf("%w: forest too large to index", ErrUnsupported)
+	}
+	idx := int32(len(fp.nodes))
+	if n.Leaf {
+		if len(n.Dist) != fp.k {
+			return 0, fmt.Errorf("%w: leaf distribution has %d classes, forest has %d",
+				ErrUnsupported, len(n.Dist), fp.k)
+		}
+		slot := int32(len(fp.dists) / fp.k)
+		fp.dists = append(fp.dists, n.Dist...)
+		fp.nodes = append(fp.nodes, fnode{attr: -1, left: slot, right: argmax32(n.Dist)})
+		fp.leaves++
+		return idx, nil
+	}
+	if n.Attr < 0 || n.Left == nil || n.Right == nil {
+		return 0, fmt.Errorf("%w: malformed internal tree node", ErrUnsupported)
+	}
+	fp.nodes = append(fp.nodes, fnode{thr: n.Threshold, attr: int32(n.Attr)})
+	fp.internal++
+	l, err := fp.flatten(n.Left)
+	if err != nil {
+		return 0, err
+	}
+	r, err := fp.flatten(n.Right)
+	if err != nil {
+		return 0, err
+	}
+	fp.nodes[idx].left = l
+	fp.nodes[idx].right = r
+	return idx, nil
+}
+
+// argmax32 is PredictWith's argmax with its tie rule (lowest index
+// wins), precomputed at compile time for each leaf.
+func argmax32(dist []float64) int32 {
+	best, bestP := 0, math.Inf(-1)
+	for i, p := range dist {
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return int32(best)
+}
+
+func (fp *forestProgram) censusOf() Census {
+	return Census{
+		Comparators: fp.internal,
+		Leaves:      fp.leaves,
+		Submodels:   len(fp.roots),
+	}
+}
+
+// leafOf walks tree t for x and returns its leaf node index — the same
+// comparison sequence as TreeNode.DistributionInto, over the flat node
+// array.
+func (fp *forestProgram) leafOf(t int, x []float64) int32 {
+	nodes := fp.nodes
+	n := fp.roots[t]
+	for {
+		nd := &nodes[n]
+		if nd.attr < 0 {
+			return n
+		}
+		if x[nd.attr] < nd.thr {
+			n = nd.left
+		} else {
+			n = nd.right
+		}
+	}
+}
+
+// singleInto copies the reached leaf's distribution into out, exactly
+// like TreeNode.DistributionInto.
+func (fp *forestProgram) singleInto(x, out []float64) {
+	n := fp.leafOf(0, x)
+	slot := int(fp.nodes[n].left) * fp.k
+	copy(out[:fp.k], fp.dists[slot:slot+fp.k])
+}
+
+// boostedInto is ensemble.BoostedModel.DistributionInto fused into one
+// pass: each tree walk lands on a leaf whose argmax class was
+// precomputed, so the vote loop is walk + one indexed add per member.
+// The accumulation, normalisation and degenerate-total handling follow
+// the interpreted schedule operation for operation.
+func (fp *forestProgram) boostedInto(x, out []float64) {
+	votes := out[:fp.k]
+	for i := range votes {
+		votes[i] = 0
+	}
+	for t := range fp.roots {
+		n := fp.leafOf(t, x)
+		votes[fp.nodes[n].right] += fp.alphas[t]
+	}
+	total := 0.0
+	for _, v := range votes {
+		total += v
+	}
+	if total <= 0 {
+		for i := range votes {
+			votes[i] = 1 / float64(fp.k)
+		}
+		return
+	}
+	for i := range votes {
+		votes[i] /= total
+	}
+}
+
+// baggedInto is ensemble.BaggedModel.DistributionInto fused into one
+// pass: each member's leaf distribution accumulates directly from the
+// packed leaf table in member order, then divides by the member count —
+// the interpreted averaging schedule without the per-member scratch
+// copy.
+func (fp *forestProgram) baggedInto(x, out []float64) {
+	avg := out[:fp.k]
+	for c := range avg {
+		avg[c] = 0
+	}
+	for t := range fp.roots {
+		n := fp.leafOf(t, x)
+		slot := int(fp.nodes[n].left) * fp.k
+		d := fp.dists[slot : slot+fp.k]
+		for c, p := range d {
+			avg[c] += p
+		}
+	}
+	for c := range avg {
+		avg[c] /= float64(len(fp.roots))
+	}
+}
+
+// scoreBatch scores every row through the forest kernel selected once
+// by kd, writing P(class 1) per row — the batched hot path with the
+// per-sample kind dispatch and Score-wrapper overhead hoisted out of
+// the loop. dist is the caller's k-wide scratch.
+//
+// Two alternative batch schedules were benchmarked here and rejected:
+// an interleaved multi-sample walker (at HPC-detector tree sizes the
+// forest lives in L1, walks are mispredict-bound, and lane bookkeeping
+// only added branches) and a tree-outer/row-inner transposed sweep
+// with a per-tile vote matrix (faster on toy forests, but at paper
+// scale the scattered per-(tree,row) accumulator stores lose to the
+// row-at-a-time loop, whose two-class vote cells live in registers).
+func (fp *forestProgram) scoreBatch(kd kind, xs [][]float64, out, dist []float64) {
+	if fp.k < 2 {
+		// mlearn.ScoreWith's degenerate guard: <2 classes scores 0.
+		for i := range xs {
+			out[i] = 0
+		}
+		return
+	}
+	switch kd {
+	case kindTree:
+		// A single tree's score needs no scratch at all: read the
+		// leaf's P(class 1) straight from the packed leaf table.
+		for i, x := range xs {
+			n := fp.leafOf(0, x)
+			out[i] = fp.dists[int(fp.nodes[n].left)*fp.k+1]
+		}
+	case kindBoostForest:
+		for i, x := range xs {
+			fp.boostedInto(x, dist)
+			out[i] = dist[1]
+		}
+	default: // kindBagForest
+		for i, x := range xs {
+			fp.baggedInto(x, dist)
+			out[i] = dist[1]
+		}
+	}
+}

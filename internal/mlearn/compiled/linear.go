@@ -1,0 +1,274 @@
+package compiled
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/mlp"
+)
+
+// linearProgram is a fused SGD/SMO/Logistic datapath: the scaler's
+// min/max and the weight vector sit in contiguous slices and one loop
+// scales each attribute and accumulates its weighted contribution. The
+// per-attribute values and the accumulation order are exactly those of
+// Scaler.ApplyInto followed by the models' dot-product loop — fusing
+// removes the intermediate buffer, not any floating-point operation.
+type linearProgram struct {
+	min, max []float64
+	w        []float64
+	bias     float64
+	// sigmoid selects the logistic output (P = σ(margin)); otherwise the
+	// hard SGD/SMO decision (margin >= 0 → class 1).
+	sigmoid bool
+}
+
+func compileLinear(sc *mlearn.Scaler, weights []float64, bias float64, sigmoid bool) (*Program, error) {
+	if sc == nil || len(weights) == 0 || len(sc.Min) < len(weights) || len(sc.Max) < len(weights) {
+		return nil, fmt.Errorf("%w: linear model with missing scaler or weights", ErrUnsupported)
+	}
+	lp := &linearProgram{
+		min:     append([]float64(nil), sc.Min...),
+		max:     append([]float64(nil), sc.Max...),
+		w:       append([]float64(nil), weights...),
+		bias:    bias,
+		sigmoid: sigmoid,
+	}
+	kd := kindLinear
+	census := Census{MACs: len(weights), Submodels: 1}
+	if sigmoid {
+		kd = kindLogistic
+		census.Sigmoids = 1
+	}
+	return &Program{kind: kd, classes: 2, linear: lp, census: census}, nil
+}
+
+// margin is marginWith with the scale and dot loops fused: identical
+// values in identical order, no scratch buffer.
+func (lp *linearProgram) margin(x []float64) float64 {
+	s := lp.bias
+	for j, w := range lp.w {
+		v := x[j]
+		span := lp.max[j] - lp.min[j]
+		var u float64
+		if span <= 0 {
+			u = 0.5
+		} else {
+			u = (v - lp.min[j]) / span
+			if u < 0 {
+				u = 0
+			}
+			if u > 1 {
+				u = 1
+			}
+		}
+		s += w * u
+	}
+	return s
+}
+
+func (lp *linearProgram) into(x, out []float64) {
+	if lp.sigmoid {
+		p := 1 / (1 + math.Exp(-lp.margin(x)))
+		out[0], out[1] = 1-p, p
+		return
+	}
+	if lp.margin(x) >= 0 {
+		out[0], out[1] = 0, 1
+	} else {
+		out[0], out[1] = 1, 0
+	}
+}
+
+// mlpBlock is the batch tile width for blocked MLP evaluation: within a
+// tile each hidden-unit weight row is loaded once and applied to every
+// sample, turning the batch into a matrix-matrix pass while each
+// sample's own operation schedule stays untouched.
+const mlpBlock = 16
+
+// mlpProgram is an MLP with both layers lowered to row-major flat
+// matrices: w1 holds hid rows of in weights, w2 holds out rows of hid
+// weights, biases ride separately so per-sample accumulation starts
+// from the bias exactly like forwardInto.
+type mlpProgram struct {
+	min, max []float64
+	w1, b1   []float64
+	w2, b2   []float64
+	in, hid  int
+	out      int
+}
+
+func compileMLP(m *mlp.Model) (*Program, error) {
+	hid, out := len(m.B1), len(m.B2)
+	in := m.Inputs()
+	if m.Scaler == nil || in == 0 || hid == 0 || out == 0 ||
+		len(m.W1) != hid || len(m.W2) != out ||
+		len(m.Scaler.Min) < in || len(m.Scaler.Max) < in {
+		return nil, fmt.Errorf("%w: malformed MLP", ErrUnsupported)
+	}
+	mp := &mlpProgram{
+		min: append([]float64(nil), m.Scaler.Min...),
+		max: append([]float64(nil), m.Scaler.Max...),
+		w1:  make([]float64, 0, hid*in),
+		b1:  append([]float64(nil), m.B1...),
+		w2:  make([]float64, 0, out*hid),
+		b2:  append([]float64(nil), m.B2...),
+		in:  in, hid: hid, out: out,
+	}
+	for _, row := range m.W1 {
+		if len(row) != in {
+			return nil, fmt.Errorf("%w: ragged MLP hidden layer", ErrUnsupported)
+		}
+		mp.w1 = append(mp.w1, row...)
+	}
+	for _, row := range m.W2 {
+		if len(row) != hid {
+			return nil, fmt.Errorf("%w: ragged MLP output layer", ErrUnsupported)
+		}
+		mp.w2 = append(mp.w2, row...)
+	}
+	p := &Program{kind: kindMLP, classes: out, mlp: mp}
+	p.census = Census{
+		MACs:      in*hid + hid*out,
+		Sigmoids:  hid + out,
+		Submodels: 1,
+	}
+	return p, nil
+}
+
+func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+
+// scale writes Scaler.ApplyInto(x) into u (same per-attribute values,
+// same clamp sequence).
+func (mp *mlpProgram) scale(x, u []float64) {
+	for j, v := range x {
+		span := mp.max[j] - mp.min[j]
+		if span <= 0 {
+			u[j] = 0.5
+			continue
+		}
+		t := (v - mp.min[j]) / span
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+		u[j] = t
+	}
+}
+
+// into is mlp.Model.DistributionInto over the flat matrices: scale,
+// hidden layer, output layer, normalise — per-sample operation order
+// identical to forwardInto.
+func (mp *mlpProgram) into(x, u, hidden, out []float64) {
+	u = u[:len(x)]
+	mp.scale(x, u)
+	hidden = hidden[:mp.hid]
+	for h := 0; h < mp.hid; h++ {
+		s := mp.b1[h]
+		row := mp.w1[h*mp.in : h*mp.in+mp.in]
+		for j, v := range u {
+			s += row[j] * v
+		}
+		hidden[h] = sigmoid(s)
+	}
+	o := out[:mp.out]
+	for c := range o {
+		s := mp.b2[c]
+		row := mp.w2[c*mp.hid : c*mp.hid+mp.hid]
+		for h, v := range hidden {
+			s += row[h] * v
+		}
+		o[c] = sigmoid(s)
+	}
+	sum := 0.0
+	for _, v := range o {
+		sum += v
+	}
+	if sum <= 0 {
+		for i := range o {
+			o[i] = 1 / float64(len(o))
+		}
+		return
+	}
+	for i := range o {
+		o[i] /= sum
+	}
+}
+
+// scoreBatch is the blocked batch evaluation: the batch is tiled into
+// mlpBlock-sample blocks; within a block every hidden weight row is
+// streamed once across all samples (matrix-matrix traversal) instead of
+// re-read per sample. Each sample's own dot products, sigmoids and
+// normalisation run in the interpreted order, so scores stay
+// bit-identical — only the loop nest across samples changes. bu and bh
+// are mlpBlock*in and mlpBlock*hid scratch; dist is out-wide scratch.
+func (mp *mlpProgram) scoreBatch(xs [][]float64, out, bu, bh, dist []float64) {
+	in, hid, k := mp.in, mp.hid, mp.out
+	for i0 := 0; i0 < len(xs); {
+		m := len(xs) - i0
+		if m > mlpBlock {
+			m = mlpBlock
+		}
+		tiled := true
+		for s := 0; s < m; s++ {
+			if len(xs[i0+s]) != in {
+				tiled = false
+				break
+			}
+		}
+		if !tiled {
+			// Odd-width row: score it alone through the single-vector
+			// kernel (same schedule) and resume tiling after it.
+			mp.into(xs[i0], bu, bh, dist)
+			if k < 2 {
+				out[i0] = 0
+			} else {
+				out[i0] = dist[1]
+			}
+			i0++
+			continue
+		}
+		for s := 0; s < m; s++ {
+			mp.scale(xs[i0+s], bu[s*in:s*in+in])
+		}
+		for h := 0; h < hid; h++ {
+			row := mp.w1[h*in : h*in+in]
+			b := mp.b1[h]
+			for s := 0; s < m; s++ {
+				u := bu[s*in : s*in+in]
+				acc := b
+				for j, v := range u {
+					acc += row[j] * v
+				}
+				bh[s*hid+h] = sigmoid(acc)
+			}
+		}
+		for s := 0; s < m; s++ {
+			hrow := bh[s*hid : s*hid+hid]
+			o := dist[:k]
+			for c := range o {
+				acc := mp.b2[c]
+				row := mp.w2[c*hid : c*hid+hid]
+				for h, v := range hrow {
+					acc += row[h] * v
+				}
+				o[c] = sigmoid(acc)
+			}
+			sum := 0.0
+			for _, v := range o {
+				sum += v
+			}
+			switch {
+			case k < 2:
+				out[i0+s] = 0
+			case sum <= 0:
+				out[i0+s] = 1 / float64(k)
+			default:
+				out[i0+s] = o[1] / sum
+			}
+		}
+		i0 += m
+	}
+}

@@ -1,0 +1,247 @@
+package compiled
+
+import (
+	"fmt"
+
+	"repro/internal/mlearn/bayesnet"
+	"repro/internal/mlearn/jrip"
+	"repro/internal/mlearn/oner"
+)
+
+// bayesProgram is a naive-Bayes network with its per-attribute cut
+// points and conditional probability tables packed into two flat
+// slices: attribute j's cuts live at cuts[cutOff[j]:cutOff[j+1]] and
+// its k×bins CPT block at cpt[cptOff[j]:] indexed [class*bins+bin].
+// Note the interpreted model renormalises the posterior after every
+// attribute (underflow protection), so the lowering keeps the
+// multiplicative probability tables and that exact schedule rather
+// than switching to summed log-probabilities, which would change the
+// float results.
+type bayesProgram struct {
+	k      int
+	prior  []float64
+	cuts   []float64
+	cutOff []int32
+	cpt    []float64
+	cptOff []int32
+	bins   []int32
+}
+
+func compileBayes(m *bayesnet.Model) (*Program, error) {
+	k := len(m.Prior)
+	if m.Disc == nil || k < 1 || len(m.CPT) != len(m.Disc.Cuts) {
+		return nil, fmt.Errorf("%w: malformed BayesNet", ErrUnsupported)
+	}
+	bp := &bayesProgram{
+		k:      k,
+		prior:  append([]float64(nil), m.Prior...),
+		cutOff: make([]int32, 1, len(m.CPT)+1),
+		cptOff: make([]int32, 1, len(m.CPT)+1),
+		bins:   make([]int32, 0, len(m.CPT)),
+	}
+	for j, cuts := range m.Disc.Cuts {
+		bins := len(cuts) + 1
+		if len(m.CPT[j]) != k {
+			return nil, fmt.Errorf("%w: CPT attr %d has %d classes, prior has %d",
+				ErrUnsupported, j, len(m.CPT[j]), k)
+		}
+		for c := 0; c < k; c++ {
+			if len(m.CPT[j][c]) != bins {
+				return nil, fmt.Errorf("%w: CPT attr %d class %d has %d bins, discretizer has %d",
+					ErrUnsupported, j, c, len(m.CPT[j][c]), bins)
+			}
+			bp.cpt = append(bp.cpt, m.CPT[j][c]...)
+		}
+		bp.cuts = append(bp.cuts, cuts...)
+		bp.cutOff = append(bp.cutOff, int32(len(bp.cuts)))
+		bp.cptOff = append(bp.cptOff, int32(len(bp.cpt)))
+		bp.bins = append(bp.bins, int32(bins))
+	}
+	p := &Program{kind: kindBayes, classes: k, bayes: bp}
+	p.census = Census{
+		Comparators: len(bp.cuts),
+		TableWords:  len(bp.cpt) + k,
+		Submodels:   1,
+	}
+	return p, nil
+}
+
+// into is bayesnet.Model.DistributionInto over the packed tables: the
+// same binary bin search per attribute, the same multiply-then-rescale
+// posterior schedule, the same degenerate fallback to the prior.
+func (bp *bayesProgram) into(x, out []float64) {
+	k := bp.k
+	post := out[:k]
+	copy(post, bp.prior)
+	for j := range bp.bins {
+		cuts := bp.cuts[bp.cutOff[j]:bp.cutOff[j+1]]
+		v := x[j]
+		lo, hi := 0, len(cuts)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if v < cuts[mid] {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		bins := int(bp.bins[j])
+		tbl := bp.cpt[bp.cptOff[j]:]
+		for c := 0; c < k; c++ {
+			post[c] *= tbl[c*bins+lo]
+		}
+		sum := 0.0
+		for _, p := range post {
+			sum += p
+		}
+		if sum > 0 {
+			for c := range post {
+				post[c] /= sum
+			}
+		}
+	}
+	sum := 0.0
+	for _, p := range post {
+		sum += p
+	}
+	if sum == 0 {
+		copy(post, bp.prior)
+		return
+	}
+	for c := range post {
+		post[c] /= sum
+	}
+}
+
+// onerProgram is a OneR rule's threshold ladder over one attribute.
+type onerProgram struct {
+	attr    int
+	thr     []float64
+	classes []int32
+	k       int
+}
+
+func compileOneR(m *oner.Model) (*Program, error) {
+	if m.NumClasses < 1 || m.Attr < 0 || len(m.Classes) != len(m.Thresholds)+1 {
+		return nil, fmt.Errorf("%w: malformed OneR rule", ErrUnsupported)
+	}
+	op := &onerProgram{
+		attr:    m.Attr,
+		thr:     append([]float64(nil), m.Thresholds...),
+		classes: make([]int32, len(m.Classes)),
+		k:       m.NumClasses,
+	}
+	for i, c := range m.Classes {
+		if c < 0 || c >= m.NumClasses {
+			return nil, fmt.Errorf("%w: OneR interval class out of range", ErrUnsupported)
+		}
+		op.classes[i] = int32(c)
+	}
+	p := &Program{kind: kindOneR, classes: m.NumClasses, oner: op}
+	p.census = Census{Comparators: len(op.thr), Submodels: 1}
+	return p, nil
+}
+
+// into is oner.Model.DistributionInto: zero, then one-hot the interval
+// class found by the same ascending threshold scan.
+func (op *onerProgram) into(x, out []float64) {
+	o := out[:op.k]
+	for i := range o {
+		o[i] = 0
+	}
+	v := x[op.attr]
+	cls := op.classes[len(op.classes)-1]
+	for i, th := range op.thr {
+		if v < th {
+			cls = op.classes[i]
+			break
+		}
+	}
+	o[cls] = 1
+}
+
+// rulesProgram is a JRip ordered rule list flattened into condition
+// arrays: rule r's conditions live at [ruleOff[r]:ruleOff[r+1]].
+type rulesProgram struct {
+	condAttr []int32
+	condGe   []bool
+	condThr  []float64
+	ruleOff  []int32
+	ruleCls  []int32
+	ruleConf []float64
+	def      []float64
+	k        int
+}
+
+func compileRules(m *jrip.Model) (*Program, error) {
+	if m.NumClasses < 2 || len(m.Default) < m.NumClasses {
+		return nil, fmt.Errorf("%w: malformed JRip model", ErrUnsupported)
+	}
+	rp := &rulesProgram{
+		ruleOff: make([]int32, 1, len(m.Rules)+1),
+		def:     append([]float64(nil), m.Default...),
+		k:       m.NumClasses,
+	}
+	for i := range m.Rules {
+		r := &m.Rules[i]
+		if r.Class < 0 || r.Class >= m.NumClasses {
+			return nil, fmt.Errorf("%w: JRip rule class out of range", ErrUnsupported)
+		}
+		for _, c := range r.Conds {
+			if c.Attr < 0 {
+				return nil, fmt.Errorf("%w: JRip condition attribute out of range", ErrUnsupported)
+			}
+			rp.condAttr = append(rp.condAttr, int32(c.Attr))
+			rp.condGe = append(rp.condGe, c.Ge)
+			rp.condThr = append(rp.condThr, c.Threshold)
+		}
+		rp.ruleOff = append(rp.ruleOff, int32(len(rp.condAttr)))
+		rp.ruleCls = append(rp.ruleCls, int32(r.Class))
+		rp.ruleConf = append(rp.ruleConf, r.Confidence)
+	}
+	p := &Program{kind: kindRules, classes: m.NumClasses, rules: rp}
+	p.census = Census{
+		Comparators: len(rp.condAttr),
+		TableWords:  m.NumClasses,
+		Submodels:   1,
+	}
+	return p, nil
+}
+
+// into is jrip.Model.DistributionInto: first matching rule fires with
+// its confidence spread, otherwise the default distribution.
+func (rp *rulesProgram) into(x, out []float64) {
+	o := out[:rp.k]
+	for r := 0; r < len(rp.ruleCls); r++ {
+		matched := true
+		for ci := rp.ruleOff[r]; ci < rp.ruleOff[r+1]; ci++ {
+			// The negations are written against the interpreted
+			// comparisons (x >= t / x <= t) so NaN inputs fail to match
+			// exactly as they do in Condition.Match.
+			v := x[rp.condAttr[ci]]
+			if rp.condGe[ci] {
+				if !(v >= rp.condThr[ci]) {
+					matched = false
+					break
+				}
+			} else if !(v <= rp.condThr[ci]) {
+				matched = false
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		rest := (1 - rp.ruleConf[r]) / float64(rp.k-1)
+		cls := int(rp.ruleCls[r])
+		for c := range o {
+			if c == cls {
+				o[c] = rp.ruleConf[r]
+			} else {
+				o[c] = rest
+			}
+		}
+		return
+	}
+	copy(o, rp.def)
+}

@@ -63,6 +63,10 @@ type Snapshot struct {
 	// ActiveStage names the fallback-chain stage that scored the most
 	// recent verdict ("" before the first one).
 	ActiveStage string
+	// ChainStages is the chain's stage count; CompiledStages of those
+	// score through compiled programs (the rest run interpreted).
+	ChainStages    int
+	CompiledStages int
 }
 
 // stats is the pipeline's mutable counter set. A plain mutex keeps it

@@ -170,6 +170,8 @@ func (p *Pipeline) Stats() Snapshot {
 	snap := p.st.snapshot()
 	snap.Breaker = p.br.Snapshot()
 	snap.QueueCap = p.cfg.queueCap()
+	snap.ChainStages = p.cfg.Chain.Stages()
+	snap.CompiledStages = p.cfg.Chain.CompiledStages()
 	p.mu.Lock()
 	q1, q2 := p.q1, p.q2
 	p.mu.Unlock()

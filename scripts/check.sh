@@ -13,12 +13,23 @@ go test -race ./internal/supervise ./internal/core
 go test -race ./internal/eval ./internal/mlearn/ensemble
 go test -race ./internal/fleet
 go test -run TestChaos -short ./internal/experiments
+# Compiled-equivalence gate: every compiled kernel must produce
+# bit-identical verdicts to its interpreted model (unit equivalence in
+# compiled, chain/checkpoint/replicator equivalence in core), under the
+# race detector so shared-Program scoring is exercised concurrently.
+go test -race ./internal/mlearn/compiled ./internal/core
 # Throughput-engine smoke: the Inference benches must report
 # 0 allocs/op on the chain and batcher paths (gated hard by the
 # ZeroAlloc tests; this prints the numbers for the log).
 go test -bench=BenchmarkInference -benchmem -benchtime=10x -run @ .
 # Fleet-engine smoke: the scaling sweep at reduced corpus and stream
-# counts — exercises the sharded engine, the per-pipeline baseline and
-# the lossless-verdict assertion end to end.
+# counts — exercises the sharded engine (compiled shard batchers, the
+# default), the per-pipeline baseline and the lossless-verdict
+# assertion end to end. The fleet equivalence test above already pins
+# compiled-vs-interpreted fleet verdicts bit for bit.
 go run ./cmd/hmd-bench -exp fleet -apps 2 -intervals 8 \
   -fleetstreams 8,32 -fleetintervals 50 -fleetout /tmp/check-fleet.json
+# Compiled-backend smoke: the CompiledVsInterpreted benches print the
+# per-family numbers for the log (equivalence itself is gated by the
+# race-mode tests above).
+go test -bench=BenchmarkCompiledVsInterpreted -benchmem -benchtime=10x -run @ .
