@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	hmd-bench [-exp all|table1|figure3|table2|figure4|figure5|table3|robustness|chaos|perf|fleet|claims]
+//	hmd-bench [-exp all|table1|figure3|table2|figure4|figure5|table3|robustness|chaos|perf|fleet|ingest|claims]
 //	          [-apps N] [-intervals N] [-seed N]
 //	          [-cpuprofile cpu.out] [-memprofile mem.out]
 //
@@ -37,7 +37,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, figure3, table2, figure4, figure5, table3, extensions, robustness, chaos, perf, fleet, claims")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, figure3, table2, figure4, figure5, table3, extensions, robustness, chaos, perf, fleet, ingest, claims")
 	apps := flag.Int("apps", 10, "applications per behaviour family (10 = paper scale, 120 apps)")
 	intervals := flag.Int("intervals", 30, "sampling intervals per run")
 	seed := flag.Uint64("seed", 1, "split/training seed")
@@ -45,6 +45,9 @@ func main() {
 	fleetOut := flag.String("fleetout", "BENCH_FLEET.json", "output path of the -exp fleet report")
 	fleetStreams := flag.String("fleetstreams", "", "comma-separated stream counts for -exp fleet (default 16,64,256,512,1024)")
 	fleetIntervals := flag.Int("fleetintervals", 0, "intervals per stream for -exp fleet (default 200)")
+	ingestOut := flag.String("ingestout", "BENCH_INGEST.json", "output path of the -exp ingest report")
+	ingestStreams := flag.Int("ingeststreams", 0, "concurrent TCP clients for -exp ingest (default 8)")
+	ingestSamples := flag.Int("ingestsamples", 0, "samples per client for -exp ingest (default 200)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
 	flag.Parse()
@@ -80,6 +83,9 @@ func main() {
 	}
 	perfPath = *perfOut
 	fleetPath = *fleetOut
+	ingestPath = *ingestOut
+	ingestCfg.Streams = *ingestStreams
+	ingestCfg.Samples = *ingestSamples
 	fleetCfg.Intervals = *fleetIntervals
 	if *fleetStreams != "" {
 		counts, err := parseCounts(*fleetStreams)
@@ -125,6 +131,9 @@ func main() {
 	}
 	if *exp == "fleet" {
 		run("fleet", fleetReport)
+	}
+	if *exp == "ingest" {
+		run("ingest", ingestReport)
 	}
 	run("claims", claims)
 }
@@ -324,6 +333,55 @@ func fleetReport(ctx *experiments.Context) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "fleet report written to %s\n", fleetPath)
+	return nil
+}
+
+// ingestPath is where -exp ingest writes its JSON report; ingestCfg
+// holds the flag overrides (zero values mean experiment defaults).
+var (
+	ingestPath string
+	ingestCfg  experiments.IngestBenchConfig
+)
+
+// ingestReport first runs the ingest chaos drill (real loopback TCP
+// clients under seeded wire faults, a quota storm and a mid-run
+// drain/restart — the network plane's service contracts must all hold),
+// then sweeps offered load against the service rate and writes the
+// JSON artefact alongside the console summary.
+func ingestReport(ctx *experiments.Context) error {
+	dir, err := os.MkdirTemp("", "hmd-ingest-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	res, err := ctx.IngestChaos(experiments.IngestChaosConfig{
+		Plan:          faults.WirePlan{Seed: 0x16E57, Rate: 0.25},
+		CheckpointDir: dir,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderIngestChaos(res))
+	fmt.Println()
+	if !res.Passed() {
+		return fmt.Errorf("ingest chaos drill contracts failed")
+	}
+
+	rep, err := ctx.IngestBench(ingestCfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderIngest(rep))
+	fmt.Println()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(ingestPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ingest report written to %s\n", ingestPath)
 	return nil
 }
 

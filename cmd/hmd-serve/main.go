@@ -12,6 +12,7 @@
 //
 //	hmd-serve [-addr :8642] [-checkpoint DIR] [-faults RATE] [-loops N] ...
 //	hmd-serve -streams 256 -shards 8 ...   (fleet mode)
+//	hmd-serve -ingest :9642 -addr :8642 ...   (network ingest mode)
 //
 // With -streams N > 0 the service runs in fleet mode: instead of one
 // supervised pipeline monitoring apps sequentially, the sharded fleet
@@ -20,16 +21,29 @@
 // shards with cross-stream batched inference, all paced by one timer
 // wheel at -stream-interval (the paper's 10 ms by default).
 //
+// With -ingest ADDR the service opens the network front door instead of
+// generating its own streams: remote clients feed HPC feature vectors
+// over the length-prefixed binary TCP protocol (internal/ingest), each
+// (tenant, stream) pair is admitted into the fleet engine subject to
+// per-tenant quotas, and verdicts are echoed back on the same
+// connection. The first SIGTERM drains gracefully — admissions are
+// refused with DRAIN frames, buffered samples are scored, chain state
+// is checkpointed — and a second SIGTERM aborts the drain.
+//
 // HTTP endpoints (when -addr is set):
 //
 //	/healthz  liveness: 200 as soon as the process serves HTTP
-//	/readyz   readiness: 503 while training/recovering, 200 once monitoring
+//	/readyz   readiness: 503 while training/recovering or draining
+//	          (body "draining"), 200 once monitoring
 //	/stats    JSON snapshot: service phase, collection progress while
 //	          training, and the supervised pipeline's counters (restarts,
 //	          breaker trips, queue depths, drops, checkpoints). In fleet
 //	          mode: aggregate fleet counters, per-shard throughput and
 //	          latency percentiles, and per-stream detail (suppress the
-//	          per-stream section with /stats?streams=0)
+//	          per-stream section with /stats?streams=0). In ingest mode
+//	          additionally the ingest-plane counters
+//	/drainz   POST: start a graceful ingest drain (ingest mode only)
+//	/ingest/...  debug JSON ingest surface (ingest mode only)
 //	/debug/pprof/...  Go profiling endpoints (only with -pprof)
 //
 // The service is deterministic per seed: faults, crashes, breaker
@@ -45,6 +59,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -59,6 +74,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/fleet"
+	"repro/internal/ingest"
 	"repro/internal/micro"
 	"repro/internal/mlearn/zoo"
 	"repro/internal/supervise"
@@ -88,6 +104,13 @@ func main() {
 	shards := flag.Int("shards", 0, "fleet mode: worker shards (0 = GOMAXPROCS)")
 	streamInterval := flag.Duration("stream-interval", 10*time.Millisecond, "fleet mode: per-stream sampling interval (0 = unpaced)")
 	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof on the HTTP mux")
+	ingestAddr := flag.String("ingest", "", "ingest mode: TCP listen address for the binary ingest protocol (empty = off)")
+	ingestWindow := flag.Int("ingest-window", 0, "ingest mode: per-stream inflight sample window (0 = default 64)")
+	ingestMaxConns := flag.Int("ingest-max-conns", 0, "ingest mode: global concurrent connection cap (0 = default 1024)")
+	ingestQuotaStreams := flag.Int("ingest-quota-streams", 0, "ingest mode: per-tenant live stream cap (0 = unlimited)")
+	ingestQuotaConns := flag.Int("ingest-quota-conns", 0, "ingest mode: per-tenant connection cap (0 = unlimited)")
+	ingestQuotaAdmit := flag.Float64("ingest-quota-admit", 0, "ingest mode: per-tenant stream admissions per second (0 = unlimited)")
+	ingestQuotaSamples := flag.Float64("ingest-quota-samples", 0, "ingest mode: per-tenant samples per second (0 = unlimited)")
 	flag.Parse()
 
 	variant := zoo.General
@@ -139,6 +162,28 @@ func main() {
 			fatal(err)
 		}
 		plan = &faults.Plan{Seed: *seed, Rate: *faultRate, Kinds: kinds}
+	}
+
+	// ---- Ingest mode: network front door into the fleet engine ----
+	if *ingestAddr != "" {
+		runIngest(ctx, srv, chain, ingestModeConfig{
+			addr:     *ingestAddr,
+			window:   *ingestWindow,
+			maxConns: *ingestMaxConns,
+			quotas: ingest.Quotas{
+				MaxStreams:    *ingestQuotaStreams,
+				MaxConns:      *ingestQuotaConns,
+				AdmitPerSec:   *ingestQuotaAdmit,
+				SamplesPerSec: *ingestQuotaSamples,
+			},
+			shards:    *shards,
+			interval:  *streamInterval,
+			policy:    overflow,
+			queueCap:  *queueCap,
+			ckptDir:   *ckptDir,
+			ckptEvery: *ckptEvery,
+		})
+		return
 	}
 
 	// ---- Fleet mode: N concurrent streams over sharded workers ----
@@ -330,6 +375,127 @@ func runFleet(ctx context.Context, srv *service, chain *core.FallbackChain, cfg 
 	}
 }
 
+// ingestModeConfig carries the ingest-mode flags.
+type ingestModeConfig struct {
+	addr      string
+	window    int
+	maxConns  int
+	quotas    ingest.Quotas
+	shards    int
+	interval  time.Duration
+	policy    supervise.OverflowPolicy
+	queueCap  int
+	ckptDir   string
+	ckptEvery int
+}
+
+// runIngest opens the network front door: remote clients feed samples
+// over TCP into the fleet engine, which schedules and scores them like
+// any other stream. The first signal starts a graceful drain (refuse
+// admissions, score what is buffered, checkpoint); a second signal
+// aborts it.
+func runIngest(ctx context.Context, srv *service, chain *core.FallbackChain, cfg ingestModeConfig) {
+	var store *core.CheckpointStore
+	var err error
+	if cfg.ckptDir != "" {
+		if store, err = core.NewCheckpointStore(cfg.ckptDir, "fleet", fleet.StateVersion); err != nil {
+			fatal(err)
+		}
+	}
+	eng, err := fleet.New(fleet.Config{
+		Chain:           chain,
+		Shards:          cfg.shards,
+		Interval:        cfg.interval,
+		Policy:          cfg.policy,
+		PendingBatches:  cfg.queueCap,
+		Checkpoint:      store,
+		CheckpointEvery: cfg.ckptEvery,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if store != nil {
+		gen, quarantined, rerr := eng.RestoreState()
+		switch {
+		case rerr == nil:
+			fmt.Fprintf(os.Stderr, "hmd-serve: resumed fleet state from checkpoint generation %d\n", gen)
+		case errors.Is(rerr, core.ErrNoCheckpoint):
+			// Fresh timelines for every stream.
+		default:
+			fatal(rerr)
+		}
+		for _, q := range quarantined {
+			fmt.Fprintf(os.Stderr, "hmd-serve: quarantined torn fleet checkpoint: %s\n", q)
+		}
+	}
+
+	isrv, err := ingest.NewServer(ingest.Config{
+		Engine:   eng,
+		Width:    len(chain.Events()),
+		Window:   cfg.window,
+		MaxConns: cfg.maxConns,
+		Quotas:   cfg.quotas,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "hmd-serve: ingest: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		fatal(fmt.Errorf("ingest listen: %w", err))
+	}
+	go func() {
+		if serr := isrv.Serve(ln); serr != nil && !errors.Is(serr, ingest.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "hmd-serve: ingest serve: %v\n", serr)
+		}
+	}()
+
+	srv.setFleet(eng)
+	srv.setIngest(isrv)
+	srv.setReady(true)
+	fmt.Fprintf(os.Stderr, "hmd-serve: ingest plane listening on %s (width %d, window %d, interval %v)\n",
+		ln.Addr(), len(chain.Events()), cfg.window, cfg.interval)
+
+	// The engine runs detached from the signal context: the first signal
+	// must drain, not cancel. Only a second signal cancels outright.
+	engCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-engCtx.Done():
+			return
+		}
+		fmt.Fprintln(os.Stderr, "hmd-serve: signal received; draining ingest plane")
+		isrv.Drain("signal")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		select {
+		case <-sig:
+			fmt.Fprintln(os.Stderr, "hmd-serve: second signal; aborting drain")
+			cancel()
+		case <-engCtx.Done():
+		}
+	}()
+
+	err = eng.Run(engCtx)
+	srv.setReady(false)
+	snap := eng.Stats(false)
+	ist := isrv.StatsSnapshot(false)
+	if cerr := isrv.Close(); cerr != nil {
+		fmt.Fprintf(os.Stderr, "hmd-serve: ingest close: %v\n", cerr)
+	}
+	fmt.Fprintf(os.Stderr, "hmd-serve: ingest done: %d samples accepted (%d shed, %d dup), %d verdicts (%d undelivered), %d admissions, %d reattaches, checkpoints=%d (%d failed)\n",
+		ist.SamplesAccepted, ist.SamplesShed, ist.SamplesDup, ist.Verdicts, ist.VerdictsUndelivered,
+		ist.Admissions, ist.Reattaches, snap.CheckpointsWritten, snap.CheckpointErrors)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fatal(err)
+	}
+}
+
 // finish persists the chain state once more so the next process resumes
 // exactly where this one stopped.
 func finish(srv *service, pipe *supervise.Pipeline, stateStore *core.CheckpointStore) {
@@ -452,13 +618,15 @@ func parseCounts(s string) ([]int, error) {
 // mutex-guarded; the HTTP handlers only ever read snapshots, so scraping
 // never perturbs the pipeline.
 type service struct {
-	mu    sync.Mutex
-	ready bool
-	app   string
-	loop  int
-	pipe  *supervise.Pipeline
-	fleet *fleet.Engine
-	live  *collect.LiveReport
+	mu      sync.Mutex
+	ready   bool
+	app     string
+	loop    int
+	pipe    *supervise.Pipeline
+	fleet   *fleet.Engine
+	ingest  *ingest.Server
+	ingestH http.Handler
+	live    *collect.LiveReport
 }
 
 func newService() *service {
@@ -485,9 +653,21 @@ func (s *service) setFleet(e *fleet.Engine) {
 	s.mu.Unlock()
 }
 
+func (s *service) setIngest(is *ingest.Server) {
+	s.mu.Lock()
+	s.ingest, s.ingestH = is, is.Handler()
+	s.mu.Unlock()
+}
+
+func (s *service) getIngest() (*ingest.Server, http.Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ingest, s.ingestH
+}
+
 // statsPayload is the /stats JSON document.
 type statsPayload struct {
-	Phase string `json:"phase"` // "starting", "training", "serving"
+	Phase string `json:"phase"` // "starting", "training", "serving", "draining"
 	App   string `json:"app,omitempty"`
 	Loop  int    `json:"loop"`
 
@@ -501,11 +681,15 @@ type statsPayload struct {
 	// Fleet counters (fleet mode): aggregate totals, per-shard
 	// throughput/latency, and — unless suppressed — per-stream detail.
 	Fleet *fleet.Snapshot `json:"fleet,omitempty"`
+
+	// Ingest-plane counters (ingest mode): admissions, quota
+	// rejections, evictions, wire errors, sample/verdict accounting.
+	Ingest *ingest.Stats `json:"ingest,omitempty"`
 }
 
 func (s *service) stats(perStream bool) statsPayload {
 	s.mu.Lock()
-	ready, app, loop, pipe, eng := s.ready, s.app, s.loop, s.pipe, s.fleet
+	ready, app, loop, pipe, eng, ing := s.ready, s.app, s.loop, s.pipe, s.fleet, s.ingest
 	s.mu.Unlock()
 
 	rep, apps := s.live.Snapshot()
@@ -527,8 +711,15 @@ func (s *service) stats(perStream bool) statsPayload {
 		snap := eng.Stats(perStream)
 		payload.Fleet = &snap
 	}
+	if ing != nil {
+		snap := ing.StatsSnapshot(perStream)
+		payload.Ingest = &snap
+	}
 	if ready {
 		payload.Phase = "serving"
+	}
+	if ing != nil && ing.Draining() {
+		payload.Phase = "draining"
 	}
 	return payload
 }
@@ -544,13 +735,41 @@ func (s *service) serveHTTP(addr string, pprofOn bool) func() {
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
 		s.mu.Lock()
-		ready := s.ready
+		ready, ing := s.ready, s.ingest
 		s.mu.Unlock()
+		// A draining ingest plane is alive but must stop receiving
+		// traffic: load balancers read the 503 and route elsewhere while
+		// buffered work finishes.
+		if ing != nil && ing.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
 		if !ready {
 			http.Error(w, "not ready", http.StatusServiceUnavailable)
 			return
 		}
 		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/drainz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		ing, _ := s.getIngest()
+		if ing == nil {
+			http.Error(w, "no ingest plane", http.StatusNotFound)
+			return
+		}
+		ing.Drain("operator /drainz")
+		fmt.Fprintln(w, "draining")
+	})
+	mux.HandleFunc("/ingest/", func(w http.ResponseWriter, r *http.Request) {
+		_, h := s.getIngest()
+		if h == nil {
+			http.Error(w, "no ingest plane", http.StatusNotFound)
+			return
+		}
+		h.ServeHTTP(w, r)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		perStream := r.URL.Query().Get("streams") != "0"

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/source"
 	"repro/internal/mlearn/zoo"
 	"repro/internal/supervise"
 )
@@ -127,7 +128,7 @@ func (ctx *Context) Fleet(cfg FleetBenchConfig) (*FleetReport, error) {
 		for i := 0; i < n; i++ {
 			if err := e.Add(fleet.StreamConfig{
 				ID:        fmt.Sprintf("s%d", i),
-				Source:    fleet.NewSyntheticSource(uint64(i)+1, width),
+				Source:    source.NewSynthetic(uint64(i)+1, width),
 				Intervals: cfg.intervals(),
 			}); err != nil {
 				return nil, err
@@ -191,7 +192,7 @@ func pipelineBaseline(replicate func() (*core.FallbackChain, error), n, interval
 			return 0, err
 		}
 		pipes[i] = p
-		srcs[i] = fleet.NewSyntheticSource(uint64(i)+1, width)
+		srcs[i] = source.NewSynthetic(uint64(i)+1, width)
 	}
 
 	errs := make(chan error, n)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/fleet"
+	"repro/internal/source"
 	"repro/internal/mlearn/ensemble"
 	"repro/internal/mlearn/persist"
 	"repro/internal/mlearn/zoo"
@@ -597,7 +598,7 @@ func (ctx *Context) perfCompiledFleet() (*PerfCompiledFleet, error) {
 		for i := 0; i < streams; i++ {
 			if err := e.Add(fleet.StreamConfig{
 				ID:        fmt.Sprintf("s%d", i),
-				Source:    fleet.NewSyntheticSource(uint64(i)+1, width),
+				Source:    source.NewSynthetic(uint64(i)+1, width),
 				Intervals: intervals,
 			}); err != nil {
 				return 0, err

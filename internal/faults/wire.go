@@ -1,0 +1,240 @@
+package faults
+
+// Wire faults extend the injection layer from the sampling
+// infrastructure to the network ingest plane: the failure modes a
+// misbehaving or dying *client* inflicts on the server's framing layer.
+// Where the sample-level kinds corrupt counter values, wire kinds
+// corrupt the byte stream itself — truncated frames from a process
+// killed mid-write, bit-flipped payloads from broken middleboxes,
+// duplicated frames from naive retry loops, and long stalls between
+// bytes (the slowloris shape). A WireInjector is applied on the sending
+// side of a connection (drill clients, test proxies); the ingest server
+// is the system under test and must survive whatever comes out.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/micro"
+)
+
+// WireKind identifies one wire-level fault class.
+type WireKind uint8
+
+const (
+	// TruncateFrame cuts an outgoing frame short and hangs up: what a
+	// client crash mid-write leaves on the server's socket.
+	TruncateFrame WireKind = iota
+	// CorruptFrame flips bytes in an outgoing frame's payload. The
+	// frame arrives whole but fails its checksum (or desyncs the
+	// framing if the header was hit).
+	CorruptFrame
+	// DelayFrame stalls before sending a frame — enough, at the
+	// injector's configured maximum, to trip a deadline-aware reader.
+	DelayFrame
+	// DupFrame sends a frame twice, modelling a retry layer that never
+	// learned the first copy arrived.
+	DupFrame
+
+	numWireKinds
+)
+
+var wireKindNames = [numWireKinds]string{"truncate", "corrupt", "delay", "dup"}
+
+// String returns the kind's flag-friendly name.
+func (k WireKind) String() string {
+	if int(k) < len(wireKindNames) {
+		return wireKindNames[k]
+	}
+	return fmt.Sprintf("WireKind(%d)", int(k))
+}
+
+// AllWireKinds returns every wire fault kind.
+func AllWireKinds() []WireKind {
+	out := make([]WireKind, numWireKinds)
+	for i := range out {
+		out[i] = WireKind(i)
+	}
+	return out
+}
+
+// ParseWireKinds parses a comma-separated wire kind list
+// ("truncate,corrupt"). The empty string and "all" mean every kind.
+func ParseWireKinds(s string) ([]WireKind, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" || s == "all" {
+		return AllWireKinds(), nil
+	}
+	var out []WireKind
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		found := false
+		for i, name := range wireKindNames {
+			if tok == name {
+				out = append(out, WireKind(i))
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("faults: unknown wire kind %q (known: %s)", tok, strings.Join(wireKindNames[:], ","))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("faults: no wire kinds in %q", s)
+	}
+	return out, nil
+}
+
+// WirePlan is a seeded description of which wire faults to inject and
+// how hard, mirroring Plan for the byte-stream layer. The zero value
+// (rate 0) injects nothing.
+type WirePlan struct {
+	// Seed drives every draw; identical (Seed, scope) pairs reproduce
+	// identical fault sequences.
+	Seed uint64
+	// Rate is the per-frame probability of each enabled kind firing.
+	Rate float64
+	// Kinds enables a subset of wire fault classes; empty means all.
+	Kinds []WireKind
+
+	// MaxDelay bounds DelayFrame stalls (default 50ms). Set it above
+	// the receiver's read deadline to exercise slowloris eviction, or
+	// below to exercise mere jitter tolerance.
+	MaxDelay time.Duration
+	// MaxFlips bounds how many bytes CorruptFrame flips (default 3).
+	MaxFlips int
+}
+
+// WireActive reports whether the plan injects anything.
+func (p WirePlan) Active() bool { return p.Rate > 0 }
+
+// Enabled reports whether the plan injects kind k at all.
+func (p WirePlan) Enabled(k WireKind) bool {
+	if p.Rate <= 0 {
+		return false
+	}
+	if len(p.Kinds) == 0 {
+		return true
+	}
+	for _, pk := range p.Kinds {
+		if pk == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (p WirePlan) maxDelay() time.Duration {
+	if p.MaxDelay > 0 {
+		return p.MaxDelay
+	}
+	return 50 * time.Millisecond
+}
+
+func (p WirePlan) maxFlips() int {
+	if p.MaxFlips > 0 {
+		return p.MaxFlips
+	}
+	return 3
+}
+
+// ForConn derives the injector for one connection. The scope string —
+// e.g. "tenant/stream/c2" for the stream's third connection attempt —
+// is the only input besides the plan seed, so wire fault sequences
+// reproduce exactly across runs and reconnects draw fresh,
+// deterministic schedules.
+func (p WirePlan) ForConn(scope string) *WireInjector {
+	return &WireInjector{
+		plan: p,
+		rng:  micro.NewRNG(p.Seed ^ hash64(scope) ^ 0xA5A5F00DF00D),
+	}
+}
+
+// WireFault is the decision an injector makes about one outgoing frame.
+type WireFault struct {
+	// Frames replaces the original frame bytes on the wire: the
+	// original (possibly duplicated), a truncated prefix, or a
+	// corrupted copy. Slices may alias the injector's scratch; consume
+	// before the next Apply.
+	Frames [][]byte
+	// Delay is how long to stall before writing Frames.
+	Delay time.Duration
+	// CloseAfter tells the sender to hang up after writing Frames —
+	// set with TruncateFrame, because a torn frame desyncs the framing
+	// layer and a real crashed client never sends another byte.
+	CloseAfter bool
+	// Kind is the fault that fired (meaningful when Injected).
+	Kind WireKind
+	// Injected reports whether any fault fired for this frame.
+	Injected bool
+}
+
+// WireInjector applies one connection's wire fault schedule. It is
+// stateful (the corruption scratch buffer is reused) and must not be
+// shared across goroutines; derive one per connection via
+// WirePlan.ForConn.
+type WireInjector struct {
+	plan    WirePlan
+	rng     *micro.RNG
+	scratch []byte
+
+	// Counters for drill accounting (reads are only meaningful after
+	// the connection's writer has stopped).
+	Truncated int
+	Corrupted int
+	Delayed   int
+	Duped     int
+}
+
+// Plan returns the plan the injector was derived from.
+func (in *WireInjector) Plan() WirePlan { return in.plan }
+
+// Apply decides the fate of one outgoing frame. The returned
+// WireFault's Frames always holds what should actually be written (the
+// untouched frame when nothing fired). At most one kind fires per
+// frame; the draw order (truncate, corrupt, delay, dup) is fixed so
+// sequences are reproducible.
+func (in *WireInjector) Apply(frame []byte) WireFault {
+	f := WireFault{Frames: [][]byte{frame}}
+	if !in.plan.Active() || len(frame) == 0 {
+		return f
+	}
+	switch {
+	case in.plan.Enabled(TruncateFrame) && in.rng.Bernoulli(in.plan.Rate):
+		cut := 1 + in.rng.Intn(len(frame))
+		if cut >= len(frame) {
+			cut = len(frame) - 1
+		}
+		if cut < 1 {
+			cut = 1
+		}
+		f.Frames = [][]byte{frame[:cut]}
+		f.CloseAfter = true
+		f.Kind, f.Injected = TruncateFrame, true
+		in.Truncated++
+	case in.plan.Enabled(CorruptFrame) && in.rng.Bernoulli(in.plan.Rate):
+		in.scratch = append(in.scratch[:0], frame...)
+		flips := 1 + in.rng.Intn(in.plan.maxFlips())
+		for i := 0; i < flips; i++ {
+			pos := in.rng.Intn(len(in.scratch))
+			in.scratch[pos] ^= byte(1 + in.rng.Intn(255))
+		}
+		f.Frames = [][]byte{in.scratch}
+		f.Kind, f.Injected = CorruptFrame, true
+		in.Corrupted++
+	case in.plan.Enabled(DelayFrame) && in.rng.Bernoulli(in.plan.Rate):
+		f.Delay = time.Duration(1 + in.rng.Intn(int(in.plan.maxDelay())))
+		f.Kind, f.Injected = DelayFrame, true
+		in.Delayed++
+	case in.plan.Enabled(DupFrame) && in.rng.Bernoulli(in.plan.Rate):
+		f.Frames = [][]byte{frame, frame}
+		f.Kind, f.Injected = DupFrame, true
+		in.Duped++
+	}
+	return f
+}

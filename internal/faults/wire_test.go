@@ -1,0 +1,132 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestWireInjectorDeterministic(t *testing.T) {
+	plan := WirePlan{Seed: 42, Rate: 0.5}
+	frame := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	record := func() []WireFault {
+		in := plan.ForConn("t0/s0/c1")
+		out := make([]WireFault, 0, 64)
+		for i := 0; i < 64; i++ {
+			f := in.Apply(frame)
+			// Deep-copy Frames: they may alias injector scratch.
+			cp := WireFault{Delay: f.Delay, CloseAfter: f.CloseAfter, Kind: f.Kind, Injected: f.Injected}
+			for _, fr := range f.Frames {
+				cp.Frames = append(cp.Frames, append([]byte(nil), fr...))
+			}
+			out = append(out, cp)
+		}
+		return out
+	}
+	a, b := record(), record()
+	for i := range a {
+		if a[i].Injected != b[i].Injected || a[i].Kind != b[i].Kind ||
+			a[i].Delay != b[i].Delay || a[i].CloseAfter != b[i].CloseAfter ||
+			len(a[i].Frames) != len(b[i].Frames) {
+			t.Fatalf("frame %d: fault decision diverged: %+v vs %+v", i, a[i], b[i])
+		}
+		for j := range a[i].Frames {
+			if !bytes.Equal(a[i].Frames[j], b[i].Frames[j]) {
+				t.Fatalf("frame %d copy %d: bytes diverged", i, j)
+			}
+		}
+	}
+
+	other := plan.ForConn("t0/s0/c2")
+	diverged := false
+	ref := plan.ForConn("t0/s0/c1")
+	for i := 0; i < 64; i++ {
+		x, y := ref.Apply(frame), other.Apply(frame)
+		if x.Injected != y.Injected || x.Kind != y.Kind {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different scopes should draw different wire fault schedules")
+	}
+}
+
+func TestWireInjectorKinds(t *testing.T) {
+	frame := make([]byte, 32)
+	for i := range frame {
+		frame[i] = byte(i)
+	}
+
+	t.Run("truncate", func(t *testing.T) {
+		in := WirePlan{Seed: 1, Rate: 1, Kinds: []WireKind{TruncateFrame}}.ForConn("x")
+		f := in.Apply(frame)
+		if !f.Injected || f.Kind != TruncateFrame || !f.CloseAfter {
+			t.Fatalf("want truncate+close, got %+v", f)
+		}
+		if len(f.Frames) != 1 || len(f.Frames[0]) >= len(frame) || len(f.Frames[0]) < 1 {
+			t.Fatalf("truncated frame should be a strict non-empty prefix, got %d bytes", len(f.Frames[0]))
+		}
+		if !bytes.Equal(f.Frames[0], frame[:len(f.Frames[0])]) {
+			t.Fatal("truncation must be a prefix, not a rewrite")
+		}
+	})
+
+	t.Run("corrupt", func(t *testing.T) {
+		in := WirePlan{Seed: 1, Rate: 1, Kinds: []WireKind{CorruptFrame}}.ForConn("x")
+		f := in.Apply(frame)
+		if !f.Injected || f.Kind != CorruptFrame || f.CloseAfter {
+			t.Fatalf("want corrupt without close, got %+v", f)
+		}
+		if len(f.Frames[0]) != len(frame) {
+			t.Fatalf("corruption must preserve length: %d vs %d", len(f.Frames[0]), len(frame))
+		}
+		if bytes.Equal(f.Frames[0], frame) {
+			t.Fatal("corrupted frame should differ from the original")
+		}
+	})
+
+	t.Run("delay", func(t *testing.T) {
+		in := WirePlan{Seed: 1, Rate: 1, Kinds: []WireKind{DelayFrame}, MaxDelay: 5 * time.Millisecond}.ForConn("x")
+		f := in.Apply(frame)
+		if !f.Injected || f.Kind != DelayFrame || f.Delay <= 0 || f.Delay > 5*time.Millisecond {
+			t.Fatalf("want bounded delay, got %+v", f)
+		}
+		if !bytes.Equal(f.Frames[0], frame) {
+			t.Fatal("delay must not alter the frame")
+		}
+	})
+
+	t.Run("dup", func(t *testing.T) {
+		in := WirePlan{Seed: 1, Rate: 1, Kinds: []WireKind{DupFrame}}.ForConn("x")
+		f := in.Apply(frame)
+		if !f.Injected || f.Kind != DupFrame || len(f.Frames) != 2 {
+			t.Fatalf("want duplicated frame, got %+v", f)
+		}
+		if !bytes.Equal(f.Frames[0], frame) || !bytes.Equal(f.Frames[1], frame) {
+			t.Fatal("duplicates must be byte-identical to the original")
+		}
+	})
+
+	t.Run("inactive", func(t *testing.T) {
+		in := WirePlan{}.ForConn("x")
+		f := in.Apply(frame)
+		if f.Injected || len(f.Frames) != 1 || !bytes.Equal(f.Frames[0], frame) {
+			t.Fatalf("inactive plan must pass frames through untouched, got %+v", f)
+		}
+	})
+}
+
+func TestParseWireKinds(t *testing.T) {
+	all, err := ParseWireKinds("all")
+	if err != nil || len(all) != int(numWireKinds) {
+		t.Fatalf("all: %v %v", all, err)
+	}
+	got, err := ParseWireKinds("truncate, dup")
+	if err != nil || len(got) != 2 || got[0] != TruncateFrame || got[1] != DupFrame {
+		t.Fatalf("truncate,dup: %v %v", got, err)
+	}
+	if _, err := ParseWireKinds("bogus"); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}

@@ -1,0 +1,236 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/source"
+	"repro/internal/supervise"
+)
+
+// queuedTestSource is a minimal push-fed source implementing
+// source.Queued — the shape the ingest plane feeds the engine with.
+type queuedTestSource struct {
+	mu     sync.Mutex
+	buf    [][]uint64
+	closed atomic.Bool
+	pend   atomic.Int64
+}
+
+func (q *queuedTestSource) push(vals []uint64) {
+	q.mu.Lock()
+	q.buf = append(q.buf, vals)
+	q.pend.Store(int64(len(q.buf)))
+	q.mu.Unlock()
+}
+
+func (q *queuedTestSource) Read(ctx context.Context, interval int) ([]uint64, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.buf) == 0 {
+		return nil, source.ErrSampleLost
+	}
+	vals := q.buf[0]
+	q.buf = q.buf[1:]
+	q.pend.Store(int64(len(q.buf)))
+	return vals, nil
+}
+
+func (q *queuedTestSource) Pending() int { return int(q.pend.Load()) }
+func (q *queuedTestSource) Closed() bool { return q.closed.Load() }
+
+// TestDrainFinishesUnboundedStreams: Drain must land a running fleet of
+// unbounded pull streams — each finishes at its next rotation boundary
+// once in-flight harvests have emitted — and Run must return nil (the
+// graceful exit), with Add refusing new streams via ErrDraining.
+func TestDrainFinishesUnboundedStreams(t *testing.T) {
+	e := newTestEngine(t, Config{Shards: 2, WheelSlots: 4, Policy: supervise.Block})
+	finished := make([]atomic.Bool, 3)
+	for i := 0; i < 3; i++ {
+		fin := &finished[i]
+		if err := e.Add(StreamConfig{
+			ID:       fmt.Sprintf("s%d", i),
+			Source:   source.NewSynthetic(uint64(i+1), 4),
+			OnFinish: func() { fin.Store(true) },
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run := make(chan error, 1)
+	go func() { run <- e.Run(context.Background()) }()
+
+	waitUntil(t, "verdicts flowing", func() bool { return e.Stats(false).Verdicts > 20 })
+	e.Drain()
+	if !e.Draining() || !e.Stats(false).Draining {
+		t.Fatal("drain flag not visible")
+	}
+	err := e.Add(StreamConfig{ID: "late", Source: source.NewSynthetic(9, 4)})
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("Add during drain: %v", err)
+	}
+
+	select {
+	case rerr := <-run:
+		if rerr != nil {
+			t.Fatalf("drained Run returned %v", rerr)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after Drain")
+	}
+	for i := range finished {
+		if !finished[i].Load() {
+			t.Fatalf("stream s%d never finished", i)
+		}
+	}
+	// Unbounded streams stop at a rotation boundary: every harvested
+	// interval got its verdict, none were abandoned.
+	snap := e.Stats(true)
+	for _, ss := range snap.PerStream {
+		if int64(ss.Scheduled) != ss.Verdicts {
+			t.Fatalf("stream %s: %d scheduled vs %d verdicts", ss.ID, ss.Scheduled, ss.Verdicts)
+		}
+	}
+}
+
+// TestDrainQueuedStreams: a push-fed stream under drain finishes once
+// its buffered samples are scored — nothing buffered is abandoned, and
+// nothing is fabricated after the buffer empties.
+func TestDrainQueuedStreams(t *testing.T) {
+	e := newTestEngine(t, Config{Shards: 2, WheelSlots: 4, Interval: time.Millisecond, Policy: supervise.Block})
+	const streams, samples = 3, 5
+	srcs := make([]*queuedTestSource, streams)
+	got := make([]*collector, streams)
+	for i := range srcs {
+		srcs[i] = &queuedTestSource{}
+		got[i] = &collector{}
+		if err := e.Add(StreamConfig{
+			ID:        fmt.Sprintf("q%d", i),
+			Source:    srcs[i],
+			OnVerdict: got[i].add,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run := make(chan error, 1)
+	go func() { run <- e.Run(context.Background()) }()
+
+	for s, src := range srcs {
+		for k := 0; k < samples; k++ {
+			src.push([]uint64{uint64(s), uint64(k), 3, 4})
+		}
+	}
+	waitUntil(t, "buffered samples scored", func() bool {
+		return e.Stats(false).Verdicts == streams*samples
+	})
+
+	e.Drain()
+	select {
+	case rerr := <-run:
+		if rerr != nil {
+			t.Fatalf("drained Run returned %v", rerr)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after Drain")
+	}
+	for i := range got {
+		requireGapFree(t, fmt.Sprintf("q%d", i), got[i].verdicts, samples, 0)
+	}
+}
+
+// TestDrainIdleEngine: a draining engine with no streams ever added
+// must still be stoppable — an idle ingest front door drains to
+// nothing.
+func TestDrainIdleEngine(t *testing.T) {
+	e := newTestEngine(t, Config{Shards: 1, WheelSlots: 2, Policy: supervise.Block})
+	e.Drain()
+	run := make(chan error, 1)
+	go func() { run <- e.Run(context.Background()) }()
+	select {
+	case rerr := <-run:
+		if rerr != nil {
+			t.Fatalf("idle drained Run returned %v", rerr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle draining engine never exited Run")
+	}
+}
+
+// TestAddRemoveRaceDrain races Add and Remove against an in-progress
+// drain (run with -race). Every Add must either fully succeed — its
+// stream then finishes under the drain — or fail with ErrDraining;
+// nothing may wedge Run.
+func TestAddRemoveRaceDrain(t *testing.T) {
+	e := newTestEngine(t, Config{Shards: 2, WheelSlots: 4, Policy: supervise.Block})
+	if err := e.Add(StreamConfig{ID: "seed", Source: source.NewSynthetic(1, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	run := make(chan error, 1)
+	go func() { run <- e.Run(context.Background()) }()
+	waitUntil(t, "engine warm", func() bool { return e.Stats(false).Verdicts > 0 })
+
+	const adders, perAdder = 4, 50
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for a := 0; a < adders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < perAdder; i++ {
+				id := fmt.Sprintf("r%d-%d", a, i)
+				err := e.Add(StreamConfig{
+					ID:        id,
+					Source:    source.NewSynthetic(uint64(a*1000+i+2), 4),
+					Intervals: 3,
+				})
+				switch {
+				case err == nil:
+					admitted.Add(1)
+					if i%5 == 0 {
+						// Some of the admitted streams get yanked while
+						// the drain is (or is about to be) in flight.
+						e.Remove(id)
+					}
+				case errors.Is(err, ErrDraining):
+					// Expected once the drain lands.
+				default:
+					t.Errorf("Add %s: %v", id, err)
+					return
+				}
+			}
+		}(a)
+	}
+	time.Sleep(2 * time.Millisecond)
+	e.Drain()
+	wg.Wait()
+
+	select {
+	case rerr := <-run:
+		if rerr != nil {
+			t.Fatalf("Run returned %v", rerr)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("Run did not return after racing Add/Remove/Drain")
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("drain landed before any Add — race window missed entirely")
+	}
+	if e.Stats(false).Live != 0 {
+		t.Fatalf("live streams left after drain: %d", e.Stats(false).Live)
+	}
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -58,12 +58,19 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/source"
 	"repro/internal/supervise"
 )
 
 // StateVersion is the checkpoint payload version for fleet state
 // (callers pass it to core.NewCheckpointStore).
 const StateVersion = 1
+
+// ErrDraining reports an Add against a draining engine: once Drain has
+// been called the engine only finishes existing streams, it admits no
+// new ones. Callers (the ingest front door, a coordinator handing
+// streams off) match it with errors.Is and route the stream elsewhere.
+var ErrDraining = errors.New("fleet: engine draining")
 
 // Config parameterises a fleet engine.
 type Config struct {
@@ -147,17 +154,27 @@ type StreamConfig struct {
 	// per-stream stats and checkpoint state maps are keyed by ID.
 	ID string
 	// Source produces the stream's counter readings. Sources that
-	// implement supervise.BufferedSource sample allocation-free.
-	// Reads happen on the owning shard's goroutine; a source must not
-	// block unboundedly (honour ctx) — a slow source shows up as shard
-	// lag, and under DropOldest is shed around.
-	Source supervise.Source
+	// implement source.BufferedSource sample allocation-free. Reads
+	// happen on the owning shard's goroutine; a source must not block
+	// unboundedly (honour ctx) — a slow source shows up as shard lag,
+	// and under DropOldest is shed around. Sources that implement
+	// source.Queued (push-fed network streams) are only harvested when
+	// they have a sample pending, so a client-paced stream never
+	// fabricates readings, and the stream finishes once the source is
+	// closed and drained.
+	Source source.Source
 	// Intervals, when positive, bounds the stream: it finishes after
-	// emitting that many verdicts. 0 streams until removed.
+	// emitting that many verdicts. 0 streams until removed (or, for
+	// Queued sources, until the source closes and drains).
 	Intervals int
 	// OnVerdict, when set, observes every verdict (called from the
 	// owning shard's goroutine).
 	OnVerdict func(core.Verdict)
+	// OnFinish, when set, fires exactly once when the stream finishes
+	// (horizon reached, or a Queued source closed and drained). It may
+	// run on a shard goroutine or under the engine's internal lock, so
+	// it must be quick and must not call back into the Engine.
+	OnFinish func()
 	// Breaker overrides the engine's default breaker configuration when
 	// non-zero.
 	Breaker supervise.BreakerConfig
@@ -171,12 +188,14 @@ type stream struct {
 	id        string
 	slot      int
 	shardIdx  int
-	src       supervise.Source
-	bsrc      supervise.BufferedSource // nil when src is unbuffered
+	src       source.Source
+	bsrc      source.BufferedSource // nil when src is unbuffered
+	qsrc      source.Queued         // nil when src is pull-paced
 	chain     *core.FallbackChain
 	br        *supervise.Breaker
 	horizon   int
 	onVerdict func(core.Verdict)
+	onFinish  func()
 
 	// Wheel-owned, under Engine.mu.
 	rot      int // intervals harvested
@@ -192,6 +211,15 @@ type stream struct {
 	finished    atomic.Bool
 }
 
+// finish marks the stream finished, firing OnFinish exactly once no
+// matter which side (shard horizon accounting or wheel drain pass) gets
+// there first.
+func (s *stream) finish() {
+	if s.finished.CompareAndSwap(false, true) && s.onFinish != nil {
+		s.onFinish()
+	}
+}
+
 // Engine is a sharded multi-stream serving engine. Build with New, add
 // streams with Add (before or during Run), and drive it with Run.
 // Stats may be read concurrently; Run must not be called concurrently
@@ -202,6 +230,7 @@ type Engine struct {
 	stageNames []string
 
 	running      atomic.Bool
+	draining     atomic.Bool
 	tick         atomic.Int64
 	verdictCount atomic.Int64
 	lostCount    atomic.Int64
@@ -274,6 +303,7 @@ func (e *Engine) Rotations() int64 {
 
 // Add registers a stream, before or during Run. The stream's chain
 // state starts cold unless a RestoreState checkpoint carried its ID.
+// A draining engine refuses new streams with ErrDraining.
 func (e *Engine) Add(sc StreamConfig) error {
 	if sc.ID == "" {
 		return errors.New("fleet: stream needs an ID")
@@ -291,6 +321,9 @@ func (e *Engine) Add(sc StreamConfig) error {
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.draining.Load() {
+		return fmt.Errorf("fleet: adding stream %q: %w", sc.ID, ErrDraining)
+	}
 	if _, dup := e.ids[sc.ID]; dup {
 		return fmt.Errorf("fleet: duplicate stream %q", sc.ID)
 	}
@@ -314,8 +347,10 @@ func (e *Engine) Add(sc StreamConfig) error {
 		br:        supervise.NewBreaker(brCfg),
 		horizon:   sc.Intervals,
 		onVerdict: sc.OnVerdict,
+		onFinish:  sc.OnFinish,
 	}
-	s.bsrc, _ = sc.Source.(supervise.BufferedSource)
+	s.bsrc, _ = sc.Source.(source.BufferedSource)
+	s.qsrc, _ = sc.Source.(source.Queued)
 	e.nextIdx++
 	e.slots[s.slot] = append(e.slots[s.slot], s)
 	e.ids[sc.ID] = struct{}{}
@@ -337,6 +372,39 @@ func (e *Engine) Remove(id string) error {
 	}
 	s.removed.Store(true)
 	return nil
+}
+
+// Drain moves the engine into drain mode and returns immediately: no
+// new streams are admitted (Add returns ErrDraining), every queued
+// (push-fed) stream finishes once its buffered samples are scored, and
+// unbounded pull streams finish at their next rotation boundary.
+// Bounded streams still run to their horizon only if their source keeps
+// producing; a quiet queued stream finishes rather than waiting for a
+// client that has been told to go away. Once every stream has finished,
+// Run writes the final fleet checkpoint and returns nil — the graceful
+// counterpart to cancelling Run's context, which abandons in-flight
+// work and skips the final save. Draining is one-way for the engine's
+// lifetime; calling Drain twice is harmless.
+func (e *Engine) Drain() {
+	e.draining.Store(true)
+}
+
+// Draining reports whether Drain has been called.
+func (e *Engine) Draining() bool { return e.draining.Load() }
+
+// RestoredInterval reports the checkpointed chain interval waiting for
+// stream id — how many verdicts its timeline had emitted when the
+// checkpoint was taken — or ok=false when no restored state is pending
+// for that ID. The ingest plane uses it to tell a reconnecting client
+// where to resume its sample sequence before Add claims the state.
+func (e *Engine) RestoredInterval(id string) (interval int, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.restored[id]
+	if !ok {
+		return 0, false
+	}
+	return st.Interval, true
 }
 
 // slotDuration is the wheel's tick period (0 = unpaced).
@@ -419,11 +487,13 @@ func (e *Engine) wakeAll() {
 	}
 }
 
-// drained reports whether every stream ever added has finished.
+// drained reports whether every stream ever added has finished. A
+// draining engine with no live streams is drained even when nothing was
+// ever added — an idle ingest front door must still be stoppable.
 func (e *Engine) drained() bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.everAdded && e.live == 0
+	return (e.everAdded || e.draining.Load()) && e.live == 0
 }
 
 // tickOnce advances the wheel one slot: it harvests the slot's due
@@ -445,6 +515,7 @@ func (e *Engine) tickOnce(ctx context.Context) bool {
 		e.drains[i] = nil
 	}
 
+	draining := e.draining.Load()
 	ss := e.slots[slot]
 	keep := ss[:0]
 	for _, s := range ss {
@@ -455,7 +526,7 @@ func (e *Engine) tickOnce(ctx context.Context) bool {
 		if s.horizon > 0 && s.rot >= s.horizon {
 			// Fully harvested; waiting on the shard for the tail.
 			if s.done.Load() >= int64(s.horizon) {
-				s.finished.Store(true)
+				s.finish()
 				e.pruneLocked(s)
 				continue
 			}
@@ -466,6 +537,31 @@ func (e *Engine) tickOnce(ctx context.Context) bool {
 				b := e.batchFor(e.drains, s.shardIdx, rot, now)
 				b.drain = true
 				b.entries = append(b.entries, entry{s: s, interval: s.horizon - 1, drain: true})
+			}
+			keep = append(keep, s)
+			continue
+		}
+		if s.qsrc != nil {
+			// Push-fed stream: only due when a sample is buffered. With
+			// nothing pending the stream finishes if its writer hung up
+			// (or the engine is draining) and the shard has caught up;
+			// otherwise it simply isn't harvested this rotation.
+			if s.qsrc.Pending() <= 0 {
+				if (s.qsrc.Closed() || draining) && s.done.Load() >= int64(s.rot) {
+					s.finish()
+					e.pruneLocked(s)
+					continue
+				}
+				keep = append(keep, s)
+				continue
+			}
+		} else if draining && s.horizon == 0 {
+			// Unbounded pull stream under drain: stop at the next
+			// rotation boundary, once in-flight harvests have landed.
+			if s.done.Load() >= int64(s.rot) {
+				s.finish()
+				e.pruneLocked(s)
+				continue
 			}
 			keep = append(keep, s)
 			continue

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/micro"
+	"repro/internal/source"
 	"repro/internal/supervise"
 	"repro/internal/workload"
 )
@@ -178,7 +179,7 @@ func TestFleetBoundedStreamsDrain(t *testing.T) {
 		cols[i] = &collector{}
 		if err := e.Add(StreamConfig{
 			ID:        fmt.Sprintf("s%d", i),
-			Source:    NewSyntheticSource(uint64(i+1), 4),
+			Source:    source.NewSynthetic(uint64(i+1), 4),
 			Intervals: h,
 			OnVerdict: cols[i].add,
 		}); err != nil {
@@ -226,7 +227,7 @@ func TestFleetSheddingRepairsTails(t *testing.T) {
 	const streams, horizon = 8, 20
 	cols := make([]*collector, streams)
 	for i := 0; i < streams; i++ {
-		inner := NewSyntheticSource(uint64(i+1), 4)
+		inner := source.NewSynthetic(uint64(i+1), 4)
 		cols[i] = &collector{}
 		if err := e.Add(StreamConfig{
 			ID:        fmt.Sprintf("s%d", i),
@@ -306,7 +307,7 @@ func TestFleetRuntimeAddRemove(t *testing.T) {
 		})
 		if serr != nil {
 			t.Error(serr)
-			return NewSyntheticSource(uint64(i+1), 4)
+			return source.NewSynthetic(uint64(i+1), 4)
 		}
 		return src
 	}
@@ -392,7 +393,7 @@ func TestFleetCheckpointRestore(t *testing.T) {
 	for i := 0; i < streams; i++ {
 		if err := e.Add(StreamConfig{
 			ID:        fmt.Sprintf("s%d", i),
-			Source:    NewSyntheticSource(uint64(i+1), 4),
+			Source:    source.NewSynthetic(uint64(i+1), 4),
 			Intervals: horizon,
 		}); err != nil {
 			t.Fatal(err)
@@ -419,7 +420,7 @@ func TestFleetCheckpointRestore(t *testing.T) {
 		cols[i] = &collector{}
 		if err := e2.Add(StreamConfig{
 			ID:        fmt.Sprintf("s%d", i),
-			Source:    NewSyntheticSource(uint64(100+i), 4),
+			Source:    source.NewSynthetic(uint64(100+i), 4),
 			Intervals: 10,
 			OnVerdict: cols[i].add,
 		}); err != nil {
@@ -444,7 +445,7 @@ func TestFleetZeroAllocSteadyState(t *testing.T) {
 	for i := 0; i < 16; i++ {
 		if err := e.Add(StreamConfig{
 			ID:     fmt.Sprintf("s%d", i),
-			Source: NewSyntheticSource(uint64(i+1), 4),
+			Source: source.NewSynthetic(uint64(i+1), 4),
 		}); err != nil {
 			t.Fatal(err)
 		}
@@ -503,7 +504,7 @@ func TestFleetAddDoesNotEvaluateModels(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		if err := e.Add(StreamConfig{
 			ID:        fmt.Sprintf("s%d", i),
-			Source:    NewSyntheticSource(uint64(i+1), 4),
+			Source:    source.NewSynthetic(uint64(i+1), 4),
 			Intervals: 1,
 		}); err != nil {
 			t.Fatal(err)
@@ -519,16 +520,16 @@ func TestFleetAddDoesNotEvaluateModels(t *testing.T) {
 // accepting a reused ID would silently alias two streams.
 func TestFleetNoIDReuseAfterFinish(t *testing.T) {
 	e := newTestEngine(t, Config{Shards: 1, WheelSlots: 2})
-	if err := e.Add(StreamConfig{ID: "a", Source: NewSyntheticSource(1, 4), Intervals: 3}); err != nil {
+	if err := e.Add(StreamConfig{ID: "a", Source: source.NewSynthetic(1, 4), Intervals: 3}); err != nil {
 		t.Fatal(err)
 	}
 	if err := e.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Add(StreamConfig{ID: "a", Source: NewSyntheticSource(2, 4), Intervals: 3}); err == nil {
+	if err := e.Add(StreamConfig{ID: "a", Source: source.NewSynthetic(2, 4), Intervals: 3}); err == nil {
 		t.Fatal("finished stream's ID accepted again")
 	}
-	if err := e.Add(StreamConfig{ID: "b", Source: NewSyntheticSource(3, 4), Intervals: 3}); err != nil {
+	if err := e.Add(StreamConfig{ID: "b", Source: source.NewSynthetic(3, 4), Intervals: 3}); err != nil {
 		t.Fatalf("fresh ID rejected: %v", err)
 	}
 }
@@ -546,7 +547,7 @@ func TestQueuePutAfterClose(t *testing.T) {
 
 func TestFleetAddValidation(t *testing.T) {
 	e := newTestEngine(t, Config{Shards: 1, WheelSlots: 2})
-	src := NewSyntheticSource(1, 4)
+	src := source.NewSynthetic(1, 4)
 	if err := e.Add(StreamConfig{Source: src}); err == nil {
 		t.Fatal("missing ID accepted")
 	}
@@ -569,8 +570,8 @@ func TestFleetAddValidation(t *testing.T) {
 
 func TestSyntheticSourceDeterministic(t *testing.T) {
 	ctx := context.Background()
-	a := NewSyntheticSource(7, 4)
-	b := NewSyntheticSource(7, 4)
+	a := source.NewSynthetic(7, 4)
+	b := source.NewSynthetic(7, 4)
 	buf := make([]uint64, 4)
 	for i := 0; i < 100; i++ {
 		va, err := a.ReadInto(ctx, i, buf)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/source"
 	"repro/internal/supervise"
 )
 
@@ -254,7 +255,7 @@ func (sh *shard) process(ctx context.Context, b *batch) {
 		switch {
 		case err == nil:
 			s.br.OnSuccess()
-		case errors.Is(err, supervise.ErrSampleLost):
+		case errors.Is(err, source.ErrSampleLost):
 			sh.emitLost(s, b)
 			continue
 		case ctx.Err() != nil:
@@ -349,7 +350,7 @@ func (sh *shard) emit(s *stream, v core.Verdict, lost bool, b *batch) {
 		s.onVerdict(v)
 	}
 	if s.horizon > 0 && done >= int64(s.horizon) {
-		s.finished.Store(true)
+		s.finish()
 	}
 	sh.lat.record(time.Since(b.at))
 }

@@ -104,6 +104,9 @@ type Snapshot struct {
 	// Streams ever added; Live of those still being scheduled.
 	Streams int
 	Live    int
+	// Draining reports that Drain was called: the engine is finishing
+	// existing streams and admitting no new ones.
+	Draining bool
 	// Rotations the wheel has completed (each rotation harvests every
 	// live stream once).
 	Rotations int64
@@ -125,6 +128,7 @@ type Snapshot struct {
 // which is O(streams) to build.
 func (e *Engine) Stats(includeStreams bool) Snapshot {
 	snap := Snapshot{
+		Draining:           e.draining.Load(),
 		Rotations:          e.Rotations(),
 		Verdicts:           e.verdictCount.Load(),
 		LostVerdicts:       e.lostCount.Load(),

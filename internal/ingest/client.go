@@ -1,0 +1,183 @@
+package ingest
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// ErrConnDropped reports that a wire fault closed the client's
+// connection mid-send (the injected client-crash shape). The caller
+// reconnects and resumes from the server's HELLO_OK position.
+var ErrConnDropped = errors.New("ingest: connection dropped by fault injection")
+
+// ClientConfig parameterises Dial.
+type ClientConfig struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Hello is the handshake to send (Version defaults to
+	// ProtoVersion).
+	Hello Hello
+	// Timeout bounds dial, the handshake round-trip and each Next read
+	// (<=0 means 5s).
+	Timeout time.Duration
+	// Injector, when set, mangles outgoing frames — the chaos drills'
+	// misbehaving-client mode. Truncation faults close the connection
+	// after the torn bytes, like a real crash mid-write.
+	Injector *faults.WireInjector
+}
+
+func (c ClientConfig) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 5 * time.Second
+}
+
+// Client is a minimal ingest protocol client: good enough for drills,
+// benchmarks and as the README's reference implementation. Not safe for
+// concurrent use of the same method, but Send and Next may run on two
+// goroutines (one writer, one reader).
+type Client struct {
+	cfg  ClientConfig
+	nc   net.Conn
+	br   *bufio.Reader
+	wbuf []byte
+	rbuf []byte
+
+	// Admitted is the server's HELLO_OK reply (valid after Dial).
+	Admitted HelloOK
+}
+
+// Event is one server-to-client frame, decoded.
+type Event struct {
+	Type    byte
+	HelloOK HelloOK // FrameHelloOK
+	Verdict Verdict // FrameVerdict
+	Shed    Shed    // FrameShed
+	Retry   Retry   // FrameRetry
+	Reason  string  // FrameDrain / FrameError
+}
+
+// Dial connects, performs the handshake and returns an admitted
+// client. A server rejection (RETRY, DRAIN, ERROR) is returned as a
+// *RejectedError so callers can branch on the frame type.
+func Dial(cfg ClientConfig) (*Client, error) {
+	h := cfg.Hello
+	if h.Version == 0 {
+		h.Version = ProtoVersion
+	}
+	nc, err := net.DialTimeout("tcp", cfg.Addr, cfg.timeout())
+	if err != nil {
+		return nil, fmt.Errorf("ingest: dial %s: %w", cfg.Addr, err)
+	}
+	c := &Client{cfg: cfg, nc: nc, br: bufio.NewReaderSize(nc, 4096)}
+	if err := c.writeFrames(AppendHello(c.wbuf[:0], h)); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	ev, err := c.Next()
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("ingest: handshake: %w", err)
+	}
+	if ev.Type != FrameHelloOK {
+		nc.Close()
+		return nil, &RejectedError{Event: ev}
+	}
+	c.Admitted = ev.HelloOK
+	return c, nil
+}
+
+// RejectedError is a handshake answered with something other than
+// HELLO_OK.
+type RejectedError struct{ Event Event }
+
+func (e *RejectedError) Error() string {
+	switch e.Event.Type {
+	case FrameRetry:
+		return fmt.Sprintf("ingest: rejected: retry after %dms (%s)", e.Event.Retry.AfterMillis, e.Event.Retry.Reason)
+	case FrameDrain:
+		return fmt.Sprintf("ingest: rejected: draining (%s)", e.Event.Reason)
+	case FrameError:
+		return fmt.Sprintf("ingest: rejected: %s", e.Event.Reason)
+	}
+	return fmt.Sprintf("ingest: rejected with frame 0x%02x", e.Event.Type)
+}
+
+// SetInjector arms (or disarms, with nil) wire fault injection on
+// subsequent sends. Drills use it to handshake cleanly and then turn a
+// well-behaved client into a misbehaving one.
+func (c *Client) SetInjector(in *faults.WireInjector) { c.cfg.Injector = in }
+
+// Send transmits one sample. With an injector configured the frame may
+// be corrupted, delayed, duplicated, or torn — in the torn case the
+// connection closes and ErrConnDropped comes back.
+func (c *Client) Send(seq uint32, vals []uint64) error {
+	c.wbuf = AppendSample(c.wbuf[:0], seq, vals)
+	return c.writeFrames(c.wbuf)
+}
+
+// Bye announces a clean end of stream.
+func (c *Client) Bye() error {
+	return c.writeFrames(AppendFrame(c.wbuf[:0], FrameBye, nil))
+}
+
+func (c *Client) writeFrames(frame []byte) error {
+	out := [][]byte{frame}
+	closeAfter := false
+	if c.cfg.Injector != nil {
+		f := c.cfg.Injector.Apply(frame)
+		out = f.Frames
+		closeAfter = f.CloseAfter
+		if f.Delay > 0 {
+			time.Sleep(f.Delay)
+		}
+	}
+	c.nc.SetWriteDeadline(time.Now().Add(c.cfg.timeout()))
+	for _, fr := range out {
+		if _, err := c.nc.Write(fr); err != nil {
+			return fmt.Errorf("ingest: send: %w", err)
+		}
+	}
+	if closeAfter {
+		c.nc.Close()
+		return ErrConnDropped
+	}
+	return nil
+}
+
+// Next reads one server frame, blocking up to the configured timeout.
+func (c *Client) Next() (Event, error) {
+	c.nc.SetReadDeadline(time.Now().Add(c.cfg.timeout()))
+	typ, body, nbuf, err := ReadFrame(c.br, MaxFrameBytes, c.rbuf)
+	c.rbuf = nbuf
+	if err != nil {
+		return Event{}, err
+	}
+	ev := Event{Type: typ}
+	switch typ {
+	case FrameVerdict:
+		ev.Verdict, err = ParseVerdict(body)
+	case FrameShed:
+		ev.Shed, err = ParseShed(body)
+	case FrameRetry:
+		ev.Retry, err = ParseRetry(body)
+	case FrameDrain:
+		ev.Reason, err = ParseDrain(body)
+	case FrameError:
+		ev.Reason, err = ParseError(body)
+	case FrameHelloOK:
+		ev.HelloOK, err = ParseHelloOK(body)
+	default:
+		err = fmt.Errorf("%w: unexpected server frame 0x%02x", ErrBadFrame, typ)
+	}
+	return ev, err
+}
+
+// Close hangs up without BYE (the crash shape, when done deliberately).
+func (c *Client) Close() error { return c.nc.Close() }

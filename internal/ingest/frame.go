@@ -1,0 +1,426 @@
+// Package ingest is the network front door of the detection fleet: it
+// accepts HPC feature vectors from remote clients — a compact
+// length-prefixed binary framing over TCP, plus a debug HTTP/JSON
+// endpoint — and feeds them to the fleet engine through the unified
+// source.Source interface, so a network stream rides the exact same
+// zero-alloc scoring path as a simulated or replayed one.
+//
+// Robustness is the design centre, because the front door is where
+// hostile run-time conditions arrive first:
+//
+//   - Admission control: per-tenant token-bucket quotas on stream
+//     admission and sample throughput, connection caps, and explicit
+//     RETRY_AFTER frames — an over-quota client is told to back off,
+//     never silently ignored.
+//   - Deadline-aware reads: every frame must arrive within a read
+//     deadline, so a slowloris client (bytes trickled forever) is
+//     evicted instead of pinning a connection.
+//   - Bounded inflight: each stream buffers at most a window of
+//     samples; overload maps onto the fleet's drop-oldest shed
+//     machinery and clients see SHED frames with exact counts.
+//   - Wire fault tolerance: every frame carries a CRC32-C; torn or
+//     corrupted frames evict the connection (the framing layer cannot
+//     be trusted after a desync) but never the stream — a reconnecting
+//     client re-attaches and resumes from the server's authoritative
+//     position.
+//   - Graceful drain: DRAIN frames tell clients to go away, the fleet
+//     engine finishes buffered work, and chain states are checkpointed
+//     so a restarted process resumes every verdict timeline.
+package ingest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// ProtoVersion is the framing protocol version carried in HELLO.
+const ProtoVersion = 1
+
+// Frame types. Client-to-server types have the high bit clear,
+// server-to-client types have it set.
+const (
+	// FrameHello opens a stream: tenant, stream ID, vector width,
+	// optional horizon. Must be the first frame on a connection.
+	FrameHello byte = 0x01
+	// FrameSample carries one interval's counter vector.
+	FrameSample byte = 0x02
+	// FrameBye announces a clean end of stream: buffered samples are
+	// still scored, then the stream finishes.
+	FrameBye byte = 0x03
+
+	// FrameHelloOK admits the stream and tells the client where to
+	// resume and how many samples it may keep in flight.
+	FrameHelloOK byte = 0x81
+	// FrameVerdict returns one scored sample's verdict.
+	FrameVerdict byte = 0x82
+	// FrameShed reports samples dropped by the inflight window —
+	// explicit shed accounting, never silent loss.
+	FrameShed byte = 0x83
+	// FrameRetry rejects admission or throttles samples, with a
+	// back-off hint in milliseconds.
+	FrameRetry byte = 0x84
+	// FrameDrain announces the server is draining (or the stream
+	// finished): stop sending and reconnect elsewhere/later.
+	FrameDrain byte = 0x85
+	// FrameError reports a protocol violation; the connection closes
+	// after it.
+	FrameError byte = 0x86
+)
+
+// Framing limits.
+const (
+	headerSize = 4
+	crcSize    = 4
+	// MaxFrameBytes is the hard cap on a frame's payload (body + CRC):
+	// wide enough for any sane vector width, narrow enough that a
+	// hostile length prefix cannot balloon server memory.
+	MaxFrameBytes = 1 << 16
+	// MaxStringLen caps tenant/stream/reason strings.
+	MaxStringLen = 255
+	// MaxWidth caps the declared vector width.
+	MaxWidth = 1024
+)
+
+// Framing sentinels. Decoders wrap these with %w so transport code can
+// classify failures with errors.Is.
+var (
+	// ErrBadFrame marks any structurally malformed frame.
+	ErrBadFrame = errors.New("ingest: malformed frame")
+	// ErrFrameTooBig marks a length prefix beyond MaxFrameBytes.
+	ErrFrameTooBig = errors.New("ingest: frame exceeds size limit")
+	// ErrChecksum marks a frame whose CRC32-C failed: bytes were
+	// damaged in flight, the framing layer can no longer be trusted.
+	ErrChecksum = errors.New("ingest: frame checksum mismatch")
+	// ErrBadVersion marks a HELLO with an unsupported protocol version.
+	ErrBadVersion = errors.New("ingest: unsupported protocol version")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends one framed message (header, body, CRC32-C
+// trailer) to dst and returns the extended slice. The CRC covers the
+// type byte and the body, so a frame whose header was bit-flipped into
+// another type also fails verification.
+func AppendFrame(dst []byte, typ byte, body []byte) []byte {
+	n := len(body) + crcSize
+	dst = append(dst, typ, byte(n>>16), byte(n>>8), byte(n))
+	dst = append(dst, body...)
+	crc := crc32.Update(crc32.Checksum([]byte{typ}, crcTable), crcTable, body)
+	return binary.BigEndian.AppendUint32(dst, crc)
+}
+
+// ReadFrame reads one frame from br, verifies its checksum and returns
+// the type and body. buf is recycled storage for the payload (grown as
+// needed); the returned body aliases it and is valid until the next
+// call. max caps the payload length (0 means MaxFrameBytes). Errors
+// wrap ErrFrameTooBig, ErrChecksum or the underlying I/O error; any
+// error other than a clean io.EOF before the first header byte means
+// the connection is desynced and must be closed.
+func ReadFrame(br *bufio.Reader, max int, buf []byte) (typ byte, body, bufOut []byte, err error) {
+	if max <= 0 {
+		max = MaxFrameBytes
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	typ = hdr[0]
+	n := int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if n > max {
+		return typ, nil, buf, fmt.Errorf("%w: %d bytes (max %d)", ErrFrameTooBig, n, max)
+	}
+	if n < crcSize {
+		return typ, nil, buf, fmt.Errorf("%w: payload %d bytes, below CRC size", ErrBadFrame, n)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		if err == io.EOF {
+			// A header with no payload is still a torn frame, not a
+			// clean end of stream.
+			err = io.ErrUnexpectedEOF
+		}
+		return typ, nil, buf, fmt.Errorf("ingest: torn frame: %w", err)
+	}
+	body = buf[:n-crcSize]
+	want := binary.BigEndian.Uint32(buf[n-crcSize:])
+	got := crc32.Update(crc32.Checksum([]byte{typ}, crcTable), crcTable, body)
+	if got != want {
+		return typ, nil, buf, fmt.Errorf("%w: got %08x want %08x", ErrChecksum, got, want)
+	}
+	return typ, body, buf, nil
+}
+
+// Hello is the stream-opening handshake.
+type Hello struct {
+	Version byte
+	// Width is the counter vector width every SAMPLE must carry; it
+	// must match the serving chain's event width.
+	Width int
+	// Horizon, when positive, bounds the stream to that many samples.
+	Horizon int
+	// Tenant is the quota-accounting principal; Stream names the stream
+	// within the tenant. Both are required, at most MaxStringLen bytes.
+	Tenant string
+	Stream string
+}
+
+// AppendHello appends a HELLO frame.
+func AppendHello(dst []byte, h Hello) []byte {
+	body := make([]byte, 0, 16+len(h.Tenant)+len(h.Stream))
+	body = append(body, h.Version)
+	body = binary.BigEndian.AppendUint16(body, uint16(h.Width))
+	body = binary.BigEndian.AppendUint32(body, uint32(h.Horizon))
+	body = appendString(body, h.Tenant)
+	body = appendString(body, h.Stream)
+	return AppendFrame(dst, FrameHello, body)
+}
+
+// ParseHello decodes a HELLO body.
+func ParseHello(body []byte) (Hello, error) {
+	var h Hello
+	if len(body) < 7 {
+		return h, fmt.Errorf("%w: hello body %d bytes", ErrBadFrame, len(body))
+	}
+	h.Version = body[0]
+	if h.Version != ProtoVersion {
+		return h, fmt.Errorf("%w: %d", ErrBadVersion, h.Version)
+	}
+	h.Width = int(binary.BigEndian.Uint16(body[1:3]))
+	h.Horizon = int(binary.BigEndian.Uint32(body[3:7]))
+	rest := body[7:]
+	var err error
+	if h.Tenant, rest, err = parseString(rest); err != nil {
+		return h, fmt.Errorf("%w: hello tenant", errors.Unwrap(err))
+	}
+	if h.Stream, rest, err = parseString(rest); err != nil {
+		return h, fmt.Errorf("%w: hello stream", errors.Unwrap(err))
+	}
+	if len(rest) != 0 {
+		return h, fmt.Errorf("%w: %d trailing hello bytes", ErrBadFrame, len(rest))
+	}
+	if h.Tenant == "" || h.Stream == "" {
+		return h, fmt.Errorf("%w: empty tenant or stream", ErrBadFrame)
+	}
+	if h.Width < 1 || h.Width > MaxWidth {
+		return h, fmt.Errorf("%w: width %d", ErrBadFrame, h.Width)
+	}
+	return h, nil
+}
+
+// HelloOK is the admission reply.
+type HelloOK struct {
+	// Resume is the next sample index the server expects: 0 for a fresh
+	// stream, the checkpointed verdict-timeline position after a
+	// drain/restart, or one past the last admitted sample on re-attach.
+	Resume int
+	// Window is the per-stream inflight cap: samples the client may
+	// have outstanding (sent but not yet verdict-ed) without risking
+	// shed.
+	Window int
+	// Width echoes the serving chain's vector width.
+	Width int
+}
+
+// AppendHelloOK appends a HELLO_OK frame.
+func AppendHelloOK(dst []byte, ok HelloOK) []byte {
+	var body [8]byte
+	binary.BigEndian.PutUint32(body[0:4], uint32(ok.Resume))
+	binary.BigEndian.PutUint16(body[4:6], uint16(ok.Window))
+	binary.BigEndian.PutUint16(body[6:8], uint16(ok.Width))
+	return AppendFrame(dst, FrameHelloOK, body[:])
+}
+
+// ParseHelloOK decodes a HELLO_OK body.
+func ParseHelloOK(body []byte) (HelloOK, error) {
+	if len(body) != 8 {
+		return HelloOK{}, fmt.Errorf("%w: hello-ok body %d bytes", ErrBadFrame, len(body))
+	}
+	return HelloOK{
+		Resume: int(binary.BigEndian.Uint32(body[0:4])),
+		Window: int(binary.BigEndian.Uint16(body[4:6])),
+		Width:  int(binary.BigEndian.Uint16(body[6:8])),
+	}, nil
+}
+
+// AppendSample appends a SAMPLE frame: the client's sequence number and
+// the counter vector. dst is typically a recycled buffer, so the
+// steady-state send path allocates nothing.
+func AppendSample(dst []byte, seq uint32, vals []uint64) []byte {
+	body := make([]byte, 0, 4+8*len(vals))
+	body = binary.BigEndian.AppendUint32(body, seq)
+	for _, v := range vals {
+		body = binary.BigEndian.AppendUint64(body, v)
+	}
+	return AppendFrame(dst, FrameSample, body)
+}
+
+// ParseSampleInto decodes a SAMPLE body: the vector lands in buf
+// (which must have capacity >= width) with no allocation. The body
+// must carry exactly width values.
+func ParseSampleInto(body []byte, width int, buf []uint64) (seq uint32, vals []uint64, err error) {
+	if len(body) != 4+8*width {
+		return 0, nil, fmt.Errorf("%w: sample body %d bytes, want %d for width %d",
+			ErrBadFrame, len(body), 4+8*width, width)
+	}
+	seq = binary.BigEndian.Uint32(body[:4])
+	if cap(buf) < width {
+		buf = make([]uint64, width)
+	}
+	vals = buf[:width]
+	for i := range vals {
+		vals[i] = binary.BigEndian.Uint64(body[4+8*i:])
+	}
+	return seq, vals, nil
+}
+
+// Verdict is one scored sample's result, echoed to the client.
+type Verdict struct {
+	// Seq is the client's sequence number for the scored sample.
+	Seq uint32
+	// Interval is the engine-side verdict-timeline position. Under
+	// lossless operation Seq == Interval; after shed they diverge.
+	Interval uint32
+	// Score is the windowed malware score; Malware the thresholded
+	// decision.
+	Score   float64
+	Malware bool
+}
+
+// AppendVerdict appends a VERDICT frame.
+func AppendVerdict(dst []byte, v Verdict) []byte {
+	var body [17]byte
+	binary.BigEndian.PutUint32(body[0:4], v.Seq)
+	binary.BigEndian.PutUint32(body[4:8], v.Interval)
+	binary.BigEndian.PutUint64(body[8:16], math.Float64bits(v.Score))
+	if v.Malware {
+		body[16] = 1
+	}
+	return AppendFrame(dst, FrameVerdict, body[:])
+}
+
+// ParseVerdict decodes a VERDICT body.
+func ParseVerdict(body []byte) (Verdict, error) {
+	if len(body) != 17 {
+		return Verdict{}, fmt.Errorf("%w: verdict body %d bytes", ErrBadFrame, len(body))
+	}
+	return Verdict{
+		Seq:      binary.BigEndian.Uint32(body[0:4]),
+		Interval: binary.BigEndian.Uint32(body[4:8]),
+		Score:    math.Float64frombits(binary.BigEndian.Uint64(body[8:16])),
+		Malware:  body[16]&1 != 0,
+	}, nil
+}
+
+// Shed reports inflight-window drops since the last notice.
+type Shed struct {
+	// Count is how many samples were dropped; LastSeq the sequence
+	// number of the most recently dropped one.
+	Count   uint32
+	LastSeq uint32
+}
+
+// AppendShed appends a SHED frame.
+func AppendShed(dst []byte, s Shed) []byte {
+	var body [8]byte
+	binary.BigEndian.PutUint32(body[0:4], s.Count)
+	binary.BigEndian.PutUint32(body[4:8], s.LastSeq)
+	return AppendFrame(dst, FrameShed, body[:])
+}
+
+// ParseShed decodes a SHED body.
+func ParseShed(body []byte) (Shed, error) {
+	if len(body) != 8 {
+		return Shed{}, fmt.Errorf("%w: shed body %d bytes", ErrBadFrame, len(body))
+	}
+	return Shed{
+		Count:   binary.BigEndian.Uint32(body[0:4]),
+		LastSeq: binary.BigEndian.Uint32(body[4:8]),
+	}, nil
+}
+
+// Retry is an admission rejection or throttle notice.
+type Retry struct {
+	// AfterMillis is the back-off hint.
+	AfterMillis uint32
+	Reason      string
+}
+
+// AppendRetry appends a RETRY frame.
+func AppendRetry(dst []byte, r Retry) []byte {
+	body := make([]byte, 0, 5+len(r.Reason))
+	body = binary.BigEndian.AppendUint32(body, r.AfterMillis)
+	body = appendString(body, r.Reason)
+	return AppendFrame(dst, FrameRetry, body)
+}
+
+// ParseRetry decodes a RETRY body.
+func ParseRetry(body []byte) (Retry, error) {
+	if len(body) < 5 {
+		return Retry{}, fmt.Errorf("%w: retry body %d bytes", ErrBadFrame, len(body))
+	}
+	reason, rest, err := parseString(body[4:])
+	if err != nil || len(rest) != 0 {
+		return Retry{}, fmt.Errorf("%w: retry reason", ErrBadFrame)
+	}
+	return Retry{AfterMillis: binary.BigEndian.Uint32(body[:4]), Reason: reason}, nil
+}
+
+// AppendDrain appends a DRAIN frame with the given reason.
+func AppendDrain(dst []byte, reason string) []byte {
+	return AppendFrame(dst, FrameDrain, appendString(nil, reason))
+}
+
+// ParseDrain decodes a DRAIN body.
+func ParseDrain(body []byte) (string, error) {
+	reason, rest, err := parseString(body)
+	if err != nil || len(rest) != 0 {
+		return "", fmt.Errorf("%w: drain reason", ErrBadFrame)
+	}
+	return reason, nil
+}
+
+// AppendError appends an ERROR frame with the given message.
+func AppendError(dst []byte, msg string) []byte {
+	if len(msg) > MaxStringLen {
+		msg = msg[:MaxStringLen]
+	}
+	return AppendFrame(dst, FrameError, appendString(nil, msg))
+}
+
+// ParseError decodes an ERROR body.
+func ParseError(body []byte) (string, error) {
+	msg, rest, err := parseString(body)
+	if err != nil || len(rest) != 0 {
+		return "", fmt.Errorf("%w: error message", ErrBadFrame)
+	}
+	return msg, nil
+}
+
+// appendString appends a length-prefixed string (u8 length).
+func appendString(dst []byte, s string) []byte {
+	if len(s) > MaxStringLen {
+		s = s[:MaxStringLen]
+	}
+	dst = append(dst, byte(len(s)))
+	return append(dst, s...)
+}
+
+// parseString decodes a length-prefixed string, returning the rest.
+func parseString(b []byte) (s string, rest []byte, err error) {
+	if len(b) < 1 {
+		return "", b, fmt.Errorf("%w: missing string length", ErrBadFrame)
+	}
+	n := int(b[0])
+	if len(b) < 1+n {
+		return "", b, fmt.Errorf("%w: string of %d bytes in %d", ErrBadFrame, n, len(b)-1)
+	}
+	return string(b[1 : 1+n]), b[1+n:], nil
+}

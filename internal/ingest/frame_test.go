@@ -1,0 +1,180 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+func readOne(t *testing.T, wire []byte) (byte, []byte) {
+	t.Helper()
+	typ, body, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(wire)), 0, nil)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	return typ, body
+}
+
+func TestFrameRoundTrips(t *testing.T) {
+	t.Run("hello", func(t *testing.T) {
+		in := Hello{Version: ProtoVersion, Width: 4, Horizon: 1000, Tenant: "acme", Stream: "web-7"}
+		typ, body := readOne(t, AppendHello(nil, in))
+		if typ != FrameHello {
+			t.Fatalf("type %#x", typ)
+		}
+		got, err := ParseHello(body)
+		if err != nil || got != in {
+			t.Fatalf("got %+v err %v", got, err)
+		}
+	})
+	t.Run("hello-ok", func(t *testing.T) {
+		in := HelloOK{Resume: 12345, Window: 64, Width: 4}
+		typ, body := readOne(t, AppendHelloOK(nil, in))
+		if typ != FrameHelloOK {
+			t.Fatalf("type %#x", typ)
+		}
+		got, err := ParseHelloOK(body)
+		if err != nil || got != in {
+			t.Fatalf("got %+v err %v", got, err)
+		}
+	})
+	t.Run("sample", func(t *testing.T) {
+		vals := []uint64{1, 1 << 40, math.MaxUint64, 0}
+		typ, body := readOne(t, AppendSample(nil, 77, vals))
+		if typ != FrameSample {
+			t.Fatalf("type %#x", typ)
+		}
+		buf := make([]uint64, 4)
+		seq, got, err := ParseSampleInto(body, 4, buf)
+		if err != nil || seq != 77 {
+			t.Fatalf("seq %d err %v", seq, err)
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("val %d: %d != %d", i, got[i], vals[i])
+			}
+		}
+		if _, _, err := ParseSampleInto(body, 5, make([]uint64, 5)); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("width mismatch must be ErrBadFrame, got %v", err)
+		}
+	})
+	t.Run("verdict", func(t *testing.T) {
+		in := Verdict{Seq: 9, Interval: 11, Score: 0.875, Malware: true}
+		typ, body := readOne(t, AppendVerdict(nil, in))
+		if typ != FrameVerdict {
+			t.Fatalf("type %#x", typ)
+		}
+		got, err := ParseVerdict(body)
+		if err != nil || got != in {
+			t.Fatalf("got %+v err %v", got, err)
+		}
+	})
+	t.Run("shed", func(t *testing.T) {
+		in := Shed{Count: 3, LastSeq: 41}
+		_, body := readOne(t, AppendShed(nil, in))
+		got, err := ParseShed(body)
+		if err != nil || got != in {
+			t.Fatalf("got %+v err %v", got, err)
+		}
+	})
+	t.Run("retry", func(t *testing.T) {
+		in := Retry{AfterMillis: 1500, Reason: "tenant stream limit"}
+		_, body := readOne(t, AppendRetry(nil, in))
+		got, err := ParseRetry(body)
+		if err != nil || got != in {
+			t.Fatalf("got %+v err %v", got, err)
+		}
+	})
+	t.Run("drain-error", func(t *testing.T) {
+		_, body := readOne(t, AppendDrain(nil, "maintenance"))
+		if r, err := ParseDrain(body); err != nil || r != "maintenance" {
+			t.Fatalf("drain %q err %v", r, err)
+		}
+		_, body = readOne(t, AppendError(nil, "bad width"))
+		if m, err := ParseError(body); err != nil || m != "bad width" {
+			t.Fatalf("error %q err %v", m, err)
+		}
+	})
+}
+
+func TestFrameChecksumRejectsDamage(t *testing.T) {
+	wire := AppendSample(nil, 5, []uint64{1, 2, 3, 4})
+	for pos := 0; pos < len(wire); pos++ {
+		bad := append([]byte(nil), wire...)
+		bad[pos] ^= 0x40
+		_, _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(bad)), 0, nil)
+		if err == nil {
+			t.Fatalf("bit flip at byte %d went undetected", pos)
+		}
+	}
+}
+
+func TestFrameTornAndOversized(t *testing.T) {
+	wire := AppendSample(nil, 5, []uint64{1, 2, 3, 4})
+	for cut := 1; cut < len(wire); cut++ {
+		_, _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(wire[:cut])), 0, nil)
+		if err == nil {
+			t.Fatalf("torn frame at %d/%d bytes went undetected", cut, len(wire))
+		}
+		if cut >= headerSize && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("torn payload should surface the underlying read error, got %v", err)
+		}
+	}
+
+	huge := []byte{FrameSample, 0xFF, 0xFF, 0xFF}
+	_, _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(huge)), 0, nil)
+	if !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversized length prefix: got %v", err)
+	}
+
+	runt := []byte{FrameBye, 0, 0, 2, 0, 0}
+	_, _, _, err = ReadFrame(bufio.NewReader(bytes.NewReader(runt)), 0, nil)
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("sub-CRC payload: got %v", err)
+	}
+}
+
+func TestParseHelloRejects(t *testing.T) {
+	cases := map[string]Hello{
+		"bad version":  {Version: 99, Width: 4, Tenant: "t", Stream: "s"},
+		"zero width":   {Version: ProtoVersion, Width: 0, Tenant: "t", Stream: "s"},
+		"empty tenant": {Version: ProtoVersion, Width: 4, Stream: "s"},
+		"empty stream": {Version: ProtoVersion, Width: 4, Tenant: "t"},
+	}
+	for name, h := range cases {
+		_, body := readOne(t, AppendHello(nil, h))
+		if _, err := ParseHello(body); err == nil {
+			t.Fatalf("%s: ParseHello accepted %+v", name, h)
+		}
+	}
+	// Oversized width is rejected even though it fits the u16.
+	_, body := readOne(t, AppendHello(nil, Hello{Version: ProtoVersion, Width: MaxWidth + 1, Tenant: "t", Stream: "s"}))
+	if _, err := ParseHello(body); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("width beyond MaxWidth: got %v", err)
+	}
+}
+
+func TestReadFrameBufferReuse(t *testing.T) {
+	var wire []byte
+	wire = AppendSample(wire, 1, []uint64{1, 2, 3, 4})
+	wire = AppendSample(wire, 2, []uint64{5, 6, 7, 8})
+	br := bufio.NewReader(bytes.NewReader(wire))
+	_, _, buf, err := ReadFrame(br, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, body, buf2, err := ReadFrame(br, 0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &buf[0] != &buf2[0] {
+		t.Fatal("equal-size frames should reuse the recycled buffer")
+	}
+	seq, _, err := ParseSampleInto(body, 4, make([]uint64, 4))
+	if err != nil || seq != 2 {
+		t.Fatalf("second frame: seq %d err %v", seq, err)
+	}
+}

@@ -1,0 +1,191 @@
+package ingest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/fleet"
+)
+
+// httpSample is the JSON body of POST /ingest/sample — the debug
+// counterpart of a HELLO(+SAMPLE) pair: the first sample for a
+// (tenant, stream) admits the stream with Width = len(values).
+type httpSample struct {
+	Tenant string   `json:"tenant"`
+	Stream string   `json:"stream"`
+	Seq    uint32   `json:"seq"`
+	Values []uint64 `json:"values"`
+	// Horizon bounds the stream on first admission (0 = unbounded).
+	Horizon int `json:"horizon,omitempty"`
+	// Bye, when true, closes the stream after this sample (values may
+	// be empty for a pure BYE).
+	Bye bool `json:"bye,omitempty"`
+}
+
+type httpReply struct {
+	Accepted bool   `json:"accepted"`
+	Dup      bool   `json:"dup,omitempty"`
+	Shed     bool   `json:"shed,omitempty"`
+	NextSeq  uint32 `json:"next_seq"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Handler returns the debug HTTP/JSON surface:
+//
+//	POST /ingest/sample    one sample (admits the stream on first use)
+//	GET  /ingest/verdicts  recent verdicts ?tenant=&stream=
+//	GET  /ingest/stats     ingest-plane snapshot (?streams=1 for detail)
+//
+// It speaks the same admission, quota and drain machinery as the TCP
+// plane — it is a debugging convenience, not a second code path. There
+// is no verdict push over HTTP; poll /ingest/verdicts.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest/sample", s.handleSample)
+	mux.HandleFunc("/ingest/verdicts", s.handleVerdicts)
+	mux.HandleFunc("/ingest/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.StatsSnapshot(r.URL.Query().Get("streams") == "1"))
+	})
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(httpReply{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req httpSample
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxFrameBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if req.Tenant == "" || req.Stream == "" {
+		httpError(w, http.StatusBadRequest, "tenant and stream are required")
+		return
+	}
+	ns := s.stream(req.Tenant, req.Stream)
+	if ns == nil {
+		if s.draining.Load() {
+			s.drainRejects.Add(1)
+			httpError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		if len(req.Values) != s.cfg.Width {
+			s.widthRejects.Add(1)
+			httpError(w, http.StatusBadRequest, "width %d, serving chain wants %d", len(req.Values), s.cfg.Width)
+			return
+		}
+		var err error
+		if ns, err = s.admitHTTPStream(req); err != nil {
+			switch {
+			case errors.Is(err, fleet.ErrDraining):
+				httpError(w, http.StatusServiceUnavailable, "draining")
+			case errors.Is(err, errOverQuota):
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusTooManyRequests, "%v", err)
+			default:
+				httpError(w, http.StatusConflict, "%v", err)
+			}
+			return
+		}
+	}
+	if ns.finished.Load() {
+		httpError(w, http.StatusGone, "stream finished")
+		return
+	}
+	rep := httpReply{}
+	if len(req.Values) > 0 {
+		if len(req.Values) != s.cfg.Width {
+			httpError(w, http.StatusBadRequest, "width %d, serving chain wants %d", len(req.Values), s.cfg.Width)
+			return
+		}
+		s.mu.Lock()
+		t := s.tenants[req.Tenant]
+		s.mu.Unlock()
+		if t != nil && !t.admitSample() {
+			ns.throttled.Add(1)
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, "tenant sample rate")
+			return
+		}
+		res := ns.admit(req.Seq, req.Values)
+		rep.Accepted = !res.dup
+		rep.Dup = res.dup
+		rep.Shed = res.shed
+	}
+	if req.Bye {
+		ns.ring.Close()
+	}
+	ns.mu.Lock()
+	rep.NextSeq = ns.nextSeq
+	ns.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rep)
+}
+
+// errOverQuota classifies HTTP admission rejections caused by tenant
+// quotas (mapped to 429, everything else to 409).
+var errOverQuota = errors.New("ingest: tenant over quota")
+
+// admitHTTPStream mirrors the TCP handshake's new-stream path.
+func (s *Server) admitHTTPStream(req httpSample) (*netStream, error) {
+	s.mu.Lock()
+	t := s.tenants[req.Tenant]
+	if t == nil {
+		t = newTenant(req.Tenant, s.quotaOf(req.Tenant), s.now)
+		s.tenants[req.Tenant] = t
+	}
+	s.mu.Unlock()
+	ok, overRate := t.admitStream()
+	if !ok {
+		if overRate {
+			return nil, fmt.Errorf("%w: admission rate", errOverQuota)
+		}
+		return nil, fmt.Errorf("%w: stream limit", errOverQuota)
+	}
+	key := req.Tenant + "/" + req.Stream
+	ns := newNetStream(s, req.Tenant, req.Stream, s.cfg.Width, s.cfg.window())
+	if iv, restored := s.eng.RestoredInterval(key); restored {
+		ns.nextSeq = uint32(iv)
+	}
+	err := s.eng.Add(fleet.StreamConfig{
+		ID:        key,
+		Source:    ns,
+		Intervals: req.Horizon,
+		OnVerdict: ns.onVerdict,
+		OnFinish:  ns.onFinish,
+	})
+	if err != nil {
+		t.releaseStream()
+		return nil, err
+	}
+	s.mu.Lock()
+	// Two racing first-samples: the one that lost the Add already
+	// errored out (duplicate stream ID), so this write is unique.
+	s.streams[key] = ns
+	s.mu.Unlock()
+	s.admissions.Add(1)
+	return ns, nil
+}
+
+func (s *Server) handleVerdicts(w http.ResponseWriter, r *http.Request) {
+	ns := s.stream(r.URL.Query().Get("tenant"), r.URL.Query().Get("stream"))
+	if ns == nil {
+		httpError(w, http.StatusNotFound, "no such stream")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Stream   StreamStats `json:"stream"`
+		Verdicts []Verdict   `json:"verdicts"`
+	}{ns.stats(), ns.Recent()})
+}

@@ -1,0 +1,89 @@
+package ingest
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// sampleRing is the bounded inflight window between a connection's
+// reader goroutine (push) and the stream's owning fleet shard (pop).
+// Storage is one flat capacity×width slab allocated up front, so the
+// steady-state sample path moves counter vectors with two copies and
+// zero allocations. When the window is full, push drops the OLDEST
+// buffered sample — the same drop-oldest discipline the fleet's shard
+// queues use: under overload verdicts stay current rather than late,
+// and the drop is reported explicitly so the client sees a SHED frame,
+// never silent loss.
+type sampleRing struct {
+	mu    sync.Mutex
+	vals  []uint64 // capacity×width slab
+	seqs  []uint32
+	width int
+	size  int
+	head  int // index of oldest buffered sample
+	n     int
+
+	// pending mirrors n for the engine's wheel, which polls Pending
+	// every rotation under its own lock and must not take ours.
+	pending atomic.Int64
+	closed  atomic.Bool
+	dropped atomic.Int64
+}
+
+func newSampleRing(capacity, width int) *sampleRing {
+	return &sampleRing{
+		vals:  make([]uint64, capacity*width),
+		seqs:  make([]uint32, capacity),
+		width: width,
+		size:  capacity,
+	}
+}
+
+// push buffers one sample. When the ring is full it evicts the oldest
+// sample and reports its sequence number so the caller can emit shed
+// accounting.
+func (r *sampleRing) push(seq uint32, vals []uint64) (droppedSeq uint32, dropped bool) {
+	r.mu.Lock()
+	if r.n == r.size {
+		droppedSeq = r.seqs[r.head]
+		dropped = true
+		r.head = (r.head + 1) % r.size
+		r.n--
+		r.dropped.Add(1)
+	}
+	slot := (r.head + r.n) % r.size
+	copy(r.vals[slot*r.width:(slot+1)*r.width], vals)
+	r.seqs[slot] = seq
+	r.n++
+	r.pending.Store(int64(r.n))
+	r.mu.Unlock()
+	return droppedSeq, dropped
+}
+
+// pop removes the oldest sample into dst (len >= width).
+func (r *sampleRing) pop(dst []uint64) (seq uint32, ok bool) {
+	r.mu.Lock()
+	if r.n == 0 {
+		r.mu.Unlock()
+		return 0, false
+	}
+	seq = r.seqs[r.head]
+	copy(dst, r.vals[r.head*r.width:(r.head+1)*r.width])
+	r.head = (r.head + 1) % r.size
+	r.n--
+	r.pending.Store(int64(r.n))
+	r.mu.Unlock()
+	return seq, true
+}
+
+// Pending reports buffered samples (wheel-poll safe: single atomic).
+func (r *sampleRing) Pending() int { return int(r.pending.Load()) }
+
+// Close marks the producer done; buffered samples still drain.
+func (r *sampleRing) Close() { r.closed.Store(true) }
+
+// Closed reports whether the producer hung up for good.
+func (r *sampleRing) Closed() bool { return r.closed.Load() }
+
+// Dropped reports how many samples drop-oldest evicted.
+func (r *sampleRing) Dropped() int64 { return r.dropped.Load() }

@@ -1,0 +1,167 @@
+package ingest
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Quotas bounds one tenant's footprint on the ingest plane. Zero
+// fields mean unlimited — the zero value admits everything, so quotas
+// are strictly opt-in pressure valves.
+type Quotas struct {
+	// MaxConns caps the tenant's concurrent connections.
+	MaxConns int
+	// MaxStreams caps the tenant's concurrent live (unfinished)
+	// streams.
+	MaxStreams int
+	// AdmitPerSec rate-limits new stream admissions (token bucket;
+	// AdmitBurst tokens of headroom, default 1× the rate, min 1).
+	// Re-attaches to an existing stream are NOT charged — a
+	// reconnecting client must never be locked out of its own stream by
+	// an admission storm.
+	AdmitPerSec float64
+	AdmitBurst  int
+	// SamplesPerSec rate-limits the tenant's aggregate sample
+	// throughput across all its streams (SampleBurst headroom, default
+	// 1× the rate, min 1). Over-quota samples are rejected with a RETRY
+	// frame and counted; the connection survives.
+	SamplesPerSec float64
+	SampleBurst   int
+}
+
+// bucket is a monotonic-clock token bucket. rate<=0 disables it
+// (take always succeeds).
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newBucket(rate float64, burst int, now func() time.Time) *bucket {
+	b := float64(burst)
+	if b <= 0 {
+		b = rate
+	}
+	if b < 1 {
+		b = 1
+	}
+	return &bucket{rate: rate, burst: b, tokens: b, now: now}
+}
+
+// take spends one token, refilling by elapsed wall time first.
+func (b *bucket) take() bool {
+	if b.rate <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// tenant is the server's per-tenant admission state: quota buckets and
+// live resource counters.
+type tenant struct {
+	name    string
+	q       Quotas
+	admit   *bucket
+	samples *bucket
+
+	conns   atomic.Int64
+	streams atomic.Int64
+
+	connRejects   atomic.Int64
+	streamRejects atomic.Int64
+	admitRejects  atomic.Int64
+	throttled     atomic.Int64
+}
+
+func newTenant(name string, q Quotas, now func() time.Time) *tenant {
+	return &tenant{
+		name:    name,
+		q:       q,
+		admit:   newBucket(q.AdmitPerSec, q.AdmitBurst, now),
+		samples: newBucket(q.SamplesPerSec, q.SampleBurst, now),
+	}
+}
+
+// admitConn reserves a connection slot; the caller must releaseConn on
+// any path that took one.
+func (t *tenant) admitConn() bool {
+	n := t.conns.Add(1)
+	if t.q.MaxConns > 0 && n > int64(t.q.MaxConns) {
+		t.conns.Add(-1)
+		t.connRejects.Add(1)
+		return false
+	}
+	return true
+}
+
+func (t *tenant) releaseConn() { t.conns.Add(-1) }
+
+// admitStream charges the admission bucket and reserves a stream slot
+// for a brand-new stream.
+func (t *tenant) admitStream() (ok bool, overRate bool) {
+	if !t.admit.take() {
+		t.admitRejects.Add(1)
+		return false, true
+	}
+	n := t.streams.Add(1)
+	if t.q.MaxStreams > 0 && n > int64(t.q.MaxStreams) {
+		t.streams.Add(-1)
+		t.streamRejects.Add(1)
+		return false, false
+	}
+	return true, false
+}
+
+func (t *tenant) releaseStream() { t.streams.Add(-1) }
+
+// admitSample charges the tenant-wide sample bucket.
+func (t *tenant) admitSample() bool {
+	if t.samples.take() {
+		return true
+	}
+	t.throttled.Add(1)
+	return false
+}
+
+// TenantStats is one tenant's externally visible admission state.
+type TenantStats struct {
+	Name    string
+	Conns   int64
+	Streams int64
+	// Rejections by cause: connection cap, stream cap, admission rate,
+	// sample rate.
+	ConnRejects   int64
+	StreamRejects int64
+	AdmitRejects  int64
+	Throttled     int64
+}
+
+func (t *tenant) stats() TenantStats {
+	return TenantStats{
+		Name:          t.name,
+		Conns:         t.conns.Load(),
+		Streams:       t.streams.Load(),
+		ConnRejects:   t.connRejects.Load(),
+		StreamRejects: t.streamRejects.Load(),
+		AdmitRejects:  t.admitRejects.Load(),
+		Throttled:     t.throttled.Load(),
+	}
+}

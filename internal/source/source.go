@@ -1,0 +1,163 @@
+// Package source defines the one Source interface every stream feeder
+// implements — the simulated machine (supervise.MachineSource), the
+// synthetic benchmark generator, replayed traces, and the network
+// ingest plane — so the supervised pipeline and the fleet engine
+// consume samples through a single contract regardless of where the
+// counter readings come from.
+//
+// The contract has three tiers:
+//
+//   - Source: one blocking-free Read per sampling interval.
+//   - BufferedSource: the allocation-free extension — ReadInto fills a
+//     caller-provided buffer so the steady-state verdict loop recycles
+//     sample frames through a free list instead of allocating.
+//   - Queued: the push-fed extension for sources whose samples arrive
+//     asynchronously (network clients). A Queued source is only
+//     harvested when it has a sample pending, so a client-paced stream
+//     rides the wheel-paced fleet engine without fabricating readings,
+//     and the engine can tell a quiet stream from a finished one.
+package source
+
+import (
+	"context"
+	"errors"
+)
+
+// Source produces one interval's raw counter readings for the chain's
+// programmed events. Implementations must honour ctx cancellation — the
+// collector's watchdog deadline arrives through it — and are only ever
+// called from one goroutine at a time.
+type Source interface {
+	Read(ctx context.Context, interval int) ([]uint64, error)
+}
+
+// BufferedSource is an optional Source extension for allocation-free
+// collection: ReadInto fills the caller-provided buffer (cap(buf) >=
+// the chain's event width) and returns it resliced, instead of
+// allocating a fresh reading per interval. The pipeline detects the
+// interface and recycles frame buffers through a free list; sources
+// that cannot reuse buffers just implement Read.
+type BufferedSource interface {
+	Source
+	ReadInto(ctx context.Context, interval int, buf []uint64) ([]uint64, error)
+}
+
+// Queued is the optional extension for push-fed sources: samples are
+// produced by an external writer (a network client) and buffered until
+// the engine pulls them. The fleet wheel consults Pending before
+// harvesting — a Queued stream with nothing buffered is simply not due
+// yet, rather than a failed read — and uses Closed to finish the stream
+// once the writer is done and the buffer has drained. Pending and
+// Closed must be safe to call concurrently with Read/ReadInto.
+type Queued interface {
+	Source
+	// Pending reports how many samples are buffered and ready to read.
+	Pending() int
+	// Closed reports that no further samples will ever arrive (the
+	// writer hung up); buffered samples may still be pending.
+	Closed() bool
+}
+
+// ErrSampleLost marks an interval whose reading was lost (dropped by
+// the sampling infrastructure) rather than failed: the collector emits
+// a lost frame and the interval is scored by the chain's hold-last
+// path. Lost samples do not count against the circuit breaker.
+var ErrSampleLost = errors.New("supervise: sample lost")
+
+// Synthetic is a deterministic, allocation-free sample source for
+// benchmarks and engine tests: a cheap xorshift stream of plausible
+// healthy counter readings (never zero, never repeating, so a fallback
+// chain stays on its primary stage). The point is to make engine
+// overhead — not simulated microarchitecture — dominate what a serving
+// benchmark measures. Two sources built with the same seed produce the
+// same reading sequence, which is what lets a fleet run be compared
+// verdict-for-verdict against independent pipelines, and a network
+// stream be replayed bit-identically by its client.
+type Synthetic struct {
+	width int
+	state uint64
+}
+
+// NewSynthetic builds a source emitting width-wide readings.
+func NewSynthetic(seed uint64, width int) *Synthetic {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	if width < 1 {
+		width = 1
+	}
+	return &Synthetic{width: width, state: seed}
+}
+
+// Read implements Source.
+func (s *Synthetic) Read(ctx context.Context, interval int) ([]uint64, error) {
+	return s.ReadInto(ctx, interval, make([]uint64, s.width))
+}
+
+// ReadInto implements BufferedSource: the reading lands in buf with no
+// allocation.
+func (s *Synthetic) ReadInto(ctx context.Context, interval int, buf []uint64) ([]uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cap(buf) < s.width {
+		buf = make([]uint64, s.width)
+	}
+	buf = buf[:s.width]
+	x := s.state
+	for i := range buf {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		buf[i] = 1_000 + x%99_991
+	}
+	s.state = x
+	return buf, nil
+}
+
+// Replay plays back a recorded trace of counter readings, one reading
+// per interval, in order. Past the end of the trace it reports
+// ErrSampleLost (the recording simply stopped), which the serving
+// layers score through the hold-last path. A Replay source is how an
+// offline-captured incident is re-served through the exact same
+// pipeline that handled it live.
+type Replay struct {
+	trace [][]uint64
+	next  int
+}
+
+// NewReplay builds a source over the recorded trace. The trace is
+// aliased, not copied; the caller must not mutate it afterwards.
+func NewReplay(trace [][]uint64) *Replay {
+	return &Replay{trace: trace}
+}
+
+// Len returns the trace length in intervals.
+func (r *Replay) Len() int { return len(r.trace) }
+
+// Read implements Source.
+func (r *Replay) Read(ctx context.Context, interval int) ([]uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if r.next >= len(r.trace) {
+		return nil, ErrSampleLost
+	}
+	v := r.trace[r.next]
+	r.next++
+	return v, nil
+}
+
+// ReadInto implements BufferedSource.
+func (r *Replay) ReadInto(ctx context.Context, interval int, buf []uint64) ([]uint64, error) {
+	v, err := r.Read(ctx, interval)
+	if err != nil {
+		return nil, err
+	}
+	if cap(buf) < len(v) {
+		buf = make([]uint64, len(v))
+	}
+	buf = buf[:len(v)]
+	copy(buf, v)
+	return buf, nil
+}

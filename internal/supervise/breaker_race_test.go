@@ -1,0 +1,121 @@
+package supervise
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestBreakerConcurrentTripProbe hammers one breaker from many
+// goroutines mixing Allow / OnSuccess / OnFailure — the shape of a
+// breaker shared across shard goroutines — and checks the invariants
+// that must hold regardless of interleaving: no torn state (the race
+// detector's job), a snapshot that is always one of the three legal
+// states, and trip/recovery counters that never go backwards.
+//
+// Run with -race; the schedule is nondeterministic by design, so the
+// assertions are invariants, not exact counts.
+func TestBreakerConcurrentTripProbe(t *testing.T) {
+	br := NewBreaker(BreakerConfig{FailAfter: 2, Cooldown: 3})
+	boom := errors.New("probe failed")
+
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if br.Allow() {
+					// Alternate success and failure per worker so the
+					// breaker keeps crossing closed → open → half-open.
+					if (i+w)%3 == 0 {
+						br.OnFailure(boom)
+					} else {
+						br.OnSuccess()
+					}
+				}
+				snap := br.Snapshot()
+				switch snap.State {
+				case "closed", "open", "half-open":
+				default:
+					t.Errorf("illegal breaker state %q", snap.State)
+					return
+				}
+				if snap.Trips < 0 || snap.Recoveries < 0 {
+					t.Errorf("negative counters: %+v", snap)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if err := br.LastError(); !errors.Is(err, boom) {
+		t.Fatalf("LastError lost the wrap chain: %v", err)
+	}
+	snap := br.Snapshot()
+	if snap.Trips == 0 {
+		t.Fatal("breaker never tripped under concurrent failure load")
+	}
+}
+
+// TestBreakerHalfOpenSingleRecovery drives the deterministic half-open
+// cycle: trip, burn the cooldown, and confirm the probe's outcome moves
+// the state exactly once per cycle even when OnSuccess is reported by
+// multiple goroutines at once (only the first closes the breaker; the
+// rest are no-ops on an already-closed breaker).
+func TestBreakerHalfOpenSingleRecovery(t *testing.T) {
+	br := NewBreaker(BreakerConfig{FailAfter: 1, Cooldown: 2})
+	br.OnFailure(errors.New("trip"))
+	if got := br.Snapshot().State; got != "open" {
+		t.Fatalf("state %q after trip", got)
+	}
+	if br.Allow() {
+		t.Fatal("open breaker allowed a read before cooldown elapsed")
+	}
+	if !br.Allow() {
+		t.Fatal("cooldown elapsed but no half-open probe allowed")
+	}
+	if got := br.Snapshot().State; got != "half-open" {
+		t.Fatalf("state %q during probe", got)
+	}
+
+	// A burst of concurrent success reports must record exactly one
+	// recovery for this cycle.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			br.OnSuccess()
+		}()
+	}
+	wg.Wait()
+	snap := br.Snapshot()
+	if snap.State != "closed" || snap.Recoveries != 1 {
+		t.Fatalf("after concurrent probe success: %+v", snap)
+	}
+
+	// And a failed probe goes straight back to open, counting one trip.
+	br.OnFailure(errors.New("trip again"))
+	br.Allow()
+	br.Allow() // cooldown 2: second Allow flips to half-open
+	var wg2 sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			br.OnFailure(errors.New("probe failed"))
+		}()
+	}
+	wg2.Wait()
+	snap = br.Snapshot()
+	if snap.State != "open" {
+		t.Fatalf("failed probe left state %q", snap.State)
+	}
+	if snap.Trips < 2 {
+		t.Fatalf("trips %d, want >= 2", snap.Trips)
+	}
+}

@@ -9,33 +9,28 @@ import (
 	"repro/internal/lxc"
 	"repro/internal/micro"
 	"repro/internal/perf"
+	"repro/internal/source"
 	"repro/internal/workload"
 )
 
-// Source produces one interval's raw counter readings for the chain's
-// programmed events. Implementations must honour ctx cancellation — the
-// collector's watchdog deadline arrives through it — and are only ever
-// called from one goroutine at a time.
-type Source interface {
-	Read(ctx context.Context, interval int) ([]uint64, error)
-}
+// Source is the unified sample-feeder contract, defined in
+// internal/source and aliased here so the pipeline API reads naturally.
+// MachineSource (below), source.Synthetic, source.Replay and the
+// network ingest plane's streams all implement it.
+type Source = source.Source
 
-// BufferedSource is an optional Source extension for allocation-free
-// collection: ReadInto fills the caller-provided buffer (cap(buf) >=
-// the chain's event width) and returns it resliced, instead of
-// allocating a fresh reading per interval. The pipeline detects the
-// interface and recycles frame buffers through a free list; sources
-// that cannot reuse buffers just implement Read.
-type BufferedSource interface {
-	Source
-	ReadInto(ctx context.Context, interval int, buf []uint64) ([]uint64, error)
-}
+// BufferedSource is the allocation-free Source extension (see
+// internal/source): ReadInto fills a caller-provided buffer so the
+// steady-state verdict loop recycles frames through a free list.
+type BufferedSource = source.BufferedSource
 
 // ErrSampleLost marks an interval whose reading was lost (dropped by
 // the sampling infrastructure) rather than failed: the collector emits
 // a lost frame and the interval is scored by the chain's hold-last
-// path. Lost samples do not count against the circuit breaker.
-var ErrSampleLost = errors.New("supervise: sample lost")
+// path. Lost samples do not count against the circuit breaker. It is
+// the same value as source.ErrSampleLost, so errors.Is matches either
+// spelling.
+var ErrSampleLost = source.ErrSampleLost
 
 // MachineSourceConfig parameterises a MachineSource.
 type MachineSourceConfig struct {

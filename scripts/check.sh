@@ -12,7 +12,18 @@ go test -race ./internal/collect ./internal/faults
 go test -race ./internal/supervise ./internal/core
 go test -race ./internal/eval ./internal/mlearn/ensemble
 go test -race ./internal/fleet
+# Ingest plane: framing, admission/quota/eviction, drain and client
+# tests under the race detector (connections, streams and shards all
+# share state), plus a short fuzz pass over the frame decoder — torn,
+# bit-flipped and oversized frames must never panic or over-read.
+go test -race ./internal/ingest
+go test -fuzz=FuzzFrameDecode -fuzztime=10s -run '^$' ./internal/ingest
 go test -run TestChaos -short ./internal/experiments
+# Ingest chaos drill: real loopback TCP clients under seeded wire
+# faults, client crashes, a quota storm and a mid-run drain/restart;
+# gap-free timelines and bit-identical post-recovery verdicts gated
+# under the race detector.
+go test -race -run TestIngestChaos -short ./internal/experiments
 # Compiled-equivalence gate: every compiled kernel must produce
 # bit-identical verdicts to its interpreted model (unit equivalence in
 # compiled, chain/checkpoint/replicator equivalence in core), under the
@@ -29,6 +40,10 @@ go test -bench=BenchmarkInference -benchmem -benchtime=10x -run @ .
 # compiled-vs-interpreted fleet verdicts bit for bit.
 go run ./cmd/hmd-bench -exp fleet -apps 2 -intervals 8 \
   -fleetstreams 8,32 -fleetintervals 50 -fleetout /tmp/check-fleet.json
+# Ingest smoke: the chaos drill + overload sweep through the real
+# hmd-bench entry point at reduced scale (loopback TCP throughout).
+go run ./cmd/hmd-bench -exp ingest -apps 2 -intervals 8 \
+  -ingeststreams 4 -ingestsamples 60 -ingestout /tmp/check-ingest.json
 # Compiled-backend smoke: the CompiledVsInterpreted benches print the
 # per-family numbers for the log (equivalence itself is gated by the
 # race-mode tests above).
