@@ -37,7 +37,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, figure3, table2, figure4, figure5, table3, extensions, robustness, chaos, perf, fleet, ingest, claims")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, figure3, table2, figure4, figure5, table3, extensions, robustness, chaos, perf, fleet, ingest, cluster, claims")
 	apps := flag.Int("apps", 10, "applications per behaviour family (10 = paper scale, 120 apps)")
 	intervals := flag.Int("intervals", 30, "sampling intervals per run")
 	seed := flag.Uint64("seed", 1, "split/training seed")
@@ -48,6 +48,9 @@ func main() {
 	ingestOut := flag.String("ingestout", "BENCH_INGEST.json", "output path of the -exp ingest report")
 	ingestStreams := flag.Int("ingeststreams", 0, "concurrent TCP clients for -exp ingest (default 8)")
 	ingestSamples := flag.Int("ingestsamples", 0, "samples per client for -exp ingest (default 200)")
+	clusterOut := flag.String("clusterout", "BENCH_CLUSTER.json", "output path of the -exp cluster report")
+	clusterNodes := flag.String("clusternodes", "", "comma-separated node counts for -exp cluster (default 2,3,4,6,8)")
+	clusterSamples := flag.Int("clustersamples", 0, "samples per stream for -exp cluster (default 150)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
 	flag.Parse()
@@ -84,8 +87,10 @@ func main() {
 	perfPath = *perfOut
 	fleetPath = *fleetOut
 	ingestPath = *ingestOut
+	clusterPath = *clusterOut
 	ingestCfg.Streams = *ingestStreams
 	ingestCfg.Samples = *ingestSamples
+	clusterCfg.Samples = *clusterSamples
 	fleetCfg.Intervals = *fleetIntervals
 	if *fleetStreams != "" {
 		counts, err := parseCounts(*fleetStreams)
@@ -93,6 +98,13 @@ func main() {
 			fatal(fmt.Errorf("-fleetstreams: %w", err))
 		}
 		fleetCfg.StreamCounts = counts
+	}
+	if *clusterNodes != "" {
+		counts, err := parseCounts(*clusterNodes)
+		if err != nil {
+			fatal(fmt.Errorf("-clusternodes: %w", err))
+		}
+		clusterCfg.NodeCounts = counts
 	}
 
 	cfg := collect.Default()
@@ -134,6 +146,9 @@ func main() {
 	}
 	if *exp == "ingest" {
 		run("ingest", ingestReport)
+	}
+	if *exp == "cluster" {
+		run("cluster", clusterReport)
 	}
 	run("claims", claims)
 }
@@ -339,8 +354,10 @@ func fleetReport(ctx *experiments.Context) error {
 // ingestPath is where -exp ingest writes its JSON report; ingestCfg
 // holds the flag overrides (zero values mean experiment defaults).
 var (
-	ingestPath string
-	ingestCfg  experiments.IngestBenchConfig
+	ingestPath  string
+	ingestCfg   experiments.IngestBenchConfig
+	clusterPath string
+	clusterCfg  experiments.ClusterBenchConfig
 )
 
 // ingestReport first runs the ingest chaos drill (real loopback TCP
@@ -382,6 +399,41 @@ func ingestReport(ctx *experiments.Context) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "ingest report written to %s\n", ingestPath)
+	return nil
+}
+
+// clusterReport first runs the cluster chaos drill (multi-node
+// coordinator, scripted node crash, coordinator partition, rolling
+// upgrade — every control-plane contract must hold and the verdicts
+// must stay bit-identical to a single-node reference), then sweeps
+// cluster sizes and writes the JSON artefact alongside the console
+// summary.
+func clusterReport(ctx *experiments.Context) error {
+	res, err := ctx.ClusterChaos(experiments.ClusterChaosConfig{Seed: 0xC1A0})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderClusterChaos(res))
+	fmt.Println()
+	if !res.Passed() {
+		return fmt.Errorf("cluster chaos drill contracts failed")
+	}
+
+	rep, err := ctx.ClusterBench(clusterCfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderCluster(rep))
+	fmt.Println()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(clusterPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cluster report written to %s\n", clusterPath)
 	return nil
 }
 

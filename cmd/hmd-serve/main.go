@@ -13,6 +13,8 @@
 //	hmd-serve [-addr :8642] [-checkpoint DIR] [-faults RATE] [-loops N] ...
 //	hmd-serve -streams 256 -shards 8 ...   (fleet mode)
 //	hmd-serve -ingest :9642 -addr :8642 ...   (network ingest mode)
+//	hmd-serve -coordinator :7642 ...   (cluster control plane)
+//	hmd-serve -ingest :9642 -cluster HOST:7642 -node-id n0 ...   (cluster member)
 //
 // With -streams N > 0 the service runs in fleet mode: instead of one
 // supervised pipeline monitoring apps sequentially, the sharded fleet
@@ -28,7 +30,20 @@
 // per-tenant quotas, and verdicts are echoed back on the same
 // connection. The first SIGTERM drains gracefully — admissions are
 // refused with DRAIN frames, buffered samples are scored, chain state
-// is checkpointed — and a second SIGTERM aborts the drain.
+// is checkpointed — and a second SIGTERM aborts the drain: the engine
+// stops mid-flight, a best-effort final checkpoint is written so the
+// next process resumes the surviving timelines, and the streams
+// abandoned mid-drain are named on stderr.
+//
+// With -coordinator ADDR the process serves only the cluster control
+// plane (internal/cluster): ingest nodes started with -cluster ADDR
+// join it, renew lease heartbeats, and have stream ownership placed by
+// consistent hashing. When a member's lease expires its streams fail
+// over to the survivors, seeded from the last fanned-in chain state; a
+// SIGTERM on a member runs the same orchestrated drain handshake as a
+// coordinator-commanded one, so handoffs stay gap-free either way.
+// Clients that dial the wrong member are redirected to the owner
+// (internal/cluster.Dial follows redirects automatically).
 //
 // HTTP endpoints (when -addr is set):
 //
@@ -70,6 +85,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/collect"
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -111,6 +127,14 @@ func main() {
 	ingestQuotaConns := flag.Int("ingest-quota-conns", 0, "ingest mode: per-tenant connection cap (0 = unlimited)")
 	ingestQuotaAdmit := flag.Float64("ingest-quota-admit", 0, "ingest mode: per-tenant stream admissions per second (0 = unlimited)")
 	ingestQuotaSamples := flag.Float64("ingest-quota-samples", 0, "ingest mode: per-tenant samples per second (0 = unlimited)")
+	coordAddr := flag.String("coordinator", "", "coordinator mode: TCP listen address for the cluster control plane (no inference; excludes every other mode)")
+	leaseTTL := flag.Duration("lease-ttl", 2*time.Second, "coordinator mode: member lease TTL before failover")
+	clusterAddr := flag.String("cluster", "", "cluster mode: coordinator address this ingest node joins (requires -ingest)")
+	nodeID := flag.String("node-id", "", "cluster mode: stable member identity (default: the advertise address)")
+	advertise := flag.String("advertise", "", "cluster mode: ingest address clients are redirected to (default: the -ingest listener address)")
+	nodeWeight := flag.Int("node-weight", 1, "cluster mode: ring share relative to other members")
+	heartbeatEvery := flag.Duration("heartbeat", 500*time.Millisecond, "cluster mode: lease renewal cadence (keep well under the coordinator's -lease-ttl)")
+	statesEvery := flag.Int("states-every", 4, "cluster mode: ship stream states to the coordinator every Nth heartbeat (<0 disables the fan-in)")
 	flag.Parse()
 
 	variant := zoo.General
@@ -136,6 +160,12 @@ func main() {
 	if *addr != "" {
 		shutdown := srv.serveHTTP(*addr, *pprofOn)
 		defer shutdown()
+	}
+
+	// ---- Coordinator mode: cluster control plane, no inference ----
+	if *coordAddr != "" {
+		runCoordinator(ctx, srv, *coordAddr, *leaseTTL)
+		return
 	}
 
 	// ---- Model: recover from checkpoint or train from scratch ----
@@ -176,14 +206,25 @@ func main() {
 				AdmitPerSec:   *ingestQuotaAdmit,
 				SamplesPerSec: *ingestQuotaSamples,
 			},
-			shards:    *shards,
-			interval:  *streamInterval,
-			policy:    overflow,
-			queueCap:  *queueCap,
-			ckptDir:   *ckptDir,
-			ckptEvery: *ckptEvery,
+			shards:      *shards,
+			interval:    *streamInterval,
+			policy:      overflow,
+			queueCap:    *queueCap,
+			ckptDir:     *ckptDir,
+			ckptEvery:   *ckptEvery,
+			cluster:     *clusterAddr,
+			nodeID:      *nodeID,
+			advertise:   *advertise,
+			weight:      *nodeWeight,
+			heartbeat:   *heartbeatEvery,
+			statesEvery: *statesEvery,
+			seed:        *seed,
 		})
 		return
+	}
+
+	if *clusterAddr != "" {
+		fatal(errors.New("-cluster requires -ingest (only the network ingest plane clusters)"))
 	}
 
 	// ---- Fleet mode: N concurrent streams over sharded workers ----
@@ -387,6 +428,15 @@ type ingestModeConfig struct {
 	queueCap  int
 	ckptDir   string
 	ckptEvery int
+
+	// Cluster membership (empty cluster = standalone ingest node).
+	cluster     string
+	nodeID      string
+	advertise   string
+	weight      int
+	heartbeat   time.Duration
+	statesEvery int
+	seed        uint64
 }
 
 // runIngest opens the network front door: remote clients feed samples
@@ -429,12 +479,62 @@ func runIngest(ctx context.Context, srv *service, chain *core.FallbackChain, cfg
 		}
 	}
 
-	isrv, err := ingest.NewServer(ingest.Config{
-		Engine:   eng,
-		Width:    len(chain.Events()),
-		Window:   cfg.window,
-		MaxConns: cfg.maxConns,
-		Quotas:   cfg.quotas,
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		fatal(fmt.Errorf("ingest listen: %w", err))
+	}
+
+	// Cluster membership: the agent joins the coordinator, renews its
+	// lease, serves the placement hook (clients dialing the wrong node
+	// get a REDIRECT to the owner), applies INSTALLed stream states and
+	// fans captured states back in.
+	var agent *cluster.Agent
+	var placement func(key string) (string, bool)
+	var isrv *ingest.Server
+	engDone := make(chan struct{})
+	if cfg.cluster != "" {
+		adv := cfg.advertise
+		if adv == "" {
+			adv = ln.Addr().String()
+		}
+		id := cfg.nodeID
+		if id == "" {
+			id = adv
+		}
+		agent, err = cluster.NewAgent(cluster.AgentConfig{
+			NodeID:         id,
+			Coordinator:    cfg.cluster,
+			Advertise:      adv,
+			Weight:         cfg.weight,
+			Engine:         eng,
+			HeartbeatEvery: cfg.heartbeat,
+			StatesEvery:    cfg.statesEvery,
+			Stats: func() ingest.NodeStats {
+				if isrv == nil {
+					return ingest.NodeStats{}
+				}
+				return isrv.NodeStatsSnapshot()
+			},
+			OnDrain:    func() { isrv.Drain("cluster drain") },
+			EngineDone: engDone,
+			Seed:       cfg.seed,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "hmd-serve: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		placement = agent.Placement
+	}
+
+	isrv, err = ingest.NewServer(ingest.Config{
+		Engine:    eng,
+		Width:     len(chain.Events()),
+		Window:    cfg.window,
+		MaxConns:  cfg.maxConns,
+		Quotas:    cfg.quotas,
+		Placement: placement,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "hmd-serve: ingest: "+format+"\n", args...)
 		},
@@ -442,21 +542,33 @@ func runIngest(ctx context.Context, srv *service, chain *core.FallbackChain, cfg
 	if err != nil {
 		fatal(err)
 	}
-	ln, err := net.Listen("tcp", cfg.addr)
-	if err != nil {
-		fatal(fmt.Errorf("ingest listen: %w", err))
-	}
 	go func() {
 		if serr := isrv.Serve(ln); serr != nil && !errors.Is(serr, ingest.ErrServerClosed) {
 			fmt.Fprintf(os.Stderr, "hmd-serve: ingest serve: %v\n", serr)
 		}
 	}()
 
+	// The membership loop runs detached from the signal context too: a
+	// draining agent must keep heartbeating until the final fan-in.
+	var agentErr chan error
+	agentCtx, agentCancel := context.WithCancel(context.Background())
+	defer agentCancel()
+	if agent != nil {
+		agentErr = make(chan error, 1)
+		go func() { agentErr <- agent.Run(agentCtx) }()
+	}
+
 	srv.setFleet(eng)
 	srv.setIngest(isrv)
+	srv.setAgent(agent)
 	srv.setReady(true)
-	fmt.Fprintf(os.Stderr, "hmd-serve: ingest plane listening on %s (width %d, window %d, interval %v)\n",
-		ln.Addr(), len(chain.Events()), cfg.window, cfg.interval)
+	if agent != nil {
+		fmt.Fprintf(os.Stderr, "hmd-serve: ingest plane listening on %s (width %d, window %d, interval %v), joining cluster at %s\n",
+			ln.Addr(), len(chain.Events()), cfg.window, cfg.interval, cfg.cluster)
+	} else {
+		fmt.Fprintf(os.Stderr, "hmd-serve: ingest plane listening on %s (width %d, window %d, interval %v)\n",
+			ln.Addr(), len(chain.Events()), cfg.window, cfg.interval)
+	}
 
 	// The engine runs detached from the signal context: the first signal
 	// must drain, not cancel. Only a second signal cancels outright.
@@ -469,7 +581,14 @@ func runIngest(ctx context.Context, srv *service, chain *core.FallbackChain, cfg
 			return
 		}
 		fmt.Fprintln(os.Stderr, "hmd-serve: signal received; draining ingest plane")
-		isrv.Drain("signal")
+		if agent != nil {
+			// Same handshake as a coordinator-commanded drain: the
+			// lease turns draining and the final states are fanned in
+			// before BYE, so the survivors inherit the timelines.
+			agent.Drain()
+		} else {
+			isrv.Drain("signal")
+		}
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		defer signal.Stop(sig)
@@ -482,7 +601,38 @@ func runIngest(ctx context.Context, srv *service, chain *core.FallbackChain, cfg
 	}()
 
 	err = eng.Run(engCtx)
+	close(engDone)
 	srv.setReady(false)
+	if errors.Is(err, context.Canceled) {
+		// Aborted drain: the engine stopped mid-flight. Persist whatever
+		// chain state it holds so the next process resumes these
+		// timelines instead of restarting them, and name what was
+		// abandoned so the operator knows the drain was cut short.
+		if store != nil {
+			if serr := eng.SaveState(); serr != nil {
+				fmt.Fprintf(os.Stderr, "hmd-serve: abort checkpoint failed: %v\n", serr)
+			} else {
+				fmt.Fprintln(os.Stderr, "hmd-serve: abort checkpoint written; resume with the same -checkpoint dir")
+			}
+		}
+		if left := eng.Unfinished(); len(left) > 0 {
+			fmt.Fprintf(os.Stderr, "hmd-serve: %d streams abandoned mid-drain: %s\n",
+				len(left), strings.Join(left, ", "))
+		}
+	}
+	if agent != nil {
+		// Give a draining agent time to ship its final states and say
+		// BYE; an aborted or idle agent is simply cancelled.
+		select {
+		case aerr := <-agentErr:
+			if aerr != nil && !errors.Is(aerr, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "hmd-serve: cluster agent: %v\n", aerr)
+			}
+		case <-time.After(5 * time.Second):
+			fmt.Fprintln(os.Stderr, "hmd-serve: cluster agent did not finish its fan-in; cancelling")
+		}
+		agentCancel()
+	}
 	snap := eng.Stats(false)
 	ist := isrv.StatsSnapshot(false)
 	if cerr := isrv.Close(); cerr != nil {
@@ -494,6 +644,37 @@ func runIngest(ctx context.Context, srv *service, chain *core.FallbackChain, cfg
 	if err != nil && !errors.Is(err, context.Canceled) {
 		fatal(err)
 	}
+}
+
+// runCoordinator serves the cluster control plane: members join and
+// renew leases here, stream ownership is placed by consistent hashing,
+// silent nodes are expired and their streams failed over. Coordinator
+// processes run no inference; /stats exposes membership and handoffs.
+func runCoordinator(ctx context.Context, srv *service, addr string, ttl time.Duration) {
+	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		LeaseTTL: ttl,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "hmd-serve: "+format+"\n", args...)
+		},
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(fmt.Errorf("coordinator listen: %w", err))
+	}
+	go func() {
+		if serr := coord.Serve(ln); serr != nil {
+			fmt.Fprintf(os.Stderr, "hmd-serve: coordinator serve: %v\n", serr)
+		}
+	}()
+	srv.setCoordinator(coord)
+	srv.setReady(true)
+	fmt.Fprintf(os.Stderr, "hmd-serve: cluster coordinator on %s (lease TTL %v)\n", ln.Addr(), ttl)
+	<-ctx.Done()
+	srv.setReady(false)
+	st := coord.Stats()
+	coord.Close()
+	fmt.Fprintf(os.Stderr, "hmd-serve: coordinator done: %d joins, %d lease expiries, %d leaves, %d handoffs, %d states stored\n",
+		st.Joins, st.LeaseExpiries, st.Leaves, st.Handoffs, st.StatesStored)
 }
 
 // finish persists the chain state once more so the next process resumes
@@ -626,6 +807,8 @@ type service struct {
 	fleet   *fleet.Engine
 	ingest  *ingest.Server
 	ingestH http.Handler
+	coord   *cluster.Coordinator
+	agent   *cluster.Agent
 	live    *collect.LiveReport
 }
 
@@ -665,6 +848,18 @@ func (s *service) getIngest() (*ingest.Server, http.Handler) {
 	return s.ingest, s.ingestH
 }
 
+func (s *service) setCoordinator(c *cluster.Coordinator) {
+	s.mu.Lock()
+	s.coord = c
+	s.mu.Unlock()
+}
+
+func (s *service) setAgent(a *cluster.Agent) {
+	s.mu.Lock()
+	s.agent = a
+	s.mu.Unlock()
+}
+
 // statsPayload is the /stats JSON document.
 type statsPayload struct {
 	Phase string `json:"phase"` // "starting", "training", "serving", "draining"
@@ -685,11 +880,26 @@ type statsPayload struct {
 	// Ingest-plane counters (ingest mode): admissions, quota
 	// rejections, evictions, wire errors, sample/verdict accounting.
 	Ingest *ingest.Stats `json:"ingest,omitempty"`
+
+	// Cluster control plane (coordinator mode): lease table, placement
+	// and the handoff audit trail.
+	Coordinator *coordinatorPayload `json:"coordinator,omitempty"`
+
+	// Cluster membership counters (cluster ingest mode).
+	ClusterAgent *cluster.AgentStats `json:"cluster_agent,omitempty"`
+}
+
+// coordinatorPayload is the coordinator-mode slice of /stats.
+type coordinatorPayload struct {
+	Stats    cluster.CoordinatorStats `json:"stats"`
+	Members  []cluster.MemberStatus   `json:"members"`
+	Handoffs []cluster.Handoff        `json:"handoffs,omitempty"`
 }
 
 func (s *service) stats(perStream bool) statsPayload {
 	s.mu.Lock()
 	ready, app, loop, pipe, eng, ing := s.ready, s.app, s.loop, s.pipe, s.fleet, s.ingest
+	coord, agent := s.coord, s.agent
 	s.mu.Unlock()
 
 	rep, apps := s.live.Snapshot()
@@ -714,6 +924,17 @@ func (s *service) stats(perStream bool) statsPayload {
 	if ing != nil {
 		snap := ing.StatsSnapshot(perStream)
 		payload.Ingest = &snap
+	}
+	if coord != nil {
+		payload.Coordinator = &coordinatorPayload{
+			Stats:    coord.Stats(),
+			Members:  coord.Members(),
+			Handoffs: coord.Handoffs(),
+		}
+	}
+	if agent != nil {
+		snap := agent.Stats()
+		payload.ClusterAgent = &snap
 	}
 	if ready {
 		payload.Phase = "serving"

@@ -1,0 +1,471 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/ingest"
+)
+
+// ErrKilled reports that the node's fault schedule killed it: the
+// agent stops dead — no BYE, no final state fan-in — and the harness
+// is expected to hard-stop the rest of the process.
+var ErrKilled = errors.New("cluster: node killed by fault injection")
+
+// AgentConfig parameterises a node's membership agent.
+type AgentConfig struct {
+	// NodeID is this member's stable identity; placement hashes it.
+	NodeID string
+	// Coordinator is the coordinator's TCP address.
+	Coordinator string
+	// Advertise is the address clients should be redirected to — this
+	// node's ingest listener.
+	Advertise string
+	// Weight scales this node's share of the ring (default 1).
+	Weight int
+	// Engine receives INSTALLed stream states and supplies captures
+	// for the periodic fan-in. Required.
+	Engine *fleet.Engine
+	// HeartbeatEvery is the lease renewal cadence (default 500ms).
+	// Must be comfortably under the coordinator's lease TTL.
+	HeartbeatEvery time.Duration
+	// StatesEvery ships a full state capture every Nth heartbeat
+	// (default 4; <0 disables the periodic fan-in).
+	StatesEvery int
+	// VNodes must match the coordinator's (default DefaultVNodes).
+	VNodes int
+	// Stats supplies the node's serving counters for lease heartbeats;
+	// nil reports zeros.
+	Stats func() ingest.NodeStats
+	// OnDrain runs once when the coordinator commands a drain —
+	// typically server.Drain plus engine.Drain. The agent keeps
+	// heartbeating (flagged draining) until EngineDone closes, then
+	// ships the final states and says BYE.
+	OnDrain func()
+	// EngineDone is closed when the engine's Run has returned; it
+	// gates the final fan-in. Required when OnDrain is set.
+	EngineDone <-chan struct{}
+	// Injector, when set, applies the node's fault schedule per
+	// heartbeat (kill windows, partitions, slow heartbeats).
+	Injector *faults.NodeInjector
+	// Seed drives reconnect backoff jitter.
+	Seed uint64
+	// DialTimeout bounds coordinator dials (default 2s).
+	DialTimeout time.Duration
+	// Logf receives agent events; nil means silent.
+	Logf func(format string, args ...any)
+}
+
+func (c AgentConfig) heartbeat() time.Duration {
+	if c.HeartbeatEvery > 0 {
+		return c.HeartbeatEvery
+	}
+	return 500 * time.Millisecond
+}
+
+func (c AgentConfig) statesEvery() int {
+	if c.StatesEvery > 0 {
+		return c.StatesEvery
+	}
+	if c.StatesEvery < 0 {
+		return 0
+	}
+	return 4
+}
+
+func (c AgentConfig) dialTimeout() time.Duration {
+	if c.DialTimeout > 0 {
+		return c.DialTimeout
+	}
+	return 2 * time.Second
+}
+
+// AgentStats snapshots the agent's counters.
+type AgentStats struct {
+	Epoch         uint64
+	Joins         int64 // successful JOINs (rejoins included)
+	Beats         int64 // leases acknowledged
+	Installs      int64 // stream states installed from the coordinator
+	StatesShipped int64 // stream states fanned in to the coordinator
+	Draining      bool
+}
+
+// Agent is one node's cluster membership loop: it joins, renews its
+// lease, applies pushed stream states, fans captured states back in,
+// serves the placement hook from its latest ring view, and runs the
+// drain handshake. Run owns a single goroutine; Placement and Stats
+// are safe from any.
+type Agent struct {
+	cfg AgentConfig
+
+	ring     atomic.Pointer[Ring]
+	epoch    atomic.Uint64
+	draining atomic.Bool
+
+	joins    atomic.Int64
+	beats    atomic.Int64
+	installs atomic.Int64
+	shipped  atomic.Int64
+
+	drainOnce sync.Once
+}
+
+// NewAgent validates the config and builds an idle agent.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.NodeID == "" || cfg.Coordinator == "" || cfg.Advertise == "" {
+		return nil, errors.New("cluster: agent needs NodeID, Coordinator and Advertise")
+	}
+	if cfg.Engine == nil {
+		return nil, errors.New("cluster: agent needs an engine")
+	}
+	if cfg.OnDrain != nil && cfg.EngineDone == nil {
+		return nil, errors.New("cluster: OnDrain without EngineDone")
+	}
+	if cfg.Weight < 1 {
+		cfg.Weight = 1
+	}
+	return &Agent{cfg: cfg}, nil
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.cfg.Logf != nil {
+		a.cfg.Logf(format, args...)
+	}
+}
+
+// Placement implements ingest.Config.Placement from the latest ring
+// view: before any ring arrives, everything is local (standalone
+// behaviour); afterwards a key is local iff this node owns it.
+func (a *Agent) Placement(key string) (addr string, local bool) {
+	r := a.ring.Load()
+	if r == nil {
+		return "", true
+	}
+	m, ok := r.Owner(key)
+	if !ok || m.ID == a.cfg.NodeID {
+		return "", true
+	}
+	return m.Addr, false
+}
+
+// Stats snapshots the agent's counters.
+func (a *Agent) Stats() AgentStats {
+	return AgentStats{
+		Epoch:         a.epoch.Load(),
+		Joins:         a.joins.Load(),
+		Beats:         a.beats.Load(),
+		Installs:      a.installs.Load(),
+		StatesShipped: a.shipped.Load(),
+		Draining:      a.draining.Load(),
+	}
+}
+
+// Draining reports whether the coordinator has commanded a drain.
+func (a *Agent) Draining() bool { return a.draining.Load() }
+
+// Drain starts the drain handshake locally — an operator signal rather
+// than a coordinator command. Same path either way: the OnDrain hook
+// runs, subsequent leases carry the draining flag, and once the engine
+// finishes the agent ships its final states and says BYE.
+func (a *Agent) Drain() { a.startDrain() }
+
+// agentSess is one live control connection.
+type agentSess struct {
+	nc   net.Conn
+	br   *bufio.Reader
+	rbuf []byte
+	wbuf []byte
+}
+
+func (s *agentSess) write(frame []byte) error {
+	s.nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	_, err := s.nc.Write(frame)
+	return err
+}
+
+// Run drives the membership loop until ctx cancels (returns ctx.Err()),
+// the fault schedule kills the node (ErrKilled), or a commanded drain
+// completes (nil, after the final fan-in and BYE).
+func (a *Agent) Run(ctx context.Context) error {
+	hb := 0      // heartbeat index: the fault schedule's clock
+	attempt := 0 // consecutive failed joins, for backoff
+	var sess *agentSess
+	defer func() {
+		if sess != nil {
+			sess.nc.Close()
+		}
+	}()
+	ticker := time.NewTicker(a.cfg.heartbeat())
+	defer ticker.Stop()
+
+	for {
+		// The drain completion channel is only armed while draining —
+		// a nil channel never fires.
+		var engDone <-chan struct{}
+		if a.draining.Load() {
+			engDone = a.cfg.EngineDone
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-engDone:
+			return a.finishDrain(sess)
+		case <-ticker.C:
+		}
+
+		n := hb
+		hb++
+		if in := a.cfg.Injector; in != nil {
+			f := in.Heartbeat(n)
+			if f.Kill {
+				a.logf("cluster: %s: fault schedule kills at heartbeat %d", a.cfg.NodeID, n)
+				return ErrKilled
+			}
+			if f.Drop {
+				// Partitioned: no heartbeat, no re-dial. An open
+				// connection goes silent rather than closing — the
+				// asymmetric failure the lease TTL exists for.
+				continue
+			}
+			if f.Delay > 0 {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(f.Delay):
+				}
+			}
+		}
+
+		if sess == nil {
+			s, err := a.join()
+			if err != nil {
+				attempt++
+				a.logf("cluster: %s: join: %v", a.cfg.NodeID, err)
+				wait := ingest.Backoff(ingest.Retry{AfterMillis: uint32(a.cfg.heartbeat() / time.Millisecond)},
+					a.cfg.Seed, "agent/"+a.cfg.NodeID, attempt-1)
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(wait):
+				}
+				continue
+			}
+			sess = s
+			attempt = 0
+		}
+
+		if err := a.beat(sess, n); err != nil {
+			a.logf("cluster: %s: heartbeat: %v", a.cfg.NodeID, err)
+			sess.nc.Close()
+			sess = nil
+		}
+	}
+}
+
+// join dials the coordinator and performs the JOIN handshake.
+func (a *Agent) join() (*agentSess, error) {
+	nc, err := net.DialTimeout("tcp", a.cfg.Coordinator, a.cfg.dialTimeout())
+	if err != nil {
+		return nil, err
+	}
+	s := &agentSess{nc: nc, br: bufio.NewReaderSize(nc, 1<<15)}
+	s.wbuf = ingest.AppendJoin(s.wbuf[:0], ingest.Join{
+		Version: ingest.ProtoVersion,
+		Weight:  a.cfg.Weight,
+		NodeID:  a.cfg.NodeID,
+		Addr:    a.cfg.Advertise,
+	})
+	if err := s.write(s.wbuf); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	body, err := a.readUntil(s, ingest.FrameJoinOK)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	jok, err := ingest.ParseJoinOK(body)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	a.epoch.Store(jok.Epoch)
+	a.installRing(jok.Ring)
+	a.joins.Add(1)
+	a.logf("cluster: %s joined as epoch %d (ring v%d, %d members)",
+		a.cfg.NodeID, jok.Epoch, jok.Ring.Version, len(jok.Ring.Members))
+	return s, nil
+}
+
+// beat renews the lease and processes whatever the coordinator pushed.
+func (a *Agent) beat(s *agentSess, n int) error {
+	var stats ingest.NodeStats
+	if a.cfg.Stats != nil {
+		stats = a.cfg.Stats()
+	}
+	s.wbuf = ingest.AppendLease(s.wbuf[:0], ingest.Lease{
+		Epoch:       a.epoch.Load(),
+		RingVersion: a.ringVersion(),
+		Draining:    a.draining.Load(),
+		Stats:       stats,
+	})
+	if err := s.write(s.wbuf); err != nil {
+		return err
+	}
+	body, err := a.readUntil(s, ingest.FrameLeaseOK)
+	if err != nil {
+		return err
+	}
+	lok, err := ingest.ParseLeaseOK(body)
+	if err != nil {
+		return err
+	}
+	if lok.Epoch != a.epoch.Load() {
+		return fmt.Errorf("lease epoch %d, ours %d", lok.Epoch, a.epoch.Load())
+	}
+	a.beats.Add(1)
+	a.installRing(lok.Ring)
+	if lok.Drain {
+		a.startDrain()
+	}
+	if se := a.cfg.statesEvery(); se > 0 && n%se == se-1 {
+		if err := a.shipStates(s, false); err != nil {
+			a.logf("cluster: %s: state fan-in: %v", a.cfg.NodeID, err)
+		}
+	}
+	return nil
+}
+
+func (a *Agent) startDrain() {
+	a.drainOnce.Do(func() {
+		a.draining.Store(true)
+		a.logf("cluster: %s: drain commanded", a.cfg.NodeID)
+		if a.cfg.OnDrain != nil {
+			a.cfg.OnDrain()
+		}
+	})
+}
+
+// finishDrain ships the final post-Run state capture and says BYE. A
+// lost session is re-joined once — the states are the whole point of
+// the orchestrated path.
+func (a *Agent) finishDrain(sess *agentSess) error {
+	if sess == nil {
+		s, err := a.join()
+		if err != nil {
+			return fmt.Errorf("cluster: drain fan-in: %w", err)
+		}
+		sess = s
+		defer sess.nc.Close()
+	}
+	if err := a.shipStates(sess, true); err != nil {
+		return fmt.Errorf("cluster: drain fan-in: %w", err)
+	}
+	err := sess.write(ingest.AppendFrame(sess.wbuf[:0], ingest.FrameBye, nil))
+	a.logf("cluster: %s: drained, leaving", a.cfg.NodeID)
+	return err
+}
+
+// shipStates captures the engine's stream states and sends them as
+// STATE frames. final=true captures after Run returned (direct read,
+// finished streams included); otherwise the capture rides the shard
+// queues with a bounded wait.
+func (a *Agent) shipStates(s *agentSess, final bool) error {
+	ctx := context.Background()
+	if !final {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, 2*a.cfg.heartbeat())
+		defer cancel()
+	}
+	states, err := a.cfg.Engine.CaptureStates(ctx, nil)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	for key, st := range states {
+		buf.Reset()
+		if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+			return err
+		}
+		if buf.Len()+len(key)+16 > ingest.MaxFrameBytes {
+			a.logf("cluster: %s: state for %s too large to ship (%d bytes)", a.cfg.NodeID, key, buf.Len())
+			continue
+		}
+		s.wbuf = ingest.AppendStreamState(s.wbuf[:0], ingest.FrameState, ingest.StreamState{
+			Key:      key,
+			Interval: uint32(st.Interval),
+			Blob:     buf.Bytes(),
+		})
+		if err := s.write(s.wbuf); err != nil {
+			return err
+		}
+		a.shipped.Add(1)
+	}
+	return nil
+}
+
+// readUntil reads control frames until the wanted type arrives,
+// applying INSTALLs inline.
+func (a *Agent) readUntil(s *agentSess, want byte) ([]byte, error) {
+	deadline := time.Now().Add(2 * a.cfg.dialTimeout())
+	for {
+		s.nc.SetReadDeadline(deadline)
+		typ, body, nbuf, err := ingest.ReadFrame(s.br, ingest.MaxFrameBytes, s.rbuf)
+		s.rbuf = nbuf
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case want:
+			return body, nil
+		case ingest.FrameInstall:
+			a.applyInstall(body)
+		default:
+			return nil, fmt.Errorf("cluster: unexpected frame 0x%02x", typ)
+		}
+	}
+}
+
+func (a *Agent) applyInstall(body []byte) {
+	st, err := ingest.ParseStreamState(body)
+	if err != nil {
+		a.logf("cluster: %s: bad INSTALL: %v", a.cfg.NodeID, err)
+		return
+	}
+	var cs core.ChainState
+	if err := gob.NewDecoder(bytes.NewReader(st.Blob)).Decode(&cs); err != nil {
+		a.logf("cluster: %s: INSTALL %s: %v", a.cfg.NodeID, st.Key, err)
+		return
+	}
+	n := a.cfg.Engine.SeedRestored(map[string]core.ChainState{st.Key: cs})
+	a.installs.Add(int64(n))
+	if n > 0 {
+		a.logf("cluster: %s: installed %s at interval %d", a.cfg.NodeID, st.Key, cs.Interval)
+	}
+}
+
+func (a *Agent) ringVersion() uint64 {
+	if r := a.ring.Load(); r != nil {
+		return r.Version()
+	}
+	return 0
+}
+
+func (a *Agent) installRing(ru ingest.RingUpdate) {
+	cur := a.ring.Load()
+	if cur != nil && cur.Version() >= ru.Version {
+		return
+	}
+	a.ring.Store(BuildRing(ru.Version, ru.Members, a.cfg.VNodes))
+}

@@ -1,0 +1,361 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/ingest"
+	"repro/internal/micro"
+	"repro/internal/supervise"
+)
+
+// stubModel mirrors the fleet tests' fixed-score classifier.
+type stubModel struct{ score float64 }
+
+func (m stubModel) Distribution(x []float64) []float64 {
+	return []float64{1 - m.score, m.score}
+}
+
+func (m stubModel) DistributionInto(x []float64, out []float64) {
+	out[0], out[1] = 1-m.score, m.score
+}
+
+func stubChainFactory() func() (*core.FallbackChain, error) {
+	return func() (*core.FallbackChain, error) {
+		evs := micro.AllEvents()
+		d4 := &core.Detector{BaseName: "Stub", Events: evs[:4], Model: stubModel{score: 0.8}}
+		d2 := &core.Detector{BaseName: "Stub", Events: evs[:2], Model: stubModel{score: 0.6}}
+		return core.NewFallbackChain([]*core.Detector{d4, d2},
+			core.ChainConfig{Window: 3, PriorScore: 0.3})
+	}
+}
+
+func testFleetConfig() fleet.Config {
+	return fleet.Config{
+		NewChain:   stubChainFactory(),
+		Shards:     2,
+		WheelSlots: 4,
+		Interval:   2 * time.Millisecond,
+		Policy:     supervise.Block,
+	}
+}
+
+func sampleVals(seq uint32) []uint64 {
+	return []uint64{uint64(seq)*4 + 1, uint64(seq)*4 + 2, uint64(seq)*4 + 3, uint64(seq)*4 + 4}
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// testCluster stands up a coordinator plus n nodes and tears
+// everything down with the test.
+type testCluster struct {
+	t         *testing.T
+	coord     *Coordinator
+	coordAddr string
+	nodes     []*Node
+}
+
+func startCluster(t *testing.T, n int, ttl time.Duration) *testCluster {
+	t.Helper()
+	coord := NewCoordinator(CoordinatorConfig{LeaseTTL: ttl, Logf: t.Logf})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go coord.Serve(ln)
+	tc := &testCluster{t: t, coord: coord, coordAddr: ln.Addr().String()}
+	t.Cleanup(func() {
+		for _, nd := range tc.nodes {
+			if nd != nil {
+				nd.Close()
+			}
+		}
+		coord.Close()
+	})
+	for i := 0; i < n; i++ {
+		tc.nodes = append(tc.nodes, tc.startNode(fmt.Sprintf("n%d", i)))
+	}
+	waitUntil(t, "members joined", func() bool {
+		return coord.Stats().Placed == n
+	})
+	return tc
+}
+
+func (tc *testCluster) startNode(id string) *Node {
+	tc.t.Helper()
+	nd, err := StartNode(NodeConfig{
+		ID:             id,
+		Coordinator:    tc.coordAddr,
+		Fleet:          testFleetConfig(),
+		Width:          4,
+		HeartbeatEvery: 50 * time.Millisecond,
+		StatesEvery:    2,
+		Seed:           7,
+		Logf:           tc.t.Logf,
+	})
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	return nd
+}
+
+func (tc *testCluster) bootstrap() []string {
+	var out []string
+	for _, nd := range tc.nodes {
+		if nd != nil && !nd.Killed() {
+			out = append(out, nd.Addr())
+		}
+	}
+	return out
+}
+
+func (tc *testCluster) dial(stream string) (*ingest.Client, DialStats) {
+	tc.t.Helper()
+	c, st, err := Dial(DialConfig{
+		Bootstrap: tc.bootstrap,
+		Hello:     ingest.Hello{Width: 4, Tenant: "t", Stream: stream},
+		Timeout:   2 * time.Second,
+		Seed:      11,
+	})
+	if err != nil {
+		tc.t.Fatalf("cluster dial %s: %v", stream, err)
+	}
+	return c, st
+}
+
+func collect(t *testing.T, c *ingest.Client, n int) []ingest.Verdict {
+	t.Helper()
+	var out []ingest.Verdict
+	for len(out) < n {
+		ev, err := c.Next()
+		if err != nil {
+			t.Fatalf("after %d verdicts: %v", len(out), err)
+		}
+		if ev.Type == ingest.FrameVerdict {
+			out = append(out, ev.Verdict)
+		}
+	}
+	return out
+}
+
+// requireReference replays the full sample sequence through one
+// unbroken reference chain and asserts every collected verdict —
+// whatever node scored it — matches bit-for-bit.
+func requireReference(t *testing.T, got []ingest.Verdict, total int) {
+	t.Helper()
+	byInterval := map[uint32]ingest.Verdict{}
+	for _, v := range got {
+		byInterval[v.Interval] = v
+	}
+	ref, err := stubChainFactory()()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 0; seq < total; seq++ {
+		want, err := ref.Observe(sampleVals(uint32(seq)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, ok := byInterval[uint32(seq)]
+		if !ok {
+			continue
+		}
+		if g.Score != want.Score || g.Malware != want.Malware {
+			t.Fatalf("interval %d: cluster %+v != reference %+v", seq, g, want)
+		}
+	}
+}
+
+// TestClusterRedirectToOwner: a client that dials the wrong node is
+// steered to the stream's owner, and the redirect is counted on both
+// sides.
+func TestClusterRedirectToOwner(t *testing.T) {
+	tc := startCluster(t, 2, time.Second)
+	const key = "t/s-redirect"
+	owner, ok := tc.coord.OwnerOf(key)
+	if !ok {
+		t.Fatal("no owner")
+	}
+	var wrong *Node
+	for _, nd := range tc.nodes {
+		if nd.Addr() != owner.Addr {
+			wrong = nd
+		}
+	}
+	// Nodes only redirect once their ring view arrives; joined members
+	// have one from JOIN_OK already.
+	c, st, err := Dial(DialConfig{
+		Bootstrap: func() []string { return []string{wrong.Addr()} },
+		Hello:     ingest.Hello{Width: 4, Tenant: "t", Stream: "s-redirect"},
+		Timeout:   2 * time.Second,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if st.Redirects < 1 {
+		t.Fatalf("dial stats %+v, want a redirect", st)
+	}
+	for seq := uint32(0); seq < 3; seq++ {
+		if err := c.Send(seq, sampleVals(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, c, 3)
+	requireReference(t, got, 3)
+	if wrong.Server().StatsSnapshot(false).Redirects < 1 {
+		t.Fatal("non-owner did not count the redirect")
+	}
+}
+
+// TestClusterDrainHandsOffStream: an orchestrated drain moves a live
+// stream to the survivor with its state, and the client resumes from
+// the server-authoritative position with a bit-identical timeline.
+func TestClusterDrainHandsOffStream(t *testing.T) {
+	tc := startCluster(t, 2, time.Second)
+	const stream, key = "s-drain", "t/s-drain"
+	const firstLeg, total = 5, 10
+
+	c, _ := tc.dial(stream)
+	for seq := uint32(0); seq < firstLeg; seq++ {
+		if err := c.Send(seq, sampleVals(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, c, firstLeg)
+
+	owner, _ := tc.coord.OwnerOf(key)
+	var victim, survivor *Node
+	for _, nd := range tc.nodes {
+		if nd.Addr() == owner.Addr {
+			victim = nd
+		} else {
+			survivor = nd
+		}
+	}
+	if err := tc.coord.DrainNode(victim.cfg.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := victim.Wait(10 * time.Second); err != nil {
+		t.Fatalf("drained node exited with %v", err)
+	}
+	c.Close()
+	waitUntil(t, "drained member left", func() bool {
+		s := tc.coord.Stats()
+		return s.Members == 1 && s.Placed == 1
+	})
+	// The INSTALL rides the survivor's next heartbeat read; wait for
+	// the state to land before expecting an exact resume position.
+	waitUntil(t, "state installed on survivor", func() bool {
+		iv, ok := survivor.Engine().RestoredInterval(key)
+		return ok && iv == firstLeg
+	})
+
+	// The survivor owns the stream now and was handed its state: the
+	// handshake resumes exactly where the drained node stopped.
+	c2, _ := tc.dial(stream)
+	defer c2.Close()
+	if c2.Admitted.Resume != firstLeg {
+		t.Fatalf("resume %d, want %d", c2.Admitted.Resume, firstLeg)
+	}
+	for seq := uint32(firstLeg); seq < total; seq++ {
+		if err := c2.Send(seq, sampleVals(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got = append(got, collect(t, c2, total-firstLeg)...)
+	requireReference(t, got, total)
+
+	hs := tc.coord.Handoffs()
+	found := false
+	for _, h := range hs {
+		if h.Stream == key && h.Reason == "drain" && h.From == victim.cfg.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no drain handoff recorded for %s: %+v", key, hs)
+	}
+}
+
+// TestClusterLeaseExpiryFailover: a killed node is detected by lease
+// expiry, its stream fails over to the survivor, and the client
+// replays from the last fanned-in state — the timeline stays
+// bit-identical to the unbroken reference.
+func TestClusterLeaseExpiryFailover(t *testing.T) {
+	tc := startCluster(t, 2, 400*time.Millisecond)
+	const stream, key = "s-kill", "t/s-kill"
+	const firstLeg, total = 6, 12
+
+	c, _ := tc.dial(stream)
+	for seq := uint32(0); seq < firstLeg; seq++ {
+		if err := c.Send(seq, sampleVals(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect(t, c, firstLeg)
+	// Wait for at least one state fan-in covering the stream so the
+	// failover has something to install.
+	waitUntil(t, "state fan-in", func() bool {
+		return tc.coord.Stats().StatesStored > 0
+	})
+
+	owner, _ := tc.coord.OwnerOf(key)
+	var victim *Node
+	for _, nd := range tc.nodes {
+		if nd.Addr() == owner.Addr {
+			victim = nd
+		}
+	}
+	victim.Kill()
+	c.Close()
+	waitUntil(t, "lease expiry failover", func() bool {
+		s := tc.coord.Stats()
+		return s.LeaseExpiries >= 1 && s.Placed == 1
+	})
+	if no, ok := tc.coord.OwnerOf(key); !ok || no.ID == victim.cfg.ID {
+		t.Fatalf("stream still owned by dead node (%v %v)", no, ok)
+	}
+
+	// Failover resume: server-authoritative, from whatever state made
+	// it into the coordinator — the client replays the rest.
+	c2, _ := tc.dial(stream)
+	defer c2.Close()
+	resume := c2.Admitted.Resume
+	if resume < 0 || resume > firstLeg {
+		t.Fatalf("resume %d outside [0, %d]", resume, firstLeg)
+	}
+	for seq := uint32(resume); seq < total; seq++ {
+		if err := c2.Send(seq, sampleVals(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, c2, total-resume)
+	requireReference(t, got, total)
+
+	hs := tc.coord.Handoffs()
+	found := false
+	for _, h := range hs {
+		if h.Stream == key && h.Reason == "failover" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no failover handoff recorded: %+v", hs)
+	}
+}

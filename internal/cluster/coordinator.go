@@ -1,0 +1,623 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ingest"
+)
+
+// CoordinatorConfig parameterises a coordinator.
+type CoordinatorConfig struct {
+	// LeaseTTL is how long a member survives without a heartbeat
+	// before its lease expires and its streams fail over (default 2s).
+	// Agents heartbeat at a fraction of this; the expiry scanner runs
+	// at TTL/4.
+	LeaseTTL time.Duration
+	// VNodes is the ring points per unit of member weight (default
+	// DefaultVNodes). Every node must agree on it.
+	VNodes int
+	// Logf receives membership events; nil means silent.
+	Logf func(format string, args ...any)
+}
+
+func (c CoordinatorConfig) leaseTTL() time.Duration {
+	if c.LeaseTTL > 0 {
+		return c.LeaseTTL
+	}
+	return 2 * time.Second
+}
+
+// Handoff records one stream's ownership move: the audit trail a drill
+// checks to prove every migration was observed and attributed.
+type Handoff struct {
+	Stream   string
+	From, To string
+	// Interval is the stored state's interval at handoff time — how
+	// much of the timeline the new owner starts with (0 means the new
+	// owner starts cold and the client replays from the beginning).
+	Interval uint32
+	// Reason is "drain" (orchestrated), "failover" (lease expiry) or
+	// "leave" (voluntary BYE outside a drain).
+	Reason string
+}
+
+// MemberStatus is one member's externally visible state.
+type MemberStatus struct {
+	ID       string
+	Addr     string
+	Epoch    uint64
+	Weight   int
+	Alive    bool // control connection currently attached
+	Draining bool
+	LastBeat time.Time
+	Stats    ingest.NodeStats
+}
+
+// CoordinatorStats aggregates the control plane's counters.
+type CoordinatorStats struct {
+	RingVersion   uint64
+	Members       int // known members (includes disconnected, not yet expired)
+	Placed        int // members currently in the ring
+	Draining      int
+	Joins         int64
+	LeaseExpiries int64
+	Leaves        int64
+	StatesStored  int64
+	Installs      int64
+	Handoffs      int
+	// Fleet is the sum of every member's last reported stats.
+	Fleet ingest.NodeStats
+}
+
+type member struct {
+	info     ingest.Member
+	conn     *coordConn
+	lastBeat time.Time
+	drainReq bool // coordinator commanded a drain
+	draining bool // node acknowledged it is draining
+	stats    ingest.NodeStats
+}
+
+type storedState struct {
+	interval uint32
+	blob     []byte
+}
+
+// coordConn serialises writes to one control connection: the handler
+// goroutine replies to leases while membership changes push installs
+// from other goroutines.
+type coordConn struct {
+	nc       net.Conn
+	memberID string // set once the JOIN lands
+
+	mu sync.Mutex
+}
+
+func (cc *coordConn) send(frame []byte) error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cc.nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	_, err := cc.nc.Write(frame)
+	return err
+}
+
+// pendingSend is a frame to deliver after the coordinator lock drops —
+// conn writes block on deadlines and must never stall the lease table.
+type pendingSend struct {
+	cc    *coordConn
+	frame []byte
+}
+
+// Coordinator owns the cluster's lease table: it admits members,
+// places streams by consistent hashing, expires silent nodes, and
+// shuttles captured stream states to whichever node owns them now. It
+// is deliberately not replicated — a single process, like the paper's
+// single detection host, with crash recovery left to the nodes' own
+// checkpoints (see DESIGN.md for the failure matrix).
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu          sync.Mutex
+	members     map[string]*member
+	ring        *Ring
+	ringVersion uint64
+	nextEpoch   uint64
+	states      map[string]*storedState
+	handoffs    []Handoff
+	handoffSeen map[string]struct{}
+	conns       map[*coordConn]struct{}
+	ln          net.Listener
+	closed      bool
+
+	joins    int64
+	expiries int64
+	leaves   int64
+	stored   int64
+	installs int64
+
+	scanStop chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewCoordinator builds an idle coordinator; Serve starts it.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	return &Coordinator{
+		cfg:         cfg,
+		members:     make(map[string]*member),
+		ring:        BuildRing(0, nil, cfg.VNodes),
+		states:      make(map[string]*storedState),
+		handoffSeen: make(map[string]struct{}),
+		conns:       make(map[*coordConn]struct{}),
+		scanStop:    make(chan struct{}),
+	}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts control connections on ln until Close. The lease
+// expiry scanner runs for the duration.
+func (c *Coordinator) Serve(ln net.Listener) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("cluster: coordinator closed")
+	}
+	c.ln = ln
+	c.mu.Unlock()
+
+	c.wg.Add(1)
+	go c.scanLeases()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if c.isClosed() {
+				return nil
+			}
+			return err
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.handleConn(nc)
+		}()
+	}
+}
+
+func (c *Coordinator) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// Close stops the listener, the scanner, and every control connection.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	ln := c.ln
+	for cc := range c.conns {
+		cc.nc.Close()
+	}
+	c.mu.Unlock()
+	close(c.scanStop)
+	if ln != nil {
+		ln.Close()
+	}
+	c.wg.Wait()
+	return nil
+}
+
+// scanLeases expires members whose lease ran out: the node-death
+// detector. A member with no control connection still gets its full
+// TTL — transient TCP loss must not trigger failover; only silence
+// does.
+func (c *Coordinator) scanLeases() {
+	defer c.wg.Done()
+	ttl := c.cfg.leaseTTL()
+	t := time.NewTicker(ttl / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.scanStop:
+			return
+		case now := <-t.C:
+			var sends []pendingSend
+			c.mu.Lock()
+			for id, m := range c.members {
+				if now.Sub(m.lastBeat) <= ttl {
+					continue
+				}
+				c.expiries++
+				c.logf("cluster: lease expired for %s (last beat %v ago)", id, now.Sub(m.lastBeat).Round(time.Millisecond))
+				sends = append(sends, c.removeMemberLocked(m, "failover")...)
+			}
+			c.mu.Unlock()
+			c.deliver(sends)
+		}
+	}
+}
+
+func (c *Coordinator) deliver(sends []pendingSend) {
+	for _, s := range sends {
+		if err := s.cc.send(s.frame); err != nil {
+			c.logf("cluster: push to %s: %v", s.cc.memberID, err)
+		}
+	}
+}
+
+// rebuildLocked recomputes the ring from the current placeable
+// membership (everyone not commanded to drain), bumping the version.
+func (c *Coordinator) rebuildLocked() {
+	c.ringVersion++
+	infos := make([]ingest.Member, 0, len(c.members))
+	for _, m := range c.members {
+		if m.drainReq {
+			continue
+		}
+		infos = append(infos, m.info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	c.ring = BuildRing(c.ringVersion, infos, c.cfg.VNodes)
+}
+
+func (c *Coordinator) ringUpdateLocked() ingest.RingUpdate {
+	return ingest.RingUpdate{Version: c.ring.Version(), Members: c.ring.Members()}
+}
+
+// installLocked queues an INSTALL of state st to the member owning key
+// now, if it is connected.
+func (c *Coordinator) installLocked(key string, st *storedState, sends []pendingSend) []pendingSend {
+	owner, ok := c.ring.Owner(key)
+	if !ok {
+		return sends
+	}
+	m := c.members[owner.ID]
+	if m == nil || m.conn == nil {
+		return sends
+	}
+	c.installs++
+	frame := ingest.AppendStreamState(nil, ingest.FrameInstall,
+		ingest.StreamState{Key: key, Interval: st.interval, Blob: st.blob})
+	return append(sends, pendingSend{m.conn, frame})
+}
+
+// recordHandoffLocked appends to the audit trail, deduplicated per
+// (stream, from-incarnation, reason): a drained member's streams show
+// up both when the drain is commanded (states already stored) and when
+// its final capture arrives (states shipped late) — one move, one
+// record.
+func (c *Coordinator) recordHandoffLocked(h Handoff, fromEpoch uint64) {
+	key := fmt.Sprintf("%s|%s|%s|%d", h.Stream, h.From, h.Reason, fromEpoch)
+	if _, dup := c.handoffSeen[key]; dup {
+		return
+	}
+	c.handoffSeen[key] = struct{}{}
+	c.handoffs = append(c.handoffs, h)
+}
+
+// removeMemberLocked drops a member entirely — lease expiry or BYE —
+// records the handoffs for every stream it owned, and queues installs
+// to the new owners. Returns the queued sends.
+func (c *Coordinator) removeMemberLocked(m *member, reason string) []pendingSend {
+	old := c.ring
+	delete(c.members, m.info.ID)
+	if m.conn != nil {
+		m.conn.nc.Close()
+		m.conn = nil
+	}
+	c.rebuildLocked()
+	var sends []pendingSend
+	for key, st := range c.states {
+		if o, ok := old.Owner(key); !ok || o.ID != m.info.ID {
+			continue
+		}
+		h := Handoff{Stream: key, From: m.info.ID, Interval: st.interval, Reason: reason}
+		if no, ok := c.ring.Owner(key); ok {
+			h.To = no.ID
+			sends = c.installLocked(key, st, sends)
+		}
+		c.recordHandoffLocked(h, m.info.Epoch)
+	}
+	return sends
+}
+
+func (c *Coordinator) handleConn(nc net.Conn) {
+	cc := &coordConn{nc: nc}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		nc.Close()
+		return
+	}
+	c.conns[cc] = struct{}{}
+	c.mu.Unlock()
+	defer func() {
+		nc.Close()
+		c.mu.Lock()
+		delete(c.conns, cc)
+		// Detach, never expire: losing TCP is not losing the lease.
+		if m := c.members[cc.memberID]; m != nil && m.conn == cc {
+			m.conn = nil
+		}
+		c.mu.Unlock()
+	}()
+
+	br := bufio.NewReaderSize(nc, 1<<15)
+	var rbuf []byte
+	readDeadline := 2 * c.cfg.leaseTTL()
+	joined := false
+	for {
+		nc.SetReadDeadline(time.Now().Add(readDeadline))
+		typ, body, nbuf, err := ingest.ReadFrame(br, ingest.MaxFrameBytes, rbuf)
+		rbuf = nbuf
+		if err != nil {
+			return
+		}
+		switch {
+		case !joined && typ == ingest.FrameJoin:
+			if !c.handleJoin(cc, body) {
+				return
+			}
+			joined = true
+		case !joined:
+			c.logf("cluster: %s: frame 0x%02x before JOIN", nc.RemoteAddr(), typ)
+			return
+		case typ == ingest.FrameLease:
+			if !c.handleLease(cc, body) {
+				return
+			}
+		case typ == ingest.FrameState:
+			if !c.handleState(cc, body) {
+				return
+			}
+		case typ == ingest.FrameBye:
+			c.handleBye(cc)
+			return
+		default:
+			c.logf("cluster: %s: unexpected frame 0x%02x", cc.memberID, typ)
+			return
+		}
+	}
+}
+
+func (c *Coordinator) handleJoin(cc *coordConn, body []byte) bool {
+	j, err := ingest.ParseJoin(body)
+	if err != nil {
+		c.logf("cluster: bad JOIN from %s: %v", cc.nc.RemoteAddr(), err)
+		return false
+	}
+	var sends []pendingSend
+	c.mu.Lock()
+	m := c.members[j.NodeID]
+	var evict *coordConn
+	if m == nil {
+		m = &member{}
+		c.members[j.NodeID] = m
+	} else if m.conn != nil && m.conn != cc {
+		// Latest wins: a rejoin fences the previous incarnation.
+		evict = m.conn
+	}
+	c.nextEpoch++
+	m.info = ingest.Member{ID: j.NodeID, Addr: j.Addr, Weight: j.Weight, Epoch: c.nextEpoch}
+	m.conn = cc
+	m.lastBeat = time.Now()
+	m.drainReq, m.draining = false, false
+	cc.memberID = j.NodeID
+	c.joins++
+	c.rebuildLocked()
+	ok := ingest.AppendJoinOK(nil, ingest.JoinOK{
+		Epoch:       m.info.Epoch,
+		LeaseMillis: uint32(c.cfg.leaseTTL() / time.Millisecond),
+		Ring:        c.ringUpdateLocked(),
+	})
+	sends = append(sends, pendingSend{cc, ok})
+	// Everything the joiner now owns gets pushed so a reconnecting
+	// client resumes from the freshest captured position.
+	for key, st := range c.states {
+		if o, okk := c.ring.Owner(key); okk && o.ID == j.NodeID {
+			sends = c.installLocked(key, st, sends)
+		}
+	}
+	c.logf("cluster: %s joined (epoch %d, addr %s, ring v%d)", j.NodeID, m.info.Epoch, j.Addr, c.ringVersion)
+	c.mu.Unlock()
+	if evict != nil {
+		evict.nc.Close()
+	}
+	c.deliver(sends)
+	return true
+}
+
+func (c *Coordinator) handleLease(cc *coordConn, body []byte) bool {
+	l, err := ingest.ParseLease(body)
+	if err != nil {
+		return false
+	}
+	c.mu.Lock()
+	m := c.members[cc.memberID]
+	if m == nil || m.conn != cc || l.Epoch != m.info.Epoch {
+		// A zombie incarnation: fenced, not renewed.
+		c.mu.Unlock()
+		c.logf("cluster: fencing stale lease from %s (epoch %d)", cc.memberID, l.Epoch)
+		return false
+	}
+	m.lastBeat = time.Now()
+	m.stats = l.Stats
+	if l.Draining {
+		m.draining = true
+	}
+	reply := ingest.AppendLeaseOK(nil, ingest.LeaseOK{
+		Epoch: m.info.Epoch,
+		Drain: m.drainReq,
+		Ring:  c.ringUpdateLocked(),
+	})
+	c.mu.Unlock()
+	return cc.send(reply) == nil
+}
+
+func (c *Coordinator) handleState(cc *coordConn, body []byte) bool {
+	st, err := ingest.ParseStreamState(body)
+	if err != nil {
+		return false
+	}
+	var sends []pendingSend
+	c.mu.Lock()
+	m := c.members[cc.memberID]
+	if m == nil || m.conn != cc {
+		c.mu.Unlock()
+		return false
+	}
+	cur := c.states[st.Key]
+	if cur == nil || st.Interval > cur.interval {
+		// The blob aliases the read buffer; the table owns a copy.
+		cur = &storedState{interval: st.Interval, blob: append([]byte(nil), st.Blob...)}
+		c.states[st.Key] = cur
+		c.stored++
+	}
+	// A state arriving from a non-owner (a draining node shipping its
+	// final capture) is forwarded to the owner straight away — and for
+	// a draining sender that IS the handoff, recorded as such.
+	if o, ok := c.ring.Owner(st.Key); ok && o.ID != cc.memberID {
+		sends = c.installLocked(st.Key, cur, sends)
+		if m.drainReq || m.draining {
+			c.recordHandoffLocked(Handoff{
+				Stream: st.Key, From: cc.memberID, To: o.ID,
+				Interval: cur.interval, Reason: "drain",
+			}, m.info.Epoch)
+		}
+	}
+	c.mu.Unlock()
+	c.deliver(sends)
+	return true
+}
+
+func (c *Coordinator) handleBye(cc *coordConn) {
+	var sends []pendingSend
+	c.mu.Lock()
+	m := c.members[cc.memberID]
+	if m == nil || m.conn != cc {
+		c.mu.Unlock()
+		return
+	}
+	reason := "leave"
+	if m.drainReq || m.draining {
+		reason = "drain"
+	}
+	c.leaves++
+	c.logf("cluster: %s left (%s)", cc.memberID, reason)
+	sends = c.removeMemberLocked(m, reason)
+	c.mu.Unlock()
+	c.deliver(sends)
+}
+
+// DrainNode commands an orchestrated handoff: the member leaves the
+// ring immediately — new placements and stored states move to the
+// survivors — and its next lease reply carries the drain flag, upon
+// which the node drains its server and engine, ships every final
+// stream state, and says BYE.
+func (c *Coordinator) DrainNode(id string) error {
+	var sends []pendingSend
+	c.mu.Lock()
+	m := c.members[id]
+	if m == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: no member %q", id)
+	}
+	if !m.drainReq {
+		m.drainReq = true
+		old := c.ring
+		c.rebuildLocked()
+		for key, st := range c.states {
+			if o, ok := old.Owner(key); !ok || o.ID != id {
+				continue
+			}
+			h := Handoff{Stream: key, From: id, Interval: st.interval, Reason: "drain"}
+			if no, ok := c.ring.Owner(key); ok {
+				h.To = no.ID
+				sends = c.installLocked(key, st, sends)
+			}
+			c.recordHandoffLocked(h, m.info.Epoch)
+		}
+		c.logf("cluster: draining %s (ring v%d)", id, c.ringVersion)
+	}
+	c.mu.Unlock()
+	c.deliver(sends)
+	return nil
+}
+
+// OwnerOf reports the member currently placed for a stream key.
+func (c *Coordinator) OwnerOf(key string) (ingest.Member, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.Owner(key)
+}
+
+// Members returns every known member's status, sorted by ID.
+func (c *Coordinator) Members() []MemberStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]MemberStatus, 0, len(c.members))
+	for _, m := range c.members {
+		out = append(out, MemberStatus{
+			ID:       m.info.ID,
+			Addr:     m.info.Addr,
+			Epoch:    m.info.Epoch,
+			Weight:   m.info.Weight,
+			Alive:    m.conn != nil,
+			Draining: m.drainReq || m.draining,
+			LastBeat: m.lastBeat,
+			Stats:    m.stats,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Handoffs returns the ownership-move audit trail.
+func (c *Coordinator) Handoffs() []Handoff {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Handoff(nil), c.handoffs...)
+}
+
+// Stats snapshots the coordinator's counters.
+func (c *Coordinator) Stats() CoordinatorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CoordinatorStats{
+		RingVersion:   c.ring.Version(),
+		Members:       len(c.members),
+		Placed:        len(c.ring.Members()),
+		Joins:         c.joins,
+		LeaseExpiries: c.expiries,
+		Leaves:        c.leaves,
+		StatesStored:  c.stored,
+		Installs:      c.installs,
+		Handoffs:      len(c.handoffs),
+	}
+	for _, m := range c.members {
+		if m.drainReq || m.draining {
+			st.Draining++
+		}
+		st.Fleet.Streams += m.stats.Streams
+		st.Fleet.Accepted += m.stats.Accepted
+		st.Fleet.Shed += m.stats.Shed
+		st.Fleet.Verdicts += m.stats.Verdicts
+		st.Fleet.Attributed += m.stats.Attributed
+		st.Fleet.Held += m.stats.Held
+	}
+	return st
+}

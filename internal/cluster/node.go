@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/ingest"
+)
+
+// NodeConfig parameterises one self-contained serving node: engine,
+// ingest listener and membership agent wired together the way
+// hmd-serve wires them, but embeddable in a single test process so a
+// drill can run a whole cluster and kill members at will.
+type NodeConfig struct {
+	// ID is the member identity; Coordinator its control address.
+	ID          string
+	Coordinator string
+	// Weight scales the node's ring share (default 1).
+	Weight int
+	// Fleet configures the node's engine (NewChain required).
+	Fleet fleet.Config
+	// Width is the ingest sample width.
+	Width int
+	// HeartbeatEvery / StatesEvery / VNodes tune the agent (see
+	// AgentConfig).
+	HeartbeatEvery time.Duration
+	StatesEvery    int
+	VNodes         int
+	// Plan, when active, derives the node's fault schedule.
+	Plan faults.NodePlan
+	// Seed drives the agent's backoff jitter.
+	Seed uint64
+	// Logf receives node events; nil means silent.
+	Logf func(format string, args ...any)
+}
+
+// Node is one running cluster member. A node whose fault schedule says
+// kill hard-stops itself: listener and connections closed, engine
+// context cancelled, no BYE — exactly what the coordinator's lease
+// expiry exists to detect.
+type Node struct {
+	cfg    NodeConfig
+	eng    *fleet.Engine
+	srv    *ingest.Server
+	agent  *Agent
+	ln     net.Listener
+	cancel context.CancelFunc
+
+	engRun   chan error
+	agentRun chan error
+	killed   atomic.Bool
+}
+
+// StartNode builds and starts a node: engine running, listener
+// serving, agent joining the coordinator.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	eng, err := fleet.New(cfg.Fleet)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{cfg: cfg, eng: eng, ln: ln}
+
+	engDone := make(chan struct{})
+	var injector *faults.NodeInjector
+	if cfg.Plan.Active() {
+		injector = cfg.Plan.ForNode(cfg.ID)
+	}
+	agent, err := NewAgent(AgentConfig{
+		NodeID:         cfg.ID,
+		Coordinator:    cfg.Coordinator,
+		Advertise:      ln.Addr().String(),
+		Weight:         cfg.Weight,
+		Engine:         eng,
+		HeartbeatEvery: cfg.HeartbeatEvery,
+		StatesEvery:    cfg.StatesEvery,
+		VNodes:         cfg.VNodes,
+		Stats:          func() ingest.NodeStats { return n.srv.NodeStatsSnapshot() },
+		OnDrain: func() {
+			n.srv.Drain("cluster drain")
+			n.eng.Drain()
+		},
+		EngineDone: engDone,
+		Injector:   injector,
+		Seed:       cfg.Seed,
+		Logf:       cfg.Logf,
+	})
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	n.agent = agent
+	srv, err := ingest.NewServer(ingest.Config{
+		Engine:    eng,
+		Width:     cfg.Width,
+		Placement: agent.Placement,
+		Logf:      cfg.Logf,
+	})
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	n.srv = srv
+
+	ctx, cancel := context.WithCancel(context.Background())
+	n.cancel = cancel
+	n.engRun = make(chan error, 1)
+	n.agentRun = make(chan error, 1)
+	go func() {
+		err := eng.Run(ctx)
+		close(engDone)
+		n.engRun <- err
+	}()
+	go srv.Serve(ln)
+	go func() {
+		err := agent.Run(ctx)
+		n.agentRun <- err
+		if errors.Is(err, ErrKilled) {
+			n.Kill()
+		}
+	}()
+	return n, nil
+}
+
+// Addr is the node's ingest listener address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Engine exposes the node's fleet engine.
+func (n *Node) Engine() *fleet.Engine { return n.eng }
+
+// Server exposes the node's ingest server.
+func (n *Node) Server() *ingest.Server { return n.srv }
+
+// Agent exposes the node's membership agent.
+func (n *Node) Agent() *Agent { return n.agent }
+
+// Kill hard-stops the node: the crash shape. Safe to call twice.
+func (n *Node) Kill() {
+	if !n.killed.CompareAndSwap(false, true) {
+		return
+	}
+	n.srv.Close()
+	n.cancel()
+}
+
+// Killed reports whether the node was hard-stopped.
+func (n *Node) Killed() bool { return n.killed.Load() }
+
+// Wait blocks until both the agent and the engine have exited and
+// returns the agent's verdict: nil for a completed drain, ErrKilled
+// for a scheduled kill, the context error for a hard stop.
+func (n *Node) Wait(timeout time.Duration) error {
+	deadline := time.After(timeout)
+	var agentErr error
+	select {
+	case agentErr = <-n.agentRun:
+		n.agentRun <- agentErr
+	case <-deadline:
+		return fmt.Errorf("cluster: node %s: agent did not exit", n.cfg.ID)
+	}
+	// A gracefully drained node still owns a running listener and a
+	// parked engine context; release both.
+	n.srv.Close()
+	n.cancel()
+	select {
+	case err := <-n.engRun:
+		n.engRun <- err
+	case <-deadline:
+		return fmt.Errorf("cluster: node %s: engine did not exit", n.cfg.ID)
+	}
+	return agentErr
+}
+
+// Close hard-stops the node and waits for its goroutines.
+func (n *Node) Close() {
+	n.Kill()
+	n.Wait(10 * time.Second)
+}

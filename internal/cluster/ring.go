@@ -1,0 +1,107 @@
+// Package cluster is the multi-node control plane: a coordinator that
+// places streams across a fleet of serving processes by consistent
+// hashing, tracks node health through heartbeat leases, and migrates
+// stream state between nodes so a drain or a crash never tears a
+// verdict timeline. The data plane stays exactly the single-node
+// ingest protocol — clients are steered to the right node with
+// REDIRECT frames and resume from the server-authoritative position,
+// so a cluster run is bit-identical to an unbroken single-node one.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ingest"
+)
+
+// DefaultVNodes is how many ring points one unit of member weight
+// contributes. More points smooth the key distribution; the drills'
+// few-node rings stay well balanced at 64.
+const DefaultVNodes = 64
+
+// hash64 is FNV-1a with an avalanche finalizer. Raw FNV of short,
+// similar strings ("n0#1", "n0#2", ...) clusters in the high bits and
+// would let one member's arc capture the whole ring; the mix spreads
+// the points. Stable across processes and runs, which is what lets a
+// drill precompute placement from member IDs alone and lets every node
+// derive the identical ring from a membership list.
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	h *= 0xC4CEB9FE1A85EC53
+	h ^= h >> 33
+	return h
+}
+
+// Ring is an immutable consistent-hash ring over a membership set.
+// Placement depends only on the member IDs and weights — not on join
+// order or timing — so the coordinator and every node agree on owners
+// the moment they agree on membership.
+type Ring struct {
+	version uint64
+	members []ingest.Member
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	member int // index into members
+}
+
+// BuildRing assembles the ring for one membership snapshot. vnodes <= 0
+// means DefaultVNodes; member weights multiply their point count.
+func BuildRing(version uint64, members []ingest.Member, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{version: version, members: append([]ingest.Member(nil), members...)}
+	for mi, m := range r.members {
+		w := m.Weight
+		if w < 1 {
+			w = 1
+		}
+		for i := 0; i < w*vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hash64(fmt.Sprintf("%s#%d", m.ID, i)),
+				member: mi,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Ties broken by member ID so the ring is a pure function of
+		// the membership set.
+		return r.members[a.member].ID < r.members[b.member].ID
+	})
+	return r
+}
+
+// Version returns the membership version the ring was built from.
+func (r *Ring) Version() uint64 { return r.version }
+
+// Members returns the membership snapshot (not a copy; do not mutate).
+func (r *Ring) Members() []ingest.Member { return r.members }
+
+// Owner maps a stream key to its owning member. ok is false only for
+// an empty ring.
+func (r *Ring) Owner(key string) (ingest.Member, bool) {
+	if len(r.points) == 0 {
+		return ingest.Member{}, false
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.members[r.points[i].member], true
+}

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ingest"
+)
+
+func ringMembers(ids ...string) []ingest.Member {
+	out := make([]ingest.Member, len(ids))
+	for i, id := range ids {
+		out[i] = ingest.Member{ID: id, Addr: "addr-" + id, Weight: 1}
+	}
+	return out
+}
+
+// TestRingPlacementIsDeterministic: the ring is a pure function of the
+// membership set — join order, process, and run must not matter,
+// because the coordinator and every node build their own copies.
+func TestRingPlacementIsDeterministic(t *testing.T) {
+	a := BuildRing(3, ringMembers("n0", "n1", "n2"), 0)
+	b := BuildRing(3, ringMembers("n2", "n0", "n1"), 0)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("tenant/stream%d", i)
+		ma, oka := a.Owner(key)
+		mb, okb := b.Owner(key)
+		if !oka || !okb || ma.ID != mb.ID {
+			t.Fatalf("key %s: %v/%v vs %v/%v", key, ma.ID, oka, mb.ID, okb)
+		}
+	}
+	if _, ok := BuildRing(1, nil, 0).Owner("x"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+}
+
+// TestRingRemovalOnlyMovesVictimKeys is the consistent-hashing
+// property the whole handoff design leans on: removing one member
+// must only reassign the keys that member owned.
+func TestRingRemovalOnlyMovesVictimKeys(t *testing.T) {
+	full := BuildRing(1, ringMembers("n0", "n1", "n2", "n3"), 0)
+	without := BuildRing(2, ringMembers("n0", "n1", "n3"), 0)
+	moved, kept := 0, 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("t/s%d", i)
+		before, _ := full.Owner(key)
+		after, _ := without.Owner(key)
+		if before.ID == "n2" {
+			if after.ID == "n2" {
+				t.Fatalf("key %s still on removed member", key)
+			}
+			moved++
+			continue
+		}
+		if before.ID != after.ID {
+			t.Fatalf("key %s moved from %s to %s though %s survived", key, before.ID, after.ID, before.ID)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+	// Every member of a 4-node ring should own a meaningful share.
+	counts := map[string]int{}
+	for i := 0; i < 500; i++ {
+		m, _ := full.Owner(fmt.Sprintf("t/s%d", i))
+		counts[m.ID]++
+	}
+	for id, n := range counts {
+		if n < 25 {
+			t.Fatalf("member %s owns only %d/500 keys: %v", id, n, counts)
+		}
+	}
+}
+
+// TestRingWeights: a weight-4 member should own several times the keys
+// of a weight-1 member.
+func TestRingWeights(t *testing.T) {
+	members := ringMembers("light", "heavy")
+	members[1].Weight = 4
+	r := BuildRing(1, members, 0)
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		m, _ := r.Owner(fmt.Sprintf("t/s%d", i))
+		counts[m.ID]++
+	}
+	if counts["heavy"] < 2*counts["light"] {
+		t.Fatalf("weight ignored: %v", counts)
+	}
+}

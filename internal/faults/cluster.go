@@ -1,0 +1,233 @@
+package faults
+
+// Node faults extend the injection layer from connections to cluster
+// members: the failure modes a whole serving process inflicts on the
+// coordinator's lease table. Where wire kinds mangle one connection's
+// byte stream, node kinds act at heartbeat granularity — a process
+// killed outright, a network partition that swallows every heartbeat
+// for a stretch, a GC-stalled or overloaded node whose heartbeats
+// arrive late. A NodeInjector is consulted by the node agent before
+// each heartbeat; the coordinator is the system under test and must
+// detect, expire, and fail over whatever the schedule produces.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/micro"
+)
+
+// NodeKind identifies one node-level fault class.
+type NodeKind uint8
+
+const (
+	// KillNode stops the process abruptly: no BYE, no final state
+	// fan-in, streams stranded until the lease expires. Fires only
+	// through the deterministic KillAfter window — a probabilistic
+	// kill would make drill accounting unrepeatable.
+	KillNode NodeKind = iota
+	// PartitionNode swallows heartbeats (and blocks re-dials) while
+	// the node itself keeps serving: the asymmetric failure where the
+	// coordinator declares a node dead that never stopped working.
+	PartitionNode
+	// SlowHeartbeat delays a heartbeat — enough, at the plan's
+	// configured maximum, to flirt with the lease TTL without
+	// crossing it.
+	SlowHeartbeat
+
+	numNodeKinds
+)
+
+var nodeKindNames = [numNodeKinds]string{"kill", "partition", "slowbeat"}
+
+// String returns the kind's flag-friendly name.
+func (k NodeKind) String() string {
+	if int(k) < len(nodeKindNames) {
+		return nodeKindNames[k]
+	}
+	return fmt.Sprintf("NodeKind(%d)", int(k))
+}
+
+// AllNodeKinds returns every node fault kind.
+func AllNodeKinds() []NodeKind {
+	out := make([]NodeKind, numNodeKinds)
+	for i := range out {
+		out[i] = NodeKind(i)
+	}
+	return out
+}
+
+// ParseNodeKinds parses a comma-separated node kind list
+// ("kill,partition"). The empty string and "all" mean every kind.
+func ParseNodeKinds(s string) ([]NodeKind, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" || s == "all" {
+		return AllNodeKinds(), nil
+	}
+	var out []NodeKind
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		found := false
+		for i, name := range nodeKindNames {
+			if tok == name {
+				out = append(out, NodeKind(i))
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("faults: unknown node kind %q (known: %s)", tok, strings.Join(nodeKindNames[:], ","))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("faults: no node kinds in %q", s)
+	}
+	return out, nil
+}
+
+// NodePlan is a seeded description of how one cluster member
+// misbehaves, mirroring WirePlan one layer up. The probabilistic knobs
+// (Rate over Kinds) add background jitter; the deterministic windows
+// (KillAfter, PartitionAfter/PartitionFor) script the headline failures
+// so a drill can point each one at a chosen victim and assert the
+// exact recovery. The zero value injects nothing.
+type NodePlan struct {
+	// Seed drives every probabilistic draw; identical (Seed, node,
+	// heartbeat) triples reproduce identical decisions.
+	Seed uint64
+	// Rate is the per-heartbeat probability of each enabled
+	// probabilistic kind firing (KillNode never fires from Rate).
+	Rate float64
+	// Kinds enables a subset of fault classes; empty means all.
+	Kinds []NodeKind
+
+	// KillAfter, when > 0, kills the node at heartbeat index KillAfter
+	// (0-based): every Heartbeat(n) with n >= KillAfter says Kill.
+	KillAfter int
+	// PartitionAfter, when > 0, opens a partition window at heartbeat
+	// index PartitionAfter lasting PartitionFor heartbeats: every
+	// heartbeat inside [PartitionAfter, PartitionAfter+PartitionFor)
+	// is dropped, re-dials included.
+	PartitionAfter int
+	// PartitionFor is the scripted partition's width in heartbeats
+	// (default 4 when PartitionAfter is set).
+	PartitionFor int
+	// MaxDelay bounds SlowHeartbeat stalls (default 150ms). Set it
+	// near the lease TTL to exercise near-miss renewals, or above it
+	// to force spurious expiries.
+	MaxDelay time.Duration
+}
+
+// Active reports whether the plan injects anything.
+func (p NodePlan) Active() bool {
+	return p.Rate > 0 || p.KillAfter > 0 || p.PartitionAfter > 0
+}
+
+// Enabled reports whether the plan injects kind k probabilistically.
+func (p NodePlan) Enabled(k NodeKind) bool {
+	if p.Rate <= 0 {
+		return false
+	}
+	if len(p.Kinds) == 0 {
+		return true
+	}
+	for _, pk := range p.Kinds {
+		if pk == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (p NodePlan) partitionFor() int {
+	if p.PartitionFor > 0 {
+		return p.PartitionFor
+	}
+	return 4
+}
+
+func (p NodePlan) maxDelay() time.Duration {
+	if p.MaxDelay > 0 {
+		return p.MaxDelay
+	}
+	return 150 * time.Millisecond
+}
+
+// ForNode derives the injector for one cluster member. The node ID is
+// the only input besides the plan seed, so every node draws its own
+// reproducible schedule from a shared plan.
+func (p NodePlan) ForNode(id string) *NodeInjector {
+	return &NodeInjector{
+		plan: p,
+		base: p.Seed ^ hash64(id) ^ 0xC10D5EA5C10D,
+	}
+}
+
+// NodeFault is the decision an injector makes about one heartbeat.
+type NodeFault struct {
+	// Kill tells the agent to die in place of this heartbeat: stop
+	// serving, close nothing gracefully, send no BYE.
+	Kill bool
+	// Drop tells the agent to skip this heartbeat entirely — and not
+	// to re-dial if disconnected — as if the network ate it.
+	Drop bool
+	// Delay is how long to stall before sending this heartbeat.
+	Delay time.Duration
+	// Kind is the fault that fired (meaningful when Injected).
+	Kind NodeKind
+	// Injected reports whether any fault fired for this heartbeat.
+	Injected bool
+}
+
+// NodeInjector applies one member's node fault schedule. The decision
+// for heartbeat n is a pure function of (plan, node, n) — independent
+// of call order, so an agent that restarts its loop re-derives the
+// same schedule — while the counters accumulate for drill accounting
+// and must only be read after the agent has stopped.
+type NodeInjector struct {
+	plan NodePlan
+	base uint64
+
+	// Counters for drill accounting.
+	Killed  int
+	Dropped int
+	Delayed int
+}
+
+// Plan returns the plan the injector was derived from.
+func (in *NodeInjector) Plan() NodePlan { return in.plan }
+
+// Heartbeat decides the fate of heartbeat n (0-based). At most one
+// kind fires per heartbeat; scripted windows outrank probabilistic
+// draws and the draw order (partition, slowbeat) is fixed so sequences
+// are reproducible.
+func (in *NodeInjector) Heartbeat(n int) NodeFault {
+	var f NodeFault
+	p := in.plan
+	if !p.Active() {
+		return f
+	}
+	if p.KillAfter > 0 && n >= p.KillAfter {
+		in.Killed++
+		return NodeFault{Kill: true, Kind: KillNode, Injected: true}
+	}
+	if p.PartitionAfter > 0 && n >= p.PartitionAfter && n < p.PartitionAfter+p.partitionFor() {
+		in.Dropped++
+		return NodeFault{Drop: true, Kind: PartitionNode, Injected: true}
+	}
+	rng := micro.NewRNG(in.base ^ (uint64(n)+1)*0x9E3779B97F4A7C15)
+	switch {
+	case p.Enabled(PartitionNode) && rng.Bernoulli(p.Rate):
+		in.Dropped++
+		return NodeFault{Drop: true, Kind: PartitionNode, Injected: true}
+	case p.Enabled(SlowHeartbeat) && rng.Bernoulli(p.Rate):
+		in.Delayed++
+		d := time.Duration(rng.Float64() * float64(p.maxDelay()))
+		return NodeFault{Delay: d, Kind: SlowHeartbeat, Injected: true}
+	}
+	return f
+}

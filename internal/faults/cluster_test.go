@@ -1,0 +1,121 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseNodeKinds(t *testing.T) {
+	all, err := ParseNodeKinds("all")
+	if err != nil || len(all) != int(numNodeKinds) {
+		t.Fatalf("all: %v %v", all, err)
+	}
+	got, err := ParseNodeKinds(" kill , partition ")
+	if err != nil || len(got) != 2 || got[0] != KillNode || got[1] != PartitionNode {
+		t.Fatalf("kill,partition: %v %v", got, err)
+	}
+	if _, err := ParseNodeKinds("reboot"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	for _, k := range AllNodeKinds() {
+		rt, err := ParseNodeKinds(k.String())
+		if err != nil || len(rt) != 1 || rt[0] != k {
+			t.Fatalf("round-trip %v: %v %v", k, rt, err)
+		}
+	}
+}
+
+// TestNodePlanScriptedWindows pins the scripted failures: a kill
+// window is permanent once open, a partition window drops exactly its
+// configured width, and both outrank probabilistic draws.
+func TestNodePlanScriptedWindows(t *testing.T) {
+	kill := NodePlan{Seed: 1, Rate: 1, KillAfter: 5}.ForNode("n0")
+	for n := 0; n < 5; n++ {
+		if f := kill.Heartbeat(n); f.Kill {
+			t.Fatalf("heartbeat %d killed before the window", n)
+		}
+	}
+	for n := 5; n < 8; n++ {
+		f := kill.Heartbeat(n)
+		if !f.Kill || f.Kind != KillNode || !f.Injected {
+			t.Fatalf("heartbeat %d: %+v, want kill", n, f)
+		}
+	}
+	if kill.Killed != 3 {
+		t.Fatalf("killed counter %d", kill.Killed)
+	}
+
+	part := NodePlan{Seed: 1, PartitionAfter: 3, PartitionFor: 4}.ForNode("n1")
+	for n := 0; n < 12; n++ {
+		f := part.Heartbeat(n)
+		inWindow := n >= 3 && n < 7
+		if f.Drop != inWindow {
+			t.Fatalf("heartbeat %d: drop=%v, window=%v", n, f.Drop, inWindow)
+		}
+		if inWindow && (f.Kind != PartitionNode || !f.Injected) {
+			t.Fatalf("heartbeat %d: %+v", n, f)
+		}
+	}
+	if part.Dropped != 4 {
+		t.Fatalf("dropped counter %d", part.Dropped)
+	}
+
+	// Rate 1 with only slowbeat enabled: every unscripted heartbeat
+	// delays, but KillNode never fires probabilistically.
+	slow := NodePlan{Seed: 9, Rate: 1, Kinds: []NodeKind{SlowHeartbeat, KillNode}, MaxDelay: 20 * time.Millisecond}.ForNode("n2")
+	for n := 0; n < 16; n++ {
+		f := slow.Heartbeat(n)
+		if f.Kill || f.Drop {
+			t.Fatalf("heartbeat %d: %+v, want delay only", n, f)
+		}
+		if f.Kind != SlowHeartbeat || !f.Injected || f.Delay < 0 || f.Delay > 20*time.Millisecond {
+			t.Fatalf("heartbeat %d: %+v", n, f)
+		}
+	}
+	if slow.Delayed != 16 {
+		t.Fatalf("delayed counter %d", slow.Delayed)
+	}
+}
+
+// TestNodeInjectorDeterministicPerNode: the decision for (plan, node,
+// n) is pure — identical across injectors and call orders — while
+// distinct nodes draw distinct schedules from one shared plan.
+func TestNodeInjectorDeterministicPerNode(t *testing.T) {
+	plan := NodePlan{Seed: 0xD00D, Rate: 0.4}
+	a, b := plan.ForNode("n0"), plan.ForNode("n0")
+	// Different call orders, same decisions.
+	order := []int{7, 2, 11, 2, 0, 31}
+	for _, n := range order {
+		fa, fb := a.Heartbeat(n), b.Heartbeat(n)
+		if fa != fb {
+			t.Fatalf("heartbeat %d: %+v vs %+v", n, fa, fb)
+		}
+		if fresh := plan.ForNode("n0").Heartbeat(n); fresh != fa {
+			t.Fatalf("heartbeat %d not pure: %+v vs %+v", n, fresh, fa)
+		}
+	}
+	// Distinct nodes must not fail in lockstep.
+	c := plan.ForNode("n1")
+	same := 0
+	for n := 0; n < 64; n++ {
+		if plan.ForNode("n0").Heartbeat(n) == c.Heartbeat(n) {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("two nodes drew identical schedules")
+	}
+
+	if f := (NodePlan{}).ForNode("n0").Heartbeat(3); f.Injected {
+		t.Fatalf("zero plan injected %+v", f)
+	}
+	if (NodePlan{}).Active() {
+		t.Fatal("zero plan active")
+	}
+	if !(NodePlan{KillAfter: 1}).Active() || !(NodePlan{PartitionAfter: 1}).Active() {
+		t.Fatal("scripted-only plan inactive")
+	}
+	if (NodePlan{Rate: 0.5}).Enabled(KillNode) != true {
+		t.Fatal("empty kinds should enable all")
+	}
+}

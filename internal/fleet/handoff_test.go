@@ -1,0 +1,274 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/supervise"
+)
+
+// handoffVals gives stream i a distinct deterministic sample sequence
+// so a migrated timeline can be replayed against a reference chain.
+func handoffVals(i, seq int) []uint64 {
+	base := uint64(i*1000 + seq*4)
+	return []uint64{base + 1, base + 2, base + 3, base + 4}
+}
+
+// TestHandoffCaptureSeedContinuesBitIdentical is the migration golden
+// test: states captured mid-run on one engine and seeded into a second
+// must let the second engine continue every timeline bit-identically to
+// one unbroken reference chain fed the full sample sequence.
+func TestHandoffCaptureSeedContinuesBitIdentical(t *testing.T) {
+	const streams, firstLeg, total = 2, 6, 10
+	cfg := Config{Shards: 2, WheelSlots: 4, Interval: time.Millisecond, Policy: supervise.Block}
+
+	engA := newTestEngine(t, cfg)
+	srcsA := make([]*queuedTestSource, streams)
+	for i := range srcsA {
+		srcsA[i] = &queuedTestSource{}
+		if err := engA.Add(StreamConfig{ID: fmt.Sprintf("s%d", i), Source: srcsA[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runA := make(chan error, 1)
+	go func() { runA <- engA.Run(context.Background()) }()
+	for seq := 0; seq < firstLeg; seq++ {
+		for i, src := range srcsA {
+			src.push(handoffVals(i, seq))
+		}
+	}
+	waitUntil(t, "first leg scored", func() bool {
+		return engA.Stats(false).Verdicts == streams*firstLeg
+	})
+
+	// Mid-run capture rides the shard queues: every stream present, each
+	// state at the stream's current interval.
+	ctx := context.Background()
+	mid, err := engA.CaptureStates(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mid) != streams {
+		t.Fatalf("captured %d states, want %d", len(mid), streams)
+	}
+	for id, st := range mid {
+		if st.Interval != firstLeg {
+			t.Fatalf("stream %s captured at interval %d, want %d", id, st.Interval, firstLeg)
+		}
+	}
+	sub, err := engA.CaptureStates(ctx, []string{"s0", "ghost"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 1 {
+		t.Fatalf("subset capture returned %d states: %v", len(sub), sub)
+	}
+	if _, ok := sub["s0"]; !ok {
+		t.Fatal("subset capture missing s0")
+	}
+	if un := engA.Unfinished(); len(un) != streams || un[0] != "s0" || un[1] != "s1" {
+		t.Fatalf("unfinished %v", un)
+	}
+
+	// Old owner retires; the post-Run capture reads chains directly and
+	// still covers the (now finished) streams.
+	for _, src := range srcsA {
+		src.closed.Store(true)
+	}
+	select {
+	case err := <-runA:
+		if err != nil {
+			t.Fatalf("engine A Run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("engine A did not finish")
+	}
+	if un := engA.Unfinished(); len(un) != 0 {
+		t.Fatalf("finished engine lists unfinished streams %v", un)
+	}
+	fin, err := engA.CaptureStates(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fin) != streams {
+		t.Fatalf("final capture has %d states, want %d", len(fin), streams)
+	}
+
+	// New owner seeds the states; Add claims them exactly like a disk
+	// checkpoint and the timelines resume at the capture point.
+	engB := newTestEngine(t, cfg)
+	if n := engB.SeedRestored(fin); n != streams {
+		t.Fatalf("seeded %d states, want %d", n, streams)
+	}
+	if iv, ok := engB.RestoredInterval("s0"); !ok || iv != firstLeg {
+		t.Fatalf("restored interval %d/%v, want %d", iv, ok, firstLeg)
+	}
+	srcsB := make([]*queuedTestSource, streams)
+	cols := make([]*collector, streams)
+	for i := range srcsB {
+		srcsB[i] = &queuedTestSource{}
+		cols[i] = &collector{}
+		if err := engB.Add(StreamConfig{
+			ID: fmt.Sprintf("s%d", i), Source: srcsB[i], OnVerdict: cols[i].add,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Claimed states leave the pending table, and a live ID refuses a
+	// re-seed: the local timeline is now authoritative.
+	if _, ok := engB.RestoredInterval("s0"); ok {
+		t.Fatal("claimed state still pending")
+	}
+	if n := engB.SeedRestored(fin); n != 0 {
+		t.Fatalf("re-seed of live IDs installed %d states", n)
+	}
+	runB := make(chan error, 1)
+	go func() { runB <- engB.Run(context.Background()) }()
+	for seq := firstLeg; seq < total; seq++ {
+		for i, src := range srcsB {
+			src.push(handoffVals(i, seq))
+		}
+	}
+	for _, src := range srcsB {
+		src.closed.Store(true)
+	}
+	select {
+	case err := <-runB:
+		if err != nil {
+			t.Fatalf("engine B Run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("engine B did not finish")
+	}
+
+	for i := 0; i < streams; i++ {
+		id := fmt.Sprintf("s%d", i)
+		requireGapFree(t, id, cols[i].verdicts, total-firstLeg, firstLeg)
+		ref, err := stubChainFactory()()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seq := 0; seq < total; seq++ {
+			want, err := ref.Observe(handoffVals(i, seq))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq < firstLeg {
+				continue
+			}
+			if got := cols[i].verdicts[seq-firstLeg]; got != want {
+				t.Fatalf("stream %s interval %d: migrated %+v != reference %+v", id, seq, got, want)
+			}
+		}
+	}
+}
+
+// TestSeedRestoredMonotonicAndGuarded pins the replacement rules: only
+// a strictly newer snapshot replaces a pending one, and an ID that has
+// ever been added locally refuses external states outright.
+func TestSeedRestoredMonotonicAndGuarded(t *testing.T) {
+	ch, err := stubChainFactory()()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapAt := func(iv int) core.ChainState {
+		for ch.State().Interval < iv {
+			if _, err := ch.Observe(handoffVals(0, ch.State().Interval)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ch.State()
+	}
+	st3, st5 := snapAt(3), snapAt(5)
+
+	e := newTestEngine(t, Config{Shards: 1, WheelSlots: 2})
+	if n := e.SeedRestored(map[string]core.ChainState{"x": st3}); n != 1 {
+		t.Fatalf("fresh seed installed %d", n)
+	}
+	if n := e.SeedRestored(map[string]core.ChainState{"x": st3}); n != 0 {
+		t.Fatalf("equal-interval re-seed installed %d", n)
+	}
+	if n := e.SeedRestored(map[string]core.ChainState{"x": st5}); n != 1 {
+		t.Fatalf("newer seed installed %d", n)
+	}
+	if n := e.SeedRestored(map[string]core.ChainState{"x": st3}); n != 0 {
+		t.Fatal("older snapshot rewound the pending state")
+	}
+	if iv, ok := e.RestoredInterval("x"); !ok || iv != 5 {
+		t.Fatalf("pending interval %d/%v, want 5", iv, ok)
+	}
+	if err := e.Add(StreamConfig{ID: "x", Source: &queuedTestSource{}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.SeedRestored(map[string]core.ChainState{"x": st5}); n != 0 {
+		t.Fatal("used ID accepted an external state")
+	}
+}
+
+// TestCaptureAfterCancelledRun covers the aborted-shutdown shape the
+// serve binary's second SIGTERM produces: after a cancelled Run the
+// engine still names its abandoned streams, captures their states via
+// the direct-read path, and SaveState writes a best-effort checkpoint a
+// restarted engine can resume from.
+func TestCaptureAfterCancelledRun(t *testing.T) {
+	const streams, scored = 2, 4
+	store, err := core.NewCheckpointStore(t.TempDir(), "fleet", StateVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Shards: 2, WheelSlots: 4, Interval: time.Millisecond,
+		Policy: supervise.Block, Checkpoint: store,
+	}
+	e := newTestEngine(t, cfg)
+	srcs := make([]*queuedTestSource, streams)
+	for i := range srcs {
+		srcs[i] = &queuedTestSource{}
+		if err := e.Add(StreamConfig{ID: fmt.Sprintf("c%d", i), Source: srcs[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	run := make(chan error, 1)
+	go func() { run <- e.Run(ctx) }()
+	for seq := 0; seq < scored; seq++ {
+		for i, src := range srcs {
+			src.push(handoffVals(i, seq))
+		}
+	}
+	waitUntil(t, "samples scored", func() bool {
+		return e.Stats(false).Verdicts == streams*scored
+	})
+	cancel()
+	if err := <-run; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Run returned %v", err)
+	}
+
+	if un := e.Unfinished(); len(un) != streams || un[0] != "c0" || un[1] != "c1" {
+		t.Fatalf("abandoned streams %v", un)
+	}
+	states, err := e.CaptureStates(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, st := range states {
+		if st.Interval != scored {
+			t.Fatalf("stream %s captured at %d, want %d", id, st.Interval, scored)
+		}
+	}
+	if err := e.SaveState(); err != nil {
+		t.Fatalf("best-effort checkpoint: %v", err)
+	}
+
+	e2 := newTestEngine(t, cfg)
+	if _, _, err := e2.RestoreState(); err != nil {
+		t.Fatal(err)
+	}
+	if iv, ok := e2.RestoredInterval("c0"); !ok || iv != scored {
+		t.Fatalf("restarted engine resumes at %d/%v, want %d", iv, ok, scored)
+	}
+}

@@ -1,0 +1,60 @@
+package ingest
+
+import (
+	"time"
+
+	"repro/internal/micro"
+)
+
+// Backoff bounds for Backoff below.
+const (
+	// DefaultRetryMillis substitutes for a RETRY frame with no back-off
+	// hint (a zero AfterMillis).
+	DefaultRetryMillis = 100
+	// MaxBackoff caps the exponentially grown wait.
+	MaxBackoff = 30 * time.Second
+)
+
+// Backoff turns a server back-off hint into the wait before retry
+// attempt n (0-based), with seeded jitter. The server's hint is
+// honored as a scale, never verbatim: a quota storm rejects a whole
+// fleet of clients with the same retryMillis in the same instant, and
+// clients that sleep exactly that long stampede back in lockstep —
+// the thundering herd the jitter is here to break up.
+//
+// The base doubles per attempt (hint << n, capped at MaxBackoff) and
+// the wait is drawn uniformly from [base/2, base]. The draw is a pure
+// function of (seed, scope, attempt) — the faults-package discipline —
+// so a retry schedule reproduces exactly across runs while distinct
+// streams (distinct scopes) spread out.
+func Backoff(hint Retry, seed uint64, scope string, attempt int) time.Duration {
+	ms := int64(hint.AfterMillis)
+	if ms <= 0 {
+		ms = DefaultRetryMillis
+	}
+	base := time.Duration(ms) * time.Millisecond
+	for i := 0; i < attempt && base < MaxBackoff; i++ {
+		base *= 2
+	}
+	if base > MaxBackoff {
+		base = MaxBackoff
+	}
+	rng := micro.NewRNG(seed ^ hashScope(scope) ^ (uint64(attempt)+1)*0x9E3779B97F4A7C15)
+	half := int64(base / 2)
+	return time.Duration(half + int64(rng.Uint64()%(uint64(half)+1)))
+}
+
+// hashScope is FNV-1a over the scope string (the faults package keeps
+// its own copy; the ingest client must not depend on faults for this).
+func hashScope(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

@@ -55,12 +55,13 @@ type Client struct {
 
 // Event is one server-to-client frame, decoded.
 type Event struct {
-	Type    byte
-	HelloOK HelloOK // FrameHelloOK
-	Verdict Verdict // FrameVerdict
-	Shed    Shed    // FrameShed
-	Retry   Retry   // FrameRetry
-	Reason  string  // FrameDrain / FrameError
+	Type     byte
+	HelloOK  HelloOK  // FrameHelloOK
+	Verdict  Verdict  // FrameVerdict
+	Shed     Shed     // FrameShed
+	Retry    Retry    // FrameRetry
+	Redirect Redirect // FrameRedirect
+	Reason   string   // FrameDrain / FrameError
 }
 
 // Dial connects, performs the handshake and returns an admitted
@@ -103,6 +104,8 @@ func (e *RejectedError) Error() string {
 		return fmt.Sprintf("ingest: rejected: retry after %dms (%s)", e.Event.Retry.AfterMillis, e.Event.Retry.Reason)
 	case FrameDrain:
 		return fmt.Sprintf("ingest: rejected: draining (%s)", e.Event.Reason)
+	case FrameRedirect:
+		return fmt.Sprintf("ingest: rejected: stream owned by %s (%s)", e.Event.Redirect.Addr, e.Event.Redirect.Reason)
 	case FrameError:
 		return fmt.Sprintf("ingest: rejected: %s", e.Event.Reason)
 	}
@@ -167,6 +170,8 @@ func (c *Client) Next() (Event, error) {
 		ev.Shed, err = ParseShed(body)
 	case FrameRetry:
 		ev.Retry, err = ParseRetry(body)
+	case FrameRedirect:
+		ev.Redirect, err = ParseRedirect(body)
 	case FrameDrain:
 		ev.Reason, err = ParseDrain(body)
 	case FrameError:

@@ -1,0 +1,162 @@
+package ingest
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/supervise"
+)
+
+// TestIngestResumeReplayAcrossRestart drives the idempotent-drop
+// contract through a full process restart: a client that replays
+// SAMPLEs below the HELLO_OK resume position — interleaved with new
+// ones, across several crash-reconnect cycles — must see every replay
+// dropped as a dup with exact accounting, while the new samples extend
+// the restored verdict timeline bit-identically to an unbroken
+// single-process reference. This is the client shape cluster failover
+// produces on purpose: resume from a checkpoint means re-sending.
+func TestIngestResumeReplayAcrossRestart(t *testing.T) {
+	store, err := core.NewCheckpointStore(t.TempDir(), "fleet", fleet.StateVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := startHarness(t, func(fc *fleet.Config, sc *Config) {
+		fc.Checkpoint = store
+	})
+
+	const ckptAt = 8 // timeline position the restart resumes from
+	c := dialStream(t, h.addr, "t", "s0", 0)
+	for seq := uint32(0); seq < ckptAt; seq++ {
+		if err := c.Send(seq, sampleVals(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collectVerdicts(t, c, ckptAt)
+
+	// Drain: the engine finishes the stream and the final checkpoint
+	// pins the timeline at ckptAt.
+	h.srv.Drain("restart")
+	select {
+	case rerr := <-h.run:
+		if rerr != nil {
+			t.Fatalf("drained Run: %v", rerr)
+		}
+		h.run <- nil
+	case <-time.After(5 * time.Second):
+		t.Fatal("engine did not drain")
+	}
+
+	// Restarted process.
+	eng2, err := fleet.New(fleet.Config{
+		NewChain:   stubChainFactory(),
+		Shards:     2,
+		WheelSlots: 4,
+		Interval:   2 * time.Millisecond,
+		Policy:     supervise.Block,
+		Checkpoint: store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng2.RestoreState(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewServer(Config{Engine: eng2, Width: testWidth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv2.Serve(ln2)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	run2 := make(chan error, 1)
+	go func() { run2 <- eng2.Run(ctx2) }()
+	t.Cleanup(func() {
+		srv2.Close()
+		cancel2()
+		<-run2
+	})
+
+	// Reconnect churn: each round crashes the connection (no BYE),
+	// reconnects, replays stale sequence numbers below the advertised
+	// resume position interleaved with exactly one new sample.
+	const rounds = 3
+	var got []Verdict
+	for k := uint32(0); k < rounds; k++ {
+		resume := ckptAt + k
+		ck := dialStream(t, ln2.Addr().String(), "t", "s0", 0)
+		if ck.Admitted.Resume != int(resume) {
+			t.Fatalf("round %d: resume %d, want %d", k, ck.Admitted.Resume, resume)
+		}
+		// Replay from the very start of the timeline, then the new
+		// sample, then another stale replay just under the resume point.
+		if err := ck.Send(k, sampleVals(k)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ck.Send(resume, sampleVals(resume)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ck.Send(resume-1, sampleVals(resume-1)); err != nil {
+			t.Fatal(err)
+		}
+		vs := collectVerdicts(t, ck, 1)
+		if vs[0].Seq != resume || vs[0].Interval != resume {
+			t.Fatalf("round %d: verdict %+v, want seq/interval %d", k, vs[0], resume)
+		}
+		got = append(got, vs[0])
+		ck.Close() // crash, no BYE
+	}
+
+	// Exact accounting: every replay was dropped idempotently, every
+	// new sample was scored and attributed, nothing leaked.
+	waitFor(t, "stream settled", func() bool {
+		ss := srv2.stream("t", "s0").stats()
+		return ss.Attributed == rounds && ss.Pending == 0
+	})
+	ss := srv2.stream("t", "s0").stats()
+	if ss.Accepted != rounds || ss.Dups != 2*rounds {
+		t.Fatalf("accepted %d dups %d, want %d and %d", ss.Accepted, ss.Dups, rounds, 2*rounds)
+	}
+	if ss.Accepted != ss.Attributed+ss.RingShed {
+		t.Fatalf("accounting leak: accepted %d != attributed %d + shed %d",
+			ss.Accepted, ss.Attributed, ss.RingShed)
+	}
+	if ss.NextSeq != ckptAt+rounds {
+		t.Fatalf("next seq %d, want %d", ss.NextSeq, ckptAt+rounds)
+	}
+	st := srv2.StatsSnapshot(false)
+	// Server-wide reattaches count every re-HELLO of a live stream.
+	// (The per-stream counter only counts displacements — whether the
+	// crashed conn's EOF lands before the redial is a timing race.)
+	if st.Reattaches != rounds-1 {
+		t.Fatalf("reattaches %d, want %d", st.Reattaches, rounds-1)
+	}
+	if st.SamplesDup != 2*rounds {
+		t.Fatalf("server-wide dups %d, want %d", st.SamplesDup, 2*rounds)
+	}
+
+	// Bit-identity: the restarted timeline's tail must match one
+	// unbroken reference chain fed the same samples, dups and all.
+	ref, err := stubChainFactory()()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint32(0); seq < ckptAt+rounds; seq++ {
+		v, err := ref.Observe(sampleVals(seq))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq >= ckptAt {
+			g := got[seq-ckptAt]
+			if g.Interval != uint32(v.Interval) || g.Score != v.Score || g.Malware != v.Malware {
+				t.Fatalf("seq %d: got %+v, reference %+v", seq, g, v)
+			}
+		}
+	}
+}

@@ -54,6 +54,17 @@ type Config struct {
 	Quotas       Quotas
 	TenantQuotas map[string]Quotas
 
+	// Placement, when set, is consulted for every HELLO naming a stream
+	// not already live on this server: it returns the owning node's
+	// advertised ingest address and whether this server is that owner.
+	// A non-local stream is answered with a REDIRECT frame carrying the
+	// owner's address and the connection closes — clients follow the
+	// cluster's placement instead of growing streams on the wrong node.
+	// Streams already live here are served regardless (ownership moves
+	// only through drain or failover, never under an attached client).
+	// Nil means every stream is local (standalone server).
+	Placement func(key string) (addr string, local bool)
+
 	// Clock overrides time.Now for the quota buckets (tests).
 	Clock func() time.Time
 	// Logf, when set, receives one line per eviction/rejection.
@@ -143,6 +154,7 @@ type Server struct {
 	drainRejects  atomic.Int64
 	widthRejects  atomic.Int64
 	capRejects    atomic.Int64
+	redirects     atomic.Int64
 }
 
 // NewServer validates cfg and builds a server. The engine is borrowed,
@@ -568,6 +580,17 @@ func (s *Server) handshake(c *conn, br *bufio.Reader) bool {
 		return true
 	}
 
+	// New stream: honour cluster placement before charging any quota.
+	// Re-attaches above bypass this on purpose — a live local stream is
+	// served until the cluster drains or fails this node over.
+	if s.cfg.Placement != nil {
+		if addr, local := s.cfg.Placement(key); !local {
+			s.redirects.Add(1)
+			c.writeNow(AppendRedirect(s.getBuf(), Redirect{Addr: addr, Reason: "stream placement"}))
+			return false
+		}
+	}
+
 	ok, overRate := t.admitStream()
 	if !ok {
 		reason := "tenant stream limit"
@@ -709,6 +732,7 @@ type Stats struct {
 	DrainRejects int64
 	WidthRejects int64
 	CapRejects   int64
+	Redirects    int64
 
 	SamplesAccepted  int64
 	SamplesDup       int64
@@ -741,6 +765,7 @@ func (s *Server) StatsSnapshot(includeStreams bool) Stats {
 		DrainRejects:        s.drainRejects.Load(),
 		WidthRejects:        s.widthRejects.Load(),
 		CapRejects:          s.capRejects.Load(),
+		Redirects:           s.redirects.Load(),
 	}
 	s.mu.Lock()
 	st.Streams = len(s.streams)
@@ -771,6 +796,20 @@ func (s *Server) StatsSnapshot(includeStreams bool) Stats {
 		st.Tenants = append(st.Tenants, t.stats())
 	}
 	return st
+}
+
+// NodeStatsSnapshot condenses the server's counters into the compact
+// per-node aggregate that cluster heartbeats carry.
+func (s *Server) NodeStatsSnapshot() NodeStats {
+	st := s.StatsSnapshot(false)
+	return NodeStats{
+		Streams:    uint64(st.Streams),
+		Accepted:   uint64(st.SamplesAccepted),
+		Shed:       uint64(st.SamplesShed),
+		Verdicts:   uint64(st.Verdicts),
+		Attributed: uint64(st.VerdictsAttributed),
+		Held:       uint64(st.VerdictsHeld),
+	}
 }
 
 // Stream returns the netStream for tenant/name, if admitted.

@@ -16,7 +16,10 @@ import (
 // Run with -race; the schedule is nondeterministic by design, so the
 // assertions are invariants, not exact counts.
 func TestBreakerConcurrentTripProbe(t *testing.T) {
-	br := NewBreaker(BreakerConfig{FailAfter: 2, Cooldown: 3})
+	// FailAfter 1: with a higher threshold, concurrent OnSuccess calls
+	// can keep resetting the consecutive-failure count and whether the
+	// breaker ever trips becomes a scheduling coin flip.
+	br := NewBreaker(BreakerConfig{FailAfter: 1, Cooldown: 3})
 	boom := errors.New("probe failed")
 
 	const workers = 8

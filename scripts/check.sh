@@ -48,3 +48,12 @@ go run ./cmd/hmd-bench -exp ingest -apps 2 -intervals 8 \
 # per-family numbers for the log (equivalence itself is gated by the
 # race-mode tests above).
 go test -bench=BenchmarkCompiledVsInterpreted -benchmem -benchtime=10x -run @ .
+# Cluster plane: ring determinism, redirect-to-owner, drain handoff and
+# lease-expiry failover under the race detector (coordinator, agents
+# and ingest connections all share state across goroutines).
+go test -race ./internal/cluster
+# Cluster chaos drill (3 in-process nodes through a scripted kill, a
+# coordinator partition and a rolling upgrade; verdict timelines gated
+# bit-identical to a single-node reference) plus the 3-process cluster
+# bench smoke, both in short mode under -race.
+go test -race -run 'TestClusterChaos|TestClusterBenchSmoke' -short ./internal/experiments
