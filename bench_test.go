@@ -525,11 +525,13 @@ func BenchmarkInferenceLegacyScore(b *testing.B) {
 }
 
 // BenchmarkCompiledVsInterpreted pits the compiled inference backend
-// (flattened forests, fused linear datapaths, blocked MLP batches)
-// against the interpreted models, per detector family, on the
-// single-sample hot path. Run with -benchmem: both sides must report 0
-// allocs/op; the compiled side is the one the fleet shards score
-// through by default.
+// (flattened forests, fused linear datapaths, blocked MLP batches) and
+// the fixed-point quantized tier against the interpreted models, per
+// detector family, on the single-sample hot path. Run with -benchmem:
+// every side must report 0 allocs/op; the compiled side is the one the
+// fleet shards score through by default. Families without a quantized
+// lowering (JRip here) skip the quantized run rather than re-time
+// their compiled fallback.
 func BenchmarkCompiledVsInterpreted(b *testing.B) {
 	ctx := benchContext(b)
 	families := []struct {
@@ -550,12 +552,21 @@ func BenchmarkCompiledVsInterpreted(b *testing.B) {
 			b.Fatal(err)
 		}
 		label := fam.name + "-" + fam.variant.String()
-		for _, mode := range []string{"compiled", "interpreted"} {
-			batch := det.NewBatcher()
-			if mode == "interpreted" {
+		for _, mode := range []string{"compiled", "quantized", "interpreted"} {
+			var batch *core.Batcher
+			switch mode {
+			case "interpreted":
 				batch = det.NewInterpretedBatcher()
-			} else if !batch.Compiled() {
-				b.Fatalf("%s: detector did not compile", label)
+			case "quantized":
+				batch = det.NewTierBatcher(core.TierQuantized)
+				if !batch.Quantized() {
+					continue
+				}
+			default:
+				batch = det.NewBatcher()
+				if !batch.Compiled() {
+					b.Fatalf("%s: detector did not compile", label)
+				}
 			}
 			b.Run(label+"/"+mode, func(b *testing.B) {
 				b.ReportAllocs()
@@ -569,10 +580,11 @@ func BenchmarkCompiledVsInterpreted(b *testing.B) {
 
 // BenchmarkBatcherBatchSize sweeps ScoreBatch over batch sizes 1, 16
 // and 256 for the blocked-MLP kernel and a flattened boosted forest,
-// compiled vs interpreted. ns/op divided by the batch size gives the
-// per-sample cost; the MLP compiled path amortises weight-row loads
-// across the batch, so its per-sample cost should fall as the batch
-// grows.
+// compiled vs quantized vs interpreted. ns/op divided by the batch
+// size gives the per-sample cost; the MLP compiled path amortises
+// weight-row loads across the batch, so its per-sample cost should
+// fall as the batch grows, and the quantized tier's integer matmul and
+// lockstep forest walk should undercut it again.
 func BenchmarkBatcherBatchSize(b *testing.B) {
 	ctx := benchContext(b)
 	for _, fam := range []struct {
@@ -590,10 +602,16 @@ func BenchmarkBatcherBatchSize(b *testing.B) {
 				xs[i] = []float64{100 + float64(i), 200, 300 - float64(i), 400}
 			}
 			out := make([]float64, size)
-			for _, mode := range []string{"compiled", "interpreted"} {
+			for _, mode := range []string{"compiled", "quantized", "interpreted"} {
 				batch := det.NewBatcher()
-				if mode == "interpreted" {
+				switch mode {
+				case "interpreted":
 					batch = det.NewInterpretedBatcher()
+				case "quantized":
+					batch = det.NewTierBatcher(core.TierQuantized)
+					if !batch.Quantized() {
+						b.Fatalf("%s: no quantized lowering", label)
+					}
 				}
 				b.Run(fmt.Sprintf("%s/%s/batch=%d", label, mode, size), func(b *testing.B) {
 					b.ReportAllocs()

@@ -4,9 +4,15 @@
 //
 // Usage:
 //
-//	hmd-bench [-exp all|table1|figure3|table2|figure4|figure5|table3|robustness|chaos|perf|fleet|ingest|claims]
+//	hmd-bench [-exp all|table1|figure3|table2|figure4|figure5|table3|robustness|chaos|perf|quant|fleet|ingest|claims]
+//	          [-perf-only family[:tier]]
 //	          [-apps N] [-intervals N] [-seed N]
 //	          [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -perf-only times a single detector family under one inference tier
+// (e.g. -perf-only mlp:quantized) and exits — a seconds-long probe for
+// kernel work, against the minutes-long full -exp perf sweep. -exp
+// quant runs the quantized tier's statistical-equivalence gate alone.
 //
 // -cpuprofile and -memprofile write standard pprof profiles of the run
 // (inspect with `go tool pprof`); the heap profile is snapshotted after
@@ -37,7 +43,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, figure3, table2, figure4, figure5, table3, extensions, robustness, chaos, perf, fleet, ingest, cluster, claims")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, figure3, table2, figure4, figure5, table3, extensions, robustness, chaos, perf, quant, fleet, ingest, cluster, claims")
+	perfOnly := flag.String("perf-only", "", "time a single family under one tier (family[:tier], e.g. mlp:quantized) and exit")
 	apps := flag.Int("apps", 10, "applications per behaviour family (10 = paper scale, 120 apps)")
 	intervals := flag.Int("intervals", 30, "sampling intervals per run")
 	seed := flag.Uint64("seed", 1, "split/training seed")
@@ -129,6 +136,15 @@ func main() {
 		}
 	}
 
+	if *perfOnly != "" {
+		res, err := ctx.PerfOnly(*perfOnly)
+		if err != nil {
+			fatal(fmt.Errorf("-perf-only: %w", err))
+		}
+		fmt.Print(experiments.RenderPerfOnly(res))
+		return
+	}
+
 	run("table1", table1)
 	run("figure3", figure3)
 	run("table2", table2)
@@ -140,6 +156,9 @@ func main() {
 	run("chaos", chaos)
 	if *exp == "perf" {
 		run("perf", perfReport)
+	}
+	if *exp == "quant" {
+		run("quant", quantGate)
 	}
 	if *exp == "fleet" {
 		run("fleet", fleetReport)
@@ -306,6 +325,24 @@ func perfReport(ctx *experiments.Context) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "perf report written to %s\n", perfPath)
+	return nil
+}
+
+// quantGate runs the quantized tier's statistical-equivalence gate at
+// corpus scale: zoo-wide pooled verdict parity plus per-model metric
+// deltas within the robustness noise band. A failing gate is a
+// non-zero exit — the same contract scripts/check.sh enforces via
+// TestQuantEquivalence.
+func quantGate(ctx *experiments.Context) error {
+	rep, err := ctx.QuantEquivalence()
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderQuantEquivalence(rep))
+	fmt.Println()
+	if !rep.Pass {
+		return fmt.Errorf("quantized equivalence gate failed")
+	}
 	return nil
 }
 

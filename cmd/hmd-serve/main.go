@@ -135,6 +135,7 @@ func main() {
 	nodeWeight := flag.Int("node-weight", 1, "cluster mode: ring share relative to other members")
 	heartbeatEvery := flag.Duration("heartbeat", 500*time.Millisecond, "cluster mode: lease renewal cadence (keep well under the coordinator's -lease-ttl)")
 	statesEvery := flag.Int("states-every", 4, "cluster mode: ship stream states to the coordinator every Nth heartbeat (<0 disables the fan-in)")
+	tierName := flag.String("tier", "compiled", "inference tier: compiled (bit-identical, default), quantized (fixed-point fast tier, statistical equivalence), or interpreted")
 	flag.Parse()
 
 	variant := zoo.General
@@ -145,6 +146,10 @@ func main() {
 		variant = zoo.Bagged
 	}
 	counts, err := parseCounts(*countsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	tier, err := core.ParseTier(*tierName)
 	if err != nil {
 		fatal(err)
 	}
@@ -182,8 +187,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "hmd-serve: inference backend: %d/%d chain stages compiled\n",
-		chain.CompiledStages(), chain.Stages())
+	chain.SetTier(tier)
+	switch tier {
+	case core.TierQuantized:
+		fmt.Fprintf(os.Stderr, "hmd-serve: inference backend: tier=quantized, %d/%d chain stages quantized (%d compiled)\n",
+			chain.QuantizedStages(), chain.Stages(), chain.CompiledStages())
+	case core.TierInterpreted:
+		fmt.Fprintf(os.Stderr, "hmd-serve: inference backend: tier=interpreted (%d stages)\n", chain.Stages())
+	default:
+		fmt.Fprintf(os.Stderr, "hmd-serve: inference backend: %d/%d chain stages compiled\n",
+			chain.CompiledStages(), chain.Stages())
+	}
 
 	var plan *faults.Plan
 	if *faultRate > 0 {
@@ -219,6 +233,7 @@ func main() {
 			heartbeat:   *heartbeatEvery,
 			statesEvery: *statesEvery,
 			seed:        *seed,
+			tier:        tier,
 		})
 		return
 	}
@@ -241,6 +256,7 @@ func main() {
 			intervals: *monIntervals,
 			loops:     *loops,
 			plan:      plan,
+			tier:      tier,
 		})
 		return
 	}
@@ -327,6 +343,7 @@ type fleetConfig struct {
 	intervals int
 	loops     int
 	plan      *faults.Plan
+	tier      core.Tier
 }
 
 // runFleet serves cfg.streams concurrent monitored streams through the
@@ -351,6 +368,7 @@ func runFleet(ctx context.Context, srv *service, chain *core.FallbackChain, cfg 
 		PendingBatches:  cfg.queueCap,
 		Checkpoint:      store,
 		CheckpointEvery: cfg.ckptEvery,
+		Tier:            cfg.tier,
 	})
 	if err != nil {
 		fatal(err)
@@ -437,6 +455,7 @@ type ingestModeConfig struct {
 	heartbeat   time.Duration
 	statesEvery int
 	seed        uint64
+	tier        core.Tier
 }
 
 // runIngest opens the network front door: remote clients feed samples
@@ -460,6 +479,7 @@ func runIngest(ctx context.Context, srv *service, chain *core.FallbackChain, cfg
 		PendingBatches:  cfg.queueCap,
 		Checkpoint:      store,
 		CheckpointEvery: cfg.ckptEvery,
+		Tier:            cfg.tier,
 	})
 	if err != nil {
 		fatal(err)

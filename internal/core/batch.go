@@ -24,17 +24,43 @@ type Batcher struct {
 	x    []float64
 	dist []float64
 	eval *compiled.Evaluator
+	// qeval, when set, takes precedence over eval: the Batcher scores
+	// through the quantized fixed-point kernels (statistical — not bit —
+	// equivalence to the interpreted model).
+	qeval *compiled.QuantEvaluator
 }
 
 // NewBatcher builds a reusable classification context for the detector,
 // preferring the compiled fast path when the model supports it.
 func (d *Detector) NewBatcher() *Batcher {
-	if p := d.Compiled(); p != nil {
-		return &Batcher{
-			det:  d,
-			x:    make([]float64, len(d.Events)),
-			dist: make([]float64, p.NumClasses()),
-			eval: p.NewEvaluator(),
+	return d.NewTierBatcher(TierCompiled)
+}
+
+// NewTierBatcher builds a Batcher for an explicit inference tier.
+// Requesting TierQuantized on a model with no quantized lowering falls
+// back to the compiled tier (and from there to interpreted) — the
+// per-model fallback that lets a mixed fleet run `-tier quantized`
+// end-to-end.
+func (d *Detector) NewTierBatcher(t Tier) *Batcher {
+	if t == TierQuantized {
+		if qp := d.Quantized(); qp != nil {
+			return &Batcher{
+				det:   d,
+				x:     make([]float64, len(d.Events)),
+				dist:  make([]float64, qp.NumClasses()),
+				qeval: qp.NewEvaluator(),
+			}
+		}
+		t = TierCompiled
+	}
+	if t == TierCompiled {
+		if p := d.Compiled(); p != nil {
+			return &Batcher{
+				det:  d,
+				x:    make([]float64, len(d.Events)),
+				dist: make([]float64, p.NumClasses()),
+				eval: p.NewEvaluator(),
+			}
 		}
 	}
 	return d.NewInterpretedBatcher()
@@ -55,13 +81,33 @@ func (d *Detector) NewInterpretedBatcher() *Batcher {
 // Detector returns the wrapped detector.
 func (b *Batcher) Detector() *Detector { return b.det }
 
-// Compiled reports whether this Batcher scores through the compiled
-// fast path.
-func (b *Batcher) Compiled() bool { return b.eval != nil }
+// Compiled reports whether this Batcher scores through one of the
+// lowered fast paths (compiled or quantized).
+func (b *Batcher) Compiled() bool { return b.eval != nil || b.qeval != nil }
+
+// Quantized reports whether this Batcher scores through the quantized
+// fixed-point kernels.
+func (b *Batcher) Quantized() bool { return b.qeval != nil }
+
+// Backend returns the tier this Batcher actually scores through — after
+// any per-model fallback, so a quantized fleet's OneR shard honestly
+// reports "compiled".
+func (b *Batcher) Backend() Tier {
+	switch {
+	case b.qeval != nil:
+		return TierQuantized
+	case b.eval != nil:
+		return TierCompiled
+	}
+	return TierInterpreted
+}
 
 // Classify returns the predicted class for one sample vector ordered
 // like the detector's events.
 func (b *Batcher) Classify(x []float64) int {
+	if b.qeval != nil {
+		return b.qeval.Predict(x)
+	}
 	if b.eval != nil {
 		return b.eval.Predict(x)
 	}
@@ -70,6 +116,9 @@ func (b *Batcher) Classify(x []float64) int {
 
 // Score returns P(malware) for one sample vector.
 func (b *Batcher) Score(x []float64) float64 {
+	if b.qeval != nil {
+		return b.qeval.Score(x)
+	}
 	if b.eval != nil {
 		return b.eval.Score(x)
 	}
@@ -94,6 +143,9 @@ func (b *Batcher) ScoreValues(values []uint64) (float64, error) {
 // matrix-matrix tiles, everything else streams through its flattened
 // program.
 func (b *Batcher) ScoreBatch(xs [][]float64, out []float64) []float64 {
+	if b.qeval != nil {
+		return b.qeval.ScoreBatch(xs, out)
+	}
 	if b.eval != nil {
 		return b.eval.ScoreBatch(xs, out)
 	}

@@ -192,16 +192,26 @@ func NewChainReplicator(fc *FallbackChain) (func() (*FallbackChain, error), erro
 	}
 	blob := buf.Bytes()
 	progs := make([]*compiled.Program, len(fc.stages))
+	qprogs := make([]*compiled.QuantProgram, len(fc.stages))
 	for i, d := range fc.stages {
 		progs[i] = d.Compiled()
+		// Propagate quantized artifacts only if the template built them
+		// (peek, don't lower): a compiled-tier fleet should not pay for
+		// quantization it will never use.
+		qprogs[i] = d.quantizedCached()
 	}
+	tier := fc.tier
 	return func() (*FallbackChain, error) {
 		replica, err := LoadChain(bytes.NewReader(blob))
 		if err != nil {
 			return nil, err
 		}
+		replica.tier = tier
 		for i, d := range replica.stages {
 			d.setCompiled(progs[i])
+			if qprogs[i] != nil {
+				d.setQuantized(qprogs[i])
+			}
 		}
 		return replica, nil
 	}, nil

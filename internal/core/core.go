@@ -43,12 +43,15 @@ type Detector struct {
 	Model mlearn.Classifier
 
 	// compiledMu guards the one-time lowering of Model into a shared
-	// compiled.Program. Detectors are always handled by pointer, so the
-	// cache (like the model's own scratch) travels with the detector and
-	// is never copied.
+	// compiled.Program, and the further lowering of that program into a
+	// shared quantized twin. Detectors are always handled by pointer, so
+	// the caches (like the model's own scratch) travel with the detector
+	// and are never copied.
 	compiledMu   sync.Mutex
 	compiledSet  bool
 	compiledProg *compiled.Program
+	quantSet     bool
+	quantProg    *compiled.QuantProgram
 }
 
 // Compiled returns the detector's compiled inference program, lowering
@@ -77,6 +80,49 @@ func (d *Detector) setCompiled(p *compiled.Program) {
 	d.compiledProg = p
 	d.compiledSet = true
 	d.compiledMu.Unlock()
+}
+
+// Quantized returns the detector's fixed-point inference program,
+// lowering the compiled program on first call and caching the result.
+// It returns nil when no quantized lowering exists (OneR, JRip, KNN, or
+// any model that does not compile) — callers then fall back to the
+// compiled or interpreted tier per model. Like Compiled, this only
+// reads trained structure and the returned program is immutable and
+// shared.
+func (d *Detector) Quantized() *compiled.QuantProgram {
+	d.compiledMu.Lock()
+	defer d.compiledMu.Unlock()
+	if !d.quantSet {
+		if !d.compiledSet {
+			d.compiledProg, _ = compiled.Compile(d.Model)
+			d.compiledSet = true
+		}
+		if d.compiledProg != nil {
+			d.quantProg, _ = d.compiledProg.Quantize()
+		}
+		d.quantSet = true
+	}
+	return d.quantProg
+}
+
+// setQuantized seeds the quantized cache alongside setCompiled, so
+// chain replicas stamped from a quantized template share its
+// fixed-point artifacts instead of re-quantizing per replica.
+func (d *Detector) setQuantized(p *compiled.QuantProgram) {
+	d.compiledMu.Lock()
+	d.quantProg = p
+	d.quantSet = true
+	d.compiledMu.Unlock()
+}
+
+// quantizedCached peeks at the quantized cache without triggering a
+// lowering — nil either when the model has no quantized form or when
+// nobody asked for one yet. Replicators use it to propagate exactly the
+// artifacts the template actually built.
+func (d *Detector) quantizedCached() *compiled.QuantProgram {
+	d.compiledMu.Lock()
+	defer d.compiledMu.Unlock()
+	return d.quantProg
 }
 
 // Name returns a paper-style label like "4HPC-Boosted-JRip".

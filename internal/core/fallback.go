@@ -140,9 +140,13 @@ type FallbackChain struct {
 	// chains that never score themselves — fleet streams, whose shards
 	// score via Batchers — carry no evaluator scratch. The compiled
 	// Programs behind the evaluators are shared, read-only artifacts
-	// cached on the stage Detectors.
+	// cached on the stage Detectors. Under TierQuantized, qevals[s]
+	// carries the stage's quantized evaluator and takes precedence;
+	// stages with no quantized lowering keep scoring through evals[s].
 	evals     []*compiled.Evaluator
+	qevals    []*compiled.QuantEvaluator
 	evalsInit bool
+	tier      Tier
 
 	interval    int
 	active      int
@@ -235,12 +239,31 @@ func (fc *FallbackChain) NewSibling() *FallbackChain {
 		stages: fc.stages,
 		cfg:    fc.cfg,
 		idx:    fc.idx,
+		tier:   fc.tier,
 		health: make([]counterHealth, len(fc.health)),
 		ring:   make([]float64, len(fc.ring)),
 		xbuf:   make([]float64, len(fc.xbuf)),
 		dist:   make([]float64, len(fc.dist)),
 		bad:    make([]bool, len(fc.bad)),
 	}
+}
+
+// Tier returns the inference tier the chain scores through.
+func (fc *FallbackChain) Tier() Tier { return fc.tier }
+
+// SetTier selects the inference tier for this chain's own scoring
+// (siblings inherit it at NewSibling time). Changing the tier discards
+// the lazily built evaluators so the next scored interval rebuilds them
+// for the new tier. Call before streaming; it is not synchronised with
+// concurrent Observes.
+func (fc *FallbackChain) SetTier(t Tier) {
+	if t == fc.tier {
+		return
+	}
+	fc.tier = t
+	fc.evals = nil
+	fc.qevals = nil
+	fc.evalsInit = false
 }
 
 // ActiveStage returns the stage currently producing scores.
@@ -331,12 +354,16 @@ func (fc *FallbackChain) Observe(values []uint64) (Verdict, error) {
 	return fc.CommitScore(fc.scoreStage(s, x)), nil
 }
 
-// scoreStage scores x with stage s's model, through its compiled
-// program when one exists (bit-identical to the interpreted model) and
-// through mlearn.ScoreWith otherwise.
+// scoreStage scores x with stage s's model: through its quantized
+// program when the chain runs TierQuantized and the stage has one,
+// through its compiled program when one exists (bit-identical to the
+// interpreted model), and through mlearn.ScoreWith otherwise.
 func (fc *FallbackChain) scoreStage(s int, x []float64) float64 {
 	if !fc.evalsInit {
 		fc.initEvals()
+	}
+	if qe := fc.qevals[s]; qe != nil {
+		return qe.Score(x)
 	}
 	if ev := fc.evals[s]; ev != nil {
 		return ev.Score(x)
@@ -344,12 +371,23 @@ func (fc *FallbackChain) scoreStage(s int, x []float64) float64 {
 	return mlearn.ScoreWith(fc.stages[s].Model, x, fc.dist)
 }
 
-// initEvals builds one evaluator per compilable stage. Compilation is
-// cached on the shared Detectors, so across siblings and replicas each
-// template model lowers exactly once.
+// initEvals builds one evaluator per lowerable stage, honouring the
+// chain's tier. Lowering is cached on the shared Detectors, so across
+// siblings and replicas each template model compiles (and quantizes)
+// exactly once.
 func (fc *FallbackChain) initEvals() {
 	fc.evals = make([]*compiled.Evaluator, len(fc.stages))
+	fc.qevals = make([]*compiled.QuantEvaluator, len(fc.stages))
 	for s, d := range fc.stages {
+		if fc.tier == TierInterpreted {
+			continue
+		}
+		if fc.tier == TierQuantized {
+			if qp := d.Quantized(); qp != nil {
+				fc.qevals[s] = qp.NewEvaluator()
+				continue
+			}
+		}
 		if p := d.Compiled(); p != nil {
 			fc.evals[s] = p.NewEvaluator()
 		}
@@ -363,6 +401,22 @@ func (fc *FallbackChain) CompiledStages() int {
 	n := 0
 	for _, d := range fc.stages {
 		if d.Compiled() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// QuantizedStages reports how many of the chain's stages have a
+// quantized lowering — under TierQuantized, the stages actually scoring
+// fixed-point (the rest fall back to compiled/interpreted per model).
+func (fc *FallbackChain) QuantizedStages() int {
+	if fc.tier != TierQuantized {
+		return 0
+	}
+	n := 0
+	for _, d := range fc.stages {
+		if d.Quantized() != nil {
 			n++
 		}
 	}

@@ -1,0 +1,51 @@
+package core
+
+import "fmt"
+
+// Tier selects which inference lowering scores a detector's samples.
+// The default is the compiled tier — bit-identical to the interpreted
+// models — with quantized as the opt-in fast tier and interpreted as
+// the baseline. Whatever the requested tier, a model the lowering
+// cannot express falls back one tier at a time (quantized → compiled →
+// interpreted), so a chain can always score every stage.
+type Tier uint8
+
+const (
+	// TierCompiled scores through compiled.Program evaluators:
+	// flattened, cache-contiguous float kernels, bit-identical to the
+	// interpreted models. The default.
+	TierCompiled Tier = iota
+	// TierQuantized scores through compiled.QuantProgram evaluators:
+	// fixed-point forests, integer dot products, lookup-table sigmoids.
+	// Verdicts are statistically — not bit — equivalent, gated by
+	// experiments.QuantEquivalence. Models without a quantized lowering
+	// (OneR, JRip, KNN) fall back per model to compiled/interpreted.
+	TierQuantized
+	// TierInterpreted pins the interpreted models — the baseline side
+	// of equivalence tests and perf comparisons.
+	TierInterpreted
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierQuantized:
+		return "quantized"
+	case TierInterpreted:
+		return "interpreted"
+	}
+	return "compiled"
+}
+
+// ParseTier parses a tier name as used by hmd-serve's and hmd-bench's
+// -tier flags.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "compiled", "":
+		return TierCompiled, nil
+	case "quantized":
+		return TierQuantized, nil
+	case "interpreted":
+		return TierInterpreted, nil
+	}
+	return TierCompiled, fmt.Errorf("core: unknown tier %q (compiled, quantized, interpreted)", s)
+}

@@ -138,6 +138,46 @@ type PerfCompiled struct {
 	Fleet     PerfCompiledFleet
 }
 
+// PerfQuantizedFamily is one family's quantized-tier measurement,
+// interleaved with the compiled/interpreted reps of the same trained
+// model over the same inputs.
+type PerfQuantizedFamily struct {
+	Label string
+	// Quantized is false when the family has no quantized lowering and
+	// the tier served the compiled fallback (numbers then mirror the
+	// compiled column).
+	Quantized bool
+	// Single-vector and batched ns per sample through the quantized
+	// kernels.
+	SingleQuantNs float64
+	BatchQuantNs  float64
+	// Batched speedups against the interpreted and compiled tiers.
+	QuantVsInterpX   float64
+	QuantVsCompiledX float64
+	IntervalsPerSec  float64
+	// VerdictParity is the fraction of benchmark rows whose predicted
+	// class matches the interpreted model's (the statistical-equivalence
+	// gate proper runs zoo-wide in QuantEquivalence).
+	VerdictParity float64
+}
+
+// PerfQuantizedFleet is the quantized tier's fleet-level measurement on
+// the same chain and workload as PerfCompiledFleet.
+type PerfQuantizedFleet struct {
+	QuantIntervalsPerSec float64
+	// VsCompiledX compares against the compiled fleet run of the same
+	// report.
+	VsCompiledX         float64
+	QuantMaxStreams10ms int
+}
+
+// PerfQuantized is the quantized-tier section of the report.
+type PerfQuantized struct {
+	BatchSize int
+	Families  []PerfQuantizedFamily
+	Fleet     PerfQuantizedFleet
+}
+
 // PerfReport is the full throughput-engine benchmark, serialized to
 // BENCH_PERF.json by hmd-bench -exp perf.
 type PerfReport struct {
@@ -145,6 +185,7 @@ type PerfReport struct {
 	CV        PerfCV
 	Inference PerfInference
 	Compiled  PerfCompiled
+	Quantized PerfQuantized
 }
 
 // perfGridJobs is the tree-family grid the training benchmark trains:
@@ -287,12 +328,13 @@ func (ctx *Context) Perf() (*PerfReport, error) {
 	}
 	rep.Inference = *inf
 
-	// ---- compiled inference backend -----------------------------------
-	comp, err := ctx.perfCompiled()
+	// ---- compiled + quantized inference backends ----------------------
+	comp, quant, err := ctx.perfCompiled()
 	if err != nil {
 		return nil, err
 	}
 	rep.Compiled = *comp
+	rep.Quantized = *quant
 	return rep, nil
 }
 
@@ -447,23 +489,25 @@ var perfCompiledFamilies = []struct {
 	{"BayesNet", zoo.General},
 }
 
-// perfCompiled benchmarks compiled vs interpreted scoring per family
-// and at the fleet level.
-func (ctx *Context) perfCompiled() (*PerfCompiled, error) {
+// perfCompiled benchmarks interpreted vs compiled vs quantized scoring
+// per family and at the fleet level. All three tiers interleave within
+// the same rep loop so they see the same machine conditions.
+func (ctx *Context) perfCompiled() (*PerfCompiled, *PerfQuantized, error) {
 	const batch = 256
 	rep := &PerfCompiled{BatchSize: batch}
+	qrep := &PerfQuantized{BatchSize: batch}
 	for _, f := range perfCompiledFamilies {
 		det, _, err := ctx.Detector(f.name, f.variant, 4)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		testK, err := ctx.Builder.TestFor(det)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		rows := testK.NumRows()
 		if rows == 0 {
-			return nil, fmt.Errorf("perf compiled: empty held-out split")
+			return nil, nil, fmt.Errorf("perf compiled: empty held-out split")
 		}
 		xs := make([][]float64, batch)
 		for i := range xs {
@@ -475,57 +519,72 @@ func (ctx *Context) perfCompiled() (*PerfCompiled, error) {
 
 		cb := det.NewBatcher()
 		ib := det.NewInterpretedBatcher()
+		qb := det.NewTierBatcher(core.TierQuantized)
 		if !cb.Compiled() {
-			return nil, fmt.Errorf("perf compiled: %s/%s did not compile", f.name, f.variant)
+			return nil, nil, fmt.Errorf("perf compiled: %s/%s did not compile", f.name, f.variant)
 		}
 
 		fam := PerfCompiledFamily{
 			Label:             f.name + "-" + f.variant.String(),
 			VerdictsIdentical: true,
 		}
+		qfam := PerfQuantizedFamily{Label: fam.Label, Quantized: qb.Quantized()}
 
-		// Equivalence gate first: every row must agree bit for bit on
-		// both the single-vector and the batched path, and on the
-		// predicted class.
+		// Equivalence gates first. Compiled: every row must agree bit
+		// for bit on both the single-vector and the batched path, and on
+		// the predicted class. Quantized: predicted classes must agree
+		// statistically (the full zoo-wide gate is QuantEquivalence).
 		outC := cb.ScoreBatch(xs, make([]float64, batch))
 		outI := ib.ScoreBatch(xs, make([]float64, batch))
+		agree := 0
 		for i, x := range xs {
 			if math.Float64bits(outC[i]) != math.Float64bits(outI[i]) ||
 				math.Float64bits(cb.Score(x)) != math.Float64bits(ib.Score(x)) ||
 				cb.Classify(x) != ib.Classify(x) {
 				fam.VerdictsIdentical = false
-				break
+			}
+			if qb.Classify(x) == ib.Classify(x) {
+				agree++
 			}
 		}
+		qfam.VerdictParity = float64(agree) / float64(len(xs))
 
-		// Interleave the two backends and keep each side's best
-		// repetition: alternating short reps exposes both to the same
-		// machine conditions and the minimum sheds contention spikes,
-		// which otherwise dominate ratio noise on a busy host.
+		// Interleave the backends and keep each side's best repetition:
+		// alternating short reps exposes all of them to the same machine
+		// conditions and the minimum sheds contention spikes, which
+		// otherwise dominate ratio noise on a busy host.
 		const reps = 9
 		const singleIters = 40000
 		const batchIters = 400
 		out := make([]float64, batch)
-		// Warm both backends (scratch sizing, branch history) before
+		// Warm every backend (scratch sizing, branch history) before
 		// the timed reps.
 		perfTimeSingle(cb, xs, singleIters/10)
 		perfTimeSingle(ib, xs, singleIters/10)
+		perfTimeSingle(qb, xs, singleIters/10)
 		perfTimeBatch(cb, xs, out, batchIters/10)
 		perfTimeBatch(ib, xs, out, batchIters/10)
+		perfTimeBatch(qb, xs, out, batchIters/10)
 
-		si, sc := math.Inf(1), math.Inf(1)
-		bi, bc := math.Inf(1), math.Inf(1)
+		si, sc, sq := math.Inf(1), math.Inf(1), math.Inf(1)
+		bi, bc, bq := math.Inf(1), math.Inf(1), math.Inf(1)
 		for r := 0; r < reps; r++ {
 			si = math.Min(si, perfTimeSingle(ib, xs, singleIters))
 			sc = math.Min(sc, perfTimeSingle(cb, xs, singleIters))
+			sq = math.Min(sq, perfTimeSingle(qb, xs, singleIters))
 			bi = math.Min(bi, perfTimeBatch(ib, xs, out, batchIters))
 			bc = math.Min(bc, perfTimeBatch(cb, xs, out, batchIters))
+			bq = math.Min(bq, perfTimeBatch(qb, xs, out, batchIters))
 		}
 		fam.SingleInterpNs, fam.SingleCompiledNs = si, sc
 		fam.BatchInterpNs, fam.BatchCompiledNs = bi, bc
 		fam.SingleSpeedupX = fam.SingleInterpNs / fam.SingleCompiledNs
 		fam.BatchSpeedupX = fam.BatchInterpNs / fam.BatchCompiledNs
 		fam.IntervalsPerSec = 1e9 / fam.BatchCompiledNs
+		qfam.SingleQuantNs, qfam.BatchQuantNs = sq, bq
+		qfam.QuantVsInterpX = bi / bq
+		qfam.QuantVsCompiledX = bc / bq
+		qfam.IntervalsPerSec = 1e9 / bq
 
 		// p99 of individually timed compiled single-vector calls.
 		lat := make([]time.Duration, 20000)
@@ -538,14 +597,16 @@ func (ctx *Context) perfCompiled() (*PerfCompiled, error) {
 		fam.P99Micros = float64(lat[len(lat)*99/100].Nanoseconds()) / 1e3
 
 		rep.Families = append(rep.Families, fam)
+		qrep.Families = append(qrep.Families, qfam)
 	}
 
-	fl, err := ctx.perfCompiledFleet()
+	fl, qfl, err := ctx.perfCompiledFleet()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rep.Fleet = *fl
-	return rep, nil
+	qrep.Fleet = *qfl
+	return rep, qrep, nil
 }
 
 func perfTimeSingle(b *core.Batcher, xs [][]float64, iters int) float64 {
@@ -571,26 +632,27 @@ func perfTimeBatch(b *core.Batcher, xs [][]float64, out []float64, iters int) fl
 }
 
 // perfCompiledFleet serves the same fixed synthetic workload through
-// two fleet engines — shard batchers pinned interpreted vs scoring
-// compiled — and reports aggregate throughput plus the derived
-// max-sustained-streams at the paper's 10 ms sampling interval.
-func (ctx *Context) perfCompiledFleet() (*PerfCompiledFleet, error) {
+// three fleet engines — shard batchers pinned interpreted, scoring
+// compiled, and scoring quantized — and reports aggregate throughput
+// plus the derived max-sustained-streams at the paper's 10 ms sampling
+// interval for each tier.
+func (ctx *Context) perfCompiledFleet() (*PerfCompiledFleet, *PerfQuantizedFleet, error) {
 	chain, err := ctx.Builder.BuildChain("REPTree", zoo.Boosted, []int{4, 2}, core.ChainConfig{})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	width := len(chain.Events())
 	const streams = 64
 	const intervals = 200
 	shards := runtime.GOMAXPROCS(0)
 
-	run := func(interpreted bool) (float64, error) {
+	run := func(tier core.Tier) (float64, error) {
 		e, err := fleet.New(fleet.Config{
 			Chain:          chain,
 			Shards:         shards,
 			Policy:         supervise.Block,
 			PendingBatches: 8,
-			Interpreted:    interpreted,
+			Tier:           tier,
 		})
 		if err != nil {
 			return 0, err
@@ -619,34 +681,143 @@ func (ctx *Context) perfCompiledFleet() (*PerfCompiledFleet, error) {
 	}
 
 	// Warm once (replica construction paths, scheduler), then measure
-	// interleaved best-of-2 per backend, for the same reason as the
-	// per-family reps above.
-	if _, err := run(false); err != nil {
-		return nil, err
+	// interleaved best-of-N per backend, for the same reason as the
+	// per-family reps above. The timed section of one run is only tens
+	// of milliseconds, so the rep count (not the run length) is what
+	// beats down scheduler noise in the tier ratios.
+	if _, err := run(core.TierCompiled); err != nil {
+		return nil, nil, err
 	}
-	var interp, comp float64
-	for r := 0; r < 2; r++ {
-		i, err := run(true)
+	var interp, comp, quant float64
+	for r := 0; r < 4; r++ {
+		i, err := run(core.TierInterpreted)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		c, err := run(false)
+		c, err := run(core.TierCompiled)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		q, err := run(core.TierQuantized)
+		if err != nil {
+			return nil, nil, err
 		}
 		interp = math.Max(interp, i)
 		comp = math.Max(comp, c)
+		quant = math.Max(quant, q)
 	}
 	return &PerfCompiledFleet{
-		Streams:                 streams,
-		Intervals:               intervals,
-		Shards:                  shards,
-		InterpIntervalsPerSec:   interp,
-		CompiledIntervalsPerSec: comp,
-		SpeedupX:                comp / interp,
-		InterpMaxStreams10ms:    int(interp / 100),
-		CompiledMaxStreams10ms:  int(comp / 100),
+			Streams:                 streams,
+			Intervals:               intervals,
+			Shards:                  shards,
+			InterpIntervalsPerSec:   interp,
+			CompiledIntervalsPerSec: comp,
+			SpeedupX:                comp / interp,
+			InterpMaxStreams10ms:    int(interp / 100),
+			CompiledMaxStreams10ms:  int(comp / 100),
+		}, &PerfQuantizedFleet{
+			QuantIntervalsPerSec: quant,
+			VsCompiledX:          quant / comp,
+			QuantMaxStreams10ms:  int(quant / 100),
+		}, nil
+}
+
+// PerfOnlyResult is the single family/tier micro-run behind hmd-bench's
+// -perf-only flag: one trained model, one tier, no full sweep and no
+// BENCH_PERF.json rewrite.
+type PerfOnlyResult struct {
+	Label     string
+	Tier      string
+	Backend   string // the tier actually scoring, after per-model fallback
+	BatchSize int
+	SingleNs  float64
+	// BatchNs is ns per sample at BatchSize.
+	BatchNs         float64
+	IntervalsPerSec float64
+}
+
+// PerfOnly benchmarks one family/tier pair named as "family:tier" (e.g.
+// "mlp:quantized", "reptree-boosted:compiled"; tier defaults to
+// compiled). The family matches a perf-sweep label or base name,
+// case-insensitively.
+func (ctx *Context) PerfOnly(spec string) (*PerfOnlyResult, error) {
+	famTok, tierTok := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		famTok, tierTok = spec[:i], spec[i+1:]
+	}
+	tier, err := core.ParseTier(strings.ToLower(strings.TrimSpace(tierTok)))
+	if err != nil {
+		return nil, err
+	}
+	famTok = strings.ToLower(strings.TrimSpace(famTok))
+	var fam *struct {
+		name    string
+		variant zoo.Variant
+	}
+	for i := range perfCompiledFamilies {
+		f := &perfCompiledFamilies[i]
+		label := strings.ToLower(f.name + "-" + f.variant.String())
+		if famTok == strings.ToLower(f.name) || famTok == label {
+			fam = f
+			break
+		}
+	}
+	if fam == nil {
+		var names []string
+		for _, f := range perfCompiledFamilies {
+			names = append(names, strings.ToLower(f.name+"-"+f.variant.String()))
+		}
+		return nil, fmt.Errorf("perf-only: unknown family %q (one of: %s)", famTok, strings.Join(names, ", "))
+	}
+
+	det, _, err := ctx.Detector(fam.name, fam.variant, 4)
+	if err != nil {
+		return nil, err
+	}
+	testK, err := ctx.Builder.TestFor(det)
+	if err != nil {
+		return nil, err
+	}
+	rows := testK.NumRows()
+	if rows == 0 {
+		return nil, fmt.Errorf("perf-only: empty held-out split")
+	}
+	const batch = 256
+	xs := make([][]float64, batch)
+	for i := range xs {
+		src := testK.X[i%rows]
+		x := make([]float64, len(src))
+		copy(x, src)
+		xs[i] = x
+	}
+	b := det.NewTierBatcher(tier)
+
+	const reps = 5
+	const singleIters = 40000
+	const batchIters = 400
+	out := make([]float64, batch)
+	perfTimeSingle(b, xs, singleIters/10)
+	perfTimeBatch(b, xs, out, batchIters/10)
+	sn, bn := math.Inf(1), math.Inf(1)
+	for r := 0; r < reps; r++ {
+		sn = math.Min(sn, perfTimeSingle(b, xs, singleIters))
+		bn = math.Min(bn, perfTimeBatch(b, xs, out, batchIters))
+	}
+	return &PerfOnlyResult{
+		Label:           fam.name + "-" + fam.variant.String(),
+		Tier:            tier.String(),
+		Backend:         b.Backend().String(),
+		BatchSize:       batch,
+		SingleNs:        sn,
+		BatchNs:         bn,
+		IntervalsPerSec: 1e9 / bn,
 	}, nil
+}
+
+// RenderPerfOnly formats a single family/tier micro-run.
+func RenderPerfOnly(r *PerfOnlyResult) string {
+	return fmt.Sprintf("perf-only %s tier=%s backend=%s: single %.0f ns, batch(%d) %.1f ns/sample, %.2fM intervals/s\n",
+		r.Label, r.Tier, r.Backend, r.SingleNs, r.BatchSize, r.BatchNs, r.IntervalsPerSec/1e6)
 }
 
 // RenderPerf formats the perf report for the console.
@@ -681,5 +852,18 @@ func RenderPerf(r *PerfReport) string {
 		fl.Streams, fl.Intervals, fl.Shards,
 		fl.InterpIntervalsPerSec, fl.CompiledIntervalsPerSec, fl.SpeedupX,
 		fl.InterpMaxStreams10ms, fl.CompiledMaxStreams10ms)
+	fmt.Fprintf(&sb, "  quantized tier (batch=%d):\n", r.Quantized.BatchSize)
+	for _, f := range r.Quantized.Families {
+		tag := ""
+		if !f.Quantized {
+			tag = "  [compiled fallback]"
+		}
+		fmt.Fprintf(&sb, "    %-16s single %6.0f ns  batch %5.1f ns/sample  %.2fx vs interp, %.2fx vs compiled  %5.2fM iv/s  parity %.3f%s\n",
+			f.Label, f.SingleQuantNs, f.BatchQuantNs,
+			f.QuantVsInterpX, f.QuantVsCompiledX, f.IntervalsPerSec/1e6, f.VerdictParity, tag)
+	}
+	qf := r.Quantized.Fleet
+	fmt.Fprintf(&sb, "    fleet quantized: %.0f iv/s (%.2fx vs compiled); max streams @10ms %d\n",
+		qf.QuantIntervalsPerSec, qf.VsCompiledX, qf.QuantMaxStreams10ms)
 	return sb.String()
 }

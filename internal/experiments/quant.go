@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/faults"
+	"repro/internal/mlearn/zoo"
+)
+
+// The quantized tier drops the compiled tier's bit-identity contract —
+// fixed-point forests, integer dot products and lookup-table sigmoids
+// cannot reproduce float64 verdicts bit for bit. What replaces it is a
+// statistical equivalence contract, and this file is its gate:
+//
+//   - Verdict parity: across the whole zoo (every classifier x variant
+//     at the 4-HPC run-time budget), the quantized tier must agree with
+//     the interpreted models on at least 99.9% of held-out verdicts,
+//     pooled over all models.
+//   - Metric deltas: per quantized model, held-out accuracy and AUC may
+//     move by no more than the robustness sweep's own noise band — the
+//     spread between two corruption seeds at the same fault rate, i.e.
+//     the measurement noise the study already tolerates.
+//
+// The gate runs in scripts/check.sh (TestQuantEquivalence); a kernel
+// change that drifts verdicts past either bound fails CI.
+
+// QuantParityFloor is the pooled verdict-parity bound: quantized and
+// interpreted must agree on at least this fraction of zoo-wide held-out
+// verdicts.
+const QuantParityFloor = 0.999
+
+// QuantNoiseFloor is the minimum metric noise band. When the two
+// robustness corruption seeds happen to land very close together, the
+// band would otherwise demand sub-noise agreement no quantization can
+// honour; half a percentage point is below any effect the study reports.
+const QuantNoiseFloor = 0.005
+
+// QuantModelParity is one zoo model's quantized-vs-interpreted
+// comparison on the held-out split.
+type QuantModelParity struct {
+	Label string
+	// Quantized reports whether the model has a quantized lowering;
+	// false means the tier serves it through the bit-identical compiled
+	// fallback (parity 1 by construction — still counted in the pool,
+	// because that is what a quantized fleet actually emits).
+	Quantized bool
+	Rows      int
+	Agree     int
+	Parity    float64
+	// MaxScoreDelta is the largest |P(malware) quant - interp| seen.
+	MaxScoreDelta float64
+	// Held-out metrics under each tier and their absolute deltas.
+	AccInterp, AccQuant float64
+	AUCInterp, AUCQuant float64
+	AccDelta, AUCDelta  float64
+}
+
+// QuantEquivalenceReport is the gate's full result.
+type QuantEquivalenceReport struct {
+	Models []QuantModelParity
+	// Pooled verdict parity across every model's held-out rows.
+	PooledRows  int
+	PooledAgree int
+	Parity      float64
+	ParityFloor float64
+	// The noise band: the largest accuracy/AUC spread between two
+	// corruption seeds of the robustness sweep at the same rate,
+	// floored at QuantNoiseFloor.
+	NoiseAcc, NoiseAUC float64
+	// The largest quantized-vs-interpreted metric deltas across models
+	// (clean and corrupted held-out inputs both count).
+	MaxAccDelta, MaxAUCDelta float64
+	Pass                     bool
+}
+
+// quantZooJobs is the gate's model set: every zoo classifier in every
+// variant at the paper's 4-HPC run-time budget.
+func quantZooJobs() []struct {
+	name    string
+	variant zoo.Variant
+} {
+	type job = struct {
+		name    string
+		variant zoo.Variant
+	}
+	var jobs []job
+	for _, name := range zoo.Names() {
+		for _, v := range []zoo.Variant{zoo.General, zoo.Boosted, zoo.Bagged} {
+			jobs = append(jobs, job{name, v})
+		}
+	}
+	return jobs
+}
+
+// QuantEquivalence runs the statistical equivalence gate: zoo-wide
+// pooled verdict parity plus per-model accuracy/AUC deltas within the
+// robustness noise band, on clean and fault-corrupted held-out inputs.
+func (ctx *Context) QuantEquivalence() (*QuantEquivalenceReport, error) {
+	rep := &QuantEquivalenceReport{ParityFloor: QuantParityFloor}
+
+	// Noise band: the robustness sweep's own run-to-run spread — the
+	// same (detector, rate) measured under two corruption seeds. Any
+	// quantization effect smaller than this is invisible to the study.
+	const noiseRate = 0.05
+	planA := faults.Plan{Seed: 11, Rate: noiseRate}
+	planB := faults.Plan{Seed: 12, Rate: noiseRate}
+	for _, v := range []zoo.Variant{zoo.General, zoo.Boosted, zoo.Bagged} {
+		det, _, err := ctx.Detector("REPTree", v, 4)
+		if err != nil {
+			return nil, err
+		}
+		testK, err := ctx.Builder.TestFor(det)
+		if err != nil {
+			return nil, err
+		}
+		resA, err := eval.Measure(det.Model, planA.CorruptDataset(testK))
+		if err != nil {
+			return nil, err
+		}
+		resB, err := eval.Measure(det.Model, planB.CorruptDataset(testK))
+		if err != nil {
+			return nil, err
+		}
+		rep.NoiseAcc = math.Max(rep.NoiseAcc, math.Abs(resA.Accuracy-resB.Accuracy))
+		rep.NoiseAUC = math.Max(rep.NoiseAUC, math.Abs(resA.AUC-resB.AUC))
+	}
+	rep.NoiseAcc = math.Max(rep.NoiseAcc, QuantNoiseFloor)
+	rep.NoiseAUC = math.Max(rep.NoiseAUC, QuantNoiseFloor)
+
+	for _, j := range quantZooJobs() {
+		det, _, err := ctx.Detector(j.name, j.variant, 4)
+		if err != nil {
+			return nil, err
+		}
+		testK, err := ctx.Builder.TestFor(det)
+		if err != nil {
+			return nil, err
+		}
+		m := QuantModelParity{
+			Label: j.name + "-" + j.variant.String(),
+			Rows:  testK.NumRows(),
+		}
+
+		qp := det.Quantized()
+		m.Quantized = qp != nil
+		if qp == nil {
+			// Compiled (or interpreted) fallback is bit-identical, so
+			// every verdict agrees; the pool records that honestly.
+			m.Agree = m.Rows
+			m.Parity = 1
+			resI, err := eval.Measure(det.Model, testK)
+			if err != nil {
+				return nil, err
+			}
+			m.AccInterp, m.AccQuant = resI.Accuracy, resI.Accuracy
+			m.AUCInterp, m.AUCQuant = resI.AUC, resI.AUC
+		} else {
+			qe := qp.NewEvaluator()
+			ib := det.NewInterpretedBatcher()
+			m.Agree = 0
+			for _, x := range testK.X {
+				sq, si := qe.Score(x), ib.Score(x)
+				if d := math.Abs(sq - si); d > m.MaxScoreDelta {
+					m.MaxScoreDelta = d
+				}
+				if qe.Predict(x) == ib.Classify(x) {
+					m.Agree++
+				}
+			}
+			if m.Rows > 0 {
+				m.Parity = float64(m.Agree) / float64(m.Rows)
+			}
+			// Metric deltas on clean and corrupted inputs: quantization
+			// must stay within the noise band under the same degraded
+			// conditions the robustness sweep studies.
+			resI, err := eval.Measure(det.Model, testK)
+			if err != nil {
+				return nil, err
+			}
+			resQ, err := eval.Measure(qe, testK)
+			if err != nil {
+				return nil, err
+			}
+			m.AccInterp, m.AccQuant = resI.Accuracy, resQ.Accuracy
+			m.AUCInterp, m.AUCQuant = resI.AUC, resQ.AUC
+			m.AccDelta = math.Abs(resI.Accuracy - resQ.Accuracy)
+			m.AUCDelta = math.Abs(resI.AUC - resQ.AUC)
+
+			corrupted := planA.CorruptDataset(testK)
+			cresI, err := eval.Measure(det.Model, corrupted)
+			if err != nil {
+				return nil, err
+			}
+			cresQ, err := eval.Measure(qe, corrupted)
+			if err != nil {
+				return nil, err
+			}
+			m.AccDelta = math.Max(m.AccDelta, math.Abs(cresI.Accuracy-cresQ.Accuracy))
+			m.AUCDelta = math.Max(m.AUCDelta, math.Abs(cresI.AUC-cresQ.AUC))
+		}
+
+		rep.PooledRows += m.Rows
+		rep.PooledAgree += m.Agree
+		rep.MaxAccDelta = math.Max(rep.MaxAccDelta, m.AccDelta)
+		rep.MaxAUCDelta = math.Max(rep.MaxAUCDelta, m.AUCDelta)
+		rep.Models = append(rep.Models, m)
+	}
+
+	if rep.PooledRows > 0 {
+		rep.Parity = float64(rep.PooledAgree) / float64(rep.PooledRows)
+	}
+	rep.Pass = rep.Parity >= rep.ParityFloor &&
+		rep.MaxAccDelta <= rep.NoiseAcc &&
+		rep.MaxAUCDelta <= rep.NoiseAUC
+	return rep, nil
+}
+
+// RenderQuantEquivalence formats the gate's report for the console.
+func RenderQuantEquivalence(r *QuantEquivalenceReport) string {
+	var sb strings.Builder
+	sb.WriteString("Quantized tier statistical equivalence\n")
+	for _, m := range r.Models {
+		tag := "quantized"
+		if !m.Quantized {
+			tag = "fallback "
+		}
+		fmt.Fprintf(&sb, "  %-18s %s parity %6.4f (%d/%d)  maxscoredelta %.4f  acc %.3f->%.3f  auc %.3f->%.3f\n",
+			m.Label, tag, m.Parity, m.Agree, m.Rows, m.MaxScoreDelta,
+			m.AccInterp, m.AccQuant, m.AUCInterp, m.AUCQuant)
+	}
+	fmt.Fprintf(&sb, "  pooled parity %0.5f (floor %0.4f)  max deltas acc %.4f / auc %.4f (band %.4f / %.4f)  pass=%v\n",
+		r.Parity, r.ParityFloor, r.MaxAccDelta, r.MaxAUCDelta, r.NoiseAcc, r.NoiseAUC, r.Pass)
+	return sb.String()
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuantEquivalence is the quantized tier's CI gate: zoo-wide pooled
+// verdict parity at least QuantParityFloor, and per-model accuracy/AUC
+// deltas within the robustness sweep's noise band. A quantized-kernel
+// change that drifts verdicts past either bound fails here.
+func TestQuantEquivalence(t *testing.T) {
+	ctx := testContext(t)
+	rep, err := ctx.QuantEquivalence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderQuantEquivalence(rep)
+	t.Log("\n" + out)
+
+	if len(rep.Models) == 0 {
+		t.Fatal("no models in equivalence report")
+	}
+	quantized := 0
+	for _, m := range rep.Models {
+		if m.Quantized {
+			quantized++
+		}
+		if m.Rows == 0 {
+			t.Errorf("%s: empty held-out split", m.Label)
+		}
+		if !m.Quantized && m.Parity != 1 {
+			t.Errorf("%s: fallback model must have parity 1, got %v", m.Label, m.Parity)
+		}
+	}
+	// The zoo is 8 classifiers x 3 variants; only OneR and JRip (6
+	// models) lack a quantized lowering.
+	if want := len(rep.Models) - 6; quantized != want {
+		t.Errorf("quantized models = %d, want %d", quantized, want)
+	}
+
+	if rep.Parity < rep.ParityFloor {
+		t.Errorf("pooled verdict parity %.5f below floor %.4f", rep.Parity, rep.ParityFloor)
+	}
+	if rep.MaxAccDelta > rep.NoiseAcc {
+		t.Errorf("max accuracy delta %.4f exceeds noise band %.4f", rep.MaxAccDelta, rep.NoiseAcc)
+	}
+	if rep.MaxAUCDelta > rep.NoiseAUC {
+		t.Errorf("max AUC delta %.4f exceeds noise band %.4f", rep.MaxAUCDelta, rep.NoiseAUC)
+	}
+	if !rep.Pass {
+		t.Error("equivalence gate reports Pass=false")
+	}
+	if !strings.Contains(out, "pooled parity") {
+		t.Error("render output missing pooled parity line")
+	}
+}
+
+// TestPerfOnly exercises the single family/tier micro-run used by
+// hmd-bench -perf-only, across a quantized, a fallback, and a compiled
+// target.
+func TestPerfOnly(t *testing.T) {
+	ctx := testContext(t)
+	for _, spec := range []string{"mlp:quantized", "reptree-boosted:quantized", "sgd"} {
+		r, err := ctx.PerfOnly(spec)
+		if err != nil {
+			t.Fatalf("PerfOnly(%q): %v", spec, err)
+		}
+		if r.SingleNs <= 0 || r.BatchNs <= 0 || r.IntervalsPerSec <= 0 {
+			t.Errorf("PerfOnly(%q): non-positive timing %+v", spec, r)
+		}
+		if out := RenderPerfOnly(r); !strings.Contains(out, r.Label) {
+			t.Errorf("render missing label: %q", out)
+		}
+	}
+	if _, err := ctx.PerfOnly("nosuch:quantized"); err == nil {
+		t.Error("unknown family must error")
+	}
+	if _, err := ctx.PerfOnly("mlp:nosuchtier"); err == nil {
+		t.Error("unknown tier must error")
+	}
+}

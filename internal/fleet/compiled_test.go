@@ -143,3 +143,75 @@ func TestFleetCompiledMatchesInterpreted(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetQuantizedObservability pins the operator-facing tier
+// telemetry: a fleet running Config.Tier = core.TierQuantized must say
+// so in its snapshot (engine Tier plus per-shard QuantizedStages for
+// every stage of the all-tree chain, which quantizes fully), and the
+// default engine must report zero quantized stages — so /stats can
+// always answer "which lowering is actually serving".
+func TestFleetQuantizedObservability(t *testing.T) {
+	const n = 12
+	const streams = 4
+	tmpl := trainedTestChain(t)
+
+	run := func(tier core.Tier) Snapshot {
+		e, err := New(Config{
+			Chain:  tmpl,
+			Shards: 2,
+			Policy: supervise.Block,
+			Tier:   tier,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < streams; i++ {
+			src, err := supervise.NewMachineSource(supervise.MachineSourceConfig{
+				Machine:     micro.FastConfig(),
+				Run:         workload.Suite(workload.SuiteConfig{Seed: 7, AppsPerFamily: 1})[0].NewRun(0),
+				Events:      tmpl.Events(),
+				Total:       n,
+				CycleBudget: 4000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Add(StreamConfig{
+				ID:        fmt.Sprintf("s%d", i),
+				Source:    src,
+				Intervals: n,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return e.Stats(false)
+	}
+
+	qsnap := run(core.TierQuantized)
+	if qsnap.Tier != core.TierQuantized.String() {
+		t.Fatalf("quantized fleet snapshot Tier = %q, want %q", qsnap.Tier, core.TierQuantized.String())
+	}
+	for i, sh := range qsnap.Shards {
+		if sh.QuantizedStages != tmpl.Stages() {
+			t.Errorf("shard %d: QuantizedStages = %d, want %d (all-tree chain quantizes fully)",
+				i, sh.QuantizedStages, tmpl.Stages())
+		}
+		if sh.CompiledStages != tmpl.Stages() {
+			t.Errorf("shard %d: CompiledStages = %d, want %d (quantized stages count as lowered)",
+				i, sh.CompiledStages, tmpl.Stages())
+		}
+	}
+
+	csnap := run(core.TierCompiled)
+	if csnap.Tier != core.TierCompiled.String() {
+		t.Fatalf("default fleet snapshot Tier = %q, want %q", csnap.Tier, core.TierCompiled.String())
+	}
+	for i, sh := range csnap.Shards {
+		if sh.QuantizedStages != 0 {
+			t.Errorf("shard %d: QuantizedStages = %d on the compiled tier, want 0", i, sh.QuantizedStages)
+		}
+	}
+}

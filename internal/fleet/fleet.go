@@ -115,8 +115,23 @@ type Config struct {
 	// path even when the template's models compile. The compiled path
 	// is the default; this knob exists for baselines (perf comparisons)
 	// and equivalence tests — both engines must emit bit-identical
-	// verdict streams.
+	// verdict streams. Equivalent to Tier: core.TierInterpreted; kept
+	// for existing callers.
 	Interpreted bool
+	// Tier selects the inference tier every shard batcher scores
+	// through: compiled (default, bit-identical), quantized (fixed-point
+	// fast tier, statistical equivalence, per-model fallback to
+	// compiled), or interpreted. Interpreted==true overrides it.
+	Tier core.Tier
+}
+
+// tier resolves the configured inference tier, folding the legacy
+// Interpreted knob in.
+func (c Config) tier() core.Tier {
+	if c.Interpreted {
+		return core.TierInterpreted
+	}
+	return c.Tier
 }
 
 func (c Config) shards() int {
@@ -261,6 +276,15 @@ func New(cfg Config) (*Engine, error) {
 	if newChain == nil {
 		if cfg.Chain == nil {
 			return nil, errors.New("fleet: config needs a trained chain (or a NewChain factory)")
+		}
+		// Under the quantized tier, lower the template's stages before
+		// replicating so every shard's detectors share one set of
+		// fixed-point artifacts (the replicator propagates whatever the
+		// template cached).
+		if cfg.tier() == core.TierQuantized {
+			for _, d := range cfg.Chain.Detectors() {
+				d.Quantized()
+			}
 		}
 		var err error
 		newChain, err = core.NewChainReplicator(cfg.Chain)

@@ -115,11 +115,7 @@ func newShard(e *Engine, idx int, tmpl *core.FallbackChain, cfg Config) *shard {
 		byStage:  make([][]int, len(dets)),
 	}
 	for i, d := range dets {
-		if cfg.Interpreted {
-			sh.batchers[i] = d.NewInterpretedBatcher()
-		} else {
-			sh.batchers[i] = d.NewBatcher()
-		}
+		sh.batchers[i] = d.NewTierBatcher(cfg.tier())
 	}
 	return sh
 }

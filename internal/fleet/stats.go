@@ -89,9 +89,14 @@ type ShardSnapshot struct {
 	QueueDepth   int
 	LagRotations int64
 	// CompiledStages is how many of the shard's per-stage batchers score
-	// through the compiled fast path (0 with Config.Interpreted or when
-	// no stage model lowers).
+	// through a lowered fast path — compiled or quantized (0 with
+	// Config.Interpreted or when no stage model lowers).
 	CompiledStages int
+	// QuantizedStages is how many of those score through the quantized
+	// fixed-point kernels specifically (0 unless Config.Tier is
+	// core.TierQuantized; stages without a quantized lowering fall back
+	// to compiled and count only in CompiledStages).
+	QuantizedStages int
 	// P50/P99 harvest-to-verdict latency over the recent window,
 	// microseconds.
 	P50LatencyMicros float64
@@ -101,6 +106,10 @@ type ShardSnapshot struct {
 // Snapshot is a point-in-time view of the whole fleet — what
 // hmd-serve's /stats endpoint returns in fleet mode.
 type Snapshot struct {
+	// Tier is the configured inference tier ("compiled", "quantized",
+	// "interpreted") — what operators check to confirm which lowering a
+	// fleet actually runs.
+	Tier string
 	// Streams ever added; Live of those still being scheduled.
 	Streams int
 	Live    int
@@ -128,6 +137,7 @@ type Snapshot struct {
 // which is O(streams) to build.
 func (e *Engine) Stats(includeStreams bool) Snapshot {
 	snap := Snapshot{
+		Tier:               e.cfg.tier().String(),
 		Draining:           e.draining.Load(),
 		Rotations:          e.Rotations(),
 		Verdicts:           e.verdictCount.Load(),
@@ -175,6 +185,9 @@ func (e *Engine) Stats(includeStreams bool) Snapshot {
 		for _, b := range sh.batchers {
 			if b.Compiled() {
 				ss.CompiledStages++
+			}
+			if b.Quantized() {
+				ss.QuantizedStages++
 			}
 		}
 		snap.ShedIntervals += ss.ShedIntervals

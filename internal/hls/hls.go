@@ -13,6 +13,12 @@
 // of Table 3 (MLP an order of magnitude bigger and slower; rule/tree
 // models tiny; ensembles multiplying latency but sharing compute)
 // falls out of model structure rather than being hard-coded.
+//
+// Costing is parameterised by datapath width: W32 reproduces the
+// paper's single-precision-equivalent numbers, W16 costs the quantized
+// inference tier (int16 thresholds and weight rows, Q15/Q16
+// accumulation) where comparators and adders halve and multipliers fit
+// a single DSP slice natively.
 package hls
 
 import (
@@ -90,16 +96,18 @@ func (r Resources) LUTEquivalent() float64 {
 // reports relative area.
 const OpenSPARCBudget = 62000.0
 
-// Operator cost table: latency in 10 ns cycles and primitive cost per
-// instance, for 32-bit fixed-point datapaths.
-var (
-	costCmp     = opCost{lat: 1, res: Resources{LUTs: 32, FFs: 32}}
-	costAdd     = opCost{lat: 1, res: Resources{LUTs: 32, FFs: 32}}
-	costMul     = opCost{lat: 3, res: Resources{LUTs: 12, FFs: 48, DSPs: 1}}
-	costTable   = opCost{lat: 2, res: Resources{LUTs: 24, FFs: 16, BRAMs: 1}} // CPT / constant ROM
-	costSigmoid = opCost{lat: 2, res: Resources{LUTs: 96, FFs: 32}}           // piecewise-linear unit
-	costMux     = opCost{lat: 1, res: Resources{LUTs: 16, FFs: 8}}
-	costCtl     = opCost{lat: 2, res: Resources{LUTs: 64, FFs: 64}} // FSM / IO registration
+// Width selects the fixed-point datapath width the cost model assumes.
+type Width int
+
+const (
+	// W32 is the default 32-bit fixed-point datapath — the width the
+	// paper's HLS flow synthesises and the one every existing Table 3
+	// figure is reported at.
+	W32 Width = 32
+	// W16 is the quantized tier's datapath: int16 operands with wide
+	// accumulators kept inside DSP slices, as in the software tier's
+	// int16 thresholds / weight rows with int64 accumulation.
+	W16 Width = 16
 )
 
 type opCost struct {
@@ -107,9 +115,64 @@ type opCost struct {
 	res Resources
 }
 
+// datapath is one width's operator cost table: latency in 10 ns cycles
+// and primitive cost per operator instance.
+type datapath struct {
+	width   Width
+	cmp     opCost
+	add     opCost
+	mul     opCost
+	table   opCost // CPT / constant ROM
+	sigmoid opCost // piecewise-linear unit
+	mux     opCost
+	ctl     opCost // FSM / IO registration
+}
+
+// datapath32 is the paper-reference 32-bit table. datapath16 narrows
+// it for the quantized tier: comparator/adder/mux LUT-FF cost halves
+// with operand width, a 16x16 product fits one DSP48 natively (cutting
+// a pipeline stage), ROM words halve so a table fits distributed LUTs
+// more often (modelled as halved LUT/FF around the same BRAM), and the
+// sigmoid becomes the Q15 interpolated lookup instead of a float
+// piecewise unit. Control logic does not narrow — the FSM is
+// width-independent.
+var (
+	datapath32 = datapath{
+		width:   W32,
+		cmp:     opCost{lat: 1, res: Resources{LUTs: 32, FFs: 32}},
+		add:     opCost{lat: 1, res: Resources{LUTs: 32, FFs: 32}},
+		mul:     opCost{lat: 3, res: Resources{LUTs: 12, FFs: 48, DSPs: 1}},
+		table:   opCost{lat: 2, res: Resources{LUTs: 24, FFs: 16, BRAMs: 1}},
+		sigmoid: opCost{lat: 2, res: Resources{LUTs: 96, FFs: 32}},
+		mux:     opCost{lat: 1, res: Resources{LUTs: 16, FFs: 8}},
+		ctl:     opCost{lat: 2, res: Resources{LUTs: 64, FFs: 64}},
+	}
+	datapath16 = datapath{
+		width:   W16,
+		cmp:     opCost{lat: 1, res: Resources{LUTs: 16, FFs: 16}},
+		add:     opCost{lat: 1, res: Resources{LUTs: 16, FFs: 16}},
+		mul:     opCost{lat: 2, res: Resources{LUTs: 6, FFs: 24, DSPs: 1}},
+		table:   opCost{lat: 2, res: Resources{LUTs: 12, FFs: 8, BRAMs: 1}},
+		sigmoid: opCost{lat: 2, res: Resources{LUTs: 48, FFs: 16}},
+		mux:     opCost{lat: 1, res: Resources{LUTs: 8, FFs: 4}},
+		ctl:     opCost{lat: 2, res: Resources{LUTs: 64, FFs: 64}},
+	}
+)
+
+func pathFor(w Width) (*datapath, error) {
+	switch w {
+	case W32:
+		return &datapath32, nil
+	case W16:
+		return &datapath16, nil
+	}
+	return nil, fmt.Errorf("hls: unsupported datapath width %d", int(w))
+}
+
 // Design is a compiled hardware implementation of one trained model.
 type Design struct {
 	Name    string
+	Width   Width
 	Latency int // cycles @10ns to classify one input vector
 	Res     Resources
 	// Submodels counts base models for ensemble designs (1 otherwise).
@@ -143,75 +206,93 @@ const (
 )
 
 // Compile lowers a trained model into a Design using the Shared
-// schedule for ensembles.
+// schedule for ensembles and the default 32-bit datapath.
 func Compile(c mlearn.Classifier, name string) (*Design, error) {
-	return CompileScheduled(c, name, Shared)
+	return CompileWidth(c, name, Shared, W32)
 }
 
 // CompileScheduled lowers a trained model with an explicit ensemble
-// schedule.
+// schedule on the default 32-bit datapath.
 func CompileScheduled(c mlearn.Classifier, name string, sched Schedule) (*Design, error) {
+	return CompileWidth(c, name, sched, W32)
+}
+
+// CompileWidth lowers a trained model with an explicit ensemble
+// schedule and datapath width. W16 costs the quantized software tier's
+// arithmetic; narrowing never changes model structure, so operator
+// counts (and the census cross-check) are width-invariant — only
+// per-operator cost moves.
+func CompileWidth(c mlearn.Classifier, name string, sched Schedule, w Width) (*Design, error) {
+	dp, err := pathFor(w)
+	if err != nil {
+		return nil, err
+	}
+	return dp.compile(c, name, sched)
+}
+
+func (dp *datapath) compile(c mlearn.Classifier, name string, sched Schedule) (*Design, error) {
 	var d *Design
 	switch m := c.(type) {
 	case *oner.Model:
-		d = compileOneR(m)
+		d = dp.compileOneR(m)
 	case *j48.Model:
-		d = compileTree(m.Root)
+		d = dp.compileTree(m.Root)
 	case *reptree.Model:
-		d = compileTree(m.Root)
+		d = dp.compileTree(m.Root)
 	case *jrip.Model:
-		d = compileRules(m)
+		d = dp.compileRules(m)
 	case *bayesnet.Model:
-		d = compileBayes(m)
+		d = dp.compileBayes(m)
 	case *sgd.Model:
-		d = compileLinear(len(m.Weights))
+		d = dp.compileLinear(len(m.Weights))
 	case *smo.Model:
-		d = compileLinear(len(m.Weights))
+		d = dp.compileLinear(len(m.Weights))
 	case *logistic.Model:
 		// Linear datapath plus a sigmoid unit for the probability
 		// output.
-		d = compileLinear(len(m.Weights))
-		d.Latency += costSigmoid.lat
-		d.Res.Add(costSigmoid.res)
+		d = dp.compileLinear(len(m.Weights))
+		d.Latency += dp.sigmoid.lat
+		d.Res.Add(dp.sigmoid.res)
 	case *knn.Model:
-		d = compileKNN(m)
+		d = dp.compileKNN(m)
 	case *mlp.Model:
-		d = compileMLP(m)
+		d = dp.compileMLP(m)
 	case *ensemble.BoostedModel:
-		return compileEnsemble(m.Models, name, sched, true)
+		return dp.compileEnsemble(m.Models, name, sched, true)
 	case *ensemble.BaggedModel:
-		return compileEnsemble(m.Models, name, sched, false)
+		return dp.compileEnsemble(m.Models, name, sched, false)
 	default:
 		return nil, fmt.Errorf("hls: cannot compile model of type %T", c)
 	}
 	d.Name = name
+	d.Width = dp.width
 	d.Submodels = 1
 	// Input registration / decision FSM overhead applies once.
-	d.Latency += costCtl.lat
-	d.Res.Add(costCtl.res)
+	d.Latency += dp.ctl.lat
+	d.Res.Add(dp.ctl.res)
 	return d, nil
 }
 
 // compileOneR: all interval comparators evaluate in parallel, a
 // priority encoder picks the interval — single-cycle datapath, tiny
 // area. This is why the paper reports OneR at 1 cycle.
-func compileOneR(m *oner.Model) *Design {
+func (dp *datapath) compileOneR(m *oner.Model) *Design {
 	n := len(m.Thresholds)
 	if n == 0 {
 		n = 1
 	}
 	res := Resources{}
 	for i := 0; i < n; i++ {
-		res.Add(costCmp.res)
+		res.Add(dp.cmp.res)
 	}
-	res.Add(costMux.res) // priority encoder / output select
-	return &Design{Latency: costCmp.lat, Res: res}
+	res.Add(dp.mux.res) // priority encoder / output select
+	return &Design{Latency: dp.cmp.lat, Res: res}
 }
 
 // compileTree: one comparator per internal node (all instantiated), a
 // root-to-leaf multiplexer chain. Latency follows tree depth; area
 // follows node count.
-func compileTree(root *mlearn.TreeNode) *Design {
+func (dp *datapath) compileTree(root *mlearn.TreeNode) *Design {
 	internal, leaves := root.Count()
 	depth := root.Depth()
 	if depth == 0 {
@@ -219,22 +300,22 @@ func compileTree(root *mlearn.TreeNode) *Design {
 	}
 	res := Resources{}
 	for i := 0; i < internal; i++ {
-		res.Add(costCmp.res)
+		res.Add(dp.cmp.res)
 	}
 	for i := 0; i < leaves; i++ {
 		res.Add(Resources{LUTs: 4, FFs: 8}) // leaf constant registers
 	}
 	// Mux chain along the critical path.
 	for i := 0; i < depth; i++ {
-		res.Add(costMux.res)
+		res.Add(dp.mux.res)
 	}
-	return &Design{Latency: depth*costCmp.lat + 1, Res: res}
+	return &Design{Latency: depth*dp.cmp.lat + 1, Res: res}
 }
 
 // compileRules: every condition across all rules gets a comparator
 // (parallel), each rule ANDs its conditions, and a priority chain picks
 // the first match. Latency: compare + AND-reduce + priority.
-func compileRules(m *jrip.Model) *Design {
+func (dp *datapath) compileRules(m *jrip.Model) *Design {
 	res := Resources{}
 	conds := 0
 	maxConds := 1
@@ -248,19 +329,19 @@ func compileRules(m *jrip.Model) *Design {
 		conds = 1
 	}
 	for i := 0; i < conds; i++ {
-		res.Add(costCmp.res)
+		res.Add(dp.cmp.res)
 	}
 	// AND trees + priority encoder.
 	res.Add(Resources{LUTs: 8 * len(m.Rules), FFs: 4 * len(m.Rules)})
-	res.Add(costMux.res)
+	res.Add(dp.mux.res)
 	andDepth := ceilLog2(maxConds)
-	return &Design{Latency: costCmp.lat + andDepth + 1, Res: res}
+	return &Design{Latency: dp.cmp.lat + andDepth + 1, Res: res}
 }
 
 // compileBayes: per attribute a bin-index comparator ladder feeds a CPT
 // ROM; per-class log-probability adder tree reduces the lookups; a
 // final comparator picks the class.
-func compileBayes(m *bayesnet.Model) *Design {
+func (dp *datapath) compileBayes(m *bayesnet.Model) *Design {
 	res := Resources{}
 	nAttrs := len(m.CPT)
 	classes := len(m.Prior)
@@ -272,10 +353,10 @@ func compileBayes(m *bayesnet.Model) *Design {
 		}
 		// Bin ladder: bins-1 comparators.
 		for b := 0; b < bins-1; b++ {
-			res.Add(costCmp.res)
+			res.Add(dp.cmp.res)
 		}
 		// CPT ROM per attribute.
-		res.Add(costTable.res)
+		res.Add(dp.table.res)
 	}
 	// Adder tree per class.
 	adders := (nAttrs - 1) * classes
@@ -283,26 +364,26 @@ func compileBayes(m *bayesnet.Model) *Design {
 		adders = 1
 	}
 	for i := 0; i < adders; i++ {
-		res.Add(costAdd.res)
+		res.Add(dp.add.res)
 	}
-	res.Add(costCmp.res) // argmax
-	latency := ceilLog2(maxBins) + costTable.lat + ceilLog2(nAttrs)*costAdd.lat + costCmp.lat
+	res.Add(dp.cmp.res) // argmax
+	latency := ceilLog2(maxBins) + dp.table.lat + ceilLog2(nAttrs)*dp.add.lat + dp.cmp.lat
 	return &Design{Latency: latency, Res: res}
 }
 
 // compileLinear: a dot product on a single shared MAC (one DSP), the
 // standard HLS result for a WEKA "functions" model without unrolling:
 // latency scales linearly with the feature count.
-func compileLinear(features int) *Design {
+func (dp *datapath) compileLinear(features int) *Design {
 	if features < 1 {
 		features = 1
 	}
 	res := Resources{}
-	res.Add(costMul.res) // the shared MAC
-	res.Add(costAdd.res)
-	res.Add(costTable.res) // weight ROM
-	res.Add(costCmp.res)   // sign decision
-	latency := features*(costMul.lat+costAdd.lat) + costCmp.lat
+	res.Add(dp.mul.res) // the shared MAC
+	res.Add(dp.add.res)
+	res.Add(dp.table.res) // weight ROM
+	res.Add(dp.cmp.res)   // sign decision
+	latency := features*(dp.mul.lat+dp.add.lat) + dp.cmp.lat
 	return &Design{Latency: latency, Res: res}
 }
 
@@ -312,15 +393,15 @@ func compileLinear(features int) *Design {
 // corpus, which is precisely the property that makes KNN unattractive
 // for on-chip detection (the baseline point the paper's related work
 // makes against Demme'13).
-func compileKNN(m *knn.Model) *Design {
+func (dp *datapath) compileKNN(m *knn.Model) *Design {
 	features := 0
 	if len(m.X) > 0 {
 		features = len(m.X[0])
 	}
 	res := Resources{}
-	res.Add(costMul.res) // shared distance MAC
-	res.Add(costAdd.res)
-	res.Add(costCmp.res) // neighbour-buffer compare
+	res.Add(dp.mul.res) // shared distance MAC
+	res.Add(dp.add.res)
+	res.Add(dp.cmp.res) // neighbour-buffer compare
 	// Training-set ROM: one BRAM per ~512 stored words.
 	words := len(m.X)*features + len(m.Y)
 	brams := (words + 511) / 512
@@ -328,32 +409,32 @@ func compileKNN(m *knn.Model) *Design {
 		brams = 1
 	}
 	res.Add(Resources{BRAMs: brams, LUTs: 64, FFs: 96})
-	latency := len(m.X)*(features*(costMul.lat+costAdd.lat)/4+costCmp.lat) + costCmp.lat
+	latency := len(m.X)*(features*(dp.mul.lat+dp.add.lat)/4+dp.cmp.lat) + dp.cmp.lat
 	return &Design{Latency: latency, Res: res}
 }
 
 // compileMLP: each layer is a MAC grid with modest unrolling (one MAC
 // per hidden unit), plus a sigmoid unit per neuron — the big, slow
 // design the paper observes (hundreds of cycles, dominant area).
-func compileMLP(m *mlp.Model) *Design {
+func (dp *datapath) compileMLP(m *mlp.Model) *Design {
 	in, hid, out := m.Inputs(), m.Hidden(), m.Outputs()
 	res := Resources{}
 	// One MAC + sigmoid per hidden unit, one per output unit.
 	for i := 0; i < hid+out; i++ {
-		res.Add(costMul.res)
-		res.Add(costAdd.res)
-		res.Add(costSigmoid.res)
+		res.Add(dp.mul.res)
+		res.Add(dp.add.res)
+		res.Add(dp.sigmoid.res)
 	}
 	// Weight ROMs: one per neuron.
 	for i := 0; i < hid+out; i++ {
-		res.Add(costTable.res)
+		res.Add(dp.table.res)
 	}
-	res.Add(costCmp.res)
+	res.Add(dp.cmp.res)
 	// Each hidden unit consumes its inputs sequentially on its MAC;
 	// layers are pipelined one after the other.
-	latHidden := in*(costMul.lat+costAdd.lat) + costSigmoid.lat
-	latOut := hid*(costMul.lat+costAdd.lat) + costSigmoid.lat
-	return &Design{Latency: latHidden + latOut + costCmp.lat, Res: res}
+	latHidden := in*(dp.mul.lat+dp.add.lat) + dp.sigmoid.lat
+	latOut := hid*(dp.mul.lat+dp.add.lat) + dp.sigmoid.lat
+	return &Design{Latency: latHidden + latOut + dp.cmp.lat, Res: res}
 }
 
 // compileEnsemble lowers a committee. Under the Shared schedule the
@@ -361,31 +442,31 @@ func compileMLP(m *mlp.Model) *Design {
 // member (per-member constants live in ROMs), and each member's vote
 // costs a multiply-accumulate (weighted vote for boosting, averaging
 // for bagging). Under Parallel, every member is instantiated.
-func compileEnsemble(models []mlearn.Classifier, name string, sched Schedule, weighted bool) (*Design, error) {
+func (dp *datapath) compileEnsemble(models []mlearn.Classifier, name string, sched Schedule, weighted bool) (*Design, error) {
 	if len(models) == 0 {
 		return nil, fmt.Errorf("hls: empty ensemble")
 	}
 	subs := make([]*Design, 0, len(models))
 	for i, m := range models {
-		d, err := CompileScheduled(m, fmt.Sprintf("%s[%d]", name, i), sched)
+		d, err := dp.compile(m, fmt.Sprintf("%s[%d]", name, i), sched)
 		if err != nil {
 			return nil, err
 		}
 		// Strip the per-design control overhead; the ensemble has one
 		// shared FSM added below.
-		d.Latency -= costCtl.lat
-		d.Res.LUTs -= costCtl.res.LUTs
-		d.Res.FFs -= costCtl.res.FFs
+		d.Latency -= dp.ctl.lat
+		d.Res.LUTs -= dp.ctl.res.LUTs
+		d.Res.FFs -= dp.ctl.res.FFs
 		subs = append(subs, d)
 	}
 
-	out := &Design{Name: name, Submodels: len(models)}
-	voteOps := costAdd.lat
-	voteRes := costAdd.res
+	out := &Design{Name: name, Width: dp.width, Submodels: len(models)}
+	voteOps := dp.add.lat
+	voteRes := dp.add.res
 	if weighted {
-		voteOps += costMul.lat
-		voteRes.Add(costMul.res)
-		voteRes.Add(costTable.res) // alpha ROM
+		voteOps += dp.mul.lat
+		voteRes.Add(dp.mul.res)
+		voteRes.Add(dp.table.res) // alpha ROM
 	}
 
 	switch sched {
@@ -406,7 +487,7 @@ func compileEnsemble(models []mlearn.Classifier, name string, sched Schedule, we
 		for _, s := range subs {
 			total += s.Latency + voteOps
 		}
-		out.Latency = total + costCmp.lat
+		out.Latency = total + dp.cmp.lat
 	case Parallel:
 		for _, s := range subs {
 			out.Res.Add(s.Res)
@@ -418,12 +499,12 @@ func compileEnsemble(models []mlearn.Classifier, name string, sched Schedule, we
 				maxLat = s.Latency
 			}
 		}
-		out.Latency = maxLat + voteOps + ceilLog2(len(subs)) + costCmp.lat
+		out.Latency = maxLat + voteOps + ceilLog2(len(subs)) + dp.cmp.lat
 	default:
 		return nil, fmt.Errorf("hls: unknown schedule %d", sched)
 	}
-	out.Latency += costCtl.lat
-	out.Res.Add(costCtl.res)
+	out.Latency += dp.ctl.lat
+	out.Res.Add(dp.ctl.res)
 	return out, nil
 }
 

@@ -87,8 +87,8 @@ func TestOneRIsCheapest(t *testing.T) {
 }
 
 func TestLinearLatencyScalesWithFeatures(t *testing.T) {
-	d8 := compileLinear(8)
-	d2 := compileLinear(2)
+	d8 := datapath32.compileLinear(8)
+	d2 := datapath32.compileLinear(2)
 	if d8.Latency <= d2.Latency {
 		t.Error("more features must cost more MAC cycles")
 	}
@@ -157,6 +157,52 @@ func TestEnsembleParallelSchedule(t *testing.T) {
 	}
 	if par.Res.LUTEquivalent() <= shared.Res.LUTEquivalent() {
 		t.Error("parallel schedule should be bigger than shared")
+	}
+}
+
+func TestNarrowDatapathNeverCostsMore(t *testing.T) {
+	// The quantized tier's cost question: does dropping the datapath to
+	// 16 bits pay on hardware? Every model must cost no more at W16
+	// than at W32 in both latency and area, and the datapath-heavy
+	// families (MLP, linear) must show a real area win. Structure is
+	// width-invariant, so submodel counts agree.
+	for name, c := range trainAll(t) {
+		d32, err := CompileWidth(c, name, Shared, W32)
+		if err != nil {
+			t.Fatalf("%s w32: %v", name, err)
+		}
+		d16, err := CompileWidth(c, name, Shared, W16)
+		if err != nil {
+			t.Fatalf("%s w16: %v", name, err)
+		}
+		if d16.Width != W16 || d32.Width != W32 {
+			t.Errorf("%s: width labels wrong (%d/%d)", name, d16.Width, d32.Width)
+		}
+		if d16.Latency > d32.Latency {
+			t.Errorf("%s: 16-bit latency %d > 32-bit %d", name, d16.Latency, d32.Latency)
+		}
+		if d16.Res.LUTEquivalent() > d32.Res.LUTEquivalent() {
+			t.Errorf("%s: 16-bit area %.0f > 32-bit %.0f", name, d16.Res.LUTEquivalent(), d32.Res.LUTEquivalent())
+		}
+		if d16.Submodels != d32.Submodels {
+			t.Errorf("%s: submodels %d != %d — narrowing must not change structure", name, d16.Submodels, d32.Submodels)
+		}
+	}
+	models := trainAll(t)
+	for _, name := range []string{"MLP", "SGD", "SMO"} {
+		d32, _ := CompileWidth(models[name], name, Shared, W32)
+		d16, _ := CompileWidth(models[name], name, Shared, W16)
+		if d16.Res.LUTEquivalent() >= 0.9*d32.Res.LUTEquivalent() {
+			t.Errorf("%s: 16-bit area %.0f not meaningfully under 32-bit %.0f",
+				name, d16.Res.LUTEquivalent(), d32.Res.LUTEquivalent())
+		}
+	}
+}
+
+func TestCompileWidthRejectsUnknown(t *testing.T) {
+	models := trainAll(t)
+	if _, err := CompileWidth(models["OneR"], "OneR", Shared, Width(24)); err == nil {
+		t.Error("unsupported width should fail")
 	}
 }
 

@@ -86,6 +86,10 @@ func (lp *linearProgram) into(x, out []float64) {
 // sample's own operation schedule stays untouched.
 const mlpBlock = 16
 
+// MLPBlockSize exposes the blocked-MLP tile width for tests that pin
+// batch-kernel behaviour around tile boundaries.
+func MLPBlockSize() int { return mlpBlock }
+
 // mlpProgram is an MLP with both layers lowered to row-major flat
 // matrices: w1 holds hid rows of in weights, w2 holds out rows of hid
 // weights, biases ride separately so per-sample accumulation starts

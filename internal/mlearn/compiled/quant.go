@@ -1,0 +1,276 @@
+package compiled
+
+// Quantized tier: fixed-point lowerings of the compiled programs.
+//
+// Where a Program replays the interpreted float schedule bit for bit,
+// a QuantProgram trades bit-identity for arithmetic the hardware likes
+// better — int16 thresholds with branchless node stepping, int16
+// weight rows with per-row scales accumulated in int64, a lookup-table
+// sigmoid, and log-domain fixed-point CPT replay. The contract drops
+// from "identical float64 distributions" to *statistical equivalence*:
+// verdict parity >= 99.9% across the model zoo and accuracy/AUC deltas
+// within robustness-sweep noise, gated by
+// experiments.QuantEquivalence rather than a bit-compare.
+//
+// The numeric conventions, fixed for the whole tier:
+//
+//   - Rounding is round-half-away-from-zero (math.Round) everywhere a
+//     float becomes a fixed-point value, both at quantization time and
+//     when quantizing inputs at evaluation time.
+//   - Tree attributes quantize through a per-attribute affine map
+//     derived from the *threshold span* of that attribute across the
+//     whole forest, so every threshold lands well inside int16 and
+//     every finite input clamps to a band strictly outside the
+//     threshold range — a clamped value still orders correctly against
+//     every threshold it can meet.
+//   - NaN and +Inf inputs quantize to qInfPos, -Inf to qInfNeg: NaN
+//     fails every `x < thr` test in the interpreted walk and so always
+//     descends right, which is exactly what the saturated positive
+//     code does. Linear/MLP inputs pass through the scaler clamp
+//     first; there NaN maps to the scaler midpoint (0.5) — documented
+//     divergence from the interpreted NaN-propagating path.
+//   - Probabilities (leaf distributions, MLP hidden activations) are
+//     Q15; boosted vote weights and BayesNet log2 tables are Q16; all
+//     accumulation is int64 so no kernel can overflow or wrap.
+//   - The sigmoid is a 2048-segment linear-interpolated table over
+//     [-16, 16], saturating to sigma(+-16) beyond (|error| < 1e-6);
+//     the BayesNet posterior uses an equivalent exp2 table over
+//     [-32, 0].
+//
+// Families where fixed-point buys nothing stay unsupported and fall
+// back per-model to the compiled tier (mirroring compiled->interpreted
+// fallback): OneR and JRip are already single-comparison ladders, and
+// KNN never compiled in the first place.
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/mlearn"
+)
+
+// Fixed-point formats and saturation codes shared by the kernels.
+const (
+	qOne15 = 32767 // Q15 unit (probabilities, scaled inputs, activations)
+	qOne16 = 65536 // Q16 unit (vote weights, log2 tables)
+
+	// qInfPos/qInfNeg are the saturated input codes. Finite tree inputs
+	// clamp to +-qClamp, and thresholds quantize inside +-qThrMax, so
+	// the three bands never collide: threshold < clamped finite < Inf.
+	qInfPos = 32767
+	qInfNeg = -32767
+	qClamp  = 32600
+	qThrMax = 30000
+)
+
+// QuantProgram is an immutable quantized model: the fixed-point twin
+// of Program. Share one QuantProgram across any number of goroutines;
+// evaluate through per-goroutine QuantEvaluators.
+type QuantProgram struct {
+	kind    kind
+	classes int
+
+	forest *qforestProgram
+	linear *qlinearProgram
+	mlp    *qmlpProgram
+	bayes  *qbayesProgram
+
+	// committee members (kindBoostCommittee / kindBagCommittee); the
+	// vote loop itself stays float — it runs once per member, not per
+	// weight, so there is nothing to quantize.
+	members []*QuantProgram
+	alphas  []float64
+
+	census Census
+}
+
+// NumClasses reports the program's class count without evaluating
+// anything.
+func (p *QuantProgram) NumClasses() int { return p.classes }
+
+// Kind names the lowered program family ("boosted-forest", "mlp", ...).
+func (p *QuantProgram) Kind() string { return p.kind.String() }
+
+// Census returns the program's structural operator counts. Quantization
+// changes arithmetic widths, never structure, so this equals the source
+// Program's census — the hls cross-check holds for both tiers.
+func (p *QuantProgram) Census() Census { return p.census }
+
+// quantizeCount counts top-level Quantize calls — the test hook that
+// pins quantize-once-per-template sharing across replicas, exactly like
+// CompileCount for the compiled tier.
+var quantizeCount atomic.Int64
+
+// QuantizeCount returns the number of top-level Quantize/Program.Quantize
+// invocations in this process.
+func QuantizeCount() int64 { return quantizeCount.Load() }
+
+// Quantize lowers a trained classifier to the quantized tier: it
+// compiles the model (reusing the compiled tier's validation and
+// flattening) and converts the flat program to fixed point. Models that
+// do not compile, or whose quantization is not worthwhile (OneR, JRip),
+// return an error wrapping ErrUnsupported — callers fall back to the
+// compiled tier per model.
+func Quantize(c mlearn.Classifier) (*QuantProgram, error) {
+	p, err := compile(c)
+	if err != nil {
+		return nil, err
+	}
+	return p.Quantize()
+}
+
+// Quantize converts an already-compiled program to the quantized tier.
+// The receiver is read-only; the result shares nothing with it.
+func (p *Program) Quantize() (*QuantProgram, error) {
+	quantizeCount.Add(1)
+	return quantizeProgram(p)
+}
+
+// quantizeProgram is the recursive conversion entry (committee members
+// come through here without bumping the top-level counter).
+func quantizeProgram(p *Program) (*QuantProgram, error) {
+	switch p.kind {
+	case kindTree, kindBoostForest, kindBagForest:
+		return quantizeForest(p)
+	case kindLinear, kindLogistic:
+		return quantizeLinear(p)
+	case kindMLP:
+		return quantizeMLP(p)
+	case kindBayes:
+		return quantizeBayes(p)
+	case kindBoostCommittee, kindBagCommittee:
+		return quantizeCommittee(p)
+	}
+	// OneR's threshold ladder and JRip's rule scan are one comparison
+	// deep — narrowing them to int16 cannot pay for the input
+	// quantization pass, so they stay on the compiled tier.
+	return nil, fmt.Errorf("%w: no quantized lowering for %s", ErrUnsupported, p.kind)
+}
+
+// quantizeCommittee converts every member; one unquantizable member
+// fails the whole ensemble (which then stays compiled — mixing tiers
+// inside one committee would make its error model unanalysable).
+func quantizeCommittee(p *Program) (*QuantProgram, error) {
+	members := make([]*QuantProgram, len(p.members))
+	for i, m := range p.members {
+		qm, err := quantizeProgram(m)
+		if err != nil {
+			return nil, fmt.Errorf("member %d: %w", i, err)
+		}
+		members[i] = qm
+	}
+	return &QuantProgram{
+		kind:    p.kind,
+		classes: p.classes,
+		members: members,
+		alphas:  append([]float64(nil), p.alphas...),
+		census:  p.census,
+	}, nil
+}
+
+// ---- shared lookup tables ----
+
+// sigTabN segments over [-sigRange, sigRange]; one extra entry closes
+// the last segment. 2048 segments give a linear-interpolation error
+// below 1e-6 — far inside the statistical-equivalence budget.
+const (
+	sigTabN   = 2048
+	sigRange  = 16.0
+	sigStep   = sigTabN / (2 * sigRange) // segments per unit of x
+	exp2TabN  = 2048
+	exp2Range = 32.0
+	exp2Step  = exp2TabN / exp2Range
+)
+
+var sigTab [sigTabN + 1]float64
+var exp2Tab [exp2TabN + 1]float64
+
+// qsigTab is sigTab in Q15 — the MLP hidden layer interpolates it in
+// pure integer arithmetic.
+var qsigTab [sigTabN + 1]int16
+
+func init() {
+	for i := range sigTab {
+		x := -sigRange + float64(i)/sigStep
+		sigTab[i] = 1 / (1 + math.Exp(-x))
+		qsigTab[i] = int16(sigTab[i]*qOne15 + 0.5)
+	}
+	for i := range exp2Tab {
+		d := -exp2Range + float64(i)/exp2Step
+		exp2Tab[i] = math.Exp2(d)
+	}
+}
+
+// lutSigmoid is the quantized tier's sigmoid: table lookup with linear
+// interpolation, saturating to sigma(-16)~1.1e-7 / sigma(16)~1-1.1e-7
+// at the endpoints (x -> +-Inf included). NaN returns 0.5 — the
+// documented degradation for poisoned activations (the interpreted
+// model would propagate the NaN into the verdict instead).
+func lutSigmoid(x float64) float64 {
+	if x != x {
+		return 0.5
+	}
+	t := (x + sigRange) * sigStep
+	if t <= 0 {
+		return sigTab[0]
+	}
+	if t >= sigTabN {
+		return sigTab[sigTabN]
+	}
+	i := int(t)
+	f := t - float64(i)
+	return sigTab[i] + (sigTab[i+1]-sigTab[i])*f
+}
+
+// lutSigT is lutSigmoid over a pre-transformed table index
+// t = (x+sigRange)*sigStep — callers that can fold the transform into
+// per-row constants skip the two float ops per lookup. NaN margins
+// cannot reach it (quantization validates biases and the integer
+// accumulators are always finite).
+func lutSigT(t float64) float64 {
+	if t <= 0 {
+		return sigTab[0]
+	}
+	if t >= sigTabN {
+		return sigTab[sigTabN]
+	}
+	i := int(t)
+	f := t - float64(i)
+	return sigTab[i] + (sigTab[i+1]-sigTab[i])*f
+}
+
+// qsigShift is the fraction width of the integer sigmoid index: the
+// hidden layer maps its raw accumulator to a Q24 table index
+// (qo + acc*qk) and qlutSigQ15 interpolates the Q15 activation from it
+// without leaving integer arithmetic.
+const qsigShift = 24
+
+func qlutSigQ15(tq int64) int16 {
+	if tq <= 0 {
+		return qsigTab[0]
+	}
+	i := int(tq >> qsigShift)
+	if i >= sigTabN {
+		return qsigTab[sigTabN]
+	}
+	f := int32(tq>>(qsigShift-8)) & 255
+	lo := int32(qsigTab[i])
+	return int16(lo + ((int32(qsigTab[i+1])-lo)*f+128)>>8)
+}
+
+// lutExp2 returns 2^d for d <= 0, via the same interpolated-table
+// scheme (d below -32 flushes to 0, far under any posterior mass that
+// matters).
+func lutExp2(d float64) float64 {
+	t := (d + exp2Range) * exp2Step
+	if t <= 0 {
+		return 0
+	}
+	if t >= exp2TabN {
+		return exp2Tab[exp2TabN]
+	}
+	i := int(t)
+	f := t - float64(i)
+	return exp2Tab[i] + (exp2Tab[i+1]-exp2Tab[i])*f
+}

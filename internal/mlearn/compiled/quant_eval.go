@@ -1,0 +1,194 @@
+package compiled
+
+import "math"
+
+// QuantEvaluator is a per-goroutine evaluation context over an
+// immutable shared QuantProgram — the quantized twin of Evaluator,
+// implementing the same BatchClassifier contract. All scratch (input
+// codes, lockstep walk fronts, integer accumulators, blocked tiles) is
+// sized at construction; the steady-state paths allocate nothing.
+type QuantEvaluator struct {
+	p *QuantProgram
+
+	// dist is k-wide float output scratch.
+	dist []float64
+	// qx holds one row's quantized input codes; acc is the int64
+	// accumulator (forest votes, bayes log posteriors).
+	qx  []int16
+	acc []int64
+	// qh is the MLP hidden activation row; bqx/bqh the blocked tiles.
+	qh       []int16
+	bqx, bqh []int16
+	// sub and mdist serve mixed committees.
+	sub   []*QuantEvaluator
+	mdist []float64
+}
+
+// NewEvaluator builds a quantized evaluation context with all scratch
+// preallocated.
+func (p *QuantProgram) NewEvaluator() *QuantEvaluator {
+	e := &QuantEvaluator{p: p, dist: make([]float64, p.classes)}
+	switch p.kind {
+	case kindTree, kindBoostForest, kindBagForest:
+		qf := p.forest
+		e.qx = make([]int16, qf.width)
+		e.acc = make([]int64, qf.k)
+	case kindLinear, kindLogistic:
+		e.qx = make([]int16, len(p.linear.w))
+	case kindMLP:
+		qm := p.mlp
+		e.qx = make([]int16, qm.in)
+		e.qh = make([]int16, qm.hid)
+		e.bqx = make([]int16, mlpBlock*qm.in)
+		e.bqh = make([]int16, mlpBlock*qm.hid)
+	case kindBayes:
+		e.acc = make([]int64, p.bayes.k)
+	case kindBoostCommittee, kindBagCommittee:
+		e.sub = make([]*QuantEvaluator, len(p.members))
+		for i, m := range p.members {
+			e.sub[i] = m.NewEvaluator()
+		}
+		e.mdist = make([]float64, p.classes)
+	}
+	return e
+}
+
+// Program returns the shared quantized program this evaluator runs.
+func (e *QuantEvaluator) Program() *QuantProgram { return e.p }
+
+// NumClasses implements BatchClassifier without evaluating anything.
+func (e *QuantEvaluator) NumClasses() int { return e.p.classes }
+
+// Distribution implements mlearn.Classifier (allocates; use
+// DistributionInto on the hot path).
+func (e *QuantEvaluator) Distribution(x []float64) []float64 {
+	out := make([]float64, e.p.classes)
+	e.DistributionInto(x, out)
+	return out
+}
+
+// DistributionInto implements mlearn.StreamingClassifier under the
+// quantized tier's statistical contract: the distribution approximates
+// the interpreted model's to fixed-point precision (it is not
+// bit-identical — that is the compiled tier's contract).
+func (e *QuantEvaluator) DistributionInto(x, out []float64) {
+	switch e.p.kind {
+	case kindTree:
+		e.p.forest.quantizeRow(x, e.qx)
+		e.p.forest.singleInto(e.qx, out)
+	case kindBoostForest:
+		e.p.forest.quantizeRow(x, e.qx)
+		e.p.forest.boostedInto(e.qx, e.acc, out)
+	case kindBagForest:
+		e.p.forest.quantizeRow(x, e.qx)
+		e.p.forest.baggedInto(e.qx, e.acc, out)
+	case kindLinear, kindLogistic:
+		e.p.linear.qi.quantizeRow(x[:len(e.qx)], e.qx)
+		e.p.linear.into(e.qx, out)
+	case kindMLP:
+		e.p.mlp.into(x, e.qx, e.qh, out)
+	case kindBayes:
+		e.p.bayes.into(x, e.acc, out)
+	case kindBoostCommittee:
+		e.boostCommitteeInto(x, out)
+	case kindBagCommittee:
+		e.bagCommitteeInto(x, out)
+	}
+}
+
+// Score returns P(class 1) with mlearn.ScoreWith's semantics, zero
+// allocations.
+func (e *QuantEvaluator) Score(x []float64) float64 {
+	e.DistributionInto(x, e.dist)
+	if len(e.dist) < 2 {
+		return 0
+	}
+	return e.dist[1]
+}
+
+// Predict returns the argmax class with mlearn.PredictWith's tie rule.
+func (e *QuantEvaluator) Predict(x []float64) int {
+	e.DistributionInto(x, e.dist)
+	best, bestP := 0, math.Inf(-1)
+	for i, p := range e.dist {
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return best
+}
+
+// ScoreBatch scores every row of xs into out (allocated only when nil)
+// and returns out, dispatching to the fused integer batch kernels.
+func (e *QuantEvaluator) ScoreBatch(xs [][]float64, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, len(xs))
+	}
+	switch e.p.kind {
+	case kindTree, kindBoostForest, kindBagForest:
+		e.p.forest.scoreBatch(e.p.kind, xs, out[:len(xs)], e.qx, e.acc, e.dist)
+	case kindMLP:
+		e.p.mlp.scoreBatch(xs, out[:len(xs)], e.bqx, e.bqh, e.dist)
+	case kindBayes:
+		e.p.bayes.scoreBatch(xs, out[:len(xs)], e.acc, e.dist)
+	default:
+		for i, x := range xs {
+			out[i] = e.Score(x)
+		}
+	}
+	return out
+}
+
+// boostCommitteeInto mirrors Evaluator.boostCommitteeInto with
+// quantized members: member distributions land in shared scratch, the
+// argmax votes accumulate in float (once per member, nothing to
+// quantize).
+func (e *QuantEvaluator) boostCommitteeInto(x, out []float64) {
+	k := e.p.classes
+	votes := out[:k]
+	for i := range votes {
+		votes[i] = 0
+	}
+	for i, sub := range e.sub {
+		sub.DistributionInto(x, e.mdist)
+		best, bestP := 0, math.Inf(-1)
+		for c, p := range e.mdist {
+			if p > bestP {
+				best, bestP = c, p
+			}
+		}
+		votes[best] += e.p.alphas[i]
+	}
+	total := 0.0
+	for _, v := range votes {
+		total += v
+	}
+	if total <= 0 {
+		for i := range votes {
+			votes[i] = 1 / float64(k)
+		}
+		return
+	}
+	for i := range votes {
+		votes[i] /= total
+	}
+}
+
+// bagCommitteeInto mirrors Evaluator.bagCommitteeInto with quantized
+// members.
+func (e *QuantEvaluator) bagCommitteeInto(x, out []float64) {
+	k := e.p.classes
+	avg := out[:k]
+	for c := range avg {
+		avg[c] = 0
+	}
+	for _, sub := range e.sub {
+		sub.DistributionInto(x, e.mdist)
+		for c, p := range e.mdist {
+			avg[c] += p
+		}
+	}
+	for c := range avg {
+		avg[c] /= float64(len(e.sub))
+	}
+}

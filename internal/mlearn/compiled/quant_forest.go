@@ -1,0 +1,339 @@
+package compiled
+
+import (
+	"fmt"
+	"math"
+)
+
+// qnode is one quantized tree node, 12 bytes against fnode's 24.
+//
+//	internal: test qx[attr] >= thr and step to kids[1] (true — the
+//	          interpreted right branch) or kids[0] (false — left).
+//	leaf:     thr is qLeafThr (a value no real threshold can take, so
+//	          the test qx[attr] >= thr is always true and the node
+//	          self-loops through kids[1]); kids[0] carries the leaf
+//	          payload — the packed-distribution slot for single trees
+//	          and bagged forests, the precomputed argmax class for
+//	          boosted forests.
+//
+// The leaf's sentinel threshold is the walk's exit test (one
+// well-predicted compare per step), and the self-loop through kids[1]
+// makes stepping a parked lane harmless — the batch walker's refill
+// logic relies on both.
+type qnode struct {
+	thr  int16
+	attr int16
+	kids [2]int32
+}
+
+// qLeafThr marks leaves. Real thresholds clamp to +-qThrMax, and every
+// quantized input is >= qInfNeg > qLeafThr, so the leaf's compare is
+// unconditionally true.
+const qLeafThr = math.MinInt16
+
+// qforestProgram is the fixed-point forest: the same flattened node
+// array as forestProgram with float comparisons replaced by int16 ones.
+// Inputs quantize once per row through a per-attribute affine map
+// derived from the attribute's threshold span across the whole forest.
+type qforestProgram struct {
+	k     int
+	roots []int32
+	nodes []qnode
+	// width is the number of input attributes the forest reads.
+	width int
+	// mid/scale define the per-attribute quantization q(v) =
+	// round((v-mid[j])*scale[j]) (clamped); scale 0 means the attribute
+	// is never tested and quantizes to 0.
+	mid, scale []float64
+	// dists is the packed leaf-distribution table in Q15
+	// (single/bagged); alphas are the boosted vote weights in Q16.
+	dists  []int32
+	alphas []int64
+	// sumAlpha = sum(alphas): every boosted tree votes exactly once, so
+	// the vote total is input-independent and its reciprocal (and the
+	// bagged averaging reciprocal) hoist out of the per-sample path.
+	sumAlpha         int64
+	invBoost, invBag float64
+}
+
+// quantizeForest converts a compiled tree/forest program to fixed
+// point.
+func quantizeForest(p *Program) (*QuantProgram, error) {
+	fp := p.forest
+	// Pass 1: per-attribute threshold spans, input width, depth.
+	width := 0
+	type span struct {
+		lo, hi float64
+		seen   bool
+	}
+	var spans []span
+	for i := range fp.nodes {
+		nd := &fp.nodes[i]
+		if nd.attr < 0 {
+			continue
+		}
+		if nd.attr > math.MaxInt16 {
+			return nil, fmt.Errorf("%w: forest attribute %d exceeds int16", ErrUnsupported, nd.attr)
+		}
+		if math.IsNaN(nd.thr) || math.IsInf(nd.thr, 0) {
+			return nil, fmt.Errorf("%w: non-finite tree threshold", ErrUnsupported)
+		}
+		a := int(nd.attr)
+		if a >= width {
+			width = a + 1
+		}
+		for len(spans) <= a {
+			spans = append(spans, span{})
+		}
+		s := &spans[a]
+		if !s.seen {
+			s.lo, s.hi, s.seen = nd.thr, nd.thr, true
+		} else {
+			s.lo = math.Min(s.lo, nd.thr)
+			s.hi = math.Max(s.hi, nd.thr)
+		}
+	}
+	qf := &qforestProgram{
+		k:     fp.k,
+		roots: append([]int32(nil), fp.roots...),
+		nodes: make([]qnode, len(fp.nodes)),
+		width: width,
+		mid:   make([]float64, width),
+		scale: make([]float64, width),
+	}
+	for a := range spans {
+		s := &spans[a]
+		if !s.seen {
+			continue
+		}
+		qf.mid[a] = s.lo + (s.hi-s.lo)/2
+		if w := s.hi - s.lo; w > 0 {
+			qf.scale[a] = (2 * qThrMax) / w
+		} else {
+			// One distinct threshold: any positive scale preserves the
+			// ordering of values at least half a raw unit away from it
+			// (HPC deltas are integer-valued, so in practice all of
+			// them).
+			qf.scale[a] = 1
+		}
+	}
+	// Pass 2: nodes. The index layout is identical, so child links copy
+	// through.
+	boosted := p.kind == kindBoostForest
+	for i := range fp.nodes {
+		nd := &fp.nodes[i]
+		if nd.attr >= 0 {
+			qt := math.Round((nd.thr - qf.mid[nd.attr]) * qf.scale[nd.attr])
+			if qt > qThrMax {
+				qt = qThrMax
+			} else if qt < -qThrMax {
+				qt = -qThrMax
+			}
+			qf.nodes[i] = qnode{thr: int16(qt), attr: int16(nd.attr), kids: [2]int32{nd.left, nd.right}}
+			continue
+		}
+		payload := nd.left // distribution slot
+		if boosted {
+			payload = nd.right // precomputed argmax
+		}
+		qf.nodes[i] = qnode{thr: qLeafThr, attr: 0, kids: [2]int32{payload, int32(i)}}
+	}
+	if !boosted {
+		qf.dists = make([]int32, len(fp.dists))
+		for i, d := range fp.dists {
+			qf.dists[i] = int32(math.Round(d * qOne15))
+		}
+		qf.invBag = 1 / (qOne15 * float64(len(fp.roots)))
+	} else {
+		qf.alphas = make([]int64, len(fp.alphas))
+		for i, a := range fp.alphas {
+			if math.IsNaN(a) || math.IsInf(a, 0) {
+				return nil, fmt.Errorf("%w: non-finite boosted vote weight", ErrUnsupported)
+			}
+			qf.alphas[i] = int64(math.Round(a * qOne16))
+			qf.sumAlpha += qf.alphas[i]
+		}
+		if qf.sumAlpha > 0 {
+			qf.invBoost = 1 / float64(qf.sumAlpha)
+		}
+	}
+	return &QuantProgram{kind: p.kind, classes: p.classes, forest: qf, census: p.census}, nil
+}
+
+// quantizeRow quantizes one input row into qx. NaN and +Inf saturate
+// positive (the interpreted walk sends NaN right at every test, which
+// is exactly where qInfPos goes), -Inf saturates negative, and finite
+// values clamp to +-qClamp — outside every threshold, so a clamped
+// value still takes the branch its float would.
+func (qf *qforestProgram) quantizeRow(x []float64, qx []int16) {
+	for j := 0; j < qf.width; j++ {
+		t := (x[j] - qf.mid[j]) * qf.scale[j]
+		switch {
+		case t != t: // NaN input (or +-Inf on an untested attribute)
+			qx[j] = qInfPos
+		case t >= qClamp:
+			qx[j] = qInfPos
+		case t <= -qClamp:
+			qx[j] = qInfNeg
+		default:
+			// Round half away from zero as a copysign-and-truncate —
+			// int16(float) truncates, so adding a half toward the value's
+			// sign is math.Round without the function call (measured ~4 ns
+			// per attribute on this path).
+			qx[j] = int16(t + math.Copysign(0.5, t))
+		}
+	}
+}
+
+// leafOf walks tree t for one quantized row and returns the reached
+// leaf's payload (kids[0]: distribution slot or precomputed argmax) —
+// returning the payload rather than the node index saves every caller
+// a second dereference of the leaf node. The child select is a real
+// branch, not a conditional move: a branch lets the core *speculate*
+// down the predicted path and issue the next node load before the
+// compare resolves, so the walk runs at prediction speed instead of
+// serialising on the load-compare-select chain. (A branchless CMOV
+// variant was benchmarked here and was ~2.5x slower — every step
+// waited out the full L1 load-to-use latency.)
+func (qf *qforestProgram) leafOf(t int, qx []int16) int32 {
+	nodes := qf.nodes
+	n := qf.roots[t]
+	for {
+		nd := &nodes[n]
+		thr := nd.thr
+		if thr == qLeafThr {
+			return nd.kids[0]
+		}
+		if qx[nd.attr] >= thr {
+			n = nd.kids[1]
+			continue
+		}
+		n = nd.kids[0]
+	}
+}
+
+// singleInto scores a one-tree program (quantized leaf distribution,
+// dequantized on output).
+func (qf *qforestProgram) singleInto(qx []int16, out []float64) {
+	slot := int(qf.leafOf(0, qx)) * qf.k
+	for c := 0; c < qf.k; c++ {
+		out[c] = float64(qf.dists[slot+c]) * (1.0 / qOne15)
+	}
+}
+
+// boostedInto is the fused integer vote pass: walk each tree to its
+// leaf, add its Q16 alpha to the precomputed argmax class, scale by the
+// hoisted vote-total reciprocal at the end. The batch kernel calls this
+// same function, so batch and single scores stay bit-identical. The
+// malware-detector case (two classes) keeps both vote cells in
+// registers; wider class counts fall back to the votes slice.
+func (qf *qforestProgram) boostedInto(qx []int16, votes []int64, out []float64) {
+	k := qf.k
+	if k == 2 {
+		var v0, v1 int64
+		for t := range qf.roots {
+			if qf.leafOf(t, qx) == 1 {
+				v1 += qf.alphas[t]
+			} else {
+				v0 += qf.alphas[t]
+			}
+		}
+		if qf.sumAlpha <= 0 {
+			out[0], out[1] = 0.5, 0.5
+			return
+		}
+		out[0] = float64(v0) * qf.invBoost
+		out[1] = float64(v1) * qf.invBoost
+		return
+	}
+	v := votes[:k]
+	for i := range v {
+		v[i] = 0
+	}
+	for t := range qf.roots {
+		v[qf.leafOf(t, qx)] += qf.alphas[t]
+	}
+	if qf.sumAlpha <= 0 {
+		for i := range out[:k] {
+			out[i] = 1 / float64(k)
+		}
+		return
+	}
+	for i, x := range v {
+		out[i] = float64(x) * qf.invBoost
+	}
+}
+
+// baggedInto accumulates the Q15 leaf distributions in int64 and
+// applies the hoisted 1/(one*members) averaging reciprocal once, with
+// the same two-class register fast path as boostedInto.
+func (qf *qforestProgram) baggedInto(qx []int16, votes []int64, out []float64) {
+	k := qf.k
+	if k == 2 {
+		var v0, v1 int64
+		for t := range qf.roots {
+			slot := int(qf.leafOf(t, qx)) * 2
+			v0 += int64(qf.dists[slot])
+			v1 += int64(qf.dists[slot+1])
+		}
+		out[0] = float64(v0) * qf.invBag
+		out[1] = float64(v1) * qf.invBag
+		return
+	}
+	v := votes[:k]
+	for i := range v {
+		v[i] = 0
+	}
+	for t := range qf.roots {
+		slot := int(qf.leafOf(t, qx)) * k
+		d := qf.dists[slot : slot+k]
+		for c, p := range d {
+			v[c] += int64(p)
+		}
+	}
+	for i, x := range v {
+		out[i] = float64(x) * qf.invBag
+	}
+}
+
+// scoreBatch is the batched quantized forest kernel: quantize each row
+// once, run the branchy walks, and fuse the integer vote accumulation
+// (hoisted reciprocals and all) exactly as the single-vector path does
+// — it *is* the single-vector path minus the per-call dispatch, so
+// batch and single scores are bit-identical by construction.
+//
+// Two batch schedules were benchmarked here and rejected, mirroring
+// the compiled tier's findings: a fixed-group sample-lockstep walk
+// with register-resident lanes and a persistent-lane walker with
+// leaf-refill. Both lost ~40% to this loop — at HPC-detector tree
+// sizes the forest lives in L1 and the branchy walk runs at
+// branch-prediction speed, so hand-scheduled lane ILP only added
+// bookkeeping to a core that was already speculating across samples.
+func (qf *qforestProgram) scoreBatch(kd kind, xs [][]float64, out []float64, qx []int16, votes []int64, dist []float64) {
+	if qf.k < 2 {
+		for i := range xs {
+			out[i] = 0
+		}
+		return
+	}
+	switch kd {
+	case kindTree:
+		for i, x := range xs {
+			qf.quantizeRow(x, qx)
+			slot := int(qf.leafOf(0, qx)) * qf.k
+			out[i] = float64(qf.dists[slot+1]) * (1.0 / qOne15)
+		}
+	case kindBoostForest:
+		for i, x := range xs {
+			qf.quantizeRow(x, qx)
+			qf.boostedInto(qx, votes, dist)
+			out[i] = dist[1]
+		}
+	default: // kindBagForest
+		for i, x := range xs {
+			qf.quantizeRow(x, qx)
+			qf.baggedInto(qx, votes, dist)
+			out[i] = dist[1]
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package compiled
+
+import (
+	"fmt"
+	"math"
+)
+
+// qinput is the shared input quantizer for the linear and MLP kernels:
+// attribute j's scaler output u in [0,1] becomes a Q15 code
+// round(u*32767). off/inv fold the scaler's min/span into one
+// multiply-add; inv 0 marks a degenerate span (the scaler emits the
+// 0.5 midpoint — code qHalf15). NaN inputs also map to the midpoint:
+// the interpreted scaler would propagate the NaN into the margin and
+// the verdict, the quantized tier degrades to "uninformative feature"
+// instead (documented clamp behaviour).
+type qinput struct {
+	off []float64
+	inv []float64 // 32767/span, or 0 for span <= 0
+}
+
+const qHalf15 = 16384 // round(0.5 * 32767)
+
+func newQInput(min, max []float64, in int) (qinput, error) {
+	qi := qinput{off: make([]float64, in), inv: make([]float64, in)}
+	for j := 0; j < in; j++ {
+		span := max[j] - min[j]
+		if !(span > 0) { // includes NaN spans
+			continue
+		}
+		qi.off[j] = min[j]
+		qi.inv[j] = qOne15 / span
+		if math.IsInf(qi.inv[j], 0) || qi.inv[j] != qi.inv[j] {
+			return qinput{}, fmt.Errorf("%w: non-finite scaler span", ErrUnsupported)
+		}
+	}
+	return qi, nil
+}
+
+// quantizeRow writes the Q15 input codes for one row. The clamp to
+// [0, 32767] reproduces the scaler's [0,1] clamp, so +-Inf saturate to
+// the same codes their clamped floats would.
+func (qi *qinput) quantizeRow(x []float64, qx []int16) {
+	for j, inv := range qi.inv {
+		if inv == 0 {
+			qx[j] = qHalf15
+			continue
+		}
+		t := (x[j] - qi.off[j]) * inv
+		switch {
+		case t != t: // NaN
+			qx[j] = qHalf15
+		case t <= 0:
+			qx[j] = 0
+		case t >= qOne15:
+			qx[j] = qOne15
+		default:
+			qx[j] = int16(t + 0.5) // t >= 0: round-half-away == round-half-up
+		}
+	}
+}
+
+// qlinearProgram is the fixed-point SGD/SMO/Logistic datapath: Q15
+// inputs against an int16 weight row with one row scale, accumulated in
+// int64, reconstructed to a float margin once per sample.
+type qlinearProgram struct {
+	qi      qinput
+	w       []int16
+	bias    float64
+	wscale  float64 // dequantization: margin = bias + acc*wscale
+	sigmoid bool
+}
+
+func quantizeLinear(p *Program) (*QuantProgram, error) {
+	lp := p.linear
+	in := len(lp.w)
+	qi, err := newQInput(lp.min, lp.max, in)
+	if err != nil {
+		return nil, err
+	}
+	wmax := 0.0
+	for _, w := range lp.w {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w: non-finite linear weight", ErrUnsupported)
+		}
+		wmax = math.Max(wmax, math.Abs(w))
+	}
+	ql := &qlinearProgram{qi: qi, bias: lp.bias, sigmoid: lp.sigmoid, w: make([]int16, in)}
+	if wmax > 0 {
+		s := qOne15 / wmax
+		for j, w := range lp.w {
+			ql.w[j] = int16(math.Round(w * s))
+		}
+		ql.wscale = wmax / (qOne15 * qOne15)
+	}
+	return &QuantProgram{kind: p.kind, classes: p.classes, linear: ql, census: p.census}, nil
+}
+
+// margin is the fused integer dot product: one int64 accumulator, one
+// dequantizing multiply at the end.
+func (ql *qlinearProgram) margin(qx []int16) float64 {
+	acc := int64(0)
+	for j, w := range ql.w {
+		acc += int64(w) * int64(qx[j])
+	}
+	return ql.bias + float64(acc)*ql.wscale
+}
+
+func (ql *qlinearProgram) into(qx []int16, out []float64) {
+	if ql.sigmoid {
+		p := lutSigmoid(ql.margin(qx))
+		out[0], out[1] = 1-p, p
+		return
+	}
+	if ql.margin(qx) >= 0 {
+		out[0], out[1] = 0, 1
+	} else {
+		out[0], out[1] = 1, 0
+	}
+}
+
+// qmlpProgram is the fixed-point MLP: Q15 inputs, int16 weight rows
+// with per-row scales on both layers, int64 accumulation, lookup-table
+// sigmoids, and Q15 hidden activations feeding the output layer.
+//
+// The hidden layer never touches float: each row's bias and
+// dequantization scale fold into an integer affine map from the raw
+// int64 accumulator straight to a Q24 sigmoid-table index
+// (tq = qo1[h] + acc*qk1[h]), and qlutSigQ15 interpolates the Q15
+// activation from that index in integer arithmetic. The output layer
+// folds the same transform into two floats per row (sOff2/sMul2) since
+// its result must be a float probability anyway.
+type qmlpProgram struct {
+	qi  qinput
+	w1  []int16 // hid rows of in weights
+	qk1 []int64 // index slope per hidden row, scaled by 2^qsh1[h]
+	qo1 []int64 // Q24 index offset per hidden row
+	// qsh1 is the per-row slope exponent: the slope is stored with as
+	// many extra fraction bits as the accumulator bound leaves free in
+	// int64, so tiny row scales keep ~21 significant bits.
+	qsh1    []uint8
+	w2      []int16 // out rows of hid weights
+	sOff2   []float64
+	sMul2   []float64
+	in, hid int
+	out     int
+}
+
+func quantizeMLP(p *Program) (*QuantProgram, error) {
+	mp := p.mlp
+	qi, err := newQInput(mp.min, mp.max, mp.in)
+	if err != nil {
+		return nil, err
+	}
+	qm := &qmlpProgram{
+		qi: qi,
+		in: mp.in, hid: mp.hid, out: mp.out,
+	}
+	var s1, s2 []float64
+	qm.w1, s1, err = quantizeRows(mp.w1, mp.hid, mp.in)
+	if err != nil {
+		return nil, err
+	}
+	qm.w2, s2, err = quantizeRows(mp.w2, mp.out, mp.hid)
+	if err != nil {
+		return nil, err
+	}
+	qm.qk1 = make([]int64, mp.hid)
+	qm.qo1 = make([]int64, mp.hid)
+	qm.qsh1 = make([]uint8, mp.hid)
+	// accBound caps |acc|; the slope exponent is chosen so the index
+	// product acc*qk1 stays inside int64 while keeping ~21 significant
+	// slope bits even for tiny row scales.
+	accBound := float64(mp.in) * qOne15 * qOne15
+	for h := 0; h < mp.hid; h++ {
+		k := s1[h] * sigStep * (1 << qsigShift)
+		o := (mp.b1[h] + sigRange) * sigStep * (1 << qsigShift)
+		if math.IsNaN(o) || math.Abs(o) >= 1<<62 {
+			return nil, fmt.Errorf("%w: non-finite MLP hidden bias", ErrUnsupported)
+		}
+		qm.qo1[h] = int64(math.Round(o))
+		if k == 0 {
+			continue
+		}
+		sh := 0
+		for sh < 40 && math.Abs(k)*float64(int64(1)<<(sh+1))*accBound < 1<<61 {
+			sh++
+		}
+		ks := k * float64(int64(1)<<sh)
+		if math.Abs(ks) < 1 || math.Abs(ks)*accBound >= 1<<62 {
+			return nil, fmt.Errorf("%w: MLP hidden row scale out of fixed-point range", ErrUnsupported)
+		}
+		qm.qk1[h] = int64(math.Round(ks))
+		qm.qsh1[h] = uint8(sh)
+	}
+	qm.sOff2 = make([]float64, mp.out)
+	qm.sMul2 = make([]float64, mp.out)
+	for c := 0; c < mp.out; c++ {
+		qm.sOff2[c] = (mp.b2[c] + sigRange) * sigStep
+		qm.sMul2[c] = s2[c] * sigStep
+		if math.IsNaN(qm.sOff2[c]) {
+			return nil, fmt.Errorf("%w: non-finite MLP output bias", ErrUnsupported)
+		}
+	}
+	return &QuantProgram{kind: kindMLP, classes: p.classes, mlp: qm, census: p.census}, nil
+}
+
+// quantizeRows converts a row-major float matrix to int16 with one
+// scale per row: wq = round(w * 32767/rowmax), dequantized by
+// scale = rowmax/(32767*32767) (the extra 32767 undoes the Q15 input).
+func quantizeRows(w []float64, rows, cols int) ([]int16, []float64, error) {
+	q := make([]int16, rows*cols)
+	scales := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		row := w[r*cols : r*cols+cols]
+		rmax := 0.0
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, nil, fmt.Errorf("%w: non-finite MLP weight", ErrUnsupported)
+			}
+			rmax = math.Max(rmax, math.Abs(v))
+		}
+		if rmax == 0 {
+			continue
+		}
+		s := qOne15 / rmax
+		for c, v := range row {
+			q[r*cols+c] = int16(math.Round(v * s))
+		}
+		scales[r] = rmax / (qOne15 * qOne15)
+	}
+	return q, scales, nil
+}
+
+// hiddenInto computes the Q15 hidden activations for one quantized
+// input row — integer MACs into the integer sigmoid-index transform,
+// no float anywhere.
+func (qm *qmlpProgram) hiddenInto(qx, qh []int16) {
+	in := qm.in
+	for h := 0; h < qm.hid; h++ {
+		row := qm.w1[h*in : h*in+in : h*in+in]
+		acc := int64(0)
+		for j, w := range row {
+			acc += int64(w) * int64(qx[j])
+		}
+		qh[h] = qlutSigQ15(qm.qo1[h] + (acc*qm.qk1[h])>>qm.qsh1[h])
+	}
+}
+
+// outInto runs the output layer over Q15 hidden activations and
+// normalises like the interpreted model. The bias and row scale are
+// pre-folded into the sigmoid-table index transform (sOff2/sMul2).
+func (qm *qmlpProgram) outInto(qh []int16, out []float64) {
+	hid := qm.hid
+	o := out[:qm.out]
+	for c := range o {
+		row := qm.w2[c*hid : c*hid+hid : c*hid+hid]
+		acc := int64(0)
+		for h, w := range row {
+			acc += int64(w) * int64(qh[h])
+		}
+		o[c] = lutSigT(qm.sOff2[c] + float64(acc)*qm.sMul2[c])
+	}
+	sum := 0.0
+	for _, v := range o {
+		sum += v
+	}
+	if sum <= 0 {
+		for i := range o {
+			o[i] = 1 / float64(len(o))
+		}
+		return
+	}
+	for i := range o {
+		o[i] /= sum
+	}
+}
+
+func (qm *qmlpProgram) into(x []float64, qx, qh []int16, out []float64) {
+	qm.qi.quantizeRow(x[:qm.in], qx)
+	qm.hiddenInto(qx, qh)
+	qm.outInto(qh, out)
+}
+
+// scoreBatch is the blocked integer matmul: mlpBlock-sample tiles,
+// each int16 hidden weight row streamed across the whole tile, then
+// the output layer per sample — the float blocked kernel's loop nest
+// with integer MACs and table sigmoids. bqx/bqh are
+// mlpBlock*in / mlpBlock*hid int16 scratch; dist is out-wide scratch.
+func (qm *qmlpProgram) scoreBatch(xs [][]float64, out []float64, bqx, bqh []int16, dist []float64) {
+	in, hid, k := qm.in, qm.hid, qm.out
+	for i0 := 0; i0 < len(xs); {
+		m := len(xs) - i0
+		if m > mlpBlock {
+			m = mlpBlock
+		}
+		tiled := true
+		for s := 0; s < m; s++ {
+			if len(xs[i0+s]) < in {
+				tiled = false
+				break
+			}
+		}
+		if !tiled {
+			// Short row: let the single-vector kernel panic the same way
+			// the interpreted model would rather than mis-tile the block.
+			qm.into(xs[i0], bqx[:in], bqh[:hid], dist)
+			if k < 2 {
+				out[i0] = 0
+			} else {
+				out[i0] = dist[1]
+			}
+			i0++
+			continue
+		}
+		for s := 0; s < m; s++ {
+			qm.qi.quantizeRow(xs[i0+s][:in], bqx[s*in:s*in+in])
+		}
+		for h := 0; h < hid; h++ {
+			row := qm.w1[h*in : h*in+in : h*in+in]
+			ko, oo, sh := qm.qk1[h], qm.qo1[h], qm.qsh1[h]
+			for s := 0; s < m; s++ {
+				u := bqx[s*in : s*in+in : s*in+in]
+				acc := int64(0)
+				for j, w := range row {
+					acc += int64(w) * int64(u[j])
+				}
+				bqh[s*hid+h] = qlutSigQ15(oo + (acc*ko)>>sh)
+			}
+		}
+		for s := 0; s < m; s++ {
+			hrow := bqh[s*hid : s*hid+hid : s*hid+hid]
+			o := dist[:k]
+			for c := range o {
+				row := qm.w2[c*hid : c*hid+hid : c*hid+hid]
+				acc := int64(0)
+				for h, w := range row {
+					acc += int64(w) * int64(hrow[h])
+				}
+				o[c] = lutSigT(qm.sOff2[c] + float64(acc)*qm.sMul2[c])
+			}
+			sum := 0.0
+			for _, v := range o {
+				sum += v
+			}
+			switch {
+			case k < 2:
+				out[i0+s] = 0
+			case sum <= 0:
+				out[i0+s] = 1 / float64(k)
+			default:
+				out[i0+s] = o[1] / sum
+			}
+		}
+		i0 += m
+	}
+}

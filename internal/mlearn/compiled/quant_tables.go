@@ -1,0 +1,132 @@
+package compiled
+
+import (
+	"fmt"
+	"math"
+)
+
+// qbayesProgram is the fixed-point BayesNet: priors and CPT entries
+// stored as Q16 log2 probabilities so the per-attribute posterior
+// update is one int64 add per class — no multiplies, and crucially no
+// per-attribute rescale. The interpreted (and bit-identical compiled)
+// schedule renormalises the posterior after every attribute purely to
+// stop float underflow; log-domain accumulation cannot underflow, so
+// the rescale hoists out entirely and only one exp2+normalise runs per
+// sample. This is the hoisted-rescale design DESIGN.md §11 explains
+// the compiled tier cannot adopt.
+//
+// Binning stays exact: the cut points remain float64 and the binary
+// search is the interpreted one, so a quantized sample always lands in
+// the same bin — only the probability arithmetic is approximate.
+type qbayesProgram struct {
+	k      int
+	prior  []int64 // Q16 log2
+	cuts   []float64
+	cutOff []int32
+	cpt    []int64 // Q16 log2, same packing as bayesProgram
+	cptOff []int32
+	bins   []int32
+}
+
+// qLogFloor stands in for log2(0): low enough that one floored term
+// zeroes the class against any realistic competitor, high enough that
+// an attribute count of terms cannot underflow int64. (Laplace
+// smoothing means trained CPTs never hit it; it guards hand-built
+// models.)
+const qLogFloor = int64(-1 << 30)
+
+func qLog2(p float64) int64 {
+	if !(p > 0) {
+		return qLogFloor
+	}
+	l := math.Round(math.Log2(p) * qOne16)
+	if l < float64(qLogFloor) {
+		return qLogFloor
+	}
+	return int64(l)
+}
+
+func quantizeBayes(p *Program) (*QuantProgram, error) {
+	bp := p.bayes
+	for _, c := range bp.cuts {
+		if c != c {
+			return nil, fmt.Errorf("%w: NaN discretizer cut", ErrUnsupported)
+		}
+	}
+	qb := &qbayesProgram{
+		k:      bp.k,
+		prior:  make([]int64, len(bp.prior)),
+		cuts:   append([]float64(nil), bp.cuts...),
+		cutOff: append([]int32(nil), bp.cutOff...),
+		cpt:    make([]int64, len(bp.cpt)),
+		cptOff: append([]int32(nil), bp.cptOff...),
+		bins:   append([]int32(nil), bp.bins...),
+	}
+	for i, pr := range bp.prior {
+		qb.prior[i] = qLog2(pr)
+	}
+	for i, e := range bp.cpt {
+		qb.cpt[i] = qLog2(e)
+	}
+	return &QuantProgram{kind: kindBayes, classes: p.classes, bayes: qb, census: p.census}, nil
+}
+
+// into replays the CPT walk in the log domain: the same binary bin
+// search per attribute, then one add per class, then a single
+// exp2-and-normalise against the max accumulator (so the largest
+// posterior dequantizes to 1 and the rest scale under it — the
+// softmax-style stabilisation that replaces the per-attribute rescale).
+func (qb *qbayesProgram) into(x []float64, acc []int64, out []float64) {
+	k := qb.k
+	a := acc[:k]
+	copy(a, qb.prior)
+	for j := range qb.bins {
+		cuts := qb.cuts[qb.cutOff[j]:qb.cutOff[j+1]]
+		v := x[j]
+		lo, hi := 0, len(cuts)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if v < cuts[mid] {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		bins := int(qb.bins[j])
+		tbl := qb.cpt[qb.cptOff[j]:]
+		for c := 0; c < k; c++ {
+			a[c] += tbl[c*bins+lo]
+		}
+	}
+	max := a[0]
+	for _, v := range a[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	o := out[:k]
+	sum := 0.0
+	for c, v := range a {
+		o[c] = lutExp2(float64(v-max) * (1.0 / qOne16))
+		sum += o[c]
+	}
+	// The max class dequantizes to exactly 1, so sum >= 1 — the
+	// interpreted degenerate-posterior fallback is unreachable here.
+	for c := range o {
+		o[c] /= sum
+	}
+}
+
+// scoreBatch scores every row with the bin-search dispatch hoisted.
+func (qb *qbayesProgram) scoreBatch(xs [][]float64, out []float64, acc []int64, dist []float64) {
+	if qb.k < 2 {
+		for i := range xs {
+			out[i] = 0
+		}
+		return
+	}
+	for i, x := range xs {
+		qb.into(x, acc, dist)
+		out[i] = dist[1]
+	}
+}

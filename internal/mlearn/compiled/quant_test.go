@@ -1,0 +1,332 @@
+package compiled_test
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/mlearn"
+	"repro/internal/mlearn/compiled"
+	"repro/internal/mlearn/j48"
+	"repro/internal/mlearn/logistic"
+)
+
+// quantizable reports whether a corpus label is expected to lower to
+// the quantized tier: trees, tree ensembles, linear models, MLPs and
+// BayesNets do; OneR and JRip (and their ensembles) stay compiled.
+func quantizable(label string) bool {
+	switch label[:4] {
+	case "OneR", "JRip":
+		return false
+	}
+	return true
+}
+
+// TestQuantizeCoverage pins exactly which zoo families reach the
+// quantized tier and that the rest fail with ErrUnsupported (the
+// per-model fallback contract).
+func TestQuantizeCoverage(t *testing.T) {
+	for _, tc := range buildCorpus(t) {
+		qp, err := compiled.Quantize(tc.model)
+		if quantizable(tc.label) {
+			if err != nil {
+				t.Errorf("%s: Quantize failed: %v", tc.label, err)
+			} else if qp.NumClasses() < 2 {
+				t.Errorf("%s: quantized program has %d classes", tc.label, qp.NumClasses())
+			}
+			continue
+		}
+		if !errors.Is(err, compiled.ErrUnsupported) {
+			t.Errorf("%s: want ErrUnsupported, got %v", tc.label, err)
+		}
+	}
+}
+
+// TestQuantStatisticalParity is the unit-level statistical-equivalence
+// check: per model, quantized predictions agree with interpreted ones
+// on nearly every test row and the mean absolute score error stays
+// small. (The zoo-wide >= 99.9% pooled-parity gate lives in
+// experiments.QuantEquivalence; this catches a broken kernel at the
+// package level.)
+func TestQuantStatisticalParity(t *testing.T) {
+	for _, tc := range buildCorpus(t) {
+		if !quantizable(tc.label) {
+			continue
+		}
+		t.Run(tc.label, func(t *testing.T) {
+			qp, err := compiled.Quantize(tc.model)
+			if err != nil {
+				t.Fatalf("Quantize: %v", err)
+			}
+			ev := qp.NewEvaluator()
+			scratch := make([]float64, qp.NumClasses())
+			agree, n := 0, 0
+			mae := 0.0
+			for _, x := range testSet.X {
+				if mlearn.PredictWith(tc.model, x, scratch) == ev.Predict(x) {
+					agree++
+				}
+				mae += math.Abs(mlearn.ScoreWith(tc.model, x, scratch) - ev.Score(x))
+				n++
+			}
+			if parity := float64(agree) / float64(n); parity < 0.95 {
+				t.Errorf("verdict parity %.4f < 0.95 (%d/%d)", parity, agree, n)
+			}
+			if mae /= float64(n); mae > 0.02 {
+				t.Errorf("mean |score delta| %.5f > 0.02", mae)
+			}
+		})
+	}
+}
+
+// TestQuantScoreBatchMatchesSingle pins every quantized batch kernel to
+// its own single-vector path bit for bit — tiling and dispatch hoisting
+// must not change the arithmetic within the tier.
+func TestQuantScoreBatchMatchesSingle(t *testing.T) {
+	for _, tc := range buildCorpus(t) {
+		if !quantizable(tc.label) {
+			continue
+		}
+		qp, err := compiled.Quantize(tc.model)
+		if err != nil {
+			t.Fatalf("%s: Quantize: %v", tc.label, err)
+		}
+		single, batch := qp.NewEvaluator(), qp.NewEvaluator()
+		for _, size := range []int{1, 3, compiled.MLPBlockSize(), compiled.MLPBlockSize() + 5, len(testSet.X)} {
+			if size > len(testSet.X) {
+				size = len(testSet.X)
+			}
+			xs := testSet.X[:size]
+			got := batch.ScoreBatch(xs, nil)
+			for i, x := range xs {
+				want := single.Score(x)
+				if math.Float64bits(want) != math.Float64bits(got[i]) {
+					t.Fatalf("%s: batch size %d row %d: single %v batch %v", tc.label, size, i, want, got[i])
+				}
+			}
+		}
+	}
+}
+
+// TestQuantCensusMatchesCompiled: quantization changes arithmetic
+// widths, never structure, so the quantized census must equal the
+// compiled one (which a separate test pins against hls.CensusOf).
+func TestQuantCensusMatchesCompiled(t *testing.T) {
+	for _, tc := range buildCorpus(t) {
+		if !quantizable(tc.label) {
+			continue
+		}
+		p, err := compiled.Compile(tc.model)
+		if err != nil {
+			t.Fatalf("%s: Compile: %v", tc.label, err)
+		}
+		qp, err := p.Quantize()
+		if err != nil {
+			t.Fatalf("%s: Quantize: %v", tc.label, err)
+		}
+		if p.Census() != qp.Census() {
+			t.Errorf("%s: census drift: compiled %+v quantized %+v", tc.label, p.Census(), qp.Census())
+		}
+	}
+}
+
+// TestQuantEdgeCases drives NaN, +-Inf and out-of-range features
+// through every quantized model: the tier must never panic and must
+// emit a usable distribution (finite, non-negative, summing to ~1 —
+// the documented clamp behaviour, deliberately more defensive than the
+// interpreted NaN-propagating path).
+func TestQuantEdgeCases(t *testing.T) {
+	width := testSet.NumAttrs()
+	rows := make([][]float64, 0, 8)
+	for _, fill := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 1e308, -1e308, 0} {
+		row := make([]float64, width)
+		for j := range row {
+			row[j] = fill
+		}
+		rows = append(rows, row)
+	}
+	mixed := make([]float64, width)
+	for j := range mixed {
+		switch j % 3 {
+		case 0:
+			mixed[j] = math.NaN()
+		case 1:
+			mixed[j] = math.Inf(1)
+		default:
+			mixed[j] = -1e12
+		}
+	}
+	rows = append(rows, mixed)
+	for _, tc := range buildCorpus(t) {
+		if !quantizable(tc.label) {
+			continue
+		}
+		qp, err := compiled.Quantize(tc.model)
+		if err != nil {
+			t.Fatalf("%s: Quantize: %v", tc.label, err)
+		}
+		ev := qp.NewEvaluator()
+		dist := make([]float64, qp.NumClasses())
+		for i, x := range rows {
+			ev.DistributionInto(x, dist)
+			sum := 0.0
+			for c, p := range dist {
+				if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 || p > 1 {
+					t.Fatalf("%s: row %d class %d: degenerate probability %v", tc.label, i, c, p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-3 {
+				t.Fatalf("%s: row %d: distribution sums to %v", tc.label, i, sum)
+			}
+			if s := ev.Score(x); math.IsNaN(s) || s < 0 || s > 1 {
+				t.Fatalf("%s: row %d: score %v", tc.label, i, s)
+			}
+			if got := ev.ScoreBatch(rows[i:i+1], nil); math.IsNaN(got[0]) {
+				t.Fatalf("%s: row %d: batch score NaN", tc.label, i)
+			}
+		}
+	}
+}
+
+// TestQuantSaturationBoundaries hand-builds models sitting at the int16
+// quantization boundaries: a tree whose only threshold spans the whole
+// float range, a stump with a single threshold, and a logistic model
+// with huge weights that drives the sigmoid LUT to its endpoints.
+func TestQuantSaturationBoundaries(t *testing.T) {
+	leaf := func(d ...float64) *mlearn.TreeNode { return &mlearn.TreeNode{Leaf: true, Dist: d} }
+	t.Run("huge-threshold-span", func(t *testing.T) {
+		// Thresholds at +-1e300: the affine map must keep ordering for
+		// values on either side without overflowing int16.
+		root := &mlearn.TreeNode{
+			Attr: 0, Threshold: -1e300,
+			Left: leaf(1, 0),
+			Right: &mlearn.TreeNode{
+				Attr: 0, Threshold: 1e300,
+				Left:  leaf(0.25, 0.75),
+				Right: leaf(0, 1),
+			},
+		}
+		qp, err := compiled.Quantize(&j48.Model{Root: root})
+		if err != nil {
+			t.Fatalf("Quantize: %v", err)
+		}
+		ev := qp.NewEvaluator()
+		for _, tt := range []struct {
+			v    float64
+			want float64
+		}{
+			{-1e305, 0}, {0, 0.75}, {1e305, 1},
+			{math.Inf(-1), 0}, {math.Inf(1), 1}, {math.NaN(), 1},
+		} {
+			if got := ev.Score([]float64{tt.v}); math.Abs(got-tt.want) > 1e-4 {
+				t.Errorf("x=%v: score %v, want %v", tt.v, got, tt.want)
+			}
+		}
+	})
+	t.Run("single-threshold", func(t *testing.T) {
+		// One distinct threshold: the span is zero and unit scale takes
+		// over; integer-valued inputs half a unit away still split.
+		root := &mlearn.TreeNode{Attr: 0, Threshold: 1000.5, Left: leaf(1, 0), Right: leaf(0, 1)}
+		qp, err := compiled.Quantize(&j48.Model{Root: root})
+		if err != nil {
+			t.Fatalf("Quantize: %v", err)
+		}
+		ev := qp.NewEvaluator()
+		if got := ev.Score([]float64{1000}); got != 0 {
+			t.Errorf("below threshold: score %v, want 0", got)
+		}
+		if got := ev.Score([]float64{1001}); got != 1 {
+			t.Errorf("above threshold: score %v, want 1", got)
+		}
+		if got := ev.Score([]float64{math.NaN()}); got != 1 {
+			t.Errorf("NaN: score %v, want 1 (always right)", got)
+		}
+	})
+	t.Run("sigmoid-endpoints", func(t *testing.T) {
+		// Weights large enough that the margin leaves [-16,16]: the LUT
+		// must saturate cleanly to ~0 / ~1, and +-Inf margins clamp to
+		// the endpoints instead of poisoning the distribution.
+		m := &logistic.Model{
+			Scaler:  &mlearn.Scaler{Min: []float64{0}, Max: []float64{1}},
+			Weights: []float64{1e4},
+			Bias:    -5e3,
+		}
+		qp, err := compiled.Quantize(m)
+		if err != nil {
+			t.Fatalf("Quantize: %v", err)
+		}
+		ev := qp.NewEvaluator()
+		if got := ev.Score([]float64{1}); got < 1-1e-6 {
+			t.Errorf("saturated high: score %v", got)
+		}
+		if got := ev.Score([]float64{0}); got > 1e-6 {
+			t.Errorf("saturated low: score %v", got)
+		}
+		if got := ev.Score([]float64{math.NaN()}); math.IsNaN(got) || got < 0 || got > 1 {
+			t.Errorf("NaN input: score %v", got)
+		}
+	})
+}
+
+// TestQuantConcurrentEvaluators scores one shared QuantProgram through
+// many evaluators on concurrent goroutines (the fleet's shard
+// arrangement) and checks each agrees with a serial reference — run
+// under -race, this pins the program as genuinely immutable.
+func TestQuantConcurrentEvaluators(t *testing.T) {
+	for _, tc := range buildCorpus(t) {
+		if !quantizable(tc.label) {
+			continue
+		}
+		qp, err := compiled.Quantize(tc.model)
+		if err != nil {
+			t.Fatalf("%s: Quantize: %v", tc.label, err)
+		}
+		ref := qp.NewEvaluator().ScoreBatch(testSet.X, nil)
+		var wg sync.WaitGroup
+		errs := make(chan error, 4)
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ev := qp.NewEvaluator()
+				got := ev.ScoreBatch(testSet.X, nil)
+				for i := range got {
+					if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+						errs <- errors.New(tc.label + ": concurrent score drifted from serial reference")
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+	}
+}
+
+// TestQuantZeroAlloc gates the steady-state quantized scoring paths at
+// zero heap allocations, like the compiled tier.
+func TestQuantZeroAlloc(t *testing.T) {
+	for _, tc := range buildCorpus(t) {
+		if !quantizable(tc.label) {
+			continue
+		}
+		qp, err := compiled.Quantize(tc.model)
+		if err != nil {
+			t.Fatalf("%s: Quantize: %v", tc.label, err)
+		}
+		ev := qp.NewEvaluator()
+		out := make([]float64, len(testSet.X))
+		x := testSet.X[0]
+		if n := testing.AllocsPerRun(20, func() { ev.Score(x) }); n != 0 {
+			t.Errorf("%s: Score allocates %v/op", tc.label, n)
+		}
+		if n := testing.AllocsPerRun(5, func() { ev.ScoreBatch(testSet.X, out) }); n != 0 {
+			t.Errorf("%s: ScoreBatch allocates %v/op", tc.label, n)
+		}
+	}
+}

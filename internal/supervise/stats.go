@@ -64,9 +64,17 @@ type Snapshot struct {
 	// recent verdict ("" before the first one).
 	ActiveStage string
 	// ChainStages is the chain's stage count; CompiledStages of those
-	// score through compiled programs (the rest run interpreted).
-	ChainStages    int
-	CompiledStages int
+	// score through compiled programs (the rest run interpreted), and
+	// QuantizedStages through the fixed-point quantized kernels (always
+	// <= CompiledStages; nonzero only when the chain runs the quantized
+	// tier).
+	ChainStages     int
+	CompiledStages  int
+	QuantizedStages int
+	// Tier names the chain's inference tier ("compiled", "quantized",
+	// "interpreted") so operators can confirm which lowering scored the
+	// verdicts.
+	Tier string
 }
 
 // stats is the pipeline's mutable counter set. A plain mutex keeps it

@@ -172,6 +172,8 @@ func (p *Pipeline) Stats() Snapshot {
 	snap.QueueCap = p.cfg.queueCap()
 	snap.ChainStages = p.cfg.Chain.Stages()
 	snap.CompiledStages = p.cfg.Chain.CompiledStages()
+	snap.QuantizedStages = p.cfg.Chain.QuantizedStages()
+	snap.Tier = p.cfg.Chain.Tier().String()
 	p.mu.Lock()
 	q1, q2 := p.q1, p.q2
 	p.mu.Unlock()

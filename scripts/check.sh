@@ -48,6 +48,16 @@ go run ./cmd/hmd-bench -exp ingest -apps 2 -intervals 8 \
 # per-family numbers for the log (equivalence itself is gated by the
 # race-mode tests above).
 go test -bench=BenchmarkCompiledVsInterpreted -benchmem -benchtime=10x -run @ .
+# Quantized-tier gates. The compiled package's race pass above already
+# covers the quantized kernels' unit tests and concurrent shared-
+# QuantProgram scoring (TestQuantConcurrentEvaluators); here the
+# statistical-equivalence gate runs at full test scale — pooled
+# verdict parity >= 99.9% across the quantizable zoo plus accuracy/AUC
+# deltas (clean and under faults) inside the robustness sweep's own
+# seed-to-seed noise band — and the quantized benches print the
+# three-tier numbers for the log.
+go test -race -run 'TestQuantEquivalence|TestPerfOnly' ./internal/experiments
+go test -bench='BenchmarkBatcherBatchSize/.*/quantized' -benchmem -benchtime=10x -run @ .
 # Cluster plane: ring determinism, redirect-to-owner, drain handoff and
 # lease-expiry failover under the race detector (coordinator, agents
 # and ingest connections all share state across goroutines).
