@@ -94,10 +94,11 @@ func (c AgentConfig) dialTimeout() time.Duration {
 // AgentStats snapshots the agent's counters.
 type AgentStats struct {
 	Epoch         uint64
-	Joins         int64 // successful JOINs (rejoins included)
-	Beats         int64 // leases acknowledged
-	Installs      int64 // stream states installed from the coordinator
-	StatesShipped int64 // stream states fanned in to the coordinator
+	RingVersion   uint64 // placement view the node is routing by
+	Joins         int64  // successful JOINs (rejoins included)
+	Beats         int64  // leases acknowledged
+	Installs      int64  // stream states installed from the coordinator
+	StatesShipped int64  // stream states fanned in to the coordinator
 	Draining      bool
 }
 
@@ -163,6 +164,7 @@ func (a *Agent) Placement(key string) (addr string, local bool) {
 func (a *Agent) Stats() AgentStats {
 	return AgentStats{
 		Epoch:         a.epoch.Load(),
+		RingVersion:   a.ringVersion(),
 		Joins:         a.joins.Load(),
 		Beats:         a.beats.Load(),
 		Installs:      a.installs.Load(),
@@ -189,7 +191,9 @@ type agentSess struct {
 }
 
 func (s *agentSess) write(frame []byte) error {
-	s.nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	if err := s.nc.SetWriteDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		return err
+	}
 	_, err := s.nc.Write(frame)
 	return err
 }
@@ -392,7 +396,12 @@ func (a *Agent) shipStates(s *agentSess, final bool) error {
 	if err != nil {
 		return err
 	}
+	// Coalesce the whole fan-in into one buffer and one write: a
+	// STATE frame per stream but a single deadline + syscall per
+	// shipment, so heartbeat cost stays O(flush) as fleets grow.
 	var buf bytes.Buffer
+	shipped := int64(0)
+	s.wbuf = s.wbuf[:0]
 	for key, st := range states {
 		buf.Reset()
 		if err := gob.NewEncoder(&buf).Encode(st); err != nil {
@@ -402,16 +411,20 @@ func (a *Agent) shipStates(s *agentSess, final bool) error {
 			a.logf("cluster: %s: state for %s too large to ship (%d bytes)", a.cfg.NodeID, key, buf.Len())
 			continue
 		}
-		s.wbuf = ingest.AppendStreamState(s.wbuf[:0], ingest.FrameState, ingest.StreamState{
+		s.wbuf = ingest.AppendStreamState(s.wbuf, ingest.FrameState, ingest.StreamState{
 			Key:      key,
 			Interval: uint32(st.Interval),
 			Blob:     buf.Bytes(),
 		})
-		if err := s.write(s.wbuf); err != nil {
-			return err
-		}
-		a.shipped.Add(1)
+		shipped++
 	}
+	if len(s.wbuf) == 0 {
+		return nil
+	}
+	if err := s.write(s.wbuf); err != nil {
+		return err
+	}
+	a.shipped.Add(shipped)
 	return nil
 }
 

@@ -92,6 +92,19 @@ func startCluster(t *testing.T, n int, ttl time.Duration) *testCluster {
 	waitUntil(t, "members joined", func() bool {
 		return coord.Stats().Placed == n
 	})
+	// A node routes (and redirects) by the ring view it last received;
+	// the first joiner's JOIN_OK ring holds only itself, so wait for
+	// every agent to catch up to the full membership before handing the
+	// cluster to a test that depends on placement.
+	waitUntil(t, "ring views converged", func() bool {
+		v := coord.Stats().RingVersion
+		for _, nd := range tc.nodes {
+			if nd.Agent().Stats().RingVersion != v {
+				return false
+			}
+		}
+		return true
+	})
 	return tc
 }
 

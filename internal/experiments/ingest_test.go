@@ -128,3 +128,70 @@ func TestIngestBenchSmoke(t *testing.T) {
 		t.Errorf("RenderIngest output:\n%s", out)
 	}
 }
+
+// TestIngestChaosBatched reruns the chaos drill with the clean and
+// crash clients on the batched wire path (SAMPLE_BATCH framing): every
+// service contract — gap-free timelines, bit-identical verdicts, exact
+// accounting, deterministic replay — must hold unchanged, and batch
+// corruption from the wire plan must be caught by the CRC and recovered
+// exactly like single-frame loss.
+func TestIngestChaosBatched(t *testing.T) {
+	ctx := testContext(t)
+	cfg := ingestChaosConfig(t)
+	cfg.Batch = true
+	if testing.Short() {
+		cfg.Streams = 2
+		cfg.Intervals = 20
+	}
+	res, err := ctx.IngestChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Errorf("batched ingest chaos drill failed: %+v", res)
+	}
+}
+
+// TestIngestCapacitySmoke runs a short unpaced blast in both wire
+// formats: the structural claims (accounting exact, batching actually
+// negotiated and used, fewer client writes than samples) must hold even
+// at smoke scale. The speedup magnitude is asserted by the committed
+// BENCH_INGEST.json, not here — a loaded CI box is no place for a
+// throughput floor.
+func TestIngestCapacitySmoke(t *testing.T) {
+	ctx := testContext(t)
+	rep, err := ctx.IngestBench(IngestBenchConfig{
+		Streams:        2,
+		Samples:        10,
+		Window:         8,
+		Multipliers:    []float64{1},
+		Capacity:       true,
+		CapacityMillis: 150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Capacity
+	if c == nil {
+		t.Fatal("capacity mode produced no capacity section")
+	}
+	if c.Unbatched.SampleBatches != 0 || c.Unbatched.VerdictBatches != 0 {
+		t.Errorf("unbatched point saw batch frames: %+v", c.Unbatched)
+	}
+	if c.Batched.SampleBatches == 0 {
+		t.Error("batched point decoded no SAMPLE_BATCH frames")
+	}
+	if c.Batched.ClientWrites >= c.Batched.Sent {
+		t.Errorf("batched blast: %d writes for %d samples — no syscall amortization",
+			c.Batched.ClientWrites, c.Batched.Sent)
+	}
+	for _, p := range []CapacityPoint{c.Unbatched, c.Batched} {
+		if p.Accepted == 0 || p.SamplesPerSec <= 0 {
+			t.Errorf("capacity point admitted nothing: %+v", p)
+		}
+	}
+	out := RenderIngest(rep)
+	if !strings.Contains(out, "Wire capacity") || !strings.Contains(out, "speedup") {
+		t.Errorf("RenderIngest missing capacity section:\n%s", out)
+	}
+}

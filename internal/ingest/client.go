@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faults"
@@ -40,14 +41,28 @@ func (c ClientConfig) timeout() time.Duration {
 
 // Client is a minimal ingest protocol client: good enough for drills,
 // benchmarks and as the README's reference implementation. Not safe for
-// concurrent use of the same method, but Send and Next may run on two
-// goroutines (one writer, one reader).
+// concurrent use of the same method, but the send side (Send, Queue,
+// Flush, Bye) and the read side (Next) may run on two goroutines.
 type Client struct {
-	cfg  ClientConfig
-	nc   net.Conn
-	br   *bufio.Reader
-	wbuf []byte
-	rbuf []byte
+	cfg   ClientConfig
+	nc    net.Conn
+	br    *bufio.Reader
+	wbuf  []byte
+	rbuf  []byte
+	width int
+
+	// Batch queue (send side): sequence numbers plus the vectors back
+	// to back, encoded into one SAMPLE_BATCH frame on Flush.
+	pendSeqs []uint32
+	pendVals []uint64
+
+	// Decoded VERDICT_BATCH records awaiting delivery (read side):
+	// Next pops these before touching the socket, so batch frames
+	// surface as ordinary per-verdict events.
+	pendV     []Verdict
+	pendVHead int
+
+	writes atomic.Int64
 
 	// Admitted is the server's HELLO_OK reply (valid after Dial).
 	Admitted HelloOK
@@ -76,7 +91,7 @@ func Dial(cfg ClientConfig) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ingest: dial %s: %w", cfg.Addr, err)
 	}
-	c := &Client{cfg: cfg, nc: nc, br: bufio.NewReaderSize(nc, 4096)}
+	c := &Client{cfg: cfg, nc: nc, br: bufio.NewReaderSize(nc, 4096), width: h.Width}
 	if err := c.writeFrames(AppendHello(c.wbuf[:0], h)); err != nil {
 		nc.Close()
 		return nil, err
@@ -125,8 +140,54 @@ func (c *Client) Send(seq uint32, vals []uint64) error {
 	return c.writeFrames(c.wbuf)
 }
 
-// Bye announces a clean end of stream.
+// Batching reports whether the server negotiated batch framing.
+func (c *Client) Batching() bool { return c.Admitted.Batching }
+
+// WriteCalls returns how many socket Write invocations the client has
+// made — the syscall-amortization counter the capacity benchmarks
+// report.
+func (c *Client) WriteCalls() int64 { return c.writes.Load() }
+
+// Queue buffers one sample for a batched send; the queue auto-flushes
+// at the frame's record limit. Callers finish with Flush (Bye flushes
+// implicitly). On a connection without negotiated batching the queued
+// samples go out as contiguous single-record frames in one write, so
+// the wire stays valid for old servers while syscalls still amortize.
+func (c *Client) Queue(seq uint32, vals []uint64) error {
+	c.pendSeqs = append(c.pendSeqs, seq)
+	c.pendVals = append(c.pendVals, vals...)
+	if len(c.pendSeqs) >= SampleBatchLimit(c.width) {
+		return c.Flush()
+	}
+	return nil
+}
+
+// Flush sends every queued sample: one SAMPLE_BATCH when batching is
+// negotiated and more than one sample is pending, single-record frames
+// otherwise — either way coalesced into one Write.
+func (c *Client) Flush() error {
+	n := len(c.pendSeqs)
+	if n == 0 {
+		return nil
+	}
+	if c.Admitted.Batching && n > 1 {
+		c.wbuf = AppendSampleBatch(c.wbuf[:0], c.pendSeqs, c.pendVals, c.width)
+	} else {
+		c.wbuf = c.wbuf[:0]
+		for i, seq := range c.pendSeqs {
+			c.wbuf = AppendSample(c.wbuf, seq, c.pendVals[i*c.width:(i+1)*c.width])
+		}
+	}
+	c.pendSeqs = c.pendSeqs[:0]
+	c.pendVals = c.pendVals[:0]
+	return c.writeFrames(c.wbuf)
+}
+
+// Bye announces a clean end of stream (flushing queued samples first).
 func (c *Client) Bye() error {
+	if err := c.Flush(); err != nil {
+		return err
+	}
 	return c.writeFrames(AppendFrame(c.wbuf[:0], FrameBye, nil))
 }
 
@@ -141,8 +202,11 @@ func (c *Client) writeFrames(frame []byte) error {
 			time.Sleep(f.Delay)
 		}
 	}
-	c.nc.SetWriteDeadline(time.Now().Add(c.cfg.timeout()))
+	if err := c.nc.SetWriteDeadline(time.Now().Add(c.cfg.timeout())); err != nil {
+		return fmt.Errorf("ingest: send: %w", err)
+	}
 	for _, fr := range out {
+		c.writes.Add(1)
 		if _, err := c.nc.Write(fr); err != nil {
 			return fmt.Errorf("ingest: send: %w", err)
 		}
@@ -155,7 +219,14 @@ func (c *Client) writeFrames(frame []byte) error {
 }
 
 // Next reads one server frame, blocking up to the configured timeout.
+// VERDICT_BATCH frames are unpacked transparently: each record comes
+// back as an ordinary FrameVerdict event.
 func (c *Client) Next() (Event, error) {
+	if c.pendVHead < len(c.pendV) {
+		v := c.pendV[c.pendVHead]
+		c.pendVHead++
+		return Event{Type: FrameVerdict, Verdict: v}, nil
+	}
 	c.nc.SetReadDeadline(time.Now().Add(c.cfg.timeout()))
 	typ, body, nbuf, err := ReadFrame(c.br, MaxFrameBytes, c.rbuf)
 	c.rbuf = nbuf
@@ -166,6 +237,25 @@ func (c *Client) Next() (Event, error) {
 	switch typ {
 	case FrameVerdict:
 		ev.Verdict, err = ParseVerdict(body)
+	case FrameVerdictBatch:
+		vb, perr := ParseVerdictBatch(body)
+		if perr != nil {
+			return Event{}, perr
+		}
+		if vb.Len() == 0 {
+			// Tolerated but pointless; read the next frame.
+			return c.Next()
+		}
+		c.pendV = c.pendV[:0]
+		for {
+			v, ok := vb.Next()
+			if !ok {
+				break
+			}
+			c.pendV = append(c.pendV, v)
+		}
+		c.pendVHead = 1
+		return Event{Type: FrameVerdict, Verdict: c.pendV[0]}, nil
 	case FrameShed:
 		ev.Shed, err = ParseShed(body)
 	case FrameRetry:

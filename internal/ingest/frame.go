@@ -38,8 +38,17 @@ import (
 	"math"
 )
 
-// ProtoVersion is the framing protocol version carried in HELLO.
-const ProtoVersion = 1
+// ProtoVersion is the newest framing protocol version this code
+// speaks; HELLO carries the client's version and the server serves any
+// version down to ProtoVersionMin. Version 2 adds batch framing
+// (SAMPLE_BATCH / VERDICT_BATCH): a v2 client is answered with a
+// flagged HELLO_OK and both sides may pack many records behind one
+// header + CRC; a v1 client gets the legacy 8-byte HELLO_OK and only
+// ever sees single-record frames.
+const (
+	ProtoVersion    = 2
+	ProtoVersionMin = 1
+)
 
 // Frame types. Client-to-server types have the high bit clear,
 // server-to-client types have it set.
@@ -52,6 +61,9 @@ const (
 	// FrameBye announces a clean end of stream: buffered samples are
 	// still scored, then the stream finishes.
 	FrameBye byte = 0x03
+	// FrameSampleBatch carries N contiguous sample records behind one
+	// header and one CRC — the amortized wire path (protocol v2+).
+	FrameSampleBatch byte = 0x04
 
 	// FrameHelloOK admits the stream and tells the client where to
 	// resume and how many samples it may keep in flight.
@@ -70,6 +82,9 @@ const (
 	// FrameError reports a protocol violation; the connection closes
 	// after it.
 	FrameError byte = 0x86
+	// FrameVerdictBatch carries N contiguous verdict records behind one
+	// header and one CRC (protocol v2+, sent only to batching clients).
+	FrameVerdictBatch byte = 0x87
 )
 
 // Framing limits.
@@ -84,6 +99,11 @@ const (
 	MaxStringLen = 255
 	// MaxWidth caps the declared vector width.
 	MaxWidth = 1024
+	// MaxBatchRecords caps the record count in one batch frame — deep
+	// enough to amortize the per-frame syscall and CRC to noise, small
+	// enough that one torn batch loses at most a window's worth of
+	// samples (resume replays them like any single-frame loss).
+	MaxBatchRecords = 256
 )
 
 // Framing sentinels. Decoders wrap these with %w so transport code can
@@ -190,7 +210,7 @@ func ParseHello(body []byte) (Hello, error) {
 		return h, fmt.Errorf("%w: hello body %d bytes", ErrBadFrame, len(body))
 	}
 	h.Version = body[0]
-	if h.Version != ProtoVersion {
+	if h.Version < ProtoVersionMin || h.Version > ProtoVersion {
 		return h, fmt.Errorf("%w: %d", ErrBadVersion, h.Version)
 	}
 	h.Width = int(binary.BigEndian.Uint16(body[1:3]))
@@ -227,39 +247,59 @@ type HelloOK struct {
 	Window int
 	// Width echoes the serving chain's vector width.
 	Width int
+	// Batching reports that the server negotiated batch framing (the
+	// client sent HELLO version >= 2): both sides may now emit
+	// SAMPLE_BATCH / VERDICT_BATCH frames. Carried as a trailing flags
+	// byte that v1 replies omit, so legacy 8-byte decoders stay valid.
+	Batching bool
 }
 
-// AppendHelloOK appends a HELLO_OK frame.
+// helloOKBatchFlag is bit 0 of the optional HELLO_OK flags byte.
+const helloOKBatchFlag = 0x01
+
+// AppendHelloOK appends a HELLO_OK frame. Replies without batching use
+// the legacy 8-byte body so protocol-v1 clients parse them unchanged;
+// batching replies append the flags byte v2 clients look for.
 func AppendHelloOK(dst []byte, ok HelloOK) []byte {
-	var body [8]byte
+	var body [9]byte
 	binary.BigEndian.PutUint32(body[0:4], uint32(ok.Resume))
 	binary.BigEndian.PutUint16(body[4:6], uint16(ok.Window))
 	binary.BigEndian.PutUint16(body[6:8], uint16(ok.Width))
-	return AppendFrame(dst, FrameHelloOK, body[:])
+	if !ok.Batching {
+		return AppendFrame(dst, FrameHelloOK, body[:8])
+	}
+	body[8] = helloOKBatchFlag
+	return AppendFrame(dst, FrameHelloOK, body[:9])
 }
 
-// ParseHelloOK decodes a HELLO_OK body.
+// ParseHelloOK decodes a HELLO_OK body (legacy 8-byte or flagged
+// 9-byte form).
 func ParseHelloOK(body []byte) (HelloOK, error) {
-	if len(body) != 8 {
+	if len(body) != 8 && len(body) != 9 {
 		return HelloOK{}, fmt.Errorf("%w: hello-ok body %d bytes", ErrBadFrame, len(body))
 	}
-	return HelloOK{
+	ok := HelloOK{
 		Resume: int(binary.BigEndian.Uint32(body[0:4])),
 		Window: int(binary.BigEndian.Uint16(body[4:6])),
 		Width:  int(binary.BigEndian.Uint16(body[6:8])),
-	}, nil
+	}
+	if len(body) == 9 {
+		ok.Batching = body[8]&helloOKBatchFlag != 0
+	}
+	return ok, nil
 }
 
 // AppendSample appends a SAMPLE frame: the client's sequence number and
 // the counter vector. dst is typically a recycled buffer, so the
 // steady-state send path allocates nothing.
 func AppendSample(dst []byte, seq uint32, vals []uint64) []byte {
-	body := make([]byte, 0, 4+8*len(vals))
-	body = binary.BigEndian.AppendUint32(body, seq)
+	start := len(dst)
+	dst = append(dst, FrameSample, 0, 0, 0)
+	dst = binary.BigEndian.AppendUint32(dst, seq)
 	for _, v := range vals {
-		body = binary.BigEndian.AppendUint64(body, v)
+		dst = binary.BigEndian.AppendUint64(dst, v)
 	}
-	return AppendFrame(dst, FrameSample, body)
+	return finishFrame(dst, start)
 }
 
 // ParseSampleInto decodes a SAMPLE body: the vector lands in buf
@@ -281,6 +321,105 @@ func ParseSampleInto(body []byte, width int, buf []uint64) (seq uint32, vals []u
 	return seq, vals, nil
 }
 
+// finishFrame closes a frame whose header placeholder and body were
+// appended in place at dst[start:] — it patches the length prefix and
+// appends the CRC32-C over type + body. Building the body directly in
+// dst is what keeps the batch encoders allocation-free.
+func finishFrame(dst []byte, start int) []byte {
+	n := len(dst) - start - headerSize + crcSize
+	dst[start+1], dst[start+2], dst[start+3] = byte(n>>16), byte(n>>8), byte(n)
+	crc := crc32.Update(crc32.Checksum(dst[start:start+1], crcTable), crcTable, dst[start+headerSize:])
+	return binary.BigEndian.AppendUint32(dst, crc)
+}
+
+// SampleBatchLimit is the most sample records one SAMPLE_BATCH frame
+// can carry at the given vector width: MaxBatchRecords, shrunk when
+// wide vectors would overflow the frame size cap.
+func SampleBatchLimit(width int) int {
+	limit := (MaxFrameBytes - crcSize - 2) / (4 + 8*width)
+	if limit > MaxBatchRecords {
+		limit = MaxBatchRecords
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	return limit
+}
+
+// VerdictBatchLimit is the most verdict records one VERDICT_BATCH
+// frame can carry.
+const VerdictBatchLimit = MaxBatchRecords
+
+// AppendSampleBatch appends one SAMPLE_BATCH frame: a u16 record count
+// followed by len(seqs) contiguous sample records (seq u32 + width
+// values), all behind a single header and CRC. vals holds the vectors
+// back to back (len(seqs)*width values). The caller bounds len(seqs)
+// by SampleBatchLimit(width); the body is built in place so a recycled
+// dst makes the encode allocation-free.
+func AppendSampleBatch(dst []byte, seqs []uint32, vals []uint64, width int) []byte {
+	start := len(dst)
+	dst = append(dst, FrameSampleBatch, 0, 0, 0)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(seqs)))
+	for i, seq := range seqs {
+		dst = binary.BigEndian.AppendUint32(dst, seq)
+		for _, v := range vals[i*width : (i+1)*width] {
+			dst = binary.BigEndian.AppendUint64(dst, v)
+		}
+	}
+	return finishFrame(dst, start)
+}
+
+// SampleBatch iterates the records of a SAMPLE_BATCH body without
+// allocating; it remains valid only as long as the body's backing
+// buffer (typically until the next ReadFrame).
+type SampleBatch struct {
+	body  []byte
+	width int
+	n     int
+}
+
+// ParseSampleBatch validates a SAMPLE_BATCH body for the given width
+// and returns its record iterator. The declared count must match the
+// body length exactly: a CRC-valid frame whose count field promises
+// more records than it carries (or that ends mid-record) is malformed.
+func ParseSampleBatch(body []byte, width int) (SampleBatch, error) {
+	if len(body) < 2 {
+		return SampleBatch{}, fmt.Errorf("%w: sample batch body %d bytes", ErrBadFrame, len(body))
+	}
+	n := int(binary.BigEndian.Uint16(body[:2]))
+	if n > MaxBatchRecords {
+		return SampleBatch{}, fmt.Errorf("%w: sample batch count %d (max %d)", ErrBadFrame, n, MaxBatchRecords)
+	}
+	rec := 4 + 8*width
+	if len(body)-2 != n*rec {
+		return SampleBatch{}, fmt.Errorf("%w: sample batch %d bytes, want %d for %d records of width %d",
+			ErrBadFrame, len(body)-2, n*rec, n, width)
+	}
+	return SampleBatch{body: body[2:], width: width, n: n}, nil
+}
+
+// Len returns how many records remain.
+func (b *SampleBatch) Len() int { return b.n }
+
+// Next decodes the next record into buf (capacity >= width, no
+// allocation) and reports whether one was available.
+func (b *SampleBatch) Next(buf []uint64) (seq uint32, vals []uint64, ok bool) {
+	if b.n == 0 {
+		return 0, nil, false
+	}
+	seq = binary.BigEndian.Uint32(b.body[:4])
+	if cap(buf) < b.width {
+		buf = make([]uint64, b.width)
+	}
+	vals = buf[:b.width]
+	for i := range vals {
+		vals[i] = binary.BigEndian.Uint64(b.body[4+8*i:])
+	}
+	b.body = b.body[4+8*b.width:]
+	b.n--
+	return seq, vals, true
+}
+
 // Verdict is one scored sample's result, echoed to the client.
 type Verdict struct {
 	// Seq is the client's sequence number for the scored sample.
@@ -296,14 +435,10 @@ type Verdict struct {
 
 // AppendVerdict appends a VERDICT frame.
 func AppendVerdict(dst []byte, v Verdict) []byte {
-	var body [17]byte
-	binary.BigEndian.PutUint32(body[0:4], v.Seq)
-	binary.BigEndian.PutUint32(body[4:8], v.Interval)
-	binary.BigEndian.PutUint64(body[8:16], math.Float64bits(v.Score))
-	if v.Malware {
-		body[16] = 1
-	}
-	return AppendFrame(dst, FrameVerdict, body[:])
+	start := len(dst)
+	dst = append(dst, FrameVerdict, 0, 0, 0)
+	dst = appendVerdictRecord(dst, v)
+	return finishFrame(dst, start)
 }
 
 // ParseVerdict decodes a VERDICT body.
@@ -317,6 +452,78 @@ func ParseVerdict(body []byte) (Verdict, error) {
 		Score:    math.Float64frombits(binary.BigEndian.Uint64(body[8:16])),
 		Malware:  body[16]&1 != 0,
 	}, nil
+}
+
+// appendVerdictRecord appends the fixed 17-byte verdict record shared
+// by VERDICT and VERDICT_BATCH.
+func appendVerdictRecord(dst []byte, v Verdict) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, v.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, v.Interval)
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v.Score))
+	if v.Malware {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendVerdictBatch appends one VERDICT_BATCH frame: a u16 record
+// count followed by len(vs) contiguous 17-byte verdict records behind
+// a single header and CRC. The caller bounds len(vs) by
+// VerdictBatchLimit; the body is built in place (allocation-free with
+// a recycled dst).
+func AppendVerdictBatch(dst []byte, vs []Verdict) []byte {
+	start := len(dst)
+	dst = append(dst, FrameVerdictBatch, 0, 0, 0)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(vs)))
+	for _, v := range vs {
+		dst = appendVerdictRecord(dst, v)
+	}
+	return finishFrame(dst, start)
+}
+
+// VerdictBatch iterates the records of a VERDICT_BATCH body without
+// allocating; valid only while the body's backing buffer is.
+type VerdictBatch struct {
+	body []byte
+	n    int
+}
+
+// ParseVerdictBatch validates a VERDICT_BATCH body and returns its
+// record iterator; the declared count must match the body length
+// exactly.
+func ParseVerdictBatch(body []byte) (VerdictBatch, error) {
+	if len(body) < 2 {
+		return VerdictBatch{}, fmt.Errorf("%w: verdict batch body %d bytes", ErrBadFrame, len(body))
+	}
+	n := int(binary.BigEndian.Uint16(body[:2]))
+	if n > MaxBatchRecords {
+		return VerdictBatch{}, fmt.Errorf("%w: verdict batch count %d (max %d)", ErrBadFrame, n, MaxBatchRecords)
+	}
+	if len(body)-2 != n*17 {
+		return VerdictBatch{}, fmt.Errorf("%w: verdict batch %d bytes, want %d for %d records",
+			ErrBadFrame, len(body)-2, n*17, n)
+	}
+	return VerdictBatch{body: body[2:], n: n}, nil
+}
+
+// Len returns how many records remain.
+func (b *VerdictBatch) Len() int { return b.n }
+
+// Next decodes the next verdict record and reports whether one was
+// available.
+func (b *VerdictBatch) Next() (Verdict, bool) {
+	if b.n == 0 {
+		return Verdict{}, false
+	}
+	v := Verdict{
+		Seq:      binary.BigEndian.Uint32(b.body[0:4]),
+		Interval: binary.BigEndian.Uint32(b.body[4:8]),
+		Score:    math.Float64frombits(binary.BigEndian.Uint64(b.body[8:16])),
+		Malware:  b.body[16]&1 != 0,
+	}
+	b.body = b.body[17:]
+	b.n--
+	return v, true
 }
 
 // Shed reports inflight-window drops since the last notice.

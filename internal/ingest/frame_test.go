@@ -100,14 +100,169 @@ func TestFrameRoundTrips(t *testing.T) {
 	})
 }
 
+func TestBatchFrameRoundTrips(t *testing.T) {
+	t.Run("sample-batch", func(t *testing.T) {
+		const width = 4
+		seqs := []uint32{10, 11, 12}
+		vals := make([]uint64, len(seqs)*width)
+		for i := range vals {
+			vals[i] = uint64(i)*7 + 1
+		}
+		typ, body := readOne(t, AppendSampleBatch(nil, seqs, vals, width))
+		if typ != FrameSampleBatch {
+			t.Fatalf("type %#x", typ)
+		}
+		it, err := ParseSampleBatch(body, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it.Len() != len(seqs) {
+			t.Fatalf("len %d, want %d", it.Len(), len(seqs))
+		}
+		buf := make([]uint64, width)
+		for i, want := range seqs {
+			seq, got, ok := it.Next(buf)
+			if !ok || seq != want {
+				t.Fatalf("record %d: seq %d ok %v, want %d", i, seq, ok, want)
+			}
+			for j := range got {
+				if got[j] != vals[i*width+j] {
+					t.Fatalf("record %d val %d: %d != %d", i, j, got[j], vals[i*width+j])
+				}
+			}
+		}
+		if _, _, ok := it.Next(buf); ok {
+			t.Fatal("iterator yielded past its count")
+		}
+	})
+	t.Run("verdict-batch", func(t *testing.T) {
+		in := []Verdict{
+			{Seq: 1, Interval: 1, Score: 0.25},
+			{Seq: 2, Interval: 2, Score: 0.75, Malware: true},
+			{Seq: 3, Interval: 5, Score: math.Inf(1)},
+		}
+		typ, body := readOne(t, AppendVerdictBatch(nil, in))
+		if typ != FrameVerdictBatch {
+			t.Fatalf("type %#x", typ)
+		}
+		it, err := ParseVerdictBatch(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range in {
+			got, ok := it.Next()
+			if !ok || got != want {
+				t.Fatalf("record %d: %+v ok %v, want %+v", i, got, ok, want)
+			}
+		}
+		if _, ok := it.Next(); ok {
+			t.Fatal("iterator yielded past its count")
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		_, body := readOne(t, AppendSampleBatch(nil, nil, nil, 4))
+		if it, err := ParseSampleBatch(body, 4); err != nil || it.Len() != 0 {
+			t.Fatalf("empty sample batch: len %d err %v", it.Len(), err)
+		}
+		_, body = readOne(t, AppendVerdictBatch(nil, nil))
+		if it, err := ParseVerdictBatch(body); err != nil || it.Len() != 0 {
+			t.Fatalf("empty verdict batch: len %d err %v", it.Len(), err)
+		}
+	})
+}
+
+func TestBatchParseRejects(t *testing.T) {
+	// A count field promising more records than the body carries must
+	// be rejected even though the frame CRC holds.
+	overlong := []byte{0, 10, 0, 0, 0, 1}
+	if _, err := ParseSampleBatch(overlong, 4); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("overlong sample count: got %v", err)
+	}
+	if _, err := ParseVerdictBatch(overlong); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("overlong verdict count: got %v", err)
+	}
+	// A body torn mid-record.
+	full := AppendSampleBatch(nil, []uint32{1, 2}, []uint64{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+	body := full[headerSize : len(full)-crcSize]
+	if _, err := ParseSampleBatch(body[:len(body)-5], 4); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("torn sample record: got %v", err)
+	}
+	// Width mismatch shifts every record boundary.
+	if _, err := ParseSampleBatch(body, 5); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("width mismatch: got %v", err)
+	}
+	// A count beyond MaxBatchRecords, body sized to match.
+	count := MaxBatchRecords + 1
+	big := make([]byte, 2+count*12)
+	big[0] = byte(count >> 8)
+	big[1] = byte(count)
+	if _, err := ParseSampleBatch(big, 1); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("count beyond MaxBatchRecords: got %v", err)
+	}
+}
+
+func TestHelloOKBatchingFlag(t *testing.T) {
+	// Legacy form: no flags byte, parses with Batching false.
+	plain := AppendHelloOK(nil, HelloOK{Resume: 5, Window: 32, Width: 4})
+	_, body := readOne(t, plain)
+	if len(body) != 8 {
+		t.Fatalf("non-batching HELLO_OK body %d bytes, want legacy 8", len(body))
+	}
+	got, err := ParseHelloOK(body)
+	if err != nil || got.Batching {
+		t.Fatalf("legacy parse: %+v err %v", got, err)
+	}
+	// Flagged form round-trips.
+	in := HelloOK{Resume: 5, Window: 32, Width: 4, Batching: true}
+	_, body = readOne(t, AppendHelloOK(nil, in))
+	if len(body) != 9 {
+		t.Fatalf("batching HELLO_OK body %d bytes, want 9", len(body))
+	}
+	if got, err = ParseHelloOK(body); err != nil || got != in {
+		t.Fatalf("flagged parse: %+v err %v", got, err)
+	}
+}
+
+func TestParseHelloVersions(t *testing.T) {
+	for v := byte(ProtoVersionMin); v <= ProtoVersion; v++ {
+		_, body := readOne(t, AppendHello(nil, Hello{Version: v, Width: 4, Tenant: "t", Stream: "s"}))
+		if h, err := ParseHello(body); err != nil || h.Version != v {
+			t.Fatalf("version %d: %+v err %v", v, h, err)
+		}
+	}
+	_, body := readOne(t, AppendHello(nil, Hello{Version: ProtoVersion + 1, Width: 4, Tenant: "t", Stream: "s"}))
+	if _, err := ParseHello(body); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("future version: got %v", err)
+	}
+}
+
+func TestSampleBatchLimit(t *testing.T) {
+	if got := SampleBatchLimit(4); got != MaxBatchRecords {
+		t.Fatalf("width 4 limit %d, want %d", got, MaxBatchRecords)
+	}
+	// Very wide vectors shrink the limit to what fits one frame.
+	limit := SampleBatchLimit(MaxWidth)
+	if limit < 1 || limit*(4+8*MaxWidth)+2+crcSize > MaxFrameBytes {
+		t.Fatalf("width %d limit %d does not fit a frame", MaxWidth, limit)
+	}
+}
+
 func TestFrameChecksumRejectsDamage(t *testing.T) {
-	wire := AppendSample(nil, 5, []uint64{1, 2, 3, 4})
-	for pos := 0; pos < len(wire); pos++ {
-		bad := append([]byte(nil), wire...)
-		bad[pos] ^= 0x40
-		_, _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(bad)), 0, nil)
-		if err == nil {
-			t.Fatalf("bit flip at byte %d went undetected", pos)
+	wires := [][]byte{
+		AppendSample(nil, 5, []uint64{1, 2, 3, 4}),
+		// One CRC covers every record of a batch: damage anywhere in
+		// the frame is detected exactly like single-frame damage.
+		AppendSampleBatch(nil, []uint32{5, 6}, []uint64{1, 2, 3, 4, 5, 6, 7, 8}, 4),
+		AppendVerdictBatch(nil, []Verdict{{Seq: 1, Interval: 1, Score: 0.5}, {Seq: 2, Interval: 2, Score: 1}}),
+	}
+	for wi, wire := range wires {
+		for pos := 0; pos < len(wire); pos++ {
+			bad := append([]byte(nil), wire...)
+			bad[pos] ^= 0x40
+			_, _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(bad)), 0, nil)
+			if err == nil {
+				t.Fatalf("wire %d: bit flip at byte %d went undetected", wi, pos)
+			}
 		}
 	}
 }

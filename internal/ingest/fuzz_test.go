@@ -29,6 +29,29 @@ func FuzzFrameDecode(f *testing.F) {
 	bad[len(bad)-1] ^= 0xFF
 	f.Add(bad)
 
+	// Batch frames (protocol v2): empty, small, and max-count batches.
+	f.Add(AppendSampleBatch(nil, nil, nil, 4))
+	f.Add(AppendSampleBatch(nil, []uint32{1, 2}, []uint64{1, 2, 3, 4, 5, 6, 7, 8}, 4))
+	maxSeqs := make([]uint32, MaxBatchRecords)
+	maxVals := make([]uint64, MaxBatchRecords)
+	for i := range maxSeqs {
+		maxSeqs[i] = uint32(i)
+		maxVals[i] = uint64(i) * 3
+	}
+	f.Add(AppendSampleBatch(nil, maxSeqs, maxVals, 1))
+	f.Add(AppendVerdictBatch(nil, nil))
+	f.Add(AppendVerdictBatch(nil, []Verdict{{Seq: 1, Interval: 1, Score: 0.25}, {Seq: 2, Interval: 2, Score: 0.75, Malware: true}}))
+	f.Add(AppendHelloOK(nil, HelloOK{Resume: 7, Window: 64, Width: 4, Batching: true}))
+	// CRC-valid batch frames whose bodies lie: a count promising more
+	// records than the body carries, and a body torn mid-record. The
+	// framing layer accepts them; the batch parsers must not.
+	overlong := []byte{0, 10, 0, 0, 0, 1} // count=10, one truncated record
+	f.Add(AppendFrame(nil, FrameSampleBatch, overlong))
+	f.Add(AppendFrame(nil, FrameVerdictBatch, overlong))
+	torn := AppendSampleBatch(nil, []uint32{1, 2}, []uint64{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+	tornBody := torn[headerSize : len(torn)-crcSize]
+	f.Add(AppendFrame(nil, FrameSampleBatch, tornBody[:len(tornBody)-5]))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		br := bufio.NewReader(bytes.NewReader(data))
 		var buf []byte
@@ -59,6 +82,16 @@ func FuzzFrameDecode(f *testing.F) {
 				}
 			case FrameVerdict:
 				ParseVerdict(body)
+			case FrameSampleBatch:
+				for w := 1; w <= 8; w++ {
+					if it, err := ParseSampleBatch(body, w); err == nil {
+						drainSampleBatch(t, &it, w)
+					}
+				}
+			case FrameVerdictBatch:
+				if it, err := ParseVerdictBatch(body); err == nil {
+					drainVerdictBatch(t, &it)
+				}
 			case FrameShed:
 				ParseShed(body)
 			case FrameRetry:
@@ -68,6 +101,68 @@ func FuzzFrameDecode(f *testing.F) {
 			case FrameError:
 				ParseError(body)
 			}
+		}
+	})
+}
+
+// drainSampleBatch iterates a validated batch to exhaustion, checking
+// the iterator honours its declared count exactly.
+func drainSampleBatch(t *testing.T, it *SampleBatch, w int) {
+	t.Helper()
+	want := it.Len()
+	buf := make([]uint64, w)
+	got := 0
+	for {
+		_, vals, ok := it.Next(buf)
+		if !ok {
+			break
+		}
+		if len(vals) != w {
+			t.Fatalf("sample batch record width %d, want %d", len(vals), w)
+		}
+		got++
+	}
+	if got != want {
+		t.Fatalf("sample batch yielded %d records, declared %d", got, want)
+	}
+}
+
+func drainVerdictBatch(t *testing.T, it *VerdictBatch) {
+	t.Helper()
+	want := it.Len()
+	got := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		got++
+	}
+	if got != want {
+		t.Fatalf("verdict batch yielded %d records, declared %d", got, want)
+	}
+}
+
+// FuzzBatchIterators feeds raw bodies (no framing) straight to the
+// batch record iterators — the surface the read loop trusts after CRC
+// — so structural lies (overlong counts, mid-record truncation) can
+// never panic or over-read regardless of how the bytes arrived.
+func FuzzBatchIterators(f *testing.F) {
+	f.Add([]byte{}, 4)
+	f.Add([]byte{0, 0}, 4)
+	f.Add([]byte{0, 10, 0, 0, 0, 1}, 4)
+	full := AppendSampleBatch(nil, []uint32{1, 2}, []uint64{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+	f.Add(append([]byte(nil), full[headerSize:len(full)-crcSize]...), 4)
+	vb := AppendVerdictBatch(nil, []Verdict{{Seq: 9, Interval: 9, Score: 1}})
+	f.Add(append([]byte(nil), vb[headerSize:len(vb)-crcSize]...), 1)
+	f.Fuzz(func(t *testing.T, body []byte, width int) {
+		if width < 1 || width > MaxWidth {
+			width = 1 + (width&0x7fffffff)%8
+		}
+		if it, err := ParseSampleBatch(body, width); err == nil {
+			drainSampleBatch(t, &it, width)
+		}
+		if it, err := ParseVerdictBatch(body); err == nil {
+			drainVerdictBatch(t, &it)
 		}
 	})
 }

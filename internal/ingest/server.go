@@ -155,6 +155,10 @@ type Server struct {
 	widthRejects  atomic.Int64
 	capRejects    atomic.Int64
 	redirects     atomic.Int64
+
+	writeCalls     atomic.Int64 // socket Write invocations (syscall proxy)
+	sampleBatches  atomic.Int64 // SAMPLE_BATCH frames decoded
+	verdictBatches atomic.Int64 // VERDICT_BATCH frames emitted
 }
 
 // NewServer validates cfg and builds a server. The engine is borrowed,
@@ -309,8 +313,7 @@ func (s *Server) deliverVerdict(ns *netStream, v Verdict) {
 		ns.undelivered.Add(1)
 		return
 	}
-	f := AppendVerdict(s.getBuf(), v)
-	c.send(f)
+	c.sendVerdict(v)
 }
 
 // streamFinished reacts to the engine finishing a stream: the tenant's
@@ -343,15 +346,33 @@ func (s *Server) slowEvict(c *conn) {
 }
 
 // conn is one TCP connection's state: the reader loop runs in
-// handleConn, a writer goroutine drains out, and done coordinates
-// shutdown without ever closing out (senders race detach).
+// handleConn, a writer goroutine coalesces and flushes everything
+// outbound, and done coordinates shutdown without ever closing out
+// (senders race detach).
+//
+// Outbound traffic splits into two bounded queues the writer drains
+// per wakeup: verdicts land in vq as structs (the writer encodes them,
+// batched when negotiated) and control frames (SHED, RETRY, DRAIN,
+// ERROR) ride out pre-framed. Either queue filling means the client
+// cannot keep up with its own verdict stream — vq-full evicts exactly
+// like the old outbox-full path.
 type conn struct {
 	srv  *Server
 	nc   net.Conn
 	ns   *netStream
 	ten  *tenant
 	out  chan []byte
+	wake chan struct{}
 	done chan struct{}
+
+	// batch is the HELLO-negotiated capability: this client parses
+	// SAMPLE_BATCH/VERDICT_BATCH frames (protocol v2+).
+	batch bool
+
+	vmu         sync.Mutex
+	vq          []Verdict // verdict ring buffer, capacity == OutboxDepth
+	vqHead, vqN int
+	vscratch    []Verdict // writer-owned drain scratch, capacity == len(vq)
 
 	closeOnce sync.Once
 	evicted   atomic.Bool
@@ -374,17 +395,39 @@ func (c *conn) close(hard bool) {
 	}
 }
 
-// send queues an outbound frame, evicting the connection when the
-// outbox is full (slow verdict reader).
-func (c *conn) send(f []byte) bool {
-	select {
-	case c.out <- f:
-		return true
-	default:
-		c.srv.putBuf(f)
+// sendVerdict queues one verdict for the writer to encode, evicting
+// the connection when the verdict queue is full (slow verdict reader —
+// the same bound the pre-batching outbox enforced).
+func (c *conn) sendVerdict(v Verdict) bool {
+	c.vmu.Lock()
+	if c.vqN == len(c.vq) {
+		c.vmu.Unlock()
 		c.srv.slowEvict(c)
 		return false
 	}
+	c.vq[(c.vqHead+c.vqN)%len(c.vq)] = v
+	c.vqN++
+	c.vmu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// takeVerdicts drains the verdict queue into the writer's scratch
+// slice (writer goroutine only; scratch capacity equals the queue's,
+// so one call empties it).
+func (c *conn) takeVerdicts() []Verdict {
+	c.vmu.Lock()
+	vs := c.vscratch[:0]
+	for c.vqN > 0 {
+		vs = append(vs, c.vq[c.vqHead])
+		c.vqHead = (c.vqHead + 1) % len(c.vq)
+		c.vqN--
+	}
+	c.vmu.Unlock()
+	return vs
 }
 
 // trySend queues a control frame best-effort: dropped (not evicting)
@@ -393,6 +436,10 @@ func (c *conn) send(f []byte) bool {
 func (c *conn) trySend(f []byte) bool {
 	select {
 	case c.out <- f:
+		select {
+		case c.wake <- struct{}{}:
+		default:
+		}
 		return true
 	case <-c.done:
 		c.srv.putBuf(f)
@@ -406,42 +453,111 @@ func (c *conn) trySend(f []byte) bool {
 // writeNow writes one frame synchronously — handshake replies, before
 // the writer goroutine exists.
 func (c *conn) writeNow(f []byte) error {
-	c.nc.SetWriteDeadline(c.srv.now().Add(c.srv.cfg.writeTimeout()))
+	defer c.srv.putBuf(f)
+	if err := c.nc.SetWriteDeadline(c.srv.now().Add(c.srv.cfg.writeTimeout())); err != nil {
+		return err
+	}
+	c.srv.writeCalls.Add(1)
 	_, err := c.nc.Write(f)
-	c.srv.putBuf(f)
 	return err
 }
 
-// writer drains the outbox. On done it flushes what is already queued,
-// then closes the socket.
-func (c *conn) writer() {
-	wt := c.srv.cfg.writeTimeout()
+// appendVerdicts encodes drained verdicts into buf: one VERDICT_BATCH
+// per VerdictBatchLimit records on batching connections with more than
+// one pending, single VERDICT frames otherwise (the only shape
+// protocol-v1 clients parse).
+func (c *conn) appendVerdicts(buf []byte, vs []Verdict) []byte {
+	for len(vs) > 0 {
+		if c.batch && len(vs) > 1 {
+			n := len(vs)
+			if n > VerdictBatchLimit {
+				n = VerdictBatchLimit
+			}
+			buf = AppendVerdictBatch(buf, vs[:n])
+			c.srv.verdictBatches.Add(1)
+			vs = vs[n:]
+			continue
+		}
+		buf = AppendVerdict(buf, vs[0])
+		vs = vs[1:]
+	}
+	return buf
+}
+
+// gather coalesces everything currently outbound into buf: queued
+// verdicts first (encoded, batched when negotiated), then every
+// control frame waiting in the outbox. Verdicts-first matters — a
+// DRAIN("finished") queued after a stream's last verdict must never
+// overtake it onto the wire.
+func (c *conn) gather(buf []byte) []byte {
+	buf = c.appendVerdicts(buf, c.takeVerdicts())
 	for {
 		select {
 		case f := <-c.out:
-			c.nc.SetWriteDeadline(time.Now().Add(wt))
-			_, err := c.nc.Write(f)
+			buf = append(buf, f...)
 			c.srv.putBuf(f)
-			if err != nil {
-				c.nc.Close()
+		default:
+			return buf
+		}
+	}
+}
+
+// flush writes the coalesced buffer with one deadline and one Write
+// call. A deadline or write failure closes the socket and reports
+// false (the writer exits).
+func (c *conn) flush(buf []byte) bool {
+	if err := c.nc.SetWriteDeadline(c.srv.now().Add(c.srv.cfg.writeTimeout())); err != nil {
+		c.nc.Close()
+		return false
+	}
+	c.srv.writeCalls.Add(1)
+	if _, err := c.nc.Write(buf); err != nil {
+		c.nc.Close()
+		return false
+	}
+	return true
+}
+
+// writer coalesces outbound traffic: each wakeup greedily drains the
+// verdict queue and the control outbox into one buffer and flushes it
+// with a single SetWriteDeadline + Write — wire cost O(flush), not
+// O(frame). On done it flushes whatever is queued (soft close: a
+// partially coalesced buffer still reaches the client), then closes
+// the socket.
+func (c *conn) writer() {
+	wbuf := make([]byte, 0, 4096)
+	for {
+		select {
+		case <-c.wake:
+		case f := <-c.out:
+			// Verdicts queued before this control frame must hit the
+			// wire first (see gather).
+			wbuf = c.appendVerdicts(wbuf[:0], c.takeVerdicts())
+			wbuf = append(wbuf, f...)
+			c.srv.putBuf(f)
+			wbuf = c.gather(wbuf)
+			if !c.flush(wbuf) {
 				return
 			}
+			continue
 		case <-c.done:
 			for {
-				select {
-				case f := <-c.out:
-					c.nc.SetWriteDeadline(time.Now().Add(wt))
-					if _, err := c.nc.Write(f); err != nil {
-						c.srv.putBuf(f)
-						c.nc.Close()
-						return
-					}
-					c.srv.putBuf(f)
-				default:
+				wbuf = c.gather(wbuf[:0])
+				if len(wbuf) == 0 {
 					c.nc.Close()
 					return
 				}
+				if !c.flush(wbuf) {
+					return
+				}
 			}
+		}
+		wbuf = c.gather(wbuf[:0])
+		if len(wbuf) == 0 {
+			continue
+		}
+		if !c.flush(wbuf) {
+			return
 		}
 	}
 }
@@ -450,11 +566,15 @@ func (c *conn) writer() {
 // read loop, cleanup.
 func (s *Server) handleConn(nc net.Conn) {
 	s.connsAccepted.Add(1)
+	depth := s.cfg.outboxDepth()
 	c := &conn{
-		srv:  s,
-		nc:   nc,
-		out:  make(chan []byte, s.cfg.outboxDepth()),
-		done: make(chan struct{}),
+		srv:      s,
+		nc:       nc,
+		out:      make(chan []byte, depth),
+		wake:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		vq:       make([]Verdict, depth),
+		vscratch: make([]Verdict, 0, depth),
 	}
 
 	if n := s.connCount.Add(1); n > int64(s.cfg.maxConns()) {
@@ -528,6 +648,10 @@ func (s *Server) handshake(c *conn, br *bufio.Reader) bool {
 		c.writeNow(AppendError(s.getBuf(), err.Error()))
 		return false
 	}
+	// Negotiate batch framing: protocol v2+ clients parse (and may
+	// send) batch frames; v1 clients get the legacy single-frame wire
+	// format end to end.
+	c.batch = h.Version >= 2
 
 	if s.draining.Load() {
 		s.drainRejects.Add(1)
@@ -574,7 +698,7 @@ func (s *Server) handshake(c *conn, br *bufio.Reader) bool {
 		}
 		c.ns = ns
 		s.reattaches.Add(1)
-		if err := c.writeNow(AppendHelloOK(s.getBuf(), HelloOK{Resume: int(resume), Window: s.cfg.window(), Width: s.cfg.Width})); err != nil {
+		if err := c.writeNow(AppendHelloOK(s.getBuf(), HelloOK{Resume: int(resume), Window: s.cfg.window(), Width: s.cfg.Width, Batching: c.batch})); err != nil {
 			return false
 		}
 		return true
@@ -633,7 +757,7 @@ func (s *Server) handshake(c *conn, br *bufio.Reader) bool {
 	s.streams[key] = ns
 	s.mu.Unlock()
 	s.admissions.Add(1)
-	if err := c.writeNow(AppendHelloOK(s.getBuf(), HelloOK{Resume: int(resume), Window: s.cfg.window(), Width: s.cfg.Width})); err != nil {
+	if err := c.writeNow(AppendHelloOK(s.getBuf(), HelloOK{Resume: int(resume), Window: s.cfg.window(), Width: s.cfg.Width, Batching: c.batch})); err != nil {
 		return false
 	}
 	return true
@@ -694,6 +818,50 @@ func (s *Server) readLoop(c *conn, br *bufio.Reader) {
 			if res := ns.admit(seq, vals); res.shed {
 				c.trySend(AppendShed(s.getBuf(), Shed{Count: 1, LastSeq: res.shedSeq}))
 			}
+		case FrameSampleBatch:
+			if !c.batch {
+				s.protoErrors.Add(1)
+				c.trySend(AppendError(s.getBuf(), "batch framing not negotiated (HELLO version < 2)"))
+				c.close(false)
+				return
+			}
+			it, perr := ParseSampleBatch(body, s.cfg.Width)
+			if perr != nil {
+				s.wireErrors.Add(1)
+				s.connsEvicted.Add(1)
+				c.trySend(AppendError(s.getBuf(), perr.Error()))
+				c.close(false)
+				return
+			}
+			s.sampleBatches.Add(1)
+			// Per-record admission matches the single-frame path exactly;
+			// shed and throttle notices aggregate to one frame per batch
+			// so notice traffic stays O(batch) too.
+			var (
+				shed      Shed
+				throttled int
+			)
+			for {
+				seq, vals, ok := it.Next(vbuf)
+				if !ok {
+					break
+				}
+				if !t.admitSample() {
+					ns.throttled.Add(1)
+					throttled++
+					continue
+				}
+				if res := ns.admit(seq, vals); res.shed {
+					shed.Count++
+					shed.LastSeq = res.shedSeq
+				}
+			}
+			if throttled > 0 {
+				c.trySend(AppendRetry(s.getBuf(), Retry{AfterMillis: s.cfg.retryMillis(), Reason: "tenant sample rate"}))
+			}
+			if shed.Count > 0 {
+				c.trySend(AppendShed(s.getBuf(), shed))
+			}
 		case FrameBye:
 			// Clean end of stream: buffered samples still score; the
 			// engine's finish path sends DRAIN("finished") and closes.
@@ -744,6 +912,14 @@ type Stats struct {
 	VerdictsHeld        int64
 	VerdictsUndelivered int64
 
+	// WriteSyscalls counts socket Write invocations (coalesced flushes
+	// and handshake replies); with batch framing it amortizes to a
+	// small fraction of a call per sample. SampleBatches/VerdictBatches
+	// count batch frames decoded/emitted.
+	WriteSyscalls  int64
+	SampleBatches  int64
+	VerdictBatches int64
+
 	Tenants   []TenantStats
 	PerStream []StreamStats `json:",omitempty"`
 }
@@ -766,6 +942,9 @@ func (s *Server) StatsSnapshot(includeStreams bool) Stats {
 		WidthRejects:        s.widthRejects.Load(),
 		CapRejects:          s.capRejects.Load(),
 		Redirects:           s.redirects.Load(),
+		WriteSyscalls:       s.writeCalls.Load(),
+		SampleBatches:       s.sampleBatches.Load(),
+		VerdictBatches:      s.verdictBatches.Load(),
 	}
 	s.mu.Lock()
 	st.Streams = len(s.streams)

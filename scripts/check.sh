@@ -22,8 +22,14 @@ go test -run TestChaos -short ./internal/experiments
 # Ingest chaos drill: real loopback TCP clients under seeded wire
 # faults, client crashes, a quota storm and a mid-run drain/restart;
 # gap-free timelines and bit-identical post-recovery verdicts gated
-# under the race detector.
-go test -race -run TestIngestChaos -short ./internal/experiments
+# under the race detector — once over the v1 single-frame wire and
+# once over the batched wire (TestIngestChaosBatched).
+go test -race -run 'TestIngestChaos|TestIngestChaosBatched' -short ./internal/experiments
+# Wire-capacity smoke: the unpaced blast mode in both planes under the
+# race detector — checks the structural claims (exact settled
+# accounting, batching negotiated only on the batched pass, batch
+# frames actually on the wire), not throughput magnitudes.
+go test -race -run 'TestIngestCapacitySmoke|TestClusterCapacitySmoke' -short ./internal/experiments
 # Compiled-equivalence gate: every compiled kernel must produce
 # bit-identical verdicts to its interpreted model (unit equivalence in
 # compiled, chain/checkpoint/replicator equivalence in core), under the
@@ -41,9 +47,12 @@ go test -bench=BenchmarkInference -benchmem -benchtime=10x -run @ .
 go run ./cmd/hmd-bench -exp fleet -apps 2 -intervals 8 \
   -fleetstreams 8,32 -fleetintervals 50 -fleetout /tmp/check-fleet.json
 # Ingest smoke: the chaos drill + overload sweep through the real
-# hmd-bench entry point at reduced scale (loopback TCP throughout).
+# hmd-bench entry point at reduced scale (loopback TCP throughout),
+# with the capacity blast enabled so the batched-vs-v1 wire comparison
+# runs end to end through the CLI.
 go run ./cmd/hmd-bench -exp ingest -apps 2 -intervals 8 \
-  -ingeststreams 4 -ingestsamples 60 -ingestout /tmp/check-ingest.json
+  -ingeststreams 4 -ingestsamples 60 -capacity -capacityms 150 \
+  -ingestout /tmp/check-ingest.json
 # Compiled-backend smoke: the CompiledVsInterpreted benches print the
 # per-family numbers for the log (equivalence itself is gated by the
 # race-mode tests above).
