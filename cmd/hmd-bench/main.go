@@ -59,6 +59,7 @@ func main() {
 	fleetOut := flag.String("fleetout", "BENCH_FLEET.json", "output path of the -exp fleet report")
 	fleetStreams := flag.String("fleetstreams", "", "comma-separated stream counts for -exp fleet (default 16,64,256,512,1024)")
 	fleetIntervals := flag.Int("fleetintervals", 0, "intervals per stream for -exp fleet (default 200)")
+	fleetDensity := flag.String("fleetdensity", "", "comma-separated stream counts for the -exp fleet density sweep (default 1024,2048,4096,8192; 'skip' omits it)")
 	ingestOut := flag.String("ingestout", "BENCH_INGEST.json", "output path of the -exp ingest report")
 	ingestStreams := flag.Int("ingeststreams", 0, "concurrent TCP clients for -exp ingest (default 8)")
 	ingestSamples := flag.Int("ingestsamples", 0, "samples per client for -exp ingest (default 200)")
@@ -118,6 +119,15 @@ func main() {
 			fatal(fmt.Errorf("-fleetstreams: %w", err))
 		}
 		fleetCfg.StreamCounts = counts
+	}
+	if *fleetDensity == "skip" {
+		fleetCfg.SkipDensity = true
+	} else if *fleetDensity != "" {
+		counts, err := parseCounts(*fleetDensity)
+		if err != nil {
+			fatal(fmt.Errorf("-fleetdensity: %w", err))
+		}
+		fleetCfg.DensityCounts = counts
 	}
 	if *clusterNodes != "" {
 		counts, err := parseCounts(*clusterNodes)

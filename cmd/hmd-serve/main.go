@@ -53,9 +53,13 @@
 //	/stats    JSON snapshot: service phase, collection progress while
 //	          training, and the supervised pipeline's counters (restarts,
 //	          breaker trips, queue depths, drops, checkpoints). In fleet
-//	          mode: aggregate fleet counters, per-shard throughput and
-//	          latency percentiles, and per-stream detail (suppress the
-//	          per-stream section with /stats?streams=0). In ingest mode
+//	          mode: aggregate fleet counters and per-shard throughput,
+//	          latency percentiles (p50/p99/p999) and the interval-lag
+//	          histogram. The per-stream section is off by default (at
+//	          density it is the expensive part); /stats?streams=1
+//	          pages through it 256 streams at a time, with
+//	          &offset=N&limit=M selecting a window in admission order
+//	          (limit=-1 returns everything from offset). In ingest mode
 //	          additionally the ingest-plane counters
 //	/drainz   POST: start a graceful ingest drain (ingest mode only)
 //	/ingest/...  debug JSON ingest surface (ingest mode only)
@@ -119,6 +123,7 @@ func main() {
 	streams := flag.Int("streams", 0, "fleet mode: monitored streams served concurrently (0 = classic single-pipeline mode)")
 	shards := flag.Int("shards", 0, "fleet mode: worker shards (0 = GOMAXPROCS)")
 	streamInterval := flag.Duration("stream-interval", 10*time.Millisecond, "fleet mode: per-stream sampling interval (0 = unpaced)")
+	maxHarvest := flag.Int("max-harvest", 0, "fleet mode: max wheel ticks coalesced into one shard batch (0 = min(8, wheel slots), 1 = batch per tick)")
 	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof on the HTTP mux")
 	ingestAddr := flag.String("ingest", "", "ingest mode: TCP listen address for the binary ingest protocol (empty = off)")
 	ingestWindow := flag.Int("ingest-window", 0, "ingest mode: per-stream inflight sample window (0 = default 64)")
@@ -224,6 +229,7 @@ func main() {
 			interval:    *streamInterval,
 			policy:      overflow,
 			queueCap:    *queueCap,
+			maxHarvest:  *maxHarvest,
 			ckptDir:     *ckptDir,
 			ckptEvery:   *ckptEvery,
 			cluster:     *clusterAddr,
@@ -245,18 +251,19 @@ func main() {
 	// ---- Fleet mode: N concurrent streams over sharded workers ----
 	if *streams > 0 {
 		runFleet(ctx, srv, chain, fleetConfig{
-			streams:   *streams,
-			shards:    *shards,
-			interval:  *streamInterval,
-			policy:    overflow,
-			queueCap:  *queueCap,
-			ckptDir:   *ckptDir,
-			ckptEvery: *ckptEvery,
-			nApps:     *nApps,
-			intervals: *monIntervals,
-			loops:     *loops,
-			plan:      plan,
-			tier:      tier,
+			streams:    *streams,
+			shards:     *shards,
+			interval:   *streamInterval,
+			policy:     overflow,
+			queueCap:   *queueCap,
+			maxHarvest: *maxHarvest,
+			ckptDir:    *ckptDir,
+			ckptEvery:  *ckptEvery,
+			nApps:      *nApps,
+			intervals:  *monIntervals,
+			loops:      *loops,
+			plan:       plan,
+			tier:       tier,
 		})
 		return
 	}
@@ -332,18 +339,19 @@ func main() {
 
 // fleetConfig carries the fleet-mode flags.
 type fleetConfig struct {
-	streams   int
-	shards    int
-	interval  time.Duration
-	policy    supervise.OverflowPolicy
-	queueCap  int
-	ckptDir   string
-	ckptEvery int
-	nApps     int
-	intervals int
-	loops     int
-	plan      *faults.Plan
-	tier      core.Tier
+	streams    int
+	shards     int
+	interval   time.Duration
+	policy     supervise.OverflowPolicy
+	queueCap   int
+	maxHarvest int
+	ckptDir    string
+	ckptEvery  int
+	nApps      int
+	intervals  int
+	loops      int
+	plan       *faults.Plan
+	tier       core.Tier
 }
 
 // runFleet serves cfg.streams concurrent monitored streams through the
@@ -366,6 +374,7 @@ func runFleet(ctx context.Context, srv *service, chain *core.FallbackChain, cfg 
 		Interval:        cfg.interval,
 		Policy:          cfg.policy,
 		PendingBatches:  cfg.queueCap,
+		MaxHarvestTicks: cfg.maxHarvest,
 		Checkpoint:      store,
 		CheckpointEvery: cfg.ckptEvery,
 		Tier:            cfg.tier,
@@ -436,16 +445,17 @@ func runFleet(ctx context.Context, srv *service, chain *core.FallbackChain, cfg 
 
 // ingestModeConfig carries the ingest-mode flags.
 type ingestModeConfig struct {
-	addr      string
-	window    int
-	maxConns  int
-	quotas    ingest.Quotas
-	shards    int
-	interval  time.Duration
-	policy    supervise.OverflowPolicy
-	queueCap  int
-	ckptDir   string
-	ckptEvery int
+	addr       string
+	window     int
+	maxConns   int
+	quotas     ingest.Quotas
+	shards     int
+	interval   time.Duration
+	policy     supervise.OverflowPolicy
+	queueCap   int
+	maxHarvest int
+	ckptDir    string
+	ckptEvery  int
 
 	// Cluster membership (empty cluster = standalone ingest node).
 	cluster     string
@@ -477,6 +487,7 @@ func runIngest(ctx context.Context, srv *service, chain *core.FallbackChain, cfg
 		Interval:        cfg.interval,
 		Policy:          cfg.policy,
 		PendingBatches:  cfg.queueCap,
+		MaxHarvestTicks: cfg.maxHarvest,
 		Checkpoint:      store,
 		CheckpointEvery: cfg.ckptEvery,
 		Tier:            cfg.tier,
@@ -916,7 +927,7 @@ type coordinatorPayload struct {
 	Handoffs []cluster.Handoff        `json:"handoffs,omitempty"`
 }
 
-func (s *service) stats(perStream bool) statsPayload {
+func (s *service) stats(perStream bool, offset, limit int) statsPayload {
 	s.mu.Lock()
 	ready, app, loop, pipe, eng, ing := s.ready, s.app, s.loop, s.pipe, s.fleet, s.ingest
 	coord, agent := s.coord, s.agent
@@ -938,7 +949,12 @@ func (s *service) stats(perStream bool) statsPayload {
 		payload.Pipeline = &snap
 	}
 	if eng != nil {
-		snap := eng.Stats(perStream)
+		var snap fleet.Snapshot
+		if perStream {
+			snap = eng.StatsPage(offset, limit)
+		} else {
+			snap = eng.Stats(false)
+		}
 		payload.Fleet = &snap
 	}
 	if ing != nil {
@@ -1013,11 +1029,33 @@ func (s *service) serveHTTP(addr string, pprofOn bool) func() {
 		h.ServeHTTP(w, r)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		perStream := r.URL.Query().Get("streams") != "0"
+		// The per-stream section is opt-in and paginated: a fleet at
+		// density has thousands of streams, and dumping them all per
+		// scrape is exactly the kind of O(streams) control-plane cost
+		// the engine keeps off its hot path.
+		q := r.URL.Query()
+		perStream := q.Get("streams") != "" && q.Get("streams") != "0"
+		offset, limit := 0, 256
+		if v := q.Get("offset"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "offset must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			offset = n
+		}
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				http.Error(w, "limit must be an integer (-1 = all)", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(s.stats(perStream)); err != nil {
+		if err := enc.Encode(s.stats(perStream, offset, limit)); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

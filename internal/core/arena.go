@@ -1,0 +1,92 @@
+package core
+
+// Sibling arenas: slab allocation for fleet-scale chain state.
+//
+// A fleet shard owns the run-time chain state of thousands of streams,
+// and every 10 ms interval walks a swath of them — counter health,
+// verdict ring, feature scratch. Individually allocated siblings
+// scatter that state across the heap, so the per-interval walk is a
+// pointer chase with one cache miss per stream. A SiblingArena instead
+// carves every sibling's backing arrays out of large contiguous slabs,
+// chunked so that growing the arena never moves state already handed
+// out: streams admitted together land next to each other in memory, in
+// admission (and therefore harvest) order.
+
+// arenaChunkStreams is how many siblings one arena chunk provisions.
+const arenaChunkStreams = 256
+
+// arenaChunk is one contiguous allocation block. Slices handed to
+// siblings are full-capacity sub-slices (three-index expressions), so a
+// misbehaving append on one sibling can never bleed into its
+// neighbour's state.
+type arenaChunk struct {
+	chains []FallbackChain
+	health []counterHealth
+	floats []float64
+	bools  []bool
+}
+
+// SiblingArena allocates sibling chains of one template with all
+// run-time state laid out in contiguous slabs. Build one with
+// FallbackChain.NewSiblingArena; NewSibling is then a drop-in for
+// FallbackChain.NewSibling with the same safety contract (no model
+// evaluation, safe while another goroutine scores through the shared
+// models). An arena is not safe for concurrent use; callers serialise
+// NewSibling (the fleet engine admits streams under its own lock).
+// Sibling state is never reclaimed before the arena itself is
+// unreachable — the fleet's streams live for the engine's lifetime, so
+// nothing is ever handed back.
+type SiblingArena struct {
+	tmpl  *FallbackChain
+	chunk *arenaChunk
+	used  int
+}
+
+// NewSiblingArena returns an arena producing siblings of fc.
+func (fc *FallbackChain) NewSiblingArena() *SiblingArena {
+	return &SiblingArena{tmpl: fc}
+}
+
+// grow provisions a fresh chunk. Old chunks keep serving the siblings
+// already carved from them; only the arena's carve position moves.
+func (a *SiblingArena) grow() {
+	t := a.tmpl
+	perFloat := len(t.ring) + len(t.xbuf) + len(t.dist)
+	a.chunk = &arenaChunk{
+		chains: make([]FallbackChain, arenaChunkStreams),
+		health: make([]counterHealth, arenaChunkStreams*len(t.health)),
+		floats: make([]float64, arenaChunkStreams*perFloat),
+		bools:  make([]bool, arenaChunkStreams*len(t.bad)),
+	}
+	a.used = 0
+}
+
+// NewSibling carves the next sibling from the current chunk.
+func (a *SiblingArena) NewSibling() *FallbackChain {
+	if a.chunk == nil || a.used == arenaChunkStreams {
+		a.grow()
+	}
+	t := a.tmpl
+	c := a.chunk
+	i := a.used
+	a.used++
+
+	nh, nr, nx, nd, nb := len(t.health), len(t.ring), len(t.xbuf), len(t.dist), len(t.bad)
+	fo := i * (nr + nx + nd)
+	fc := &c.chains[i]
+	*fc = FallbackChain{
+		stages:    t.stages,
+		cfg:       t.cfg,
+		idx:       t.idx,
+		tier:      t.tier,
+		health:    c.health[i*nh : (i+1)*nh : (i+1)*nh],
+		ring:      c.floats[fo : fo+nr : fo+nr],
+		xbuf:      c.floats[fo+nr : fo+nr+nx : fo+nr+nx],
+		dist:      c.floats[fo+nr+nx : fo+nr+nx+nd : fo+nr+nx+nd],
+		bad:       c.bools[i*nb : (i+1)*nb : (i+1)*nb],
+		threshold: t.threshold,
+		badAfter:  t.badAfter,
+		goodAfter: t.goodAfter,
+	}
+	return fc
+}

@@ -135,6 +135,13 @@ type FallbackChain struct {
 	dist   []float64
 	bad    []bool
 
+	// threshold/badAfter/goodAfter are cfg's resolved values, hoisted at
+	// construction: Observe runs per stream per 10 ms interval, and
+	// re-deriving defaults there is measurable fleet-wide.
+	threshold float64
+	badAfter  int
+	goodAfter int
+
 	// evals[s] is stage s's compiled evaluator (nil for uncompilable
 	// models), built lazily on the first scored interval so sibling
 	// chains that never score themselves — fleet streams, whose shards
@@ -192,14 +199,17 @@ func NewFallbackChain(stages []*Detector, cfg ChainConfig) (*FallbackChain, erro
 		}
 	}
 	return &FallbackChain{
-		stages: stages,
-		cfg:    cfg,
-		idx:    idx,
-		health: make([]counterHealth, primary.HPCs()),
-		ring:   make([]float64, cfg.window()),
-		xbuf:   make([]float64, primary.HPCs()),
-		dist:   make([]float64, distLen),
-		bad:    make([]bool, primary.HPCs()),
+		stages:    stages,
+		cfg:       cfg,
+		idx:       idx,
+		health:    make([]counterHealth, primary.HPCs()),
+		ring:      make([]float64, cfg.window()),
+		xbuf:      make([]float64, primary.HPCs()),
+		dist:      make([]float64, distLen),
+		bad:       make([]bool, primary.HPCs()),
+		threshold: cfg.threshold(),
+		badAfter:  cfg.badAfter(),
+		goodAfter: cfg.goodAfter(),
 	}, nil
 }
 
@@ -236,15 +246,18 @@ func (fc *FallbackChain) Config() ChainConfig { return fc.cfg }
 // goroutine scores through the shared models.
 func (fc *FallbackChain) NewSibling() *FallbackChain {
 	return &FallbackChain{
-		stages: fc.stages,
-		cfg:    fc.cfg,
-		idx:    fc.idx,
-		tier:   fc.tier,
-		health: make([]counterHealth, len(fc.health)),
-		ring:   make([]float64, len(fc.ring)),
-		xbuf:   make([]float64, len(fc.xbuf)),
-		dist:   make([]float64, len(fc.dist)),
-		bad:    make([]bool, len(fc.bad)),
+		stages:    fc.stages,
+		cfg:       fc.cfg,
+		idx:       fc.idx,
+		tier:      fc.tier,
+		health:    make([]counterHealth, len(fc.health)),
+		ring:      make([]float64, len(fc.ring)),
+		xbuf:      make([]float64, len(fc.xbuf)),
+		dist:      make([]float64, len(fc.dist)),
+		bad:       make([]bool, len(fc.bad)),
+		threshold: fc.threshold,
+		badAfter:  fc.badAfter,
+		goodAfter: fc.goodAfter,
 	}
 }
 
@@ -318,22 +331,34 @@ func (fc *FallbackChain) selectStage(bad []bool) int {
 func (fc *FallbackChain) verdict(s float64) Verdict {
 	w := len(fc.ring)
 	fc.ring[fc.head] = s
-	fc.head = (fc.head + 1) % w
+	fc.head++
+	if fc.head == w {
+		fc.head = 0
+	}
 	if fc.filled < w {
 		fc.filled++
 	}
 	// Sum oldest-to-newest so the float accumulation order matches the
-	// historical append/trim implementation bit for bit.
+	// historical append/trim implementation bit for bit. The wrapped
+	// window is two contiguous runs, summed without per-element modulo
+	// — same element order, same float accumulation, no division chain.
 	mean := 0.0
 	start := fc.head - fc.filled
 	if start < 0 {
 		start += w
 	}
-	for i := 0; i < fc.filled; i++ {
-		mean += fc.ring[(start+i)%w]
+	n1 := fc.filled
+	if start+n1 > w {
+		n1 = w - start
+	}
+	for _, v := range fc.ring[start : start+n1] {
+		mean += v
+	}
+	for _, v := range fc.ring[:fc.filled-n1] {
+		mean += v
 	}
 	mean /= float64(fc.filled)
-	v := Verdict{Interval: fc.interval, Score: mean, Malware: mean >= fc.cfg.threshold()}
+	v := Verdict{Interval: fc.interval, Score: mean, Malware: mean >= fc.threshold}
 	fc.interval++
 	return v
 }
@@ -443,7 +468,7 @@ func (fc *FallbackChain) BeginObserve(values []uint64) (stage int, x []float64, 
 	bad := fc.bad
 	for c := range fc.health {
 		fc.health[c].observe(values[c])
-		bad[c] = fc.health[c].step(fc.cfg.badAfter(), fc.cfg.goodAfter())
+		bad[c] = fc.health[c].step(fc.badAfter, fc.goodAfter)
 	}
 	if s := fc.selectStage(bad); s != fc.active {
 		fc.transitions = append(fc.transitions, Transition{Interval: fc.interval, From: fc.active, To: s})

@@ -10,8 +10,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fleet"
-	"repro/internal/source"
 	"repro/internal/mlearn/zoo"
+	"repro/internal/source"
 	"repro/internal/supervise"
 )
 
@@ -36,6 +36,12 @@ type FleetBenchConfig struct {
 	// run at — N pipelines is 3N goroutines and N model replicas
 	// (default 256, where the headline comparison sits).
 	BaselineMax int
+	// DensityCounts is the stream-density sweep on the MLP-heavy chain,
+	// compiled vs quantized (default 1024, 2048, 4096, 8192). Empty
+	// slice means the default; set SkipDensity to omit the sweep.
+	DensityCounts []int
+	// SkipDensity omits the density sweep entirely.
+	SkipDensity bool
 }
 
 func (c FleetBenchConfig) streamCounts() []int {
@@ -43,6 +49,13 @@ func (c FleetBenchConfig) streamCounts() []int {
 		return c.StreamCounts
 	}
 	return []int{16, 64, 256, 512, 1024}
+}
+
+func (c FleetBenchConfig) densityCounts() []int {
+	if len(c.DensityCounts) > 0 {
+		return c.DensityCounts
+	}
+	return []int{1024, 2048, 4096, 8192}
 }
 
 func (c FleetBenchConfig) intervals() int {
@@ -75,6 +88,7 @@ type FleetPoint struct {
 	FleetIntervalsPerSec float64
 	FleetP50Micros       float64
 	FleetP99Micros       float64
+	FleetP999Micros      float64
 	// Sustains10ms: the engine clears 100 intervals/sec/stream — every
 	// stream can be served at the paper's 10 ms sampling interval.
 	Sustains10ms bool
@@ -85,6 +99,25 @@ type FleetPoint struct {
 	SpeedupX float64
 }
 
+// DensityPoint is one stream count's measurement in the density sweep:
+// the same workload served once through the compiled tier and once
+// through the quantized tier, on the MLP-heavy chain where fixed-point
+// inference has the most to win.
+type DensityPoint struct {
+	Streams                  int
+	CompiledIntervalsPerSec  float64
+	CompiledP999Micros       float64
+	QuantizedIntervalsPerSec float64
+	QuantizedP999Micros      float64
+	// QuantSpeedupX is quantized over compiled fleet throughput — the
+	// fleet-level win from the fixed-point tier.
+	QuantSpeedupX float64
+	// MaxStreams10ms is how many 10 ms streams the better tier's
+	// throughput covers (intervals/sec ÷ 100) — the node's density
+	// ceiling at this batch mix.
+	MaxStreams10ms int
+}
+
 // FleetReport is the fleet-serving benchmark, serialized to
 // BENCH_FLEET.json by hmd-bench -exp fleet.
 type FleetReport struct {
@@ -93,6 +126,10 @@ type FleetReport struct {
 	Shards    int
 	Intervals int
 	Points    []FleetPoint
+	// DensityChain/Density are the stream-density sweep: compiled vs
+	// quantized on an MLP-heavy chain (absent with SkipDensity).
+	DensityChain []string       `json:",omitempty"`
+	Density      []DensityPoint `json:",omitempty"`
 }
 
 // Fleet runs the multi-stream serving benchmark on the context's
@@ -116,37 +153,12 @@ func (ctx *Context) Fleet(cfg FleetBenchConfig) (*FleetReport, error) {
 	for _, n := range cfg.streamCounts() {
 		pt := FleetPoint{Streams: n}
 
-		e, err := fleet.New(fleet.Config{
-			Chain:          chain,
-			Shards:         cfg.shards(),
-			Policy:         supervise.Block,
-			PendingBatches: 8,
-		})
+		ivPerSec, wall, snap, err := fleetRun(chain, core.TierCompiled, n, cfg.intervals(), cfg.shards())
 		if err != nil {
 			return nil, err
 		}
-		for i := 0; i < n; i++ {
-			if err := e.Add(fleet.StreamConfig{
-				ID:        fmt.Sprintf("s%d", i),
-				Source:    source.NewSynthetic(uint64(i)+1, width),
-				Intervals: cfg.intervals(),
-			}); err != nil {
-				return nil, err
-			}
-		}
-		start := time.Now()
-		if err := e.Run(context.Background()); err != nil {
-			return nil, err
-		}
-		wall := time.Since(start)
-		snap := e.Stats(false)
-		want := int64(n * cfg.intervals())
-		if snap.Verdicts != want || snap.LostVerdicts != 0 {
-			return nil, fmt.Errorf("fleet bench at %d streams: %d verdicts (%d lost), want %d lossless",
-				n, snap.Verdicts, snap.LostVerdicts, want)
-		}
 		pt.FleetWallMillis = durMillis(wall)
-		pt.FleetIntervalsPerSec = float64(want) / wall.Seconds()
+		pt.FleetIntervalsPerSec = ivPerSec
 		for _, sh := range snap.Shards {
 			if sh.P50LatencyMicros > pt.FleetP50Micros {
 				pt.FleetP50Micros = sh.P50LatencyMicros
@@ -154,10 +166,14 @@ func (ctx *Context) Fleet(cfg FleetBenchConfig) (*FleetReport, error) {
 			if sh.P99LatencyMicros > pt.FleetP99Micros {
 				pt.FleetP99Micros = sh.P99LatencyMicros
 			}
+			if sh.P999LatencyMicros > pt.FleetP999Micros {
+				pt.FleetP999Micros = sh.P999LatencyMicros
+			}
 		}
 		pt.Sustains10ms = pt.FleetIntervalsPerSec >= float64(100*n)
 
 		if n <= cfg.baselineMax() {
+			want := int64(n * cfg.intervals())
 			baseWall, err := pipelineBaseline(replicate, n, cfg.intervals(), width)
 			if err != nil {
 				return nil, err
@@ -168,7 +184,90 @@ func (ctx *Context) Fleet(cfg FleetBenchConfig) (*FleetReport, error) {
 		}
 		rep.Points = append(rep.Points, pt)
 	}
+
+	if !cfg.SkipDensity {
+		// Density sweep: how many 10 ms streams one node covers, and
+		// what the quantized tier buys at fleet level. The chain is
+		// MLP-heavy — dense matrix work per score — because that is
+		// where fixed-point inference pays; tree forests are already
+		// branch-bound and quantize to roughly the same cost.
+		mlp, err := ctx.Builder.BuildChain("MLP", zoo.General, []int{4, 2}, core.ChainConfig{})
+		if err != nil {
+			return nil, err
+		}
+		for s := 0; s <= mlp.Stages(); s++ {
+			rep.DensityChain = append(rep.DensityChain, mlp.StageName(s))
+		}
+		for _, n := range cfg.densityCounts() {
+			dp := DensityPoint{Streams: n}
+			comp, _, csnap, err := fleetRun(mlp, core.TierCompiled, n, cfg.intervals(), cfg.shards())
+			if err != nil {
+				return nil, err
+			}
+			quant, _, qsnap, err := fleetRun(mlp, core.TierQuantized, n, cfg.intervals(), cfg.shards())
+			if err != nil {
+				return nil, err
+			}
+			dp.CompiledIntervalsPerSec = comp
+			dp.QuantizedIntervalsPerSec = quant
+			for _, sh := range csnap.Shards {
+				if sh.P999LatencyMicros > dp.CompiledP999Micros {
+					dp.CompiledP999Micros = sh.P999LatencyMicros
+				}
+			}
+			for _, sh := range qsnap.Shards {
+				if sh.P999LatencyMicros > dp.QuantizedP999Micros {
+					dp.QuantizedP999Micros = sh.P999LatencyMicros
+				}
+			}
+			dp.QuantSpeedupX = quant / comp
+			best := comp
+			if quant > best {
+				best = quant
+			}
+			dp.MaxStreams10ms = int(best / 100)
+			rep.Density = append(rep.Density, dp)
+		}
+	}
 	return rep, nil
+}
+
+// fleetRun serves n synthetic streams x intervals verdicts through one
+// fleet engine at the given tier (unpaced, lossless Block) and returns
+// the throughput, wall time and final snapshot.
+func fleetRun(chain *core.FallbackChain, tier core.Tier, n, intervals, shards int) (ivPerSec float64, wall time.Duration, snap fleet.Snapshot, err error) {
+	e, err := fleet.New(fleet.Config{
+		Chain:          chain,
+		Shards:         shards,
+		Policy:         supervise.Block,
+		PendingBatches: 8,
+		Tier:           tier,
+	})
+	if err != nil {
+		return 0, 0, snap, err
+	}
+	width := len(chain.Events())
+	for i := 0; i < n; i++ {
+		if err := e.Add(fleet.StreamConfig{
+			ID:        fmt.Sprintf("s%d", i),
+			Source:    source.NewSynthetic(uint64(i)+1, width),
+			Intervals: intervals,
+		}); err != nil {
+			return 0, 0, snap, err
+		}
+	}
+	start := time.Now()
+	if err := e.Run(context.Background()); err != nil {
+		return 0, 0, snap, err
+	}
+	wall = time.Since(start)
+	snap = e.Stats(false)
+	want := int64(n * intervals)
+	if snap.Verdicts != want || snap.LostVerdicts != 0 {
+		return 0, 0, snap, fmt.Errorf("fleet bench at %d streams (%s): %d verdicts (%d lost), want %d lossless",
+			n, tier, snap.Verdicts, snap.LostVerdicts, want)
+	}
+	return float64(want) / wall.Seconds(), wall, snap, nil
 }
 
 // pipelineBaseline serves the same workload as one supervised pipeline
@@ -233,20 +332,30 @@ func RenderFleet(r *FleetReport) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Fleet serving benchmark (%s; %d shards, %d intervals/stream)\n",
 		strings.Join(r.Chain, " -> "), r.Shards, r.Intervals)
-	sb.WriteString("  streams   fleet iv/s   p50 us   p99 us   10ms?   baseline iv/s   speedup\n")
+	sb.WriteString("  streams   fleet iv/s   p50 us   p99 us   p999 us   10ms?   baseline iv/s   speedup\n")
 	for _, p := range r.Points {
 		sustains := "no"
 		if p.Sustains10ms {
 			sustains = "yes"
 		}
 		if p.BaselineIntervalsPerSec > 0 {
-			fmt.Fprintf(&sb, "  %7d   %10.0f   %6.0f   %6.0f   %5s   %13.0f   %6.2fx\n",
+			fmt.Fprintf(&sb, "  %7d   %10.0f   %6.0f   %6.0f   %7.0f   %5s   %13.0f   %6.2fx\n",
 				p.Streams, p.FleetIntervalsPerSec, p.FleetP50Micros, p.FleetP99Micros,
-				sustains, p.BaselineIntervalsPerSec, p.SpeedupX)
+				p.FleetP999Micros, sustains, p.BaselineIntervalsPerSec, p.SpeedupX)
 		} else {
-			fmt.Fprintf(&sb, "  %7d   %10.0f   %6.0f   %6.0f   %5s   %13s   %7s\n",
+			fmt.Fprintf(&sb, "  %7d   %10.0f   %6.0f   %6.0f   %7.0f   %5s   %13s   %7s\n",
 				p.Streams, p.FleetIntervalsPerSec, p.FleetP50Micros, p.FleetP99Micros,
-				sustains, "-", "-")
+				p.FleetP999Micros, sustains, "-", "-")
+		}
+	}
+	if len(r.Density) > 0 {
+		fmt.Fprintf(&sb, "Stream-density sweep (%s; compiled vs quantized)\n",
+			strings.Join(r.DensityChain, " -> "))
+		sb.WriteString("  streams   compiled iv/s   quant iv/s   quant win   p999 c/q us   max 10ms streams\n")
+		for _, p := range r.Density {
+			fmt.Fprintf(&sb, "  %7d   %13.0f   %10.0f   %8.2fx   %5.0f/%-5.0f   %16d\n",
+				p.Streams, p.CompiledIntervalsPerSec, p.QuantizedIntervalsPerSec,
+				p.QuantSpeedupX, p.CompiledP999Micros, p.QuantizedP999Micros, p.MaxStreams10ms)
 		}
 	}
 	return sb.String()

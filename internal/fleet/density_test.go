@@ -1,0 +1,232 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/source"
+	"repro/internal/supervise"
+)
+
+// TestRingZeroAlloc gates the wheel→shard hand-off itself at zero heap
+// allocations: stage/publish/claim/consume cycles reuse the ring's
+// resident batches, and a DropOldest shed cycle reuses the shed slot
+// without allocating either.
+func TestRingZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+
+	q := newSPSCRing(4, supervise.Block)
+	cycle := func() {
+		rb, shed, err := q.stage(ctx)
+		if err != nil || shed != nil {
+			t.Fatalf("stage: batch=%v shed=%v err=%v", rb, shed, err)
+		}
+		rb.entries = rb.entries[:0]
+		q.publish()
+		b, ok := q.tryGet()
+		if !ok {
+			t.Fatal("published batch not claimable")
+		}
+		_ = b
+		q.consumed()
+	}
+	cycle() // warm
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Fatalf("ring stage/publish/get/consume allocates %.2f, want 0", allocs)
+	}
+
+	// DropOldest at logical capacity: every stage sheds the oldest
+	// published batch, and the consumer's claim skips the shed slot.
+	// The whole overloaded steady state — shed, publish, skip, claim,
+	// consume — must recycle slots allocation-free too.
+	qd := newSPSCRing(2, supervise.DropOldest)
+	for i := 0; i < 2; i++ {
+		if _, _, err := qd.stage(ctx); err != nil {
+			t.Fatal(err)
+		}
+		qd.publish()
+	}
+	shedCycle := func() {
+		rb, shed, err := qd.stage(ctx)
+		if err != nil {
+			t.Fatalf("stage under shed: %v", err)
+		}
+		if shed == nil {
+			t.Fatal("full DropOldest ring did not shed")
+		}
+		rb.entries = rb.entries[:0]
+		qd.publish()
+		// The slow consumer claims one batch, hopping over the slot
+		// just shed; without it, head never advances and the producer
+		// hits the ring's bounded physical backpressure.
+		if _, ok := qd.tryGet(); !ok {
+			t.Fatal("no claimable batch in overloaded ring")
+		}
+		qd.consumed()
+		// Refill to logical capacity so the next cycle sheds again.
+		rb, shed, err = qd.stage(ctx)
+		if err != nil || shed != nil {
+			t.Fatalf("refill stage: shed=%v err=%v", shed, err)
+		}
+		rb.entries = rb.entries[:0]
+		qd.publish()
+	}
+	shedCycle() // warm
+	if allocs := testing.AllocsPerRun(200, shedCycle); allocs != 0 {
+		t.Fatalf("ring shed cycle allocates %.2f, want 0", allocs)
+	}
+}
+
+// TestFleetDensityChurn is the high-stream-count churn workout (run
+// under -race by scripts/check.sh): thousands of bounded streams
+// running to their horizon while extra unbounded streams are added and
+// removed concurrently and paginated stats readers walk the per-stream
+// table. The engine must drain cleanly, every bounded verdict must be
+// emitted losslessly, and pagination must tile the stream list exactly.
+func TestFleetDensityChurn(t *testing.T) {
+	const (
+		bounded   = 2048
+		churn     = 128
+		intervals = 20
+	)
+	e := newTestEngine(t, Config{
+		NewChain:   stubChainFactory(),
+		Shards:     4,
+		WheelSlots: 32,
+		Policy:     supervise.Block,
+	})
+	for i := 0; i < bounded; i++ {
+		if err := e.Add(StreamConfig{
+			ID:        fmt.Sprintf("d%04d", i),
+			Source:    source.NewSynthetic(uint64(i)+1, 4),
+			Intervals: intervals,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An unbounded anchor keeps the engine from draining before the
+	// churners finish; it is removed once they do.
+	if err := e.Add(StreamConfig{ID: "anchor", Source: source.NewSynthetic(9999, 4)}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	runErr := make(chan error, 1)
+	go func() { runErr <- e.Run(ctx) }()
+
+	var churnWG sync.WaitGroup
+	var added atomic.Int64
+	// Churners: add unbounded streams mid-run, then remove them.
+	for g := 0; g < 4; g++ {
+		churnWG.Add(1)
+		go func(g int) {
+			defer churnWG.Done()
+			for k := 0; k < churn/4; k++ {
+				id := fmt.Sprintf("churn%d-%d", g, k)
+				if err := e.Add(StreamConfig{
+					ID:     id,
+					Source: source.NewSynthetic(uint64(g*1000+k)+1, 4),
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				added.Add(1)
+				if err := e.Remove(id); err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	// A paginated stats reader riding along.
+	stopStats := make(chan struct{})
+	var statsWG sync.WaitGroup
+	statsWG.Add(1)
+	go func() {
+		defer statsWG.Done()
+		for {
+			select {
+			case <-stopStats:
+				return
+			default:
+			}
+			var seen int
+			for off := 0; ; off += 256 {
+				page := e.StatsPage(off, 256)
+				seen += len(page.PerStream)
+				if page.PerStreamOffset != off && len(page.PerStream) > 0 {
+					t.Errorf("page offset %d reported as %d", off, page.PerStreamOffset)
+					return
+				}
+				if off+256 >= page.PerStreamTotal {
+					// Streams may be added between pages, so a walk can
+					// undercount against the final total — never over.
+					if seen > page.PerStreamTotal {
+						t.Errorf("pages yielded %d streams, total %d", seen, page.PerStreamTotal)
+						return
+					}
+					break
+				}
+			}
+		}
+	}()
+
+	churnWG.Wait()
+	close(stopStats)
+	statsWG.Wait()
+	if err := e.Remove("anchor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-runErr; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	snap := e.Stats(false)
+	if snap.Streams != bounded+1+int(added.Load()) {
+		t.Fatalf("Streams = %d, want %d", snap.Streams, bounded+1+int(added.Load()))
+	}
+	if snap.Live != 0 {
+		t.Fatalf("Live = %d after drain, want 0", snap.Live)
+	}
+	if snap.Verdicts < int64(bounded*intervals) {
+		t.Fatalf("Verdicts = %d, want >= %d", snap.Verdicts, bounded*intervals)
+	}
+	// Every bounded stream ran losslessly to its horizon under Block.
+	full := e.Stats(true)
+	if len(full.PerStream) != snap.Streams {
+		t.Fatalf("Stats(true) returned %d streams, want %d", len(full.PerStream), snap.Streams)
+	}
+	for _, ss := range full.PerStream {
+		if ss.Removed {
+			continue
+		}
+		if ss.Verdicts != intervals || ss.LostVerdicts != 0 {
+			t.Fatalf("stream %s: %d verdicts (%d lost), want %d lossless",
+				ss.ID, ss.Verdicts, ss.LostVerdicts, intervals)
+		}
+	}
+
+	// Pagination tiles the final stream list exactly, in admission
+	// order, with no stream repeated or skipped.
+	seen := make(map[string]bool, snap.Streams)
+	order := 0
+	for off := 0; off < snap.Streams; off += 300 {
+		page := e.StatsPage(off, 300)
+		if page.PerStreamTotal != snap.Streams {
+			t.Fatalf("PerStreamTotal = %d, want %d", page.PerStreamTotal, snap.Streams)
+		}
+		for _, ss := range page.PerStream {
+			if seen[ss.ID] {
+				t.Fatalf("stream %s appears in two pages", ss.ID)
+			}
+			seen[ss.ID] = true
+			order++
+		}
+	}
+	if order != snap.Streams {
+		t.Fatalf("pages covered %d streams, want %d", order, snap.Streams)
+	}
+}

@@ -6,10 +6,10 @@
 // The shape of the engine:
 //
 //		            ┌── timer wheel (one ticker for every stream) ──┐
-//		            │ slot 0: s0 s4 s8 …   slot 1: s1 s5 s9 …   …   │
+//		            │ slot 0: h0 h4 h8 …   slot 1: h1 h5 h9 …   …   │
 //		            └──────┬────────────────────┬───────────────────┘
-//		              batch │ (due streams)      │
-//		                    ▼                    ▼
+//		     staged batch  │ (due streams)      │  per-shard SPSC ring
+//		                   ▼                    ▼
 //		            [shard 0]            [shard 1]      … [shard M-1]
 //		          chain replica         chain replica
 //		          per-stage Batcher     per-stage Batcher
@@ -20,22 +20,37 @@
 //	    are spread round-robin over the wheel's slots, the wheel ticks
 //	    once per slot, and a full rotation harvests every live stream
 //	    exactly once. One ticker total, not one per stream.
-//	  - Each tick, the due streams' work is batched per owning shard and
-//	    queued. The shard reads each source, runs the chain's
-//	    BeginObserve half (health, stage selection, feature gather), then
-//	    scores all gathered vectors in one Batcher pass per stage —
-//	    cross-stream batched inference over the shard's model replica —
-//	    and demuxes the scores back through each stream's CommitScore.
-//	    The split pair is bit-identical to FallbackChain.Observe, so a
-//	    fleet stream's verdicts match a dedicated pipeline's exactly
-//	    (under the Block policy).
+//	  - The wheel's bookkeeping is dense: slots hold int32 handles into
+//	    chunked slabs of stream records, and stream chain state is carved
+//	    from per-shard arenas in admission order, so a harvest pass walks
+//	    contiguous memory. String IDs exist only at the admission,
+//	    removal and checkpoint boundaries.
+//	  - Each tick, the due streams are appended in place to a per-shard
+//	    staging batch. An adaptive controller decides when to hand the
+//	    batch over: a shard that keeps up gets a batch per tick (lowest
+//	    latency), a backlogged shard gets batches coalesced across
+//	    several ticks (amortised hand-off and inference), and every
+//	    rotation boundary force-flushes so a batch never carries the same
+//	    stream twice. The hand-off itself is a fixed single-producer/
+//	    single-consumer ring per shard: batches stay resident in the
+//	    ring's slots and only entry slices are swapped, so the wheel →
+//	    shard path is a few atomics, no mutex, no channel hop.
+//	  - The shard reads each source, runs the chain's BeginObserve half
+//	    (health, stage selection, feature gather), then scores all
+//	    gathered vectors in one Batcher pass per stage — cross-stream
+//	    batched inference over the shard's model replica — and demuxes
+//	    the scores back through each stream's CommitScore. The split pair
+//	    is bit-identical to FallbackChain.Observe, so a fleet stream's
+//	    verdicts match a dedicated pipeline's exactly (under the Block
+//	    policy).
 //	  - Chain state is per stream; trained models are per shard. Models
 //	    reuse internal scratch (one scratch owner per goroutine), so each
 //	    shard gets a full replica via core.NewChainReplicator and every
 //	    stream's chain is assembled from its shard's detectors.
-//	  - Steady state allocates nothing per interval per stream: batches,
-//	    sample buffers and scoring matrices all recycle through per-shard
-//	    free lists, and the wheel's bookkeeping is fixed-size.
+//	  - Steady state allocates nothing per interval per stream: staging
+//	    batches and ring slots reuse their entry storage, sample buffers
+//	    and scoring matrices are per-shard scratch, and the wheel's
+//	    bookkeeping is fixed-size.
 //	  - The PR 2 supervision vocabulary carries over per stream: a
 //	    circuit breaker per source, lost-interval repair through the
 //	    chain's hold-last path, drop-oldest shedding with lag accounting
@@ -92,14 +107,20 @@ type Config struct {
 	// rotation period, the paper's 10 ms. 0 runs unpaced (benchmarks:
 	// rotations proceed as fast as the shards drain them).
 	Interval time.Duration
-	// Policy is the shard-queue backpressure policy: Block (lossless,
+	// Policy is the shard-ring backpressure policy: Block (lossless,
 	// deterministic verdict streams) or DropOldest (shed whole batches
 	// when a shard lags; the holes are repaired with hold-last
 	// verdicts).
 	Policy supervise.OverflowPolicy
-	// PendingBatches bounds each shard's queue, in batches (<=0 means
-	// 4).
+	// PendingBatches bounds each shard's ring, in published batches
+	// (<=0 means 4).
 	PendingBatches int
+	// MaxHarvestTicks caps how many wheel ticks the adaptive batch
+	// controller may coalesce into one shard batch (<=0 means
+	// min(8, WheelSlots); 1 pins the legacy batch-per-tick behaviour).
+	// Coalescing never crosses a rotation boundary, so a batch carries
+	// each stream at most once regardless of the cap.
+	MaxHarvestTicks int
 	// Breaker is the default per-stream circuit breaker configuration.
 	Breaker supervise.BreakerConfig
 	// Checkpoint, when set, receives periodic fleet-wide chain-state
@@ -108,9 +129,6 @@ type Config struct {
 	// CheckpointEvery is the number of wheel rotations between fleet
 	// checkpoints (<=0 means 64).
 	CheckpointEvery int
-	// DebugBuffers turns on the shard buffer pools' guarded debug mode
-	// (double-put panics, poisoning). Tests only: it allocates.
-	DebugBuffers bool
 	// Interpreted pins every shard batcher to the interpreted scoring
 	// path even when the template's models compile. The compiled path
 	// is the default; this knob exists for baselines (perf comparisons)
@@ -155,6 +173,18 @@ func (c Config) pendingBatches() int {
 	return 4
 }
 
+func (c Config) maxHarvestTicks() int {
+	slots := c.wheelSlots()
+	m := c.MaxHarvestTicks
+	if m <= 0 {
+		m = 8
+	}
+	if m > slots {
+		m = slots
+	}
+	return m
+}
+
 func (c Config) checkpointEvery() int {
 	if c.CheckpointEvery > 0 {
 		return c.CheckpointEvery
@@ -195,10 +225,31 @@ type StreamConfig struct {
 	Breaker supervise.BreakerConfig
 }
 
+// handle is a dense index into the engine's stream slabs — the wheel's
+// whole vocabulary for a stream. String IDs appear only at admission,
+// removal and checkpoint boundaries.
+type handle int32
+
+// Stream records live in chunked slabs: fixed arrays that never move,
+// so a *stream stays valid forever while streams admitted together sit
+// next to each other in memory (and, chains coming from the owning
+// shard's arena, so does their run-time chain state).
+const (
+	streamBlockShift = 8
+	streamBlockSize  = 1 << streamBlockShift
+	streamBlockMask  = streamBlockSize - 1
+)
+
+type streamBlock [streamBlockSize]stream
+
+// streamAt resolves a handle against a block-table snapshot.
+func streamAt(blocks []*streamBlock, h handle) *stream {
+	return &blocks[h>>streamBlockShift][h&streamBlockMask]
+}
+
 // stream is the engine's per-stream record. The owning shard is the
 // only goroutine that touches the chain and breaker; the wheel owns
-// rot/draining/pruned under the engine mutex; everything shared is
-// atomic.
+// draining/pruned under the engine mutex; everything shared is atomic.
 type stream struct {
 	id        string
 	slot      int
@@ -213,14 +264,15 @@ type stream struct {
 	onFinish  func()
 
 	// Wheel-owned, under Engine.mu.
-	rot      int // intervals harvested
 	draining bool
 	pruned   bool
 
+	rot         atomic.Int64 // intervals harvested (wheel-owned writes)
 	done        atomic.Int64 // verdicts emitted (shard-owned writes)
 	lost        atomic.Int64
 	srcFails    atomic.Int64
 	badFrames   atomic.Int64
+	inflight    atomic.Int64 // queued-source samples claimed by staged entries
 	activeStage atomic.Int32
 	removed     atomic.Bool
 	finished    atomic.Bool
@@ -243,6 +295,7 @@ type Engine struct {
 	cfg        Config
 	shards     []*shard
 	stageNames []string
+	maxTicks   int // resolved MaxHarvestTicks
 
 	running      atomic.Bool
 	draining     atomic.Bool
@@ -254,19 +307,32 @@ type Engine struct {
 	ckptWG       sync.WaitGroup
 
 	mu          sync.Mutex
-	slots       [][]*stream
-	streams     map[string]*stream  // live (unpruned) streams by id
+	blocks      []*streamBlock      // stream slabs; blocks never move
+	nstreams    int                 // handles handed out (streams ever added)
+	slots       [][]handle          // wheel slots
+	byID        map[string]handle   // live (unpruned) streams by id
 	ids         map[string]struct{} // every ID ever accepted (no reuse)
-	all         []*stream           // every stream ever added (stats)
 	nextIdx     int
 	live        int
 	everAdded   bool
 	lastCkptRot int64
 	restored    map[string]core.ChainState
+	// pendingCaptures are CaptureStates requests waiting for the wheel
+	// to route their markers through the shard rings (the wheel is the
+	// rings' only producer). wheelDone flips once the wheel loop exits
+	// and has swept the leftovers.
+	pendingCaptures []*ckptReq
+	wheelDone       bool
 
-	// Per-tick dispatch scratch, len == len(shards).
-	harvest []*batch
-	drains  []*batch
+	// Per-shard staging, wheel-owned (filled under mu, flushed outside
+	// it): the tick harvest appends due streams in place, and the
+	// adaptive controller decides when each shard's batch is handed to
+	// its ring.
+	staging     []*batch
+	drainStage  []*batch
+	stagedTicks []int
+	coalesce    []int
+	flushDue    []bool
 }
 
 // New validates cfg, replicates the chain once per shard, and builds
@@ -292,14 +358,19 @@ func New(cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
+	nshards := cfg.shards()
 	e := &Engine{
-		cfg:     cfg,
-		shards:  make([]*shard, cfg.shards()),
-		slots:   make([][]*stream, cfg.wheelSlots()),
-		streams: make(map[string]*stream),
-		ids:     make(map[string]struct{}),
-		harvest: make([]*batch, cfg.shards()),
-		drains:  make([]*batch, cfg.shards()),
+		cfg:         cfg,
+		shards:      make([]*shard, nshards),
+		maxTicks:    cfg.maxHarvestTicks(),
+		slots:       make([][]handle, cfg.wheelSlots()),
+		byID:        make(map[string]handle),
+		ids:         make(map[string]struct{}),
+		staging:     make([]*batch, nshards),
+		drainStage:  make([]*batch, nshards),
+		stagedTicks: make([]int, nshards),
+		coalesce:    make([]int, nshards),
+		flushDue:    make([]bool, nshards),
 	}
 	for i := range e.shards {
 		tmpl, err := newChain()
@@ -313,6 +384,9 @@ func New(cfg Config) (*Engine, error) {
 			}
 		}
 		e.shards[i] = newShard(e, i, tmpl, cfg)
+		e.staging[i] = &batch{}
+		e.drainStage[i] = &batch{drain: true}
+		e.coalesce[i] = 1
 	}
 	return e, nil
 }
@@ -352,35 +426,40 @@ func (e *Engine) Add(sc StreamConfig) error {
 		return fmt.Errorf("fleet: duplicate stream %q", sc.ID)
 	}
 	sh := e.shards[e.nextIdx%len(e.shards)]
-	// Sibling chain: the shard's models, this stream's run-time state.
-	// NewSibling never evaluates the models, so assembling the chain
-	// here is safe while the shard is concurrently scoring through them.
-	chain := sh.tmpl.NewSibling()
+	// Sibling chain out of the shard's arena: the shard's models, this
+	// stream's run-time state in the shard's slabs. NewSibling never
+	// evaluates the models, so assembling the chain here is safe while
+	// the shard is concurrently scoring through them.
+	chain := sh.arena.NewSibling()
 	if st, ok := e.restored[sc.ID]; ok {
 		if err := chain.SetState(st); err != nil {
 			return fmt.Errorf("fleet: restoring stream %q: %w", sc.ID, err)
 		}
 		delete(e.restored, sc.ID)
 	}
-	s := &stream{
-		id:        sc.ID,
-		slot:      e.nextIdx % len(e.slots),
-		shardIdx:  sh.idx,
-		src:       sc.Source,
-		chain:     chain,
-		br:        supervise.NewBreaker(brCfg),
-		horizon:   sc.Intervals,
-		onVerdict: sc.OnVerdict,
-		onFinish:  sc.OnFinish,
+	h := handle(e.nstreams)
+	if int(h)>>streamBlockShift == len(e.blocks) {
+		e.blocks = append(e.blocks, new(streamBlock))
 	}
+	s := streamAt(e.blocks, h)
+	s.id = sc.ID
+	s.slot = e.nextIdx % len(e.slots)
+	s.shardIdx = sh.idx
+	s.src = sc.Source
 	s.bsrc, _ = sc.Source.(source.BufferedSource)
 	s.qsrc, _ = sc.Source.(source.Queued)
+	s.chain = chain
+	s.br = supervise.NewBreaker(brCfg)
+	s.horizon = sc.Intervals
+	s.onVerdict = sc.OnVerdict
+	s.onFinish = sc.OnFinish
+	e.nstreams++
 	e.nextIdx++
-	e.slots[s.slot] = append(e.slots[s.slot], s)
+	e.slots[s.slot] = append(e.slots[s.slot], h)
 	e.ids[sc.ID] = struct{}{}
-	e.streams[sc.ID] = s
-	e.all = append(e.all, s)
+	e.byID[sc.ID] = h
 	e.live++
+	sh.liveStreams.Add(1)
 	e.everAdded = true
 	return nil
 }
@@ -390,11 +469,11 @@ func (e *Engine) Add(sc StreamConfig) error {
 func (e *Engine) Remove(id string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	s, ok := e.streams[id]
+	h, ok := e.byID[id]
 	if !ok {
 		return fmt.Errorf("fleet: no live stream %q", id)
 	}
-	s.removed.Store(true)
+	streamAt(e.blocks, h).removed.Store(true)
 	return nil
 }
 
@@ -449,6 +528,9 @@ func (e *Engine) Run(ctx context.Context) error {
 		return errors.New("fleet: Run already active")
 	}
 	defer e.running.Store(false)
+	e.mu.Lock()
+	e.wheelDone = false
+	e.mu.Unlock()
 
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -460,7 +542,7 @@ func (e *Engine) Run(ctx context.Context) error {
 			sh.run(rctx)
 		}(sh)
 	}
-	// Cancellation must release the wheel and shards from queue waits.
+	// Cancellation must release the wheel and shards from ring waits.
 	stopWake := context.AfterFunc(rctx, e.wakeAll)
 	defer stopWake()
 
@@ -485,6 +567,19 @@ func (e *Engine) Run(ctx context.Context) error {
 			runtime.Gosched()
 		}
 	}
+	// The wheel is the rings' only producer; once it stops, any capture
+	// request it never picked up must be aborted or its waiter hangs.
+	e.mu.Lock()
+	e.wheelDone = true
+	pend := e.pendingCaptures
+	e.pendingCaptures = nil
+	e.mu.Unlock()
+	for _, req := range pend {
+		req.aborted.Store(true)
+		for range e.shards {
+			req.wg.Done()
+		}
+	}
 	cancelWork := rctx.Err() != nil
 	for _, sh := range e.shards {
 		sh.q.close()
@@ -507,7 +602,7 @@ func (e *Engine) Run(ctx context.Context) error {
 
 func (e *Engine) wakeAll() {
 	for _, sh := range e.shards {
-		sh.q.wake()
+		sh.q.wakeAll()
 	}
 }
 
@@ -521,10 +616,11 @@ func (e *Engine) drained() bool {
 }
 
 // tickOnce advances the wheel one slot: it harvests the slot's due
-// streams into per-shard batches, prunes finished and removed streams,
-// emits tail-repair drains for shed horizons, and dispatches a
-// checkpoint marker on the configured rotation cadence. It reports
-// whether any batch was dispatched.
+// streams into the per-shard staging batches, prunes finished and
+// removed streams, stages tail-repair drains for shed horizons, flushes
+// whatever the adaptive controller says is due, and routes checkpoint
+// and capture markers through the rings. It reports whether it staged
+// or published anything.
 func (e *Engine) tickOnce(ctx context.Context) bool {
 	now := time.Now()
 
@@ -534,20 +630,19 @@ func (e *Engine) tickOnce(ctx context.Context) bool {
 	slot := int(t % nslots)
 	rot := t / nslots
 	e.tick.Store(t + 1)
-	for i := range e.harvest {
-		e.harvest[i] = nil
-		e.drains[i] = nil
-	}
 
+	staged := false
 	draining := e.draining.Load()
-	ss := e.slots[slot]
-	keep := ss[:0]
-	for _, s := range ss {
+	hs := e.slots[slot]
+	keep := hs[:0]
+	for _, h := range hs {
+		s := streamAt(e.blocks, h)
 		if s.removed.Load() || s.finished.Load() {
 			e.pruneLocked(s)
 			continue
 		}
-		if s.horizon > 0 && s.rot >= s.horizon {
+		srot := s.rot.Load()
+		if s.horizon > 0 && srot >= int64(s.horizon) {
 			// Fully harvested; waiting on the shard for the tail.
 			if s.done.Load() >= int64(s.horizon) {
 				s.finish()
@@ -558,87 +653,194 @@ func (e *Engine) tickOnce(ctx context.Context) bool {
 				// The final harvests may have been shed; one
 				// unsheddable drain guarantees the tail completes.
 				s.draining = true
-				b := e.batchFor(e.drains, s.shardIdx, rot, now)
-				b.drain = true
-				b.entries = append(b.entries, entry{s: s, interval: s.horizon - 1, drain: true})
+				db := e.drainStage[s.shardIdx]
+				if len(db.entries) == 0 {
+					db.rot, db.at = rot, now
+				}
+				db.entries = append(db.entries, entry{s: s, interval: s.horizon - 1, drain: true})
+				staged = true
 			}
-			keep = append(keep, s)
+			keep = append(keep, h)
 			continue
 		}
 		if s.qsrc != nil {
-			// Push-fed stream: only due when a sample is buffered. With
-			// nothing pending the stream finishes if its writer hung up
-			// (or the engine is draining) and the shard has caught up;
-			// otherwise it simply isn't harvested this rotation.
-			if s.qsrc.Pending() <= 0 {
-				if (s.qsrc.Closed() || draining) && s.done.Load() >= int64(s.rot) {
+			// Push-fed stream: only due when a sample is buffered
+			// beyond those already claimed by staged or in-flight
+			// entries. With nothing pending the stream finishes if its
+			// writer hung up (or the engine is draining) and the shard
+			// has caught up; otherwise it simply isn't harvested this
+			// rotation.
+			if int64(s.qsrc.Pending()) <= s.inflight.Load() {
+				if (s.qsrc.Closed() || draining) && s.done.Load() >= srot {
 					s.finish()
 					e.pruneLocked(s)
 					continue
 				}
-				keep = append(keep, s)
+				keep = append(keep, h)
 				continue
 			}
+			s.inflight.Add(1)
 		} else if draining && s.horizon == 0 {
 			// Unbounded pull stream under drain: stop at the next
 			// rotation boundary, once in-flight harvests have landed.
-			if s.done.Load() >= int64(s.rot) {
+			if s.done.Load() >= srot {
 				s.finish()
 				e.pruneLocked(s)
 				continue
 			}
-			keep = append(keep, s)
+			keep = append(keep, h)
 			continue
 		}
-		iv := s.rot
-		s.rot++
-		b := e.batchFor(e.harvest, s.shardIdx, rot, now)
-		b.entries = append(b.entries, entry{s: s, interval: iv})
-		keep = append(keep, s)
-	}
-	for i := len(keep); i < len(ss); i++ {
-		ss[i] = nil
+		s.rot.Store(srot + 1)
+		st := e.staging[s.shardIdx]
+		if len(st.entries) == 0 {
+			st.rot, st.at = rot, now
+		}
+		st.entries = append(st.entries, entry{s: s, interval: int(srot)})
+		staged = true
+		keep = append(keep, h)
 	}
 	e.slots[slot] = keep
 
-	var req *ckptReq
+	// Checkpoint cadence and any capture requests parked on the wheel.
+	captures := e.pendingCaptures
+	e.pendingCaptures = nil
+	var ckReq *ckptReq
 	if e.cfg.Checkpoint != nil && slot == 0 && rot > 0 &&
 		rot%int64(e.cfg.checkpointEvery()) == 0 && rot != e.lastCkptRot {
 		e.lastCkptRot = rot
-		req = e.buildCkptLocked()
+		ckReq = e.buildCkptLocked()
+	}
+
+	// Flush decisions: the rotation boundary always flushes (a batch
+	// must never carry the same stream twice), markers flush everything
+	// first so they stay ordered behind the work staged before them,
+	// a drain marker flushes its shard, and otherwise a shard's batch
+	// rides until the adaptive controller's tick budget is spent.
+	flushAll := slot == int(nslots)-1 || ckReq != nil || len(captures) > 0
+	for i := range e.shards {
+		due := false
+		if len(e.staging[i].entries) > 0 {
+			e.stagedTicks[i]++
+			due = flushAll || e.stagedTicks[i] >= e.coalesce[i] ||
+				len(e.drainStage[i].entries) > 0
+		}
+		e.flushDue[i] = due
 	}
 	e.mu.Unlock()
 
-	any := false
-	for i, b := range e.harvest {
-		if b != nil {
+	any := staged
+	for i, sh := range e.shards {
+		if e.flushDue[i] {
+			e.flushStaging(ctx, sh)
 			any = true
-			e.dispatch(ctx, e.shards[i], b)
+		}
+		if len(e.drainStage[i].entries) > 0 {
+			e.publishDrain(ctx, sh)
+			any = true
 		}
 	}
-	for i, b := range e.drains {
-		if b != nil {
-			any = true
-			e.dispatch(ctx, e.shards[i], b)
-		}
+	if ckReq != nil {
+		e.publishMarkers(ctx, ckReq)
+		e.collectCkpt(ckReq)
+		any = true
 	}
-	if req != nil {
-		e.sendCkpt(ctx, req, rot, now)
+	for _, req := range captures {
+		e.publishMarkers(ctx, req)
+		any = true
 	}
 	return any
 }
 
-// batchFor lazily draws shard shardIdx's batch for this tick into the
-// given scratch table.
-func (e *Engine) batchFor(table []*batch, shardIdx int, rot int64, at time.Time) *batch {
-	b := table[shardIdx]
-	if b == nil {
-		b = e.shards[shardIdx].getBatch()
-		b.rot = rot
-		b.at = at
-		table[shardIdx] = b
+// flushStaging hands a shard's staged batch to its ring: the ring
+// slot's resident batch and the staging batch swap entry storage, so
+// the hand-off copies two slice headers and allocates nothing. Runs off
+// the engine lock — staging is wheel-owned, and a full ring must not
+// block Add or Stats.
+func (e *Engine) flushStaging(ctx context.Context, sh *shard) {
+	// Adaptive batch sizing: a backlogged ring means per-batch overhead
+	// is what to amortise — double the tick budget; an empty ring means
+	// the shard keeps up — walk back toward a batch per tick.
+	i := sh.idx
+	if sh.q.depth() > 0 {
+		if c := e.coalesce[i] * 2; c <= e.maxTicks {
+			e.coalesce[i] = c
+		} else {
+			e.coalesce[i] = e.maxTicks
+		}
+	} else if e.coalesce[i] > 1 {
+		e.coalesce[i]--
 	}
-	return b
+
+	st := e.staging[i]
+	rb, shed, err := sh.q.stage(ctx)
+	if shed != nil {
+		e.accountShed(sh, shed)
+	}
+	if err != nil {
+		// Cancelled or closing: the entries stay staged; Run is on its
+		// way out and the wheel will not tick again.
+		return
+	}
+	rb.rot, rb.at = st.rot, st.at
+	rb.drain, rb.ckpt, rb.ckStrms = false, nil, nil
+	rb.entries, st.entries = st.entries, rb.entries[:0]
+	sh.q.publish()
+	e.stagedTicks[i] = 0
+}
+
+// publishDrain hands a shard's staged tail-repair batch to its ring,
+// after the shard's normal staging so interval order holds.
+func (e *Engine) publishDrain(ctx context.Context, sh *shard) {
+	db := e.drainStage[sh.idx]
+	rb, shed, err := sh.q.stage(ctx)
+	if shed != nil {
+		e.accountShed(sh, shed)
+	}
+	if err != nil {
+		return
+	}
+	rb.rot, rb.at = db.rot, db.at
+	rb.drain, rb.ckpt, rb.ckStrms = true, nil, nil
+	rb.entries, db.entries = db.entries, rb.entries[:0]
+	sh.q.publish()
+}
+
+// publishMarkers routes one checkpoint/capture marker through every
+// shard's ring. The request's WaitGroup was charged len(shards) at
+// creation; a failed publish burns its count and flags the abort.
+func (e *Engine) publishMarkers(ctx context.Context, req *ckptReq) {
+	rot := e.tick.Load() / int64(len(e.slots))
+	now := time.Now()
+	for i, sh := range e.shards {
+		rb, shed, err := sh.q.stage(ctx)
+		if shed != nil {
+			e.accountShed(sh, shed)
+		}
+		if err != nil {
+			req.aborted.Store(true)
+			req.wg.Done()
+			continue
+		}
+		rb.rot, rb.at = rot, now
+		rb.drain = false
+		rb.ckpt = req
+		rb.ckStrms = req.perShard[i]
+		rb.entries = rb.entries[:0]
+		sh.q.publish()
+	}
+}
+
+// accountShed books a batch the ring shed to admit newer work, and
+// releases any queued-source sample claims its entries held.
+func (e *Engine) accountShed(sh *shard, shed *batch) {
+	sh.shedBatches.Add(1)
+	sh.shedIntervals.Add(int64(len(shed.entries)))
+	for i := range shed.entries {
+		if s := shed.entries[i].s; s.qsrc != nil {
+			s.inflight.Add(-1)
+		}
+	}
 }
 
 // pruneLocked retires a stream from the wheel (mu held).
@@ -648,55 +850,29 @@ func (e *Engine) pruneLocked(s *stream) {
 	}
 	s.pruned = true
 	e.live--
-	delete(e.streams, s.id)
-}
-
-// dispatch queues a batch on its shard, accounting for anything shed to
-// admit it.
-func (e *Engine) dispatch(ctx context.Context, sh *shard, b *batch) {
-	shed, err := sh.q.put(ctx, b)
-	if shed != nil {
-		sh.shedBatches.Add(1)
-		sh.shedIntervals.Add(int64(len(shed.entries)))
-		sh.recycle(shed)
-	}
-	if err != nil {
-		// Cancelled while blocked, or the queue already closed: either
-		// way the batch never made it in.
-		sh.recycle(b)
-	}
+	delete(e.byID, s.id)
+	e.shards[s.shardIdx].liveStreams.Add(-1)
 }
 
 // buildCkptLocked assembles a checkpoint request covering every live
-// stream, grouped by owning shard (mu held).
+// stream, grouped by owning shard (mu held). The WaitGroup is charged
+// one count per shard up front.
 func (e *Engine) buildCkptLocked() *ckptReq {
 	req := &ckptReq{
-		states:   make(map[string]core.ChainState, len(e.streams)),
+		states:   make(map[string]core.ChainState, len(e.byID)),
 		perShard: make([][]*stream, len(e.shards)),
 	}
-	for _, s := range e.streams {
+	for _, h := range e.byID {
+		s := streamAt(e.blocks, h)
 		req.perShard[s.shardIdx] = append(req.perShard[s.shardIdx], s)
 	}
+	req.wg.Add(len(e.shards))
 	return req
 }
 
-// sendCkpt routes one checkpoint marker through every shard's queue —
-// each chain may only be read by its owning shard — and spawns the
-// collector that persists the assembled state map.
-func (e *Engine) sendCkpt(ctx context.Context, req *ckptReq, rot int64, at time.Time) {
-	for i, sh := range e.shards {
-		b := sh.getBatch()
-		b.rot = rot
-		b.at = at
-		b.ckpt = req
-		b.ckStrms = req.perShard[i]
-		req.wg.Add(1)
-		if _, err := sh.q.put(ctx, b); err != nil {
-			req.aborted.Store(true)
-			req.wg.Done()
-			sh.recycle(b)
-		}
-	}
+// collectCkpt spawns the collector that persists a checkpoint request's
+// assembled state map once every shard has contributed.
+func (e *Engine) collectCkpt(req *ckptReq) {
 	e.ckptWG.Add(1)
 	go func() {
 		defer e.ckptWG.Done()
@@ -726,11 +902,12 @@ func (e *Engine) saveStates(states map[string]core.ChainState) error {
 // saveAll snapshots every stream's chain directly — only safe when the
 // shards are parked (Run's final save, or between Runs).
 func (e *Engine) saveAll() error {
-	states := make(map[string]core.ChainState)
 	e.mu.Lock()
-	all := append([]*stream(nil), e.all...)
+	blocks, n := e.blocks, e.nstreams
 	e.mu.Unlock()
-	for _, s := range all {
+	states := make(map[string]core.ChainState, n)
+	for h := handle(0); int(h) < n; h++ {
+		s := streamAt(blocks, h)
 		if s.removed.Load() {
 			continue
 		}

@@ -534,14 +534,14 @@ func TestFleetNoIDReuseAfterFinish(t *testing.T) {
 	}
 }
 
-// TestQueuePutAfterClose: a put racing shutdown must hand the batch
-// back with an error instead of silently absorbing it — a silently
-// dropped checkpoint marker would strand its collector forever.
+// TestQueuePutAfterClose: a stage racing shutdown must fail with an
+// error instead of silently reserving a slot — a silently dropped
+// checkpoint marker would strand its collector forever.
 func TestQueuePutAfterClose(t *testing.T) {
-	q := newBatchQueue(2, supervise.Block)
+	q := newSPSCRing(2, supervise.Block)
 	q.close()
-	if _, err := q.put(context.Background(), &batch{}); !errors.Is(err, errQueueClosed) {
-		t.Fatalf("put on closed queue returned %v, want errQueueClosed", err)
+	if _, _, err := q.stage(context.Background()); !errors.Is(err, errQueueClosed) {
+		t.Fatalf("stage on closed ring returned %v, want errQueueClosed", err)
 	}
 }
 

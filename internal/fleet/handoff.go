@@ -11,20 +11,23 @@ import (
 	"context"
 	"errors"
 	"sort"
-	"time"
 
 	"repro/internal/core"
 )
+
+var errCaptureAborted = errors.New("fleet: state capture aborted (engine stopping)")
 
 // CaptureStates snapshots the chain states of the named streams — nil
 // ids means every stream ever added, finished ones included, the same
 // coverage as a checkpoint — without persisting them. While the engine
 // is running, each chain may only be read by its owning shard, so the
-// capture rides checkpoint markers through the shard queues and
-// reflects each stream's state at a batch boundary; ctx bounds the
-// wait. With the shards parked (before Run, or after it returned —
-// including a cancelled Run) the chains are read directly. IDs with no
-// matching stream are silently absent from the result.
+// capture parks on the wheel, which routes one marker through every
+// shard's ring on its next tick (the wheel is the rings' only
+// producer); the result reflects each stream's state at a batch
+// boundary, and ctx bounds the wait. With the shards parked (before
+// Run, or after it returned — including a cancelled Run) the chains are
+// read directly. IDs with no matching stream are silently absent from
+// the result.
 func (e *Engine) CaptureStates(ctx context.Context, ids []string) (map[string]core.ChainState, error) {
 	var want map[string]struct{}
 	if ids != nil {
@@ -33,12 +36,14 @@ func (e *Engine) CaptureStates(ctx context.Context, ids []string) (map[string]co
 			want[id] = struct{}{}
 		}
 	}
-	e.mu.Lock()
 	req := &ckptReq{
-		states:   make(map[string]core.ChainState),
-		perShard: make([][]*stream, len(e.shards)),
+		states: make(map[string]core.ChainState),
 	}
-	for _, s := range e.all {
+
+	e.mu.Lock()
+	req.perShard = make([][]*stream, len(e.shards))
+	for h := handle(0); int(h) < e.nstreams; h++ {
+		s := streamAt(e.blocks, h)
 		if s.removed.Load() {
 			continue
 		}
@@ -50,6 +55,14 @@ func (e *Engine) CaptureStates(ctx context.Context, ids []string) (map[string]co
 		req.perShard[s.shardIdx] = append(req.perShard[s.shardIdx], s)
 	}
 	running := e.running.Load()
+	if running {
+		if e.wheelDone {
+			e.mu.Unlock()
+			return nil, errCaptureAborted
+		}
+		req.wg.Add(len(e.shards))
+		e.pendingCaptures = append(e.pendingCaptures, req)
+	}
 	e.mu.Unlock()
 
 	if !running {
@@ -64,24 +77,6 @@ func (e *Engine) CaptureStates(ctx context.Context, ids []string) (map[string]co
 		return req.states, nil
 	}
 
-	rot := e.tick.Load() / int64(len(e.slots))
-	now := time.Now()
-	for i, sh := range e.shards {
-		if len(req.perShard[i]) == 0 {
-			continue
-		}
-		b := sh.getBatch()
-		b.rot = rot
-		b.at = now
-		b.ckpt = req
-		b.ckStrms = req.perShard[i]
-		req.wg.Add(1)
-		if _, err := sh.q.put(ctx, b); err != nil {
-			req.aborted.Store(true)
-			req.wg.Done()
-			sh.recycle(b)
-		}
-	}
 	done := make(chan struct{})
 	go func() {
 		req.wg.Wait()
@@ -93,7 +88,7 @@ func (e *Engine) CaptureStates(ctx context.Context, ids []string) (map[string]co
 		return nil, ctx.Err()
 	}
 	if req.aborted.Load() {
-		return nil, errors.New("fleet: state capture aborted (engine stopping)")
+		return nil, errCaptureAborted
 	}
 	req.mu.Lock()
 	defer req.mu.Unlock()
@@ -134,8 +129,8 @@ func (e *Engine) SeedRestored(states map[string]core.ChainState) int {
 func (e *Engine) Unfinished() []string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	ids := make([]string, 0, len(e.streams))
-	for id := range e.streams {
+	ids := make([]string, 0, len(e.byID))
+	for id := range e.byID {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)

@@ -3,153 +3,243 @@ package fleet
 import (
 	"context"
 	"errors"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/supervise"
 )
 
-// errQueueClosed reports a put against a closed queue: a shutdown race
-// the caller must treat like cancellation (recycle the batch, abort any
-// checkpoint marker riding it).
+// errQueueClosed reports a stage/publish against a closed ring: a
+// shutdown race the caller must treat like cancellation (abort any
+// checkpoint marker it was about to ride on the batch).
 var errQueueClosed = errors.New("fleet: shard queue closed")
 
-// batchQueue is the bounded hand-off between the timer wheel and one
-// shard worker: a fixed ring of *batch with the same two overflow
-// policies as the pipeline's stage queues. Block applies backpressure
-// (the wheel waits, nothing is lost, verdicts stay deterministic);
-// DropOldest sheds the oldest *sheddable* batch to admit the new one —
-// drain and checkpoint-marker batches are never shed, since each exists
-// precisely to survive shedding. The ring never reallocates, so
-// put/get are allocation-free.
-type batchQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	buf    []*batch // fixed ring
-	head   int
-	n      int
-	policy supervise.OverflowPolicy
-	closed bool
+// Ring-slot states. A slot's resident batch is owned by exactly one
+// side at a time, and the state word is the ownership token:
+//
+//	slotFree  — producer's (unpublished), or consumer's (claimed via
+//	            CAS ready→free; protected from producer reuse because
+//	            head does not advance until consumed()).
+//	slotReady — published; first CAS wins it (consumer claims it, or
+//	            the producer sheds it under DropOldest).
+//	slotShed  — shed by the producer; the consumer skips it.
+const (
+	slotFree int32 = iota
+	slotReady
+	slotShed
+)
+
+// ringSlot is one ring position with its resident, perpetually reused
+// batch.
+type ringSlot struct {
+	state atomic.Int32
+	b     *batch
 }
 
-func newBatchQueue(capacity int, policy supervise.OverflowPolicy) *batchQueue {
+// spscRing is the wheel→shard hand-off: a fixed single-producer/
+// single-consumer ring of resident batches. The wheel (sole producer)
+// stages the slot at tail, fills it in place (entry slices are swapped,
+// never copied), and publishes; the shard (sole consumer) claims the
+// slot at head, processes, and releases it. No mutex, no condition
+// variable, no free-list hop: the hot path is a handful of atomic
+// operations, and steady state allocates nothing.
+//
+// Backpressure mirrors the old batchQueue policies. Block caps the
+// number of published-unclaimed batches at the logical capacity and
+// makes the producer wait. DropOldest sheds instead: the producer CASes
+// the oldest sheddable ready slot to slotShed (drain and checkpoint
+// batches never shed) and keeps going. A shed slot stays physically
+// occupied until the consumer's head passes it, so the ring's physical
+// size is 2×capacity+2 — room for the claimed batch in flight plus a
+// capacity's worth of shed markers; if the consumer stalls inside one
+// batch long enough for shed slots to exhaust that slack, the producer
+// waits — bounded backpressure even while shedding.
+//
+// Wakeups ride two one-slot channels instead of a cond var: the waker
+// does a non-blocking send, the waiter re-checks its condition in a
+// loop, and context cancellation joins the same select.
+type spscRing struct {
+	slots []ringSlot
+	cap   int // logical capacity (max published-unclaimed batches)
+
+	head   atomic.Int64 // consumer position: next slot to release
+	tail   atomic.Int64 // producer position: next slot to stage
+	ready  atomic.Int64 // published, unclaimed, unshed batches
+	closed atomic.Bool
+
+	prodWake chan struct{} // consumer → producer: space freed
+	consWake chan struct{} // producer → consumer: work published
+
+	policy supervise.OverflowPolicy
+}
+
+func newSPSCRing(capacity int, policy supervise.OverflowPolicy) *spscRing {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	q := &batchQueue{buf: make([]*batch, capacity), policy: policy}
-	q.cond = sync.NewCond(&q.mu)
+	q := &spscRing{
+		slots:    make([]ringSlot, 2*capacity+2),
+		cap:      capacity,
+		prodWake: make(chan struct{}, 1),
+		consWake: make(chan struct{}, 1),
+		policy:   policy,
+	}
+	for i := range q.slots {
+		q.slots[i].b = &batch{}
+	}
 	return q
 }
 
 // sheddable reports whether DropOldest may discard this batch.
 func (b *batch) sheddable() bool { return !b.drain && b.ckpt == nil }
 
-// put enqueues b, applying the overflow policy when full. Under
-// DropOldest it returns the batch it shed (nil if none) so the caller
-// can account for and recycle it; a full ring holding only unsheddable
-// batches blocks even under DropOldest. It returns ctx.Err() if the
-// context is cancelled while blocked (or on entry) and errQueueClosed
-// if the queue was closed; either way b was not enqueued and is the
-// caller's to recycle.
-func (q *batchQueue) put(ctx context.Context, b *batch) (shed *batch, err error) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for q.n >= len(q.buf) && !q.closed && ctx.Err() == nil {
-		if q.policy == supervise.DropOldest {
-			if shed = q.removeOldestSheddable(); shed != nil {
-				break
-			}
-		}
-		q.cond.Wait()
+func wake(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
 	}
-	if cerr := ctx.Err(); cerr != nil {
-		return shed, cerr
-	}
-	if q.closed {
-		// The wheel closes the queue itself after its loop, so a put
-		// here is a shutdown race; the sentinel hands b back to the
-		// caller, which would otherwise leak it — and, for a checkpoint
-		// marker, leave its collector waiting forever.
-		return shed, errQueueClosed
-	}
-	q.buf[(q.head+q.n)%len(q.buf)] = b
-	q.n++
-	q.cond.Broadcast()
-	return shed, nil
 }
 
-// removeOldestSheddable pops the oldest batch DropOldest may discard,
-// compacting the ring. Returns nil when every queued batch is a drain
-// or checkpoint marker.
-func (q *batchQueue) removeOldestSheddable() *batch {
-	for k := 0; k < q.n; k++ {
-		idx := (q.head + k) % len(q.buf)
-		if !q.buf[idx].sheddable() {
+// stage reserves the next slot and returns its resident batch for the
+// producer to fill in place; publish hands it to the consumer. Under
+// DropOldest a logically full ring sheds the oldest sheddable batch and
+// returns it alongside (still intact — the caller accounts for its
+// entries before the slot is ever restaged). It returns ctx.Err() if
+// cancelled while waiting and errQueueClosed after close; either way no
+// slot was reserved.
+func (q *spscRing) stage(ctx context.Context) (rb, shed *batch, err error) {
+	for {
+		t := q.tail.Load()
+		if t-q.head.Load() < int64(len(q.slots)) { // physical space
+			if q.ready.Load() < int64(q.cap) {
+				break
+			}
+			if q.policy == supervise.DropOldest {
+				if shed = q.shedOldest(); shed != nil {
+					break
+				}
+				// Every published batch is a drain or checkpoint
+				// marker: wait like Block.
+			}
+		}
+		if q.closed.Load() {
+			return nil, shed, errQueueClosed
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, shed, cerr
+		}
+		select {
+		case <-q.prodWake:
+		case <-ctx.Done():
+		}
+	}
+	if q.closed.Load() {
+		return nil, shed, errQueueClosed
+	}
+	return q.slots[q.tail.Load()%int64(len(q.slots))].b, shed, nil
+}
+
+// publish hands the staged slot to the consumer. Only valid after a
+// successful stage.
+func (q *spscRing) publish() {
+	t := q.tail.Load()
+	q.slots[t%int64(len(q.slots))].state.Store(slotReady)
+	q.ready.Add(1)
+	q.tail.Store(t + 1)
+	wake(q.consWake)
+}
+
+// shedOldest CASes the oldest sheddable ready slot to slotShed and
+// returns its batch (nil when every published batch is unsheddable).
+// After the CAS the consumer will skip the slot, so reading the batch's
+// entries is race-free until the producer restages it a full lap later.
+func (q *spscRing) shedOldest() *batch {
+	n := int64(len(q.slots))
+	t := q.tail.Load()
+	for k := q.head.Load(); k < t; k++ {
+		sl := &q.slots[k%n]
+		if sl.state.Load() != slotReady || !sl.b.sheddable() {
 			continue
 		}
-		victim := q.buf[idx]
-		for j := k; j < q.n-1; j++ {
-			q.buf[(q.head+j)%len(q.buf)] = q.buf[(q.head+j+1)%len(q.buf)]
+		if sl.state.CompareAndSwap(slotReady, slotShed) {
+			q.ready.Add(-1)
+			return sl.b
 		}
-		q.n--
-		q.buf[(q.head+q.n)%len(q.buf)] = nil
-		return victim
 	}
 	return nil
 }
 
-// get dequeues the next batch, blocking until one is available. ok is
-// false when the queue is closed and drained, or ctx is cancelled.
-func (q *batchQueue) get(ctx context.Context) (b *batch, ok bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for q.n == 0 && !q.closed && ctx.Err() == nil {
-		q.cond.Wait()
+// get claims the next published batch, blocking until one is available.
+// ok is false when the ring is closed and drained, or ctx is cancelled.
+// The consumer must call consumed exactly once per claimed batch.
+func (q *spscRing) get(ctx context.Context) (b *batch, ok bool) {
+	for {
+		if ctx.Err() != nil {
+			return nil, false
+		}
+		if b, ok := q.tryGet(); ok {
+			return b, true
+		}
+		if q.closed.Load() && q.head.Load() == q.tail.Load() {
+			return nil, false
+		}
+		select {
+		case <-q.consWake:
+		case <-ctx.Done():
+		}
 	}
-	if ctx.Err() != nil || q.n == 0 {
-		return nil, false
+}
+
+// tryGet claims without blocking; the shard's shutdown drain and the
+// white-box tests stepping the engine synchronously use it.
+func (q *spscRing) tryGet() (b *batch, ok bool) {
+	n := int64(len(q.slots))
+	for {
+		h := q.head.Load()
+		if h == q.tail.Load() {
+			return nil, false
+		}
+		sl := &q.slots[h%n]
+		switch sl.state.Load() {
+		case slotReady:
+			if sl.state.CompareAndSwap(slotReady, slotFree) {
+				q.ready.Add(-1)
+				wake(q.prodWake) // logical space freed
+				return sl.b, true
+			}
+			// Lost the CAS to a concurrent shed; re-examine the slot.
+		case slotShed:
+			sl.state.Store(slotFree)
+			q.head.Store(h + 1)
+			wake(q.prodWake)
+		default:
+			// Published but state not yet visible? Cannot happen: tail
+			// advances only after the state store. A free slot at head
+			// means a claimed batch is still in flight — the caller
+			// (the single consumer) would have to have claimed it, so
+			// tryGet is being misused; report empty.
+			return nil, false
+		}
 	}
-	return q.pop(), true
 }
 
-// tryGet dequeues without blocking; used by the shard's shutdown drain
-// and by white-box tests stepping the engine synchronously.
-func (q *batchQueue) tryGet() (b *batch, ok bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.n == 0 {
-		return nil, false
-	}
-	return q.pop(), true
+// consumed releases the claimed slot at head, letting the producer
+// restage it after a full lap.
+func (q *spscRing) consumed() {
+	q.head.Add(1)
+	wake(q.prodWake)
 }
 
-func (q *batchQueue) pop() *batch {
-	b := q.buf[q.head]
-	q.buf[q.head] = nil
-	q.head = (q.head + 1) % len(q.buf)
-	q.n--
-	q.cond.Broadcast()
-	return b
+// close marks the producer side finished; the consumer drains the
+// remaining batches and then sees ok=false.
+func (q *spscRing) close() {
+	q.closed.Store(true)
+	q.wakeAll()
 }
 
-// close marks the producer side finished; blocked consumers drain the
-// remaining batches and then receive ok=false.
-func (q *batchQueue) close() {
-	q.mu.Lock()
-	q.closed = true
-	q.cond.Broadcast()
-	q.mu.Unlock()
+// wakeAll releases both sides so they can observe cancellation.
+func (q *spscRing) wakeAll() {
+	wake(q.prodWake)
+	wake(q.consWake)
 }
 
-// wake releases blocked producers and consumers so they can observe
-// context cancellation.
-func (q *batchQueue) wake() {
-	q.mu.Lock()
-	q.cond.Broadcast()
-	q.mu.Unlock()
-}
-
-func (q *batchQueue) depth() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.n
-}
+func (q *spscRing) depth() int { return int(q.ready.Load()) }

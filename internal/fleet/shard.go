@@ -9,10 +9,12 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/source"
-	"repro/internal/supervise"
 )
 
-// entry is one stream's due interval inside a harvest batch.
+// entry is one stream's due interval inside a harvest batch. Streams
+// are recorded by pointer into the engine's slab blocks — resolved once
+// by the wheel under its lock; the shard never touches a map or the
+// block table.
 type entry struct {
 	s        *stream
 	interval int
@@ -22,10 +24,12 @@ type entry struct {
 	drain bool
 }
 
-// batch is one wheel tick's worth of due streams for one shard, plus
-// the two marker flavours that ride the same queue so they stay ordered
-// against normal work: drain batches (tail repair, see entry.drain) and
-// checkpoint markers (ckpt != nil).
+// batch is a coalesced span of wheel ticks' due streams for one shard
+// (each stream appears at most once — the wheel force-flushes at every
+// rotation boundary, which the BeginObserve/CommitScore scratch
+// aliasing depends on), plus the two marker flavours that ride the same
+// ring so they stay ordered against normal work: drain batches (tail
+// repair, see entry.drain) and checkpoint markers (ckpt != nil).
 type batch struct {
 	rot     int64
 	at      time.Time
@@ -35,14 +39,16 @@ type batch struct {
 	entries []entry
 }
 
-// ckptReq coordinates one fleet-wide checkpoint: every shard contributes
-// its own streams' chain states (each chain is only touched by its
-// owning shard, so the marker must flow through the shard's queue), and
-// a collector goroutine persists the assembled map once all shards have
-// reported.
+// ckptReq coordinates one fleet-wide checkpoint or state capture: every
+// shard contributes its own streams' chain states (each chain is only
+// touched by its owning shard, so the marker must flow through the
+// shard's ring), and a collector persists or returns the assembled map
+// once all shards have reported. The WaitGroup is charged one count per
+// shard up front, at request creation — a request parked on the wheel's
+// pending list is aborted with the matching Dones if Run exits first.
 type ckptReq struct {
 	wg      sync.WaitGroup
-	aborted atomic.Bool // a shard shut down before contributing
+	aborted atomic.Bool // a shard or the wheel shut down before contributing
 	mu      sync.Mutex
 	states  map[string]core.ChainState
 	// perShard[i] is shard i's slice of streams to snapshot.
@@ -75,15 +81,20 @@ type shard struct {
 	idx int
 
 	// tmpl is the shard's chain replica; stream chains are assembled as
-	// its siblings (shared models, per-stream run-time state) without
-	// touching the models, so Add stays safe mid-Run.
+	// its siblings (shared models, per-stream run-time state carved
+	// from the shard's arena slabs) without touching the models, so Add
+	// stays safe mid-Run.
 	tmpl     *core.FallbackChain
+	arena    *core.SiblingArena
 	batchers []*core.Batcher
 	width    int
 
-	bufs *supervise.BufferPool
-	q    *batchQueue
-	pool chan *batch // batch free list (wheel gets, shard puts)
+	q *spscRing
+
+	// readBuf is the shard's single sample buffer: reads happen one
+	// entry at a time on this goroutine, so one buffer replaces the
+	// mutex-pooled free list the pipeline needs.
+	readBuf []uint64
 
 	// Scratch reused across batches: marks mirrors the entry slice,
 	// byStage[s] collects mark indices for stage s's one ScoreBatch
@@ -93,12 +104,18 @@ type shard struct {
 	rows    [][]float64
 	scores  []float64
 
+	// Per-batch verdict counts, flushed to the atomics once per batch
+	// (shard goroutine only).
+	emitN int64
+	lostN int64
+
+	liveStreams   atomic.Int64 // live (unpruned) streams assigned here
 	batches       atomic.Int64
 	intervals     atomic.Int64
 	shedBatches   atomic.Int64
 	shedIntervals atomic.Int64
 	lastRot       atomic.Int64
-	lat           latRing
+	lat           latHist
 }
 
 func newShard(e *Engine, idx int, tmpl *core.FallbackChain, cfg Config) *shard {
@@ -107,42 +124,17 @@ func newShard(e *Engine, idx int, tmpl *core.FallbackChain, cfg Config) *shard {
 		e:        e,
 		idx:      idx,
 		tmpl:     tmpl,
+		arena:    tmpl.NewSiblingArena(),
 		batchers: make([]*core.Batcher, len(dets)),
 		width:    len(tmpl.Events()),
-		bufs:     supervise.NewBufferPool(len(tmpl.Events()), 4, cfg.DebugBuffers),
-		q:        newBatchQueue(cfg.pendingBatches(), cfg.Policy),
-		pool:     make(chan *batch, cfg.pendingBatches()+4),
+		q:        newSPSCRing(cfg.pendingBatches(), cfg.Policy),
+		readBuf:  make([]uint64, len(tmpl.Events())),
 		byStage:  make([][]int, len(dets)),
 	}
 	for i, d := range dets {
 		sh.batchers[i] = d.NewTierBatcher(cfg.tier())
 	}
 	return sh
-}
-
-// getBatch draws a recycled batch from the free list (wheel side).
-func (sh *shard) getBatch() *batch {
-	select {
-	case b := <-sh.pool:
-		return b
-	default:
-		return &batch{}
-	}
-}
-
-// recycle resets and returns a batch to the free list.
-func (sh *shard) recycle(b *batch) {
-	for i := range b.entries {
-		b.entries[i] = entry{}
-	}
-	b.entries = b.entries[:0]
-	b.drain = false
-	b.ckpt = nil
-	b.ckStrms = nil
-	select {
-	case sh.pool <- b:
-	default:
-	}
 }
 
 // run is the shard worker loop.
@@ -154,6 +146,7 @@ func (sh *shard) run(ctx context.Context) {
 			return
 		}
 		sh.process(ctx, b)
+		sh.q.consumed()
 	}
 }
 
@@ -165,10 +158,11 @@ func (sh *shard) step(ctx context.Context) bool {
 		return false
 	}
 	sh.process(ctx, b)
+	sh.q.consumed()
 	return true
 }
 
-// drainTail empties the queue after shutdown so a stranded checkpoint
+// drainTail empties the ring after shutdown so a stranded checkpoint
 // marker cannot leave its collector waiting forever.
 func (sh *shard) drainTail() {
 	for {
@@ -180,7 +174,7 @@ func (sh *shard) drainTail() {
 			b.ckpt.aborted.Store(true)
 			b.ckpt.wg.Done()
 		}
-		sh.recycle(b)
+		sh.q.consumed()
 	}
 }
 
@@ -198,7 +192,6 @@ func (sh *shard) process(ctx context.Context, b *batch) {
 			b.ckpt.mu.Unlock()
 		}
 		b.ckpt.wg.Done()
-		sh.recycle(b)
 		return
 	}
 
@@ -206,6 +199,7 @@ func (sh *shard) process(ctx context.Context, b *batch) {
 	// read the source, and run BeginObserve to collect the active
 	// stage's feature vector. Chain operations for a given stream are
 	// strictly interval-ordered: gaps first, then this interval.
+	sh.emitN, sh.lostN = 0, 0
 	n := len(b.entries)
 	if cap(sh.marks) < n {
 		sh.marks = make([]entryMark, n)
@@ -219,6 +213,11 @@ func (sh *shard) process(ctx context.Context, b *batch) {
 		s := en.s
 		m := &sh.marks[i]
 		m.kind = markSkip
+		if s.qsrc != nil && !en.drain {
+			// The wheel claimed one pending sample when it staged this
+			// entry; release the claim whatever becomes of it.
+			s.inflight.Add(-1)
+		}
 		if s.removed.Load() {
 			continue
 		}
@@ -227,24 +226,20 @@ func (sh *shard) process(ctx context.Context, b *batch) {
 			continue // already repaired past this interval by a drain
 		}
 		for ; done < en.interval; done++ {
-			sh.emitLost(s, b)
+			sh.emitLost(s)
 		}
 		if en.drain {
-			sh.emitLost(s, b)
+			sh.emitLost(s)
 			continue
 		}
 		if !s.br.Allow() {
-			sh.emitLost(s, b)
+			sh.emitLost(s)
 			continue
 		}
 		var vals []uint64
 		var err error
 		if s.bsrc != nil {
-			buf := sh.bufs.Get()
-			vals, err = s.bsrc.ReadInto(ctx, en.interval, buf)
-			if err != nil {
-				sh.bufs.Put(buf)
-			}
+			vals, err = s.bsrc.ReadInto(ctx, en.interval, sh.readBuf)
 		} else {
 			vals, err = s.src.Read(ctx, en.interval)
 		}
@@ -252,33 +247,27 @@ func (sh *shard) process(ctx context.Context, b *batch) {
 		case err == nil:
 			s.br.OnSuccess()
 		case errors.Is(err, source.ErrSampleLost):
-			sh.emitLost(s, b)
+			sh.emitLost(s)
 			continue
 		case ctx.Err() != nil:
 			// Shutting down mid-batch: abandon the remaining entries.
-			sh.recycle(b)
+			sh.flushCounts(b)
 			return
 		default:
 			s.srcFails.Add(1)
 			s.br.OnFailure(err)
-			sh.emitLost(s, b)
+			sh.emitLost(s)
 			continue
 		}
 		if len(vals) != sh.width {
 			s.badFrames.Add(1)
-			if s.bsrc != nil {
-				sh.bufs.Put(vals)
-			}
-			sh.emitLost(s, b)
+			sh.emitLost(s)
 			continue
 		}
 		stage, x, oerr := s.chain.BeginObserve(vals)
-		if s.bsrc != nil {
-			sh.bufs.Put(vals)
-		}
 		if oerr != nil {
 			s.badFrames.Add(1)
-			sh.emitLost(s, b)
+			sh.emitLost(s)
 			continue
 		}
 		m.kind = markScore
@@ -324,23 +313,40 @@ func (sh *shard) process(ctx context.Context, b *batch) {
 		if m.stage >= len(sh.batchers) {
 			score = s.chain.Prior()
 		}
-		sh.emit(s, s.chain.CommitScore(score), false, b)
+		sh.emit(s, s.chain.CommitScore(score), false)
 	}
+	sh.flushCounts(b)
 	sh.batches.Add(1)
 	sh.lastRot.Store(b.rot)
-	sh.recycle(b)
 }
 
-// emit delivers one verdict: stream and fleet accounting, the optional
-// callback, horizon completion, and harvest-to-verdict latency.
-func (sh *shard) emit(s *stream, v core.Verdict, lost bool, b *batch) {
+// flushCounts folds the batch's local verdict counters into the shared
+// atomics and records one interval-weighted latency sample — per batch,
+// not per verdict, which keeps the clock read and the contended adds
+// off the per-stream path.
+func (sh *shard) flushCounts(b *batch) {
+	if sh.emitN == 0 {
+		return
+	}
+	sh.intervals.Add(sh.emitN)
+	sh.e.verdictCount.Add(sh.emitN)
+	if sh.lostN > 0 {
+		sh.e.lostCount.Add(sh.lostN)
+	}
+	sh.lat.record(time.Since(b.at), sh.emitN)
+	sh.emitN, sh.lostN = 0, 0
+}
+
+// emit delivers one verdict: stream accounting, the optional callback,
+// and horizon completion. Fleet-wide counters are batched in
+// flushCounts.
+func (sh *shard) emit(s *stream, v core.Verdict, lost bool) {
 	done := s.done.Add(1)
 	if lost {
 		s.lost.Add(1)
-		sh.e.lostCount.Add(1)
+		sh.lostN++
 	}
-	sh.e.verdictCount.Add(1)
-	sh.intervals.Add(1)
+	sh.emitN++
 	s.activeStage.Store(int32(s.chain.ActiveStage()))
 	if s.onVerdict != nil {
 		s.onVerdict(v)
@@ -348,11 +354,10 @@ func (sh *shard) emit(s *stream, v core.Verdict, lost bool, b *batch) {
 	if s.horizon > 0 && done >= int64(s.horizon) {
 		s.finish()
 	}
-	sh.lat.record(time.Since(b.at))
 }
 
 // emitLost emits one hold-last verdict for an interval with no usable
 // reading.
-func (sh *shard) emitLost(s *stream, b *batch) {
-	sh.emit(s, s.chain.ObserveLost(), true, b)
+func (sh *shard) emitLost(s *stream) {
+	sh.emit(s, s.chain.ObserveLost(), true)
 }

@@ -1,52 +1,103 @@
 package fleet
 
 import (
-	"sort"
+	"math/bits"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/supervise"
 )
 
-// latRingSize is the number of recent harvest-to-verdict latencies each
-// shard retains for percentile estimation. A fixed ring of atomics
-// keeps recording allocation-free and race-free against concurrent
-// snapshots.
-const latRingSize = 2048
+// Shard latency telemetry is a fixed log-bucketed histogram instead of
+// a sample ring: recording is one atomic add per batch (no clock reads
+// or stores per verdict, no sample eviction bias under load), and the
+// histogram yields p50/p99/p999 plus the full interval-lag distribution
+// that /stats exports. Buckets are microseconds with 8 sub-buckets per
+// octave (≤12.5% relative error): values 0–7 µs map to themselves, and
+// a larger value with top bit at position p lands in bucket
+// (p-2)*8 + next-three-bits.
+const latHistBuckets = 384 // covers every representable duration
 
-// latRing is a lock-free ring of recent latency samples (nanoseconds).
-type latRing struct {
-	n   atomic.Int64
-	buf [latRingSize]atomic.Int64
+type latHist struct {
+	total   atomic.Int64
+	buckets [latHistBuckets]atomic.Int64
 }
 
-// record stores one latency sample.
-func (r *latRing) record(d time.Duration) {
-	i := r.n.Add(1) - 1
-	r.buf[i%latRingSize].Store(int64(d))
+// latBucket maps a latency in microseconds to its bucket index.
+func latBucket(us int64) int {
+	v := uint64(us)
+	if v < 8 {
+		return int(v)
+	}
+	p := uint(bits.Len64(v)) - 1 // top-bit position, >= 3
+	b := int((p-2)*8 + uint((v>>(p-3))&7))
+	if b >= latHistBuckets {
+		return latHistBuckets - 1
+	}
+	return b
 }
 
-// percentiles returns the p50 and p99 of the retained samples, in
-// microseconds (0, 0 with no samples yet). Control-plane only: it
-// copies and sorts.
-func (r *latRing) percentiles() (p50, p99 float64) {
-	n := r.n.Load()
-	if n > latRingSize {
-		n = latRingSize
+// latBucketUpper returns bucket b's inclusive upper bound in
+// microseconds.
+func latBucketUpper(b int) int64 {
+	if b < 8 {
+		return int64(b)
 	}
-	if n == 0 {
-		return 0, 0
+	oct, sub := uint(b/8), uint64(b%8)
+	return int64((9+sub)<<(oct-1)) - 1
+}
+
+// record books n intervals completing with latency d. One call per
+// batch, weighted by the batch's interval count.
+func (h *latHist) record(d time.Duration, n int64) {
+	if n <= 0 {
+		return
 	}
-	samples := make([]int64, n)
-	for i := range samples {
-		samples[i] = r.buf[i].Load()
+	us := int64(d / time.Microsecond)
+	if us < 0 {
+		us = 0
 	}
-	sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
-	pick := func(p float64) float64 {
-		idx := int(p * float64(len(samples)-1))
-		return float64(samples[idx]) / 1e3
+	h.buckets[latBucket(us)].Add(n)
+	h.total.Add(n)
+}
+
+// snapshot copies the bucket counts (not atomically consistent across
+// buckets, which percentile estimation tolerates).
+func (h *latHist) snapshot(counts *[latHistBuckets]int64) (total int64) {
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
 	}
-	return pick(0.50), pick(0.99)
+	return total
+}
+
+// quantile returns the q-quantile (0..1) of a snapshot, in microseconds
+// (the containing bucket's upper bound; 0 with no samples).
+func quantile(counts *[latHistBuckets]int64, total int64, q float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range counts {
+		cum += counts[i]
+		if cum >= rank {
+			return float64(latBucketUpper(i))
+		}
+	}
+	return float64(latBucketUpper(latHistBuckets - 1))
+}
+
+// LagBucket is one bucket of a shard's harvest-to-verdict latency
+// distribution: Count intervals completed with latency of at most
+// UpToMicros (and above the preceding bucket's bound).
+type LagBucket struct {
+	UpToMicros int64
+	Count      int64
 }
 
 // StreamSnapshot is the externally visible state of one monitored
@@ -81,7 +132,7 @@ type ShardSnapshot struct {
 	Batches   int64
 	Intervals int64
 	// ShedBatches/ShedIntervals count work discarded by drop-oldest
-	// backpressure on the shard's queue.
+	// backpressure on the shard's ring.
 	ShedBatches   int64
 	ShedIntervals int64
 	// QueueDepth is the current batch backlog; LagRotations how many
@@ -97,10 +148,14 @@ type ShardSnapshot struct {
 	// core.TierQuantized; stages without a quantized lowering fall back
 	// to compiled and count only in CompiledStages).
 	QuantizedStages int
-	// P50/P99 harvest-to-verdict latency over the recent window,
-	// microseconds.
-	P50LatencyMicros float64
-	P99LatencyMicros float64
+	// P50/P99/P999 harvest-to-verdict latency since the shard started,
+	// in microseconds (histogram upper bounds, ≤12.5% relative error).
+	P50LatencyMicros  float64
+	P99LatencyMicros  float64
+	P999LatencyMicros float64
+	// LagHistogram is the full harvest-to-verdict latency distribution
+	// (non-empty buckets only, ascending).
+	LagHistogram []LagBucket `json:",omitempty"`
 }
 
 // Snapshot is a point-in-time view of the whole fleet — what
@@ -127,15 +182,35 @@ type Snapshot struct {
 	CheckpointsWritten int64
 	CheckpointErrors   int64
 	Shards             []ShardSnapshot
-	// PerStream is populated only when requested (Stats(true)); at
-	// fleet scale the aggregate is the cheap default.
-	PerStream []StreamSnapshot `json:",omitempty"`
+	// PerStream is populated only when requested (Stats(true) or
+	// StatsPage); at fleet scale the aggregate is the cheap default.
+	// PerStreamTotal/PerStreamOffset frame a StatsPage window against
+	// the full admission-ordered stream list.
+	PerStream       []StreamSnapshot `json:",omitempty"`
+	PerStreamTotal  int              `json:",omitempty"`
+	PerStreamOffset int              `json:",omitempty"`
 }
 
 // Stats returns a point-in-time snapshot of the fleet. Safe to call
-// concurrently with Run. includeStreams adds the per-stream breakdown,
-// which is O(streams) to build.
+// concurrently with Run. includeStreams adds the full per-stream
+// breakdown, which is O(streams) to build — at density, prefer
+// StatsPage.
 func (e *Engine) Stats(includeStreams bool) Snapshot {
+	if includeStreams {
+		return e.statsPage(0, -1, true)
+	}
+	return e.statsPage(0, 0, false)
+}
+
+// StatsPage is Stats with a paginated per-stream section: the window
+// [offset, offset+limit) of streams in admission order (limit < 0 means
+// the rest). PerStreamTotal carries the full count so clients can walk
+// pages; the aggregate and shard sections are always complete.
+func (e *Engine) StatsPage(offset, limit int) Snapshot {
+	return e.statsPage(offset, limit, true)
+}
+
+func (e *Engine) statsPage(offset, limit int, includeStreams bool) Snapshot {
 	snap := Snapshot{
 		Tier:               e.cfg.tier().String(),
 		Draining:           e.draining.Load(),
@@ -146,29 +221,21 @@ func (e *Engine) Stats(includeStreams bool) Snapshot {
 		CheckpointErrors:   e.ckptErr.Load(),
 		Shards:             make([]ShardSnapshot, len(e.shards)),
 	}
-	perShard := make([]int, len(e.shards))
 
+	// One short critical section for the block-table header; everything
+	// per-stream below reads initialised slab slots and atomics without
+	// the lock (blocks never move, and a handle below nstreams was fully
+	// initialised before nstreams was published).
 	e.mu.Lock()
-	snap.Streams = len(e.all)
-	snap.Live = e.live
-	var streams []*stream
-	if includeStreams {
-		streams = append(streams, e.all...)
-	}
-	for _, s := range e.all {
-		if !s.pruned {
-			perShard[s.shardIdx]++
-		}
-	}
-	scheduled := make(map[*stream]int, len(streams))
-	for _, s := range streams {
-		scheduled[s] = s.rot
-	}
+	blocks, nstreams, live := e.blocks, e.nstreams, e.live
 	e.mu.Unlock()
+	snap.Streams = nstreams
+	snap.Live = live
 
+	var counts [latHistBuckets]int64
 	for i, sh := range e.shards {
 		ss := &snap.Shards[i]
-		ss.Streams = perShard[i]
+		ss.Streams = int(sh.liveStreams.Load())
 		ss.Batches = sh.batches.Load()
 		ss.Intervals = sh.intervals.Load()
 		ss.ShedBatches = sh.shedBatches.Load()
@@ -181,7 +248,19 @@ func (e *Engine) Stats(includeStreams bool) Snapshot {
 		if lag := snap.Rotations - sh.lastRot.Load(); lag > 0 && ss.Batches > 0 && ss.Streams > 0 {
 			ss.LagRotations = lag
 		}
-		ss.P50LatencyMicros, ss.P99LatencyMicros = sh.lat.percentiles()
+		if total := sh.lat.snapshot(&counts); total > 0 {
+			ss.P50LatencyMicros = quantile(&counts, total, 0.50)
+			ss.P99LatencyMicros = quantile(&counts, total, 0.99)
+			ss.P999LatencyMicros = quantile(&counts, total, 0.999)
+			for b := range counts {
+				if counts[b] > 0 {
+					ss.LagHistogram = append(ss.LagHistogram, LagBucket{
+						UpToMicros: latBucketUpper(b),
+						Count:      counts[b],
+					})
+				}
+			}
+		}
 		for _, b := range sh.batchers {
 			if b.Compiled() {
 				ss.CompiledStages++
@@ -194,13 +273,26 @@ func (e *Engine) Stats(includeStreams bool) Snapshot {
 	}
 
 	if includeStreams {
-		snap.PerStream = make([]StreamSnapshot, 0, len(streams))
-		for _, s := range streams {
+		snap.PerStreamTotal = nstreams
+		if offset < 0 {
+			offset = 0
+		}
+		if offset > nstreams {
+			offset = nstreams
+		}
+		end := nstreams
+		if limit >= 0 && offset+limit < end {
+			end = offset + limit
+		}
+		snap.PerStreamOffset = offset
+		snap.PerStream = make([]StreamSnapshot, 0, end-offset)
+		for h := handle(offset); int(h) < end; h++ {
+			s := streamAt(blocks, h)
 			snap.PerStream = append(snap.PerStream, StreamSnapshot{
 				ID:             s.id,
 				Shard:          s.shardIdx,
 				Slot:           s.slot,
-				Scheduled:      scheduled[s],
+				Scheduled:      int(s.rot.Load()),
 				Verdicts:       s.done.Load(),
 				LostVerdicts:   s.lost.Load(),
 				SourceFailures: s.srcFails.Load(),

@@ -1,6 +1,9 @@
 package supervise
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // BreakerConfig parameterises the circuit breaker guarding the sample
 // source. All thresholds are counted in sampling intervals — never
@@ -78,17 +81,29 @@ type Breaker struct {
 	trips      int
 	recoveries int
 	lastErr    error
+
+	// calm is true while state == closed && fails == 0 — the steady
+	// state of a healthy source, where Allow and OnSuccess have nothing
+	// to mutate. It lets the per-interval hot path (a fleet engine calls
+	// Allow + OnSuccess once per stream per 10 ms interval) skip the
+	// mutex entirely: one atomic load each. Only mutated under mu.
+	calm atomic.Bool
 }
 
 // NewBreaker builds a breaker in the closed state.
 func NewBreaker(cfg BreakerConfig) *Breaker {
-	return &Breaker{cfg: cfg}
+	b := &Breaker{cfg: cfg}
+	b.calm.Store(true)
+	return b
 }
 
 // Allow reports whether the source may be read this interval. Call
 // exactly once per interval: an open breaker burns one cooldown
 // interval per call.
 func (b *Breaker) Allow() bool {
+	if b.calm.Load() {
+		return true
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -107,6 +122,9 @@ func (b *Breaker) Allow() bool {
 // OnSuccess records a successful source read, closing a half-open
 // breaker.
 func (b *Breaker) OnSuccess() {
+	if b.calm.Load() {
+		return // closed with no failures: nothing to reset
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.state == breakerHalfOpen {
@@ -114,6 +132,7 @@ func (b *Breaker) OnSuccess() {
 		b.recoveries++
 	}
 	b.fails = 0
+	b.calm.Store(b.state == breakerClosed)
 }
 
 // OnFailure records a failed source read (lost samples should not be
@@ -121,6 +140,7 @@ func (b *Breaker) OnSuccess() {
 func (b *Breaker) OnFailure(err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.calm.Store(false)
 	b.lastErr = err
 	switch b.state {
 	case breakerHalfOpen:

@@ -7,10 +7,17 @@ set -ex
 
 go build ./...
 go vet ./...
+# staticcheck when available (CI installs it; locally it is optional).
+if command -v staticcheck >/dev/null 2>&1; then
+  staticcheck ./...
+fi
 go test ./...
 go test -race ./internal/collect ./internal/faults
 go test -race ./internal/supervise ./internal/core
 go test -race ./internal/eval ./internal/mlearn/ensemble
+# The fleet race pass includes the high-stream-count churn workout
+# (TestFleetDensityChurn: concurrent add/remove + paginated stats
+# readers) and the zero-alloc gates on the SPSC ring and demux path.
 go test -race ./internal/fleet
 # Ingest plane: framing, admission/quota/eviction, drain and client
 # tests under the race detector (connections, streams and shards all
@@ -41,11 +48,13 @@ go test -race ./internal/mlearn/compiled ./internal/core
 go test -bench=BenchmarkInference -benchmem -benchtime=10x -run @ .
 # Fleet-engine smoke: the scaling sweep at reduced corpus and stream
 # counts — exercises the sharded engine (compiled shard batchers, the
-# default), the per-pipeline baseline and the lossless-verdict
-# assertion end to end. The fleet equivalence test above already pins
+# default), the per-pipeline baseline, the lossless-verdict assertion
+# and the stream-density sweep (compiled vs quantized MLP chain) end to
+# end. The fleet equivalence test above already pins
 # compiled-vs-interpreted fleet verdicts bit for bit.
 go run ./cmd/hmd-bench -exp fleet -apps 2 -intervals 8 \
-  -fleetstreams 8,32 -fleetintervals 50 -fleetout /tmp/check-fleet.json
+  -fleetstreams 8,32 -fleetintervals 50 -fleetdensity 16,64 \
+  -fleetout /tmp/check-fleet.json
 # Ingest smoke: the chaos drill + overload sweep through the real
 # hmd-bench entry point at reduced scale (loopback TCP throughout),
 # with the capacity blast enabled so the batched-vs-v1 wire comparison
